@@ -1,0 +1,102 @@
+(* The benchmark harness: regenerates every figure and table of the
+   evaluation (see EXPERIMENTS.md) and finishes with Bechamel
+   micro-benchmarks of the core operations.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, full sizes
+     dune exec bench/main.exe -- --fast       -- everything, small sizes
+     dune exec bench/main.exe -- fig12        -- one experiment
+     dune exec bench/main.exe -- micro        -- micro-benchmarks only *)
+
+let run_micro () =
+  let open Bechamel in
+  let walk n = Simq_series.Generator.random_walk (Random.State.make [| n |]) n in
+  let s128 = walk 128 and s1024 = walk 1024 in
+  let batch = Simq_series.Generator.random_walks ~seed:3 ~count:1000 ~n:128 in
+  let dataset = Simq_tsindex.Dataset.of_series ~name:"bench" batch in
+  let index = Simq_tsindex.Kindex.build dataset in
+  let query = batch.(0) in
+  let rules = Simq_rewrite.Rule.levenshtein in
+  let tests =
+    [
+      Test.make ~name:"fft-128" (Staged.stage (fun () -> Simq_dsp.Fft.fft_real s128));
+      Test.make ~name:"fft-1024"
+        (Staged.stage (fun () -> Simq_dsp.Fft.fft_real s1024));
+      Test.make ~name:"mavg20-128"
+        (Staged.stage (fun () ->
+             Simq_series.Moving_average.circular (Simq_dsp.Window.uniform 20) s128));
+      Test.make ~name:"normal-form-128"
+        (Staged.stage (fun () -> Simq_series.Normal_form.normalise s128));
+      Test.make ~name:"kindex-range-1000"
+        (Staged.stage (fun () ->
+             ignore (Simq_tsindex.Kindex.range index ~query ~epsilon:2.)));
+      Test.make ~name:"kindex-range-mavg20-1000"
+        (Staged.stage (fun () ->
+             ignore
+               (Simq_tsindex.Kindex.range
+                  ~spec:(Simq_tsindex.Spec.Moving_average 20) index ~query
+                  ~epsilon:2.)));
+      Test.make ~name:"kindex-nn5-1000"
+        (Staged.stage (fun () ->
+             ignore (Simq_tsindex.Kindex.nearest index ~query ~k:5)));
+      Test.make ~name:"edit-distance-16"
+        (Staged.stage (fun () ->
+             ignore
+               (Simq_rewrite.Gen_edit.distance ~rules "abcdabcdabcdabcd"
+                  "abdcabdcabdcabdc")));
+      Test.make ~name:"seqscan-early-1000"
+        (Staged.stage (fun () ->
+             ignore
+               (Simq_tsindex.Seqscan.range_early_abandon dataset ~query
+                  ~epsilon:2.)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw_results = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  print_endline "Micro-benchmarks (OLS estimate per run):";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun measure per_test ->
+      if
+        String.equal measure (Measure.label Toolkit.Instance.monotonic_clock)
+      then
+        Hashtbl.iter
+          (fun name ols ->
+            match Analyze.OLS.estimates ols with
+            | Some (est :: _) -> rows := (name, est) :: !rows
+            | _ -> ())
+          per_test)
+    results;
+  List.iter
+    (fun (name, est) ->
+      Printf.printf "  %-34s %12.0f ns/run  (%s)\n" name est
+        (Simq_experiments.Bench_util.fmt_time (est /. 1e9)))
+    (List.sort compare !rows);
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let fast = List.mem "--fast" args in
+  let names = List.filter (fun a -> a <> "--fast") args in
+  let names = if names = [] then [ "all"; "micro" ] else names in
+  List.iter
+    (fun name ->
+      if String.equal name "micro" then run_micro ()
+      else
+        match Simq_experiments.Experiments.run ~fast name with
+        | Ok () -> ()
+        | Error msg ->
+          prerr_endline msg;
+          exit 1)
+    names

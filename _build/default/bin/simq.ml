@@ -1,0 +1,273 @@
+(* simq: command-line front end.
+
+     simq generate --kind stock --count 1067 --length 128 -o market.rel
+     simq info market.rel
+     simq query market.rel "RANGE FROM r USING mavg(20) QUERY s0 EPS 2.5"
+     simq experiments table1 --fast
+
+   Query series are named [sN]: the relation's N-th series, optionally
+   perturbed with --noise; warp(m) queries are expanded to the required
+   length automatically. *)
+
+open Cmdliner
+module Relation = Simq_storage.Relation
+open Simq_tsindex
+
+let ( let* ) r f = Result.bind r f
+
+(* --- generate ------------------------------------------------------------ *)
+
+let generate kind count length seed out =
+  let batch =
+    match kind with
+    | `Walk -> Simq_series.Generator.random_walks ~seed ~count ~n:length
+    | `Stock -> Simq_workload.Stocklike.batch ~seed ~count ~n:length
+  in
+  let relation = Relation.of_series ~name:(Filename.remove_extension (Filename.basename out)) batch in
+  Relation.save relation out;
+  Printf.printf "wrote %d %s series of length %d to %s\n" count
+    (match kind with `Walk -> "random-walk" | `Stock -> "stock-like")
+    length out;
+  Ok ()
+
+let kind_arg =
+  let kinds = [ ("walk", `Walk); ("stock", `Stock) ] in
+  Arg.(value & opt (enum kinds) `Stock & info [ "kind" ] ~doc:"Data kind: $(b,walk) (the paper's synthetic sequences) or $(b,stock) (regime-switching stock-like prices).")
+
+let count_arg =
+  Arg.(value & opt int 1067 & info [ "count" ] ~doc:"Number of series.")
+
+let length_arg =
+  Arg.(value & opt int 128 & info [ "length" ] ~doc:"Length of each series.")
+
+let seed_arg = Arg.(value & opt int 1995 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let out_arg =
+  Arg.(value & opt string "market.rel" & info [ "o"; "output" ] ~doc:"Output file.")
+
+(* --- info ------------------------------------------------------------------ *)
+
+let info_cmd_impl file =
+  if not (Sys.file_exists file) then Error (Printf.sprintf "no such file: %s" file)
+  else begin
+    let relation = Relation.load file in
+    Printf.printf "relation %s: %d series, %d logical pages\n"
+      (Relation.name relation)
+      (Relation.cardinality relation)
+      (Relation.pages relation);
+    if Relation.cardinality relation > 0 then begin
+      let tuple = Relation.get relation 0 in
+      Printf.printf "series length: %d\n" (Array.length tuple.Relation.data)
+    end;
+    Ok ()
+  end
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Relation file written by $(b,simq generate).")
+
+(* --- query ------------------------------------------------------------------ *)
+
+let resolve_query_series dataset spec ~name ~noise =
+  let n = Dataset.series_length dataset in
+  let* id =
+    if String.length name >= 2 && name.[0] = 's' then
+      match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+      | Some id when id >= 0 && id < Dataset.cardinality dataset -> Ok id
+      | Some id -> Error (Printf.sprintf "series id %d out of range" id)
+      | None -> Error (Printf.sprintf "bad query name %S (expected sN)" name)
+    else Error (Printf.sprintf "bad query name %S (expected sN)" name)
+  in
+  let base = (Dataset.get dataset id).Dataset.series in
+  let series =
+    if noise > 0. then
+      Simq_workload.Queries.perturb (Random.State.make [| 17 |]) base
+        ~amount:noise
+    else base
+  in
+  match spec with
+  | Spec.Warp m -> Ok (Simq_series.Warp.expand m series)
+  | _ ->
+    assert (Spec.output_length spec ~n = n);
+    Ok series
+
+let run_parsed_query index dataset noise q =
+  match q with
+  | Ql.Range { spec; query; epsilon; mean_window; std_band; _ } ->
+    let* series = resolve_query_series dataset spec ~name:query ~noise in
+    let (result : Kindex.range_result), elapsed =
+      Simq_report.Timer.time (fun () ->
+          Kindex.range ~spec ?mean_window ?std_band index ~query:series
+            ~epsilon)
+    in
+    Printf.printf "%d answers (%d candidates, %d node accesses, %s)\n"
+      (List.length result.Kindex.answers)
+      result.Kindex.candidates result.Kindex.node_accesses
+      (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+    List.iter
+      (fun ((e : Dataset.entry), d) ->
+        Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
+      result.Kindex.answers;
+    Ok ()
+  | Ql.Nearest { k; spec; query; _ } ->
+    let* series = resolve_query_series dataset spec ~name:query ~noise in
+    let results, elapsed =
+      Simq_report.Timer.time (fun () ->
+          Kindex.nearest ~spec index ~query:series ~k)
+    in
+    Printf.printf "%d nearest (%s)\n" (List.length results)
+      (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+    List.iter
+      (fun ((e : Dataset.entry), d) ->
+        Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
+      results;
+    Ok ()
+  | Ql.Pairs { spec; epsilon; method_; _ } ->
+    let join =
+      match method_ with
+      | Ql.Scan_full -> Join.scan_full ~spec
+      | Ql.Scan_early -> Join.scan_early_abandon ~spec
+      | Ql.Index -> Join.index_transformed ~spec
+    in
+    let (result : Join.result), elapsed =
+      Simq_report.Timer.time (fun () -> join index ~epsilon)
+    in
+    Printf.printf
+      "%d pairs (%d distance computations, %d node accesses, %s)\n"
+      (List.length result.Join.pairs)
+      result.Join.distance_computations result.Join.node_accesses
+      (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+    List.iter
+      (fun (i, j) ->
+        let a = Dataset.get (Kindex.dataset index) i in
+        let b = Dataset.get (Kindex.dataset index) j in
+        Printf.printf "  %s ~ %s\n" a.Dataset.name b.Dataset.name)
+      result.Join.pairs;
+    Ok ()
+
+let query_impl file text noise =
+  if not (Sys.file_exists file) then Error (Printf.sprintf "no such file: %s" file)
+  else begin
+    let relation = Relation.load file in
+    let dataset = Dataset.of_relation relation in
+    let index = Kindex.build dataset in
+    let* q = Ql.parse text in
+    run_parsed_query index dataset noise q
+  end
+
+let ql_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+         ~doc:"Similarity query, e.g. 'RANGE FROM r USING mavg(20) QUERY s0 EPS 2.5'.")
+
+let noise_arg =
+  Arg.(value & opt float 0. & info [ "noise" ]
+         ~doc:"Perturb the query series by this amount (uniform noise).")
+
+(* --- import / export ------------------------------------------------------------ *)
+
+let import_impl csv out =
+  if not (Sys.file_exists csv) then Error (Printf.sprintf "no such file: %s" csv)
+  else
+    match
+      Simq_storage.Csv.import
+        ~name:(Filename.remove_extension (Filename.basename out))
+        csv
+    with
+    | relation ->
+      Relation.save relation out;
+      Printf.printf "imported %d series into %s
+"
+        (Relation.cardinality relation)
+        out;
+      Ok ()
+    | exception Failure msg -> Error msg
+
+let export_impl file out =
+  if not (Sys.file_exists file) then Error (Printf.sprintf "no such file: %s" file)
+  else begin
+    let relation = Relation.load file in
+    Simq_storage.Csv.export relation out;
+    Printf.printf "exported %d series to %s
+"
+      (Relation.cardinality relation)
+      out;
+    Ok ()
+  end
+
+(* --- experiments -------------------------------------------------------------- *)
+
+let experiments_impl name fast =
+  Simq_experiments.Experiments.run ~fast name
+
+let experiment_arg =
+  Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
+         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree or all.")
+
+let fast_arg =
+  Arg.(value & flag & info [ "fast" ] ~doc:"Smaller data sizes (seconds instead of minutes).")
+
+(* --- command wiring ------------------------------------------------------------- *)
+
+let handle = function
+  | Ok () -> 0
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    1
+
+let generate_cmd =
+  let doc = "generate a relation of synthetic series" in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(
+      const (fun kind count length seed out ->
+          handle (generate kind count length seed out))
+      $ kind_arg $ count_arg $ length_arg $ seed_arg $ out_arg)
+
+let info_cmd =
+  let doc = "describe a stored relation" in
+  Cmd.v (Cmd.info "info" ~doc)
+    Term.(const (fun file -> handle (info_cmd_impl file)) $ file_arg)
+
+let query_cmd =
+  let doc = "run a similarity query against a stored relation" in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const (fun file text noise -> handle (query_impl file text noise))
+      $ file_arg $ ql_arg $ noise_arg)
+
+let import_cmd =
+  let doc = "import a CSV file (one series per row: name,v1,v2,...)" in
+  Cmd.v (Cmd.info "import" ~doc)
+    Term.(
+      const (fun csv out -> handle (import_impl csv out))
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"CSV" ~doc:"CSV file to import.")
+      $ out_arg)
+
+let export_cmd =
+  let doc = "export a stored relation to CSV" in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(
+      const (fun file out -> handle (export_impl file out))
+      $ file_arg
+      $ Arg.(value & opt string "market.csv"
+             & info [ "o"; "output" ] ~doc:"Output CSV file."))
+
+let experiments_cmd =
+  let doc = "reproduce the paper's experiments" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(
+      const (fun name fast -> handle (experiments_impl name fast))
+      $ experiment_arg $ fast_arg)
+
+let () =
+  let doc = "similarity-based queries on time-series data" in
+  let cmd =
+    Cmd.group
+      (Cmd.info "simq" ~doc ~version:"1.0.0")
+      [
+        generate_cmd; info_cmd; query_cmd; import_cmd; export_cmd;
+        experiments_cmd;
+      ]
+  in
+  exit (Cmd.eval' cmd)

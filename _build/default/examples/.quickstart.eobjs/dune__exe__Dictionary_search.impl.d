@@ -1,0 +1,1 @@
+examples/dictionary_search.ml: Array Bk_tree Float Format Gen_edit List Metric Printf Rule Search Simq_metric Simq_rewrite String Vp_tree

@@ -1,0 +1,1 @@
+examples/hedging_pairs.ml: Array Dataset Feature Kindex List Printf Random Simq_dsp Simq_series Simq_tsindex Simq_workload Spec String

@@ -1,0 +1,1 @@
+examples/hedging_pairs.mli:

@@ -1,0 +1,1 @@
+examples/query_language.ml: Array Dataset Feature Format Join Kindex List Printf Ql Random Simq_series Simq_tsindex Simq_workload

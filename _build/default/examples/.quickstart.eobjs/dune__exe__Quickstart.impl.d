@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dataset Format Kindex List Printf Random Seqscan Simq_dsp Simq_series Simq_tsindex Spec

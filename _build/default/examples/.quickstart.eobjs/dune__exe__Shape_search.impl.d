@@ -1,0 +1,1 @@
+examples/shape_search.ml: List Printf Shape Signature Simq_shapes

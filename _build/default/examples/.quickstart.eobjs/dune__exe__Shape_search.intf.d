@@ -1,0 +1,1 @@
+examples/shape_search.mli:

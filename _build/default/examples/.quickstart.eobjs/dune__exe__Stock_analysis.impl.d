@@ -1,0 +1,1 @@
+examples/stock_analysis.ml: Printf Random Simq_dsp Simq_series Simq_workload

@@ -1,0 +1,1 @@
+examples/subsequence_search.ml: Array List Printf Random Simq_series Simq_tsindex Simq_workload Subseq

@@ -1,0 +1,1 @@
+examples/subsequence_search.mli:

@@ -1,0 +1,100 @@
+(* Dictionary search: the string instantiation of the framework. The
+   transformation rule language is a set of rewrite rules with costs;
+   similarity is the minimum-cost reduction. A BK-tree indexes the
+   unit-cost edit distance, a VP-tree the weighted rule distance, and
+   custom rules ("ph" -> "f" cheap, etc.) encode domain knowledge the
+   plain edit distance lacks.
+
+   Run with: dune exec examples/dictionary_search.exe *)
+
+open Simq_rewrite
+open Simq_metric
+
+let dictionary =
+  [|
+    "fonetic"; "phonetic"; "photograph"; "fotograf"; "telephone"; "telefon";
+    "graph"; "graft"; "craft"; "photon"; "proton"; "piano"; "pianist";
+    "physics"; "fysics"; "fissure"; "phrase"; "frays"; "phase"; "face";
+    "elephant"; "elegant"; "relevant"; "reverent"; "filter"; "philter";
+  |]
+
+let int_edit a b =
+  int_of_float (Gen_edit.distance ~rules:Rule.levenshtein a b)
+
+(* Phonetic rules: classic edits cost 1, but common sound-alike
+   rewrites are much cheaper. *)
+let phonetic_rules =
+  Rule.rewrite ~lhs:"ph" ~rhs:"f" ~cost:0.2
+  :: Rule.rewrite ~lhs:"f" ~rhs:"ph" ~cost:0.2
+  :: Rule.rewrite ~lhs:"c" ~rhs:"k" ~cost:0.3
+  :: Rule.rewrite ~lhs:"k" ~rhs:"c" ~cost:0.3
+  :: Rule.rewrite ~lhs:"ys" ~rhs:"is" ~cost:0.3
+  :: Rule.rewrite ~lhs:"is" ~rhs:"ys" ~cost:0.3
+  :: Rule.levenshtein
+
+let phonetic_distance a b = Gen_edit.distance ~rules:phonetic_rules a b
+
+let () =
+  print_endline "== unit-cost edit distance via a BK-tree ==";
+  let bk = Bk_tree.of_array ~dist:int_edit dictionary in
+  List.iter
+    (fun (query, radius) ->
+      let hits = Bk_tree.range bk ~query ~radius in
+      Printf.printf "  %-10s (radius %d): %s\n" query radius
+        (String.concat ", "
+           (List.map
+              (fun (w, d) -> Printf.sprintf "%s@%d" w d)
+              (List.sort (fun (_, d1) (_, d2) -> compare d1 d2) hits))))
+    [ ("fase", 1); ("grapf", 1); ("pianno", 1) ];
+
+  print_endline "\n== phonetic rule set via a VP-tree ==";
+  Printf.printf "  rule set: %s\n"
+    (String.concat "; "
+       (List.filter_map
+          (fun r ->
+            match r with
+            | Rule.Rewrite _ -> Some (Format.asprintf "%a" Rule.pp r)
+            | _ -> None)
+          phonetic_rules));
+  (* The weighted distance is still a metric for this symmetric rule set;
+     verify before trusting the VP-tree. *)
+  let sample = Array.sub dictionary 0 10 in
+  (match Metric.check_axioms phonetic_distance sample with
+  | [] -> print_endline "  (metric axioms verified on a sample)"
+  | violations ->
+    Printf.printf "  WARNING: %s\n" (String.concat ", " violations));
+  let vp = Vp_tree.build ~dist:phonetic_distance dictionary in
+  List.iter
+    (fun query ->
+      let hits = Vp_tree.nearest vp ~query ~k:3 in
+      Printf.printf "  %-10s -> %s\n" query
+        (String.concat ", "
+           (List.map (fun (w, d) -> Printf.sprintf "%s@%.1f" w d) hits)))
+    [ "fonetik"; "photograph"; "fisics" ];
+
+  print_endline "\n== the derivation behind one match ==";
+  (match Gen_edit.alignment ~rules:phonetic_rules "fisics" "physics" with
+  | Some (cost, steps) ->
+    Printf.printf "  fisics -> physics at cost %.2f:\n" cost;
+    List.iter
+      (fun step -> Printf.printf "    %s\n" (Format.asprintf "%a" Gen_edit.pp_step step))
+      steps
+  | None -> print_endline "  unreachable");
+
+  print_endline "\n== cascading rewrites (the general semantics) ==";
+  (* a -> b -> c chains are invisible to the one-pass distance but found
+     by the bounded search. *)
+  let rules =
+    [
+      Rule.rewrite ~lhs:"ph" ~rhs:"f" ~cost:0.5;
+      Rule.rewrite ~lhs:"f" ~rhs:"v" ~cost:0.5;
+    ]
+  in
+  Printf.printf "  one-pass distance phase->vase: %s\n"
+    (let d = Gen_edit.distance ~rules "phase" "vase" in
+     if Float.is_finite d then Printf.sprintf "%.1f" d else "unreachable");
+  match Search.min_cost ~rules ~bound:2. "phase" "vase" with
+  | Some (cost, derivation) ->
+    Printf.printf "  cascading search: cost %.1f via %s\n" cost
+      (String.concat " -> " derivation)
+  | None -> print_endline "  cascading search: unreachable"

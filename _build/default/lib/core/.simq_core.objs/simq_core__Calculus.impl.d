@@ -1,0 +1,1 @@
+lib/core/calculus.ml: Array Format Hashtbl List Option Pattern Printf

@@ -1,0 +1,1 @@
+lib/core/calculus.mli: Format Pattern

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Float List Pattern Similarity Transformation

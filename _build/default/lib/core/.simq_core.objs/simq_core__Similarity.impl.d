@@ -1,0 +1,1 @@
+lib/core/similarity.ml: Hashtbl List Simq_pqueue Transformation

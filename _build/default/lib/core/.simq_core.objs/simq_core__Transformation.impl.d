@@ -1,0 +1,1 @@
+lib/core/transformation.ml: Float Format Fun

@@ -1,0 +1,173 @@
+type 'o term =
+  | Var of string
+  | Const of 'o
+
+type 'o formula =
+  | Member of { term : 'o term; relation : string }
+  | Sim of { left : 'o term; right : 'o term; bound : float }
+  | Matches of { term : 'o term; pattern : 'o Pattern.t }
+  | And of 'o formula * 'o formula
+  | Or of 'o formula * 'o formula
+  | Not of 'o formula
+
+type 'o query = {
+  head : string list;
+  body : 'o formula;
+}
+
+type 'o database = (string * 'o array) list
+
+let term_variables = function
+  | Var v -> [ v ]
+  | Const _ -> []
+
+let free_variables formula =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  let rec go = function
+    | Member { term; _ } -> List.iter add (term_variables term)
+    | Sim { left; right; _ } ->
+      List.iter add (term_variables left);
+      List.iter add (term_variables right)
+    | Matches { term; _ } -> List.iter add (term_variables term)
+    | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Not a -> go a
+  in
+  go formula;
+  List.rev !out
+
+(* The set of variables guaranteed to be bound to database/constant
+   objects by a positive occurrence: Member binds its variable; Matches
+   binds when the pattern denotes a finite constant set; And unions;
+   Or intersects (a variable must be bound on both branches); Not binds
+   nothing. *)
+let rec bound_variables = function
+  | Member { term = Var v; _ } -> [ v ]
+  | Member { term = Const _; _ } -> []
+  | Matches { term = Var v; pattern } ->
+    if Option.is_some (Pattern.is_constant pattern) then [ v ] else []
+  | Matches { term = Const _; _ } -> []
+  | Sim _ -> []
+  | And (a, b) ->
+    let bb = bound_variables b in
+    bound_variables a @ List.filter (fun v -> not (List.mem v (bound_variables a))) bb
+  | Or (a, b) ->
+    let bb = bound_variables b in
+    List.filter (fun v -> List.mem v bb) (bound_variables a)
+  | Not _ -> []
+
+let range_restricted q =
+  let bound = bound_variables q.body in
+  let needed = q.head @ free_variables q.body in
+  List.for_all (fun v -> List.mem v bound) needed
+
+let pp_term pp_obj ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> pp_obj ppf c
+
+let rec pp_formula pp_obj ppf = function
+  | Member { term; relation } ->
+    Format.fprintf ppf "%a ∈ %s" (pp_term pp_obj) term relation
+  | Sim { left; right; bound } ->
+    Format.fprintf ppf "%a ≈[%g] %a" (pp_term pp_obj) left bound
+      (pp_term pp_obj) right
+  | Matches { term; pattern } ->
+    Format.fprintf ppf "%a : %a" (pp_term pp_obj) term (Pattern.pp pp_obj)
+      pattern
+  | And (a, b) ->
+    Format.fprintf ppf "(%a ∧ %a)" (pp_formula pp_obj) a (pp_formula pp_obj) b
+  | Or (a, b) ->
+    Format.fprintf ppf "(%a ∨ %a)" (pp_formula pp_obj) a (pp_formula pp_obj) b
+  | Not a -> Format.fprintf ppf "¬%a" (pp_formula pp_obj) a
+
+let rec formula_constants = function
+  | Member { term = Const c; _ } | Matches { term = Const c; _ } -> [ c ]
+  | Member _ -> []
+  | Matches { pattern; _ } -> (
+    match Pattern.is_constant pattern with
+    | Some cs -> cs
+    | None -> [])
+  | Sim { left; right; _ } ->
+    (match left with Const c -> [ c ] | Var _ -> [])
+    @ (match right with Const c -> [ c ] | Var _ -> [])
+  | And (a, b) | Or (a, b) -> formula_constants a @ formula_constants b
+  | Not a -> formula_constants a
+
+let eval ~equal ~similar ~database q =
+  if not (range_restricted q) then
+    Error "query is not range-restricted: every variable must be bound by a \
+           positive relation membership or constant pattern"
+  else begin
+    let missing =
+      let rec relations = function
+        | Member { relation; _ } -> [ relation ]
+        | Sim _ | Matches _ -> []
+        | And (a, b) | Or (a, b) -> relations a @ relations b
+        | Not a -> relations a
+      in
+      List.filter
+        (fun r -> not (List.mem_assoc r database))
+        (relations q.body)
+    in
+    match missing with
+    | r :: _ -> Error (Printf.sprintf "unknown relation %S" r)
+    | [] ->
+      let active_domain =
+        let from_db = List.concat_map (fun (_, os) -> Array.to_list os) database in
+        let constants = formula_constants q.body in
+        List.fold_left
+          (fun acc o -> if List.exists (equal o) acc then acc else o :: acc)
+          [] (from_db @ constants)
+        |> List.rev
+      in
+      let variables = free_variables q.body in
+      let lookup env v =
+        match List.assoc_opt v env with
+        | Some o -> o
+        | None -> invalid_arg ("Calculus.eval: unbound variable " ^ v)
+      in
+      let value env = function
+        | Var v -> lookup env v
+        | Const c -> c
+      in
+      let rec holds env = function
+        | Member { term; relation } ->
+          let o = value env term in
+          Array.exists (equal o) (List.assoc relation database)
+        | Sim { left; right; bound } ->
+          similar ~bound (value env left) (value env right)
+        | Matches { term; pattern } ->
+          Pattern.matches ~equal pattern (value env term)
+        | And (a, b) -> holds env a && holds env b
+        | Or (a, b) -> holds env a || holds env b
+        | Not a -> not (holds env a)
+      in
+      (* Enumerate assignments over the active domain. *)
+      let results = ref [] in
+      let rec assign env = function
+        | [] ->
+          if holds env q.body then begin
+            let tuple = List.map (lookup env) q.head in
+            if
+              not
+                (List.exists
+                   (fun existing -> List.for_all2 equal existing tuple)
+                   !results)
+            then results := tuple :: !results
+          end
+        | v :: rest ->
+          List.iter (fun o -> assign ((v, o) :: env) rest) active_domain
+      in
+      (* Head variables not occurring in the body would be unbound; the
+         range-restriction check already rejects them. *)
+      assign [] variables;
+      Ok (List.rev !results)
+  end

@@ -1,0 +1,63 @@
+(** The query language of the framework: a domain relational calculus
+    extended with predicates that test whether an object can be
+    transformed into another at bounded cost — “an extension of
+    relational calculus with predicates that test whether an object [A]
+    can be transformed into a member of the set of objects described by
+    expression [e] using the transformation [t], at a cost bounded by
+    [k]”.
+
+    Queries are evaluated over finite named relations by enumeration of
+    the active domain, which is sound because only {e range-restricted}
+    formulas are accepted: every variable must be bound by a positive
+    relation membership (or a finite pattern) before it is used, so
+    answers never depend on objects outside the database and the given
+    constants. *)
+
+type 'o term =
+  | Var of string
+  | Const of 'o
+
+type 'o formula =
+  | Member of { term : 'o term; relation : string }  (** [t ∈ R] *)
+  | Sim of { left : 'o term; right : 'o term; bound : float }
+      (** the similarity predicate [left ≈ right] at cost ≤ [bound] *)
+  | Matches of { term : 'o term; pattern : 'o Pattern.t }
+      (** [t] belongs to the set denoted by a pattern expression *)
+  | And of 'o formula * 'o formula
+  | Or of 'o formula * 'o formula
+  | Not of 'o formula
+
+type 'o query = {
+  head : string list;  (** output variables, in order *)
+  body : 'o formula;
+}
+
+type 'o database = (string * 'o array) list
+
+(** [free_variables f] in first-occurrence order. *)
+val free_variables : 'o formula -> string list
+
+(** [range_restricted q] checks, syntactically, that every variable of
+    the query (head and body) is bound by a positive [Member], or by a
+    [Matches] against a constant pattern, on every disjunctive branch;
+    negation binds nothing. *)
+val range_restricted : 'o query -> bool
+
+(** [eval ~equal ~similar ~database q] is the list of head-variable
+    tuples satisfying the body, deduplicated with [equal]. [similar]
+    decides the [Sim] predicate — typically
+    [Similarity.similar ~transformations ~d0].
+
+    Errors: unknown relation names, or a query that is not
+    range-restricted. The evaluation is the naive, complete one: every
+    assignment of the query's variables to active-domain objects is
+    tested. *)
+val eval :
+  equal:('o -> 'o -> bool) ->
+  similar:(bound:float -> 'o -> 'o -> bool) ->
+  database:'o database ->
+  'o query ->
+  ('o list list, string) result
+
+val pp_formula :
+  (Format.formatter -> 'o -> unit) -> Format.formatter -> 'o formula -> unit

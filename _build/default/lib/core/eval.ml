@@ -1,0 +1,69 @@
+type 'o tagged = {
+  id : int;
+  obj : 'o;
+}
+
+type 'o hit = {
+  item : 'o tagged;
+  distance : float;
+}
+
+let apply_opt transform x =
+  match transform with
+  | None -> x
+  | Some t -> Transformation.apply t x
+
+let range ~d ?transform collection ~query ~epsilon =
+  if epsilon < 0. then invalid_arg "Eval.range: negative epsilon";
+  Array.fold_left
+    (fun acc item ->
+      let dist = d (apply_opt transform item.obj) query in
+      if dist <= epsilon then { item; distance = dist } :: acc else acc)
+    [] collection
+  |> List.rev
+
+let range_pattern ~d ~equal ?transform collection ~pattern ~query ~epsilon =
+  let filtered =
+    Array.of_list
+      (List.filter
+         (fun item -> Pattern.matches ~equal pattern item.obj)
+         (Array.to_list collection))
+  in
+  range ~d ?transform filtered ~query ~epsilon
+
+let all_pairs ~d ?transform collection ~epsilon =
+  if epsilon < 0. then invalid_arg "Eval.all_pairs: negative epsilon";
+  let transformed =
+    Array.map (fun item -> (item, apply_opt transform item.obj)) collection
+  in
+  let n = Array.length transformed in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let item_i, oi = transformed.(i) and item_j, oj = transformed.(j) in
+      if item_i.id <> item_j.id then begin
+        let dist = d oi oj in
+        if dist <= epsilon then acc := (item_i, item_j, dist) :: !acc
+      end
+    done
+  done;
+  List.rev !acc
+
+let nearest ~d ?transform collection ~query ~k =
+  if k <= 0 then invalid_arg "Eval.nearest: k must be positive";
+  Array.to_list collection
+  |> List.map (fun item ->
+         { item; distance = d (apply_opt transform item.obj) query })
+  |> List.sort (fun a b -> Float.compare a.distance b.distance)
+  |> List.filteri (fun i _ -> i < k)
+
+let similar_set ~transformations ~d0 ?max_expansions collection ~query ~bound =
+  Array.fold_left
+    (fun acc item ->
+      let dist =
+        Similarity.distance ~bound ?max_expansions ~transformations ~d0
+          item.obj query
+      in
+      if dist <= bound then { item; distance = dist } :: acc else acc)
+    [] collection
+  |> List.rev

@@ -1,0 +1,72 @@
+(** Physical operators for similarity queries over in-memory collections
+    of tagged objects. These are the index-free reference evaluators;
+    the time-series instantiation accelerates the same queries with the
+    k-index and must agree with them (tested property).
+
+    Objects in query results always appear {e untransformed} — the
+    transformation is part of the predicate ([o ∈ T(e)] with
+    [D(o, q) < ε]), not of the output. *)
+
+type 'o tagged = {
+  id : int;
+  obj : 'o;
+}
+
+type 'o hit = {
+  item : 'o tagged;
+  distance : float;  (** distance after transformation *)
+}
+
+(** [range ~d ?transform collection ~query ~epsilon] finds all objects
+    [o] with [d (T o) query <= epsilon]. *)
+val range :
+  d:('o -> 'o -> float) ->
+  ?transform:'o Transformation.t ->
+  'o tagged array ->
+  query:'o ->
+  epsilon:float ->
+  'o hit list
+
+(** [range_pattern] additionally restricts the candidates to a pattern
+    (the paper's [t(e)] with a non-trivial [e]). *)
+val range_pattern :
+  d:('o -> 'o -> float) ->
+  equal:('o -> 'o -> bool) ->
+  ?transform:'o Transformation.t ->
+  'o tagged array ->
+  pattern:'o Pattern.t ->
+  query:'o ->
+  epsilon:float ->
+  'o hit list
+
+(** [all_pairs ~d ?transform collection ~epsilon] is the self-join: all
+    pairs [(a, b)] with [a.id < b.id] and [d (T a) (T b) <= epsilon]. *)
+val all_pairs :
+  d:('o -> 'o -> float) ->
+  ?transform:'o Transformation.t ->
+  'o tagged array ->
+  epsilon:float ->
+  ('o tagged * 'o tagged * float) list
+
+(** [nearest ~d ?transform collection ~query ~k] is the [k] objects
+    minimising [d (T o) query], closest first. *)
+val nearest :
+  d:('o -> 'o -> float) ->
+  ?transform:'o Transformation.t ->
+  'o tagged array ->
+  query:'o ->
+  k:int ->
+  'o hit list
+
+(** [similar_set ~transformations ~d0 collection ~query ~bound] is the
+    framework's general predicate evaluated naively: every object whose
+    Eq. 10 distance to [query] (searching over transformation sequences
+    on both sides) stays within [bound]. *)
+val similar_set :
+  transformations:'o Transformation.t list ->
+  d0:('o -> 'o -> float) ->
+  ?max_expansions:int ->
+  'o tagged array ->
+  query:'o ->
+  bound:float ->
+  'o hit list

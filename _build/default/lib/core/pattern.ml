@@ -1,0 +1,51 @@
+type 'o t =
+  | Const of 'o
+  | Any
+  | One_of of 'o list
+  | Filter of { name : string; pred : 'o -> bool }
+  | Union of 'o t * 'o t
+
+let rec matches ~equal p x =
+  match p with
+  | Const c -> equal c x
+  | Any -> true
+  | One_of cs -> List.exists (fun c -> equal c x) cs
+  | Filter { pred; _ } -> pred x
+  | Union (a, b) -> matches ~equal a x || matches ~equal b x
+
+let denotation ~equal ~universe p =
+  let rec constants = function
+    | Const c -> [ c ]
+    | One_of cs -> cs
+    | Any | Filter _ -> []
+    | Union (a, b) -> constants a @ constants b
+  in
+  let from_universe = List.filter (matches ~equal p) universe in
+  let extra =
+    List.filter
+      (fun c -> not (List.exists (equal c) from_universe))
+      (constants p)
+  in
+  from_universe @ extra
+
+let rec is_constant = function
+  | Const c -> Some [ c ]
+  | One_of cs -> Some cs
+  | Any | Filter _ -> None
+  | Union (a, b) -> (
+    match (is_constant a, is_constant b) with
+    | Some xs, Some ys -> Some (xs @ ys)
+    | _ -> None)
+
+let rec pp pp_obj ppf = function
+  | Const c -> Format.fprintf ppf "const %a" pp_obj c
+  | Any -> Format.fprintf ppf "any"
+  | One_of cs ->
+    Format.fprintf ppf "one-of {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_obj)
+      cs
+  | Filter { name; _ } -> Format.fprintf ppf "filter %s" name
+  | Union (a, b) ->
+    Format.fprintf ppf "(%a | %a)" (pp pp_obj) a (pp pp_obj) b

@@ -1,0 +1,31 @@
+(** The pattern language [P]: expressions denoting sets of data objects.
+
+    The paper's implementation studies “the trivial pattern language
+    where a pattern expression specifies either a given constant data
+    object, or every object in the database”; {!Const} and {!Any} are
+    exactly those two, and unions and named predicate filters round the
+    language out to something a query surface can target. *)
+
+type 'o t =
+  | Const of 'o  (** exactly one given object *)
+  | Any  (** every object in the database *)
+  | One_of of 'o list  (** a finite set of constants *)
+  | Filter of { name : string; pred : 'o -> bool }
+      (** every object satisfying a named predicate *)
+  | Union of 'o t * 'o t
+
+(** [matches ~equal p x] decides membership of [x] in the set denoted by
+    [p]. *)
+val matches : equal:('o -> 'o -> bool) -> 'o t -> 'o -> bool
+
+(** [denotation ~equal ~universe p] lists the members of [p] drawn from
+    [universe] (constants not present in the universe are still
+    included — a pattern may denote new objects). *)
+val denotation : equal:('o -> 'o -> bool) -> universe:'o list -> 'o t -> 'o list
+
+(** [is_constant p] is [Some objects] when [p] denotes a finite set
+    independent of the database — the case the paper evaluates without
+    touching the index. *)
+val is_constant : 'o t -> 'o list option
+
+val pp : (Format.formatter -> 'o -> unit) -> Format.formatter -> 'o t -> unit

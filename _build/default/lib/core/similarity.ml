@@ -1,0 +1,89 @@
+module Heap = Simq_pqueue.Heap
+
+exception Budget_exceeded
+
+type 'o witness = {
+  distance : float;
+  cost : float;
+  left_applied : string list;
+  right_applied : string list;
+  residual : float;
+}
+
+(* Uniform-cost search over pairs of transformed objects. The heap is
+   keyed by accumulated transformation cost; since d0 >= 0, once the
+   accumulated cost alone exceeds the best distance found so far (or the
+   bound), no later state can improve on it. *)
+let witness ?bound ?(max_expansions = 10_000) ~transformations ~d0 x y =
+  let initial = d0 x y in
+  let bound =
+    match bound with
+    | Some b ->
+      if b < 0. then invalid_arg "Similarity: negative bound";
+      b
+    | None -> initial
+  in
+  let best =
+    ref
+      {
+        distance = initial;
+        cost = 0.;
+        left_applied = [];
+        right_applied = [];
+        residual = initial;
+      }
+  in
+  let visited : ('o * 'o, float) Hashtbl.t = Hashtbl.create 256 in
+  let frontier = Heap.create () in
+  Heap.push frontier 0. (x, y, [], []);
+  Hashtbl.replace visited (x, y) 0.;
+  let expansions = ref 0 in
+  let rec drain () =
+    match Heap.pop_min frontier with
+    | None -> ()
+    | Some (cost, (x', y', left, right)) ->
+      if cost > bound || cost >= !best.distance then ()
+      else begin
+        (match Hashtbl.find_opt visited (x', y') with
+        | Some known when known < cost -> drain () (* stale entry *)
+        | _ ->
+          incr expansions;
+          if !expansions > max_expansions then raise Budget_exceeded;
+          let residual = d0 x' y' in
+          if cost +. residual < !best.distance then
+            best :=
+              {
+                distance = cost +. residual;
+                cost;
+                left_applied = List.rev left;
+                right_applied = List.rev right;
+                residual;
+              };
+          List.iter
+            (fun t ->
+              let cost' = cost +. Transformation.cost t in
+              if cost' <= bound && cost' < !best.distance then begin
+                let push state names_key =
+                  match Hashtbl.find_opt visited names_key with
+                  | Some known when known <= cost' -> ()
+                  | _ ->
+                    Hashtbl.replace visited names_key cost';
+                    Heap.push frontier cost' state
+                in
+                let lx = Transformation.apply t x' in
+                push (lx, y', Transformation.name t :: left, right) (lx, y');
+                let ry = Transformation.apply t y' in
+                push (x', ry, left, Transformation.name t :: right) (x', ry)
+              end)
+            transformations;
+          drain ())
+      end
+  in
+  drain ();
+  !best
+
+let distance ?bound ?max_expansions ~transformations ~d0 x y =
+  (witness ?bound ?max_expansions ~transformations ~d0 x y).distance
+
+let similar ?max_expansions ~transformations ~d0 ~bound x y =
+  (witness ~bound ?max_expansions ~transformations ~d0 x y).distance <= bound

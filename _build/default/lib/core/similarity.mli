@@ -1,0 +1,66 @@
+(** The similarity distance of Eq. 10: transformations may be applied to
+    either side (or both), and each application adds its cost:
+
+    {v D(x, y) = min ( D0(x, y),
+                   min_T  (cost T  + D(T x, y)),
+                   min_T  (cost T  + D(x, T y)),
+                   min_T1,T2 (cost T1 + cost T2 + D(T1 x, T2 y)) ) v}
+
+    Computed by uniform-cost search over pairs of transformed objects.
+    Every expansion is pruned against the cost bound, which defaults to
+    [d0 x y] — the paper suggests bounding total transformation cost by
+    a quantity “proportional to the Euclidean distance between the two
+    original series”, and [D <= D0] always holds (the empty
+    transformation sequence). *)
+
+exception Budget_exceeded
+(** Raised when the search exceeds [max_expansions]; with zero-cost
+    transformations generating infinitely many distinct objects the
+    exact Eq. 10 minimum may be undecidable, and this reports that
+    honestly. *)
+
+type 'o witness = {
+  distance : float;  (** the Eq. 10 distance *)
+  cost : float;  (** total transformation cost spent *)
+  left_applied : string list;  (** transformation names applied to x *)
+  right_applied : string list;  (** transformation names applied to y *)
+  residual : float;  (** D0 between the two transformed objects *)
+}
+
+(** [distance ?bound ?max_expansions ~transformations ~d0 x y] is the
+    Eq. 10 distance capped at [bound]: when every transformation path
+    within the bound is worse than [bound], the result is [min bound
+    (d0 x y)]-like — concretely, the best value found, never exceeding
+    [d0 x y]. [max_expansions] defaults to 10_000. *)
+val distance :
+  ?bound:float ->
+  ?max_expansions:int ->
+  transformations:'o Transformation.t list ->
+  d0:('o -> 'o -> float) ->
+  'o ->
+  'o ->
+  float
+
+(** [witness ?bound ?max_expansions ~transformations ~d0 x y] also
+    reports which transformations achieved the minimum. *)
+val witness :
+  ?bound:float ->
+  ?max_expansions:int ->
+  transformations:'o Transformation.t list ->
+  d0:('o -> 'o -> float) ->
+  'o ->
+  'o ->
+  'o witness
+
+(** [similar ?max_expansions ~transformations ~d0 ~bound x y] is the
+    framework's cost-bounded predicate: can [x] be brought within
+    distance 0 of… — concretely, is there a transformation assignment
+    with [total cost + D0 residual <= bound]? *)
+val similar :
+  ?max_expansions:int ->
+  transformations:'o Transformation.t list ->
+  d0:('o -> 'o -> float) ->
+  bound:float ->
+  'o ->
+  'o ->
+  bool

@@ -1,0 +1,24 @@
+type 'o t = {
+  name : string;
+  cost : float;
+  apply : 'o -> 'o;
+}
+
+let create ~name ~cost apply =
+  if not (Float.is_finite cost) || cost < 0. then
+    invalid_arg "Transformation.create: cost must be finite and non-negative";
+  { name; cost; apply }
+
+let identity = { name = "id"; cost = 0.; apply = Fun.id }
+
+let compose f g =
+  {
+    name = f.name ^ "∘" ^ g.name;
+    cost = f.cost +. g.cost;
+    apply = (fun x -> f.apply (g.apply x));
+  }
+
+let apply t x = t.apply x
+let cost t = t.cost
+let name t = t.name
+let pp ppf t = Format.fprintf ppf "%s@%g" t.name t.cost

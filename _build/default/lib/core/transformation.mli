@@ -1,0 +1,36 @@
+(** The transformation component of the framework: a similarity query
+    system is a pattern language [P], a transformation rule language [T]
+    and a query language; an object [A] is similar to [B] when [A] can be
+    reduced to [B] by a sequence of transformations from [T], each
+    carrying a non-negative cost.
+
+    This module is domain-independent: a transformation is any
+    cost-carrying endomorphism of the object space. The concrete rule
+    languages of this repository — linear transformations [(a, b)] on
+    feature spaces and rewrite rules on strings — both lower to this
+    interface. *)
+
+type 'o t = private {
+  name : string;
+  cost : float;
+  apply : 'o -> 'o;
+}
+
+(** [create ~name ~cost apply] validates that [cost] is finite and
+    non-negative. *)
+val create : name:string -> cost:float -> ('o -> 'o) -> 'o t
+
+(** [identity] is the zero-cost transformation [T_i] with
+    [apply = Fun.id]. *)
+val identity : 'o t
+
+(** [compose f g] applies [g] first; costs add, names join as
+    ["f∘g"]. *)
+val compose : 'o t -> 'o t -> 'o t
+
+(** [apply t x]. *)
+val apply : 'o t -> 'o -> 'o
+
+val cost : 'o t -> float
+val name : 'o t -> string
+val pp : Format.formatter -> 'o t -> unit

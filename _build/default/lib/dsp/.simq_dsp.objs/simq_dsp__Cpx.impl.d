@@ -1,0 +1,1 @@
+lib/dsp/cpx.ml: Array Complex Float Format Printf

@@ -1,0 +1,1 @@
+lib/dsp/cpx.mli: Complex Format

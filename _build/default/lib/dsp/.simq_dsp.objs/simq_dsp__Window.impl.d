@@ -1,0 +1,1 @@
+lib/dsp/window.ml: Array Cpx Fft Float Format

@@ -1,0 +1,25 @@
+let circular x y =
+  let n = Array.length x in
+  if Array.length y <> n then
+    invalid_arg "Convolution.circular: length mismatch";
+  Array.init n (fun idx ->
+      let acc = ref Cpx.zero in
+      for k = 0 to n - 1 do
+        let j = ((idx - k) mod n + n) mod n in
+        acc := Cpx.add !acc (Cpx.mul x.(k) y.(j))
+      done;
+      !acc)
+
+let circular_fft x y =
+  let n = Array.length x in
+  if Array.length y <> n then
+    invalid_arg "Convolution.circular_fft: length mismatch";
+  if n = 0 then [||]
+  else begin
+    let product = Cpx.mul_arrays (Fft.fft x) (Fft.fft y) in
+    let scaled = Cpx.scale_array (sqrt (float_of_int n)) product in
+    Fft.ifft scaled
+  end
+
+let circular_real x y =
+  Cpx.re_array (circular (Cpx.of_real_array x) (Cpx.of_real_array y))

@@ -1,0 +1,20 @@
+(** Circular convolution (Eq. 4):
+    [Conv(x, y)_i = Σ_k x_k · y_((i-k) mod n)].
+
+    With the unitary [1/sqrt n] DFT convention of {!Dft} the
+    convolution-multiplication property reads
+    [DFT (circular x y) = sqrt n · (DFT x * DFT y)] — the paper's Eq. 6
+    omits the [sqrt n] factor, a common abuse of notation that is
+    harmless for indexing but matters for numeric tests. *)
+
+(** [circular x y] is the direct O(n²) circular convolution.
+    Raises [Invalid_argument] on length mismatch. *)
+val circular : Cpx.t array -> Cpx.t array -> Cpx.t array
+
+(** [circular_fft x y] computes the same product via the FFT in
+    O(n log n). *)
+val circular_fft : Cpx.t array -> Cpx.t array -> Cpx.t array
+
+(** [circular_real x y] is [circular] on real signals, projected back to
+    the reals. *)
+val circular_real : float array -> float array -> float array

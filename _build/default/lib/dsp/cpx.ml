@@ -1,0 +1,53 @@
+type t = Complex.t
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let make re im : t = { Complex.re; im }
+let of_float x = make x 0.
+let polar m a = Complex.polar m a
+let re (z : t) = z.Complex.re
+let im (z : t) = z.Complex.im
+let abs = Complex.norm
+let angle = Complex.arg
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let scale a (z : t) = { Complex.re = a *. z.Complex.re; im = a *. z.Complex.im }
+let exp_i theta = make (cos theta) (sin theta)
+
+let root_of_unity n k =
+  let theta = -2. *. Float.pi *. float_of_int k /. float_of_int n in
+  exp_i theta
+
+let close ?(eps = 1e-9) a b =
+  Float.abs (re a -. re b) <= eps && Float.abs (im a -. im b) <= eps
+
+let close_arrays ?(eps = 1e-9) xs ys =
+  Array.length xs = Array.length ys
+  && Array.for_all2 (fun a b -> close ~eps a b) xs ys
+
+let of_real_array xs = Array.map of_float xs
+let re_array zs = Array.map re zs
+let im_array zs = Array.map im zs
+let abs_array zs = Array.map abs zs
+
+let map2 name f xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg (Printf.sprintf "Cpx.%s: length mismatch (%d vs %d)" name
+                   (Array.length xs) (Array.length ys));
+  Array.map2 f xs ys
+
+let mul_arrays xs ys = map2 "mul_arrays" mul xs ys
+let add_arrays xs ys = map2 "add_arrays" add xs ys
+let sub_arrays xs ys = map2 "sub_arrays" sub xs ys
+let scale_array a zs = Array.map (scale a) zs
+let pp ppf z = Format.fprintf ppf "%g%+gj" (re z) (im z)
+
+let pp_array ppf zs =
+  Format.fprintf ppf "[|%a|]"
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+    (Array.to_seq zs)

@@ -1,0 +1,80 @@
+(** Complex-number helpers on top of [Stdlib.Complex].
+
+    All sequence-level helpers operate on [t array] values, the
+    representation used throughout the DSP substrate. *)
+
+type t = Complex.t
+
+val zero : t
+val one : t
+val i : t
+
+(** [make re im] is the complex number [re + im·j]. *)
+val make : float -> float -> t
+
+(** [of_float x] is the real number [x] viewed as a complex number. *)
+val of_float : float -> t
+
+(** [polar magnitude angle] is [magnitude·e^(angle·j)]. *)
+val polar : float -> float -> t
+
+val re : t -> float
+val im : t -> float
+
+(** [abs z] is the magnitude |z|. *)
+val abs : t -> float
+
+(** [angle z] is the phase of [z] in (-pi, pi]. *)
+val angle : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val scale : float -> t -> t
+
+(** [exp_i theta] is [e^(theta·j)]. *)
+val exp_i : float -> t
+
+(** [root_of_unity n k] is [e^(-2·pi·k·j / n)], the twiddle factor used by
+    the forward transform. *)
+val root_of_unity : int -> int -> t
+
+(** [close ?eps a b] tests component-wise equality within [eps]
+    (default [1e-9]). *)
+val close : ?eps:float -> t -> t -> bool
+
+(** [close_arrays ?eps xs ys] is true when both arrays have the same length
+    and are element-wise [close]. *)
+val close_arrays : ?eps:float -> t array -> t array -> bool
+
+(** [of_real_array xs] lifts a real signal to a complex one. *)
+val of_real_array : float array -> t array
+
+(** [re_array zs] projects the real parts. *)
+val re_array : t array -> float array
+
+(** [im_array zs] projects the imaginary parts. *)
+val im_array : t array -> float array
+
+(** [abs_array zs] is the element-wise magnitude. *)
+val abs_array : t array -> float array
+
+(** [mul_arrays xs ys] is the element-to-element product (the [*] of the
+    convolution-multiplication property). Raises [Invalid_argument] on
+    length mismatch. *)
+val mul_arrays : t array -> t array -> t array
+
+(** [add_arrays xs ys] is the element-wise sum. *)
+val add_arrays : t array -> t array -> t array
+
+(** [sub_arrays xs ys] is the element-wise difference. *)
+val sub_arrays : t array -> t array -> t array
+
+(** [scale_array a zs] multiplies every element by the real factor [a]. *)
+val scale_array : float -> t array -> t array
+
+val pp : Format.formatter -> t -> unit
+val pp_array : Format.formatter -> t array -> unit

@@ -1,0 +1,23 @@
+let transform ~sign x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let scale = 1. /. sqrt (float_of_int n) in
+    let base = sign *. 2. *. Float.pi /. float_of_int n in
+    Array.init n (fun f ->
+        let acc = ref Cpx.zero in
+        for t = 0 to n - 1 do
+          let w = Cpx.exp_i (base *. float_of_int (t * f)) in
+          acc := Cpx.add !acc (Cpx.mul x.(t) w)
+        done;
+        Cpx.scale scale !acc)
+  end
+
+let dft x = transform ~sign:(-1.) x
+let idft x = transform ~sign:1. x
+let dft_real x = dft (Cpx.of_real_array x)
+
+let coefficients k x =
+  let n = Array.length x in
+  if k > n then invalid_arg "Dft.coefficients: k exceeds signal length";
+  Array.sub (dft_real x) 0 k

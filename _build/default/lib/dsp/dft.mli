@@ -1,0 +1,25 @@
+(** The Discrete Fourier Transform, direct O(n²) evaluation.
+
+    Both directions carry the symmetric [1/sqrt n] normalisation used by
+    the paper (Eq. 1 and 2), so the transform is unitary and Parseval's
+    relation holds with no extra factor:
+
+    {v X_f = (1/sqrt n) Σ_t x_t e^(-2π·t·f·j / n)
+      x_t = (1/sqrt n) Σ_f X_f e^(+2π·t·f·j / n) v}
+
+    Use {!Fft} for large inputs; this module is the executable
+    specification the FFT is tested against. *)
+
+(** [dft x] is the forward transform of [x]. *)
+val dft : Cpx.t array -> Cpx.t array
+
+(** [idft x] is the inverse transform. [idft (dft x) = x] up to rounding. *)
+val idft : Cpx.t array -> Cpx.t array
+
+(** [dft_real x] is the forward transform of a real signal. *)
+val dft_real : float array -> Cpx.t array
+
+(** [coefficients k x] is the first [k] coefficients of [dft_real x];
+    the prefix used as an index key. Raises [Invalid_argument] when
+    [k > Array.length x]. *)
+val coefficients : int -> float array -> Cpx.t array

@@ -1,0 +1,95 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  if n <= 0 then invalid_arg "Fft.next_power_of_two";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* In-place iterative radix-2 Cooley-Tukey, unnormalised:
+   computes Σ_t x_t e^(sign·2π·t·f·j / n). *)
+let fft_pow2_inplace ~sign (x : Cpx.t array) =
+  let n = Array.length x in
+  assert (is_power_of_two n);
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tmp = x.(i) in
+      x.(i) <- x.(!j);
+      x.(!j) <- tmp
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = sign *. 2. *. Float.pi /. float_of_int !len in
+    let wstep = Cpx.exp_i theta in
+    let base = ref 0 in
+    while !base < n do
+      let w = ref Cpx.one in
+      for k = 0 to half - 1 do
+        let u = x.(!base + k) in
+        let v = Cpx.mul x.(!base + k + half) !w in
+        x.(!base + k) <- Cpx.add u v;
+        x.(!base + k + half) <- Cpx.sub u v;
+        w := Cpx.mul !w wstep
+      done;
+      base := !base + !len
+    done;
+    len := !len * 2
+  done
+
+let fft_pow2 ~sign x =
+  let y = Array.copy x in
+  fft_pow2_inplace ~sign y;
+  y
+
+(* Bluestein's chirp-z algorithm for arbitrary n, unnormalised.
+   Uses m² mod 2n when forming chirp angles to keep the argument small:
+   e^(sign·π·m²·j / n) has period 2n in m². *)
+let bluestein ~sign x =
+  let n = Array.length x in
+  let chirp m =
+    let m2 = m * m mod (2 * n) in
+    Cpx.exp_i (sign *. Float.pi *. float_of_int m2 /. float_of_int n)
+  in
+  let m = next_power_of_two ((2 * n) - 1) in
+  let a = Array.make m Cpx.zero in
+  for t = 0 to n - 1 do
+    a.(t) <- Cpx.mul x.(t) (chirp t)
+  done;
+  let b = Array.make m Cpx.zero in
+  b.(0) <- Cpx.one;
+  for t = 1 to n - 1 do
+    let v = Cpx.conj (chirp t) in
+    b.(t) <- v;
+    b.(m - t) <- v
+  done;
+  fft_pow2_inplace ~sign:(-1.) a;
+  fft_pow2_inplace ~sign:(-1.) b;
+  let c = Array.map2 Cpx.mul a b in
+  (* Unnormalised inverse of the pow2 transform. *)
+  Array.iteri (fun idx v -> c.(idx) <- Cpx.conj v) c;
+  fft_pow2_inplace ~sign:(-1.) c;
+  let inv_m = 1. /. float_of_int m in
+  Array.init n (fun f -> Cpx.mul (chirp f) (Cpx.scale inv_m (Cpx.conj c.(f))))
+
+let transform ~sign x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let y = if is_power_of_two n then fft_pow2 ~sign x else bluestein ~sign x in
+    let scale = 1. /. sqrt (float_of_int n) in
+    Array.map (Cpx.scale scale) y
+  end
+
+let fft x = transform ~sign:(-1.) x
+let ifft x = transform ~sign:1. x
+let fft_real x = fft (Cpx.of_real_array x)

@@ -1,0 +1,24 @@
+(** Fast Fourier Transform with the same unitary [1/sqrt n] convention
+    as {!Dft}.
+
+    Power-of-two lengths use an iterative radix-2 Cooley–Tukey; every
+    other length goes through Bluestein's chirp-z algorithm, so the
+    transform is O(n log n) for arbitrary [n] and agrees with {!Dft}
+    within rounding error. *)
+
+(** [fft x] is the forward transform. *)
+val fft : Cpx.t array -> Cpx.t array
+
+(** [ifft x] is the inverse transform; [ifft (fft x) = x] up to
+    rounding. *)
+val ifft : Cpx.t array -> Cpx.t array
+
+(** [fft_real x] is the forward transform of a real signal. *)
+val fft_real : float array -> Cpx.t array
+
+(** [is_power_of_two n] is true when [n] is a positive power of two. *)
+val is_power_of_two : int -> bool
+
+(** [next_power_of_two n] is the smallest power of two that is [>= n].
+    Raises [Invalid_argument] for [n <= 0]. *)
+val next_power_of_two : int -> int

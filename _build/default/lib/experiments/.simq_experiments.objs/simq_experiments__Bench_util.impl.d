@@ -1,0 +1,1 @@
+lib/experiments/bench_util.ml: Array Format List Random Simq_report Simq_workload

@@ -1,0 +1,17 @@
+(** Shared measurement helpers for the experiment harness. *)
+
+(** [time_per_query ~repeats f] runs [f] [repeats] times and returns the
+    mean seconds per run (after one untimed warmup). *)
+val time_per_query : repeats:int -> (unit -> unit) -> float
+
+(** [mean xs] of a non-empty list. *)
+val mean : float list -> float
+
+(** [fmt_time s] renders seconds compactly ([420us], [1.3ms], …). *)
+val fmt_time : float -> string
+
+(** [queries_for ~seed ~count batch] draws [count] query series by
+    perturbing members of [batch] (±1.0 noise). *)
+val queries_for :
+  seed:int -> count:int -> Simq_series.Series.t array ->
+  Simq_series.Series.t list

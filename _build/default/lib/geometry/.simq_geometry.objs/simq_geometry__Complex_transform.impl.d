@@ -1,0 +1,1 @@
+lib/geometry/complex_transform.ml: Array Float Format Linear_transform Simq_dsp

@@ -1,0 +1,1 @@
+lib/geometry/complex_transform.mli: Format Linear_transform Simq_dsp

@@ -1,0 +1,1 @@
+lib/geometry/coords.ml: Array Float Point Region Simq_dsp

@@ -1,0 +1,1 @@
+lib/geometry/coords.mli: Point Region Simq_dsp

@@ -1,0 +1,1 @@
+lib/geometry/linear_transform.ml: Array Float Format Point Rect

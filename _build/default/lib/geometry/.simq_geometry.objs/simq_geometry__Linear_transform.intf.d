@@ -1,0 +1,1 @@
+lib/geometry/linear_transform.mli: Format Point Rect

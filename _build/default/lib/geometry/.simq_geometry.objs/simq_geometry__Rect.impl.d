@@ -1,0 +1,1 @@
+lib/geometry/rect.ml: Array Float Format List Point

@@ -1,0 +1,1 @@
+lib/geometry/region.ml: Array Float Format Rect

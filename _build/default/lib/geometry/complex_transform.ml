@@ -1,0 +1,74 @@
+module Cpx = Simq_dsp.Cpx
+
+type t = {
+  a : Cpx.t array;
+  b : Cpx.t array;
+}
+
+exception Unsafe of string
+
+let create ~a ~b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Complex_transform.create: length mismatch";
+  if Array.length a = 0 then invalid_arg "Complex_transform.create: empty";
+  { a = Array.copy a; b = Array.copy b }
+
+let features t = Array.length t.a
+let identity k = create ~a:(Array.make k Cpx.one) ~b:(Array.make k Cpx.zero)
+
+let reverse k =
+  create ~a:(Array.make k (Cpx.of_float (-1.))) ~b:(Array.make k Cpx.zero)
+
+let stretch a = create ~a ~b:(Array.make (Array.length a) Cpx.zero)
+let translate b = create ~a:(Array.make (Array.length b) Cpx.one) ~b
+
+let apply t x =
+  if Array.length x <> features t then
+    invalid_arg "Complex_transform.apply: length mismatch";
+  Array.init (features t) (fun i -> Cpx.add (Cpx.mul t.a.(i) x.(i)) t.b.(i))
+
+let compose outer inner =
+  if features outer <> features inner then
+    invalid_arg "Complex_transform.compose: length mismatch";
+  let k = features outer in
+  {
+    a = Array.init k (fun i -> Cpx.mul outer.a.(i) inner.a.(i));
+    b =
+      Array.init k (fun i ->
+          Cpx.add (Cpx.mul outer.a.(i) inner.b.(i)) outer.b.(i));
+  }
+
+let is_real_stretch ?(eps = 1e-12) t =
+  Array.for_all (fun z -> Float.abs (Cpx.im z) <= eps) t.a
+
+let is_pure_stretch ?(eps = 1e-12) t =
+  Array.for_all (fun z -> Cpx.abs z <= eps) t.b
+
+let to_rectangular t =
+  if not (is_real_stretch t) then
+    raise (Unsafe "complex stretch is not safe in S_rect (Theorem 2)");
+  let k = features t in
+  let a = Array.make (2 * k) 0. and b = Array.make (2 * k) 0. in
+  for i = 0 to k - 1 do
+    a.(2 * i) <- Cpx.re t.a.(i);
+    a.((2 * i) + 1) <- Cpx.re t.a.(i);
+    b.(2 * i) <- Cpx.re t.b.(i);
+    b.((2 * i) + 1) <- Cpx.im t.b.(i)
+  done;
+  Linear_transform.create ~a ~b
+
+let to_polar t =
+  if not (is_pure_stretch t) then
+    raise (Unsafe "translation is not safe in S_pol (Theorem 3)");
+  let k = features t in
+  let a = Array.make (2 * k) 0. and b = Array.make (2 * k) 0. in
+  for i = 0 to k - 1 do
+    a.(2 * i) <- Cpx.abs t.a.(i);
+    a.((2 * i) + 1) <- 1.;
+    b.(2 * i) <- 0.;
+    b.((2 * i) + 1) <- Cpx.angle t.a.(i)
+  done;
+  Linear_transform.create ~a ~b
+
+let pp ppf t =
+  Format.fprintf ppf "T(a=%a, b=%a)" Cpx.pp_array t.a Cpx.pp_array t.b

@@ -1,0 +1,33 @@
+type t = float array
+
+let dims = Array.length
+
+let create coords =
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) then
+        invalid_arg "Point.create: non-finite coordinate")
+    coords;
+  coords
+
+let squared_distance a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Point.squared_distance: dimension mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let distance a b = sqrt (squared_distance a b)
+
+let equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a b
+
+let pp ppf p =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf v -> Format.fprintf ppf "%g" v))
+    (Array.to_seq p)

@@ -1,0 +1,20 @@
+(** Points of an n-dimensional feature space (“md-space”). Objects are
+    points; non-point objects reach the space through a mapping function
+    such as the DFT (Section 3). *)
+
+type t = float array
+
+val dims : t -> int
+
+(** [create coords] validates that every coordinate is finite. *)
+val create : float array -> t
+
+(** [distance a b] is the Euclidean distance. Raises [Invalid_argument]
+    on dimension mismatch. *)
+val distance : t -> t -> float
+
+(** [squared_distance a b] avoids the final square root. *)
+val squared_distance : t -> t -> float
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/metric/bk_tree.ml: Array Hashtbl

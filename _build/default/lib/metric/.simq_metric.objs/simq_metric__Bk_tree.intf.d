@@ -1,0 +1,1 @@
+lib/metric/bk_tree.mli:

@@ -1,0 +1,1 @@
+lib/metric/linear_scan.mli: Metric

@@ -1,0 +1,1 @@
+lib/metric/vp_tree.ml: Array Float List Metric

@@ -1,0 +1,1 @@
+lib/metric/vp_tree.mli: Metric

@@ -1,0 +1,54 @@
+type 'a node = {
+  value : 'a;
+  mutable duplicates : int;  (* extra copies at distance 0 *)
+  children : (int, 'a node) Hashtbl.t;
+}
+
+type 'a t = {
+  dist : 'a -> 'a -> int;
+  mutable root : 'a node option;
+  mutable size : int;
+}
+
+let create ~dist = { dist; root = None; size = 0 }
+let size t = t.size
+
+let insert t item =
+  t.size <- t.size + 1;
+  match t.root with
+  | None -> t.root <- Some { value = item; duplicates = 0; children = Hashtbl.create 4 }
+  | Some root ->
+    let rec go node =
+      let d = t.dist node.value item in
+      if d = 0 then node.duplicates <- node.duplicates + 1
+      else
+        match Hashtbl.find_opt node.children d with
+        | Some child -> go child
+        | None ->
+          Hashtbl.replace node.children d
+            { value = item; duplicates = 0; children = Hashtbl.create 4 }
+    in
+    go root
+
+let of_array ~dist items =
+  let t = create ~dist in
+  Array.iter (insert t) items;
+  t
+
+let range t ~query ~radius =
+  if radius < 0 then invalid_arg "Bk_tree.range: negative radius";
+  let results = ref [] in
+  let rec go node =
+    let d = t.dist node.value query in
+    if d <= radius then
+      for _ = 0 to node.duplicates do
+        results := (node.value, d) :: !results
+      done;
+    Hashtbl.iter
+      (fun key child -> if abs (key - d) <= radius then go child)
+      node.children
+  in
+  (match t.root with
+  | None -> ()
+  | Some root -> go root);
+  !results

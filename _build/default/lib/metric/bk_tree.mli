@@ -1,0 +1,19 @@
+(** Burkhard–Keller tree: a metric index for integer-valued distances
+    (e.g. unit-cost edit distance). Children are bucketed by their exact
+    distance to the node value, and the triangle inequality restricts a
+    range query with radius [r] to buckets [d-r .. d+r]. *)
+
+type 'a t
+
+(** [create ~dist] is an empty tree over the integer metric [dist]. *)
+val create : dist:('a -> 'a -> int) -> 'a t
+
+val size : 'a t -> int
+
+(** [insert t item] adds an item (duplicates at distance 0 are kept). *)
+val insert : 'a t -> 'a -> unit
+
+val of_array : dist:('a -> 'a -> int) -> 'a array -> 'a t
+
+(** [range t ~query ~radius] is all items within [radius] of [query]. *)
+val range : 'a t -> query:'a -> radius:int -> ('a * int) list

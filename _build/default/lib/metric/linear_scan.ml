@@ -1,0 +1,13 @@
+let range ~dist items ~query ~radius =
+  Array.to_list items
+  |> List.filter_map (fun item ->
+         let d = dist query item in
+         if d <= radius then Some (item, d) else None)
+
+let nearest ~dist items ~query ~k =
+  if k <= 0 then invalid_arg "Linear_scan.nearest: k must be positive";
+  Array.to_list items
+  |> List.map (fun item -> (dist query item, item))
+  |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map (fun (d, item) -> (item, d))

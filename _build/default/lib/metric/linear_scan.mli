@@ -1,0 +1,11 @@
+(** The trivial baseline: compare the query against every item. Used to
+    validate the metric indexes and as the “sequential scan” comparator
+    in benchmarks. *)
+
+val range :
+  dist:'a Metric.distance -> 'a array -> query:'a -> radius:float ->
+  ('a * float) list
+
+val nearest :
+  dist:'a Metric.distance -> 'a array -> query:'a -> k:int ->
+  ('a * float) list

@@ -1,0 +1,39 @@
+type 'a distance = 'a -> 'a -> float
+
+let counted dist =
+  let calls = ref 0 in
+  let wrapped a b =
+    incr calls;
+    dist a b
+  in
+  (wrapped, fun () -> !calls)
+
+let check_axioms dist sample =
+  let violations = ref [] in
+  let report msg = if not (List.mem msg !violations) then violations := msg :: !violations in
+  let n = Array.length sample in
+  for i = 0 to n - 1 do
+    if Float.abs (dist sample.(i) sample.(i)) > 1e-9 then
+      report "d(x, x) <> 0";
+    for j = 0 to n - 1 do
+      let dij = dist sample.(i) sample.(j) in
+      if dij < 0. then report "negative distance";
+      if Float.abs (dij -. dist sample.(j) sample.(i)) > 1e-9 then
+        report "not symmetric"
+    done
+  done;
+  (* Triangle inequality on all triples (sample sizes are small). *)
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to n - 1 do
+         for k = 0 to n - 1 do
+           if dist sample.(i) sample.(k) > dist sample.(i) sample.(j) +. dist sample.(j) sample.(k) +. 1e-9
+           then begin
+             report "triangle inequality violated";
+             raise Exit
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  List.rev !violations

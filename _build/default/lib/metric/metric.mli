@@ -1,0 +1,19 @@
+(** Distance functions and metric axioms.
+
+    Rule-based similarity distances are not Euclidean, so the R-tree
+    machinery does not apply to them; when they satisfy the metric
+    axioms (symmetric rule sets do), the {!Vp_tree} and {!Bk_tree}
+    indexes answer range and nearest-neighbour queries without a
+    coordinate space. *)
+
+type 'a distance = 'a -> 'a -> float
+
+(** [counted dist] wraps [dist] with an invocation counter — experiments
+    report distance computations the way the paper reports page reads. *)
+val counted : 'a distance -> 'a distance * (unit -> int)
+
+(** [check_axioms dist sample] tests non-negativity, identity of
+    indiscernibles (one way: [d x x = 0]), symmetry, and the triangle
+    inequality over all pairs/triples of [sample]; returns the
+    descriptions of violated axioms (empty = plausibly a metric). *)
+val check_axioms : 'a distance -> 'a array -> string list

@@ -1,0 +1,84 @@
+type 'a node =
+  | Empty
+  | Node of {
+      vantage : 'a;
+      median : float;  (* items with d(vantage, item) <= median go inside *)
+      inside : 'a node;
+      outside : 'a node;
+    }
+
+type 'a t = {
+  dist : 'a Metric.distance;
+  root : 'a node;
+  size : int;
+}
+
+let rec build_node dist items =
+  match items with
+  | [] -> Empty
+  | vantage :: rest ->
+    let keyed = List.map (fun item -> (dist vantage item, item)) rest in
+    let sorted = List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2) keyed in
+    let n = List.length sorted in
+    let median =
+      if n = 0 then 0. else fst (List.nth sorted ((n - 1) / 2))
+    in
+    let inside, outside =
+      List.partition (fun (d, _) -> d <= median) sorted
+    in
+    Node
+      {
+        vantage;
+        median;
+        inside = build_node dist (List.map snd inside);
+        outside = build_node dist (List.map snd outside);
+      }
+
+let build ~dist items =
+  { dist; root = build_node dist (Array.to_list items); size = Array.length items }
+
+let size t = t.size
+
+let range t ~query ~radius =
+  if radius < 0. then invalid_arg "Vp_tree.range: negative radius";
+  let rec go acc = function
+    | Empty -> acc
+    | Node { vantage; median; inside; outside } ->
+      let d = t.dist query vantage in
+      let acc = if d <= radius then (vantage, d) :: acc else acc in
+      let acc = if d -. radius <= median then go acc inside else acc in
+      if d +. radius >= median then go acc outside else acc
+  in
+  go [] t.root
+
+let nearest t ~query ~k =
+  if k <= 0 then invalid_arg "Vp_tree.nearest: k must be positive";
+  (* Best-candidates list kept sorted descending by distance; tau is the
+     current k-th distance. *)
+  let best = ref [] in
+  let count = ref 0 in
+  let tau () = if !count < k then Float.infinity else
+      match !best with
+      | (d, _) :: _ -> d
+      | [] -> Float.infinity
+  in
+  let add d item =
+    best := List.merge (fun (d1, _) (d2, _) -> Float.compare d2 d1)
+        [ (d, item) ] !best;
+    if !count < k then incr count else best := List.tl !best
+  in
+  let rec go = function
+    | Empty -> ()
+    | Node { vantage; median; inside; outside } ->
+      let d = t.dist query vantage in
+      if d < tau () then add d vantage;
+      (* Visit the side containing the query first to tighten tau. *)
+      let first, second, gap =
+        if d <= median then (inside, outside, median -. d)
+        else (outside, inside, d -. median)
+      in
+      go first;
+      if gap <= tau () then go second
+  in
+  go t.root;
+  List.rev_map (fun (d, item) -> (item, d)) !best

@@ -1,0 +1,20 @@
+(** Vantage-point tree: a metric index. Each node keeps one vantage
+    object and the median distance to it; the triangle inequality prunes
+    whole subtrees during range and k-NN queries. *)
+
+type 'a t
+
+(** [build ~dist items] builds a tree over [items] (duplicates allowed).
+    The construction is deterministic: the first element of each
+    partition becomes the vantage point. *)
+val build : dist:'a Metric.distance -> 'a array -> 'a t
+
+val size : 'a t -> int
+
+(** [range t ~query ~radius] is all items within [radius] of [query],
+    with distances. Correct for any [dist] satisfying the metric
+    axioms. *)
+val range : 'a t -> query:'a -> radius:float -> ('a * float) list
+
+(** [nearest t ~query ~k] is the [k] closest items, closest first. *)
+val nearest : 'a t -> query:'a -> k:int -> ('a * float) list

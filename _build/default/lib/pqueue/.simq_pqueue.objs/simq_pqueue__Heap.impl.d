@@ -1,0 +1,1 @@
+lib/pqueue/heap.ml: Array

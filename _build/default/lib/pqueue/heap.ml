@@ -1,0 +1,70 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable values : 'a option array;
+  mutable count : int;
+}
+
+let create () = { keys = Array.make 16 0.; values = Array.make 16 None; count = 0 }
+let is_empty h = h.count = 0
+let size h = h.count
+
+let grow h =
+  let capacity = Array.length h.keys in
+  if h.count = capacity then begin
+    let keys = Array.make (capacity * 2) 0. in
+    let values = Array.make (capacity * 2) None in
+    Array.blit h.keys 0 keys 0 capacity;
+    Array.blit h.values 0 values 0 capacity;
+    h.keys <- keys;
+    h.values <- values
+  end
+
+let swap h a b =
+  let k = h.keys.(a) in
+  h.keys.(a) <- h.keys.(b);
+  h.keys.(b) <- k;
+  let v = h.values.(a) in
+  h.values.(a) <- h.values.(b);
+  h.values.(b) <- v
+
+let push h key value =
+  grow h;
+  h.keys.(h.count) <- key;
+  h.values.(h.count) <- Some value;
+  h.count <- h.count + 1;
+  let idx = ref (h.count - 1) in
+  while !idx > 0 && h.keys.((!idx - 1) / 2) > h.keys.(!idx) do
+    swap h !idx ((!idx - 1) / 2);
+    idx := (!idx - 1) / 2
+  done
+
+let pop_min h =
+  if h.count = 0 then None
+  else begin
+    let key = h.keys.(0) in
+    let value =
+      match h.values.(0) with
+      | Some v -> v
+      | None -> assert false
+    in
+    h.count <- h.count - 1;
+    h.keys.(0) <- h.keys.(h.count);
+    h.values.(0) <- h.values.(h.count);
+    h.values.(h.count) <- None;
+    let idx = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !idx) + 1 and r = (2 * !idx) + 2 in
+      let smallest = ref !idx in
+      if l < h.count && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.count && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest = !idx then continue := false
+      else begin
+        swap h !idx !smallest;
+        idx := !smallest
+      end
+    done;
+    Some (key, value)
+  end
+
+let peek_min_key h = if h.count = 0 then None else Some h.keys.(0)

@@ -1,0 +1,17 @@
+(** A minimal binary min-heap keyed by floats, used by the best-first
+    nearest-neighbour search. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push h key v] inserts [v] with priority [key]. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop_min h] removes and returns the entry with the smallest key. *)
+val pop_min : 'a t -> (float * 'a) option
+
+(** [peek_min_key h] is the smallest key without removing it. *)
+val peek_min_key : 'a t -> float option

@@ -1,0 +1,1 @@
+lib/report/expectation.ml: List Printf

@@ -1,0 +1,1 @@
+lib/report/table.ml: Buffer Char Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/report/timer.ml: Array Float Format Unix

@@ -1,0 +1,31 @@
+type verdict = Holds | Partial | Fails
+
+type claim = {
+  experiment : string;
+  expectation : string;
+  measured : string;
+  verdict : verdict;
+}
+
+let check ~experiment ~expectation ~measured holds =
+  { experiment; expectation; measured;
+    verdict = (if holds then Holds else Fails) }
+
+let partial ~experiment ~expectation ~measured =
+  { experiment; expectation; measured; verdict = Partial }
+
+let verdict_symbol = function
+  | Holds -> "[holds]"
+  | Partial -> "[partial]"
+  | Fails -> "[FAILS]"
+
+let print_summary claims =
+  print_endline "=== paper-vs-measured summary ===";
+  List.iter
+    (fun c ->
+      Printf.printf "%-9s %-10s %s\n          measured: %s\n"
+        (verdict_symbol c.verdict) c.experiment c.expectation c.measured)
+    claims;
+  let count v = List.length (List.filter (fun c -> c.verdict = v) claims) in
+  Printf.printf "claims: %d hold, %d partial, %d fail\n\n" (count Holds)
+    (count Partial) (count Fails)

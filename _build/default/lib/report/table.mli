@@ -1,0 +1,20 @@
+(** Plain-text experiment tables, aligned for terminals, with optional
+    CSV emission so figures can be re-plotted elsewhere. *)
+
+type t
+
+(** [create ~title ~columns] starts a table. *)
+val create : title:string -> columns:string list -> t
+
+(** [add_row t cells] appends a row; cell count must match the column
+    count. *)
+val add_row : t -> string list -> unit
+
+(** [print t] writes the aligned table to stdout. *)
+val print : t -> unit
+
+(** [to_csv t] is the table as CSV text (header + rows). *)
+val to_csv : t -> string
+
+(** [save_csv t path] writes {!to_csv} to a file. *)
+val save_csv : t -> string -> unit

@@ -1,0 +1,28 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_median ~runs f =
+  if runs <= 0 then invalid_arg "Timer.time_median: runs must be positive";
+  let result = ref None in
+  let samples =
+    Array.init runs (fun _ ->
+        let r, elapsed = time f in
+        result := Some r;
+        elapsed)
+  in
+  Array.sort Float.compare samples;
+  let median = samples.(runs / 2) in
+  match !result with
+  | Some r -> (r, median)
+  | None -> assert false
+
+let pp_seconds ppf s =
+  if s < 1e-3 then Format.fprintf ppf "%.0fus" (s *. 1e6)
+  else if s < 1. then Format.fprintf ppf "%.2fms" (s *. 1e3)
+  else if s < 60. then Format.fprintf ppf "%.3fs" s
+  else begin
+    let minutes = int_of_float (s /. 60.) in
+    Format.fprintf ppf "%d:%06.3f" minutes (s -. (60. *. float_of_int minutes))
+  end

@@ -1,0 +1,14 @@
+(** Wall-clock timing for the experiment harness. *)
+
+(** [time f] runs [f ()] once, returning its result and elapsed
+    seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_median ~runs f] runs [f] [runs] times and returns the last
+    result with the median elapsed seconds — robust against scheduler
+    noise. [runs] must be positive. *)
+val time_median : runs:int -> (unit -> 'a) -> 'a * float
+
+(** [pp_seconds ppf s] prints a human-readable duration
+    ([852us], [12.3ms], [2:31.217]). *)
+val pp_seconds : Format.formatter -> float -> unit

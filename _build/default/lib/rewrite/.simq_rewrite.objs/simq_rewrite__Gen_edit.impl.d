@@ -1,0 +1,1 @@
+lib/rewrite/gen_edit.ml: Array Float Format List Rule String

@@ -1,0 +1,1 @@
+lib/rewrite/gen_edit.mli: Format Rule

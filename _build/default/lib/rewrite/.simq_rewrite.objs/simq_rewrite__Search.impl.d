@@ -1,0 +1,1 @@
+lib/rewrite/search.ml: Hashtbl List Rule Simq_pqueue String

@@ -1,0 +1,1 @@
+lib/rewrite/search.mli: Rule

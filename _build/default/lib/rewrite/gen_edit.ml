@@ -1,0 +1,101 @@
+type step =
+  | Copy of char
+  | Applied of { rule : Rule.t; consumed : string; produced : string }
+
+(* d.(i).(j): min cost to turn x[0..i) into y[0..j).
+   choice.(i).(j): the step that achieves it, with predecessor implied by
+   the consumed/produced lengths. *)
+
+let ends_with s upto suffix =
+  let ls = String.length suffix in
+  upto >= ls
+  &&
+  let rec go k = k >= ls || (s.[upto - ls + k] = suffix.[k] && go (k + 1)) in
+  go 0
+
+let solve ~rules x y =
+  if rules = [] then invalid_arg "Gen_edit: empty rule list";
+  let n = String.length x and m = String.length y in
+  let d = Array.make_matrix (n + 1) (m + 1) Float.infinity in
+  let choice = Array.make_matrix (n + 1) (m + 1) None in
+  d.(0).(0) <- 0.;
+  for i = 0 to n do
+    for j = 0 to m do
+      let consider cost step =
+        if cost < d.(i).(j) then begin
+          d.(i).(j) <- cost;
+          choice.(i).(j) <- Some step
+        end
+      in
+      if i > 0 && j > 0 && x.[i - 1] = y.[j - 1] then
+        consider d.(i - 1).(j - 1) (Copy x.[i - 1]);
+      List.iter
+        (fun rule ->
+          match rule with
+          | Rule.Delete_any { cost } ->
+            if i > 0 then
+              consider
+                (d.(i - 1).(j) +. cost)
+                (Applied
+                   { rule; consumed = String.make 1 x.[i - 1]; produced = "" })
+          | Rule.Insert_any { cost } ->
+            if j > 0 then
+              consider
+                (d.(i).(j - 1) +. cost)
+                (Applied
+                   { rule; consumed = ""; produced = String.make 1 y.[j - 1] })
+          | Rule.Substitute_any { cost } ->
+            if i > 0 && j > 0 && x.[i - 1] <> y.[j - 1] then
+              consider
+                (d.(i - 1).(j - 1) +. cost)
+                (Applied
+                   {
+                     rule;
+                     consumed = String.make 1 x.[i - 1];
+                     produced = String.make 1 y.[j - 1];
+                   })
+          | Rule.Rewrite { lhs; rhs; cost } ->
+            let ll = String.length lhs and lr = String.length rhs in
+            if
+              i >= ll && j >= lr && ends_with x i lhs && ends_with y j rhs
+            then
+              consider
+                (d.(i - ll).(j - lr) +. cost)
+                (Applied { rule; consumed = lhs; produced = rhs }))
+        rules
+    done
+  done;
+  (d, choice)
+
+let distance ~rules x y =
+  let d, _ = solve ~rules x y in
+  d.(String.length x).(String.length y)
+
+let distance_bounded ~rules ~bound x y =
+  let d = distance ~rules x y in
+  if d <= bound then Some d else None
+
+let alignment ~rules x y =
+  let d, choice = solve ~rules x y in
+  let n = String.length x and m = String.length y in
+  if not (Float.is_finite d.(n).(m)) then None
+  else begin
+    let rec back i j acc =
+      if i = 0 && j = 0 then acc
+      else
+        match choice.(i).(j) with
+        | None -> assert false
+        | Some (Copy _ as step) -> back (i - 1) (j - 1) (step :: acc)
+        | Some (Applied { consumed; produced; _ } as step) ->
+          back
+            (i - String.length consumed)
+            (j - String.length produced)
+            (step :: acc)
+    in
+    Some (d.(n).(m), back n m [])
+  end
+
+let pp_step ppf = function
+  | Copy c -> Format.fprintf ppf "copy %C" c
+  | Applied { rule; consumed; produced } ->
+    Format.fprintf ppf "%S=>%S via %a" consumed produced Rule.pp rule

@@ -1,0 +1,32 @@
+(** Generalised weighted edit distance: the minimum total cost of
+    reducing [x] to [y] under the {e non-cascading} semantics — every
+    position of [x] is consumed by at most one rule application and rule
+    outputs are not rewritten again.
+
+    Under this semantics a reduction is an alignment: [x] decomposes into
+    blocks that are either copied verbatim (free) or rewritten by one
+    rule, so the minimum cost is a dynamic program over prefix pairs in
+    O(|x|·|y|·R·L). With {!Rule.levenshtein} this is exactly the classic
+    edit distance. The cascading semantics is in {!Search}. *)
+
+type step =
+  | Copy of char  (** position copied unchanged *)
+  | Applied of { rule : Rule.t; consumed : string; produced : string }
+      (** one rule application: [consumed] ⊂ x became [produced] ⊂ y *)
+
+(** [distance ~rules x y] is the minimal reduction cost, or [infinity]
+    when no decomposition exists. Raises [Invalid_argument] on an empty
+    rule list. *)
+val distance : rules:Rule.t list -> string -> string -> float
+
+(** [distance_bounded ~rules ~bound x y] is [Some d] when
+    [distance ~rules x y = d <= bound] — the framework's cost-bounded
+    similarity predicate [x ≈[rules, bound] y]. *)
+val distance_bounded :
+  rules:Rule.t list -> bound:float -> string -> string -> float option
+
+(** [alignment ~rules x y] additionally reconstructs one optimal
+    derivation, in left-to-right order. [None] when [y] is unreachable. *)
+val alignment : rules:Rule.t list -> string -> string -> (float * step list) option
+
+val pp_step : Format.formatter -> step -> unit

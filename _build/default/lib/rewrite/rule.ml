@@ -1,0 +1,56 @@
+type t =
+  | Rewrite of { lhs : string; rhs : string; cost : float }
+  | Delete_any of { cost : float }
+  | Insert_any of { cost : float }
+  | Substitute_any of { cost : float }
+
+let check_cost name cost =
+  if not (Float.is_finite cost) || cost < 0. then
+    invalid_arg (name ^ ": cost must be finite and non-negative")
+
+let rewrite ~lhs ~rhs ~cost =
+  check_cost "Rule.rewrite" cost;
+  if lhs = "" && rhs = "" then invalid_arg "Rule.rewrite: both sides empty";
+  if String.equal lhs rhs then invalid_arg "Rule.rewrite: lhs = rhs is a no-op";
+  Rewrite { lhs; rhs; cost }
+
+let delete_any ~cost =
+  check_cost "Rule.delete_any" cost;
+  Delete_any { cost }
+
+let insert_any ~cost =
+  check_cost "Rule.insert_any" cost;
+  Insert_any { cost }
+
+let substitute_any ~cost =
+  check_cost "Rule.substitute_any" cost;
+  Substitute_any { cost }
+
+let cost = function
+  | Rewrite { cost; _ }
+  | Delete_any { cost }
+  | Insert_any { cost }
+  | Substitute_any { cost } ->
+    cost
+
+let levenshtein =
+  [ delete_any ~cost:1.; insert_any ~cost:1.; substitute_any ~cost:1. ]
+
+let growth = function
+  | Rewrite { lhs; rhs; _ } -> String.length rhs - String.length lhs
+  | Delete_any _ -> -1
+  | Insert_any _ -> 1
+  | Substitute_any _ -> 0
+
+let max_growth rules = List.fold_left (fun acc r -> max acc (growth r)) 0 rules
+
+let min_cost = function
+  | [] -> invalid_arg "Rule.min_cost: empty rule set"
+  | rules -> List.fold_left (fun acc r -> Float.min acc (cost r)) Float.infinity rules
+
+let pp ppf = function
+  | Rewrite { lhs; rhs; cost } ->
+    Format.fprintf ppf "%S -> %S @@ %g" lhs rhs cost
+  | Delete_any { cost } -> Format.fprintf ppf "delete-any @ %g" cost
+  | Insert_any { cost } -> Format.fprintf ppf "insert-any @ %g" cost
+  | Substitute_any { cost } -> Format.fprintf ppf "substitute-any @ %g" cost

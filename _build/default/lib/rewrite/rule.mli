@@ -1,0 +1,40 @@
+(** The transformation rule language [T] of the framework, instantiated
+    for symbol sequences (strings): cost-carrying rewrite rules.
+
+    A rule is either a concrete rewrite [lhs -> rhs @ cost] or one of
+    three schemas that stand for whole families of single-character
+    rules without enumerating an alphabet. The classic Levenshtein edit
+    distance is the rule set
+    [{delete_any 1; insert_any 1; substitute_any 1}]. *)
+
+type t = private
+  | Rewrite of { lhs : string; rhs : string; cost : float }
+      (** replace one occurrence of [lhs] by [rhs] *)
+  | Delete_any of { cost : float }  (** any single character -> ε *)
+  | Insert_any of { cost : float }  (** ε -> any single character *)
+  | Substitute_any of { cost : float }
+      (** any character -> any {e different} character *)
+
+(** [rewrite ~lhs ~rhs ~cost] builds a concrete rule. Raises
+    [Invalid_argument] when [cost] is negative or not finite, when
+    [lhs = rhs] (a no-op), or when both sides are empty. *)
+val rewrite : lhs:string -> rhs:string -> cost:float -> t
+
+val delete_any : cost:float -> t
+val insert_any : cost:float -> t
+val substitute_any : cost:float -> t
+
+val cost : t -> float
+
+(** [levenshtein] is the unit-cost edit-distance rule set. *)
+val levenshtein : t list
+
+(** [max_growth rules] is the largest [length rhs - length lhs] over the
+    set (at least 1 when an insertion schema is present); used by the
+    cascading search to bound the reachable string lengths. *)
+val max_growth : t list -> int
+
+(** [min_cost rules] is the smallest rule cost. *)
+val min_cost : t list -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+module Heap = Simq_pqueue.Heap
+
+exception Budget_exceeded
+
+let alphabet_of strings =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s -> String.iter (fun c -> Hashtbl.replace seen c ()) s)
+    strings;
+  Hashtbl.fold (fun c () acc -> c :: acc) seen []
+
+let splice s ~pos ~len replacement =
+  String.concat ""
+    [
+      String.sub s 0 pos;
+      replacement;
+      String.sub s (pos + len) (String.length s - pos - len);
+    ]
+
+(* All successor states of [s] with their step costs. *)
+let successors ~rules ~alphabet s =
+  let out = ref [] in
+  let push cost s' = out := (cost, s') :: !out in
+  let n = String.length s in
+  List.iter
+    (fun rule ->
+      match rule with
+      | Rule.Delete_any { cost } ->
+        for pos = 0 to n - 1 do
+          push cost (splice s ~pos ~len:1 "")
+        done
+      | Rule.Insert_any { cost } ->
+        List.iter
+          (fun c ->
+            for pos = 0 to n do
+              push cost (splice s ~pos ~len:0 (String.make 1 c))
+            done)
+          alphabet
+      | Rule.Substitute_any { cost } ->
+        List.iter
+          (fun c ->
+            for pos = 0 to n - 1 do
+              if s.[pos] <> c then
+                push cost (splice s ~pos ~len:1 (String.make 1 c))
+            done)
+          alphabet
+      | Rule.Rewrite { lhs; rhs; cost } ->
+        let ll = String.length lhs in
+        if ll = 0 then
+          for pos = 0 to n do
+            push cost (splice s ~pos ~len:0 rhs)
+          done
+        else
+          for pos = 0 to n - ll do
+            if String.equal (String.sub s pos ll) lhs then
+              push cost (splice s ~pos ~len:ll rhs)
+          done)
+    rules;
+  !out
+
+let min_cost ?(max_states = 100_000) ~rules ~bound x y =
+  if rules = [] then invalid_arg "Search.min_cost: empty rule list";
+  if Rule.min_cost rules <= 0. then
+    invalid_arg "Search.min_cost: cascading search requires positive costs";
+  if bound < 0. then invalid_arg "Search.min_cost: negative bound";
+  let alphabet = alphabet_of [ x; y ] in
+  (* Strings longer than this can never shrink back to y within the
+     remaining budget. *)
+  let max_steps = int_of_float (bound /. Rule.min_cost rules) in
+  let max_len = max (String.length x) (String.length y) + max_steps in
+  let best : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+  let parent : (string, string) Hashtbl.t = Hashtbl.create 1024 in
+  let frontier = Heap.create () in
+  Heap.push frontier 0. x;
+  Hashtbl.replace best x 0.;
+  let expanded = ref 0 in
+  let rec derivation s acc =
+    match Hashtbl.find_opt parent s with
+    | None -> s :: acc
+    | Some prev -> derivation prev (s :: acc)
+  in
+  let rec drain () =
+    match Heap.pop_min frontier with
+    | None -> None
+    | Some (cost, s) ->
+      if cost > bound then None
+      else if Hashtbl.find_opt best s <> Some cost then drain () (* stale *)
+      else if String.equal s y then Some (cost, derivation s [])
+      else begin
+        incr expanded;
+        if !expanded > max_states then raise Budget_exceeded;
+        List.iter
+          (fun (step_cost, s') ->
+            let cost' = cost +. step_cost in
+            if cost' <= bound && String.length s' <= max_len then begin
+              match Hashtbl.find_opt best s' with
+              | Some known when known <= cost' -> ()
+              | _ ->
+                Hashtbl.replace best s' cost';
+                Hashtbl.replace parent s' s;
+                Heap.push frontier cost' s'
+            end)
+          (successors ~rules ~alphabet s);
+        drain ()
+      end
+  in
+  drain ()

@@ -1,0 +1,30 @@
+(** Cascading reduction search: the general semantics where rules may
+    rewrite the output of earlier rules. Reachability under unrestricted
+    rewriting is the (undecidable) word problem for semi-Thue systems, so
+    this module requires a finite cost bound and strictly positive rule
+    costs, which makes the reachable cost-bounded state space finite and
+    explorable by uniform-cost (Dijkstra) search.
+
+    Insert/substitute schemas draw characters from the alphabet of the
+    two endpoint strings. *)
+
+exception Budget_exceeded
+(** Raised when the search would expand more than [max_states] states —
+    the answer within the bound is then unknown, which is reported
+    honestly instead of returning a misleading [None]. *)
+
+(** [min_cost ~rules ~bound x y] is [Some (cost, derivation)] when [x]
+    rewrites to [y] by a cascade of rule applications with total cost
+    [<= bound]; the derivation is the sequence of intermediate strings
+    from [x] to [y] inclusive. [None] when no such cascade exists.
+
+    Raises [Invalid_argument] when the rule list is empty or some rule
+    cost is zero, {!Budget_exceeded} when [max_states] (default 100_000)
+    expansions were not enough. *)
+val min_cost :
+  ?max_states:int ->
+  rules:Rule.t list ->
+  bound:float ->
+  string ->
+  string ->
+  (float * string list) option

@@ -1,0 +1,1 @@
+lib/rtree/bulk.ml: Array Float List Node Rstar Simq_geometry

@@ -1,0 +1,1 @@
+lib/rtree/bulk.mli: Rstar Simq_geometry

@@ -1,0 +1,1 @@
+lib/rtree/check.ml: Format List Node Printf Rect Rstar Simq_geometry

@@ -1,0 +1,1 @@
+lib/rtree/check.mli: Format Rstar

@@ -1,0 +1,1 @@
+lib/rtree/join.ml: Array Linear_transform List Node Point Rect Rstar Simq_geometry

@@ -1,0 +1,1 @@
+lib/rtree/join.mli: Rstar Simq_geometry

@@ -1,0 +1,1 @@
+lib/rtree/nn.ml: Linear_transform List Node Point Rect Rstar Simq_geometry Simq_pqueue

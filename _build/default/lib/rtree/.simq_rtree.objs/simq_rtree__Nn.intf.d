@@ -1,0 +1,1 @@
+lib/rtree/nn.mli: Rstar Simq_geometry

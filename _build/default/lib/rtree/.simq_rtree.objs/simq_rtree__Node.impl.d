@@ -1,0 +1,1 @@
+lib/rtree/node.ml: Array List Rect Simq_geometry

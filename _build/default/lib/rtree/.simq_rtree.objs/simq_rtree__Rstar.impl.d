@@ -1,0 +1,1 @@
+lib/rtree/rstar.ml: Array Float Hashtbl List Node Point Queue Rect Region Simq_geometry

@@ -1,0 +1,1 @@
+lib/rtree/rstar.mli: Node Simq_geometry

@@ -1,0 +1,100 @@
+(* STR: sort by the first dimension, cut into vertical slabs, sort each
+   slab by the next dimension, recurse. Groups are split evenly rather
+   than greedily so that every node ends up with at least half the
+   capacity — which satisfies min_fill because create enforces
+   min_fill <= max_fill / 2. *)
+
+(* Split [arr] into [count] contiguous chunks whose sizes differ by at
+   most one. *)
+let even_chunks count arr =
+  let n = Array.length arr in
+  let base = n / count and rem = n mod count in
+  let rec go idx pos acc =
+    if idx = count then List.rev acc
+    else begin
+      let len = base + if idx < rem then 1 else 0 in
+      go (idx + 1) (pos + len) (Array.sub arr pos len :: acc)
+    end
+  in
+  go 0 0 []
+
+let rec tile ~dims ~axis ~capacity items =
+  let n = Array.length items in
+  if n <= capacity then [ items ]
+  else begin
+    Array.sort
+      (fun ((p1 : float array), _) (p2, _) -> Float.compare p1.(axis) p2.(axis))
+      items;
+    let groups_needed = (n + capacity - 1) / capacity in
+    if axis = dims - 1 then even_chunks groups_needed items
+    else begin
+      let remaining_dims = dims - axis in
+      let slab_count =
+        min groups_needed
+          (int_of_float
+             (Float.ceil
+                (float_of_int groups_needed
+                ** (1. /. float_of_int remaining_dims))))
+      in
+      List.concat_map
+        (tile ~dims ~axis:(axis + 1) ~capacity)
+        (even_chunks (max 1 slab_count) items)
+    end
+  end
+
+(* Shared core: items carry a sort-key point and a ready-made leaf
+   entry. *)
+let load_entries ?(max_fill = 32) ?min_fill ~dims keyed =
+  let t = Rstar.create ?min_fill ~max_fill ~dims () in
+  let n = Array.length keyed in
+  if n = 0 then t
+  else begin
+    let capacity = max_fill in
+    let leaves =
+      tile ~dims ~axis:0 ~capacity keyed
+      |> List.map (fun group ->
+             Node.make ~level:0 (Array.to_list (Array.map snd group)))
+    in
+    let rec build level nodes =
+      match nodes with
+      | [ only ] -> only
+      | _ ->
+        let keyed =
+          Array.of_list
+            (List.map
+               (fun n -> (Simq_geometry.Rect.center n.Node.mbr, Node.Child n))
+               nodes)
+        in
+        let groups = tile ~dims ~axis:0 ~capacity keyed in
+        build (level + 1)
+          (List.map
+             (fun group -> Node.make ~level (Array.to_list (Array.map snd group)))
+             groups)
+    in
+    let root = build 1 leaves in
+    Rstar.set_root t root ~size:n;
+    t
+  end
+
+let load ?max_fill ?min_fill ~dims items =
+  Array.iter
+    (fun (p, _) ->
+      if Array.length p <> dims then invalid_arg "Bulk.load: dimension mismatch")
+    items;
+  load_entries ?max_fill ?min_fill ~dims
+    (Array.map
+       (fun (p, v) ->
+         (p, Node.Data { rect = Simq_geometry.Rect.of_point p; value = v }))
+       items)
+
+let load_rects ?max_fill ?min_fill ~dims items =
+  Array.iter
+    (fun ((r : Simq_geometry.Rect.t), _) ->
+      if Simq_geometry.Rect.dims r <> dims then
+        invalid_arg "Bulk.load_rects: dimension mismatch")
+    items;
+  load_entries ?max_fill ?min_fill ~dims
+    (Array.map
+       (fun (r, v) ->
+         (Simq_geometry.Rect.center r, Node.Data { rect = r; value = v }))
+       items)

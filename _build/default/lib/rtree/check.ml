@@ -1,0 +1,55 @@
+open Simq_geometry
+
+type violation = {
+  where : string;
+  message : string;
+}
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" v.where v.message
+
+let violations t =
+  let issues = ref [] in
+  let report where message = issues := { where; message } :: !issues in
+  let data_count = ref 0 in
+  let root = Rstar.root t in
+  let rec walk path (node : 'a Node.node) ~is_root =
+    let where = Printf.sprintf "node %s (level %d)" path node.Node.level in
+    let count = Node.entry_count node in
+    if (not is_root) && count < Rstar.min_fill t then
+      report where
+        (Printf.sprintf "underfull: %d < min_fill %d" count (Rstar.min_fill t));
+    if count > Rstar.max_fill t then
+      report where
+        (Printf.sprintf "overfull: %d > max_fill %d" count (Rstar.max_fill t));
+    if node.Node.entries <> [] then begin
+      let union = Node.mbr_of_entries node.Node.entries in
+      if not (Rect.contains_rect node.Node.mbr union) then
+        report where "MBR does not cover its entries"
+    end;
+    List.iteri
+      (fun idx entry ->
+        match entry with
+        | Node.Child c ->
+          if node.Node.level = 0 then report where "leaf holds a child node";
+          if c.Node.level <> node.Node.level - 1 then
+            report where
+              (Printf.sprintf "child level %d under level %d" c.Node.level
+                 node.Node.level);
+          if not (Rect.contains_rect node.Node.mbr c.Node.mbr) then
+            report where "child MBR escapes parent MBR";
+          walk (Printf.sprintf "%s.%d" path idx) c ~is_root:false
+        | Node.Data { rect; _ } ->
+          incr data_count;
+          if node.Node.level <> 0 then report where "data entry above leaf level";
+          if not (Rect.contains_rect node.Node.mbr rect) then
+            report where "data rectangle escapes leaf MBR")
+      node.Node.entries
+  in
+  if Rstar.size t > 0 then walk "root" root ~is_root:true;
+  if !data_count <> Rstar.size t then
+    report "tree"
+      (Printf.sprintf "size %d but %d data entries reachable" (Rstar.size t)
+         !data_count);
+  List.rev !issues
+
+let is_valid t = violations t = []

@@ -1,0 +1,93 @@
+open Simq_geometry
+
+let synchronized t1 t2 ~pair_overlaps ~emit ~init =
+  if Rstar.size t1 = 0 || Rstar.size t2 = 0 then init
+  else begin
+    let rec go acc (n1 : 'a Node.node) (n2 : 'b Node.node) =
+      Rstar.count_access t1;
+      Rstar.count_access t2;
+      if not (pair_overlaps n1.Node.mbr n2.Node.mbr) then acc
+      else if Node.is_leaf n1 && Node.is_leaf n2 then
+        List.fold_left
+          (fun acc e1 ->
+            match e1 with
+            | Node.Child _ -> acc
+            | Node.Data { rect = r1; value = v1 } ->
+              List.fold_left
+                (fun acc e2 ->
+                  match e2 with
+                  | Node.Child _ -> acc
+                  | Node.Data { rect = r2; value = v2 } ->
+                    if pair_overlaps r1 r2 then
+                      emit acc (r1.Rect.lo, v1) (r2.Rect.lo, v2)
+                    else acc)
+                acc n2.Node.entries)
+          acc n1.Node.entries
+      else if Node.is_leaf n1 then
+        List.fold_left
+          (fun acc e2 ->
+            match e2 with
+            | Node.Child c2 ->
+              if pair_overlaps n1.Node.mbr c2.Node.mbr then go acc n1 c2
+              else acc
+            | Node.Data _ -> acc)
+          acc n2.Node.entries
+      else if Node.is_leaf n2 then
+        List.fold_left
+          (fun acc e1 ->
+            match e1 with
+            | Node.Child c1 ->
+              if pair_overlaps c1.Node.mbr n2.Node.mbr then go acc c1 n2
+              else acc
+            | Node.Data _ -> acc)
+          acc n1.Node.entries
+      else
+        List.fold_left
+          (fun acc e1 ->
+            match e1 with
+            | Node.Child c1 ->
+              List.fold_left
+                (fun acc e2 ->
+                  match e2 with
+                  | Node.Child c2 ->
+                    if pair_overlaps c1.Node.mbr c2.Node.mbr then go acc c1 c2
+                    else acc
+                  | Node.Data _ -> acc)
+                acc n2.Node.entries
+            | Node.Data _ -> acc)
+          acc n1.Node.entries
+    in
+    go init (Rstar.root t1) (Rstar.root t2)
+  end
+
+let inflate rect epsilon =
+  let d = Rect.dims rect in
+  let lo = Array.init d (fun i -> rect.Rect.lo.(i) -. epsilon) in
+  let hi = Array.init d (fun i -> rect.Rect.hi.(i) +. epsilon) in
+  Rect.create ~lo ~hi
+
+let within_epsilon ?transform_left ?transform_right t1 t2 ~epsilon =
+  if epsilon < 0. then invalid_arg "Join.within_epsilon: negative epsilon";
+  let map_rect transform r =
+    match transform with
+    | None -> r
+    | Some tr -> Linear_transform.apply_rect tr r
+  in
+  let map_point transform p =
+    match transform with
+    | None -> p
+    | Some tr -> Linear_transform.apply tr p
+  in
+  let pair_overlaps r1 r2 =
+    Rect.intersects
+      (inflate (map_rect transform_left r1) epsilon)
+      (map_rect transform_right r2)
+  in
+  synchronized t1 t2 ~pair_overlaps ~init:[]
+    ~emit:(fun acc (p1, v1) (p2, v2) ->
+      let d =
+        Point.distance
+          (map_point transform_left p1)
+          (map_point transform_right p2)
+      in
+      if d <= epsilon then ((p1, v1), (p2, v2)) :: acc else acc)

@@ -1,0 +1,39 @@
+(** Spatial joins over R*-trees (the all-pairs queries of Section 3 and
+    the self-join experiment of Table 1).
+
+    Two strategies are provided:
+    - [index_nested_loop]: scan one side, pose a region query per object
+      (methods c and d of Table 1 build the region from each sequence);
+    - [synchronized]: descend both trees simultaneously, pruning pairs of
+      subtrees whose (transformed, ε-inflated) MBRs do not intersect.
+
+    The predicate hooks make the paper's transformed join (“apply T to
+    both [a_i] and [b_j] before computing the predicate”) a one-liner. *)
+
+(** [synchronized t1 t2 ~pair_overlaps ~emit ~init] folds [emit] over
+    every pair of data points from [t1 × t2] that survives the pruning
+    predicate [pair_overlaps] applied to (degenerate) MBR pairs along the
+    descent. *)
+val synchronized :
+  'a Rstar.t ->
+  'b Rstar.t ->
+  pair_overlaps:(Simq_geometry.Rect.t -> Simq_geometry.Rect.t -> bool) ->
+  emit:
+    ('acc ->
+     Simq_geometry.Point.t * 'a ->
+     Simq_geometry.Point.t * 'b ->
+     'acc) ->
+  init:'acc ->
+  'acc
+
+(** [within_epsilon ?transform_left ?transform_right t1 t2 ~epsilon]
+    joins on Euclidean point distance after applying the optional safe
+    transformations to each side: pairs [(x, y)] with
+    [|T1 x - T2 y| <= epsilon]. *)
+val within_epsilon :
+  ?transform_left:Simq_geometry.Linear_transform.t ->
+  ?transform_right:Simq_geometry.Linear_transform.t ->
+  'a Rstar.t ->
+  'b Rstar.t ->
+  epsilon:float ->
+  ((Simq_geometry.Point.t * 'a) * (Simq_geometry.Point.t * 'b)) list

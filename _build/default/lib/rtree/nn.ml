@@ -1,0 +1,50 @@
+open Simq_geometry
+
+type 'a item =
+  | Node_item of 'a Node.node
+  | Data_item of Rect.t * 'a
+
+let nearest_custom t ~rect_bound ~point_dist ~k =
+  if k <= 0 then invalid_arg "Nn.nearest_custom: k must be positive";
+  if Rstar.size t = 0 then []
+  else begin
+    let heap = Simq_pqueue.Heap.create () in
+    Simq_pqueue.Heap.push heap (rect_bound (Rstar.root t).Node.mbr)
+      (Node_item (Rstar.root t));
+    let results = ref [] in
+    let found = ref 0 in
+    let rec drain () =
+      if !found < k then
+        match Simq_pqueue.Heap.pop_min heap with
+        | None -> ()
+        | Some (d, Data_item (r, v)) ->
+          results := (r.Rect.lo, v, d) :: !results;
+          incr found;
+          drain ()
+        | Some (_, Node_item node) ->
+          Rstar.count_access t;
+          List.iter
+            (fun entry ->
+              match entry with
+              | Node.Child c -> Simq_pqueue.Heap.push heap (rect_bound c.Node.mbr) (Node_item c)
+              | Node.Data { rect; value } ->
+                Simq_pqueue.Heap.push heap (point_dist rect value)
+                  (Data_item (rect, value)))
+            node.Node.entries;
+          drain ()
+    in
+    drain ();
+    List.rev !results
+  end
+
+let nearest ?transform t ~query ~k =
+  let map_rect, map_point =
+    match transform with
+    | None -> ((fun r -> r), fun p -> p)
+    | Some tr ->
+      (Linear_transform.apply_rect tr, Linear_transform.apply tr)
+  in
+  nearest_custom t
+    ~rect_bound:(fun r -> Rect.mindist query (map_rect r))
+    ~point_dist:(fun r _ -> Point.distance query (map_point r.Rect.lo))
+    ~k

@@ -1,0 +1,31 @@
+(** Nearest-neighbour search over an R*-tree: best-first traversal
+    ordered by MINDIST ([RKV95]; the priority-queue formulation visits
+    provably minimal numbers of nodes).
+
+    The optional [transform] applies a safe transformation to every MBR
+    and data point during the traversal — the NN variant of the paper's
+    Algorithm 2: “as we go down the tree, we apply T to all entries of
+    the node we visit”. *)
+
+(** [nearest ?transform t ~query ~k] is the [k] data points minimising
+    the distance from [query] to the (transformed) stored point, closest
+    first, with their distances. Fewer than [k] results are returned only
+    when the tree is smaller than [k]. *)
+val nearest :
+  ?transform:Simq_geometry.Linear_transform.t ->
+  'a Rstar.t ->
+  query:Simq_geometry.Point.t ->
+  k:int ->
+  (Simq_geometry.Point.t * 'a * float) list
+
+(** [nearest_custom t ~rect_bound ~point_dist ~k] is the generic engine:
+    [point_dist] receives each data entry's rectangle (degenerate for
+    point data) and [rect_bound] must lower-bound it over all entries in
+    the rectangle. Used by the polar k-index, where the effective
+    distance is computed on decoded complex features. *)
+val nearest_custom :
+  'a Rstar.t ->
+  rect_bound:(Simq_geometry.Rect.t -> float) ->
+  point_dist:(Simq_geometry.Rect.t -> 'a -> float) ->
+  k:int ->
+  (Simq_geometry.Point.t * 'a * float) list

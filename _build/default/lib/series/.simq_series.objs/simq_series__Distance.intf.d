@@ -1,0 +1,1 @@
+lib/series/distance.mli: Series

@@ -1,0 +1,1 @@
+lib/series/fixtures.ml:

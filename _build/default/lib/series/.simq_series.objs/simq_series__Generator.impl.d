@@ -1,0 +1,1 @@
+lib/series/generator.ml: Array Float Random

@@ -1,0 +1,1 @@
+lib/series/generator.mli: Random Series

@@ -1,0 +1,1 @@
+lib/series/moving_average.ml: Array Series Simq_dsp

@@ -1,0 +1,1 @@
+lib/series/moving_average.mli: Series Simq_dsp

@@ -1,0 +1,1 @@
+lib/series/normal_form.ml: Array Float Series Stats

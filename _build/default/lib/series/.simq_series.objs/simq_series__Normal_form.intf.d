@@ -1,0 +1,1 @@
+lib/series/normal_form.mli: Series

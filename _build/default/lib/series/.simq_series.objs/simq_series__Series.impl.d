@@ -1,0 +1,1 @@
+lib/series/series.ml: Array Float Format Simq_dsp

@@ -1,0 +1,1 @@
+lib/series/series.mli: Format Simq_dsp

@@ -1,0 +1,1 @@
+lib/series/stats.mli: Series

@@ -1,0 +1,1 @@
+lib/series/warp.ml: Array Float Simq_dsp

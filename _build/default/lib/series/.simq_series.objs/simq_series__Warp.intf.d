@@ -1,0 +1,1 @@
+lib/series/warp.mli: Series Simq_dsp

@@ -1,0 +1,22 @@
+(** Distances between series of equal length. All raise
+    [Invalid_argument] on length mismatch. *)
+
+(** [euclidean a b] is the L2 distance — the paper's [D] (Eq. 8). *)
+val euclidean : Series.t -> Series.t -> float
+
+(** [city_block a b] is the L1 distance mentioned in the introduction. *)
+val city_block : Series.t -> Series.t -> float
+
+(** [chebyshev a b] is the L∞ distance. *)
+val chebyshev : Series.t -> Series.t -> float
+
+(** [euclidean_early_abandon ~threshold a b] is [Some (euclidean a b)]
+    when it does not exceed [threshold], and [None] as soon as the
+    partial sum proves it does — the optimised sequential scan of
+    Section 5. *)
+val euclidean_early_abandon :
+  threshold:float -> Series.t -> Series.t -> float option
+
+(** [within ~threshold a b] decides [euclidean a b <= threshold] using
+    early abandoning. *)
+val within : threshold:float -> Series.t -> Series.t -> bool

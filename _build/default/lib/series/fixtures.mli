@@ -1,0 +1,16 @@
+(** The concrete series printed in the paper's figures, used by tests and
+    the quickstart example. *)
+
+(** Example 1.1, Figure 1(a): closing prices of the first stock. *)
+val ex11_s1 : Series.t
+
+(** Example 1.1, Figure 1(b): closing prices of the second stock;
+    [D(s1, s2) = 11.92] but the 3-day moving averages are 0.47 apart. *)
+val ex11_s2 : Series.t
+
+(** Example 1.2, Figure 2(a): the daily-sampled series [s]. *)
+val ex12_s : Series.t
+
+(** Example 1.2, Figure 2(b): the every-other-day series [p];
+    [expand 2 p = s]. *)
+val ex12_p : Series.t

@@ -1,0 +1,22 @@
+type decomposition = {
+  normalised : Series.t;
+  mean : float;
+  std : float;
+}
+
+let decompose s =
+  let mean = Stats.mean s and std = Stats.std s in
+  let normalised =
+    if std = 0. then Array.map (fun _ -> 0.) s
+    else Array.map (fun v -> (v -. mean) /. std) s
+  in
+  { normalised; mean; std }
+
+let normalise s = (decompose s).normalised
+
+let reconstruct { normalised; mean; std } =
+  Array.map (fun v -> (v *. std) +. mean) normalised
+
+let is_normal ?(eps = 1e-6) s =
+  let m = Stats.mean s and sd = Stats.std s in
+  Float.abs m <= eps && (sd = 0. || Float.abs (sd -. 1.) <= eps)

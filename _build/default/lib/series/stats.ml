@@ -1,0 +1,61 @@
+let require_non_empty name s =
+  if Array.length s = 0 then invalid_arg (name ^ ": empty series")
+
+let mean s =
+  require_non_empty "Stats.mean" s;
+  Array.fold_left ( +. ) 0. s /. float_of_int (Array.length s)
+
+let variance s =
+  require_non_empty "Stats.variance" s;
+  let m = mean s in
+  let acc = Array.fold_left (fun acc v -> acc +. ((v -. m) ** 2.)) 0. s in
+  acc /. float_of_int (Array.length s)
+
+let std s = sqrt (variance s)
+
+let minimum s =
+  require_non_empty "Stats.minimum" s;
+  Array.fold_left Float.min s.(0) s
+
+let maximum s =
+  require_non_empty "Stats.maximum" s;
+  Array.fold_left Float.max s.(0) s
+
+let covariance a b =
+  require_non_empty "Stats.covariance" a;
+  if Array.length a <> Array.length b then
+    invalid_arg "Stats.covariance: length mismatch";
+  let ma = mean a and mb = mean b in
+  let acc = ref 0. in
+  for t = 0 to Array.length a - 1 do
+    acc := !acc +. ((a.(t) -. ma) *. (b.(t) -. mb))
+  done;
+  !acc /. float_of_int (Array.length a)
+
+let correlation a b =
+  let sa = std a and sb = std b in
+  if sa = 0. || sb = 0. then 0. else covariance a b /. (sa *. sb)
+
+let autocorrelation s ~lag =
+  let n = Array.length s in
+  if lag < 0 || lag >= n then invalid_arg "Stats.autocorrelation: bad lag";
+  if lag = 0 then 1.
+  else
+    correlation (Array.sub s 0 (n - lag)) (Array.sub s lag (n - lag))
+
+let returns s =
+  if Array.length s < 2 then invalid_arg "Stats.returns: series too short";
+  Array.init
+    (Array.length s - 1)
+    (fun t ->
+      if s.(t) = 0. then invalid_arg "Stats.returns: zero value";
+      (s.(t + 1) -. s.(t)) /. s.(t))
+
+let log_returns s =
+  if Array.length s < 2 then invalid_arg "Stats.log_returns: series too short";
+  Array.init
+    (Array.length s - 1)
+    (fun t ->
+      if s.(t) <= 0. || s.(t + 1) <= 0. then
+        invalid_arg "Stats.log_returns: non-positive value";
+      log (s.(t + 1) /. s.(t)))

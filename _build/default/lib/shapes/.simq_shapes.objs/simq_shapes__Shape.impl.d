@@ -1,0 +1,1 @@
+lib/shapes/shape.ml: Array Float Format List Simq_geometry

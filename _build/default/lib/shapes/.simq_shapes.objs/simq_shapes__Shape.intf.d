@@ -1,0 +1,1 @@
+lib/shapes/shape.mli: Format Simq_geometry

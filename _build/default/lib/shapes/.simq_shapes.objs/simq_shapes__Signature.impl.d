@@ -1,0 +1,1 @@
+lib/shapes/signature.ml: Array Float List Shape Simq_geometry Simq_rtree

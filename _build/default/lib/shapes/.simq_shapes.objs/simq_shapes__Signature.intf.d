@@ -1,0 +1,1 @@
+lib/shapes/signature.mli: Shape Simq_geometry

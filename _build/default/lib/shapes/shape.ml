@@ -1,0 +1,98 @@
+module Rect = Simq_geometry.Rect
+
+type t = { rects : Rect.t list }
+
+let create rects =
+  if rects = [] then invalid_arg "Shape.create: empty shape";
+  List.iter
+    (fun r ->
+      if Rect.dims r <> 2 then
+        invalid_arg "Shape.create: rectangles must be 2-dimensional")
+    rects;
+  { rects }
+
+let of_boxes boxes =
+  create
+    (List.map
+       (fun (x0, y0, x1, y1) -> Rect.create ~lo:[| x0; y0 |] ~hi:[| x1; y1 |])
+       boxes)
+
+let rectangles t = t.rects
+let rectangle_count t = List.length t.rects
+let mbr t = Rect.union_many t.rects
+
+let contains t (x, y) =
+  List.exists (fun r -> Rect.contains_point r [| x; y |]) t.rects
+
+(* Coordinate compression: the rectangle edges cut the plane into a grid
+   whose cells are homogeneous (entirely inside or outside the union),
+   so the union's measure is the sum of the covered cells. *)
+let grid_of_edges rect_lists =
+  let xs = ref [] and ys = ref [] in
+  List.iter
+    (List.iter (fun (r : Rect.t) ->
+         xs := r.Rect.lo.(0) :: r.Rect.hi.(0) :: !xs;
+         ys := r.Rect.lo.(1) :: r.Rect.hi.(1) :: !ys))
+    rect_lists;
+  let dedup vs = List.sort_uniq Float.compare vs in
+  (Array.of_list (dedup !xs), Array.of_list (dedup !ys))
+
+let cell_covered rects ~x0 ~x1 ~y0 ~y1 =
+  (* The cell is homogeneous: test its centre. *)
+  let cx = (x0 +. x1) /. 2. and cy = (y0 +. y1) /. 2. in
+  List.exists (fun r -> Rect.contains_point r [| cx; cy |]) rects
+
+let measure ~predicate rect_lists =
+  let xs, ys = grid_of_edges rect_lists in
+  let total = ref 0. in
+  for i = 0 to Array.length xs - 2 do
+    for j = 0 to Array.length ys - 2 do
+      let x0 = xs.(i) and x1 = xs.(i + 1) in
+      let y0 = ys.(j) and y1 = ys.(j + 1) in
+      if predicate ~x0 ~x1 ~y0 ~y1 then
+        total := !total +. ((x1 -. x0) *. (y1 -. y0))
+    done
+  done;
+  !total
+
+let area t =
+  measure
+    ~predicate:(fun ~x0 ~x1 ~y0 ~y1 -> cell_covered t.rects ~x0 ~x1 ~y0 ~y1)
+    [ t.rects ]
+
+let symmetric_difference_area a b =
+  measure
+    ~predicate:(fun ~x0 ~x1 ~y0 ~y1 ->
+      let in_a = cell_covered a.rects ~x0 ~x1 ~y0 ~y1 in
+      let in_b = cell_covered b.rects ~x0 ~x1 ~y0 ~y1 in
+      in_a <> in_b)
+    [ a.rects; b.rects ]
+
+let map_rect f (r : Rect.t) =
+  let x0, y0 = f (r.Rect.lo.(0), r.Rect.lo.(1)) in
+  let x1, y1 = f (r.Rect.hi.(0), r.Rect.hi.(1)) in
+  Rect.create ~lo:[| x0; y0 |] ~hi:[| x1; y1 |]
+
+let translate t ~dx ~dy =
+  { rects = List.map (map_rect (fun (x, y) -> (x +. dx, y +. dy))) t.rects }
+
+let scale t ~sx ~sy =
+  if sx <= 0. || sy <= 0. then invalid_arg "Shape.scale: factors must be positive";
+  { rects = List.map (map_rect (fun (x, y) -> (x *. sx, y *. sy))) t.rects }
+
+let normalise t =
+  let bb = mbr t in
+  let moved =
+    translate t ~dx:(-.bb.Rect.lo.(0)) ~dy:(-.bb.Rect.lo.(1))
+  in
+  let w = bb.Rect.hi.(0) -. bb.Rect.lo.(0) in
+  let h = bb.Rect.hi.(1) -. bb.Rect.lo.(1) in
+  let side = Float.max w h in
+  if side <= 0. then moved else scale moved ~sx:(1. /. side) ~sy:(1. /. side)
+
+let pp ppf t =
+  Format.fprintf ppf "shape{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Rect.pp)
+    t.rects

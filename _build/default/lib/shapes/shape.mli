@@ -1,0 +1,50 @@
+(** Rectilinear shapes: finite unions of axis-aligned rectangles in the
+    plane — the shape model of [Jag91], which the paper names (next to
+    the DFT for time series) as an instance of the mapping function that
+    carries non-point objects into the md-space.
+
+    Rectangles may overlap; all measures are measures of the union. *)
+
+type t
+
+(** [create rects] builds a shape from 2-dimensional rectangles. Raises
+    [Invalid_argument] when the list is empty or a rectangle is not
+    2-dimensional. *)
+val create : Simq_geometry.Rect.t list -> t
+
+(** [of_boxes boxes] builds a shape from [(x0, y0, x1, y1)] corner
+    tuples. *)
+val of_boxes : (float * float * float * float) list -> t
+
+val rectangles : t -> Simq_geometry.Rect.t list
+val rectangle_count : t -> int
+
+(** [mbr shape] is the bounding rectangle of the whole shape. *)
+val mbr : t -> Simq_geometry.Rect.t
+
+(** [area shape] is the area of the union (overlaps counted once),
+    computed by coordinate compression. *)
+val area : t -> float
+
+(** [contains shape (x, y)] is point membership in the union. *)
+val contains : t -> float * float -> bool
+
+(** [translate shape ~dx ~dy] and [scale shape ~sx ~sy] are the
+    transformations of the shape domain; scaling is about the origin and
+    requires positive factors. *)
+val translate : t -> dx:float -> dy:float -> t
+
+val scale : t -> sx:float -> sy:float -> t
+
+(** [normalise shape] translates the MBR's lower corner to the origin
+    and scales the longer MBR side to 1 — the analogue of the time-series
+    normal form: position- and size-invariant. Degenerate shapes (zero
+    extent in both axes) map to themselves translated to the origin. *)
+val normalise : t -> t
+
+(** [symmetric_difference_area a b] is the area covered by exactly one
+    of the two shapes — the exact dissimilarity used to refine index
+    answers. Zero iff the unions are equal (up to measure zero). *)
+val symmetric_difference_area : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

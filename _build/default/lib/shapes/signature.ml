@@ -1,0 +1,108 @@
+module Rect = Simq_geometry.Rect
+module Point = Simq_geometry.Point
+module Rstar = Simq_rtree.Rstar
+
+let default_k = 3
+
+let point ?(k = default_k) shape =
+  if k < 1 then invalid_arg "Signature.point: k must be positive";
+  let normalised = Shape.normalise shape in
+  let keyed =
+    List.map
+      (fun (r : Rect.t) ->
+        let w = r.Rect.hi.(0) -. r.Rect.lo.(0) in
+        let h = r.Rect.hi.(1) -. r.Rect.lo.(1) in
+        (w *. h, r))
+      (Shape.rectangles normalised)
+  in
+  let sorted =
+    List.sort
+      (fun (a1, r1) (a2, r2) ->
+        match Float.compare a2 a1 with
+        | 0 -> compare r1.Rect.lo r2.Rect.lo
+        | c -> c)
+      keyed
+  in
+  let features = Array.make (4 * k) 0. in
+  List.iteri
+    (fun i (_, (r : Rect.t)) ->
+      if i < k then begin
+        let w = r.Rect.hi.(0) -. r.Rect.lo.(0) in
+        let h = r.Rect.hi.(1) -. r.Rect.lo.(1) in
+        features.(4 * i) <- (r.Rect.lo.(0) +. r.Rect.hi.(0)) /. 2.;
+        features.((4 * i) + 1) <- (r.Rect.lo.(1) +. r.Rect.hi.(1)) /. 2.;
+        features.((4 * i) + 2) <- w;
+        features.((4 * i) + 3) <- h
+      end)
+    sorted;
+  features
+
+let distance ?k a b = Point.distance (point ?k a) (point ?k b)
+
+type entry = {
+  entry_name : string;
+  entry_shape : Shape.t;
+}
+
+type t = {
+  k : int;
+  tree : entry Rstar.t;
+}
+
+type hit = {
+  name : string;
+  shape : Shape.t;
+  signature_distance : float;
+}
+
+let build ?(k = default_k) ?(max_fill = 16) shapes =
+  let items =
+    Array.of_list
+      (List.map
+         (fun (name, shape) ->
+           (point ~k shape, { entry_name = name; entry_shape = shape }))
+         shapes)
+  in
+  { k; tree = Simq_rtree.Bulk.load ~max_fill ~dims:(4 * k) items }
+
+let size t = Rstar.size t.tree
+
+let range t ~query ~epsilon =
+  if epsilon < 0. then invalid_arg "Signature.range: negative epsilon";
+  let q = point ~k:t.k query in
+  let lo = Array.map (fun v -> v -. epsilon) q in
+  let hi = Array.map (fun v -> v +. epsilon) q in
+  Rstar.search_rect t.tree (Rect.create ~lo ~hi)
+  |> List.filter_map (fun (p, entry) ->
+         let d = Point.distance q p in
+         if d <= epsilon then
+           Some
+             {
+               name = entry.entry_name;
+               shape = entry.entry_shape;
+               signature_distance = d;
+             }
+         else None)
+  |> List.sort (fun a b -> Float.compare a.signature_distance b.signature_distance)
+
+let nearest t ~query ~k =
+  let q = point ~k:t.k query in
+  Simq_rtree.Nn.nearest t.tree ~query:q ~k
+  |> List.map (fun (_, entry, d) ->
+         {
+           name = entry.entry_name;
+           shape = entry.entry_shape;
+           signature_distance = d;
+         })
+
+let refine hits ~query ~max_area =
+  let normal_query = Shape.normalise query in
+  List.filter_map
+    (fun hit ->
+      let a =
+        Shape.symmetric_difference_area normal_query
+          (Shape.normalise hit.shape)
+      in
+      if a <= max_area then Some (hit, a) else None)
+    hits
+  |> List.sort (fun (_, a1) (_, a2) -> Float.compare a1 a2)

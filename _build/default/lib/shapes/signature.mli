@@ -1,0 +1,48 @@
+(** Shape signatures and the indexed shape store — the [Jag91] instance
+    of the framework: a non-point object reaches the md-space through a
+    mapping function; here the shape's [k] largest rectangles (after
+    normalisation), each encoded as centre + extent.
+
+    Signature distance is a pseudo-metric on shapes: zero for identical
+    rectangle covers, small for shapes whose dominant rectangles agree.
+    Index answers are {e exact with respect to the signature distance}
+    (the Lemma-1 situation of the time-series index); the exact
+    {!Shape.symmetric_difference_area} is available as a refinement
+    step. *)
+
+(** [point ?k shape] is the [4k]-dimensional feature point (default
+    [k = 3]): for each of the [k] largest rectangles of the normalised
+    shape, [(cx, cy, w, h)]; zeros pad shapes with fewer rectangles.
+    Rectangles are ordered by decreasing area, ties by lower-left
+    corner, so equal shapes get equal signatures. *)
+val point : ?k:int -> Shape.t -> Simq_geometry.Point.t
+
+(** [distance ?k a b] is the Euclidean distance between signatures. *)
+val distance : ?k:int -> Shape.t -> Shape.t -> float
+
+type t
+(** A collection of named shapes indexed by signature. *)
+
+val build : ?k:int -> ?max_fill:int -> (string * Shape.t) list -> t
+
+val size : t -> int
+
+type hit = {
+  name : string;
+  shape : Shape.t;
+  signature_distance : float;
+}
+
+(** [range t ~query ~epsilon] is every shape whose signature is within
+    [epsilon] of the query's, exact w.r.t. the signature distance. *)
+val range : t -> query:Shape.t -> epsilon:float -> hit list
+
+(** [nearest t ~query ~k] is the [k] closest signatures, closest
+    first. *)
+val nearest : t -> query:Shape.t -> k:int -> hit list
+
+(** [refine hits ~query ~max_area] keeps hits whose exact normalised
+    symmetric-difference area from the query is at most [max_area],
+    re-sorted by that area — the postprocessing step. *)
+val refine :
+  hit list -> query:Shape.t -> max_area:float -> (hit * float) list

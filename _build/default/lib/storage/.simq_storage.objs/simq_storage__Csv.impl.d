@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Array Fun Io_stats List Printf Relation String

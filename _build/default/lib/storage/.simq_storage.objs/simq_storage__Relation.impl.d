@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Array Buffer_pool Fun Io_stats Marshal Printf Simq_series

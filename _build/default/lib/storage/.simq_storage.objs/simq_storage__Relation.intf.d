@@ -1,0 +1,1 @@
+lib/storage/relation.mli: Io_stats Simq_series

@@ -1,0 +1,21 @@
+(** An LRU buffer pool over page identifiers. Data lives in memory; the
+    pool tracks which pages {e would} be resident, so cache misses equal
+    the disk reads a paged implementation would issue. *)
+
+type t
+
+(** [create ~capacity ~stats] keeps at most [capacity] pages resident
+    and records hits/misses in [stats]. Raises [Invalid_argument] when
+    [capacity <= 0]. *)
+val create : capacity:int -> stats:Io_stats.t -> t
+
+(** [touch pool page] accesses [page]: [`Hit] when resident, [`Miss]
+    (counted as a page read, least-recently-used page evicted if
+    necessary) otherwise. *)
+val touch : t -> int -> [ `Hit | `Miss ]
+
+(** [resident pool] is the number of currently resident pages. *)
+val resident : t -> int
+
+(** [flush pool] empties the pool (counters keep their values). *)
+val flush : t -> unit

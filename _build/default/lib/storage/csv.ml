@@ -1,0 +1,65 @@
+let export relation path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Relation.iter relation ~f:(fun tuple ->
+          if
+            String.contains tuple.Relation.name ','
+            || String.contains tuple.Relation.name '\n'
+          then failwith ("Csv.export: unquotable name " ^ tuple.Relation.name);
+          output_string oc tuple.Relation.name;
+          Array.iter
+            (fun v -> Printf.fprintf oc ",%.17g" v)
+            tuple.Relation.data;
+          output_char oc '\n'))
+
+let import ?page_size ?pool_pages ~name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let relation = Relation.create ?page_size ?pool_pages ~name () in
+      let expected_columns = ref None in
+      let line_number = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_number;
+           if String.trim line <> "" then begin
+             match String.split_on_char ',' line with
+             | [] | [ _ ] ->
+               failwith
+                 (Printf.sprintf "Csv.import: line %d has no values"
+                    !line_number)
+             | series_name :: cells ->
+               let columns = List.length cells in
+               (match !expected_columns with
+               | None -> expected_columns := Some columns
+               | Some expected when expected <> columns ->
+                 failwith
+                   (Printf.sprintf
+                      "Csv.import: line %d has %d values, expected %d"
+                      !line_number columns expected)
+               | Some _ -> ());
+               let data =
+                 Array.of_list
+                   (List.map
+                      (fun cell ->
+                        match float_of_string_opt (String.trim cell) with
+                        | Some v -> v
+                        | None ->
+                          failwith
+                            (Printf.sprintf
+                               "Csv.import: line %d: bad number %S"
+                               !line_number cell))
+                      cells)
+               in
+               ignore (Relation.insert relation ~name:series_name data)
+           end
+         done
+       with End_of_file -> ());
+      if Relation.cardinality relation = 0 then
+        failwith "Csv.import: no series found";
+      Io_stats.reset (Relation.stats relation);
+      relation)

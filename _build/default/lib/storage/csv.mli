@@ -1,0 +1,15 @@
+(** CSV import/export for relations, so real series (stock closes,
+    sensor dumps) can be loaded without writing OCaml.
+
+    Format: one series per row, [name,v1,v2,…,vn]; every row must have
+    the same number of values. No quoting — names must not contain
+    commas or newlines. *)
+
+(** [export relation path] writes every tuple. *)
+val export : Relation.t -> string -> unit
+
+(** [import ?page_size ?pool_pages ~name path] reads a relation back.
+    Raises [Failure] with a line-numbered message on malformed input
+    (wrong column counts, unparsable numbers, empty file). *)
+val import :
+  ?page_size:int -> ?pool_pages:int -> name:string -> string -> Relation.t

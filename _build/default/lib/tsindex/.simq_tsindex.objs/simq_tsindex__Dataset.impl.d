@@ -1,0 +1,1 @@
+lib/tsindex/dataset.ml: Array Simq_dsp Simq_series Simq_storage

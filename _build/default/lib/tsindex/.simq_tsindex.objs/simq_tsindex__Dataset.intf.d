@@ -1,0 +1,1 @@
+lib/tsindex/dataset.mli: Simq_dsp Simq_series Simq_storage

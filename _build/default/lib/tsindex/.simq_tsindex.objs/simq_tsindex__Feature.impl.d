@@ -1,0 +1,1 @@
+lib/tsindex/feature.ml: Array Dataset Simq_geometry

@@ -1,0 +1,1 @@
+lib/tsindex/feature.mli: Dataset Simq_dsp Simq_geometry

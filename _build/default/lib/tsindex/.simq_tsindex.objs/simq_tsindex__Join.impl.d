@@ -1,0 +1,1 @@
+lib/tsindex/join.ml: Array Dataset Feature Kindex List Simq_dsp Simq_series Spec

@@ -1,0 +1,1 @@
+lib/tsindex/join.mli: Kindex Spec

@@ -1,0 +1,1 @@
+lib/tsindex/kindex.ml: Array Dataset Feature Float Int List Option Printf Simq_dsp Simq_geometry Simq_rtree Simq_series Spec

@@ -1,0 +1,1 @@
+lib/tsindex/kindex.mli: Dataset Feature Simq_dsp Simq_rtree Simq_series Spec

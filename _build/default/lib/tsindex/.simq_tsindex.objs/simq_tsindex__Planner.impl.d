@@ -1,0 +1,1 @@
+lib/tsindex/planner.ml: Array Dataset Float Format Kindex Random Seqscan Simq_series Spec

@@ -1,0 +1,1 @@
+lib/tsindex/planner.mli: Dataset Format Kindex Simq_series Spec

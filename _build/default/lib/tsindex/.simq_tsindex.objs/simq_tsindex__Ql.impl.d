@@ -1,0 +1,1 @@
+lib/tsindex/ql.ml: Format List Option Printf Simq_dsp Spec String

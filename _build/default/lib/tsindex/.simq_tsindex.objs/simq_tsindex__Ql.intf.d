@@ -1,0 +1,1 @@
+lib/tsindex/ql.mli: Format Spec

@@ -1,0 +1,1 @@
+lib/tsindex/seqscan.ml: Array Dataset List Printf Simq_dsp Simq_series Simq_storage Spec

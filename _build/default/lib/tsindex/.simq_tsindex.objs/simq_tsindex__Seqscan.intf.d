@@ -1,0 +1,1 @@
+lib/tsindex/seqscan.mli: Dataset Simq_series Spec

@@ -1,0 +1,1 @@
+lib/tsindex/spec.ml: Array Format Printf Simq_dsp Simq_series

@@ -1,0 +1,1 @@
+lib/tsindex/spec.mli: Format Simq_dsp Simq_series

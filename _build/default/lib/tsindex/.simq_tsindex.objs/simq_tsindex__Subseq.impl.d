@@ -1,0 +1,1 @@
+lib/tsindex/subseq.ml: Array Float List Option Printf Simq_dsp Simq_geometry Simq_rtree Simq_series

@@ -1,0 +1,1 @@
+lib/tsindex/subseq.mli: Simq_series

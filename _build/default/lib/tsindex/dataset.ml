@@ -1,0 +1,90 @@
+module Series = Simq_series.Series
+module Normal_form = Simq_series.Normal_form
+module Relation = Simq_storage.Relation
+
+type entry = {
+  id : int;
+  name : string;
+  series : Series.t;
+  normal : Series.t;
+  spectrum : Simq_dsp.Cpx.t array;
+  mean : float;
+  std : float;
+}
+
+type t = {
+  mutable entries : entry array;  (* amortised growable; [count] live *)
+  mutable count : int;
+  n : int;
+  relation : Relation.t;
+}
+
+let prepare ~id ~name series =
+  let d = Normal_form.decompose series in
+  {
+    id;
+    name;
+    series;
+    normal = d.Normal_form.normalised;
+    spectrum = Simq_dsp.Fft.fft_real d.Normal_form.normalised;
+    mean = d.Normal_form.mean;
+    std = d.Normal_form.std;
+  }
+
+let of_relation r =
+  if Relation.cardinality r = 0 then
+    invalid_arg "Dataset.of_relation: empty relation";
+  let tuples = Relation.to_array r in
+  let n = Series.length tuples.(0).Relation.data in
+  let entries =
+    Array.map
+      (fun (tuple : Relation.tuple) ->
+        if Series.length tuple.Relation.data <> n then
+          invalid_arg "Dataset.of_relation: series of unequal lengths";
+        prepare ~id:tuple.Relation.id ~name:tuple.Relation.name
+          tuple.Relation.data)
+      tuples
+  in
+  { entries; count = Array.length entries; n; relation = r }
+
+let of_series ~name batch =
+  of_relation (Relation.of_series ~name batch)
+
+let insert t ~name data =
+  let data = Series.validate data in
+  if Series.length data <> t.n then
+    invalid_arg "Dataset.insert: series length mismatch";
+  let tuple = Relation.insert t.relation ~name data in
+  let entry = prepare ~id:tuple.Relation.id ~name data in
+  let capacity = Array.length t.entries in
+  if t.count = capacity then begin
+    let fresh = Array.make (max 16 (2 * capacity)) entry in
+    Array.blit t.entries 0 fresh 0 capacity;
+    t.entries <- fresh
+  end;
+  t.entries.(t.count) <- entry;
+  t.count <- t.count + 1;
+  entry
+
+let prepare_query ?(normalise = true) q =
+  let q = Series.validate q in
+  if normalise then prepare ~id:(-1) ~name:"query" q
+  else
+    {
+      id = -1;
+      name = "query";
+      series = q;
+      normal = q;
+      spectrum = Simq_dsp.Fft.fft_real q;
+      mean = 0.;
+      std = 1.;
+    }
+let entries t = Array.sub t.entries 0 t.count
+
+let get t id =
+  if id < 0 || id >= t.count then invalid_arg "Dataset.get: unknown id";
+  t.entries.(id)
+
+let cardinality t = t.count
+let series_length t = t.n
+let relation t = t.relation

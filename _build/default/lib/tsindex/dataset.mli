@@ -1,0 +1,54 @@
+(** A prepared data set: every series normalised and transformed to the
+    frequency domain once, as the paper does before indexing
+    (Section 5: “for every time series, we first transformed it to the
+    normal form, and then we found its Fourier coefficients”).
+
+    The spectrum stored is that of the {e normal form}; the original
+    mean and standard deviation ride along and become the first two
+    index dimensions. *)
+
+type entry = {
+  id : int;
+  name : string;
+  series : Simq_series.Series.t;  (** the original series *)
+  normal : Simq_series.Series.t;  (** its normal form *)
+  spectrum : Simq_dsp.Cpx.t array;
+      (** full unitary DFT of [normal]; coefficient 0 is always 0 *)
+  mean : float;
+  std : float;
+}
+
+type t
+
+(** [of_relation r] prepares every tuple. Raises [Invalid_argument] when
+    the relation is empty or holds series of unequal lengths. *)
+val of_relation : Simq_storage.Relation.t -> t
+
+(** [of_series ~name batch] shortcut: wraps the batch in a relation and
+    prepares it. *)
+val of_series : name:string -> Simq_series.Series.t array -> t
+
+(** [insert t ~name data] validates, stores and prepares one more
+    series (appending it to the backing relation); its id is the new
+    cardinality minus one. Raises [Invalid_argument] when the length
+    differs from the data set's. *)
+val insert : t -> name:string -> Simq_series.Series.t -> entry
+
+(** [prepare_query ?normalise q] transforms an external query series the
+    same way (it need not have the data-set length — warp queries are
+    longer). With [~normalise:false] the series is used verbatim: pass a
+    query that is {e already} in the comparison space, e.g. the moving
+    average of a normal form when matching “series whose smoothed normal
+    forms track this curve”. *)
+val prepare_query : ?normalise:bool -> Simq_series.Series.t -> entry
+
+(** [entries t] is a snapshot of the live entries. *)
+val entries : t -> entry array
+val get : t -> int -> entry
+val cardinality : t -> int
+
+(** [series_length t] is the common length [n]. *)
+val series_length : t -> int
+
+(** [relation t] is the backing relation (for page-accounting scans). *)
+val relation : t -> Simq_storage.Relation.t

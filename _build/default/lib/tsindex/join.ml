@@ -1,0 +1,124 @@
+module Cpx = Simq_dsp.Cpx
+module Distance = Simq_series.Distance
+
+type result = {
+  pairs : (int * int) list;
+  distance_computations : int;
+  node_accesses : int;
+}
+
+let sq_norm z =
+  let re = Cpx.re z and im = Cpx.im z in
+  (re *. re) +. (im *. im)
+
+(* Precompute the transformed normal forms (time domain, exact for every
+   spec including Warp) and, for the length-preserving specs, the
+   transformed spectra used by the frequency-domain scans. *)
+let transformed_normals kindex spec =
+  Array.map
+    (fun (entry : Dataset.entry) -> Spec.apply_series spec entry.Dataset.normal)
+    (Dataset.entries (Kindex.dataset kindex))
+
+let transformed_spectra kindex spec =
+  let n = Dataset.series_length (Kindex.dataset kindex) in
+  let stretch = Spec.stretch spec ~n in
+  Array.map
+    (fun (entry : Dataset.entry) ->
+      Cpx.mul_arrays stretch entry.Dataset.spectrum)
+    (Dataset.entries (Kindex.dataset kindex))
+
+let scan ~abandon kindex spec epsilon =
+  if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
+  let dataset = Kindex.dataset kindex in
+  let count = Dataset.cardinality dataset in
+  let limit = epsilon *. epsilon in
+  let pairs = ref [] in
+  let computations = ref 0 in
+  (match spec with
+  | Spec.Warp _ ->
+    (* Frequency-domain prefixes underestimate warped distances; use the
+       exact time-domain comparison instead. *)
+    let normals = transformed_normals kindex spec in
+    for i = 0 to count - 1 do
+      for j = i + 1 to count - 1 do
+        incr computations;
+        let hit =
+          if abandon then
+            Distance.within ~threshold:epsilon normals.(i) normals.(j)
+          else Distance.euclidean normals.(i) normals.(j) <= epsilon
+        in
+        if hit then pairs := (i, j) :: !pairs
+      done
+    done
+  | _ ->
+    let spectra = transformed_spectra kindex spec in
+    let n = Array.length spectra.(0) in
+    for i = 0 to count - 1 do
+      for j = i + 1 to count - 1 do
+        incr computations;
+        let acc = ref 0. in
+        let f = ref 0 in
+        let alive = ref true in
+        while !alive && !f < n do
+          acc := !acc +. sq_norm (Cpx.sub spectra.(i).(!f) spectra.(j).(!f));
+          incr f;
+          if abandon && !acc > limit then alive := false
+        done;
+        if !alive && !acc <= limit then pairs := (i, j) :: !pairs
+      done
+    done);
+  { pairs = List.rev !pairs; distance_computations = !computations;
+    node_accesses = 0 }
+
+let scan_full ?(spec = Spec.Identity) kindex ~epsilon =
+  scan ~abandon:false kindex spec epsilon
+
+let scan_early_abandon ?(spec = Spec.Identity) kindex ~epsilon =
+  scan ~abandon:true kindex spec epsilon
+
+(* One index range query per sequence; the transformation (when present)
+   applies to both the stored side (via the transformed traversal) and
+   the query side (its features and the postprocessing distance). *)
+let index_join kindex spec epsilon =
+  if epsilon < 0. then invalid_arg "Join.index_join: negative epsilon";
+  let dataset = Kindex.dataset kindex in
+  let k = (Kindex.config kindex).Feature.k in
+  let normals = transformed_normals kindex spec in
+  (* Query features for entry i: the first k coefficients of its
+     transformed spectrum (for Warp these are the predicted prefix of the
+     warped spectrum, which is all the index needs). *)
+  let spectra =
+    match spec with
+    | Spec.Identity ->
+      Array.map
+        (fun (e : Dataset.entry) -> e.Dataset.spectrum)
+        (Dataset.entries dataset)
+    | _ -> transformed_spectra kindex spec
+  in
+  let prepared = Kindex.prepare kindex spec in
+  let pairs = ref [] in
+  let computations = ref 0 in
+  let node_accesses = ref 0 in
+  Array.iter
+    (fun (entry : Dataset.entry) ->
+      let i = entry.Dataset.id in
+      let query_coeffs = Array.sub spectra.(i) 1 k in
+      let distance (candidate : Dataset.entry) =
+        Distance.euclidean normals.(candidate.Dataset.id) normals.(i)
+      in
+      let r = Kindex.range_prepared kindex prepared ~query_coeffs ~epsilon ~distance in
+      computations := !computations + r.Kindex.candidates;
+      node_accesses := !node_accesses + r.Kindex.node_accesses;
+      List.iter
+        (fun ((candidate : Dataset.entry), _) ->
+          if candidate.Dataset.id <> i then
+            pairs := (i, candidate.Dataset.id) :: !pairs)
+        r.Kindex.answers)
+    (Dataset.entries dataset);
+  { pairs = List.rev !pairs; distance_computations = !computations;
+    node_accesses = !node_accesses }
+
+let index_untransformed kindex ~epsilon = index_join kindex Spec.Identity epsilon
+
+let index_transformed ?(spec = Spec.Identity) kindex ~epsilon =
+  index_join kindex spec epsilon

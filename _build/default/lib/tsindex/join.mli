@@ -1,0 +1,38 @@
+(** The spatial self-join of Section 5 (Table 1): find all pairs of
+    series whose (transformed) normal forms are within ε.
+
+    Four methods, as in the paper:
+    - {b a} — sequential scan of the Fourier-coefficient relation,
+      comparing every sequence to all later ones, transformation applied,
+      no early abandoning;
+    - {b b} — as (a) with early abandoning of each distance computation;
+    - {b c} — scan the relation and pose one index range query per
+      sequence, {e without} the transformation;
+    - {b d} — as (c), applying the transformation to both the index and
+      the search regions.
+
+    Methods a/b report each unordered pair once; c/d report every pair
+    in both directions, exactly like the paper's answer-set sizes
+    (3×2 and 12×2). *)
+
+type result = {
+  pairs : (int * int) list;  (** entry-id pairs; self-pairs excluded *)
+  distance_computations : int;
+      (** full distance computations (a, b) or postprocessing
+          computations (c, d) *)
+  node_accesses : int;  (** R-tree nodes visited (0 for a, b) *)
+}
+
+(** [scan_full kindex ?spec ~epsilon] — method (a). *)
+val scan_full : ?spec:Spec.t -> Kindex.t -> epsilon:float -> result
+
+(** [scan_early_abandon kindex ?spec ~epsilon] — method (b). *)
+val scan_early_abandon : ?spec:Spec.t -> Kindex.t -> epsilon:float -> result
+
+(** [index_untransformed kindex ~epsilon] — method (c): no
+    transformation on either side. *)
+val index_untransformed : Kindex.t -> epsilon:float -> result
+
+(** [index_transformed kindex ?spec ~epsilon] — method (d): [spec] on
+    both sides. *)
+val index_transformed : ?spec:Spec.t -> Kindex.t -> epsilon:float -> result

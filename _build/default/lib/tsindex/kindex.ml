@@ -1,0 +1,319 @@
+module Cpx = Simq_dsp.Cpx
+module Series = Simq_series.Series
+module Distance = Simq_series.Distance
+module Geometry = Simq_geometry
+module Coords = Geometry.Coords
+module Region = Geometry.Region
+module Rect = Geometry.Rect
+module Linear_transform = Geometry.Linear_transform
+module Complex_transform = Geometry.Complex_transform
+module Rstar = Simq_rtree.Rstar
+module Nn = Simq_rtree.Nn
+
+type t = {
+  dataset : Dataset.t;
+  config : Feature.config;
+  tree : int Rstar.t;
+}
+
+let build ?(config = Feature.default) ?(max_fill = 32) dataset =
+  Feature.validate config ~n:(Dataset.series_length dataset);
+  let items =
+    Array.map
+      (fun (entry : Dataset.entry) ->
+        (Feature.point config entry, entry.Dataset.id))
+      (Dataset.entries dataset)
+  in
+  let tree = Simq_rtree.Bulk.load ~max_fill ~dims:(Feature.dims config) items in
+  { dataset; config; tree }
+
+(* --- maintenance --------------------------------------------------------- *)
+
+let insert t ~name series =
+  let entry = Dataset.insert t.dataset ~name series in
+  Rstar.insert t.tree (Feature.point t.config entry) entry.Dataset.id;
+  entry
+
+let delete t id =
+  match Dataset.get t.dataset id with
+  | exception Invalid_argument _ -> false
+  | entry ->
+    (* Remove from the index only; the backing relation keeps the tuple
+       (append-only storage), but no query can reach it any more. *)
+    Rstar.delete t.tree
+      ~point:(Feature.point t.config entry)
+      ~where:(Int.equal id)
+
+let dataset t = t.dataset
+let config t = t.config
+let tree t = t.tree
+
+type range_result = {
+  answers : (Dataset.entry * float) list;
+  candidates : int;
+  node_accesses : int;
+}
+
+(* [lowered] on the leading feature dimensions, identity on the
+   trailing mean/std dimensions. *)
+let lift lowered =
+  Linear_transform.create
+    ~a:(Array.append lowered.Linear_transform.a [| 1.; 1. |])
+    ~b:(Array.append lowered.Linear_transform.b [| 0.; 0. |])
+
+(* A transformation prepared for repeated queries: the stretch vector,
+   its safe lowering to the index coordinate space (Theorems 2/3) lifted
+   over mean/std, both computed once. Identity short circuits so
+   untransformed queries skip the per-entry work. *)
+type prepared = {
+  pspec : Spec.t;
+  ptransform : Linear_transform.t option;
+  pstretch : Cpx.t array option;
+      (* full-length frequency multiplier; None for Identity (not
+         needed) and Warp (length changes) *)
+}
+
+let prepare t spec =
+  match spec with
+  | Spec.Identity -> { pspec = spec; ptransform = None; pstretch = None }
+  | _ ->
+    let n = Dataset.series_length t.dataset in
+    let stretch = Spec.stretch spec ~n in
+    let ak = Array.sub stretch 1 t.config.Feature.k in
+    let ct = Complex_transform.stretch ak in
+    let lowered =
+      match t.config.Feature.representation with
+      | Coords.Polar -> Complex_transform.to_polar ct
+      | Coords.Rectangular -> Complex_transform.to_rectangular ct
+    in
+    let pstretch =
+      match spec with
+      | Spec.Warp _ -> None
+      | _ -> Some stretch
+    in
+    { pspec = spec; ptransform = Some (lift lowered); pstretch }
+
+let unconstrained = Region.linear ~lo:Float.neg_infinity ~hi:Float.infinity
+
+let full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () =
+  let feature_region =
+    Coords.search_region t.config.Feature.representation ~query:query_coeffs
+      ~epsilon
+  in
+  let of_range = function
+    | None -> unconstrained
+    | Some (lo, hi) -> Region.linear ~lo ~hi
+  in
+  Array.append feature_region [| of_range mean_range; of_range std_range |]
+
+let range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
+    ~distance =
+  if epsilon < 0. then invalid_arg "Kindex.range_prepared: negative epsilon";
+  if Array.length query_coeffs <> t.config.Feature.k then
+    invalid_arg "Kindex.range_prepared: expected k query coefficients";
+  let region = full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () in
+  (* Transformed overlap/membership tests, dimension by dimension with
+     no intermediate rectangles or points (the traversal's hot path). *)
+  (* Data entries of the k-index are degenerate rectangles whose [lo]
+     corner is the feature point. *)
+  let overlaps, matches =
+    match prepared.ptransform with
+    | None ->
+      ( (fun r -> Region.intersects_rect region r),
+        fun (r : Rect.t) (_ : int) -> Region.contains region r.Rect.lo )
+    | Some tr ->
+      let a = tr.Linear_transform.a and b = tr.Linear_transform.b in
+      let dims = Array.length a in
+      let overlaps (r : Rect.t) =
+        let rec go i =
+          i >= dims
+          ||
+          let lo = (a.(i) *. r.Rect.lo.(i)) +. b.(i) in
+          let hi = (a.(i) *. r.Rect.hi.(i)) +. b.(i) in
+          let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+          Region.meets_interval region.(i) ~lo ~hi && go (i + 1)
+        in
+        go 0
+      in
+      let matches (r : Rect.t) (_ : int) =
+        let p = r.Rect.lo in
+        let rec go i =
+          i >= dims
+          || Region.contains_value region.(i) ((a.(i) *. p.(i)) +. b.(i))
+             && go (i + 1)
+        in
+        go 0
+      in
+      (overlaps, matches)
+  in
+  let before = Rstar.node_accesses t.tree in
+  let candidate_ids =
+    Rstar.fold_region t.tree ~overlaps ~matches ~init:[]
+      ~f:(fun acc _ id -> id :: acc)
+  in
+  let node_accesses = Rstar.node_accesses t.tree - before in
+  let answers =
+    List.filter_map
+      (fun id ->
+        let entry = Dataset.get t.dataset id in
+        let d = distance entry in
+        if d <= epsilon then Some (entry, d) else None)
+      candidate_ids
+    |> List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
+  in
+  { answers; candidates = List.length candidate_ids; node_accesses }
+
+let range_generic ?(spec = Spec.Identity) t ~query_coeffs ~epsilon ~distance =
+  range_prepared t (prepare t spec) ~query_coeffs ~epsilon ~distance
+
+let sq_norm z =
+  let re = Cpx.re z and im = Cpx.im z in
+  (re *. re) +. (im *. im)
+
+(* The exact distance used in postprocessing. Length-preserving
+   transformations are evaluated in the frequency domain against the
+   stored spectra (O(n) per candidate, like the paper's scan of the
+   Fourier-coefficient relation); the warp changes the length and falls
+   back to the time domain. Equal to the time-domain distance by
+   Parseval. *)
+let prepared_distance t prepared (q : Dataset.entry) =
+  let n = Dataset.series_length t.dataset in
+  match (prepared.pspec, prepared.pstretch) with
+  | Spec.Warp _, _ ->
+    fun (entry : Dataset.entry) ->
+      Distance.euclidean
+        (Spec.apply_series prepared.pspec entry.Dataset.normal)
+        q.Dataset.normal
+  | Spec.Identity, _ ->
+    fun (entry : Dataset.entry) ->
+      Distance.euclidean entry.Dataset.normal q.Dataset.normal
+  | _, Some stretch ->
+    fun (entry : Dataset.entry) ->
+      let acc = ref 0. in
+      for f = 0 to n - 1 do
+        let z =
+          Cpx.sub
+            (Cpx.mul stretch.(f) entry.Dataset.spectrum.(f))
+            q.Dataset.spectrum.(f)
+        in
+        acc := !acc +. sq_norm z
+      done;
+      sqrt !acc
+  | _, None -> assert false
+
+let check_query_length t spec query =
+  let n = Dataset.series_length t.dataset in
+  let expected = Spec.output_length spec ~n in
+  if Series.length query <> expected then
+    invalid_arg
+      (Printf.sprintf "Kindex: query length %d, expected %d"
+         (Series.length query) expected)
+
+let range ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
+    ?std_band t ~query ~epsilon =
+  check_query_length t spec query;
+  (* GK95-style side constraints: mean and standard deviation ride along
+     as the trailing index dimensions, so simple shifts and scales bound
+     the search for free (the paper's reason for indexing normal forms
+     with mean/std dimensions). They always refer to the raw query. *)
+  let decomposition = Simq_series.Normal_form.decompose query in
+  let mean_range =
+    Option.map
+      (fun w ->
+        if w < 0. then invalid_arg "Kindex.range: negative mean_window";
+        let m = decomposition.Simq_series.Normal_form.mean in
+        (m -. w, m +. w))
+      mean_window
+  in
+  let std_range =
+    Option.map
+      (fun f ->
+        if f < 1. then invalid_arg "Kindex.range: std_band must be >= 1";
+        let s = decomposition.Simq_series.Normal_form.std in
+        (s /. f, s *. f))
+      std_band
+  in
+  let q = Dataset.prepare_query ~normalise:normalise_query query in
+  let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
+  let prepared = prepare t spec in
+  range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
+    ~distance:(prepared_distance t prepared q)
+
+(* --- nearest neighbours -------------------------------------------------- *)
+
+let two_pi = 2. *. Float.pi
+
+let pos_mod x =
+  let r = Float.rem x two_pi in
+  if r < 0. then r +. two_pi else r
+
+(* Shortest angular distance from [theta] to the interval
+   [lo, hi] (on the circle). *)
+let angle_gap theta ~lo ~hi =
+  let width = hi -. lo in
+  if width >= two_pi then 0.
+  else begin
+    let offset = pos_mod (theta -. lo) in
+    if offset <= width then 0.
+    else begin
+      (* Distance to either endpoint, around the circle. *)
+      let to_hi = offset -. width in
+      let to_lo = two_pi -. offset in
+      Float.min to_hi to_lo
+    end
+  end
+
+(* Minimum |q - z| over complex z with |z| in [mag_lo, mag_hi] and
+   angle z within the interval: law of cosines, minimised over the
+   magnitude. *)
+let polar_mindist q ~mag_lo ~mag_hi ~ang_lo ~ang_hi =
+  let qmag = Cpx.abs q and qang = Cpx.angle q in
+  let mag_lo = Float.max 0. mag_lo in
+  let dtheta = angle_gap qang ~lo:ang_lo ~hi:ang_hi in
+  let c = cos dtheta in
+  let m_star =
+    if c > 0. then Float.min mag_hi (Float.max mag_lo (qmag *. c))
+    else mag_lo
+  in
+  let d2 = (qmag *. qmag) +. (m_star *. m_star) -. (2. *. qmag *. m_star *. c) in
+  sqrt (Float.max 0. d2)
+
+let feature_lower_bound t ~query_coeffs (r : Rect.t) =
+  let k = t.config.Feature.k in
+  let acc = ref 0. in
+  for i = 0 to k - 1 do
+    let d =
+      match t.config.Feature.representation with
+      | Coords.Rectangular ->
+        let re = Cpx.re query_coeffs.(i) and im = Cpx.im query_coeffs.(i) in
+        let clamp v lo hi = Float.max lo (Float.min hi v) in
+        let dre = re -. clamp re r.Rect.lo.(2 * i) r.Rect.hi.(2 * i) in
+        let dim = im -. clamp im r.Rect.lo.((2 * i) + 1) r.Rect.hi.((2 * i) + 1) in
+        sqrt ((dre *. dre) +. (dim *. dim))
+      | Coords.Polar ->
+        polar_mindist query_coeffs.(i)
+          ~mag_lo:r.Rect.lo.(2 * i)
+          ~mag_hi:r.Rect.hi.(2 * i)
+          ~ang_lo:r.Rect.lo.((2 * i) + 1)
+          ~ang_hi:r.Rect.hi.((2 * i) + 1)
+    in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let nearest ?(spec = Spec.Identity) ?(normalise_query = true) t ~query ~k =
+  check_query_length t spec query;
+  let q = Dataset.prepare_query ~normalise:normalise_query query in
+  let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
+  let prepared = prepare t spec in
+  let map_rect r =
+    match prepared.ptransform with
+    | None -> r
+    | Some tr -> Linear_transform.apply_rect tr r
+  in
+  let dist = prepared_distance t prepared q in
+  Nn.nearest_custom t.tree
+    ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
+    ~point_dist:(fun _ id -> dist (Dataset.get t.dataset id))
+    ~k
+  |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d))

@@ -1,0 +1,128 @@
+(** The k-index (Section 4): an R*-tree over the first [k] Fourier
+    coefficients of the normal forms (plus mean and standard deviation),
+    processing similarity queries under safe transformations with the
+    paper's Algorithm 2:
+
+    + {b Preprocessing} — transform the query and the transformation to
+      the frequency domain and build a search region (Section 3.1);
+    + {b Search} — traverse the R-tree, applying the transformation to
+      every MBR and data point on the fly (Algorithm 1: the transformed
+      index is never materialised);
+    + {b Postprocessing} — check every candidate's full record against
+      the true distance.
+
+    Lemma 1 (no false dismissals) holds because the distance on the
+    first [k] coefficients lower-bounds the full distance; the answer
+    returned after postprocessing is therefore exact. *)
+
+type t
+
+(** [build ?config ?max_fill dataset] bulk-loads the index.
+    Raises [Invalid_argument] when [config.k] is not below the series
+    length. *)
+val build : ?config:Feature.config -> ?max_fill:int -> Dataset.t -> t
+
+(** [insert t ~name series] adds one series to the data set and the
+    index; later queries see it immediately. Raises [Invalid_argument]
+    on a length mismatch. *)
+val insert : t -> name:string -> Simq_series.Series.t -> Dataset.entry
+
+(** [delete t id] removes a series from the index (the backing relation
+    keeps the tuple, unreachable); [false] when [id] is unknown or
+    already removed. *)
+val delete : t -> int -> bool
+
+val dataset : t -> Dataset.t
+val config : t -> Feature.config
+
+(** [tree t] exposes the underlying R*-tree (payloads are entry ids) for
+    inspection and invariant checking. *)
+val tree : t -> int Simq_rtree.Rstar.t
+
+type range_result = {
+  answers : (Dataset.entry * float) list;
+      (** entries whose true (transformed) distance is within ε, with
+          that distance *)
+  candidates : int;  (** leaf hits before postprocessing (>= answers) *)
+  node_accesses : int;  (** R-tree nodes visited by this query *)
+}
+
+(** [range t ?spec ~query ~epsilon] finds every series [x] of the data
+    set with [D(T (normal x), normal query) <= epsilon], where [T] is
+    [spec] (default [Identity]) applied in the time domain. The query
+    series must have length [Spec.output_length spec ~n].
+    [~normalise_query:false] uses the query verbatim — pass a series
+    already in the comparison space (e.g. the moving average of a normal
+    form) to match both-sides-transformed semantics. *)
+val range :
+  ?spec:Spec.t ->
+  ?normalise_query:bool ->
+  ?mean_window:float ->
+  ?std_band:float ->
+  t ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  range_result
+(** The optional GK95-style side constraints restrict answers through
+    the mean/std index dimensions: [mean_window w] keeps series whose
+    mean lies within [w] of the (raw) query's mean; [std_band f]
+    (with [f >= 1]) keeps series whose standard deviation is within a
+    factor [f] of the query's. The paper's conclusion points out that
+    simple shifts and scales compose with the general transformations
+    this way. *)
+
+(** [nearest t ?spec ~query ~k] is the [k] entries minimising the same
+    distance, closest first — best-first search with per-feature
+    geometric lower bounds, full distances computed on demand
+    (the multi-step exact NN of [RKV95]). *)
+val nearest :
+  ?spec:Spec.t -> ?normalise_query:bool -> t ->
+  query:Simq_series.Series.t -> k:int -> (Dataset.entry * float) list
+
+(** [range_generic t ?spec ~query_coeffs ~epsilon ~distance] is the
+    engine behind {!range} and the join methods: [query_coeffs] are the
+    [k] complex features of the (already transformed) query side,
+    [distance] computes the full distance used in postprocessing, and
+    [spec] transforms the data side during traversal. The result is
+    exact provided [Spectrum.prefix] of the transformed data spectrum
+    against [query_coeffs] lower-bounds [distance] — the Lemma 1
+    condition. *)
+val range_generic :
+  ?spec:Spec.t ->
+  t ->
+  query_coeffs:Simq_dsp.Cpx.t array ->
+  epsilon:float ->
+  distance:(Dataset.entry -> float) ->
+  range_result
+
+(** {2 Prepared transformations}
+
+    {!range} and {!range_generic} prepare the transformation (stretch
+    vector + lowering) on every call. Workloads that pose many queries
+    under one transformation — the join methods, experiment loops —
+    prepare once instead. *)
+
+type prepared
+
+(** [prepare t spec] precomputes everything [spec] needs against this
+    index. *)
+val prepare : t -> Spec.t -> prepared
+
+(** [range_prepared t prepared ~query_coeffs ~epsilon ~distance] is
+    {!range_generic} with the preparation factored out. *)
+val range_prepared :
+  ?mean_range:float * float ->
+  ?std_range:float * float ->
+  t ->
+  prepared ->
+  query_coeffs:Simq_dsp.Cpx.t array ->
+  epsilon:float ->
+  distance:(Dataset.entry -> float) ->
+  range_result
+
+(** [prepared_distance t prepared q] is the exact full distance
+    [entry -> D(T entry, q)] used by postprocessing: frequency-domain
+    against stored spectra for length-preserving transformations,
+    time-domain for the warp. *)
+val prepared_distance :
+  t -> prepared -> Dataset.entry -> Dataset.entry -> float

@@ -1,0 +1,84 @@
+module Distance = Simq_series.Distance
+
+type stats = {
+  bucket_width : float;
+  counts : int array;  (* counts.(i): distances in [i·w, (i+1)·w) *)
+  total : int;
+}
+
+let collect ?(samples = 2000) ?(seed = 42) ?(buckets = 64) dataset =
+  if samples <= 0 then invalid_arg "Planner.collect: samples must be positive";
+  if buckets <= 0 then invalid_arg "Planner.collect: buckets must be positive";
+  let entries = Dataset.entries dataset in
+  let n = Array.length entries in
+  let state = Random.State.make [| seed |] in
+  let distances =
+    Array.init samples (fun _ ->
+        let i = Random.State.int state n in
+        let j = Random.State.int state n in
+        Distance.euclidean entries.(i).Dataset.normal entries.(j).Dataset.normal)
+  in
+  let max_distance = Array.fold_left Float.max 0. distances in
+  let bucket_width =
+    if max_distance = 0. then 1. else max_distance /. float_of_int buckets
+  in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun d ->
+      let idx = min (buckets - 1) (int_of_float (d /. bucket_width)) in
+      counts.(idx) <- counts.(idx) + 1)
+    distances;
+  { bucket_width; counts; total = samples }
+
+let selectivity stats ~epsilon =
+  if epsilon < 0. then 0.
+  else begin
+    let buckets = Array.length stats.counts in
+    let position = epsilon /. stats.bucket_width in
+    let whole = int_of_float (Float.floor position) in
+    let acc = ref 0. in
+    for i = 0 to min (whole - 1) (buckets - 1) do
+      acc := !acc +. float_of_int stats.counts.(i)
+    done;
+    if whole < buckets then begin
+      let fraction = position -. Float.of_int whole in
+      acc := !acc +. (fraction *. float_of_int stats.counts.(whole))
+    end;
+    Float.min 1. (!acc /. float_of_int stats.total)
+  end
+
+let estimate_answers stats ~cardinality ~epsilon =
+  selectivity stats ~epsilon *. float_of_int cardinality
+
+type plan = Use_index | Use_scan
+
+let choose ?(scan_threshold = 0.3) stats ~cardinality ~epsilon =
+  let expected = estimate_answers stats ~cardinality ~epsilon in
+  let plan =
+    if expected > scan_threshold *. float_of_int cardinality then Use_scan
+    else Use_index
+  in
+  (plan, expected)
+
+type result = {
+  answers : (Dataset.entry * float) list;
+  plan : plan;
+  estimated_answers : float;
+}
+
+let range ?(spec = Spec.Identity) kindex stats ~query ~epsilon =
+  let dataset = Kindex.dataset kindex in
+  let plan, estimated_answers =
+    choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon
+  in
+  let answers =
+    match plan with
+    | Use_index -> (Kindex.range ~spec kindex ~query ~epsilon).Kindex.answers
+    | Use_scan ->
+      (Seqscan.range_early_abandon ~spec dataset ~query ~epsilon).Seqscan.answers
+  in
+  { answers; plan; estimated_answers }
+
+let pp_plan ppf = function
+  | Use_index -> Format.pp_print_string ppf "index"
+  | Use_scan -> Format.pp_print_string ppf "scan"

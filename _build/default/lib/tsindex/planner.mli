@@ -1,0 +1,50 @@
+(** A small cost-based planner for range queries: Figure 12 shows the
+    index winning only while the answer set is a minority of the
+    relation, so a system should pick the access path from the
+    predicted answer-set size. The prediction comes from an equi-width
+    histogram of sampled pairwise normal-form distances. *)
+
+type stats
+
+(** [collect ?samples ?seed ?buckets dataset] samples pairwise distances
+    between normal forms ([samples] pairs, default 2000) into an
+    equi-width histogram (default 64 buckets). *)
+val collect : ?samples:int -> ?seed:int -> ?buckets:int -> Dataset.t -> stats
+
+(** [selectivity stats ~epsilon] is the estimated fraction of series
+    within [epsilon] of a typical query, in [0, 1]; monotone in
+    [epsilon], linear interpolation inside buckets. *)
+val selectivity : stats -> epsilon:float -> float
+
+(** [estimate_answers stats ~cardinality ~epsilon] scales the
+    selectivity to an expected answer count. *)
+val estimate_answers : stats -> cardinality:int -> epsilon:float -> float
+
+type plan = Use_index | Use_scan
+
+(** [choose ?scan_threshold stats ~cardinality ~epsilon] picks the access
+    path: scan when the expected answer fraction exceeds
+    [scan_threshold] (default 0.3, the paper's “one third of the
+    relation” crossover). Returns the plan and the expected answer
+    count. *)
+val choose :
+  ?scan_threshold:float -> stats -> cardinality:int -> epsilon:float ->
+  plan * float
+
+type result = {
+  answers : (Dataset.entry * float) list;
+  plan : plan;
+  estimated_answers : float;
+}
+
+(** [range kindex stats ?spec ~query ~epsilon] plans and executes: the
+    answers are identical whichever path runs (both are exact). *)
+val range :
+  ?spec:Spec.t ->
+  Kindex.t ->
+  stats ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  result
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,252 @@
+type join_method = Scan_full | Scan_early | Index
+
+type t =
+  | Range of {
+      source : string;
+      spec : Spec.t;
+      query : string;
+      epsilon : float;
+      mean_window : float option;
+      std_band : float option;
+    }
+  | Nearest of {
+      k : int;
+      source : string;
+      spec : Spec.t;
+      query : string;
+    }
+  | Pairs of {
+      source : string;
+      spec : Spec.t;
+      epsilon : float;
+      method_ : join_method;
+    }
+
+(* --- lexer ----------------------------------------------------------- *)
+
+type token =
+  | Ident of string  (* lower-cased *)
+  | Number of float
+  | Int of int
+  | Lparen
+  | Rparen
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-'
+  in
+  let is_digit c = (c >= '0' && c <= '9') || c = '.' in
+  while !pos < n do
+    let c = text.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '(' then begin
+      tokens := Lparen :: !tokens;
+      incr pos
+    end
+    else if c = ')' then begin
+      tokens := Rparen :: !tokens;
+      incr pos
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit text.[!pos] do
+        incr pos
+      done;
+      let lexeme = String.sub text start (!pos - start) in
+      if String.contains lexeme '.' then
+        match float_of_string_opt lexeme with
+        | Some f -> tokens := Number f :: !tokens
+        | None -> fail "bad number %S" lexeme
+      else begin
+        match int_of_string_opt lexeme with
+        | Some i -> tokens := Int i :: !tokens
+        | None -> fail "bad integer %S" lexeme
+      end
+    end
+    else if is_ident_char c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char text.[!pos] do
+        incr pos
+      done;
+      tokens :=
+        Ident (String.lowercase_ascii (String.sub text start (!pos - start)))
+        :: !tokens
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* --- parser ----------------------------------------------------------- *)
+
+let describe = function
+  | Ident s -> Printf.sprintf "%S" s
+  | Number f -> Printf.sprintf "number %g" f
+  | Int i -> Printf.sprintf "integer %d" i
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> fail "unexpected end of query"
+  | t :: rest ->
+    st.tokens <- rest;
+    t
+
+let expect_keyword st kw =
+  match advance st with
+  | Ident s when String.equal s kw -> ()
+  | t -> fail "expected %S, found %s" kw (describe t)
+
+let expect_ident st what =
+  match advance st with
+  | Ident s -> s
+  | t -> fail "expected %s, found %s" what (describe t)
+
+let expect_int st what =
+  match advance st with
+  | Int i -> i
+  | t -> fail "expected %s, found %s" what (describe t)
+
+let expect_number st what =
+  match advance st with
+  | Number f -> f
+  | Int i -> float_of_int i
+  | t -> fail "expected %s, found %s" what (describe t)
+
+let int_argument st name =
+  (match advance st with
+  | Lparen -> ()
+  | t -> fail "expected '(' after %s, found %s" name (describe t));
+  let v = expect_int st (name ^ " argument") in
+  (match advance st with
+  | Rparen -> ()
+  | t -> fail "expected ')' after %s argument, found %s" name (describe t));
+  v
+
+let parse_spec st =
+  match peek st with
+  | Some (Ident "using") ->
+    ignore (advance st);
+    (match expect_ident st "transformation name" with
+    | "id" -> Spec.Identity
+    | "rev" -> Spec.Reverse
+    | "mavg" -> Spec.Moving_average (int_argument st "mavg")
+    | "wma" -> Spec.Weighted_ma (Simq_dsp.Window.ascending (int_argument st "wma"))
+    | "warp" -> Spec.Warp (int_argument st "warp")
+    | other -> fail "unknown transformation %S" other)
+  | _ -> Spec.Identity
+
+let parse_epsilon st =
+  (match advance st with
+  | Ident ("eps" | "epsilon") -> ()
+  | t -> fail "expected EPS, found %s" (describe t));
+  expect_number st "epsilon value"
+
+let parse_method st =
+  match peek st with
+  | Some (Ident "method") ->
+    ignore (advance st);
+    (match expect_ident st "join method" with
+    | "scan" -> Scan_full
+    | "scan-early" -> Scan_early
+    | "index" -> Index
+    | other -> fail "unknown join method %S (scan | scan-early | index)" other)
+  | _ -> Index
+
+let finish st query =
+  match peek st with
+  | None -> query
+  | Some t -> fail "trailing input starting at %s" (describe t)
+
+(* Optional GK95 side constraints: MEAN w and STD f, in either order. *)
+let parse_constraints st =
+  let mean_window = ref None and std_band = ref None in
+  let rec go () =
+    match peek st with
+    | Some (Ident "mean") ->
+      ignore (advance st);
+      mean_window := Some (expect_number st "mean window");
+      go ()
+    | Some (Ident "std") ->
+      ignore (advance st);
+      std_band := Some (expect_number st "std band");
+      go ()
+    | _ -> ()
+  in
+  go ();
+  (!mean_window, !std_band)
+
+let parse_query st =
+  match advance st with
+  | Ident "range" ->
+    expect_keyword st "from";
+    let source = expect_ident st "relation name" in
+    let spec = parse_spec st in
+    expect_keyword st "query";
+    let query = expect_ident st "query name" in
+    let epsilon = parse_epsilon st in
+    let mean_window, std_band = parse_constraints st in
+    finish st (Range { source; spec; query; epsilon; mean_window; std_band })
+  | Ident "nearest" ->
+    let k = expect_int st "neighbour count" in
+    expect_keyword st "from";
+    let source = expect_ident st "relation name" in
+    let spec = parse_spec st in
+    expect_keyword st "query";
+    let query = expect_ident st "query name" in
+    finish st (Nearest { k; source; spec; query })
+  | Ident "pairs" ->
+    expect_keyword st "from";
+    let source = expect_ident st "relation name" in
+    let spec = parse_spec st in
+    let epsilon = parse_epsilon st in
+    let method_ = parse_method st in
+    finish st (Pairs { source; spec; epsilon; method_ })
+  | t -> fail "expected RANGE, NEAREST or PAIRS, found %s" (describe t)
+
+let parse text =
+  match tokenize text with
+  | exception Parse_error msg -> Error msg
+  | tokens -> (
+    match parse_query { tokens } with
+    | query -> Ok query
+    | exception Parse_error msg -> Error msg)
+
+(* Spec.pp prints bare names (mavg20); the query surface needs the
+   parseable call syntax back. *)
+let pp_spec ppf = function
+  | Spec.Identity -> Format.pp_print_string ppf "id"
+  | Spec.Reverse -> Format.pp_print_string ppf "rev"
+  | Spec.Moving_average m -> Format.fprintf ppf "mavg(%d)" m
+  | Spec.Weighted_ma w -> Format.fprintf ppf "wma(%d)" (Simq_dsp.Window.width w)
+  | Spec.Warp m -> Format.fprintf ppf "warp(%d)" m
+
+let pp_method ppf = function
+  | Scan_full -> Format.pp_print_string ppf "scan"
+  | Scan_early -> Format.pp_print_string ppf "scan-early"
+  | Index -> Format.pp_print_string ppf "index"
+
+let pp ppf = function
+  | Range { source; spec; query; epsilon; mean_window; std_band } ->
+    Format.fprintf ppf "RANGE FROM %s USING %a QUERY %s EPS %g" source
+      pp_spec spec query epsilon;
+    Option.iter (fun w -> Format.fprintf ppf " MEAN %g" w) mean_window;
+    Option.iter (fun f -> Format.fprintf ppf " STD %g" f) std_band
+  | Nearest { k; source; spec; query } ->
+    Format.fprintf ppf "NEAREST %d FROM %s USING %a QUERY %s" k source
+      pp_spec spec query
+  | Pairs { source; spec; epsilon; method_ } ->
+    Format.fprintf ppf "PAIRS FROM %s USING %a EPS %g METHOD %a" source
+      pp_spec spec epsilon pp_method method_

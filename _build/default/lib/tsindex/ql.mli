@@ -1,0 +1,54 @@
+(** A small textual query language for similarity queries — the concrete
+    surface of the framework's query component (an extension of
+    relational calculus with cost-bounded similarity predicates),
+    restricted to the three query classes the paper processes through
+    the index.
+
+    Grammar (keywords case-insensitive):
+
+    {v
+    query    ::= RANGE   FROM ident [USING t] QUERY ident EPS number
+                         [MEAN number] [STD number]
+               | NEAREST int FROM ident [USING t] QUERY ident
+               | PAIRS   FROM ident [USING t] EPS number [METHOD m]
+    t        ::= id | rev | mavg(int) | wma(int) | warp(int)
+    m        ::= scan | scan-early | index
+    v}
+
+    Examples:
+
+    {v
+    RANGE FROM stocks USING mavg(20) QUERY ibm EPS 2.5
+    NEAREST 5 FROM stocks USING rev QUERY ibm
+    PAIRS FROM stocks USING mavg(20) EPS 1.2 METHOD index
+    v} *)
+
+type join_method = Scan_full | Scan_early | Index
+
+type t =
+  | Range of {
+      source : string;
+      spec : Spec.t;
+      query : string;
+      epsilon : float;
+      mean_window : float option;  (** [MEAN w]: answer mean within ±w *)
+      std_band : float option;  (** [STD f]: answer std within ×/÷ f *)
+    }
+  | Nearest of {
+      k : int;
+      source : string;
+      spec : Spec.t;
+      query : string;
+    }
+  | Pairs of {
+      source : string;
+      spec : Spec.t;
+      epsilon : float;
+      method_ : join_method;
+    }
+
+(** [parse text] is the query, or a human-readable error mentioning the
+    offending token. *)
+val parse : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+module Cpx = Simq_dsp.Cpx
+module Series = Simq_series.Series
+module Distance = Simq_series.Distance
+module Relation = Simq_storage.Relation
+
+type result = {
+  answers : (Dataset.entry * float) list;
+  full_computations : int;
+  coefficients_touched : int;
+}
+
+let sq_norm z =
+  let re = Cpx.re z and im = Cpx.im z in
+  (re *. re) +. (im *. im)
+
+(* The transformed spectrum of an entry, restricted to the first
+   [limit] coefficients, produced lazily one coefficient at a time so
+   early abandoning does not pay for the whole vector. *)
+let transformed_coeff stretch (entry : Dataset.entry) f =
+  Cpx.mul stretch.(f) entry.Dataset.spectrum.(f)
+
+let check_query_length dataset spec query =
+  let n = Dataset.series_length dataset in
+  let expected = Spec.output_length spec ~n in
+  if Series.length query <> expected then
+    invalid_arg
+      (Printf.sprintf "Seqscan: query length %d, expected %d"
+         (Series.length query) expected)
+
+(* Frequency-domain scan for the length-preserving transformations; the
+   time-warp changes the series length, so its distances are computed in
+   the time domain (same value by Parseval, no early-abandon benefit on
+   the warped prefix). *)
+let scan ~abandon ~normalise_query dataset spec query epsilon =
+  check_query_length dataset spec query;
+  if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
+  let q = Dataset.prepare_query ~normalise:normalise_query query in
+  let n = Dataset.series_length dataset in
+  let limit = epsilon *. epsilon in
+  let answers = ref [] in
+  let full = ref 0 in
+  let touched = ref 0 in
+  let relation = Dataset.relation dataset in
+  (match spec with
+  | Spec.Warp _ ->
+    Array.iter
+      (fun (entry : Dataset.entry) ->
+        ignore (Relation.get relation entry.Dataset.id);
+        let transformed = Spec.apply_series spec entry.Dataset.normal in
+        incr full;
+        touched := !touched + Series.length transformed;
+        let d =
+          if abandon then
+            Distance.euclidean_early_abandon ~threshold:epsilon transformed
+              q.Dataset.normal
+          else Some (Distance.euclidean transformed q.Dataset.normal)
+        in
+        match d with
+        | Some d when d <= epsilon -> answers := (entry, d) :: !answers
+        | _ -> ())
+      (Dataset.entries dataset)
+  | _ ->
+    let stretch = Spec.stretch spec ~n in
+    Array.iter
+      (fun (entry : Dataset.entry) ->
+        ignore (Relation.get relation entry.Dataset.id);
+        let acc = ref 0. in
+        let f = ref 0 in
+        let abandoned = ref false in
+        while (not !abandoned) && !f < n do
+          let diff =
+            Cpx.sub (transformed_coeff stretch entry !f) q.Dataset.spectrum.(!f)
+          in
+          acc := !acc +. sq_norm diff;
+          incr touched;
+          incr f;
+          if abandon && !acc > limit then abandoned := true
+        done;
+        if not !abandoned then begin
+          incr full;
+          let d = sqrt !acc in
+          if d <= epsilon then answers := (entry, d) :: !answers
+        end)
+      (Dataset.entries dataset));
+  {
+    answers =
+      List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
+        !answers;
+    full_computations = !full;
+    coefficients_touched = !touched;
+  }
+
+let range_full ?(spec = Spec.Identity) ?(normalise_query = true) dataset
+    ~query ~epsilon =
+  scan ~abandon:false ~normalise_query dataset spec query epsilon
+
+let range_early_abandon ?(spec = Spec.Identity) ?(normalise_query = true)
+    dataset ~query ~epsilon =
+  scan ~abandon:true ~normalise_query dataset spec query epsilon
+
+let reference ?(spec = Spec.Identity) ?(normalise_query = true) dataset ~query
+    ~epsilon =
+  check_query_length dataset spec query;
+  let q = Dataset.prepare_query ~normalise:normalise_query query in
+  Array.to_list (Dataset.entries dataset)
+  |> List.filter_map (fun (entry : Dataset.entry) ->
+         let d =
+           Distance.euclidean
+             (Spec.apply_series spec entry.Dataset.normal)
+             q.Dataset.normal
+         in
+         if d <= epsilon then Some (entry, d) else None)
+  |> List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)

@@ -1,0 +1,35 @@
+(** Sequential-scan baselines (Section 5, Figures 10–11).
+
+    Scans run over the relation of Fourier coefficients, not the raw
+    series: the DFT packs most of the energy into the first
+    coefficients, so the early-abandoning variant can dismiss most
+    sequences after a few terms. Page traffic is accounted against the
+    backing relation. *)
+
+type result = {
+  answers : (Dataset.entry * float) list;
+  full_computations : int;
+      (** distance computations carried to completion *)
+  coefficients_touched : int;
+      (** total spectrum coefficients examined — the work an early
+          abandon saves *)
+}
+
+(** [range_full dataset ?spec ~query ~epsilon] compares the query
+    against every entry with no early abandoning (method (a) style). *)
+val range_full :
+  ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
+  result
+
+(** [range_early_abandon dataset ?spec ~query ~epsilon] stops each
+    distance computation as soon as the running sum exceeds ε
+    (method (b) style). Answers are identical to {!range_full}. *)
+val range_early_abandon :
+  ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
+  result
+
+(** [reference dataset ?spec ~query ~epsilon] is the plain time-domain
+    brute force used as the test oracle. *)
+val reference :
+  ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
+  (Dataset.entry * float) list

@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Array Float Random Simq_series

@@ -1,0 +1,1 @@
+lib/workload/stocklike.ml: Array Float Random Simq_series

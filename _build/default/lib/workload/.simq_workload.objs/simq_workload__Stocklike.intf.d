@@ -1,0 +1,1 @@
+lib/workload/stocklike.mli: Random Simq_series

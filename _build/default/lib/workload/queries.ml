@@ -1,0 +1,17 @@
+let perturb state series ~amount =
+  Array.map (fun v -> v +. Random.State.float state (2. *. amount) -. amount)
+    series
+
+let threshold_for_count distances ~count =
+  let n = Array.length distances in
+  if count < 1 || count > n then
+    invalid_arg "Queries.threshold_for_count: count out of range";
+  let sorted = Array.copy distances in
+  Array.sort Float.compare sorted;
+  sorted.(count - 1)
+
+let epsilon_for_answer_size ~normals ~query ~target =
+  let distances =
+    Array.map (fun s -> Simq_series.Distance.euclidean s query) normals
+  in
+  threshold_for_count distances ~count:target

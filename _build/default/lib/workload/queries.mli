@@ -1,0 +1,26 @@
+(** Query workload helpers: reproducible query series and the threshold
+    calibration used by the answer-set-size experiment (Figure 12 varies
+    ε “so that the query gave us different numbers of time series in the
+    answer set”). *)
+
+(** [perturb state series ~amount] adds uniform noise in
+    [-amount, amount] — queries near, but not identical to, stored
+    data. *)
+val perturb :
+  Random.State.t -> Simq_series.Series.t -> amount:float ->
+  Simq_series.Series.t
+
+(** [threshold_for_count distances ~count] is the smallest ε admitting
+    at least [count] of the given distances (i.e. the [count]-th
+    smallest). Raises [Invalid_argument] when [count] is out of
+    range. *)
+val threshold_for_count : float array -> count:int -> float
+
+(** [epsilon_for_answer_size ~normals ~query ~target] calibrates ε so a
+    range query on the normal forms returns [target] answers: the
+    [target]-th smallest Euclidean distance from [query] to [normals]. *)
+val epsilon_for_answer_size :
+  normals:Simq_series.Series.t array ->
+  query:Simq_series.Series.t ->
+  target:int ->
+  float

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Calculus Eval Float Fun List Option Pattern Printf QCheck QCheck_alcotest Similarity Simq_core String Transformation

@@ -1,0 +1,1 @@
+test/test_dsp.ml: Alcotest Array Convolution Cpx Dft Fft Float List Printf QCheck QCheck_alcotest Random Simq_dsp Spectrum Window

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Complex_transform Coords Float Linear_transform List Option Point QCheck QCheck_alcotest Random Rect Region Simq_dsp Simq_geometry

@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Array Bk_tree Float Linear_scan List Metric Printf QCheck QCheck_alcotest Random Simq_metric String Vp_tree

@@ -1,0 +1,1 @@
+test/test_ql.ml: Alcotest Format List Printf Ql Simq_tsindex Spec String

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Buffer Char Float Gen_edit List Option Printf QCheck QCheck_alcotest Random Rule Search Simq_rewrite String

@@ -1,0 +1,1 @@
+test/test_series.ml: Alcotest Array Distance Fixtures Float Generator List Moving_average Normal_form Printf QCheck QCheck_alcotest Random Series Simq_dsp Simq_series Stats Warp

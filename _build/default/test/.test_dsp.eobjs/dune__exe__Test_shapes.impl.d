@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Array Float Format List Printf QCheck QCheck_alcotest Random Shape Signature Simq_geometry Simq_shapes

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer_pool Csv Filename Fun Io_stats List Relation Simq_series Simq_storage String Sys

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Printf Queries Random Simq_series Simq_workload Stocklike

@@ -1,0 +1,404 @@
+open Simq_core
+
+let d0 x y = Float.abs (x -. y)
+let shift delta ~cost = Transformation.create ~name:(Printf.sprintf "shift%+g" delta) ~cost (fun x -> x +. delta)
+
+(* --- Transformation ----------------------------------------------------- *)
+
+let test_transformation_basics () =
+  let t = shift 5. ~cost:1. in
+  Alcotest.(check (float 0.)) "apply" 7. (Transformation.apply t 2.);
+  Alcotest.(check (float 0.)) "cost" 1. (Transformation.cost t);
+  Alcotest.(check (float 0.)) "identity" 2.
+    (Transformation.apply Transformation.identity 2.);
+  Alcotest.(check (float 0.)) "identity free" 0.
+    (Transformation.cost Transformation.identity)
+
+let test_transformation_compose () =
+  let t = Transformation.compose (shift 5. ~cost:1.) (shift 2. ~cost:0.5) in
+  Alcotest.(check (float 0.)) "apply" 7. (Transformation.apply t 0.);
+  Alcotest.(check (float 0.)) "costs add" 1.5 (Transformation.cost t)
+
+let test_transformation_validation () =
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Transformation.create: cost must be finite and non-negative")
+    (fun () -> ignore (Transformation.create ~name:"bad" ~cost:(-1.) Fun.id))
+
+(* --- Pattern -------------------------------------------------------------- *)
+
+let equal_f (a : float) b = a = b
+
+let test_pattern_matches () =
+  Alcotest.(check bool) "const yes" true
+    (Pattern.matches ~equal:equal_f (Pattern.Const 3.) 3.);
+  Alcotest.(check bool) "const no" false
+    (Pattern.matches ~equal:equal_f (Pattern.Const 3.) 4.);
+  Alcotest.(check bool) "any" true (Pattern.matches ~equal:equal_f Pattern.Any 9.);
+  Alcotest.(check bool) "one_of" true
+    (Pattern.matches ~equal:equal_f (Pattern.One_of [ 1.; 2. ]) 2.);
+  Alcotest.(check bool) "filter" true
+    (Pattern.matches ~equal:equal_f
+       (Pattern.Filter { name = "pos"; pred = (fun x -> x > 0.) })
+       1.);
+  Alcotest.(check bool) "union" true
+    (Pattern.matches ~equal:equal_f
+       (Pattern.Union (Pattern.Const 1., Pattern.Const 2.))
+       2.)
+
+let test_pattern_denotation () =
+  let universe = [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check (list (float 0.))) "any = universe" universe
+    (Pattern.denotation ~equal:equal_f ~universe Pattern.Any);
+  Alcotest.(check (list (float 0.))) "filter" [ 3.; 4. ]
+    (Pattern.denotation ~equal:equal_f ~universe
+       (Pattern.Filter { name = "big"; pred = (fun x -> x > 2.) }));
+  (* A constant outside the universe still belongs to the denotation. *)
+  Alcotest.(check (list (float 0.))) "fresh constant" [ 9. ]
+    (Pattern.denotation ~equal:equal_f ~universe:[ 1. ] (Pattern.Const 9.)
+    |> List.filter (fun x -> x = 9.))
+
+let test_pattern_is_constant () =
+  Alcotest.(check bool) "const" true
+    (Option.is_some (Pattern.is_constant (Pattern.Const 1.)));
+  Alcotest.(check bool) "union of consts" true
+    (Option.is_some
+       (Pattern.is_constant (Pattern.Union (Pattern.Const 1., Pattern.One_of [ 2. ]))));
+  Alcotest.(check bool) "any is not" true
+    (Option.is_none (Pattern.is_constant Pattern.Any))
+
+(* --- Similarity (Eq. 10) ---------------------------------------------------- *)
+
+let test_similarity_no_transformations () =
+  Alcotest.(check (float 1e-9)) "D = D0" 3.
+    (Similarity.distance ~transformations:[] ~d0 2. 5.)
+
+let test_similarity_one_side () =
+  (* Shifting left by +5 at cost 1 turns D(0,5)=5 into 1. *)
+  let transformations = [ shift 5. ~cost:1. ] in
+  let w = Similarity.witness ~transformations ~d0 0. 5. in
+  Alcotest.(check (float 1e-9)) "distance" 1. w.Similarity.distance;
+  Alcotest.(check (float 1e-9)) "residual" 0. w.Similarity.residual;
+  Alcotest.(check bool) "applied on one side" true
+    (w.Similarity.left_applied = [ "shift+5" ]
+    || w.Similarity.right_applied = [ "shift-5" ])
+
+let test_similarity_repeated_and_both_sides () =
+  (* D(0, 10) with shift +5 @ 1: two applications, cost 2. *)
+  let transformations = [ shift 5. ~cost:1. ] in
+  Alcotest.(check (float 1e-9)) "two applications" 2.
+    (Similarity.distance ~transformations ~d0 0. 10.);
+  (* With shifts +5 and -5 both available the minimum may mix sides:
+     D(0, 10) = 2 still (e.g. +5 on left, -5 on right). *)
+  let transformations = [ shift 5. ~cost:1.; shift (-5.) ~cost:1. ] in
+  Alcotest.(check (float 1e-9)) "mixed sides" 2.
+    (Similarity.distance ~transformations ~d0 0. 10.)
+
+let test_similarity_never_exceeds_d0 () =
+  (* An expensive useless transformation is ignored. *)
+  let transformations = [ shift 100. ~cost:50. ] in
+  Alcotest.(check (float 1e-9)) "D = D0" 4.
+    (Similarity.distance ~transformations ~d0 1. 5.)
+
+let test_similarity_respects_bound () =
+  let transformations = [ shift 5. ~cost:3. ] in
+  (* Default bound is D0 = 5, so one application (cost 3) is explored. *)
+  Alcotest.(check (float 1e-9)) "found within default bound" 3.
+    (Similarity.distance ~transformations ~d0 0. 5.);
+  (* Tighter bound cuts the search; distance falls back to D0 estimate. *)
+  Alcotest.(check (float 1e-9)) "bound too small" 5.
+    (Similarity.distance ~bound:2. ~transformations ~d0 0. 5.)
+
+let test_similarity_budget () =
+  (* Zero-cost shifts generate unboundedly many states. *)
+  let transformations = [ shift 0.1 ~cost:0. ] in
+  try
+    ignore
+      (Similarity.distance ~max_expansions:100 ~transformations ~d0 0. 1000.);
+    Alcotest.fail "expected Budget_exceeded"
+  with Similarity.Budget_exceeded -> ()
+
+let test_similar_predicate () =
+  let transformations = [ shift 5. ~cost:1. ] in
+  Alcotest.(check bool) "similar" true
+    (Similarity.similar ~transformations ~d0 ~bound:1.5 0. 5.);
+  Alcotest.(check bool) "not similar" false
+    (Similarity.similar ~transformations ~d0 ~bound:0.5 0. 5.)
+
+let test_similarity_witness_two_steps () =
+  (* D(0, 10) with only shift +5 @ 1: the witness records two left
+     applications (or two right with -5 unavailable, so left). *)
+  let transformations = [ shift 5. ~cost:1. ] in
+  let w = Similarity.witness ~transformations ~d0 0. 10. in
+  Alcotest.(check (float 1e-9)) "distance" 2. w.Similarity.distance;
+  Alcotest.(check (float 1e-9)) "cost" 2. w.Similarity.cost;
+  Alcotest.(check int) "two applications" 2
+    (List.length (w.Similarity.left_applied @ w.Similarity.right_applied));
+  Alcotest.(check (float 1e-9)) "residual zero" 0. w.Similarity.residual
+
+(* --- Eval ------------------------------------------------------------------- *)
+
+let collection =
+  Array.of_list
+    (List.mapi (fun id v -> { Eval.id; obj = v }) [ 0.; 2.; 4.; 6.; 8. ])
+
+let ids hits = List.map (fun h -> h.Eval.item.Eval.id) hits
+
+let test_eval_range () =
+  let hits = Eval.range ~d:d0 collection ~query:4. ~epsilon:2. in
+  Alcotest.(check (list int)) "ids" [ 1; 2; 3 ] (ids hits)
+
+let test_eval_range_with_transform () =
+  (* T doubles objects: |2o - 8| <= 1 selects o = 4 (and only it). *)
+  let double = Transformation.create ~name:"double" ~cost:0. (fun x -> 2. *. x) in
+  let hits = Eval.range ~d:d0 ~transform:double collection ~query:8. ~epsilon:1. in
+  Alcotest.(check (list int)) "ids" [ 2 ] (ids hits);
+  (* Results carry the original object, not the transformed one. *)
+  Alcotest.(check (float 0.)) "untransformed" 4.
+    (List.hd hits).Eval.item.Eval.obj
+
+let test_eval_range_pattern () =
+  let pattern = Pattern.Filter { name = "small"; pred = (fun x -> x < 5.) } in
+  let hits =
+    Eval.range_pattern ~d:d0 ~equal:equal_f collection ~pattern ~query:4.
+      ~epsilon:10.
+  in
+  Alcotest.(check (list int)) "pattern filters" [ 0; 1; 2 ] (ids hits)
+
+let test_eval_all_pairs () =
+  let pairs = Eval.all_pairs ~d:d0 collection ~epsilon:2. in
+  (* Adjacent values differ by 2. *)
+  Alcotest.(check int) "adjacent pairs" 4 (List.length pairs);
+  List.iter
+    (fun (a, b, dist) ->
+      Alcotest.(check bool) "ordered" true (a.Eval.id < b.Eval.id);
+      Alcotest.(check (float 1e-9)) "distance" 2. dist)
+    pairs
+
+let test_eval_nearest () =
+  let hits = Eval.nearest ~d:d0 collection ~query:5. ~k:2 in
+  Alcotest.(check (list int)) "two closest" [ 2; 3 ]
+    (List.sort compare (ids hits))
+
+let test_eval_similar_set () =
+  let transformations = [ shift 2. ~cost:0.5 ] in
+  (* Query 10: object 8 reaches it with one shift (cost .5), object 6
+     with two (cost 1.0); bound 0.75 keeps only object 8. *)
+  let hits =
+    Eval.similar_set ~transformations ~d0 collection ~query:10. ~bound:0.75
+  in
+  Alcotest.(check (list int)) "ids" [ 4 ] (ids hits)
+
+(* --- Calculus ----------------------------------------------------------------- *)
+
+let similar_shift ~bound x y =
+  (* Similarity via shifts of +-2 at cost 1 each. *)
+  let transformations = [ shift 2. ~cost:1.; shift (-2.) ~cost:1. ] in
+  Similarity.similar ~transformations ~d0 ~bound x y
+
+let database = [ ("r", [| 0.; 2.; 4.; 10. |]); ("s", [| 2.; 3.; 10. |]) ]
+
+let eval_ok q =
+  match Calculus.eval ~equal:equal_f ~similar:similar_shift ~database q with
+  | Ok tuples -> tuples
+  | Error msg -> Alcotest.failf "eval failed: %s" msg
+
+let test_calculus_free_and_bound () =
+  let f =
+    Calculus.And
+      ( Calculus.Member { term = Calculus.Var "x"; relation = "r" },
+        Calculus.Sim
+          { left = Calculus.Var "x"; right = Calculus.Var "y"; bound = 1. } )
+  in
+  Alcotest.(check (list string)) "free vars in order" [ "x"; "y" ]
+    (Calculus.free_variables f)
+
+let test_calculus_range_restriction () =
+  let member v r = Calculus.Member { term = Calculus.Var v; relation = r } in
+  let sim v c bound =
+    Calculus.Sim { left = Calculus.Var v; right = Calculus.Const c; bound }
+  in
+  Alcotest.(check bool) "member binds" true
+    (Calculus.range_restricted
+       { Calculus.head = [ "x" ]; body = Calculus.And (member "x" "r", sim "x" 1. 1.) });
+  Alcotest.(check bool) "sim alone does not bind" false
+    (Calculus.range_restricted
+       { Calculus.head = [ "x" ]; body = sim "x" 1. 1. });
+  Alcotest.(check bool) "negation does not bind" false
+    (Calculus.range_restricted
+       { Calculus.head = [ "x" ]; body = Calculus.Not (member "x" "r") });
+  Alcotest.(check bool) "or needs both branches" false
+    (Calculus.range_restricted
+       { Calculus.head = [ "x" ];
+         body = Calculus.Or (member "x" "r", sim "x" 1. 1.) });
+  Alcotest.(check bool) "or with both branches binding" true
+    (Calculus.range_restricted
+       { Calculus.head = [ "x" ];
+         body = Calculus.Or (member "x" "r", member "x" "s") });
+  Alcotest.(check bool) "constant pattern binds" true
+    (Calculus.range_restricted
+       { Calculus.head = [ "x" ];
+         body =
+           Calculus.Matches
+             { term = Calculus.Var "x"; pattern = Pattern.One_of [ 1.; 2. ] } });
+  Alcotest.(check bool) "head variable missing from body" false
+    (Calculus.range_restricted
+       { Calculus.head = [ "z" ]; body = member "x" "r" })
+
+let test_calculus_selection () =
+  (* x in r, x similar to 6 within cost 1: shifting by ±2 reaches 6 from
+     4 (cost 1) and matches 6... 6 is not in r; 4 and... 10 needs 2 shifts. *)
+  let q =
+    {
+      Calculus.head = [ "x" ];
+      body =
+        Calculus.And
+          ( Calculus.Member { term = Calculus.Var "x"; relation = "r" },
+            Calculus.Sim
+              { left = Calculus.Var "x"; right = Calculus.Const 6.; bound = 1. }
+          );
+    }
+  in
+  Alcotest.(check (list (list (float 0.)))) "selection" [ [ 4. ] ] (eval_ok q)
+
+let test_calculus_join () =
+  (* Pairs (x, y) in r x s with x exactly similar at zero cost: equality. *)
+  let q =
+    {
+      Calculus.head = [ "x"; "y" ];
+      body =
+        Calculus.And
+          ( Calculus.Member { term = Calculus.Var "x"; relation = "r" },
+            Calculus.And
+              ( Calculus.Member { term = Calculus.Var "y"; relation = "s" },
+                Calculus.Sim
+                  { left = Calculus.Var "x"; right = Calculus.Var "y"; bound = 0. }
+              ) );
+    }
+  in
+  Alcotest.(check (list (list (float 0.)))) "join" [ [ 2.; 2. ]; [ 10.; 10. ] ]
+    (eval_ok q)
+
+let test_calculus_negation_and_or () =
+  let member v r = Calculus.Member { term = Calculus.Var v; relation = r } in
+  (* Members of r that are NOT within one shift of 2. *)
+  let q =
+    {
+      Calculus.head = [ "x" ];
+      body =
+        Calculus.And
+          ( member "x" "r",
+            Calculus.Not
+              (Calculus.Sim
+                 { left = Calculus.Var "x"; right = Calculus.Const 2.; bound = 1. }) );
+    }
+  in
+  Alcotest.(check (list (list (float 0.)))) "negation" [ [ 10. ] ] (eval_ok q);
+  (* Union of r and s. *)
+  let u =
+    { Calculus.head = [ "x" ]; body = Calculus.Or (member "x" "r", member "x" "s") }
+  in
+  Alcotest.(check int) "union size" 5 (List.length (eval_ok u))
+
+let test_calculus_errors () =
+  let bad_rel =
+    {
+      Calculus.head = [ "x" ];
+      body = Calculus.Member { term = Calculus.Var "x"; relation = "nope" };
+    }
+  in
+  (match Calculus.eval ~equal:equal_f ~similar:similar_shift ~database bad_rel with
+  | Error msg ->
+    Alcotest.(check bool) "mentions relation" true
+      (String.length msg > 0 && String.equal msg "unknown relation \"nope\"")
+  | Ok _ -> Alcotest.fail "expected error");
+  let unsafe =
+    {
+      Calculus.head = [ "x" ];
+      body =
+        Calculus.Sim
+          { left = Calculus.Var "x"; right = Calculus.Const 1.; bound = 5. };
+    }
+  in
+  match Calculus.eval ~equal:equal_f ~similar:similar_shift ~database unsafe with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected range-restriction error"
+
+(* --- properties --------------------------------------------------------------- *)
+
+let arb_float_pair =
+  QCheck.make
+    ~print:QCheck.Print.(pair float float)
+    QCheck.Gen.(pair (float_range (-50.) 50.) (float_range (-50.) 50.))
+
+let prop_similarity_le_d0 =
+  QCheck.Test.make ~name:"Eq.10 distance <= D0" ~count:100 arb_float_pair
+    (fun (x, y) ->
+      let transformations = [ shift 5. ~cost:1.; shift (-3.) ~cost:0.7 ] in
+      Similarity.distance ~bound:5. ~transformations ~d0 x y <= d0 x y +. 1e-9)
+
+let prop_similarity_symmetric_for_symmetric_sets =
+  QCheck.Test.make ~name:"symmetric transformation set => symmetric distance"
+    ~count:100 arb_float_pair (fun (x, y) ->
+      let transformations = [ shift 5. ~cost:1.; shift (-5.) ~cost:1. ] in
+      let dxy = Similarity.distance ~bound:8. ~transformations ~d0 x y in
+      let dyx = Similarity.distance ~bound:8. ~transformations ~d0 y x in
+      Float.abs (dxy -. dyx) <= 1e-9)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_similarity_le_d0; prop_similarity_symmetric_for_symmetric_sets ]
+
+let () =
+  Alcotest.run "simq_core"
+    [
+      ( "transformation",
+        [
+          Alcotest.test_case "basics" `Quick test_transformation_basics;
+          Alcotest.test_case "compose" `Quick test_transformation_compose;
+          Alcotest.test_case "validation" `Quick test_transformation_validation;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "matches" `Quick test_pattern_matches;
+          Alcotest.test_case "denotation" `Quick test_pattern_denotation;
+          Alcotest.test_case "is_constant" `Quick test_pattern_is_constant;
+        ] );
+      ( "similarity",
+        [
+          Alcotest.test_case "no transformations" `Quick
+            test_similarity_no_transformations;
+          Alcotest.test_case "one side" `Quick test_similarity_one_side;
+          Alcotest.test_case "repeated and both sides" `Quick
+            test_similarity_repeated_and_both_sides;
+          Alcotest.test_case "never exceeds D0" `Quick
+            test_similarity_never_exceeds_d0;
+          Alcotest.test_case "respects bound" `Quick test_similarity_respects_bound;
+          Alcotest.test_case "budget exceeded" `Quick test_similarity_budget;
+          Alcotest.test_case "similar predicate" `Quick test_similar_predicate;
+          Alcotest.test_case "witness two steps" `Quick
+            test_similarity_witness_two_steps;
+        ] );
+      ( "calculus",
+        [
+          Alcotest.test_case "free and bound variables" `Quick
+            test_calculus_free_and_bound;
+          Alcotest.test_case "range restriction" `Quick
+            test_calculus_range_restriction;
+          Alcotest.test_case "selection" `Quick test_calculus_selection;
+          Alcotest.test_case "join" `Quick test_calculus_join;
+          Alcotest.test_case "negation and union" `Quick
+            test_calculus_negation_and_or;
+          Alcotest.test_case "errors" `Quick test_calculus_errors;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "range" `Quick test_eval_range;
+          Alcotest.test_case "range with transform" `Quick
+            test_eval_range_with_transform;
+          Alcotest.test_case "range with pattern" `Quick test_eval_range_pattern;
+          Alcotest.test_case "all pairs" `Quick test_eval_all_pairs;
+          Alcotest.test_case "nearest" `Quick test_eval_nearest;
+          Alcotest.test_case "similar set" `Quick test_eval_similar_set;
+        ] );
+      ("properties", properties);
+    ]

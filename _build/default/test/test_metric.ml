@@ -1,0 +1,240 @@
+open Simq_metric
+
+let euclid (a : float array) b =
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let random_vectors ~seed ~count ~dims =
+  let state = Random.State.make [| seed |] in
+  Array.init count (fun _ ->
+      Array.init dims (fun _ -> Random.State.float state 100.))
+
+let edit_distance a b =
+  float_of_int
+    (let n = String.length a and m = String.length b in
+     let d = Array.make_matrix (n + 1) (m + 1) 0 in
+     for i = 0 to n do
+       d.(i).(0) <- i
+     done;
+     for j = 0 to m do
+       d.(0).(j) <- j
+     done;
+     for i = 1 to n do
+       for j = 1 to m do
+         let sub = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+         d.(i).(j) <-
+           min
+             (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+             (d.(i - 1).(j - 1) + sub)
+       done
+     done;
+     d.(n).(m))
+
+let words =
+  [|
+    "book"; "books"; "cake"; "boo"; "boon"; "cook"; "cape"; "cart"; "soon";
+    "moon"; "noon"; "loom"; "root"; "boot"; "loot"; "look"; "lake"; "rake";
+  |]
+
+(* --- Metric ------------------------------------------------------------- *)
+
+let test_counted () =
+  let dist, calls = Metric.counted euclid in
+  ignore (dist [| 0. |] [| 1. |]);
+  ignore (dist [| 0. |] [| 2. |]);
+  Alcotest.(check int) "two calls" 2 (calls ())
+
+let test_axioms_euclid () =
+  let sample = random_vectors ~seed:1 ~count:8 ~dims:3 in
+  Alcotest.(check (list string)) "euclid is a metric" []
+    (Metric.check_axioms euclid sample)
+
+let test_axioms_detect_violation () =
+  (* A "distance" ignoring symmetry. *)
+  let bogus a b = if a.(0) < b.(0) then 1. else 2. in
+  let sample = random_vectors ~seed:2 ~count:4 ~dims:1 in
+  Alcotest.(check bool) "violations found" true
+    (Metric.check_axioms bogus sample <> [])
+
+(* --- Vp_tree ------------------------------------------------------------- *)
+
+let test_vp_range_matches_linear () =
+  let items = random_vectors ~seed:3 ~count:300 ~dims:3 in
+  let tree = Vp_tree.build ~dist:euclid items in
+  Alcotest.(check int) "size" 300 (Vp_tree.size tree);
+  let state = Random.State.make [| 4 |] in
+  for _ = 1 to 20 do
+    let query = Array.init 3 (fun _ -> Random.State.float state 100.) in
+    let radius = Random.State.float state 40. in
+    let expected =
+      Linear_scan.range ~dist:euclid items ~query ~radius
+      |> List.map snd |> List.sort compare
+    in
+    let actual =
+      Vp_tree.range tree ~query ~radius |> List.map snd |> List.sort compare
+    in
+    Alcotest.(check (list (float 1e-9))) "distances agree" expected actual
+  done
+
+let test_vp_nearest_matches_linear () =
+  let items = random_vectors ~seed:5 ~count:300 ~dims:3 in
+  let tree = Vp_tree.build ~dist:euclid items in
+  let state = Random.State.make [| 6 |] in
+  for _ = 1 to 20 do
+    let query = Array.init 3 (fun _ -> Random.State.float state 100.) in
+    let k = 1 + Random.State.int state 8 in
+    let expected =
+      Linear_scan.nearest ~dist:euclid items ~query ~k |> List.map snd
+    in
+    let actual = Vp_tree.nearest tree ~query ~k |> List.map snd in
+    Alcotest.(check (list (float 1e-9))) "knn distances" expected actual
+  done
+
+let test_vp_on_strings () =
+  let tree = Vp_tree.build ~dist:edit_distance words in
+  let hits = Vp_tree.range tree ~query:"book" ~radius:1. in
+  let hit_words = List.map fst hits |> List.sort compare in
+  Alcotest.(check (list string)) "edit-1 neighbourhood"
+    [ "boo"; "book"; "books"; "boon"; "boot"; "cook"; "look" ]
+    hit_words
+
+let test_vp_prunes_distance_calls () =
+  let items = random_vectors ~seed:7 ~count:1000 ~dims:2 in
+  let dist, calls = Metric.counted euclid in
+  let tree = Vp_tree.build ~dist items in
+  let build_calls = calls () in
+  ignore (Vp_tree.range tree ~query:[| 50.; 50. |] ~radius:1.);
+  let query_calls = calls () - build_calls in
+  Alcotest.(check bool)
+    (Printf.sprintf "selective range uses < N distance calls (%d)" query_calls)
+    true (query_calls < 700)
+
+let test_vp_empty () =
+  let tree = Vp_tree.build ~dist:euclid [||] in
+  Alcotest.(check int) "size" 0 (Vp_tree.size tree);
+  Alcotest.(check (list (pair (array (float 0.)) (float 0.)))) "range" []
+    (Vp_tree.range tree ~query:[| 0. |] ~radius:10.)
+
+(* --- Bk_tree --------------------------------------------------------------- *)
+
+let int_edit a b = int_of_float (edit_distance a b)
+
+let test_bk_range_matches_linear () =
+  let tree = Bk_tree.of_array ~dist:int_edit words in
+  Alcotest.(check int) "size" (Array.length words) (Bk_tree.size tree);
+  List.iter
+    (fun (query, radius) ->
+      let expected =
+        Array.to_list words
+        |> List.filter (fun w -> int_edit query w <= radius)
+        |> List.sort compare
+      in
+      let actual =
+        Bk_tree.range tree ~query ~radius |> List.map fst |> List.sort compare
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s/%d" query radius)
+        expected actual)
+    [ ("book", 1); ("moon", 2); ("cart", 0); ("zzzz", 1) ]
+
+let test_bk_duplicates () =
+  let tree = Bk_tree.create ~dist:int_edit in
+  Bk_tree.insert tree "dup";
+  Bk_tree.insert tree "dup";
+  Bk_tree.insert tree "other";
+  Alcotest.(check int) "size" 3 (Bk_tree.size tree);
+  Alcotest.(check int) "both copies found" 2
+    (List.length (Bk_tree.range tree ~query:"dup" ~radius:0))
+
+let test_vp_duplicates () =
+  let items = Array.make 10 [| 1.; 1. |] in
+  let tree = Vp_tree.build ~dist:euclid items in
+  Alcotest.(check int) "all duplicates found" 10
+    (List.length (Vp_tree.range tree ~query:[| 1.; 1. |] ~radius:0.));
+  Alcotest.(check int) "knn over duplicates" 4
+    (List.length (Vp_tree.nearest tree ~query:[| 1.; 1. |] ~k:4))
+
+let test_bk_radius_covers_all () =
+  let tree = Bk_tree.of_array ~dist:int_edit words in
+  Alcotest.(check int) "everything within a huge radius"
+    (Array.length words)
+    (List.length (Bk_tree.range tree ~query:"book" ~radius:100))
+
+(* --- properties -------------------------------------------------------------- *)
+
+let arb_config =
+  QCheck.make
+    ~print:(fun (n, seed, r) -> Printf.sprintf "n=%d seed=%d r=%g" n seed r)
+    QCheck.Gen.(
+      let* n = int_range 1 200 in
+      let* seed = int_range 0 1000 in
+      let* r = float_range 0. 60. in
+      return (n, seed, r))
+
+let prop_vp_range_equivalence =
+  QCheck.Test.make ~name:"vp range = linear scan" ~count:50 arb_config
+    (fun (n, seed, radius) ->
+      let items = random_vectors ~seed ~count:n ~dims:2 in
+      let tree = Vp_tree.build ~dist:euclid items in
+      let query = [| 50.; 50. |] in
+      let expected =
+        Linear_scan.range ~dist:euclid items ~query ~radius
+        |> List.map snd |> List.sort compare
+      in
+      let actual =
+        Vp_tree.range tree ~query ~radius |> List.map snd |> List.sort compare
+      in
+      expected = actual)
+
+let prop_vp_nn_equivalence =
+  QCheck.Test.make ~name:"vp 3-NN = linear scan" ~count:50 arb_config
+    (fun (n, seed, _) ->
+      let items = random_vectors ~seed ~count:n ~dims:2 in
+      let tree = Vp_tree.build ~dist:euclid items in
+      let query = [| 20.; 80. |] in
+      let k = min 3 n in
+      let expected =
+        Linear_scan.nearest ~dist:euclid items ~query ~k |> List.map snd
+      in
+      let actual = Vp_tree.nearest tree ~query ~k |> List.map snd in
+      List.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-9) expected actual)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_vp_range_equivalence; prop_vp_nn_equivalence ]
+
+let () =
+  Alcotest.run "simq_metric"
+    [
+      ( "metric",
+        [
+          Alcotest.test_case "counted wrapper" `Quick test_counted;
+          Alcotest.test_case "euclid satisfies axioms" `Quick test_axioms_euclid;
+          Alcotest.test_case "detects violations" `Quick
+            test_axioms_detect_violation;
+        ] );
+      ( "vp_tree",
+        [
+          Alcotest.test_case "range = linear scan" `Quick
+            test_vp_range_matches_linear;
+          Alcotest.test_case "nearest = linear scan" `Quick
+            test_vp_nearest_matches_linear;
+          Alcotest.test_case "string metric" `Quick test_vp_on_strings;
+          Alcotest.test_case "prunes distance calls" `Quick
+            test_vp_prunes_distance_calls;
+          Alcotest.test_case "empty" `Quick test_vp_empty;
+          Alcotest.test_case "duplicates" `Quick test_vp_duplicates;
+        ] );
+      ( "bk_tree",
+        [
+          Alcotest.test_case "range = linear scan" `Quick
+            test_bk_range_matches_linear;
+          Alcotest.test_case "duplicates" `Quick test_bk_duplicates;
+          Alcotest.test_case "huge radius" `Quick test_bk_radius_covers_all;
+        ] );
+      ("properties", properties);
+    ]

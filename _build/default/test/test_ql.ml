@@ -1,0 +1,121 @@
+open Simq_tsindex
+
+let parse_ok text =
+  match Ql.parse text with
+  | Ok q -> q
+  | Error msg -> Alcotest.failf "parse %S failed: %s" text msg
+
+let parse_err text =
+  match Ql.parse text with
+  | Ok q -> Alcotest.failf "parse %S unexpectedly succeeded: %a" text Ql.pp q
+  | Error msg -> msg
+
+let test_parse_range () =
+  match parse_ok "RANGE FROM stocks USING mavg(20) QUERY ibm EPS 2.5" with
+  | Ql.Range { source; spec; query; epsilon; mean_window; std_band } ->
+    Alcotest.(check string) "source" "stocks" source;
+    Alcotest.(check string) "query" "ibm" query;
+    Alcotest.(check (float 0.)) "epsilon" 2.5 epsilon;
+    Alcotest.(check string) "spec" "mavg20" (Spec.name spec);
+    Alcotest.(check bool) "no constraints" true
+      (mean_window = None && std_band = None)
+  | q -> Alcotest.failf "wrong query class: %a" Ql.pp q
+
+let test_parse_range_constraints () =
+  (match parse_ok "RANGE FROM r QUERY q EPS 1 MEAN 5 STD 1.3" with
+  | Ql.Range { mean_window; std_band; _ } ->
+    Alcotest.(check (option (float 0.))) "mean" (Some 5.) mean_window;
+    Alcotest.(check (option (float 0.))) "std" (Some 1.3) std_band
+  | q -> Alcotest.failf "wrong query class: %a" Ql.pp q);
+  (* Constraints are order-insensitive and individually optional. *)
+  match parse_ok "RANGE FROM r QUERY q EPS 1 STD 2" with
+  | Ql.Range { mean_window; std_band; _ } ->
+    Alcotest.(check (option (float 0.))) "mean absent" None mean_window;
+    Alcotest.(check (option (float 0.))) "std" (Some 2.) std_band
+  | q -> Alcotest.failf "wrong query class: %a" Ql.pp q
+
+let test_parse_range_defaults_identity () =
+  match parse_ok "range from r query q eps 1" with
+  | Ql.Range { spec; epsilon; _ } ->
+    Alcotest.(check string) "identity" "id" (Spec.name spec);
+    Alcotest.(check (float 0.)) "int epsilon accepted" 1. epsilon
+  | q -> Alcotest.failf "wrong query class: %a" Ql.pp q
+
+let test_parse_nearest () =
+  match parse_ok "NEAREST 5 FROM stocks USING rev QUERY ibm" with
+  | Ql.Nearest { k; spec; _ } ->
+    Alcotest.(check int) "k" 5 k;
+    Alcotest.(check string) "rev" "rev" (Spec.name spec)
+  | q -> Alcotest.failf "wrong query class: %a" Ql.pp q
+
+let test_parse_pairs () =
+  (match parse_ok "PAIRS FROM stocks USING warp(2) EPS 0.75 METHOD scan-early" with
+  | Ql.Pairs { spec; epsilon; method_; _ } ->
+    Alcotest.(check string) "warp" "warp2" (Spec.name spec);
+    Alcotest.(check (float 0.)) "epsilon" 0.75 epsilon;
+    Alcotest.(check bool) "method" true (method_ = Ql.Scan_early)
+  | q -> Alcotest.failf "wrong query class: %a" Ql.pp q);
+  match parse_ok "PAIRS FROM stocks EPS 1.0" with
+  | Ql.Pairs { method_; _ } ->
+    Alcotest.(check bool) "default method index" true (method_ = Ql.Index)
+  | q -> Alcotest.failf "wrong query class: %a" Ql.pp q
+
+let test_parse_case_insensitive () =
+  match parse_ok "RaNgE fRoM r QuErY q EpSiLoN 3.5" with
+  | Ql.Range { epsilon; _ } -> Alcotest.(check (float 0.)) "eps" 3.5 epsilon
+  | q -> Alcotest.failf "wrong query class: %a" Ql.pp q
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_parse_errors () =
+  let check_error text needle =
+    let msg = parse_err text in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S error mentions %S (got %S)" text needle msg)
+      true
+      (contains ~needle msg)
+  in
+  check_error "" "unexpected end";
+  check_error "SELECT FROM r" "expected RANGE, NEAREST or PAIRS";
+  check_error "RANGE FROM r QUERY q" "unexpected end";
+  check_error "RANGE FROM r USING bogus QUERY q EPS 1" "unknown transformation";
+  check_error "RANGE FROM r QUERY q EPS 1 extra" "trailing input";
+  check_error "PAIRS FROM r EPS 1 METHOD turbo" "unknown join method";
+  check_error "RANGE FROM r USING mavg 20 QUERY q EPS 1" "expected '('";
+  check_error "RANGE FROM r QUERY q EPS abc" "expected epsilon value"
+
+let test_pp_roundtrip () =
+  List.iter
+    (fun text ->
+      let q = parse_ok text in
+      let printed = Format.asprintf "%a" Ql.pp q in
+      let q' = parse_ok printed in
+      Alcotest.(check string) "pp parses back to itself" printed
+        (Format.asprintf "%a" Ql.pp q'))
+    [
+      "RANGE FROM stocks USING mavg(20) QUERY ibm EPS 2.5";
+      "RANGE FROM stocks QUERY ibm EPS 2.5 MEAN 5 STD 1.3";
+      "NEAREST 3 FROM r QUERY q";
+      "PAIRS FROM r USING rev EPS 1.25 METHOD scan";
+    ]
+
+let () =
+  Alcotest.run "simq_ql"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "range" `Quick test_parse_range;
+          Alcotest.test_case "range constraints" `Quick
+            test_parse_range_constraints;
+          Alcotest.test_case "identity default" `Quick
+            test_parse_range_defaults_identity;
+          Alcotest.test_case "nearest" `Quick test_parse_nearest;
+          Alcotest.test_case "pairs" `Quick test_parse_pairs;
+          Alcotest.test_case "case insensitive" `Quick test_parse_case_insensitive;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip;
+        ] );
+    ]

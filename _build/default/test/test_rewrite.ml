@@ -1,0 +1,275 @@
+open Simq_rewrite
+
+let lev = Rule.levenshtein
+
+(* Reference Levenshtein for cross-validation. *)
+let reference_levenshtein a b =
+  let n = String.length a and m = String.length b in
+  let d = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = 0 to n do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to m do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to n do
+    for j = 1 to m do
+      let sub = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min
+          (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+          (d.(i - 1).(j - 1) + sub)
+    done
+  done;
+  d.(n).(m)
+
+(* --- Rule ----------------------------------------------------------------- *)
+
+let test_rule_validation () =
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Rule.delete_any: cost must be finite and non-negative")
+    (fun () -> ignore (Rule.delete_any ~cost:(-1.)));
+  Alcotest.check_raises "no-op" (Invalid_argument "Rule.rewrite: lhs = rhs is a no-op")
+    (fun () -> ignore (Rule.rewrite ~lhs:"ab" ~rhs:"ab" ~cost:1.));
+  Alcotest.check_raises "both empty"
+    (Invalid_argument "Rule.rewrite: both sides empty") (fun () ->
+      ignore (Rule.rewrite ~lhs:"" ~rhs:"" ~cost:1.))
+
+let test_rule_helpers () =
+  let rules =
+    [
+      Rule.rewrite ~lhs:"a" ~rhs:"xyz" ~cost:2.;
+      Rule.delete_any ~cost:0.5;
+    ]
+  in
+  Alcotest.(check int) "max growth" 2 (Rule.max_growth rules);
+  Alcotest.(check (float 0.)) "min cost" 0.5 (Rule.min_cost rules)
+
+(* --- Gen_edit -------------------------------------------------------------- *)
+
+let test_levenshtein_known_values () =
+  List.iter
+    (fun (a, b, expected) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "%s -> %s" a b)
+        (float_of_int expected)
+        (Gen_edit.distance ~rules:lev a b))
+    [
+      ("kitten", "sitting", 3);
+      ("flaw", "lawn", 2);
+      ("", "abc", 3);
+      ("abc", "", 3);
+      ("same", "same", 0);
+      ("a", "b", 1);
+    ]
+
+let test_levenshtein_matches_reference () =
+  let state = Random.State.make [| 13 |] in
+  let random_string () =
+    String.init (Random.State.int state 12) (fun _ ->
+        Char.chr (Char.code 'a' + Random.State.int state 4))
+  in
+  for _ = 1 to 200 do
+    let a = random_string () and b = random_string () in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "%S vs %S" a b)
+      (float_of_int (reference_levenshtein a b))
+      (Gen_edit.distance ~rules:lev a b)
+  done
+
+let test_custom_rules_phonetic () =
+  (* "ph" -> "f" at low cost makes photo/foto near. *)
+  let rules = Rule.rewrite ~lhs:"ph" ~rhs:"f" ~cost:0.2 :: lev in
+  Alcotest.(check (float 1e-9)) "photo/foto" 0.2
+    (Gen_edit.distance ~rules "photo" "foto");
+  (* Without the special rule the cost is 2 (delete p + substitute h->f,
+     or similar). *)
+  Alcotest.(check (float 1e-9)) "plain cost" 2.
+    (Gen_edit.distance ~rules:lev "photo" "foto")
+
+let test_rules_only_unreachable () =
+  (* A single rewrite rule cannot produce arbitrary targets: distance is
+     infinite when no decomposition exists. *)
+  let rules = [ Rule.rewrite ~lhs:"ab" ~rhs:"x" ~cost:1. ] in
+  Alcotest.(check bool) "reachable" true
+    (Float.is_finite (Gen_edit.distance ~rules "abab" "xx"));
+  Alcotest.(check bool) "unreachable" false
+    (Float.is_finite (Gen_edit.distance ~rules "abab" "yy"));
+  Alcotest.(check (float 1e-9)) "two applications" 2.
+    (Gen_edit.distance ~rules "abab" "xx")
+
+let test_distance_bounded () =
+  Alcotest.(check (option (float 1e-9))) "within bound" (Some 3.)
+    (Gen_edit.distance_bounded ~rules:lev ~bound:3. "kitten" "sitting");
+  Alcotest.(check (option (float 1e-9))) "beyond bound" None
+    (Gen_edit.distance_bounded ~rules:lev ~bound:2.9 "kitten" "sitting")
+
+let test_alignment_structure () =
+  match Gen_edit.alignment ~rules:lev "kitten" "sitting" with
+  | None -> Alcotest.fail "alignment expected"
+  | Some (cost, steps) ->
+    Alcotest.(check (float 1e-9)) "cost" 3. cost;
+    (* The steps must replay x into y. *)
+    let consumed = Buffer.create 8 and produced = Buffer.create 8 in
+    let applied_cost = ref 0. in
+    List.iter
+      (fun step ->
+        match step with
+        | Gen_edit.Copy c ->
+          Buffer.add_char consumed c;
+          Buffer.add_char produced c
+        | Gen_edit.Applied { rule; consumed = c; produced = p } ->
+          applied_cost := !applied_cost +. Rule.cost rule;
+          Buffer.add_string consumed c;
+          Buffer.add_string produced p)
+      steps;
+    Alcotest.(check string) "consumes x" "kitten" (Buffer.contents consumed);
+    Alcotest.(check string) "produces y" "sitting" (Buffer.contents produced);
+    Alcotest.(check (float 1e-9)) "step costs add up" cost !applied_cost
+
+let test_alignment_none_when_unreachable () =
+  let rules = [ Rule.rewrite ~lhs:"a" ~rhs:"b" ~cost:1. ] in
+  Alcotest.(check bool) "none" true
+    (Option.is_none (Gen_edit.alignment ~rules "aa" "cc"))
+
+let test_empty_rules_rejected () =
+  Alcotest.check_raises "empty rules" (Invalid_argument "Gen_edit: empty rule list")
+    (fun () -> ignore (Gen_edit.distance ~rules:[] "a" "b"))
+
+(* --- Search (cascading) ----------------------------------------------------- *)
+
+let test_search_direct () =
+  let rules = [ Rule.rewrite ~lhs:"a" ~rhs:"b" ~cost:1. ] in
+  match Search.min_cost ~rules ~bound:5. "aa" "bb" with
+  | Some (cost, derivation) ->
+    Alcotest.(check (float 1e-9)) "cost" 2. cost;
+    Alcotest.(check string) "starts at x" "aa" (List.hd derivation);
+    Alcotest.(check string) "ends at y" "bb"
+      (List.nth derivation (List.length derivation - 1))
+  | None -> Alcotest.fail "expected a derivation"
+
+let test_search_cascading_beats_dp () =
+  (* a -> b then b -> c lets "a" reach "c" by cascading; the
+     non-cascading DP cannot rewrite the freshly produced b. *)
+  let rules =
+    [
+      Rule.rewrite ~lhs:"a" ~rhs:"b" ~cost:1.;
+      Rule.rewrite ~lhs:"b" ~rhs:"c" ~cost:1.;
+    ]
+  in
+  Alcotest.(check bool) "DP unreachable" false
+    (Float.is_finite (Gen_edit.distance ~rules "a" "c"));
+  match Search.min_cost ~rules ~bound:5. "a" "c" with
+  | Some (cost, derivation) ->
+    Alcotest.(check (float 1e-9)) "cascade cost" 2. cost;
+    Alcotest.(check (list string)) "derivation" [ "a"; "b"; "c" ] derivation
+  | None -> Alcotest.fail "cascade expected"
+
+let test_search_respects_bound () =
+  let rules = [ Rule.rewrite ~lhs:"a" ~rhs:"b" ~cost:1. ] in
+  Alcotest.(check bool) "bound too small" true
+    (Option.is_none (Search.min_cost ~rules ~bound:1.5 "aa" "bb"))
+
+let test_search_identity () =
+  let rules = lev in
+  match Search.min_cost ~rules ~bound:0. "abc" "abc" with
+  | Some (cost, [ "abc" ]) -> Alcotest.(check (float 0.)) "zero" 0. cost
+  | _ -> Alcotest.fail "identity should cost zero"
+
+let test_search_rejects_zero_costs () =
+  let rules = [ Rule.rewrite ~lhs:"a" ~rhs:"b" ~cost:0. ] in
+  Alcotest.check_raises "zero cost"
+    (Invalid_argument "Search.min_cost: cascading search requires positive costs")
+    (fun () -> ignore (Search.min_cost ~rules ~bound:1. "a" "b"))
+
+let test_search_budget () =
+  (* A tiny state budget on a large problem must raise, not return None. *)
+  let rules = lev in
+  try
+    ignore
+      (Search.min_cost ~max_states:3 ~rules ~bound:50. "aaaaaaaa" "bbbbbbbb");
+    Alcotest.fail "expected Budget_exceeded"
+  with Search.Budget_exceeded -> ()
+
+(* --- properties -------------------------------------------------------------- *)
+
+let arb_string =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      let* n = int_range 0 10 in
+      string_size ~gen:(char_range 'a' 'd') (return n))
+
+let prop_dp_symmetric_on_symmetric_rules =
+  QCheck.Test.make ~name:"symmetric rule set gives symmetric distance"
+    ~count:200 (QCheck.pair arb_string arb_string) (fun (a, b) ->
+      let d1 = Gen_edit.distance ~rules:lev a b in
+      let d2 = Gen_edit.distance ~rules:lev b a in
+      Float.abs (d1 -. d2) <= 1e-9)
+
+let prop_dp_triangle =
+  QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:200
+    (QCheck.triple arb_string arb_string arb_string) (fun (a, b, c) ->
+      Gen_edit.distance ~rules:lev a c
+      <= Gen_edit.distance ~rules:lev a b +. Gen_edit.distance ~rules:lev b c +. 1e-9)
+
+let prop_search_not_worse_than_dp =
+  (* Every non-cascading derivation is a cascade, so the search (given a
+     generous bound) never reports a higher cost than the DP. Kept tiny:
+     the cascading state space explodes quickly. *)
+  QCheck.Test.make ~name:"cascading search <= non-cascading DP" ~count:25
+    (QCheck.pair arb_string arb_string) (fun (a, b) ->
+      QCheck.assume (String.length a <= 4 && String.length b <= 4);
+      let dp = Gen_edit.distance ~rules:lev a b in
+      QCheck.assume (Float.is_finite dp && dp <= 3.);
+      match Search.min_cost ~max_states:500_000 ~rules:lev ~bound:dp a b with
+      | Some (cost, _) -> cost <= dp +. 1e-9
+      | None -> false
+      | exception Search.Budget_exceeded -> QCheck.assume_fail ())
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dp_symmetric_on_symmetric_rules;
+      prop_dp_triangle;
+      prop_search_not_worse_than_dp;
+    ]
+
+let () =
+  Alcotest.run "simq_rewrite"
+    [
+      ( "rule",
+        [
+          Alcotest.test_case "validation" `Quick test_rule_validation;
+          Alcotest.test_case "helpers" `Quick test_rule_helpers;
+        ] );
+      ( "gen_edit",
+        [
+          Alcotest.test_case "known Levenshtein values" `Quick
+            test_levenshtein_known_values;
+          Alcotest.test_case "matches reference implementation" `Quick
+            test_levenshtein_matches_reference;
+          Alcotest.test_case "phonetic rules" `Quick test_custom_rules_phonetic;
+          Alcotest.test_case "unreachable targets" `Quick
+            test_rules_only_unreachable;
+          Alcotest.test_case "bounded distance" `Quick test_distance_bounded;
+          Alcotest.test_case "alignment replays x into y" `Quick
+            test_alignment_structure;
+          Alcotest.test_case "alignment none when unreachable" `Quick
+            test_alignment_none_when_unreachable;
+          Alcotest.test_case "empty rules rejected" `Quick
+            test_empty_rules_rejected;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "direct rewrite" `Quick test_search_direct;
+          Alcotest.test_case "cascading beats DP" `Quick
+            test_search_cascading_beats_dp;
+          Alcotest.test_case "respects bound" `Quick test_search_respects_bound;
+          Alcotest.test_case "identity" `Quick test_search_identity;
+          Alcotest.test_case "rejects zero costs" `Quick
+            test_search_rejects_zero_costs;
+          Alcotest.test_case "budget exceeded raises" `Quick test_search_budget;
+        ] );
+      ("properties", properties);
+    ]

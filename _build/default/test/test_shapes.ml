@@ -1,0 +1,262 @@
+open Simq_shapes
+module Rect = Simq_geometry.Rect
+
+let check_float = Alcotest.(check (float 1e-9))
+let box x0 y0 x1 y1 = (x0, y0, x1, y1)
+let unit_square = Shape.of_boxes [ box 0. 0. 1. 1. ]
+
+(* --- Shape ------------------------------------------------------------- *)
+
+let test_shape_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Shape.create: empty shape")
+    (fun () -> ignore (Shape.create []));
+  Alcotest.check_raises "wrong dims"
+    (Invalid_argument "Shape.create: rectangles must be 2-dimensional")
+    (fun () ->
+      ignore
+        (Shape.create [ Rect.create ~lo:[| 0.; 0.; 0. |] ~hi:[| 1.; 1.; 1. |] ]))
+
+let test_shape_area_disjoint () =
+  let s = Shape.of_boxes [ box 0. 0. 1. 1.; box 2. 0. 4. 1. ] in
+  check_float "1 + 2" 3. (Shape.area s)
+
+let test_shape_area_overlapping () =
+  (* Two 2x2 squares overlapping in a 1x2 strip: 4 + 4 - 2 = 6. *)
+  let s = Shape.of_boxes [ box 0. 0. 2. 2.; box 1. 0. 3. 2. ] in
+  check_float "union counts overlap once" 6. (Shape.area s)
+
+let test_shape_area_nested () =
+  let s = Shape.of_boxes [ box 0. 0. 4. 4.; box 1. 1. 2. 2. ] in
+  check_float "nested adds nothing" 16. (Shape.area s)
+
+let test_shape_mbr_and_contains () =
+  let s = Shape.of_boxes [ box 0. 0. 1. 1.; box 2. 2. 3. 4. ] in
+  let bb = Shape.mbr s in
+  Alcotest.(check bool) "mbr" true
+    (Rect.equal bb (Rect.create ~lo:[| 0.; 0. |] ~hi:[| 3.; 4. |]));
+  Alcotest.(check bool) "inside first" true (Shape.contains s (0.5, 0.5));
+  Alcotest.(check bool) "inside second" true (Shape.contains s (2.5, 3.));
+  Alcotest.(check bool) "in the gap" false (Shape.contains s (1.5, 1.5))
+
+let test_shape_transformations () =
+  let s = unit_square in
+  let moved = Shape.translate s ~dx:2. ~dy:3. in
+  Alcotest.(check bool) "translated" true (Shape.contains moved (2.5, 3.5));
+  check_float "area preserved" 1. (Shape.area moved);
+  let grown = Shape.scale s ~sx:2. ~sy:3. in
+  check_float "area scales" 6. (Shape.area grown);
+  Alcotest.check_raises "bad scale"
+    (Invalid_argument "Shape.scale: factors must be positive") (fun () ->
+      ignore (Shape.scale s ~sx:0. ~sy:1.))
+
+let test_shape_normalise () =
+  (* An L-shape anywhere at any size normalises to the same shape. *)
+  let l = Shape.of_boxes [ box 0. 0. 2. 1.; box 0. 0. 1. 3. ] in
+  let transformed =
+    Shape.translate (Shape.scale l ~sx:5. ~sy:5.) ~dx:(-7.) ~dy:11.
+  in
+  check_float "normal forms coincide" 0.
+    (Shape.symmetric_difference_area (Shape.normalise l)
+       (Shape.normalise transformed));
+  let n = Shape.normalise l in
+  let bb = Shape.mbr n in
+  check_float "origin" 0. bb.Rect.lo.(0);
+  check_float "unit long side" 1. (Float.max (bb.Rect.hi.(0)) (bb.Rect.hi.(1)))
+
+let test_symmetric_difference () =
+  let a = unit_square in
+  let b = Shape.of_boxes [ box 0.5 0. 1.5 1. ] in
+  check_float "self" 0. (Shape.symmetric_difference_area a a);
+  check_float "half + half" 1. (Shape.symmetric_difference_area a b);
+  check_float "symmetric" (Shape.symmetric_difference_area a b)
+    (Shape.symmetric_difference_area b a);
+  (* Overlap representation does not matter: one box vs two halves. *)
+  let split = Shape.of_boxes [ box 0. 0. 0.5 1.; box 0.5 0. 1. 1. ] in
+  check_float "representation independent" 0.
+    (Shape.symmetric_difference_area a split)
+
+(* --- Signature ---------------------------------------------------------- *)
+
+let letter_l = Shape.of_boxes [ box 0. 0. 1. 4.; box 0. 0. 3. 1. ]
+let letter_t = Shape.of_boxes [ box 0. 3. 3. 4.; box 1. 0. 2. 4. ]
+let letter_i = Shape.of_boxes [ box 1. 0. 2. 4. ]
+let letter_o =
+  Shape.of_boxes
+    [ box 0. 0. 3. 1.; box 0. 3. 3. 4.; box 0. 0. 1. 4.; box 2. 0. 3. 4. ]
+
+let test_signature_identical_shapes () =
+  check_float "same shape" 0. (Signature.distance letter_l letter_l);
+  (* Signatures are position/size invariant via normalisation. *)
+  let moved = Shape.translate (Shape.scale letter_l ~sx:3. ~sy:3.) ~dx:9. ~dy:1. in
+  check_float "invariant" 0. (Signature.distance letter_l moved)
+
+let test_signature_discriminates () =
+  Alcotest.(check bool) "L vs T differ" true
+    (Signature.distance letter_l letter_t > 0.1);
+  Alcotest.(check bool) "L closer to L-variant than to I" true
+    (let variant = Shape.of_boxes [ box 0. 0. 1. 4.; box 0. 0. 2.8 1. ] in
+     Signature.distance letter_l variant < Signature.distance letter_l letter_i)
+
+let test_signature_padding () =
+  (* k larger than the rectangle count pads with zeros and still works. *)
+  let p = Signature.point ~k:5 letter_i in
+  Alcotest.(check int) "dims" 20 (Array.length p);
+  check_float "padding" 0. p.(19)
+
+let test_index_range_and_nearest () =
+  let store =
+    Signature.build
+      [ ("L", letter_l); ("T", letter_t); ("I", letter_i); ("O", letter_o) ]
+  in
+  Alcotest.(check int) "size" 4 (Signature.size store);
+  (* A slightly perturbed L finds L first. *)
+  let query = Shape.of_boxes [ box 0. 0. 1.05 4.; box 0. 0. 3. 0.95 ] in
+  (match Signature.nearest store ~query ~k:2 with
+  | best :: _ -> Alcotest.(check string) "nearest is L" "L" best.Signature.name
+  | [] -> Alcotest.fail "no hits");
+  let hits = Signature.range store ~query ~epsilon:0.2 in
+  Alcotest.(check bool) "range finds L" true
+    (List.exists (fun h -> h.Signature.name = "L") hits);
+  Alcotest.(check bool) "range excludes I" true
+    (not (List.exists (fun h -> h.Signature.name = "I") hits))
+
+let test_index_range_matches_brute_force () =
+  (* Randomised shapes: index range = brute-force signature filter. *)
+  let state = Random.State.make [| 7 |] in
+  let random_shape () =
+    let boxes =
+      List.init
+        (1 + Random.State.int state 4)
+        (fun _ ->
+          let x = Random.State.float state 10. in
+          let y = Random.State.float state 10. in
+          box x y (x +. 0.5 +. Random.State.float state 5.)
+            (y +. 0.5 +. Random.State.float state 5.))
+    in
+    Shape.of_boxes boxes
+  in
+  let shapes =
+    List.init 80 (fun i -> (Printf.sprintf "s%d" i, random_shape ()))
+  in
+  let store = Signature.build shapes in
+  for _ = 1 to 10 do
+    let query = random_shape () in
+    let epsilon = Random.State.float state 1.5 in
+    let expected =
+      List.filter_map
+        (fun (name, shape) ->
+          let d = Signature.distance query shape in
+          if d <= epsilon then Some name else None)
+        shapes
+      |> List.sort compare
+    in
+    let actual =
+      Signature.range store ~query ~epsilon
+      |> List.map (fun h -> h.Signature.name)
+      |> List.sort compare
+    in
+    Alcotest.(check (list string)) "range equivalence" expected actual
+  done
+
+let test_refine () =
+  let store =
+    Signature.build [ ("L", letter_l); ("T", letter_t); ("I", letter_i) ]
+  in
+  let hits = Signature.range store ~query:letter_l ~epsilon:5. in
+  Alcotest.(check int) "everything passes the filter" 3 (List.length hits);
+  let refined = Signature.refine hits ~query:letter_l ~max_area:0.05 in
+  (match refined with
+  | [ (hit, a) ] ->
+    Alcotest.(check string) "only L survives" "L" hit.Signature.name;
+    check_float "zero difference" 0. a
+  | other -> Alcotest.failf "expected exactly L, got %d" (List.length other))
+
+(* --- properties ---------------------------------------------------------- *)
+
+let shape_gen =
+  QCheck.Gen.(
+    let box =
+      let* x = float_range 0. 8. in
+      let* y = float_range 0. 8. in
+      let* w = float_range 0.2 4. in
+      let* h = float_range 0.2 4. in
+      return (x, y, x +. w, y +. h)
+    in
+    let* count = int_range 1 4 in
+    let* boxes = list_size (return count) box in
+    return (Shape.of_boxes boxes))
+
+let arb_shape =
+  QCheck.make ~print:(fun s -> Format.asprintf "%a" Shape.pp s) shape_gen
+
+let prop_symdiff_pseudometric =
+  QCheck.Test.make ~name:"symmetric difference is a pseudometric" ~count:60
+    (QCheck.triple arb_shape arb_shape arb_shape) (fun (a, b, c) ->
+      let d = Shape.symmetric_difference_area in
+      let dab = d a b and dba = d b a and dac = d a c and dbc = d b c in
+      dab >= 0.
+      && Float.abs (dab -. dba) <= 1e-9
+      && Float.abs (d a a) <= 1e-9
+      && dac <= dab +. dbc +. 1e-6)
+
+let prop_normalise_idempotent =
+  QCheck.Test.make ~name:"normalise is idempotent" ~count:60 arb_shape
+    (fun s ->
+      let n = Shape.normalise s in
+      Shape.symmetric_difference_area n (Shape.normalise n) <= 1e-9)
+
+let prop_signature_invariance =
+  QCheck.Test.make ~name:"signature invariant under translate+scale"
+    ~count:60
+    (QCheck.triple arb_shape (QCheck.float_range 0.5 4.)
+       (QCheck.float_range (-10.) 10.))
+    (fun (s, factor, offset) ->
+      let moved =
+        Shape.translate (Shape.scale s ~sx:factor ~sy:factor) ~dx:offset
+          ~dy:(-.offset)
+      in
+      Signature.distance s moved <= 1e-6)
+
+let prop_area_bounded_by_mbr =
+  QCheck.Test.make ~name:"area <= mbr area" ~count:100 arb_shape (fun s ->
+      Shape.area s <= Rect.area (Shape.mbr s) +. 1e-9)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_symdiff_pseudometric;
+      prop_normalise_idempotent;
+      prop_signature_invariance;
+      prop_area_bounded_by_mbr;
+    ]
+
+let () =
+  Alcotest.run "simq_shapes"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "validation" `Quick test_shape_validation;
+          Alcotest.test_case "area, disjoint" `Quick test_shape_area_disjoint;
+          Alcotest.test_case "area, overlapping" `Quick
+            test_shape_area_overlapping;
+          Alcotest.test_case "area, nested" `Quick test_shape_area_nested;
+          Alcotest.test_case "mbr and contains" `Quick test_shape_mbr_and_contains;
+          Alcotest.test_case "transformations" `Quick test_shape_transformations;
+          Alcotest.test_case "normalise" `Quick test_shape_normalise;
+          Alcotest.test_case "symmetric difference" `Quick
+            test_symmetric_difference;
+        ] );
+      ( "signature",
+        [
+          Alcotest.test_case "identical shapes" `Quick
+            test_signature_identical_shapes;
+          Alcotest.test_case "discriminates" `Quick test_signature_discriminates;
+          Alcotest.test_case "padding" `Quick test_signature_padding;
+          Alcotest.test_case "index range and nearest" `Quick
+            test_index_range_and_nearest;
+          Alcotest.test_case "range = brute force" `Quick
+            test_index_range_matches_brute_force;
+          Alcotest.test_case "refine" `Quick test_refine;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,215 @@
+open Simq_storage
+
+(* --- Io_stats ----------------------------------------------------------- *)
+
+let test_io_stats () =
+  let s = Io_stats.create () in
+  Io_stats.record_page_read s;
+  Io_stats.record_page_read s;
+  Io_stats.record_page_write s;
+  Io_stats.record_cache_hit s;
+  Alcotest.(check int) "reads" 2 (Io_stats.page_reads s);
+  Alcotest.(check int) "writes" 1 (Io_stats.page_writes s);
+  Alcotest.(check int) "hits" 1 (Io_stats.cache_hits s);
+  Io_stats.reset s;
+  Alcotest.(check int) "reset" 0 (Io_stats.page_reads s)
+
+(* --- Buffer_pool ---------------------------------------------------------- *)
+
+let test_pool_hit_miss () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~capacity:2 ~stats in
+  Alcotest.(check bool) "first is miss" true (Buffer_pool.touch pool 1 = `Miss);
+  Alcotest.(check bool) "second touch is hit" true (Buffer_pool.touch pool 1 = `Hit);
+  ignore (Buffer_pool.touch pool 2);
+  Alcotest.(check int) "resident" 2 (Buffer_pool.resident pool);
+  (* Page 3 evicts the LRU page 1. *)
+  ignore (Buffer_pool.touch pool 3);
+  Alcotest.(check bool) "page 1 evicted" true (Buffer_pool.touch pool 1 = `Miss);
+  Alcotest.(check int) "misses counted" 4 (Io_stats.page_reads stats)
+
+let test_pool_lru_order () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~capacity:2 ~stats in
+  ignore (Buffer_pool.touch pool 1);
+  ignore (Buffer_pool.touch pool 2);
+  ignore (Buffer_pool.touch pool 1);
+  (* Now 2 is the LRU; touching 3 evicts it. *)
+  ignore (Buffer_pool.touch pool 3);
+  Alcotest.(check bool) "1 still resident" true (Buffer_pool.touch pool 1 = `Hit);
+  Alcotest.(check bool) "2 evicted" true (Buffer_pool.touch pool 2 = `Miss)
+
+let test_pool_flush () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~capacity:4 ~stats in
+  ignore (Buffer_pool.touch pool 7);
+  Buffer_pool.flush pool;
+  Alcotest.(check int) "empty" 0 (Buffer_pool.resident pool);
+  Alcotest.(check bool) "re-read is miss" true (Buffer_pool.touch pool 7 = `Miss)
+
+(* --- Relation -------------------------------------------------------------- *)
+
+let sample_batch n length =
+  Simq_series.Generator.random_walks ~seed:5 ~count:n ~n:length
+
+let test_relation_insert_get () =
+  let r = Relation.create ~name:"stocks" () in
+  let t1 = Relation.insert r ~name:"AAA" [| 1.; 2.; 3. |] in
+  let t2 = Relation.insert r ~name:"BBB" [| 4.; 5.; 6. |] in
+  Alcotest.(check int) "ids dense" 0 t1.Relation.id;
+  Alcotest.(check int) "ids dense" 1 t2.Relation.id;
+  Alcotest.(check int) "cardinality" 2 (Relation.cardinality r);
+  let fetched = Relation.get r 1 in
+  Alcotest.(check string) "name" "BBB" fetched.Relation.name;
+  Alcotest.check_raises "unknown id" Not_found (fun () ->
+      ignore (Relation.get r 5))
+
+let test_relation_rejects_bad_series () =
+  let r = Relation.create ~name:"bad" () in
+  Alcotest.check_raises "empty series"
+    (Invalid_argument "Series.validate: empty series") (fun () ->
+      ignore (Relation.insert r ~name:"x" [||]))
+
+let test_relation_scan_counts_pages () =
+  (* 100 series of 128 floats: each tuple is 1056 bytes, so a 4096-byte
+     page holds ~3; a full scan reads every page exactly once through
+     the pool. *)
+  let r = Relation.of_series ~name:"walks" (sample_batch 100 128) in
+  let pages = Relation.pages r in
+  Alcotest.(check bool) "plausible page count" true (pages >= 25 && pages <= 35);
+  Io_stats.reset (Relation.stats r);
+  let seen = Relation.fold r ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Alcotest.(check int) "all tuples" 100 seen;
+  Alcotest.(check int) "page reads = pages" pages
+    (Io_stats.page_reads (Relation.stats r))
+
+let test_relation_repeated_scan_hits_cache () =
+  let r =
+    Relation.create ~name:"small" ~page_size:4096 ~pool_pages:64 ()
+  in
+  Array.iter
+    (fun s -> ignore (Relation.insert r ~name:"w" s))
+    (sample_batch 10 64);
+  Io_stats.reset (Relation.stats r);
+  Relation.iter r ~f:(fun _ -> ());
+  let first_scan = Io_stats.page_reads (Relation.stats r) in
+  Relation.iter r ~f:(fun _ -> ());
+  Alcotest.(check int) "second scan free (fits in pool)" first_scan
+    (Io_stats.page_reads (Relation.stats r))
+
+let test_relation_save_load () =
+  let r = Relation.of_series ~name:"persisted" (sample_batch 20 32) in
+  let path = Filename.temp_file "simq" ".rel" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Relation.save r path;
+      let r' = Relation.load path in
+      Alcotest.(check string) "name" "persisted" (Relation.name r');
+      Alcotest.(check int) "cardinality" 20 (Relation.cardinality r');
+      let orig = Relation.to_array r and copy = Relation.to_array r' in
+      Array.iteri
+        (fun idx (t : Relation.tuple) ->
+          Alcotest.(check bool) "same data" true
+            (Simq_series.Series.equal t.Relation.data copy.(idx).Relation.data))
+        orig)
+
+let test_relation_to_array_and_iter_agree () =
+  let r = Relation.of_series ~name:"x" (sample_batch 7 16) in
+  let via_iter = ref [] in
+  Relation.iter r ~f:(fun t -> via_iter := t.Relation.id :: !via_iter);
+  let ids = Array.to_list (Array.map (fun (t : Relation.tuple) -> t.Relation.id) (Relation.to_array r)) in
+  Alcotest.(check (list int)) "ids in order" ids (List.rev !via_iter)
+
+(* --- Csv -------------------------------------------------------------------- *)
+
+let test_csv_roundtrip () =
+  let r = Relation.of_series ~name:"csv" (sample_batch 15 24) in
+  let path = Filename.temp_file "simq" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.export r path;
+      let r' = Csv.import ~name:"csv" path in
+      Alcotest.(check int) "cardinality" 15 (Relation.cardinality r');
+      Array.iteri
+        (fun idx (t : Relation.tuple) ->
+          let t' = Relation.get r' idx in
+          Alcotest.(check string) "name" t.Relation.name t'.Relation.name;
+          Alcotest.(check bool) "data" true
+            (Simq_series.Series.equal ~eps:1e-12 t.Relation.data t'.Relation.data))
+        (Relation.to_array r))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let test_csv_import_errors () =
+  let path = Filename.temp_file "simq" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "a,1,2,3\nb,4,5\n";
+      (try
+         ignore (Csv.import ~name:"bad" path);
+         Alcotest.fail "expected column mismatch"
+       with Failure msg ->
+         Alcotest.(check bool) "mentions line" true
+           (String.length msg > 0
+           && String.equal msg "Csv.import: line 2 has 2 values, expected 3"));
+      write_file path "a,1,oops\n";
+      (try
+         ignore (Csv.import ~name:"bad" path);
+         Alcotest.fail "expected bad number"
+       with Failure msg ->
+         Alcotest.(check string) "bad number message"
+           "Csv.import: line 1: bad number \"oops\"" msg
+         |> ignore);
+      write_file path "\n\n";
+      try
+        ignore (Csv.import ~name:"bad" path);
+        Alcotest.fail "expected empty error"
+      with Failure msg ->
+        Alcotest.(check string) "empty" "Csv.import: no series found" msg)
+
+let test_csv_blank_lines_skipped () =
+  let path = Filename.temp_file "simq" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "a,1,2\n\nb,3,4\n";
+      let r = Csv.import ~name:"ok" path in
+      Alcotest.(check int) "two series" 2 (Relation.cardinality r))
+
+let () =
+  Alcotest.run "simq_storage"
+    [
+      ("io_stats", [ Alcotest.test_case "counters" `Quick test_io_stats ]);
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_pool_hit_miss;
+          Alcotest.test_case "lru order" `Quick test_pool_lru_order;
+          Alcotest.test_case "flush" `Quick test_pool_flush;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "import errors" `Quick test_csv_import_errors;
+          Alcotest.test_case "blank lines skipped" `Quick
+            test_csv_blank_lines_skipped;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "insert/get" `Quick test_relation_insert_get;
+          Alcotest.test_case "rejects bad series" `Quick
+            test_relation_rejects_bad_series;
+          Alcotest.test_case "scan counts pages" `Quick
+            test_relation_scan_counts_pages;
+          Alcotest.test_case "repeated scan hits cache" `Quick
+            test_relation_repeated_scan_hits_cache;
+          Alcotest.test_case "save/load" `Quick test_relation_save_load;
+          Alcotest.test_case "iteration order" `Quick
+            test_relation_to_array_and_iter_agree;
+        ] );
+    ]

@@ -1,0 +1,762 @@
+open Simq_tsindex
+module Series = Simq_series.Series
+module Generator = Simq_series.Generator
+module Coords = Simq_geometry.Coords
+
+let dataset_of ~seed ~count ~n =
+  Dataset.of_series ~name:"test"
+    (Generator.random_walks ~seed ~count ~n)
+
+let ids_of answers = List.map (fun ((e : Dataset.entry), _) -> e.Dataset.id) answers
+
+let check_same_answers msg expected actual =
+  Alcotest.(check (list int)) (msg ^ ": ids") (ids_of expected) (ids_of actual);
+  List.iter2
+    (fun (_, d1) (_, d2) ->
+      Alcotest.(check (float 1e-6)) (msg ^ ": distance") d1 d2)
+    expected actual
+
+let query_for dataset spec seed =
+  (* A query built by perturbing one of the data series keeps answer sets
+     non-trivial. *)
+  let entries = Dataset.entries dataset in
+  let base = entries.(seed mod Array.length entries) in
+  let state = Random.State.make [| seed |] in
+  let perturbed =
+    Array.map
+      (fun v -> v +. Random.State.float state 2. -. 1.)
+      base.Dataset.series
+  in
+  let n = Dataset.series_length dataset in
+  match spec with
+  | Spec.Warp m -> Simq_series.Warp.expand m perturbed
+  | _ ->
+    assert (Spec.output_length spec ~n = n);
+    perturbed
+
+let all_specs =
+  [
+    Spec.Identity;
+    Spec.Moving_average 3;
+    Spec.Moving_average 8;
+    Spec.Weighted_ma (Simq_dsp.Window.ascending 5);
+    Spec.Reverse;
+    Spec.Warp 2;
+  ]
+
+(* --- Spec ------------------------------------------------------------------ *)
+
+let test_spec_stretch_predicts_spectrum () =
+  (* For every spec, multiplying the spectrum by the stretch vector must
+     equal the DFT of the time-domain transformation (prefix n). *)
+  let s = Simq_series.Normal_form.normalise
+      (Generator.random_walk (Random.State.make [| 2 |]) 32) in
+  let spectrum = Simq_dsp.Fft.fft_real s in
+  List.iter
+    (fun spec ->
+      let n = 32 in
+      let stretch = Spec.stretch spec ~n in
+      let predicted = Simq_dsp.Cpx.mul_arrays stretch spectrum in
+      let actual = Simq_dsp.Fft.fft_real (Spec.apply_series spec s) in
+      let actual_prefix = Array.sub actual 0 n in
+      Alcotest.(check bool)
+        (Spec.name spec ^ " stretch = DFT of time-domain op")
+        true
+        (Simq_dsp.Cpx.close_arrays ~eps:1e-6 predicted actual_prefix))
+    all_specs
+
+let test_spec_output_length () =
+  Alcotest.(check int) "identity" 10 (Spec.output_length Spec.Identity ~n:10);
+  Alcotest.(check int) "warp" 30 (Spec.output_length (Spec.Warp 3) ~n:10)
+
+(* --- Dataset ----------------------------------------------------------------- *)
+
+let test_dataset_preparation () =
+  let d = dataset_of ~seed:3 ~count:10 ~n:64 in
+  Alcotest.(check int) "cardinality" 10 (Dataset.cardinality d);
+  Alcotest.(check int) "length" 64 (Dataset.series_length d);
+  Array.iter
+    (fun (e : Dataset.entry) ->
+      Alcotest.(check bool) "normal form" true
+        (Simq_series.Normal_form.is_normal e.Dataset.normal);
+      Alcotest.(check (float 1e-9)) "coefficient 0 is zero" 0.
+        (Simq_dsp.Cpx.abs e.Dataset.spectrum.(0)))
+    (Dataset.entries d)
+
+let test_dataset_rejects_mixed_lengths () =
+  let r = Simq_storage.Relation.create ~name:"bad" () in
+  ignore (Simq_storage.Relation.insert r ~name:"a" (Array.make 8 1.));
+  ignore (Simq_storage.Relation.insert r ~name:"b" (Array.make 16 1.));
+  Alcotest.check_raises "unequal lengths"
+    (Invalid_argument "Dataset.of_relation: series of unequal lengths")
+    (fun () -> ignore (Dataset.of_relation r))
+
+(* --- Kindex range: exactness under every spec and representation ------------- *)
+
+let test_range_matches_reference () =
+  List.iter
+    (fun representation ->
+      let d = dataset_of ~seed:7 ~count:120 ~n:64 in
+      let config = { Feature.k = 2; representation } in
+      let idx = Kindex.build ~config ~max_fill:8 d in
+      List.iter
+        (fun spec ->
+          (* Complex stretches are only safe in S_pol (Theorem 3). *)
+          let skip =
+            representation = Coords.Rectangular
+            && (match spec with
+               | Spec.Moving_average _ | Spec.Weighted_ma _ | Spec.Warp _ -> true
+               | Spec.Identity | Spec.Reverse -> false)
+          in
+          if not skip then
+            List.iter
+              (fun (qseed, epsilon) ->
+                let query = query_for d spec qseed in
+                let expected = Seqscan.reference ~spec d ~query ~epsilon in
+                let actual = Kindex.range ~spec idx ~query ~epsilon in
+                let label =
+                  Printf.sprintf "%s %s eps=%g"
+                    (match representation with
+                    | Coords.Polar -> "polar"
+                    | Coords.Rectangular -> "rect")
+                    (Spec.name spec) epsilon
+                in
+                check_same_answers label expected actual.Kindex.answers;
+                Alcotest.(check bool) (label ^ ": superset")
+                  true
+                  (actual.Kindex.candidates
+                  >= List.length actual.Kindex.answers))
+              [ (1, 0.5); (2, 2.); (3, 6.); (4, 12.) ])
+        all_specs)
+    [ Coords.Polar; Coords.Rectangular ]
+
+let test_range_rejects_bad_query_length () =
+  let d = dataset_of ~seed:9 ~count:10 ~n:32 in
+  let idx = Kindex.build d in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Kindex: query length 16, expected 32") (fun () ->
+      ignore (Kindex.range idx ~query:(Array.make 16 1.) ~epsilon:1.));
+  Alcotest.check_raises "warp needs long query"
+    (Invalid_argument "Kindex: query length 32, expected 64") (fun () ->
+      ignore
+        (Kindex.range ~spec:(Spec.Warp 2) idx ~query:(Array.make 32 1.)
+           ~epsilon:1.))
+
+let test_range_prunes () =
+  (* A selective query must not postprocess the whole data set. *)
+  let d = dataset_of ~seed:11 ~count:800 ~n:64 in
+  let idx = Kindex.build ~max_fill:16 d in
+  let query = query_for d Spec.Identity 1 in
+  let r = Kindex.range idx ~query ~epsilon:1. in
+  Alcotest.(check bool)
+    (Printf.sprintf "candidates %d << 800" r.Kindex.candidates)
+    true
+    (r.Kindex.candidates < 200)
+
+let test_rtree_of_index_is_valid () =
+  let d = dataset_of ~seed:13 ~count:200 ~n:32 in
+  let idx = Kindex.build ~max_fill:8 d in
+  Alcotest.(check bool) "invariants" true
+    (Simq_rtree.Check.is_valid (Kindex.tree idx))
+
+let test_range_with_k3_config () =
+  (* A third coefficient changes the index layout, not the answers. *)
+  let d = dataset_of ~seed:43 ~count:100 ~n:64 in
+  let config = { Feature.k = 3; representation = Coords.Polar } in
+  let idx = Kindex.build ~config ~max_fill:8 d in
+  List.iter
+    (fun spec ->
+      let query = query_for d spec 6 in
+      let expected = Seqscan.reference ~spec d ~query ~epsilon:5. in
+      let actual = Kindex.range ~spec idx ~query ~epsilon:5. in
+      check_same_answers (Spec.name spec ^ " k=3") expected actual.Kindex.answers)
+    [ Spec.Identity; Spec.Moving_average 8; Spec.Reverse ]
+
+(* --- Kindex nearest ----------------------------------------------------------- *)
+
+let brute_nearest ~spec d ~query ~k =
+  let q = Dataset.prepare_query query in
+  Array.to_list (Dataset.entries d)
+  |> List.map (fun (e : Dataset.entry) ->
+         ( e,
+           Simq_series.Distance.euclidean
+             (Spec.apply_series spec e.Dataset.normal)
+             q.Dataset.normal ))
+  |> List.sort (fun (_, d1) (_, d2) -> Float.compare d1 d2)
+  |> List.filteri (fun i _ -> i < k)
+
+let test_nearest_matches_brute_force () =
+  let d = dataset_of ~seed:17 ~count:150 ~n:64 in
+  List.iter
+    (fun representation ->
+      let config = { Feature.k = 2; representation } in
+      let idx = Kindex.build ~config ~max_fill:8 d in
+      List.iter
+        (fun spec ->
+          let skip =
+            representation = Coords.Rectangular
+            && (match spec with
+               | Spec.Moving_average _ | Spec.Weighted_ma _ | Spec.Warp _ -> true
+               | Spec.Identity | Spec.Reverse -> false)
+          in
+          if not skip then begin
+            let query = query_for d spec 23 in
+            let expected = brute_nearest ~spec d ~query ~k:5 in
+            let actual = Kindex.nearest ~spec idx ~query ~k:5 in
+            List.iter2
+              (fun (_, d1) (_, d2) ->
+                Alcotest.(check (float 1e-6))
+                  (Spec.name spec ^ " nn distance")
+                  d1 d2)
+              expected actual
+          end)
+        all_specs)
+    [ Coords.Polar; Coords.Rectangular ]
+
+(* --- Seqscan ------------------------------------------------------------------ *)
+
+let test_seqscan_variants_agree () =
+  let d = dataset_of ~seed:19 ~count:100 ~n:64 in
+  List.iter
+    (fun spec ->
+      let query = query_for d spec 5 in
+      let epsilon = 4. in
+      let reference = Seqscan.reference ~spec d ~query ~epsilon in
+      let full = Seqscan.range_full ~spec d ~query ~epsilon in
+      let early = Seqscan.range_early_abandon ~spec d ~query ~epsilon in
+      check_same_answers (Spec.name spec ^ " full") reference full.Seqscan.answers;
+      check_same_answers (Spec.name spec ^ " early") reference
+        early.Seqscan.answers;
+      Alcotest.(check bool) "early abandon touches fewer coefficients" true
+        (early.Seqscan.coefficients_touched <= full.Seqscan.coefficients_touched))
+    all_specs
+
+let test_seqscan_counts_page_reads () =
+  let d = dataset_of ~seed:21 ~count:200 ~n:128 in
+  let stats = Simq_storage.Relation.stats (Dataset.relation d) in
+  Simq_storage.Io_stats.reset stats;
+  let query = query_for d Spec.Identity 3 in
+  ignore (Seqscan.range_full d ~query ~epsilon:1.);
+  Alcotest.(check bool) "page reads recorded" true
+    (Simq_storage.Io_stats.page_reads stats
+     + Simq_storage.Io_stats.cache_hits stats
+    > 0)
+
+(* --- Join ---------------------------------------------------------------------- *)
+
+let canonical_pairs pairs =
+  List.map (fun (a, b) -> (min a b, max a b)) pairs
+  |> List.sort_uniq compare
+
+let test_join_methods_agree () =
+  let d = dataset_of ~seed:23 ~count:60 ~n:64 in
+  let idx = Kindex.build ~max_fill:8 d in
+  List.iter
+    (fun (spec, epsilon) ->
+      let a = Join.scan_full ~spec idx ~epsilon in
+      let b = Join.scan_early_abandon ~spec idx ~epsilon in
+      let dd = Join.index_transformed ~spec idx ~epsilon in
+      let label = Spec.name spec in
+      Alcotest.(check (list (pair int int)))
+        (label ^ ": a = b")
+        (canonical_pairs a.Join.pairs)
+        (canonical_pairs b.Join.pairs);
+      Alcotest.(check (list (pair int int)))
+        (label ^ ": a = d (canonical)")
+        (canonical_pairs a.Join.pairs)
+        (canonical_pairs dd.Join.pairs);
+      (* Method d reports both directions. *)
+      Alcotest.(check int)
+        (label ^ ": d size doubles")
+        (2 * List.length (canonical_pairs dd.Join.pairs))
+        (List.length dd.Join.pairs))
+    [ (Spec.Identity, 3.); (Spec.Moving_average 8, 1.5); (Spec.Warp 2, 4.) ]
+
+let test_join_untransformed_matches_identity () =
+  let d = dataset_of ~seed:29 ~count:50 ~n:64 in
+  let idx = Kindex.build ~max_fill:8 d in
+  let c = Join.index_untransformed idx ~epsilon:3. in
+  let a = Join.scan_full idx ~epsilon:3. in
+  Alcotest.(check (list (pair int int))) "c = a (canonical)"
+    (canonical_pairs a.Join.pairs)
+    (canonical_pairs c.Join.pairs)
+
+let test_join_transformed_finds_more_smoothed_pairs () =
+  (* Example-1.1 style: smoothing admits pairs the raw distance refuses. *)
+  let d = dataset_of ~seed:31 ~count:80 ~n:64 in
+  let idx = Kindex.build ~max_fill:8 d in
+  let raw = Join.scan_full idx ~epsilon:2. in
+  let smoothed = Join.scan_full ~spec:(Spec.Moving_average 16) idx ~epsilon:2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "smoothing can only help here (%d vs %d)"
+       (List.length smoothed.Join.pairs)
+       (List.length raw.Join.pairs))
+    true
+    (List.length smoothed.Join.pairs >= List.length raw.Join.pairs)
+
+(* --- GK95 constraints & raw queries ----------------------------------------- *)
+
+let test_range_mean_std_constraints () =
+  let d = dataset_of ~seed:37 ~count:150 ~n:64 in
+  let idx = Kindex.build ~max_fill:8 d in
+  let query = query_for d Spec.Identity 4 in
+  let epsilon = 8. in
+  let unconstrained = Kindex.range idx ~query ~epsilon in
+  let decomposition = Simq_series.Normal_form.decompose query in
+  let qmean = decomposition.Simq_series.Normal_form.mean in
+  let qstd = decomposition.Simq_series.Normal_form.std in
+  let mean_window = 5. and std_band = 1.3 in
+  let constrained =
+    Kindex.range ~mean_window ~std_band idx ~query ~epsilon
+  in
+  (* The constrained answers are exactly the unconstrained ones whose
+     mean/std fall in the windows. *)
+  let expected =
+    List.filter
+      (fun ((e : Dataset.entry), _) ->
+        Float.abs (e.Dataset.mean -. qmean) <= mean_window
+        && e.Dataset.std >= qstd /. std_band
+        && e.Dataset.std <= qstd *. std_band)
+      unconstrained.Kindex.answers
+  in
+  Alcotest.(check (list int)) "filtered ids" (ids_of expected)
+    (ids_of constrained.Kindex.answers);
+  Alcotest.(check bool) "constraints prune" true
+    (List.length constrained.Kindex.answers
+    <= List.length unconstrained.Kindex.answers);
+  Alcotest.check_raises "negative window"
+    (Invalid_argument "Kindex.range: negative mean_window") (fun () ->
+      ignore (Kindex.range ~mean_window:(-1.) idx ~query ~epsilon));
+  Alcotest.check_raises "bad band"
+    (Invalid_argument "Kindex.range: std_band must be >= 1") (fun () ->
+      ignore (Kindex.range ~std_band:0.5 idx ~query ~epsilon))
+
+let test_range_unnormalised_query () =
+  (* Both-sides-transformed matching: smooth the normalised query and
+     search with ~normalise_query:false; the index must agree with a
+     direct computation. *)
+  let d = dataset_of ~seed:41 ~count:100 ~n:64 in
+  let idx = Kindex.build ~max_fill:8 d in
+  let spec = Spec.Moving_average 8 in
+  let base = query_for d Spec.Identity 9 in
+  let query =
+    Simq_series.Moving_average.circular (Simq_dsp.Window.uniform 8)
+      (Simq_series.Normal_form.normalise base)
+  in
+  let epsilon = 1.0 in
+  let result = Kindex.range ~spec ~normalise_query:false idx ~query ~epsilon in
+  let expected =
+    Array.to_list (Dataset.entries d)
+    |> List.filter_map (fun (e : Dataset.entry) ->
+           let dist =
+             Simq_series.Distance.euclidean
+               (Spec.apply_series spec e.Dataset.normal)
+               query
+           in
+           if dist <= epsilon then Some e.Dataset.id else None)
+  in
+  Alcotest.(check (list int)) "matches direct computation" expected
+    (ids_of result.Kindex.answers)
+
+(* --- Index maintenance --------------------------------------------------------- *)
+
+let test_kindex_insert_visible () =
+  let d = dataset_of ~seed:61 ~count:80 ~n:64 in
+  let idx = Kindex.build ~max_fill:8 d in
+  let extra = Generator.random_walks ~seed:62 ~count:20 ~n:64 in
+  Array.iteri
+    (fun i s ->
+      let entry = Kindex.insert idx ~name:(Printf.sprintf "new-%d" i) s in
+      Alcotest.(check int) "dense id" (80 + i) entry.Dataset.id)
+    extra;
+  Alcotest.(check int) "cardinality" 100 (Dataset.cardinality d);
+  Alcotest.(check int) "tree size" 100
+    (Simq_rtree.Rstar.size (Kindex.tree idx));
+  Alcotest.(check bool) "invariants" true
+    (Simq_rtree.Check.is_valid (Kindex.tree idx));
+  (* A query around a freshly inserted series finds it. *)
+  let query = extra.(5) in
+  let r = Kindex.range idx ~query ~epsilon:0.5 in
+  Alcotest.(check bool) "new series found" true
+    (List.exists (fun ((e : Dataset.entry), _) -> e.Dataset.id = 85)
+       r.Kindex.answers);
+  (* And results still agree with the scan reference over the grown set. *)
+  let reference = Seqscan.reference d ~query ~epsilon:6. in
+  let actual = Kindex.range idx ~query ~epsilon:6. in
+  Alcotest.(check (list int)) "reference equivalence" (ids_of reference)
+    (ids_of actual.Kindex.answers)
+
+let test_kindex_insert_rejects_bad_length () =
+  let d = dataset_of ~seed:63 ~count:10 ~n:64 in
+  let idx = Kindex.build d in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Dataset.insert: series length mismatch") (fun () ->
+      ignore (Kindex.insert idx ~name:"bad" (Array.make 32 1.)))
+
+let test_kindex_delete () =
+  let d = dataset_of ~seed:64 ~count:60 ~n:64 in
+  let idx = Kindex.build ~max_fill:8 d in
+  let victim = (Dataset.get d 7).Dataset.series in
+  let before = Kindex.range idx ~query:victim ~epsilon:0.1 in
+  Alcotest.(check bool) "victim present" true
+    (List.exists (fun ((e : Dataset.entry), _) -> e.Dataset.id = 7)
+       before.Kindex.answers);
+  Alcotest.(check bool) "delete succeeds" true (Kindex.delete idx 7);
+  Alcotest.(check bool) "second delete fails" false (Kindex.delete idx 7);
+  Alcotest.(check bool) "unknown id fails" false (Kindex.delete idx 999);
+  let after = Kindex.range idx ~query:victim ~epsilon:0.1 in
+  Alcotest.(check bool) "victim gone" false
+    (List.exists (fun ((e : Dataset.entry), _) -> e.Dataset.id = 7)
+       after.Kindex.answers);
+  Alcotest.(check int) "tree shrank" 59 (Simq_rtree.Rstar.size (Kindex.tree idx));
+  Alcotest.(check bool) "invariants" true
+    (Simq_rtree.Check.is_valid (Kindex.tree idx))
+
+(* --- Subsequence matching ---------------------------------------------------- *)
+
+let brute_force_subseq series ~window ~query ~epsilon =
+  let hits = ref [] in
+  Array.iteri
+    (fun series_id s ->
+      for offset = 0 to Series.length s - window do
+        let slice = Simq_series.Series.subsequence s ~pos:offset ~len:window in
+        let d = Simq_series.Distance.euclidean slice query in
+        if d <= epsilon then hits := (series_id, offset, d) :: !hits
+      done)
+    series;
+  List.sort compare !hits
+
+let test_subseq_range_matches_brute_force () =
+  let series = Generator.random_walks ~seed:51 ~count:20 ~n:100 in
+  let window = 16 in
+  let index = Subseq.build ~window series in
+  Alcotest.(check int) "windows indexed" (20 * (100 - 16 + 1))
+    (Subseq.windows_indexed index);
+  let state = Random.State.make [| 52 |] in
+  for trial = 1 to 10 do
+    let sid = Random.State.int state 20 in
+    let off = Random.State.int state (100 - window + 1) in
+    let base = Simq_series.Series.subsequence series.(sid) ~pos:off ~len:window in
+    let query =
+      Array.map (fun v -> v +. Random.State.float state 0.4 -. 0.2) base
+    in
+    let epsilon = 0.5 +. Random.State.float state 2. in
+    let expected = brute_force_subseq series ~window ~query ~epsilon in
+    let hits, candidates = Subseq.range index ~query ~epsilon in
+    let actual =
+      List.map (fun h -> (h.Subseq.series_id, h.Subseq.offset, h.Subseq.distance)) hits
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: hit count" trial)
+      (List.length expected) (List.length actual);
+    List.iter2
+      (fun (es, eo, ed) (s, o, d) ->
+        Alcotest.(check int) "series" es s;
+        Alcotest.(check int) "offset" eo o;
+        Alcotest.(check (float 1e-9)) "distance" ed d)
+      expected actual;
+    Alcotest.(check bool) "superset" true (candidates >= List.length actual)
+  done
+
+let test_subseq_nearest () =
+  let series = Generator.random_walks ~seed:53 ~count:10 ~n:64 in
+  let window = 8 in
+  let index = Subseq.build ~window series in
+  (* The nearest window to an exact slice is that slice at distance 0. *)
+  let query = Simq_series.Series.subsequence series.(3) ~pos:17 ~len:window in
+  (match Subseq.nearest index ~query ~k:1 with
+  | [ h ] ->
+    Alcotest.(check int) "series" 3 h.Subseq.series_id;
+    Alcotest.(check int) "offset" 17 h.Subseq.offset;
+    Alcotest.(check (float 1e-9)) "distance" 0. h.Subseq.distance
+  | other -> Alcotest.failf "expected 1 hit, got %d" (List.length other));
+  (* k-NN distances match a brute-force ranking. *)
+  let all = brute_force_subseq series ~window ~query ~epsilon:Float.infinity in
+  let expected =
+    List.sort (fun (_, _, d1) (_, _, d2) -> Float.compare d1 d2) all
+    |> List.filteri (fun i _ -> i < 5)
+    |> List.map (fun (_, _, d) -> d)
+  in
+  let actual =
+    Subseq.nearest index ~query ~k:5 |> List.map (fun h -> h.Subseq.distance)
+  in
+  Alcotest.(check (list (float 1e-9))) "knn distances" expected actual
+
+let test_subseq_paper_example_12 () =
+  (* Example 1.2: the minimum distance from p to a length-4 subsequence
+     of s is over 1.41 without warping. *)
+  let s = Simq_series.Fixtures.ex12_s and p = Simq_series.Fixtures.ex12_p in
+  let index = Subseq.build ~k:2 ~window:4 [| s |] in
+  let hits = Subseq.nearest index ~query:p ~k:1 in
+  match hits with
+  | [ h ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "min distance %.3f > 1.41" h.Subseq.distance)
+      true
+      (h.Subseq.distance >= 1.41)
+  | _ -> Alcotest.fail "expected one hit"
+
+let test_subseq_trails_match_points () =
+  (* The trail layout returns exactly the same answers with far fewer
+     index entries. *)
+  let series = Generator.random_walks ~seed:55 ~count:15 ~n:96 in
+  let window = 16 in
+  let points = Subseq.build ~window series in
+  let trails = Subseq.build ~trail:8 ~window series in
+  Alcotest.(check int) "same windows" (Subseq.windows_indexed points)
+    (Subseq.windows_indexed trails);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer entries (%d vs %d)" (Subseq.index_entries trails)
+       (Subseq.index_entries points))
+    true
+    (Subseq.index_entries trails * 7 <= Subseq.index_entries points);
+  let state = Random.State.make [| 56 |] in
+  for _ = 1 to 8 do
+    let sid = Random.State.int state 15 in
+    let off = Random.State.int state (96 - window + 1) in
+    let query =
+      Simq_workload.Queries.perturb state
+        (Simq_series.Series.subsequence series.(sid) ~pos:off ~len:window)
+        ~amount:0.3
+    in
+    let epsilon = 0.5 +. Random.State.float state 1.5 in
+    let from_points, _ = Subseq.range points ~query ~epsilon in
+    let from_trails, _ = Subseq.range trails ~query ~epsilon in
+    let strip hits =
+      List.map (fun h -> (h.Subseq.series_id, h.Subseq.offset)) hits
+    in
+    Alcotest.(check (list (pair int int))) "same range answers"
+      (strip from_points) (strip from_trails);
+    let nn_points = Subseq.nearest points ~query ~k:4 in
+    let nn_trails = Subseq.nearest trails ~query ~k:4 in
+    Alcotest.(check (list (float 1e-9))) "same knn distances"
+      (List.map (fun h -> h.Subseq.distance) nn_points)
+      (List.map (fun h -> h.Subseq.distance) nn_trails)
+  done
+
+let test_subseq_trail_validation () =
+  Alcotest.check_raises "trail >= 1"
+    (Invalid_argument "Subseq.build: trail must be >= 1") (fun () ->
+      ignore (Subseq.build ~trail:0 ~window:4 [| Array.make 10 1. |]))
+
+let test_subseq_validation () =
+  let series = [| Array.make 10 1. |] in
+  Alcotest.check_raises "window too large"
+    (Invalid_argument "Subseq.build: window exceeds a series length")
+    (fun () -> ignore (Subseq.build ~window:11 series));
+  let index = Subseq.build ~window:4 series in
+  Alcotest.check_raises "bad query length"
+    (Invalid_argument "Subseq: query length 3, expected 4") (fun () ->
+      ignore (Subseq.range index ~query:(Array.make 3 1.) ~epsilon:1.))
+
+(* --- Planner ------------------------------------------------------------------ *)
+
+let test_planner_selectivity_monotone () =
+  let d = dataset_of ~seed:71 ~count:200 ~n:64 in
+  let stats = Planner.collect d in
+  let previous = ref (-1.) in
+  List.iter
+    (fun epsilon ->
+      let s = Planner.selectivity stats ~epsilon in
+      Alcotest.(check bool) "within [0,1]" true (s >= 0. && s <= 1.);
+      Alcotest.(check bool) "monotone" true (s >= !previous);
+      previous := s)
+    [ 0.; 1.; 2.; 4.; 8.; 12.; 16.; 100. ];
+  Alcotest.(check (float 1e-9)) "negative epsilon" 0.
+    (Planner.selectivity stats ~epsilon:(-1.));
+  Alcotest.(check (float 1e-6)) "huge epsilon saturates" 1.
+    (Planner.selectivity stats ~epsilon:1e6)
+
+let test_planner_estimates_roughly_correct () =
+  let d = dataset_of ~seed:72 ~count:300 ~n:64 in
+  let stats = Planner.collect ~samples:4000 d in
+  (* Compare the estimate against the true count for a median-ish eps. *)
+  let entries = Dataset.entries d in
+  let query = entries.(0).Dataset.normal in
+  List.iter
+    (fun epsilon ->
+      let truth =
+        Array.to_list entries
+        |> List.filter (fun (e : Dataset.entry) ->
+               Simq_series.Distance.euclidean e.Dataset.normal query <= epsilon)
+        |> List.length
+      in
+      let estimate = Planner.estimate_answers stats ~cardinality:300 ~epsilon in
+      (* Pairwise-sample estimates are coarse; require the right order of
+         magnitude for mid-range epsilons. *)
+      if truth >= 30 then
+        Alcotest.(check bool)
+          (Printf.sprintf "eps %g: estimate %.0f vs truth %d" epsilon estimate
+             truth)
+          true
+          (estimate >= float_of_int truth /. 4.
+          && estimate <= float_of_int truth *. 4.))
+    [ 8.; 10.; 12. ]
+
+let test_planner_choice_and_execution () =
+  let d = dataset_of ~seed:73 ~count:150 ~n:64 in
+  let idx = Kindex.build ~max_fill:8 d in
+  let stats = Planner.collect d in
+  (* Selective query: index plan; broad query: scan plan. Either way the
+     answers match the direct index computation. *)
+  let query = query_for d Spec.Identity 2 in
+  let tiny = Planner.range idx stats ~query ~epsilon:0.5 in
+  Alcotest.(check bool) "tiny eps -> index" true (tiny.Planner.plan = Planner.Use_index);
+  let huge = Planner.range idx stats ~query ~epsilon:50. in
+  Alcotest.(check bool) "huge eps -> scan" true (huge.Planner.plan = Planner.Use_scan);
+  List.iter
+    (fun epsilon ->
+      let planned = Planner.range idx stats ~query ~epsilon in
+      let direct = Kindex.range idx ~query ~epsilon in
+      Alcotest.(check (list int)) "same answers"
+        (ids_of direct.Kindex.answers)
+        (ids_of planned.Planner.answers))
+    [ 0.5; 5.; 50. ]
+
+(* --- property-based -------------------------------------------------------------- *)
+
+let arb_setup =
+  QCheck.make
+    ~print:(fun (seed, eps, qseed) ->
+      Printf.sprintf "seed=%d eps=%g qseed=%d" seed eps qseed)
+    QCheck.Gen.(
+      let* seed = int_range 0 1000 in
+      let* eps = float_range 0.1 15. in
+      let* qseed = int_range 0 1000 in
+      return (seed, eps, qseed))
+
+let prop_no_false_dismissals_identity =
+  QCheck.Test.make ~name:"Lemma 1: index answers = reference (identity)"
+    ~count:25 arb_setup (fun (seed, epsilon, qseed) ->
+      let d = dataset_of ~seed ~count:60 ~n:32 in
+      let idx = Kindex.build ~max_fill:8 d in
+      let query = query_for d Spec.Identity qseed in
+      let expected = Seqscan.reference d ~query ~epsilon in
+      let actual = Kindex.range idx ~query ~epsilon in
+      ids_of expected = ids_of actual.Kindex.answers)
+
+let prop_no_false_dismissals_mavg =
+  QCheck.Test.make ~name:"Lemma 1: index answers = reference (mavg)"
+    ~count:25 arb_setup (fun (seed, epsilon, qseed) ->
+      let d = dataset_of ~seed ~count:60 ~n:32 in
+      let idx = Kindex.build ~max_fill:8 d in
+      let spec = Spec.Moving_average (1 + (qseed mod 10)) in
+      let query = query_for d spec qseed in
+      let expected = Seqscan.reference ~spec d ~query ~epsilon in
+      let actual = Kindex.range ~spec idx ~query ~epsilon in
+      ids_of expected = ids_of actual.Kindex.answers)
+
+let prop_subseq_exact =
+  QCheck.Test.make ~name:"subsequence range = brute force" ~count:15
+    arb_setup (fun (seed, epsilon, qseed) ->
+      let epsilon = epsilon /. 4. in
+      let series = Generator.random_walks ~seed ~count:6 ~n:48 in
+      let window = 12 in
+      let index = Subseq.build ~window series in
+      let state = Random.State.make [| qseed |] in
+      let sid = Random.State.int state 6 in
+      let off = Random.State.int state (48 - window + 1) in
+      let query =
+        Simq_workload.Queries.perturb state
+          (Series.subsequence series.(sid) ~pos:off ~len:window)
+          ~amount:0.5
+      in
+      let expected =
+        brute_force_subseq series ~window ~query ~epsilon
+        |> List.map (fun (s, o, _) -> (s, o))
+      in
+      let hits, _ = Subseq.range index ~query ~epsilon in
+      expected
+      = List.map (fun h -> (h.Subseq.series_id, h.Subseq.offset)) hits)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_no_false_dismissals_identity;
+      prop_no_false_dismissals_mavg;
+      prop_subseq_exact;
+    ]
+
+let () =
+  Alcotest.run "simq_tsindex"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "stretch predicts spectrum" `Quick
+            test_spec_stretch_predicts_spectrum;
+          Alcotest.test_case "output length" `Quick test_spec_output_length;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "preparation" `Quick test_dataset_preparation;
+          Alcotest.test_case "rejects mixed lengths" `Quick
+            test_dataset_rejects_mixed_lengths;
+        ] );
+      ( "range",
+        [
+          Alcotest.test_case "matches reference for every spec/representation"
+            `Quick test_range_matches_reference;
+          Alcotest.test_case "rejects bad query lengths" `Quick
+            test_range_rejects_bad_query_length;
+          Alcotest.test_case "prunes candidates" `Quick test_range_prunes;
+          Alcotest.test_case "index invariants" `Quick test_rtree_of_index_is_valid;
+          Alcotest.test_case "k=3 configuration" `Quick test_range_with_k3_config;
+        ] );
+      ( "nearest",
+        [
+          Alcotest.test_case "matches brute force" `Quick
+            test_nearest_matches_brute_force;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "insert visible to queries" `Quick
+            test_kindex_insert_visible;
+          Alcotest.test_case "insert validates length" `Quick
+            test_kindex_insert_rejects_bad_length;
+          Alcotest.test_case "delete" `Quick test_kindex_delete;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "mean/std windows (GK95)" `Quick
+            test_range_mean_std_constraints;
+          Alcotest.test_case "unnormalised query" `Quick
+            test_range_unnormalised_query;
+        ] );
+      ( "subsequence",
+        [
+          Alcotest.test_case "range = brute force" `Quick
+            test_subseq_range_matches_brute_force;
+          Alcotest.test_case "nearest" `Quick test_subseq_nearest;
+          Alcotest.test_case "paper example 1.2 floor" `Quick
+            test_subseq_paper_example_12;
+          Alcotest.test_case "validation" `Quick test_subseq_validation;
+          Alcotest.test_case "trails match point layout" `Quick
+            test_subseq_trails_match_points;
+          Alcotest.test_case "trail validation" `Quick
+            test_subseq_trail_validation;
+        ] );
+      ( "seqscan",
+        [
+          Alcotest.test_case "variants agree" `Quick test_seqscan_variants_agree;
+          Alcotest.test_case "counts page reads" `Quick
+            test_seqscan_counts_page_reads;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "methods agree" `Quick test_join_methods_agree;
+          Alcotest.test_case "untransformed matches identity" `Quick
+            test_join_untransformed_matches_identity;
+          Alcotest.test_case "smoothing admits more pairs" `Quick
+            test_join_transformed_finds_more_smoothed_pairs;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "selectivity monotone" `Quick
+            test_planner_selectivity_monotone;
+          Alcotest.test_case "estimates roughly correct" `Quick
+            test_planner_estimates_roughly_correct;
+          Alcotest.test_case "choice and execution" `Quick
+            test_planner_choice_and_execution;
+        ] );
+      ("properties", properties);
+    ]
