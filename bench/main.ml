@@ -6,13 +6,26 @@
      dune exec bench/main.exe                 -- everything, full sizes
      dune exec bench/main.exe -- --fast       -- everything, small sizes
      dune exec bench/main.exe -- fig12        -- one experiment
-     dune exec bench/main.exe -- micro        -- micro-benchmarks only *)
+     dune exec bench/main.exe -- micro        -- micro-benchmarks only
+     dune exec bench/main.exe -- --jobs 4 par -- scaling run, 4 domains
+
+   All synthetic inputs derive from Bench_util.bench_seed, so two runs
+   of the same binary measure identical data. *)
+
+module Bench_util = Simq_experiments.Bench_util
 
 let run_micro () =
   let open Bechamel in
-  let walk n = Simq_series.Generator.random_walk (Random.State.make [| n |]) n in
+  let walk n =
+    Simq_series.Generator.random_walk
+      (Random.State.make [| Bench_util.derived_seed n |])
+      n
+  in
   let s128 = walk 128 and s1024 = walk 1024 in
-  let batch = Simq_series.Generator.random_walks ~seed:3 ~count:1000 ~n:128 in
+  let batch =
+    Simq_series.Generator.random_walks ~seed:(Bench_util.derived_seed 3)
+      ~count:1000 ~n:128
+  in
   let dataset = Simq_tsindex.Dataset.of_series ~name:"bench" batch in
   let index = Simq_tsindex.Kindex.build dataset in
   let query = batch.(0) in
@@ -81,12 +94,29 @@ let run_micro () =
   List.iter
     (fun (name, est) ->
       Printf.printf "  %-34s %12.0f ns/run  (%s)\n" name est
-        (Simq_experiments.Bench_util.fmt_time (est /. 1e9)))
+        (Bench_util.fmt_time (est /. 1e9)))
     (List.sort compare !rows);
   print_newline ()
 
+(* [--jobs N] caps the default pool (overrides SIMQ_DOMAINS); returns
+   the remaining arguments. *)
+let rec strip_jobs = function
+  | [] -> []
+  | "--jobs" :: value :: rest -> (
+    match int_of_string_opt value with
+    | Some domains when domains >= 1 ->
+      Simq_parallel.Pool.set_default_domains domains;
+      strip_jobs rest
+    | _ ->
+      prerr_endline "--jobs expects an integer >= 1";
+      exit 2)
+  | "--jobs" :: [] ->
+    prerr_endline "--jobs expects an integer >= 1";
+    exit 2
+  | arg :: rest -> arg :: strip_jobs rest
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = Array.to_list Sys.argv |> List.tl |> strip_jobs in
   let fast = List.mem "--fast" args in
   let names = List.filter (fun a -> a <> "--fast") args in
   let names = if names = [] then [ "all"; "micro" ] else names in

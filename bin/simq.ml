@@ -15,9 +15,29 @@ open Simq_tsindex
 
 let ( let* ) r f = Result.bind r f
 
+(* --- parallelism --------------------------------------------------------- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:
+           "Number of domains for parallel execution (overrides the \
+            $(b,SIMQ_DOMAINS) environment variable; $(b,1) runs fully \
+            sequentially).")
+
+let apply_jobs = function
+  | None -> Ok ()
+  | Some domains when domains >= 1 ->
+    Simq_parallel.Pool.set_default_domains domains;
+    Ok ()
+  | Some _ -> Error "--jobs expects an integer >= 1"
+
 (* --- generate ------------------------------------------------------------ *)
 
-let generate kind count length seed out =
+let generate kind count length seed out jobs =
+  let* () = apply_jobs jobs in
   let batch =
     match kind with
     | `Walk -> Simq_series.Generator.random_walks ~seed ~count ~n:length
@@ -122,11 +142,11 @@ let run_parsed_query index dataset noise q =
       results;
     Ok ()
   | Ql.Pairs { spec; epsilon; method_; _ } ->
-    let join =
+    let join index ~epsilon =
       match method_ with
-      | Ql.Scan_full -> Join.scan_full ~spec
-      | Ql.Scan_early -> Join.scan_early_abandon ~spec
-      | Ql.Index -> Join.index_transformed ~spec
+      | Ql.Scan_full -> Join.scan_full ~spec index ~epsilon
+      | Ql.Scan_early -> Join.scan_early_abandon ~spec index ~epsilon
+      | Ql.Index -> Join.index_transformed ~spec index ~epsilon
     in
     let (result : Join.result), elapsed =
       Simq_report.Timer.time (fun () -> join index ~epsilon)
@@ -144,7 +164,8 @@ let run_parsed_query index dataset noise q =
       result.Join.pairs;
     Ok ()
 
-let query_impl file text noise =
+let query_impl file text noise jobs =
+  let* () = apply_jobs jobs in
   if not (Sys.file_exists file) then Error (Printf.sprintf "no such file: %s" file)
   else begin
     let relation = Relation.load file in
@@ -195,12 +216,13 @@ let export_impl file out =
 
 (* --- experiments -------------------------------------------------------------- *)
 
-let experiments_impl name fast =
+let experiments_impl name fast jobs =
+  let* () = apply_jobs jobs in
   Simq_experiments.Experiments.run ~fast name
 
 let experiment_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
-         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree or all.")
+         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree, ablation_*, par or all.")
 
 let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc:"Smaller data sizes (seconds instead of minutes).")
@@ -218,9 +240,9 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc)
     Term.(
-      const (fun kind count length seed out ->
-          handle (generate kind count length seed out))
-      $ kind_arg $ count_arg $ length_arg $ seed_arg $ out_arg)
+      const (fun kind count length seed out jobs ->
+          handle (generate kind count length seed out jobs))
+      $ kind_arg $ count_arg $ length_arg $ seed_arg $ out_arg $ jobs_arg)
 
 let info_cmd =
   let doc = "describe a stored relation" in
@@ -231,8 +253,9 @@ let query_cmd =
   let doc = "run a similarity query against a stored relation" in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const (fun file text noise -> handle (query_impl file text noise))
-      $ file_arg $ ql_arg $ noise_arg)
+      const (fun file text noise jobs ->
+          handle (query_impl file text noise jobs))
+      $ file_arg $ ql_arg $ noise_arg $ jobs_arg)
 
 let import_cmd =
   let doc = "import a CSV file (one series per row: name,v1,v2,...)" in
@@ -257,8 +280,8 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const (fun name fast -> handle (experiments_impl name fast))
-      $ experiment_arg $ fast_arg)
+      const (fun name fast jobs -> handle (experiments_impl name fast jobs))
+      $ experiment_arg $ fast_arg $ jobs_arg)
 
 let () =
   let doc = "similarity-based queries on time-series data" in

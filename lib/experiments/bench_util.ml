@@ -20,3 +20,7 @@ let queries_for ~seed ~count batch =
   List.init count (fun i ->
       let base = batch.(i * 31 mod Array.length batch) in
       Simq_workload.Queries.perturb state base ~amount:1.0)
+
+let bench_seed = 1995
+
+let derived_seed offset = (bench_seed * 31) + offset

@@ -15,3 +15,18 @@ val fmt_time : float -> string
 val queries_for :
   seed:int -> count:int -> Simq_series.Series.t array ->
   Simq_series.Series.t list
+
+(** {2 Seeding}
+
+    Every synthetic dataset, query workload and micro-benchmark input in
+    the bench harness derives from one seed, so a whole run is
+    reproducible from a single number. *)
+
+(** The root seed of the benchmark harness (the paper's publication
+    year). Changing it re-draws every synthetic input at once. *)
+val bench_seed : int
+
+(** [derived_seed offset] is a deterministic per-generator stream seed
+    derived from {!bench_seed}; distinct offsets give independent
+    streams. *)
+val derived_seed : int -> int

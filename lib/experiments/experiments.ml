@@ -279,7 +279,7 @@ let fig11 ~fast =
 
 let fig12 ~fast =
   let count = if fast then 400 else 1067 in
-  let market = Stocklike.batch ~seed:1995 ~count ~n:128 in
+  let market = Stocklike.batch ~seed:Bench_util.bench_seed ~count ~n:128 in
   let dataset = Dataset.of_series ~name:"stocks" market in
   let index = Kindex.build dataset in
   let state = Random.State.make [| 12 |] in
@@ -346,7 +346,7 @@ let fig12 ~fast =
 
 let table1 ~fast =
   let count = if fast then 250 else 1067 in
-  let market = Stocklike.batch ~seed:1995 ~count ~n:128 in
+  let market = Stocklike.batch ~seed:Bench_util.bench_seed ~count ~n:128 in
   let dataset = Dataset.of_series ~name:"stocks" market in
   let index = Kindex.build dataset in
   let spec = Spec.Moving_average 20 in
@@ -611,7 +611,7 @@ let vptree ~fast =
    fewer false hits but a higher-dimensional (worse-behaved) tree. *)
 let ablation_k ~fast =
   let count = if fast then 300 else 1067 in
-  let market = Stocklike.batch ~seed:1995 ~count ~n:128 in
+  let market = Stocklike.batch ~seed:Bench_util.bench_seed ~count ~n:128 in
   let dataset = Dataset.of_series ~name:"stocks" market in
   let state = Random.State.make [| 7 |] in
   let queries =
@@ -675,7 +675,7 @@ let ablation_k ~fast =
    safe in both (Theorems 2 and 3 overlap on real stretches). *)
 let ablation_repr ~fast =
   let count = if fast then 300 else 1067 in
-  let market = Stocklike.batch ~seed:1995 ~count ~n:128 in
+  let market = Stocklike.batch ~seed:Bench_util.bench_seed ~count ~n:128 in
   let dataset = Dataset.of_series ~name:"stocks" market in
   let state = Random.State.make [| 8 |] in
   let queries =
@@ -739,7 +739,7 @@ let ablation_repr ~fast =
    distribution. *)
 let ablation_rtree ~fast =
   let count = if fast then 500 else 2000 in
-  let market = Stocklike.batch ~seed:1995 ~count ~n:128 in
+  let market = Stocklike.batch ~seed:Bench_util.bench_seed ~count ~n:128 in
   let dataset = Dataset.of_series ~name:"stocks" market in
   let config = Feature.default in
   let points =
@@ -805,7 +805,7 @@ let ablation_rtree ~fast =
 let ablation_trails ~fast =
   let count = if fast then 20 else 60 in
   let n = 512 and window = 32 in
-  let series = Stocklike.batch ~seed:2024 ~count ~n in
+  let series = Stocklike.batch ~seed:(Bench_util.derived_seed 29) ~count ~n in
   let state = Random.State.make [| 10 |] in
   let queries =
     List.init 10 (fun i ->
@@ -862,6 +862,196 @@ let ablation_trails ~fast =
       (trail_entries * 7 <= point_entries);
   ]
 
+(* --- multicore scaling ------------------------------------------------------------ *)
+
+(* The parallel execution layer under the paper's workloads: dataset
+   preparation, the sequential-scan baseline, the scan self-join and the
+   batched query path, each at 1/2/4/N domains. Two claims: the answers
+   are bit-identical at every domain count (always asserted — this is
+   Lemma 1 under parallelism), and 4 domains buy >= 2x on at least two
+   of build/scan/join (asserted only on full runs with >= 4 cores;
+   timing on oversubscribed or tiny configurations is noise). *)
+let par ~fast =
+  let module Pool = Simq_parallel.Pool in
+  let count = if fast then 150 else 600 in
+  let n = if fast then 64 else 128 in
+  let repeats = if fast then 1 else 3 in
+  let batch = Stocklike.batch ~seed:Bench_util.bench_seed ~count ~n in
+  let dataset = Dataset.of_series ~pool:Pool.sequential ~name:"stocks" batch in
+  let index = Kindex.build dataset in
+  let query =
+    Queries.perturb
+      (Random.State.make [| Bench_util.derived_seed 11 |])
+      batch.(0) ~amount:0.5
+  in
+  let epsilon = calibrated_epsilon dataset query ~target:10 in
+  let join_epsilon = epsilon /. 2. in
+  let queries =
+    Array.of_list
+      (List.map
+         (fun q -> (q, epsilon))
+         (Bench_util.queries_for ~seed:(Bench_util.derived_seed 12) ~count:8
+            batch))
+  in
+  let ref_scan =
+    Seqscan.range_early_abandon ~pool:Pool.sequential dataset ~query ~epsilon
+  in
+  let ref_join =
+    Join.scan_early_abandon ~pool:Pool.sequential index ~epsilon:join_epsilon
+  in
+  let ref_batch = Seqscan.range_batch ~pool:Pool.sequential dataset ~queries in
+  let cores = max 1 (Domain.recommended_domain_count ()) in
+  let domain_counts =
+    List.sort_uniq compare (if cores > 4 then [ 1; 2; 4; cores ] else [ 1; 2; 4 ])
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Scaling: domain pool (%d stock-like series, n=%d, %d core%s)"
+           count n cores
+           (if cores = 1 then "" else "s"))
+      ~columns:[ "domains"; "build"; "scan"; "self-join"; "batch(8)" ]
+  in
+  let scan_equal (a : Seqscan.result) (b : Seqscan.result) =
+    List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) a.Seqscan.answers
+    = List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) b.Seqscan.answers
+    && a.Seqscan.full_computations = b.Seqscan.full_computations
+    && a.Seqscan.coefficients_touched = b.Seqscan.coefficients_touched
+  in
+  let all_equal = ref true in
+  let runs =
+    List.map
+      (fun domains ->
+        let pool = Pool.create ~domains in
+        let built = ref dataset in
+        let build_time =
+          Bench_util.time_per_query ~repeats (fun () ->
+              built := Dataset.of_series ~pool ~name:"stocks" batch)
+        in
+        let scan = ref ref_scan in
+        let scan_time =
+          Bench_util.time_per_query ~repeats (fun () ->
+              scan :=
+                Seqscan.range_early_abandon ~pool dataset ~query ~epsilon)
+        in
+        let join = ref ref_join in
+        let join_time =
+          Bench_util.time_per_query ~repeats (fun () ->
+              join :=
+                Join.scan_early_abandon ~pool index ~epsilon:join_epsilon)
+        in
+        let batch_results = ref ref_batch in
+        let batch_time =
+          Bench_util.time_per_query ~repeats (fun () ->
+              batch_results := Seqscan.range_batch ~pool dataset ~queries)
+        in
+        let build_ok =
+          Array.for_all2
+            (fun (a : Dataset.entry) (b : Dataset.entry) ->
+              a.Dataset.normal = b.Dataset.normal
+              && a.Dataset.spectrum = b.Dataset.spectrum)
+            (Dataset.entries dataset)
+            (Dataset.entries !built)
+        in
+        let join_ok =
+          !join.Join.pairs = ref_join.Join.pairs
+          && !join.Join.distance_computations
+             = ref_join.Join.distance_computations
+        in
+        let batch_ok =
+          Array.length !batch_results = Array.length ref_batch
+          && Array.for_all2 scan_equal ref_batch !batch_results
+        in
+        if not (build_ok && scan_equal ref_scan !scan && join_ok && batch_ok)
+        then all_equal := false;
+        Pool.shutdown pool;
+        Table.add_row table
+          [
+            string_of_int domains; fmt build_time; fmt scan_time;
+            fmt join_time; fmt batch_time;
+          ];
+        (domains, build_time, scan_time, join_time, batch_time))
+      domain_counts
+  in
+  Table.print table;
+  let base sel = match runs with (_, b, s, j, q) :: _ -> sel (b, s, j, q) | [] -> 1. in
+  let speedup sel (_, b, s, j, q) =
+    let t = sel (b, s, j, q) in
+    if t > 0. then base sel /. t else 1.
+  in
+  let sel_build (b, _, _, _) = b
+  and sel_scan (_, s, _, _) = s
+  and sel_join (_, _, j, _) = j in
+  let at4 =
+    List.find_opt (fun (d, _, _, _, _) -> d = 4) runs
+    |> Option.value ~default:(List.nth runs (List.length runs - 1))
+  in
+  let s_build = speedup sel_build at4
+  and s_scan = speedup sel_scan at4
+  and s_join = speedup sel_join at4 in
+  (* BENCH_par.json: the raw speedup curves, for tracking across runs. *)
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"par\",\n  \"fast\": %b,\n  \"seed\": %d,\n\
+    \  \"series\": { \"count\": %d, \"n\": %d },\n\
+    \  \"recommended_domain_count\": %d,\n  \"runs\": [\n"
+    fast Bench_util.bench_seed count n cores;
+  List.iteri
+    (fun i (d, b, s, j, q) ->
+      Printf.fprintf oc
+        "    { \"domains\": %d, \"build_s\": %.6f, \"scan_s\": %.6f, \
+         \"join_s\": %.6f, \"batch_s\": %.6f, \"build_speedup\": %.3f, \
+         \"scan_speedup\": %.3f, \"join_speedup\": %.3f }%s\n"
+        d b s j q
+        (speedup sel_build (d, b, s, j, q))
+        (speedup sel_scan (d, b, s, j, q))
+        (speedup sel_join (d, b, s, j, q))
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Printf.fprintf oc "  ],\n  \"all_results_equal\": %b\n}\n" !all_equal;
+  close_out oc;
+  print_endline "wrote BENCH_par.json";
+  let speedup_claim =
+    let measured =
+      Printf.sprintf "4-domain speedups: build %.2fx, scan %.2fx, join %.2fx"
+        s_build s_scan s_join
+    in
+    if (not fast) && cores >= 4 then
+      Expectation.check ~experiment:"Scaling"
+        ~expectation:
+          "4 domains reach >= 2x over 1 domain on at least two of \
+           dataset build / scan / self-join"
+        ~measured
+        (List.length (List.filter (fun s -> s >= 2.) [ s_build; s_scan; s_join ])
+        >= 2)
+    else
+      Expectation.partial ~experiment:"Scaling"
+        ~expectation:
+          "4 domains reach >= 2x over 1 domain on at least two of \
+           dataset build / scan / self-join"
+        ~measured:
+          (Printf.sprintf "%s (%s — timing not asserted)" measured
+             (if cores < 4 then
+                Printf.sprintf "only %d core%s available" cores
+                  (if cores = 1 then "" else "s")
+              else "fast mode"))
+  in
+  [
+    Expectation.check ~experiment:"Scaling"
+      ~expectation:
+        "parallel execution is invisible in the answers: every domain \
+         count returns bit-identical results and counters (Lemma 1 \
+         under parallelism)"
+      ~measured:
+        (if !all_equal then
+           Printf.sprintf "identical at every domain count in %s"
+             (String.concat "/" (List.map string_of_int domain_counts))
+         else "MISMATCH against the single-domain reference")
+      !all_equal;
+    speedup_claim;
+  ]
+
 (* --- dispatcher ------------------------------------------------------------------ *)
 
 let suite =
@@ -879,6 +1069,7 @@ let suite =
     ("ablation_repr", ablation_repr);
     ("ablation_rtree", ablation_rtree);
     ("ablation_trails", ablation_trails);
+    ("par", par);
   ]
 
 let all ~fast =

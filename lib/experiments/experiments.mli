@@ -53,6 +53,14 @@ val ablation_rtree : fast:bool -> claim list
     trails. *)
 val ablation_trails : fast:bool -> claim list
 
+(** Scaling: the multicore execution layer at 1/2/4/N domains — dataset
+    build, sequential scan, scan self-join and the batched query path —
+    asserting bit-identical answers at every domain count and writing
+    the speedup curves to [BENCH_par.json] in the working directory.
+    The >= 2x speedup claim is asserted only on full (non-[fast]) runs
+    with at least four cores; elsewhere it is reported as partial. *)
+val par : fast:bool -> claim list
+
 (** [all ~fast] runs everything in order and prints the claim summary. *)
 val all : fast:bool -> unit
 

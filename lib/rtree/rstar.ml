@@ -439,11 +439,16 @@ let delete t ~point ~where =
 
 (* --- queries ------------------------------------------------------------ *)
 
-let fold_region t ~overlaps ~matches ~init ~f =
-  if t.size = 0 then init
+(* The counted variant accumulates node accesses into a local counter
+   instead of the tree's cumulative one, so concurrent read-only
+   traversals (parallel query batches) never write shared state; the
+   caller decides when to credit {!add_accesses}. *)
+let fold_region_counted t ~overlaps ~matches ~init ~f =
+  if t.size = 0 then (init, 0)
   else begin
+    let accesses = ref 0 in
     let rec go acc node =
-      count_access t;
+      incr accesses;
       List.fold_left
         (fun acc entry ->
           match entry with
@@ -452,8 +457,16 @@ let fold_region t ~overlaps ~matches ~init ~f =
             if matches rect value then f acc rect value else acc)
         acc node.Node.entries
     in
-    if overlaps t.root.Node.mbr then go init t.root else init
+    let acc = if overlaps t.root.Node.mbr then go init t.root else init in
+    (acc, !accesses)
   end
+
+let add_accesses t n = t.node_accesses <- t.node_accesses + n
+
+let fold_region t ~overlaps ~matches ~init ~f =
+  let acc, accesses = fold_region_counted t ~overlaps ~matches ~init ~f in
+  add_accesses t accesses;
+  acc
 
 (* Data entries match when their rectangle intersects the query; for the
    degenerate rectangles that point-level insertions create this is

@@ -66,6 +66,25 @@ val fold_region :
   f:('acc -> Simq_geometry.Rect.t -> 'a -> 'acc) ->
   'acc
 
+(** [fold_region_counted t ~overlaps ~matches ~init ~f] is
+    {!fold_region} except that the nodes visited are counted into the
+    {e returned} value instead of the tree's cumulative
+    {!node_accesses} counter. The traversal then writes no shared
+    state, so read-only queries may run concurrently from several
+    domains; credit the count with {!add_accesses} afterwards if the
+    cumulative statistics should include it. *)
+val fold_region_counted :
+  'a t ->
+  overlaps:(Simq_geometry.Rect.t -> bool) ->
+  matches:(Simq_geometry.Rect.t -> 'a -> bool) ->
+  init:'acc ->
+  f:('acc -> Simq_geometry.Rect.t -> 'a -> 'acc) ->
+  'acc * int
+
+(** [add_accesses t n] adds [n] to {!node_accesses} (used with
+    {!fold_region_counted}; single-domain callers only). *)
+val add_accesses : 'a t -> int -> unit
+
 (** [search_rect t rect] collects all data entries intersecting [rect]
     (for point data: all points inside). Returned points are the data
     rectangles' [lo] corners. *)

@@ -31,13 +31,17 @@ let prepare ~id ~name series =
     std = d.Normal_form.std;
   }
 
-let of_relation r =
+let of_relation ?pool r =
   if Relation.cardinality r = 0 then
     invalid_arg "Dataset.of_relation: empty relation";
   let tuples = Relation.to_array r in
   let n = Series.length tuples.(0).Relation.data in
+  (* Per-entry normalisation + FFT dominates the build cost and is pure,
+     so the tuples fan out over the pool; [map_array] keeps positions
+     and surfaces the lowest-index length error, like the
+     left-to-right sequential map did. *)
   let entries =
-    Array.map
+    Simq_parallel.Pool.map_array ?pool
       (fun (tuple : Relation.tuple) ->
         if Series.length tuple.Relation.data <> n then
           invalid_arg "Dataset.of_relation: series of unequal lengths";
@@ -47,8 +51,8 @@ let of_relation r =
   in
   { entries; count = Array.length entries; n; relation = r }
 
-let of_series ~name batch =
-  of_relation (Relation.of_series ~name batch)
+let of_series ?pool ~name batch =
+  of_relation ?pool (Relation.of_series ~name batch)
 
 let insert t ~name data =
   let data = Series.validate data in

@@ -20,13 +20,17 @@ type entry = {
 
 type t
 
-(** [of_relation r] prepares every tuple. Raises [Invalid_argument] when
-    the relation is empty or holds series of unequal lengths. *)
-val of_relation : Simq_storage.Relation.t -> t
+(** [of_relation ?pool r] prepares every tuple; the per-entry
+    normalisation + FFT (the dominant build cost) fans out over [pool]
+    (default {!Simq_parallel.Pool.default}) with results identical to a
+    sequential build. Raises [Invalid_argument] when the relation is
+    empty or holds series of unequal lengths. *)
+val of_relation : ?pool:Simq_parallel.Pool.t -> Simq_storage.Relation.t -> t
 
-(** [of_series ~name batch] shortcut: wraps the batch in a relation and
-    prepares it. *)
-val of_series : name:string -> Simq_series.Series.t array -> t
+(** [of_series ?pool ~name batch] shortcut: wraps the batch in a
+    relation and prepares it. *)
+val of_series :
+  ?pool:Simq_parallel.Pool.t -> name:string -> Simq_series.Series.t array -> t
 
 (** [insert t ~name data] validates, stores and prepares one more
     series (appending it to the backing relation); its id is the new

@@ -1,5 +1,6 @@
 module Cpx = Simq_dsp.Cpx
 module Distance = Simq_series.Distance
+module Pool = Simq_parallel.Pool
 
 type result = {
   pairs : (int * int) list;
@@ -13,68 +14,89 @@ let sq_norm z =
 
 (* Precompute the transformed normal forms (time domain, exact for every
    spec including Warp) and, for the length-preserving specs, the
-   transformed spectra used by the frequency-domain scans. *)
-let transformed_normals kindex spec =
-  Array.map
+   transformed spectra used by the frequency-domain scans. Both are
+   pure per-entry maps, so they fan out over the pool too. *)
+let transformed_normals ?pool kindex spec =
+  Pool.map_array ?pool
     (fun (entry : Dataset.entry) -> Spec.apply_series spec entry.Dataset.normal)
     (Dataset.entries (Kindex.dataset kindex))
 
-let transformed_spectra kindex spec =
+let transformed_spectra ?pool kindex spec =
   let n = Dataset.series_length (Kindex.dataset kindex) in
   let stretch = Spec.stretch spec ~n in
-  Array.map
+  Pool.map_array ?pool
     (fun (entry : Dataset.entry) ->
       Cpx.mul_arrays stretch entry.Dataset.spectrum)
     (Dataset.entries (Kindex.dataset kindex))
 
-let scan ~abandon kindex spec epsilon =
+(* The pairwise scans parallelise over the outer row [i]: a chunk of
+   rows produces its pairs in (i, j) order plus its own comparison
+   counter, and chunks merge in row order — the pair list and the
+   counters come out exactly as the sequential double loop's. Rows
+   shrink as [i] grows, so chunks are kept small to balance load. *)
+let scan ?pool ~abandon kindex spec epsilon =
   if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let dataset = Kindex.dataset kindex in
   let count = Dataset.cardinality dataset in
   let limit = epsilon *. epsilon in
-  let pairs = ref [] in
-  let computations = ref 0 in
-  (match spec with
-  | Spec.Warp _ ->
-    (* Frequency-domain prefixes underestimate warped distances; use the
-       exact time-domain comparison instead. *)
-    let normals = transformed_normals kindex spec in
-    for i = 0 to count - 1 do
-      for j = i + 1 to count - 1 do
-        incr computations;
-        let hit =
-          if abandon then
-            Distance.within ~threshold:epsilon normals.(i) normals.(j)
-          else Distance.euclidean normals.(i) normals.(j) <= epsilon
-        in
-        if hit then pairs := (i, j) :: !pairs
-      done
-    done
-  | _ ->
-    let spectra = transformed_spectra kindex spec in
-    let n = Array.length spectra.(0) in
-    for i = 0 to count - 1 do
-      for j = i + 1 to count - 1 do
-        incr computations;
-        let acc = ref 0. in
-        let f = ref 0 in
-        let alive = ref true in
-        while !alive && !f < n do
-          acc := !acc +. sq_norm (Cpx.sub spectra.(i).(!f) spectra.(j).(!f));
-          incr f;
-          if abandon && !acc > limit then alive := false
+  let row =
+    match spec with
+    | Spec.Warp _ ->
+      (* Frequency-domain prefixes underestimate warped distances; use
+         the exact time-domain comparison instead. *)
+      let normals = transformed_normals ~pool kindex spec in
+      fun pairs i ->
+        let pairs = ref pairs in
+        for j = i + 1 to count - 1 do
+          let hit =
+            if abandon then
+              Distance.within ~threshold:epsilon normals.(i) normals.(j)
+            else Distance.euclidean normals.(i) normals.(j) <= epsilon
+          in
+          if hit then pairs := (i, j) :: !pairs
         done;
-        if !alive && !acc <= limit then pairs := (i, j) :: !pairs
-      done
-    done);
-  { pairs = List.rev !pairs; distance_computations = !computations;
-    node_accesses = 0 }
+        !pairs
+    | _ ->
+      let spectra = transformed_spectra ~pool kindex spec in
+      let n = Array.length spectra.(0) in
+      fun pairs i ->
+        let pairs = ref pairs in
+        for j = i + 1 to count - 1 do
+          let acc = ref 0. in
+          let f = ref 0 in
+          let alive = ref true in
+          while !alive && !f < n do
+            acc := !acc +. sq_norm (Cpx.sub spectra.(i).(!f) spectra.(j).(!f));
+            incr f;
+            if abandon && !acc > limit then alive := false
+          done;
+          if !alive && !acc <= limit then pairs := (i, j) :: !pairs
+        done;
+        !pairs
+  in
+  let chunk = max 1 (count / (16 * Pool.domains pool)) in
+  let partials =
+    Pool.map_chunks ~pool ~chunk ~n:count (fun ~lo ~hi ->
+        let pairs = ref [] in
+        let comparisons = ref 0 in
+        for i = lo to hi - 1 do
+          pairs := row !pairs i;
+          comparisons := !comparisons + (count - 1 - i)
+        done;
+        (List.rev !pairs, !comparisons))
+  in
+  {
+    pairs = List.concat_map fst partials;
+    distance_computations = List.fold_left (fun acc (_, c) -> acc + c) 0 partials;
+    node_accesses = 0;
+  }
 
-let scan_full ?(spec = Spec.Identity) kindex ~epsilon =
-  scan ~abandon:false kindex spec epsilon
+let scan_full ?pool ?(spec = Spec.Identity) kindex ~epsilon =
+  scan ?pool ~abandon:false kindex spec epsilon
 
-let scan_early_abandon ?(spec = Spec.Identity) kindex ~epsilon =
-  scan ~abandon:true kindex spec epsilon
+let scan_early_abandon ?pool ?(spec = Spec.Identity) kindex ~epsilon =
+  scan ?pool ~abandon:true kindex spec epsilon
 
 (* One index range query per sequence; the transformation (when present)
    applies to both the stored side (via the transformed traversal) and

@@ -13,7 +13,12 @@
 
     Methods a/b report each unordered pair once; c/d report every pair
     in both directions, exactly like the paper's answer-set sizes
-    (3×2 and 12×2). *)
+    (3×2 and 12×2).
+
+    The scan methods parallelise their outer loop over a
+    {!Simq_parallel.Pool} (default the global pool) with row-chunk
+    results merged in row order, so the pair list and the counters are
+    bit-identical to a single-domain join. *)
 
 type result = {
   pairs : (int * int) list;  (** entry-id pairs; self-pairs excluded *)
@@ -23,11 +28,15 @@ type result = {
   node_accesses : int;  (** R-tree nodes visited (0 for a, b) *)
 }
 
-(** [scan_full kindex ?spec ~epsilon] — method (a). *)
-val scan_full : ?spec:Spec.t -> Kindex.t -> epsilon:float -> result
+(** [scan_full kindex ?pool ?spec ~epsilon] — method (a). *)
+val scan_full :
+  ?pool:Simq_parallel.Pool.t -> ?spec:Spec.t -> Kindex.t -> epsilon:float ->
+  result
 
-(** [scan_early_abandon kindex ?spec ~epsilon] — method (b). *)
-val scan_early_abandon : ?spec:Spec.t -> Kindex.t -> epsilon:float -> result
+(** [scan_early_abandon kindex ?pool ?spec ~epsilon] — method (b). *)
+val scan_early_abandon :
+  ?pool:Simq_parallel.Pool.t -> ?spec:Spec.t -> Kindex.t -> epsilon:float ->
+  result
 
 (** [index_untransformed kindex ~epsilon] — method (c): no
     transformation on either side. *)

@@ -106,8 +106,12 @@ let full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () =
   in
   Array.append feature_region [| of_range mean_range; of_range std_range |]
 
-let range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
-    ~distance =
+(* The engine behind every range query, with node accesses counted
+   locally (never written to the tree) so read-only queries can run
+   concurrently from several domains; {!range_prepared} credits the
+   tree's cumulative counter afterwards. *)
+let range_prepared_counted ?mean_range ?std_range t prepared ~query_coeffs
+    ~epsilon ~distance =
   if epsilon < 0. then invalid_arg "Kindex.range_prepared: negative epsilon";
   if Array.length query_coeffs <> t.config.Feature.k then
     invalid_arg "Kindex.range_prepared: expected k query coefficients";
@@ -146,12 +150,10 @@ let range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
       in
       (overlaps, matches)
   in
-  let before = Rstar.node_accesses t.tree in
-  let candidate_ids =
-    Rstar.fold_region t.tree ~overlaps ~matches ~init:[]
+  let candidate_ids, node_accesses =
+    Rstar.fold_region_counted t.tree ~overlaps ~matches ~init:[]
       ~f:(fun acc _ id -> id :: acc)
   in
-  let node_accesses = Rstar.node_accesses t.tree - before in
   let answers =
     List.filter_map
       (fun id ->
@@ -162,6 +164,15 @@ let range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
     |> List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
   in
   { answers; candidates = List.length candidate_ids; node_accesses }
+
+let range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
+    ~distance =
+  let result =
+    range_prepared_counted ?mean_range ?std_range t prepared ~query_coeffs
+      ~epsilon ~distance
+  in
+  Rstar.add_accesses t.tree result.node_accesses;
+  result
 
 let range_generic ?(spec = Spec.Identity) t ~query_coeffs ~epsilon ~distance =
   range_prepared t (prepare t spec) ~query_coeffs ~epsilon ~distance
@@ -238,6 +249,35 @@ let range ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
   let prepared = prepare t spec in
   range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
     ~distance:(prepared_distance t prepared q)
+
+(* --- query batches -------------------------------------------------------- *)
+
+let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true) t
+    ~queries =
+  Array.iter
+    (fun (query, epsilon) ->
+      check_query_length t spec query;
+      if epsilon < 0. then invalid_arg "Kindex.range_batch: negative epsilon")
+    queries;
+  (* One preparation for the whole workload; the traversals are
+     read-only (locally counted accesses, see
+     {!Rstar.fold_region_counted}), so one query per pool task. The
+     cumulative access counter is credited afterwards, in query order,
+     matching a sequential loop's total. *)
+  let prepared = prepare t spec in
+  let results =
+    Simq_parallel.Pool.map_array ?pool ~chunk:1
+      (fun (query, epsilon) ->
+        let q = Dataset.prepare_query ~normalise:normalise_query query in
+        let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
+        range_prepared_counted t prepared ~query_coeffs ~epsilon
+          ~distance:(prepared_distance t prepared q))
+      queries
+  in
+  Array.iter
+    (fun (r : range_result) -> Rstar.add_accesses t.tree r.node_accesses)
+    results;
+  results
 
 (* --- nearest neighbours -------------------------------------------------- *)
 

@@ -71,6 +71,22 @@ val range :
     simple shifts and scales compose with the general transformations
     this way. *)
 
+(** [range_batch t ?pool ?spec ~queries] answers a whole workload of
+    [(query, epsilon)] pairs — the serving path for many concurrent
+    users. The transformation is prepared once, queries run one per
+    task of [pool] (default the global pool), and element [i] of the
+    result — answers, candidate count and node accesses — is
+    bit-identical to [range t ~query ~epsilon] posed alone. All queries
+    are validated before any work starts; the tree's cumulative access
+    counter advances by the same total as a sequential loop. *)
+val range_batch :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Spec.t ->
+  ?normalise_query:bool ->
+  t ->
+  queries:(Simq_series.Series.t * float) array ->
+  range_result array
+
 (** [nearest t ?spec ~query ~k] is the [k] entries minimising the same
     distance, closest first — best-first search with per-feature
     geometric lower bounds, full distances computed on demand

@@ -2,6 +2,7 @@ module Cpx = Simq_dsp.Cpx
 module Series = Simq_series.Series
 module Distance = Simq_series.Distance
 module Relation = Simq_storage.Relation
+module Pool = Simq_parallel.Pool
 
 type result = {
   answers : (Dataset.entry * float) list;
@@ -27,76 +28,136 @@ let check_query_length dataset spec query =
       (Printf.sprintf "Seqscan: query length %d, expected %d"
          (Series.length query) expected)
 
+(* One full pass of page traffic against the backing relation, in entry
+   order — the touch sequence (hence the buffer-pool statistics) a
+   sequential scan produces. Kept out of the workers so the I/O
+   accounting stays single-domain and deterministic. *)
+let account_io dataset =
+  let relation = Dataset.relation dataset in
+  Array.iter
+    (fun (entry : Dataset.entry) ->
+      ignore (Relation.get relation entry.Dataset.id))
+    (Dataset.entries dataset)
+
+(* Per-entry comparison: the answer (when within ε), whether the
+   distance computation ran to completion, and the coefficients (or
+   time-domain points) examined. Pure — safe to run from any domain. *)
+let compute_warp ~abandon spec epsilon (q : Dataset.entry)
+    (entry : Dataset.entry) =
+  let transformed = Spec.apply_series spec entry.Dataset.normal in
+  let touched = Series.length transformed in
+  let d =
+    if abandon then
+      Distance.euclidean_early_abandon ~threshold:epsilon transformed
+        q.Dataset.normal
+    else Some (Distance.euclidean transformed q.Dataset.normal)
+  in
+  match d with
+  | Some d when d <= epsilon -> (Some (entry, d), 1, touched)
+  | _ -> (None, 1, touched)
+
+let compute_freq ~abandon ~stretch ~n ~limit epsilon (q : Dataset.entry)
+    (entry : Dataset.entry) =
+  let acc = ref 0. in
+  let f = ref 0 in
+  let abandoned = ref false in
+  while (not !abandoned) && !f < n do
+    let diff =
+      Cpx.sub (transformed_coeff stretch entry !f) q.Dataset.spectrum.(!f)
+    in
+    acc := !acc +. sq_norm diff;
+    incr f;
+    if abandon && !acc > limit then abandoned := true
+  done;
+  if !abandoned then (None, 0, !f)
+  else begin
+    let d = sqrt !acc in
+    ((if d <= epsilon then Some (entry, d) else None), 1, !f)
+  end
+
 (* Frequency-domain scan for the length-preserving transformations; the
    time-warp changes the series length, so its distances are computed in
    the time domain (same value by Parseval, no early-abandon benefit on
-   the warped prefix). *)
-let scan ~abandon ~normalise_query dataset spec query epsilon =
-  check_query_length dataset spec query;
-  if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
+   the warped prefix).
+
+   The entry array is cut into chunks fanned out over the pool; each
+   chunk keeps its answers in entry order and its own counters, and the
+   chunks are merged in chunk order, so answers, distances and counters
+   are bit-identical to a single-domain scan. *)
+let scan_compute ~pool ~abandon ~normalise_query dataset spec query epsilon =
   let q = Dataset.prepare_query ~normalise:normalise_query query in
   let n = Dataset.series_length dataset in
   let limit = epsilon *. epsilon in
-  let answers = ref [] in
-  let full = ref 0 in
-  let touched = ref 0 in
-  let relation = Dataset.relation dataset in
-  (match spec with
-  | Spec.Warp _ ->
-    Array.iter
-      (fun (entry : Dataset.entry) ->
-        ignore (Relation.get relation entry.Dataset.id);
-        let transformed = Spec.apply_series spec entry.Dataset.normal in
-        incr full;
-        touched := !touched + Series.length transformed;
-        let d =
-          if abandon then
-            Distance.euclidean_early_abandon ~threshold:epsilon transformed
-              q.Dataset.normal
-          else Some (Distance.euclidean transformed q.Dataset.normal)
-        in
-        match d with
-        | Some d when d <= epsilon -> answers := (entry, d) :: !answers
-        | _ -> ())
-      (Dataset.entries dataset)
-  | _ ->
-    let stretch = Spec.stretch spec ~n in
-    Array.iter
-      (fun (entry : Dataset.entry) ->
-        ignore (Relation.get relation entry.Dataset.id);
-        let acc = ref 0. in
-        let f = ref 0 in
-        let abandoned = ref false in
-        while (not !abandoned) && !f < n do
-          let diff =
-            Cpx.sub (transformed_coeff stretch entry !f) q.Dataset.spectrum.(!f)
-          in
-          acc := !acc +. sq_norm diff;
-          incr touched;
-          incr f;
-          if abandon && !acc > limit then abandoned := true
+  let entries = Dataset.entries dataset in
+  let count = Array.length entries in
+  let compute =
+    match spec with
+    | Spec.Warp _ -> compute_warp ~abandon spec epsilon q
+    | _ ->
+      let stretch = Spec.stretch spec ~n in
+      compute_freq ~abandon ~stretch ~n ~limit epsilon q
+  in
+  let chunk = max 1 (count / (8 * Pool.domains pool)) in
+  let partials =
+    Pool.map_chunks ~pool ~chunk ~n:count (fun ~lo ~hi ->
+        let answers = ref [] in
+        let full = ref 0 in
+        let touched = ref 0 in
+        for i = lo to hi - 1 do
+          let answer, completed, examined = compute entries.(i) in
+          (match answer with
+          | Some hit -> answers := hit :: !answers
+          | None -> ());
+          full := !full + completed;
+          touched := !touched + examined
         done;
-        if not !abandoned then begin
-          incr full;
-          let d = sqrt !acc in
-          if d <= epsilon then answers := (entry, d) :: !answers
-        end)
-      (Dataset.entries dataset));
+        (List.rev !answers, !full, !touched))
+  in
+  let full, touched =
+    List.fold_left
+      (fun (full, touched) (_, f, t) -> (full + f, touched + t))
+      (0, 0) partials
+  in
   {
     answers =
       List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
-        !answers;
-    full_computations = !full;
-    coefficients_touched = !touched;
+        (List.concat_map (fun (a, _, _) -> a) partials);
+    full_computations = full;
+    coefficients_touched = touched;
   }
 
-let range_full ?(spec = Spec.Identity) ?(normalise_query = true) dataset
-    ~query ~epsilon =
-  scan ~abandon:false ~normalise_query dataset spec query epsilon
+let resolve_pool = function Some pool -> pool | None -> Pool.default ()
 
-let range_early_abandon ?(spec = Spec.Identity) ?(normalise_query = true)
+let scan ?pool ~abandon ~normalise_query dataset spec query epsilon =
+  check_query_length dataset spec query;
+  if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
+  let pool = resolve_pool pool in
+  account_io dataset;
+  scan_compute ~pool ~abandon ~normalise_query dataset spec query epsilon
+
+let range_full ?pool ?(spec = Spec.Identity) ?(normalise_query = true) dataset
+    ~query ~epsilon =
+  scan ?pool ~abandon:false ~normalise_query dataset spec query epsilon
+
+let range_early_abandon ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
     dataset ~query ~epsilon =
-  scan ~abandon:true ~normalise_query dataset spec query epsilon
+  scan ?pool ~abandon:true ~normalise_query dataset spec query epsilon
+
+let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
+    ?(abandon = true) dataset ~queries =
+  Array.iter
+    (fun (query, epsilon) ->
+      check_query_length dataset spec query;
+      if epsilon < 0. then invalid_arg "Seqscan.range_batch: negative epsilon")
+    queries;
+  (* Each query reads the whole relation; account the passes up front,
+     in query order, exactly as running the queries one by one would. *)
+  Array.iter (fun _ -> account_io dataset) queries;
+  Pool.map_array ?pool ~chunk:1
+    (fun (query, epsilon) ->
+      scan_compute ~pool:Pool.sequential ~abandon ~normalise_query dataset
+        spec query epsilon)
+    queries
 
 let reference ?(spec = Spec.Identity) ?(normalise_query = true) dataset ~query
     ~epsilon =

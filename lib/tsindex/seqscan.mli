@@ -4,7 +4,14 @@
     series: the DFT packs most of the energy into the first
     coefficients, so the early-abandoning variant can dismiss most
     sequences after a few terms. Page traffic is accounted against the
-    backing relation. *)
+    backing relation.
+
+    Every scan fans its per-entry comparisons out over a
+    {!Simq_parallel.Pool} (default the global pool; size 1 = plain
+    sequential execution). Chunk results are merged in entry order, so
+    answers, distances and the [result] counters are bit-identical to a
+    single-domain scan — parallelism never changes what a query
+    returns. *)
 
 type result = {
   answers : (Dataset.entry * float) list;
@@ -15,21 +22,36 @@ type result = {
           abandon saves *)
 }
 
-(** [range_full dataset ?spec ~query ~epsilon] compares the query
+(** [range_full dataset ?pool ?spec ~query ~epsilon] compares the query
     against every entry with no early abandoning (method (a) style). *)
 val range_full :
+  ?pool:Simq_parallel.Pool.t ->
   ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
   result
 
-(** [range_early_abandon dataset ?spec ~query ~epsilon] stops each
+(** [range_early_abandon dataset ?pool ?spec ~query ~epsilon] stops each
     distance computation as soon as the running sum exceeds ε
     (method (b) style). Answers are identical to {!range_full}. *)
 val range_early_abandon :
+  ?pool:Simq_parallel.Pool.t ->
   ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
   result
 
+(** [range_batch dataset ?pool ?spec ?abandon ~queries] answers a whole
+    workload of [(query, epsilon)] pairs, one query per pool task (the
+    serving path for many concurrent users). All queries are validated
+    before any work starts; element [i] of the result is bit-identical
+    to running query [i] alone ([abandon] selects {!range_early_abandon}
+    semantics, the default, vs {!range_full}), and the relation's page
+    statistics advance exactly as [queries] sequential scans would. *)
+val range_batch :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Spec.t -> ?normalise_query:bool -> ?abandon:bool -> Dataset.t ->
+  queries:(Simq_series.Series.t * float) array ->
+  result array
+
 (** [reference dataset ?spec ~query ~epsilon] is the plain time-domain
-    brute force used as the test oracle. *)
+    brute force used as the test oracle (always single-domain). *)
 val reference :
   ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
   (Dataset.entry * float) list

@@ -1,0 +1,439 @@
+(* The domain pool (lib/parallel) and the parallel ≡ sequential
+   equivalence the execution layer promises: every parallel variant
+   must return bit-identical answers and identical counters to the
+   sequential path, under every Spec and both coordinate
+   representations (the Lemma 1 invariant must not bend under
+   parallelism). *)
+
+module Pool = Simq_parallel.Pool
+open Simq_tsindex
+module Generator = Simq_series.Generator
+
+(* Shared pools: spawning domains per test case would dominate the
+   suite's runtime. Degree 1 must behave exactly like inline code. *)
+let pools = [ (1, Pool.sequential); (2, Pool.create ~domains:2); (4, Pool.create ~domains:4) ]
+let pool_of n = List.assoc n pools
+
+(* --- Pool unit tests -------------------------------------------------------- *)
+
+let test_map_array_matches_sequential () =
+  let arr = Array.init 103 (fun i -> i) in
+  let f i = (i * i) + 1 in
+  let expected = Array.map f arr in
+  List.iter
+    (fun (d, pool) ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "domains=%d chunk=%d" d chunk)
+            expected
+            (Pool.map_array ~pool ~chunk f arr))
+        [ 1; 7; 64; 1000 ])
+    pools
+
+let test_empty_and_singleton () =
+  List.iter
+    (fun (d, pool) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "empty, domains=%d" d)
+        [||]
+        (Pool.map_array ~pool (fun x -> x + 1) [||]);
+      Alcotest.(check (array int))
+        (Printf.sprintf "singleton, domains=%d" d)
+        [| 42 |]
+        (Pool.map_array ~pool ~chunk:5 (fun x -> x + 41) [| 1 |]);
+      Alcotest.(check (list int))
+        (Printf.sprintf "map_chunks n=0, domains=%d" d)
+        []
+        (Pool.map_chunks ~pool ~chunk:4 ~n:0 (fun ~lo ~hi -> lo + hi)))
+    pools
+
+let test_chunked_iter_covers_exactly_once () =
+  List.iter
+    (fun (d, pool) ->
+      List.iter
+        (fun (n, chunk) ->
+          let seen = Array.make n 0 in
+          Pool.chunked_iter ~pool ~chunk ~n (fun ~lo ~hi ->
+              for i = lo to hi - 1 do
+                seen.(i) <- seen.(i) + 1
+              done);
+          Alcotest.(check (array int))
+            (Printf.sprintf "domains=%d n=%d chunk=%d" d n chunk)
+            (Array.make n 1) seen)
+        [ (100, 9); (5, 100); (1, 1); (64, 64) ])
+    pools
+
+let test_reduce () =
+  let arr = Array.init 57 (fun i -> i + 1) in
+  let expected = Array.fold_left (fun acc x -> acc + (x * x)) 0 arr in
+  List.iter
+    (fun (d, pool) ->
+      Alcotest.(check int)
+        (Printf.sprintf "sum of squares, domains=%d" d)
+        expected
+        (Pool.reduce ~pool ~chunk:5 ~map:(fun x -> x * x) ~combine:( + ) 0 arr))
+    pools;
+  (* Associative but non-commutative combine: chunk merges must stay in
+     order. *)
+  let words = Array.init 26 (fun i -> String.make 1 (Char.chr (Char.code 'a' + i))) in
+  let expected = Array.fold_left ( ^ ) "" words in
+  List.iter
+    (fun (d, pool) ->
+      Alcotest.(check string)
+        (Printf.sprintf "ordered concat, domains=%d" d)
+        expected
+        (Pool.reduce ~pool ~chunk:3 ~map:Fun.id ~combine:( ^ ) "" words))
+    pools
+
+let test_exception_propagation () =
+  let arr = Array.init 40 (fun i -> i) in
+  let f i = if i >= 13 then failwith (string_of_int i) else i in
+  List.iter
+    (fun (d, pool) ->
+      List.iter
+        (fun chunk ->
+          match Pool.map_array ~pool ~chunk f arr with
+          | _ -> Alcotest.failf "domains=%d chunk=%d: expected failure" d chunk
+          | exception Failure msg ->
+            (* The lowest-index failure wins, as in a sequential run. *)
+            Alcotest.(check string)
+              (Printf.sprintf "domains=%d chunk=%d" d chunk)
+              "13" msg)
+        [ 1; 4; 100 ])
+    pools
+
+let test_pool_reuse_after_exception () =
+  List.iter
+    (fun (d, pool) ->
+      (try
+         ignore
+           (Pool.map_array ~pool ~chunk:2
+              (fun i -> if i = 7 then raise Exit else i)
+              (Array.init 20 Fun.id))
+       with Exit -> ());
+      Alcotest.(check (array int))
+        (Printf.sprintf "reusable after exception, domains=%d" d)
+        (Array.init 20 (fun i -> 2 * i))
+        (Pool.map_array ~pool ~chunk:3 (fun i -> 2 * i) (Array.init 20 Fun.id)))
+    pools
+
+let test_nested_map_array () =
+  List.iter
+    (fun (d, pool) ->
+      let outer =
+        Pool.map_array ~pool ~chunk:1
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map_array ~pool ~chunk:2 (fun j -> (i * 10) + j)
+                 (Array.init 9 Fun.id)))
+          (Array.init 6 Fun.id)
+      in
+      let expected =
+        Array.init 6 (fun i ->
+            Array.fold_left ( + ) 0 (Array.init 9 (fun j -> (i * 10) + j)))
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "nested, domains=%d" d)
+        expected outer)
+    pools
+
+let test_shutdown_degrades_to_sequential () =
+  let pool = Pool.create ~domains:3 in
+  Alcotest.(check int) "domains" 3 (Pool.domains pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check (array int)) "still works after shutdown"
+    (Array.init 30 (fun i -> i + 1))
+    (Pool.map_array ~pool ~chunk:4 (fun i -> i + 1) (Array.init 30 Fun.id))
+
+let test_create_validation () =
+  Alcotest.check_raises "domains=0" (Invalid_argument "Pool.create: domains must be >= 1")
+    (fun () -> ignore (Pool.create ~domains:0));
+  Alcotest.check_raises "chunk=0" (Invalid_argument "Pool: chunk must be >= 1")
+    (fun () -> ignore (Pool.map_array ~pool:Pool.sequential ~chunk:0 Fun.id [| 1 |]))
+
+let test_default_domains_override () =
+  let before = Pool.default_domains () in
+  Pool.set_default_domains 3;
+  Alcotest.(check int) "--jobs override wins" 3 (Pool.default_domains ());
+  Alcotest.(check int) "default pool resized" 3 (Pool.domains (Pool.default ()));
+  Pool.set_default_domains before
+
+(* --- parallel ≡ sequential equivalence -------------------------------------- *)
+
+let dataset_of ~seed ~count ~n =
+  Dataset.of_series ~pool:Pool.sequential ~name:"test"
+    (Generator.random_walks ~seed ~count ~n)
+
+let query_for dataset spec seed =
+  let entries = Dataset.entries dataset in
+  let base = entries.(seed mod Array.length entries) in
+  let state = Random.State.make [| seed |] in
+  let perturbed =
+    Array.map
+      (fun v -> v +. Random.State.float state 2. -. 1.)
+      base.Dataset.series
+  in
+  match spec with
+  | Spec.Warp m -> Simq_series.Warp.expand m perturbed
+  | _ -> perturbed
+
+let spec_of_index i =
+  match i mod 5 with
+  | 0 -> Spec.Identity
+  | 1 -> Spec.Moving_average 3
+  | 2 -> Spec.Moving_average 8
+  | 3 -> Spec.Reverse
+  | _ -> Spec.Warp 2
+
+(* Bit-identical: ids, distances (float equality, no tolerance), and
+   every counter. *)
+let check_result_equal msg (expected : Seqscan.result) (actual : Seqscan.result) =
+  Alcotest.(check (list (pair int (float 0.))))
+    (msg ^ ": answers")
+    (List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) expected.Seqscan.answers)
+    (List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) actual.Seqscan.answers);
+  Alcotest.(check int) (msg ^ ": full computations")
+    expected.Seqscan.full_computations actual.Seqscan.full_computations;
+  Alcotest.(check int) (msg ^ ": coefficients touched")
+    expected.Seqscan.coefficients_touched actual.Seqscan.coefficients_touched
+
+let arb_setup =
+  QCheck.make
+    ~print:(fun (seed, eps, qseed) ->
+      Printf.sprintf "seed=%d eps=%g qseed=%d" seed eps qseed)
+    QCheck.Gen.(
+      let* seed = int_range 0 1000 in
+      let* eps = float_range 0.1 15. in
+      let* qseed = int_range 0 1000 in
+      return (seed, eps, qseed))
+
+let prop_scan_parallel_eq_sequential =
+  QCheck.Test.make
+    ~name:"parallel scan ≡ sequential scan (every spec, both abandon modes)"
+    ~count:20 arb_setup (fun (seed, epsilon, qseed) ->
+      let d = dataset_of ~seed ~count:60 ~n:32 in
+      let spec = spec_of_index qseed in
+      let query = query_for d spec qseed in
+      List.iter
+        (fun domains ->
+          let pool = pool_of domains in
+          let seq_full =
+            Seqscan.range_full ~pool:Pool.sequential ~spec d ~query ~epsilon
+          in
+          let par_full = Seqscan.range_full ~pool ~spec d ~query ~epsilon in
+          check_result_equal
+            (Printf.sprintf "full, %s, domains=%d" (Spec.name spec) domains)
+            seq_full par_full;
+          let seq_early =
+            Seqscan.range_early_abandon ~pool:Pool.sequential ~spec d ~query
+              ~epsilon
+          in
+          let par_early =
+            Seqscan.range_early_abandon ~pool ~spec d ~query ~epsilon
+          in
+          check_result_equal
+            (Printf.sprintf "early, %s, domains=%d" (Spec.name spec) domains)
+            seq_early par_early;
+          (* Lemma 1 stays intact: the scan equals the time-domain
+             brute-force reference. *)
+          let reference = Seqscan.reference ~spec d ~query ~epsilon in
+          Alcotest.(check (list int))
+            (Printf.sprintf "reference ids, %s, domains=%d" (Spec.name spec)
+               domains)
+            (List.map (fun ((e : Dataset.entry), _) -> e.Dataset.id) reference)
+            (List.map (fun ((e : Dataset.entry), _) -> e.Dataset.id)
+               par_full.Seqscan.answers))
+        [ 1; 2; 4 ];
+      true)
+
+let prop_join_parallel_eq_sequential =
+  QCheck.Test.make ~name:"parallel join scan ≡ sequential (every spec)"
+    ~count:12 arb_setup (fun (seed, epsilon, qseed) ->
+      let d = dataset_of ~seed ~count:40 ~n:32 in
+      let index = Kindex.build ~max_fill:8 d in
+      let spec = spec_of_index qseed in
+      List.iter
+        (fun domains ->
+          let pool = pool_of domains in
+          List.iter
+            (fun (label, join) ->
+              let seq : Join.result = join ~pool:Pool.sequential in
+              let par : Join.result = join ~pool in
+              Alcotest.(check (list (pair int int)))
+                (Printf.sprintf "%s pairs, %s, domains=%d" label
+                   (Spec.name spec) domains)
+                seq.Join.pairs par.Join.pairs;
+              Alcotest.(check int)
+                (Printf.sprintf "%s computations, %s, domains=%d" label
+                   (Spec.name spec) domains)
+                seq.Join.distance_computations par.Join.distance_computations)
+            [
+              ("full", fun ~pool -> Join.scan_full ~pool ~spec index ~epsilon);
+              ( "early",
+                fun ~pool -> Join.scan_early_abandon ~pool ~spec index ~epsilon
+              );
+            ])
+        [ 1; 2; 4 ];
+      true)
+
+let prop_batch_eq_one_by_one =
+  QCheck.Test.make
+    ~name:"range_batch ≡ one-by-one (kindex + seqscan, both representations)"
+    ~count:10 arb_setup (fun (seed, epsilon, qseed) ->
+      let d = dataset_of ~seed ~count:50 ~n:32 in
+      let spec = spec_of_index qseed in
+      let queries_for spec =
+        Array.init 7 (fun i ->
+            (query_for d spec (qseed + i), epsilon +. (0.3 *. float_of_int i)))
+      in
+      let queries = queries_for spec in
+      List.iter
+        (fun representation ->
+          (* Complex stretches are only safe in S_pol (Theorem 3). *)
+          let spec =
+            match (representation, spec) with
+            | Simq_geometry.Coords.Rectangular,
+              (Spec.Moving_average _ | Spec.Warp _) ->
+              Spec.Reverse
+            | _ -> spec
+          in
+          let queries = queries_for spec in
+          let config = { Feature.k = 2; representation } in
+          let index = Kindex.build ~config ~max_fill:8 d in
+          let one_by_one =
+            Array.map
+              (fun (query, epsilon) -> Kindex.range ~spec index ~query ~epsilon)
+              queries
+          in
+          List.iter
+            (fun domains ->
+              let pool = pool_of domains in
+              let batch = Kindex.range_batch ~pool ~spec index ~queries in
+              Array.iteri
+                (fun i (expected : Kindex.range_result) ->
+                  let actual = batch.(i) in
+                  let project (r : Kindex.range_result) =
+                    List.map
+                      (fun ((e : Dataset.entry), dist) -> (e.Dataset.id, dist))
+                      r.Kindex.answers
+                  in
+                  Alcotest.(check (list (pair int (float 0.))))
+                    (Printf.sprintf "answers q%d domains=%d" i domains)
+                    (project expected) (project actual);
+                  Alcotest.(check int)
+                    (Printf.sprintf "candidates q%d domains=%d" i domains)
+                    expected.Kindex.candidates actual.Kindex.candidates;
+                  Alcotest.(check int)
+                    (Printf.sprintf "node accesses q%d domains=%d" i domains)
+                    expected.Kindex.node_accesses actual.Kindex.node_accesses)
+                one_by_one)
+            [ 1; 2; 4 ])
+        [ Simq_geometry.Coords.Polar; Simq_geometry.Coords.Rectangular ];
+      (* The sequential-scan batch against its own one-by-one loop. *)
+      let one_by_one =
+        Array.map
+          (fun (query, epsilon) ->
+            Seqscan.range_early_abandon ~pool:Pool.sequential ~spec d ~query
+              ~epsilon)
+          queries
+      in
+      List.iter
+        (fun domains ->
+          let batch =
+            Seqscan.range_batch ~pool:(pool_of domains) ~spec d ~queries
+          in
+          Array.iteri
+            (fun i expected ->
+              check_result_equal
+                (Printf.sprintf "scan batch q%d domains=%d" i domains)
+                expected batch.(i))
+            one_by_one)
+        [ 1; 2; 4 ];
+      true)
+
+let test_parallel_build_eq_sequential () =
+  let batch = Generator.random_walks ~seed:11 ~count:80 ~n:64 in
+  let seq = Dataset.of_series ~pool:Pool.sequential ~name:"seq" batch in
+  List.iter
+    (fun (d, pool) ->
+      let par = Dataset.of_series ~pool ~name:"par" batch in
+      Alcotest.(check int) "cardinality" (Dataset.cardinality seq)
+        (Dataset.cardinality par);
+      Array.iter2
+        (fun (a : Dataset.entry) (b : Dataset.entry) ->
+          Alcotest.(check int) "id" a.Dataset.id b.Dataset.id;
+          Alcotest.(check bool)
+            (Printf.sprintf "normal form bit-identical, domains=%d" d)
+            true
+            (a.Dataset.normal = b.Dataset.normal);
+          Alcotest.(check bool)
+            (Printf.sprintf "spectrum bit-identical, domains=%d" d)
+            true
+            (a.Dataset.spectrum = b.Dataset.spectrum);
+          Alcotest.(check (float 0.)) "mean" a.Dataset.mean b.Dataset.mean;
+          Alcotest.(check (float 0.)) "std" a.Dataset.std b.Dataset.std)
+        (Dataset.entries seq) (Dataset.entries par))
+    pools
+
+let test_scan_io_accounting_matches () =
+  (* The parallel scan must advance the relation's page statistics
+     exactly as the sequential scan does (same touch order). *)
+  let batch = Generator.random_walks ~seed:5 ~count:60 ~n:64 in
+  let stats_after pool =
+    let dataset = Dataset.of_series ~pool:Pool.sequential ~name:"io" batch in
+    let query = (Dataset.entries dataset).(0).Dataset.series in
+    Simq_storage.Io_stats.reset
+      (Simq_storage.Relation.stats (Dataset.relation dataset));
+    ignore (Seqscan.range_early_abandon ~pool dataset ~query ~epsilon:2.);
+    let stats = Simq_storage.Relation.stats (Dataset.relation dataset) in
+    ( Simq_storage.Io_stats.page_reads stats,
+      Simq_storage.Io_stats.cache_hits stats )
+  in
+  let expected = stats_after Pool.sequential in
+  List.iter
+    (fun (d, pool) ->
+      let reads, hits = stats_after pool in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "page stats, domains=%d" d)
+        expected (reads, hits))
+    pools
+
+let () =
+  Alcotest.run "simq_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_array = Array.map" `Quick
+            test_map_array_matches_sequential;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "chunked_iter covers once" `Quick
+            test_chunked_iter_covers_exactly_once;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "reuse after exception" `Quick
+            test_pool_reuse_after_exception;
+          Alcotest.test_case "nested map_array" `Quick test_nested_map_array;
+          Alcotest.test_case "shutdown degrades" `Quick
+            test_shutdown_degrades_to_sequential;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "default pool override" `Quick
+            test_default_domains_override;
+        ] );
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_scan_parallel_eq_sequential;
+            prop_join_parallel_eq_sequential;
+            prop_batch_eq_one_by_one;
+          ]
+        @ [
+            Alcotest.test_case "parallel dataset build" `Quick
+              test_parallel_build_eq_sequential;
+            Alcotest.test_case "scan I/O accounting" `Quick
+              test_scan_io_accounting_matches;
+          ] );
+    ]
