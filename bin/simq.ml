@@ -11,9 +11,35 @@
 
 open Cmdliner
 module Relation = Simq_storage.Relation
+module Budget = Simq_fault.Budget
 open Simq_tsindex
 
 let ( let* ) r f = Result.bind r f
+
+(* --- user-facing failures -------------------------------------------------
+
+   Every failure reaches the user as one line on stderr and a distinct
+   exit code (documented in the man page): 1 usage / bad arguments,
+   2 unreadable or corrupt files, 3 malformed CSV, 4 budget or fault
+   errors from a checked query. Never a backtrace. *)
+
+type cli_error =
+  | Usage of string
+  | File of string
+  | Csv_error of string
+  | Fault of Simq_fault.Error.t
+
+let usage msg = Error (Usage msg)
+
+let load_relation file =
+  if not (Sys.file_exists file) then
+    Error (File (Printf.sprintf "no such file: %s" file))
+  else
+    match Relation.load file with
+    | relation -> Ok relation
+    | exception (Failure _ | End_of_file | Sys_error _) ->
+      Error
+        (File (Printf.sprintf "not a relation file (corrupt or truncated): %s" file))
 
 (* --- parallelism --------------------------------------------------------- *)
 
@@ -32,7 +58,7 @@ let apply_jobs = function
   | Some domains when domains >= 1 ->
     Simq_parallel.Pool.set_default_domains domains;
     Ok ()
-  | Some _ -> Error "--jobs expects an integer >= 1"
+  | Some _ -> usage "--jobs expects an integer >= 1"
 
 (* --- generate ------------------------------------------------------------ *)
 
@@ -44,11 +70,13 @@ let generate kind count length seed out jobs =
     | `Stock -> Simq_workload.Stocklike.batch ~seed ~count ~n:length
   in
   let relation = Relation.of_series ~name:(Filename.remove_extension (Filename.basename out)) batch in
-  Relation.save relation out;
-  Printf.printf "wrote %d %s series of length %d to %s\n" count
-    (match kind with `Walk -> "random-walk" | `Stock -> "stock-like")
-    length out;
-  Ok ()
+  match Relation.save relation out with
+  | () ->
+    Printf.printf "wrote %d %s series of length %d to %s\n" count
+      (match kind with `Walk -> "random-walk" | `Stock -> "stock-like")
+      length out;
+    Ok ()
+  | exception Sys_error msg -> Error (File msg)
 
 let kind_arg =
   let kinds = [ ("walk", `Walk); ("stock", `Stock) ] in
@@ -68,19 +96,16 @@ let out_arg =
 (* --- info ------------------------------------------------------------------ *)
 
 let info_cmd_impl file =
-  if not (Sys.file_exists file) then Error (Printf.sprintf "no such file: %s" file)
-  else begin
-    let relation = Relation.load file in
-    Printf.printf "relation %s: %d series, %d logical pages\n"
-      (Relation.name relation)
-      (Relation.cardinality relation)
-      (Relation.pages relation);
-    if Relation.cardinality relation > 0 then begin
-      let tuple = Relation.get relation 0 in
-      Printf.printf "series length: %d\n" (Array.length tuple.Relation.data)
-    end;
-    Ok ()
-  end
+  let* relation = load_relation file in
+  Printf.printf "relation %s: %d series, %d logical pages\n"
+    (Relation.name relation)
+    (Relation.cardinality relation)
+    (Relation.pages relation);
+  if Relation.cardinality relation > 0 then begin
+    let tuple = Relation.get relation 0 in
+    Printf.printf "series length: %d\n" (Array.length tuple.Relation.data)
+  end;
+  Ok ()
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Relation file written by $(b,simq generate).")
@@ -93,9 +118,9 @@ let resolve_query_series dataset spec ~name ~noise =
     if String.length name >= 2 && name.[0] = 's' then
       match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
       | Some id when id >= 0 && id < Dataset.cardinality dataset -> Ok id
-      | Some id -> Error (Printf.sprintf "series id %d out of range" id)
-      | None -> Error (Printf.sprintf "bad query name %S (expected sN)" name)
-    else Error (Printf.sprintf "bad query name %S (expected sN)" name)
+      | Some id -> usage (Printf.sprintf "series id %d out of range" id)
+      | None -> usage (Printf.sprintf "bad query name %S (expected sN)" name)
+    else usage (Printf.sprintf "bad query name %S (expected sN)" name)
   in
   let base = (Dataset.get dataset id).Dataset.series in
   let series =
@@ -110,8 +135,36 @@ let resolve_query_series dataset spec ~name ~noise =
     assert (Spec.output_length spec ~n = n);
     Ok series
 
-let run_parsed_query index dataset noise q =
+let run_parsed_query index dataset noise ~budget q =
   match q with
+  | Ql.Range { spec; query; epsilon; mean_window = _; std_band = _; _ }
+    when Option.is_some budget ->
+    (* Budgeted ranges go through the resilient planner: the index path
+       runs under the budget and degrades to the scan when it fails. *)
+    let budget = Option.get budget in
+    let* series = resolve_query_series dataset spec ~name:query ~noise in
+    let counters = Planner.create_counters () in
+    let outcome, elapsed =
+      Simq_report.Timer.time (fun () ->
+          Planner.range_resilient ~spec ~budget ~counters index ~query:series
+            ~epsilon)
+    in
+    let* (result : Planner.resilient_result) =
+      Result.map_error (fun e -> Fault e) outcome
+    in
+    Printf.printf "%d answers (path %s%s, %s)\n"
+      (List.length result.Planner.answers)
+      (Format.asprintf "%a" Planner.pp_plan result.Planner.executed)
+      (if result.Planner.degraded then
+         Format.asprintf ", degraded: %a" Simq_fault.Error.pp
+           (Option.get result.Planner.index_error)
+       else "")
+      (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+    List.iter
+      (fun ((e : Dataset.entry), d) ->
+        Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
+      result.Planner.answers;
+    Ok ()
   | Ql.Range { spec; query; epsilon; mean_window; std_band; _ } ->
     let* series = resolve_query_series dataset spec ~name:query ~noise in
     let (result : Kindex.range_result), elapsed =
@@ -128,6 +181,8 @@ let run_parsed_query index dataset noise q =
         Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
       result.Kindex.answers;
     Ok ()
+  | Ql.Nearest _ when Option.is_some budget ->
+    usage "budgets (--deadline/--max-*) apply to RANGE and PAIRS scan queries"
   | Ql.Nearest { k; spec; query; _ } ->
     let* series = resolve_query_series dataset spec ~name:query ~noise in
     let results, elapsed =
@@ -141,16 +196,24 @@ let run_parsed_query index dataset noise q =
         Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
       results;
     Ok ()
+  | Ql.Pairs { method_ = Ql.Index; _ } when Option.is_some budget ->
+    usage "budgets (--deadline/--max-*) apply to RANGE and PAIRS scan queries"
   | Ql.Pairs { spec; epsilon; method_; _ } ->
     let join index ~epsilon =
-      match method_ with
-      | Ql.Scan_full -> Join.scan_full ~spec index ~epsilon
-      | Ql.Scan_early -> Join.scan_early_abandon ~spec index ~epsilon
-      | Ql.Index -> Join.index_transformed ~spec index ~epsilon
+      match (budget, method_) with
+      | Some budget, (Ql.Scan_full | Ql.Scan_early) ->
+        Result.map_error
+          (fun e -> Fault e)
+          (Join.scan_checked ~spec ~abandon:(method_ = Ql.Scan_early) ~budget
+             index ~epsilon)
+      | None, Ql.Scan_full -> Ok (Join.scan_full ~spec index ~epsilon)
+      | None, Ql.Scan_early -> Ok (Join.scan_early_abandon ~spec index ~epsilon)
+      | _, Ql.Index -> Ok (Join.index_transformed ~spec index ~epsilon)
     in
-    let (result : Join.result), elapsed =
+    let outcome, elapsed =
       Simq_report.Timer.time (fun () -> join index ~epsilon)
     in
+    let* (result : Join.result) = outcome in
     Printf.printf
       "%d pairs (%d distance computations, %d node accesses, %s)\n"
       (List.length result.Join.pairs)
@@ -164,16 +227,28 @@ let run_parsed_query index dataset noise q =
       result.Join.pairs;
     Ok ()
 
-let query_impl file text noise jobs =
+let budget_of ~deadline ~max_page_reads ~max_comparisons ~max_node_accesses =
+  match (deadline, max_page_reads, max_comparisons, max_node_accesses) with
+  | None, None, None, None -> Ok None
+  | _ -> (
+    match
+      Budget.create ?deadline_s:deadline ?max_page_reads ?max_comparisons
+        ?max_node_accesses ()
+    with
+    | budget -> Ok (Some budget)
+    | exception Invalid_argument msg -> usage msg)
+
+let query_impl file text noise jobs deadline max_page_reads max_comparisons
+    max_node_accesses =
   let* () = apply_jobs jobs in
-  if not (Sys.file_exists file) then Error (Printf.sprintf "no such file: %s" file)
-  else begin
-    let relation = Relation.load file in
-    let dataset = Dataset.of_relation relation in
-    let index = Kindex.build dataset in
-    let* q = Ql.parse text in
-    run_parsed_query index dataset noise q
-  end
+  let* budget =
+    budget_of ~deadline ~max_page_reads ~max_comparisons ~max_node_accesses
+  in
+  let* relation = load_relation file in
+  let dataset = Dataset.of_relation relation in
+  let index = Kindex.build dataset in
+  let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
+  run_parsed_query index dataset noise ~budget q
 
 let ql_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
@@ -183,10 +258,33 @@ let noise_arg =
   Arg.(value & opt float 0. & info [ "noise" ]
          ~doc:"Perturb the query series by this amount (uniform noise).")
 
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-query wall-clock deadline; exceeding it fails the query \
+                 with a timeout error (exit code 4).")
+
+let max_page_reads_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-page-reads" ] ~docv:"N"
+           ~doc:"Per-query budget of logical page reads.")
+
+let max_comparisons_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-comparisons" ] ~docv:"N"
+           ~doc:"Per-query budget of distance comparisons.")
+
+let max_node_accesses_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-node-accesses" ] ~docv:"N"
+           ~doc:"Per-query budget of R-tree node accesses; a RANGE query \
+                 that exhausts it degrades to a sequential scan.")
+
 (* --- import / export ------------------------------------------------------------ *)
 
 let import_impl csv out =
-  if not (Sys.file_exists csv) then Error (Printf.sprintf "no such file: %s" csv)
+  if not (Sys.file_exists csv) then
+    Error (File (Printf.sprintf "no such file: %s" csv))
   else
     match
       Simq_storage.Csv.import
@@ -195,30 +293,30 @@ let import_impl csv out =
     with
     | relation ->
       Relation.save relation out;
-      Printf.printf "imported %d series into %s
-"
+      Printf.printf "imported %d series into %s\n"
         (Relation.cardinality relation)
         out;
       Ok ()
-    | exception Failure msg -> Error msg
+    | exception Failure msg -> Error (Csv_error msg)
+    | exception Sys_error msg -> Error (File msg)
 
 let export_impl file out =
-  if not (Sys.file_exists file) then Error (Printf.sprintf "no such file: %s" file)
-  else begin
-    let relation = Relation.load file in
-    Simq_storage.Csv.export relation out;
-    Printf.printf "exported %d series to %s
-"
+  let* relation = load_relation file in
+  match Simq_storage.Csv.export relation out with
+  | () ->
+    Printf.printf "exported %d series to %s\n"
       (Relation.cardinality relation)
       out;
     Ok ()
-  end
+  | exception Sys_error msg -> Error (File msg)
+  | exception Failure msg -> Error (Csv_error msg)
 
 (* --- experiments -------------------------------------------------------------- *)
 
 let experiments_impl name fast jobs =
   let* () = apply_jobs jobs in
-  Simq_experiments.Experiments.run ~fast name
+  Result.map_error (fun msg -> Usage msg)
+    (Simq_experiments.Experiments.run ~fast name)
 
 let experiment_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
@@ -231,9 +329,16 @@ let fast_arg =
 
 let handle = function
   | Ok () -> 0
-  | Error msg ->
-    prerr_endline ("error: " ^ msg);
-    1
+  | Error err ->
+    let code, msg =
+      match err with
+      | Usage msg -> (1, msg)
+      | File msg -> (2, msg)
+      | Csv_error msg -> (3, msg)
+      | Fault e -> (4, Simq_fault.Error.to_string e)
+    in
+    Printf.eprintf "simq: error: %s\n%!" msg;
+    code
 
 let generate_cmd =
   let doc = "generate a relation of synthetic series" in
@@ -253,9 +358,10 @@ let query_cmd =
   let doc = "run a similarity query against a stored relation" in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const (fun file text noise jobs ->
-          handle (query_impl file text noise jobs))
-      $ file_arg $ ql_arg $ noise_arg $ jobs_arg)
+      const (fun file text noise jobs deadline pages comparisons nodes ->
+          handle (query_impl file text noise jobs deadline pages comparisons nodes))
+      $ file_arg $ ql_arg $ noise_arg $ jobs_arg $ deadline_arg
+      $ max_page_reads_arg $ max_comparisons_arg $ max_node_accesses_arg)
 
 let import_cmd =
   let doc = "import a CSV file (one series per row: name,v1,v2,...)" in

@@ -1052,6 +1052,201 @@ let par ~fast =
     speedup_claim;
   ]
 
+(* --- fault injection and budgets ------------------------------------------------- *)
+
+(* The resilience layer's two promises, measured: (1) the guard hooks in
+   the scan and traversal loops cost ~nothing while no injector or
+   budget is installed — the checked entry points with an unlimited
+   budget return bit-identical answers at indistinguishable cost; and
+   (2) under seeded transient node faults every query still returns the
+   exact answer (possibly by degrading to the scan), with the
+   degradation rate growing with the fault rate and visible in the
+   planner counters. *)
+let ablation_fault ~fast =
+  let module Pool = Simq_parallel.Pool in
+  let module Injector = Simq_fault.Injector in
+  let module Retry = Simq_fault.Retry in
+  let count = if fast then 200 else 600 in
+  let n = if fast then 64 else 128 in
+  let repeats = if fast then 3 else 10 in
+  let batch = Stocklike.batch ~seed:(Bench_util.derived_seed 31) ~count ~n in
+  let dataset = Dataset.of_series ~pool:Pool.sequential ~name:"stocks" batch in
+  let index = Kindex.build dataset in
+  let queries =
+    with_selective_epsilons dataset
+      (Bench_util.queries_for ~seed:(Bench_util.derived_seed 32) ~count:12
+         batch)
+  in
+  let answer_ids answers =
+    List.map (fun ((e : Dataset.entry), _) -> e.Dataset.id) answers
+  in
+  (* Part 1: guard-hook overhead with nothing installed. *)
+  let time f =
+    Bench_util.time_per_query ~repeats (fun () -> List.iter f queries)
+    /. float_of_int (List.length queries)
+  in
+  let get = function Ok r -> r | Error _ -> assert false in
+  let t_index_plain =
+    time (fun (q, eps) -> ignore (Kindex.range index ~query:q ~epsilon:eps))
+  in
+  let t_index_checked =
+    time (fun (q, eps) ->
+        ignore (get (Kindex.range_checked index ~query:q ~epsilon:eps)))
+  in
+  let t_scan_plain =
+    time (fun (q, eps) ->
+        ignore
+          (Seqscan.range_early_abandon ~pool:Pool.sequential dataset ~query:q
+             ~epsilon:eps))
+  in
+  let t_scan_checked =
+    time (fun (q, eps) ->
+        ignore
+          (get
+             (Seqscan.range_checked ~pool:Pool.sequential dataset ~query:q
+                ~epsilon:eps)))
+  in
+  let guards_exact =
+    List.for_all
+      (fun (q, eps) ->
+        let plain = Kindex.range index ~query:q ~epsilon:eps in
+        let checked = get (Kindex.range_checked index ~query:q ~epsilon:eps) in
+        let scan_plain =
+          Seqscan.range_early_abandon ~pool:Pool.sequential dataset ~query:q
+            ~epsilon:eps
+        in
+        let scan_checked =
+          get
+            (Seqscan.range_checked ~pool:Pool.sequential dataset ~query:q
+               ~epsilon:eps)
+        in
+        checked.Kindex.answers = plain.Kindex.answers
+        && checked.Kindex.candidates = plain.Kindex.candidates
+        && scan_checked.Seqscan.answers = scan_plain.Seqscan.answers
+        && scan_checked.Seqscan.full_computations
+           = scan_plain.Seqscan.full_computations)
+      queries
+  in
+  let overhead checked plain = if plain > 0. then checked /. plain else 1. in
+  let oh_index = overhead t_index_checked t_index_plain in
+  let oh_scan = overhead t_scan_checked t_scan_plain in
+  let overhead_table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fault layer: guard overhead, nothing installed (%d series, n=%d)"
+           count n)
+      ~columns:[ "path"; "plain"; "checked"; "ratio" ]
+  in
+  Table.add_row overhead_table
+    [ "k-index range"; fmt t_index_plain; fmt t_index_checked;
+      Printf.sprintf "%.3f" oh_index ];
+  Table.add_row overhead_table
+    [ "seq scan"; fmt t_scan_plain; fmt t_scan_checked;
+      Printf.sprintf "%.3f" oh_scan ];
+  Table.print overhead_table;
+  (* Part 2: degradation rate vs node-access fault rate. *)
+  let reference =
+    List.map
+      (fun (q, eps) -> answer_ids (Kindex.range index ~query:q ~epsilon:eps).Kindex.answers)
+      queries
+  in
+  let retry = Retry.policy ~max_attempts:2 ~base_delay_s:0. () in
+  let rates = [ 0.0; 0.02; 0.1; 0.3 ] in
+  let degradation_table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fault layer: degradation under transient node faults (%d queries, \
+            retry x%d)"
+           (List.length queries) retry.Retry.max_attempts)
+      ~columns:
+        [ "fault rate"; "degraded"; "retries"; "failures"; "degradation rate";
+          "exact" ]
+  in
+  let curve =
+    List.map
+      (fun probability ->
+        let injector =
+          Injector.create
+            ~node_accesses:(Injector.transient ~probability ())
+            ~seed:(Bench_util.derived_seed 33)
+            ()
+        in
+        Simq_rtree.Rstar.set_injector (Kindex.tree index) (Some injector);
+        let counters = Planner.create_counters () in
+        let exact =
+          List.for_all2
+            (fun (q, eps) expected ->
+              match
+                Planner.range_resilient ~pool:Pool.sequential ~retry ~counters
+                  index ~query:q ~epsilon:eps
+              with
+              | Ok r -> answer_ids r.Planner.answers = expected
+              | Error _ -> true (* a structured error is safe; silence isn't *))
+            queries reference
+        in
+        Simq_rtree.Rstar.set_injector (Kindex.tree index) None;
+        let rate = Planner.degradation_rate counters in
+        Table.add_row degradation_table
+          [
+            Printf.sprintf "%.2f" probability;
+            string_of_int counters.Planner.degraded;
+            string_of_int counters.Planner.retries;
+            string_of_int counters.Planner.failures;
+            Printf.sprintf "%.2f" rate;
+            (if exact then "yes" else "NO");
+          ];
+        (probability, rate, exact))
+      rates
+  in
+  Table.print degradation_table;
+  let rate_at p =
+    match List.find_opt (fun (p', _, _) -> p' = p) curve with
+    | Some (_, r, _) -> r
+    | None -> 0.
+  in
+  let all_exact = List.for_all (fun (_, _, e) -> e) curve in
+  let overhead_measured =
+    Printf.sprintf "checked/plain ratio: %.3f (index), %.3f (scan)" oh_index
+      oh_scan
+  in
+  let overhead_claim =
+    if fast then
+      Expectation.partial ~experiment:"Fault layer"
+        ~expectation:
+          "guard hooks cost ~0 with no injector or budget installed"
+        ~measured:
+          (overhead_measured ^ " (fast mode — timing not asserted)")
+    else
+      Expectation.check ~experiment:"Fault layer"
+        ~expectation:
+          "guard hooks cost ~0 with no injector or budget installed \
+           (checked/plain < 1.5)"
+        ~measured:overhead_measured
+        (oh_index < 1.5 && oh_scan < 1.5)
+  in
+  [
+    Expectation.check ~experiment:"Fault layer"
+      ~expectation:
+        "checked entry points with an unlimited budget return answers and \
+         counters bit-identical to the unchecked paths"
+      ~measured:(if guards_exact then "identical" else "MISMATCH")
+      guards_exact;
+    overhead_claim;
+    Expectation.check ~experiment:"Fault layer"
+      ~expectation:
+        "under injected node faults every query returns the exact answer \
+         (degrading to the scan when retries run out); degradation is 0 \
+         with no faults and visible in the counters at the highest rate"
+      ~measured:
+        (Printf.sprintf
+           "degradation rate %.2f at fault rate 0, %.2f at %.2f; answers %s"
+           (rate_at 0.) (rate_at 0.3) 0.3
+           (if all_exact then "exact" else "WRONG"))
+      (all_exact && rate_at 0. = 0. && rate_at 0.3 > 0.);
+  ]
+
 (* --- dispatcher ------------------------------------------------------------------ *)
 
 let suite =
@@ -1069,6 +1264,7 @@ let suite =
     ("ablation_repr", ablation_repr);
     ("ablation_rtree", ablation_rtree);
     ("ablation_trails", ablation_trails);
+    ("ablation_fault", ablation_fault);
     ("par", par);
   ]
 

@@ -1,0 +1,73 @@
+(** Per-query resource budgets with cooperative cancellation.
+
+    A budget ({!t}) is an immutable set of limits. Each query attempt
+    derives a fresh mutable {!state} from it ({!start}); hot loops in
+    [Seqscan], [Kindex]/[Rstar] traversal and [Join] call {!check} and
+    the [charge_*] functions against that state. The first crossing of
+    any limit latches a typed {!Error.t} into the state and raises
+    {!Exceeded}; every other domain observes the latch at its next
+    {!check}, so cancellation propagates cooperatively across all
+    domains of [Simq_parallel.Pool] while the pool's lowest-index
+    exception rule still picks one deterministic error.
+
+    Accounting notes: page reads count {e logical} buffer-pool touches
+    (hits and misses alike) so budget outcomes do not depend on what an
+    earlier query left resident; comparisons count candidate distance
+    evaluations; node accesses count R*-tree node visits. Under
+    parallel execution the latched [spent] payload may overshoot the
+    limit by up to one in-flight charge per domain — outcomes (and
+    {!Error.kind}) stay deterministic because total work per query is
+    fixed. *)
+
+type t
+
+(** [create ()] with no arguments is {!unlimited}. [deadline_s] is a
+    per-query wall-clock deadline in seconds; the [max_*] limits are
+    counts. Raises [Invalid_argument] on negative limits. A limit of 0
+    fails on the first charge, which is useful for forcing degradation
+    in tests. *)
+val create :
+  ?deadline_s:float ->
+  ?max_page_reads:int ->
+  ?max_comparisons:int ->
+  ?max_node_accesses:int ->
+  unit ->
+  t
+
+(** No limits: checked query paths skip budget accounting entirely. *)
+val unlimited : t
+
+val is_unlimited : t -> bool
+
+(** Mutable accounting for one query attempt. Retried attempts each
+    get a fresh state, so limits are per-attempt. *)
+type state
+
+(** Raised inside query loops when a limit is crossed or the state was
+    cancelled by another domain. Checked entry points catch it and
+    return the carried error as [Error _]. *)
+exception Exceeded of Error.t
+
+(** [start t] begins a new attempt (stamps the deadline clock). *)
+val start : t -> state
+
+(** [state_opt t] is [None] when [t] is unlimited — lets callers skip
+    installing budget hooks entirely — and [Some (start t)] otherwise. *)
+val state_opt : t -> state option
+
+(** [check s] raises {!Exceeded} if [s] was cancelled or its deadline
+    has expired; otherwise returns unit. Called at loop heads. *)
+val check : state -> unit
+
+val charge_page_read : state -> unit
+
+(** [charge_comparisons s n] adds [n >= 0] distance comparisons. *)
+val charge_comparisons : state -> int -> unit
+
+val charge_node_access : state -> unit
+
+(** [spent s r] is the consumption recorded so far for resource [r]
+    ([0] for [Wall_clock]). Charges against a resource [s] does not
+    limit are skipped, not recorded, so [spent] reports [0] for
+    uncapped resources. *)
+val spent : state -> Error.resource -> int

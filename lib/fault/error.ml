@@ -1,0 +1,35 @@
+type resource = Wall_clock | Page_reads | Comparisons | Node_accesses
+
+type t =
+  | Timeout of { elapsed_s : float; deadline_s : float }
+  | Io_failed of { site : string; attempts : int }
+  | Budget_exceeded of { resource : resource; spent : int; limit : int }
+  | Index_unusable of { reason : string }
+
+let resource_name = function
+  | Wall_clock -> "wall_clock"
+  | Page_reads -> "page_reads"
+  | Comparisons -> "comparisons"
+  | Node_accesses -> "node_accesses"
+
+let kind = function
+  | Timeout _ -> "timeout"
+  | Io_failed _ -> "io_failed"
+  | Budget_exceeded { resource; _ } -> "budget_exceeded:" ^ resource_name resource
+  | Index_unusable _ -> "index_unusable"
+
+let same_kind a b = String.equal (kind a) (kind b)
+
+let pp ppf = function
+  | Timeout { elapsed_s; deadline_s } ->
+    Format.fprintf ppf "query timed out after %.3fs (deadline %.3fs)" elapsed_s
+      deadline_s
+  | Io_failed { site; attempts } ->
+    Format.fprintf ppf "I/O failed at %s after %d attempt%s" site attempts
+      (if attempts = 1 then "" else "s")
+  | Budget_exceeded { resource; spent; limit } ->
+    Format.fprintf ppf "budget exceeded: %s spent %d, limit %d"
+      (resource_name resource) spent limit
+  | Index_unusable { reason } -> Format.fprintf ppf "index unusable: %s" reason
+
+let to_string e = Format.asprintf "%a" pp e

@@ -129,13 +129,26 @@ let default_lock = Mutex.create ()
 let default_override = ref None
 let default_pool = ref None
 
+(* Warn once per distinct garbage value, not per call: default_domains
+   runs on every default-pool resolution. Guarded by default_lock. *)
+let env_warned = ref None
+
 let env_domains () =
   match Sys.getenv_opt "SIMQ_DOMAINS" with
   | None -> None
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> Some n
-    | _ -> None)
+    | _ ->
+      if !env_warned <> Some s then begin
+        env_warned := Some s;
+        Printf.eprintf
+          "simq: warning: ignoring invalid SIMQ_DOMAINS=%S (expected an \
+           integer >= 1); using the default domain count\n\
+           %!"
+          s
+      end;
+      None)
 
 let default_domains_locked () =
   match !default_override with

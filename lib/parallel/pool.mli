@@ -51,7 +51,10 @@ val shutdown : t -> unit
     of precedence: the last {!set_default_domains} (the [--jobs] CLI
     flag), the [SIMQ_DOMAINS] environment variable, or
     [Domain.recommended_domain_count ()]. [SIMQ_DOMAINS=1] (or
-    [--jobs 1]) makes every default-pool operation fully sequential. *)
+    [--jobs 1]) makes every default-pool operation fully sequential.
+    An unusable [SIMQ_DOMAINS] value (non-numeric, zero or negative)
+    never raises: it is ignored with a one-time stderr warning and the
+    next precedence level applies. *)
 
 (** [default ()] is the global pool, created on first call. *)
 val default : unit -> t

@@ -72,8 +72,16 @@ val fold_region :
     {!node_accesses} counter. The traversal then writes no shared
     state, so read-only queries may run concurrently from several
     domains; credit the count with {!add_accesses} afterwards if the
-    cumulative statistics should include it. *)
+    cumulative statistics should include it.
+
+    When [budget] is given, every node visit is checked against it and
+    charged one node access, so the traversal may raise
+    {!Simq_fault.Budget.Exceeded}; when an injector is installed
+    ({!set_injector}) a visit may raise
+    {!Simq_fault.Injector.Transient_fault}. Both fire before the node
+    is examined or counted. *)
 val fold_region_counted :
+  ?budget:Simq_fault.Budget.state ->
   'a t ->
   overlaps:(Simq_geometry.Rect.t -> bool) ->
   matches:(Simq_geometry.Rect.t -> 'a -> bool) ->
@@ -108,6 +116,15 @@ val to_list : 'a t -> (Simq_geometry.Point.t * 'a) list
 val node_accesses : 'a t -> int
 
 val reset_stats : 'a t -> unit
+
+(** [set_injector t injector] installs (or, with [None], removes) a
+    fault injector consulted at every node visit of read traversals
+    ({!fold_region}, {!fold_region_counted} and everything built on
+    them). Mutations (insert/delete) are deliberately not guarded:
+    injecting mid-update could leave the tree structurally invalid,
+    and the model is transient {e read} faults. Absent by default —
+    zero overhead. *)
+val set_injector : 'a t -> Simq_fault.Injector.t option -> unit
 
 (** {2 Internal access for sibling modules}
 

@@ -7,11 +7,23 @@ type t = {
   stats : Io_stats.t;
   resident : (int, int) Hashtbl.t;  (* page id -> last-touch stamp *)
   mutable clock : int;
+  mutable injector : Simq_fault.Injector.t option;
+  mutable budget : Simq_fault.Budget.state option;
 }
 
 let create ~capacity ~stats =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity";
-  { capacity; stats; resident = Hashtbl.create (2 * capacity); clock = 0 }
+  {
+    capacity;
+    stats;
+    resident = Hashtbl.create (2 * capacity);
+    clock = 0;
+    injector = None;
+    budget = None;
+  }
+
+let set_injector t injector = t.injector <- injector
+let set_budget t budget = t.budget <- budget
 
 let evict_lru t =
   let victim =
@@ -27,6 +39,14 @@ let evict_lru t =
   | None -> ()
 
 let touch t page =
+  (match t.injector with
+  | None -> ()
+  | Some injector -> Simq_fault.Injector.check injector Page_read);
+  (match t.budget with
+  | None -> ()
+  | Some budget ->
+    Simq_fault.Budget.check budget;
+    Simq_fault.Budget.charge_page_read budget);
   t.clock <- t.clock + 1;
   if Hashtbl.mem t.resident page then begin
     Hashtbl.replace t.resident page t.clock;

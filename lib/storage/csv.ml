@@ -26,6 +26,12 @@ let import ?page_size ?pool_pages ~name path =
          while true do
            let line = input_line ic in
            incr line_number;
+           (* Tolerate CRLF files: input_line keeps the '\r'. *)
+           let line =
+             let len = String.length line in
+             if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1)
+             else line
+           in
            if String.trim line <> "" then begin
              match String.split_on_char ',' line with
              | [] | [ _ ] ->
@@ -47,7 +53,12 @@ let import ?page_size ?pool_pages ~name path =
                    (List.map
                       (fun cell ->
                         match float_of_string_opt (String.trim cell) with
-                        | Some v -> v
+                        | Some v when Float.is_finite v -> v
+                        | Some _ ->
+                          failwith
+                            (Printf.sprintf
+                               "Csv.import: line %d: non-finite value %S"
+                               !line_number cell)
                         | None ->
                           failwith
                             (Printf.sprintf

@@ -37,6 +37,8 @@ let create ?(page_size = 4096) ?(pool_pages = 64) ~name () =
 
 let name t = t.name
 let cardinality t = t.count
+let set_injector t injector = Buffer_pool.set_injector t.pool injector
+let set_budget t budget = Buffer_pool.set_budget t.pool budget
 
 let ensure_capacity t =
   let capacity = Array.length t.tuples in

@@ -50,6 +50,18 @@ val pages : t -> int
     between measurements). *)
 val stats : t -> Io_stats.t
 
+(** [set_injector t injector] installs (or removes) a fault injector on
+    the relation's buffer pool: every page touched by {!get}, {!fold}
+    and {!iter} may then raise
+    {!Simq_fault.Injector.Transient_fault}. See
+    {!Buffer_pool.set_injector}. *)
+val set_injector : t -> Simq_fault.Injector.t option -> unit
+
+(** [set_budget t budget] installs (or removes) a per-query budget
+    state charged for every logical page touch. See
+    {!Buffer_pool.set_budget}. *)
+val set_budget : t -> Simq_fault.Budget.state option -> unit
+
 (** [save t path] / [load path] persist and restore a relation
     (marshalled; same OCaml version required on both ends). *)
 val save : t -> string -> unit

@@ -1,6 +1,8 @@
 module Cpx = Simq_dsp.Cpx
 module Distance = Simq_series.Distance
 module Pool = Simq_parallel.Pool
+module Budget = Simq_fault.Budget
+module Retry = Simq_fault.Retry
 
 type result = {
   pairs : (int * int) list;
@@ -34,7 +36,7 @@ let transformed_spectra ?pool kindex spec =
    counter, and chunks merge in row order — the pair list and the
    counters come out exactly as the sequential double loop's. Rows
    shrink as [i] grows, so chunks are kept small to balance load. *)
-let scan ?pool ~abandon kindex spec epsilon =
+let scan ?pool ?bstate ~abandon kindex spec epsilon =
   if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let dataset = Kindex.dataset kindex in
@@ -81,8 +83,16 @@ let scan ?pool ~abandon kindex spec epsilon =
         let pairs = ref [] in
         let comparisons = ref 0 in
         for i = lo to hi - 1 do
+          (* Budget granularity is one outer row: check before the row,
+             charge its [count - 1 - i] comparisons after. Every domain
+             passes through here, so cancellation reaches all chunks. *)
+          (match bstate with None -> () | Some b -> Budget.check b);
           pairs := row !pairs i;
-          comparisons := !comparisons + (count - 1 - i)
+          let c = count - 1 - i in
+          (match bstate with
+          | None -> ()
+          | Some b -> Budget.charge_comparisons b c);
+          comparisons := !comparisons + c
         done;
         (List.rev !pairs, !comparisons))
   in
@@ -97,6 +107,13 @@ let scan_full ?pool ?(spec = Spec.Identity) kindex ~epsilon =
 
 let scan_early_abandon ?pool ?(spec = Spec.Identity) kindex ~epsilon =
   scan ?pool ~abandon:true kindex spec epsilon
+
+let scan_checked ?pool ?(spec = Spec.Identity) ?(abandon = true)
+    ?(budget = Budget.unlimited) ?retry ?on_retry kindex ~epsilon =
+  if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
+  Retry.with_retries ?policy:retry ?on_retry (fun () ->
+      let bstate = Budget.state_opt budget in
+      scan ?pool ?bstate ~abandon kindex spec epsilon)
 
 (* One index range query per sequence; the transformation (when present)
    applies to both the stored side (via the transformed traversal) and

@@ -38,6 +38,25 @@ val scan_early_abandon :
   ?pool:Simq_parallel.Pool.t -> ?spec:Spec.t -> Kindex.t -> epsilon:float ->
   result
 
+(** [scan_checked kindex ?pool ?spec ?abandon ?budget ?retry ~epsilon]
+    is the scan join ((a) with [abandon:false], (b) — the default —
+    otherwise) under a {!Simq_fault.Budget}: the outer loop checks the
+    budget per row on every domain and charges the row's comparisons,
+    so a blown comparison limit or deadline yields a typed error
+    instead of an exception (with an unlimited budget the result is
+    bit-identical to the unchecked scan). [retry]/[on_retry] follow
+    {!Simq_fault.Retry.with_retries}. *)
+val scan_checked :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Spec.t ->
+  ?abandon:bool ->
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?on_retry:(attempt:int -> unit) ->
+  Kindex.t ->
+  epsilon:float ->
+  (result, Simq_fault.Error.t) Result.t
+
 (** [index_untransformed kindex ~epsilon] — method (c): no
     transformation on either side. *)
 val index_untransformed : Kindex.t -> epsilon:float -> result

@@ -9,6 +9,8 @@ module Linear_transform = Geometry.Linear_transform
 module Complex_transform = Geometry.Complex_transform
 module Rstar = Simq_rtree.Rstar
 module Nn = Simq_rtree.Nn
+module Budget = Simq_fault.Budget
+module Retry = Simq_fault.Retry
 
 type t = {
   dataset : Dataset.t;
@@ -110,8 +112,8 @@ let full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () =
    locally (never written to the tree) so read-only queries can run
    concurrently from several domains; {!range_prepared} credits the
    tree's cumulative counter afterwards. *)
-let range_prepared_counted ?mean_range ?std_range t prepared ~query_coeffs
-    ~epsilon ~distance =
+let range_prepared_counted ?mean_range ?std_range ?bstate t prepared
+    ~query_coeffs ~epsilon ~distance =
   if epsilon < 0. then invalid_arg "Kindex.range_prepared: negative epsilon";
   if Array.length query_coeffs <> t.config.Feature.k then
     invalid_arg "Kindex.range_prepared: expected k query coefficients";
@@ -151,12 +153,19 @@ let range_prepared_counted ?mean_range ?std_range t prepared ~query_coeffs
       (overlaps, matches)
   in
   let candidate_ids, node_accesses =
-    Rstar.fold_region_counted t.tree ~overlaps ~matches ~init:[]
-      ~f:(fun acc _ id -> id :: acc)
+    Rstar.fold_region_counted ?budget:bstate t.tree ~overlaps ~matches
+      ~init:[] ~f:(fun acc _ id -> id :: acc)
   in
   let answers =
     List.filter_map
       (fun id ->
+        (* Each exact-distance evaluation of a candidate is one
+           comparison against the budget, like a scan entry. *)
+        (match bstate with
+        | None -> ()
+        | Some b ->
+          Budget.check b;
+          Budget.charge_comparisons b 1);
         let entry = Dataset.get t.dataset id in
         let d = distance entry in
         if d <= epsilon then Some (entry, d) else None)
@@ -220,8 +229,11 @@ let check_query_length t spec query =
       (Printf.sprintf "Kindex: query length %d, expected %d"
          (Series.length query) expected)
 
-let range ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
-    ?std_band t ~query ~epsilon =
+(* Everything about a range request that does not depend on the attempt:
+   side-constraint ranges, the prepared transformation and the query
+   coefficients. Shared by {!range} and {!range_checked} so a retried
+   attempt re-runs only the traversal. *)
+let range_request ?mean_window ?std_band ~normalise_query t spec query =
   check_query_length t spec query;
   (* GK95-style side constraints: mean and standard deviation ride along
      as the trailing index dimensions, so simple shifts and scales bound
@@ -247,8 +259,34 @@ let range ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
   let q = Dataset.prepare_query ~normalise:normalise_query query in
   let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
   let prepared = prepare t spec in
+  (mean_range, std_range, q, query_coeffs, prepared)
+
+let range ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
+    ?std_band t ~query ~epsilon =
+  let mean_range, std_range, q, query_coeffs, prepared =
+    range_request ?mean_window ?std_band ~normalise_query t spec query
+  in
   range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
     ~distance:(prepared_distance t prepared q)
+
+let range_checked ?(spec = Spec.Identity) ?(normalise_query = true)
+    ?mean_window ?std_band ?(budget = Budget.unlimited) ?retry ?on_retry t
+    ~query ~epsilon =
+  if epsilon < 0. then invalid_arg "Kindex.range: negative epsilon";
+  let mean_range, std_range, q, query_coeffs, prepared =
+    range_request ?mean_window ?std_band ~normalise_query t spec query
+  in
+  let distance = prepared_distance t prepared q in
+  Retry.with_retries ?policy:retry ?on_retry (fun () ->
+      (* Fresh budget state per attempt; node accesses are credited to
+         the tree only for the attempt that succeeds. *)
+      let bstate = Budget.state_opt budget in
+      let result =
+        range_prepared_counted ?mean_range ?std_range ?bstate t prepared
+          ~query_coeffs ~epsilon ~distance
+      in
+      Rstar.add_accesses t.tree result.node_accesses;
+      result)
 
 (* --- query batches -------------------------------------------------------- *)
 

@@ -71,6 +71,31 @@ val range :
     simple shifts and scales compose with the general transformations
     this way. *)
 
+(** [range_checked t ?spec ?budget ?retry ~query ~epsilon] is {!range}
+    under a {!Simq_fault.Budget} and bounded {!Simq_fault.Retry}: node
+    visits are charged against the budget inside the traversal
+    (cooperatively cancellable), candidate postprocessing charges one
+    comparison per candidate, and transient node-access faults from an
+    injector installed on the tree ({!Simq_rtree.Rstar.set_injector})
+    are retried per [retry] (default {!Simq_fault.Retry.default};
+    [on_retry] observes abandoned attempts). Returns the exact
+    {!range} result or a typed error — never a fault or budget
+    exception. Each attempt gets a fresh budget state; the tree's
+    cumulative access counter is credited only by a successful
+    attempt. Argument validation still raises [Invalid_argument]. *)
+val range_checked :
+  ?spec:Spec.t ->
+  ?normalise_query:bool ->
+  ?mean_window:float ->
+  ?std_band:float ->
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?on_retry:(attempt:int -> unit) ->
+  t ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  (range_result, Simq_fault.Error.t) Result.t
+
 (** [range_batch t ?pool ?spec ~queries] answers a whole workload of
     [(query, epsilon)] pairs — the serving path for many concurrent
     users. The transformation is prepared once, queries run one per

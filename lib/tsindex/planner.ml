@@ -82,3 +82,100 @@ let range ?(spec = Spec.Identity) kindex stats ~query ~epsilon =
 let pp_plan ppf = function
   | Use_index -> Format.pp_print_string ppf "index"
   | Use_scan -> Format.pp_print_string ppf "scan"
+
+(* --- resilient execution -------------------------------------------------- *)
+
+module Budget = Simq_fault.Budget
+module Error = Simq_fault.Error
+
+type counters = {
+  mutable queries : int;
+  mutable index_attempts : int;
+  mutable degraded : int;
+  mutable retries : int;
+  mutable failures : int;
+}
+
+let create_counters () =
+  { queries = 0; index_attempts = 0; degraded = 0; retries = 0; failures = 0 }
+
+let degradation_rate c =
+  if c.queries = 0 then 0. else float_of_int c.degraded /. float_of_int c.queries
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "queries=%d index_attempts=%d degraded=%d retries=%d failures=%d"
+    c.queries c.index_attempts c.degraded c.retries c.failures
+
+type resilient_result = {
+  answers : (Dataset.entry * float) list;
+  executed : plan;
+  degraded : bool;
+  index_error : Error.t option;
+}
+
+let range_resilient ?pool ?(spec = Spec.Identity) ?stats
+    ?(budget = Budget.unlimited) ?retry ?counters ?(validate = false) kindex
+    ~query ~epsilon =
+  let bump f = match counters with Some c -> f c | None -> () in
+  bump (fun c -> c.queries <- c.queries + 1);
+  let on_retry ~attempt:_ = bump (fun c -> c.retries <- c.retries + 1) in
+  let dataset = Kindex.dataset kindex in
+  let scan () =
+    Seqscan.range_checked ?pool ~spec ~budget ?retry ~on_retry dataset ~query
+      ~epsilon
+  in
+  let failed e =
+    bump (fun c -> c.failures <- c.failures + 1);
+    Error e
+  in
+  (* The fallback restarts the budget (range_checked derives a fresh
+     state per attempt): limits bound each execution attempt, and a
+     degraded query must be allowed to finish its scan. *)
+  let fallback index_error =
+    bump (fun c -> c.degraded <- c.degraded + 1);
+    match scan () with
+    | Ok (r : Seqscan.result) ->
+      Ok
+        {
+          answers = r.Seqscan.answers;
+          executed = Use_scan;
+          degraded = true;
+          index_error = Some index_error;
+        }
+    | Error e -> failed e
+  in
+  let plan =
+    match stats with
+    | Some stats ->
+      fst (choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon)
+    | None -> Use_index
+  in
+  match plan with
+  | Use_scan -> (
+    match scan () with
+    | Ok (r : Seqscan.result) ->
+      Ok
+        {
+          answers = r.Seqscan.answers;
+          executed = Use_scan;
+          degraded = false;
+          index_error = None;
+        }
+    | Error e -> failed e)
+  | Use_index ->
+    if validate && not (Simq_rtree.Check.is_valid (Kindex.tree kindex)) then
+      fallback (Error.Index_unusable { reason = "R-tree invariant check failed" })
+    else begin
+      bump (fun c -> c.index_attempts <- c.index_attempts + 1);
+      match Kindex.range_checked ~spec ~budget ?retry ~on_retry kindex ~query ~epsilon with
+      | Ok (r : Kindex.range_result) ->
+        Ok
+          {
+            answers = r.Kindex.answers;
+            executed = Use_index;
+            degraded = false;
+            index_error = None;
+          }
+      | Error e -> fallback e
+    end

@@ -48,3 +48,62 @@ val range :
   result
 
 val pp_plan : Format.formatter -> plan -> unit
+
+(** {2 Resilient execution}
+
+    The degradation path of the fault layer: run the planned access
+    path under a {!Simq_fault.Budget} with bounded retries, and when
+    the {e index} path fails — budget exhausted, transient faults
+    outlasting every retry, or a failed {!Simq_rtree.Check} validation
+    — fall back to the sequential scan for that query. Both paths are
+    exact, so a degraded query still returns the Lemma 1 answer; only
+    cost changes, and the fallback is recorded in {!counters} so
+    reports can show degradation rates. *)
+
+(** Mutable per-workload counters, shared by every query routed through
+    {!range_resilient} with the same record. *)
+type counters = {
+  mutable queries : int;  (** queries routed through {!range_resilient} *)
+  mutable index_attempts : int;  (** queries that tried the index path *)
+  mutable degraded : int;  (** queries that fell back to the scan *)
+  mutable retries : int;  (** transient-fault attempts abandoned *)
+  mutable failures : int;  (** queries that returned [Error] *)
+}
+
+val create_counters : unit -> counters
+
+(** [degradation_rate c] is [degraded / queries] (0 when idle). *)
+val degradation_rate : counters -> float
+
+val pp_counters : Format.formatter -> counters -> unit
+
+type resilient_result = {
+  answers : (Dataset.entry * float) list;
+  executed : plan;  (** the path that produced the answers *)
+  degraded : bool;  (** the index path failed and the scan answered *)
+  index_error : Simq_fault.Error.t option;
+      (** why the index path was abandoned, when [degraded] *)
+}
+
+(** [range_resilient kindex ?stats ?budget ?retry ?counters ?validate
+    ~query ~epsilon] plans ([Use_index] when [stats] is omitted),
+    executes under [budget] (default unlimited) with [retry] (default
+    {!Simq_fault.Retry.default}), and degrades index failures to the
+    scan. Each execution attempt gets a fresh budget state — in
+    particular the fallback scan restarts the budget, so a degraded
+    query can still complete. [validate:true] (default false) checks
+    the R*-tree invariants first and treats a violation as an index
+    failure ([Index_unusable]). [Error] is returned only when the
+    fallback itself fails. [pool] feeds the scan path's domain pool. *)
+val range_resilient :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Spec.t ->
+  ?stats:stats ->
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?counters:counters ->
+  ?validate:bool ->
+  Kindex.t ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  (resilient_result, Simq_fault.Error.t) Result.t

@@ -3,6 +3,8 @@ module Series = Simq_series.Series
 module Distance = Simq_series.Distance
 module Relation = Simq_storage.Relation
 module Pool = Simq_parallel.Pool
+module Budget = Simq_fault.Budget
+module Retry = Simq_fault.Retry
 
 type result = {
   answers : (Dataset.entry * float) list;
@@ -84,7 +86,8 @@ let compute_freq ~abandon ~stretch ~n ~limit epsilon (q : Dataset.entry)
    chunk keeps its answers in entry order and its own counters, and the
    chunks are merged in chunk order, so answers, distances and counters
    are bit-identical to a single-domain scan. *)
-let scan_compute ~pool ~abandon ~normalise_query dataset spec query epsilon =
+let scan_compute ~pool ~abandon ~normalise_query ?bstate dataset spec query
+    epsilon =
   let q = Dataset.prepare_query ~normalise:normalise_query query in
   let n = Dataset.series_length dataset in
   let limit = epsilon *. epsilon in
@@ -104,6 +107,14 @@ let scan_compute ~pool ~abandon ~normalise_query dataset spec query epsilon =
         let full = ref 0 in
         let touched = ref 0 in
         for i = lo to hi - 1 do
+          (* Cooperative cancellation: every domain passes through here,
+             so a budget blown anywhere stops all chunks promptly. Each
+             entry costs one comparison whether or not it abandons. *)
+          (match bstate with
+          | None -> ()
+          | Some b ->
+            Budget.check b;
+            Budget.charge_comparisons b 1);
           let answer, completed, examined = compute entries.(i) in
           (match answer with
           | Some hit -> answers := hit :: !answers
@@ -142,6 +153,28 @@ let range_full ?pool ?(spec = Spec.Identity) ?(normalise_query = true) dataset
 let range_early_abandon ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
     dataset ~query ~epsilon =
   scan ?pool ~abandon:true ~normalise_query dataset spec query epsilon
+
+let range_checked ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
+    ?(abandon = true) ?(budget = Budget.unlimited) ?retry ?on_retry dataset
+    ~query ~epsilon =
+  check_query_length dataset spec query;
+  if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
+  let pool = resolve_pool pool in
+  let relation = Dataset.relation dataset in
+  Retry.with_retries ?policy:retry ?on_retry (fun () ->
+      (* A fresh budget state per attempt: limits are per-attempt, and a
+         retried scan starts its accounting from zero. *)
+      let bstate = Budget.state_opt budget in
+      (match bstate with
+      | None -> ()
+      | Some _ -> Relation.set_budget relation bstate);
+      Fun.protect
+        ~finally:(fun () ->
+          if Option.is_some bstate then Relation.set_budget relation None)
+        (fun () ->
+          account_io dataset;
+          scan_compute ~pool ~abandon ~normalise_query ?bstate dataset spec
+            query epsilon))
 
 let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
     ?(abandon = true) dataset ~queries =

@@ -37,6 +37,31 @@ val range_early_abandon :
   ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
   result
 
+(** [range_checked dataset ?pool ?spec ?abandon ?budget ?retry ~query
+    ~epsilon] is the resilient scan: same answers as
+    {!range_early_abandon} (or {!range_full} with [abandon:false]) but
+    executed under a {!Simq_fault.Budget} and bounded
+    {!Simq_fault.Retry}, returning a typed error instead of raising.
+    Each attempt gets a fresh budget state, installed on the backing
+    relation for its page accounting and checked per entry in every
+    scan domain; transient page-read faults from an installed
+    {!Simq_fault.Injector} are retried per [retry] (default
+    {!Simq_fault.Retry.default}), with [on_retry] told about each
+    abandoned attempt. With an unlimited budget and no injector the
+    result is bit-identical to the unchecked scan. Argument validation
+    errors (wrong query length, negative ε) still raise
+    [Invalid_argument]. *)
+val range_checked :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Spec.t ->
+  ?normalise_query:bool ->
+  ?abandon:bool ->
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?on_retry:(attempt:int -> unit) ->
+  Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
+  (result, Simq_fault.Error.t) Result.t
+
 (** [range_batch dataset ?pool ?spec ?abandon ~queries] answers a whole
     workload of [(query, epsilon)] pairs, one query per pool task (the
     serving path for many concurrent users). All queries are validated

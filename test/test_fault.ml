@@ -1,0 +1,633 @@
+(* The fault layer (lib/fault) and the safety invariant the checked
+   query entry points promise: under any combination of injected
+   transient faults and resource budgets, a query either returns the
+   exact sequential-reference answer or a typed [Simq_fault.Error.t] —
+   never a wrong answer, never a raw exception — with outcomes
+   reproducible for the same seed and identical across domain counts. *)
+
+module Error = Simq_fault.Error
+module Injector = Simq_fault.Injector
+module Budget = Simq_fault.Budget
+module Retry = Simq_fault.Retry
+module Pool = Simq_parallel.Pool
+module Rstar = Simq_rtree.Rstar
+module Check = Simq_rtree.Check
+module Relation = Simq_storage.Relation
+open Simq_tsindex
+module Generator = Simq_series.Generator
+
+(* Backoff delays would dominate the suite; faults are injected, not
+   real, so retrying instantly is fine everywhere below. *)
+let fast_retry ?(max_attempts = 2) () =
+  Retry.policy ~max_attempts ~base_delay_s:0. ()
+
+(* --- Injector ------------------------------------------------------------- *)
+
+let test_injector_schedule () =
+  let inj =
+    Injector.create
+      ~node_accesses:(Injector.transient ~schedule:[ 2; 5 ] ())
+      ~seed:7 ()
+  in
+  let outcomes =
+    List.init 6 (fun _ ->
+        match Injector.check inj Injector.Node_access with
+        | () -> 0
+        | exception Injector.Transient_fault { ordinal; _ } -> ordinal)
+  in
+  Alcotest.(check (list int)) "faults exactly at scheduled ordinals"
+    [ 0; 2; 0; 0; 5; 0 ] outcomes;
+  Alcotest.(check int) "accesses counted" 6
+    (Injector.accesses inj Injector.Node_access);
+  Alcotest.(check int) "faults counted" 2
+    (Injector.faults inj Injector.Node_access);
+  Alcotest.(check int) "sites independent" 0
+    (Injector.accesses inj Injector.Page_read)
+
+let fault_ordinals inj site n =
+  List.filteri (fun _ o -> o > 0)
+    (List.init n (fun _ ->
+         match Injector.check inj site with
+         | () -> 0
+         | exception Injector.Transient_fault { ordinal; _ } -> ordinal))
+
+let test_injector_seed_reproducible () =
+  let make () =
+    Injector.create
+      ~page_reads:(Injector.transient ~probability:0.3 ())
+      ~seed:4242 ()
+  in
+  Alcotest.(check (list int)) "same seed, same fault stream"
+    (fault_ordinals (make ()) Injector.Page_read 200)
+    (fault_ordinals (make ()) Injector.Page_read 200)
+
+let test_injector_validation () =
+  Alcotest.check_raises "probability out of range"
+    (Invalid_argument "Injector.transient: probability must be in [0, 1]")
+    (fun () -> ignore (Injector.transient ~probability:1.5 ()));
+  Alcotest.check_raises "0 is not a valid ordinal"
+    (Invalid_argument "Injector.transient: schedule ordinals are 1-based")
+    (fun () -> ignore (Injector.transient ~schedule:[ 0 ] ()))
+
+(* --- Budget ---------------------------------------------------------------- *)
+
+let test_budget_unlimited () =
+  Alcotest.(check bool) "unlimited" true (Budget.is_unlimited Budget.unlimited);
+  Alcotest.(check bool) "create () = unlimited" true
+    (Budget.is_unlimited (Budget.create ()));
+  Alcotest.(check bool) "no state installed for unlimited budgets" true
+    (Budget.state_opt Budget.unlimited = None);
+  Alcotest.check_raises "negative limit"
+    (Invalid_argument "Budget.create: limits must be >= 0") (fun () ->
+      ignore (Budget.create ~max_comparisons:(-1) ()))
+
+let test_budget_limit_latches () =
+  let s = Budget.start (Budget.create ~max_comparisons:0 ()) in
+  (match Budget.charge_comparisons s 1 with
+  | () -> Alcotest.fail "expected Exceeded"
+  | exception Budget.Exceeded (Error.Budget_exceeded { resource; spent; limit })
+    ->
+    Alcotest.(check string) "resource" "comparisons"
+      (Error.resource_name resource);
+    Alcotest.(check int) "spent" 1 spent;
+    Alcotest.(check int) "limit" 0 limit
+  | exception Budget.Exceeded e ->
+    Alcotest.failf "unexpected error %s" (Error.to_string e));
+  (* The error is latched: every later check on any domain re-raises the
+     same error — that is the cooperative-cancellation signal. *)
+  match Budget.check s with
+  | () -> Alcotest.fail "cancelled state must keep failing"
+  | exception Budget.Exceeded e ->
+    Alcotest.(check string) "latched kind" "budget_exceeded:comparisons"
+      (Error.kind e)
+
+let test_budget_accounting () =
+  let s =
+    Budget.start (Budget.create ~max_page_reads:10 ~max_comparisons:100 ())
+  in
+  Budget.charge_page_read s;
+  Budget.charge_page_read s;
+  Budget.charge_page_read s;
+  Budget.charge_comparisons s 4;
+  Alcotest.(check int) "page reads" 3 (Budget.spent s Error.Page_reads);
+  Alcotest.(check int) "comparisons" 4 (Budget.spent s Error.Comparisons);
+  Alcotest.(check int) "wall clock has no count" 0
+    (Budget.spent s Error.Wall_clock);
+  (* Unlimited resources skip accounting entirely (the hot-path cost of
+     an uncapped charge is one comparison). *)
+  Budget.charge_node_access s;
+  Alcotest.(check int) "uncapped resources are not counted" 0
+    (Budget.spent s Error.Node_accesses)
+
+let test_budget_deadline () =
+  let s = Budget.start (Budget.create ~deadline_s:0. ()) in
+  (* [deadline_s = 0.] expires as soon as any wall-clock time passes;
+     let the clock tick past the start stamp first. *)
+  Unix.sleepf 1e-3;
+  match Budget.check s with
+  | () -> Alcotest.fail "expected Timeout"
+  | exception Budget.Exceeded e ->
+    Alcotest.(check string) "kind" "timeout" (Error.kind e)
+
+let test_error_kinds () =
+  let timeout = Error.Timeout { elapsed_s = 1.; deadline_s = 0.5 } in
+  let io = Error.Io_failed { site = "page_read"; attempts = 3 } in
+  let b r = Error.Budget_exceeded { resource = r; spent = 9; limit = 4 } in
+  Alcotest.(check string) "timeout" "timeout" (Error.kind timeout);
+  Alcotest.(check string) "io" "io_failed" (Error.kind io);
+  Alcotest.(check string) "budget" "budget_exceeded:node_accesses"
+    (Error.kind (b Error.Node_accesses));
+  Alcotest.(check bool) "same kind ignores payload" true
+    (Error.same_kind (b Error.Page_reads)
+       (Error.Budget_exceeded
+          { resource = Error.Page_reads; spent = 100; limit = 4 }));
+  Alcotest.(check bool) "different kinds differ" false
+    (Error.same_kind timeout io);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "printable: %s" (Error.kind e))
+        true
+        (String.length (Error.to_string e) > 0))
+    [ timeout; io; b Error.Comparisons; Error.Index_unusable { reason = "x" } ]
+
+(* --- Retry ----------------------------------------------------------------- *)
+
+let test_retry_recovers () =
+  let inj =
+    Injector.create
+      ~page_reads:(Injector.transient ~schedule:[ 1 ] ())
+      ~seed:1 ()
+  in
+  let abandoned = ref [] in
+  let result =
+    Retry.with_retries ~policy:(fast_retry ())
+      ~on_retry:(fun ~attempt -> abandoned := attempt :: !abandoned)
+      (fun () ->
+        Injector.check inj Injector.Page_read;
+        "done")
+  in
+  Alcotest.(check bool) "second attempt succeeds" true (result = Ok "done");
+  Alcotest.(check (list int)) "one abandoned attempt" [ 1 ] !abandoned
+
+let test_retry_exhausts () =
+  let attempts = ref 0 in
+  match
+    Retry.with_retries ~policy:(fast_retry ~max_attempts:3 ()) (fun () ->
+        incr attempts;
+        raise
+          (Injector.Transient_fault
+             { site = Injector.Node_access; ordinal = !attempts }))
+  with
+  | Ok _ -> Alcotest.fail "expected Io_failed"
+  | Error (Error.Io_failed { site; attempts = reported }) ->
+    Alcotest.(check string) "site" "node_access" site;
+    Alcotest.(check int) "every attempt used" 3 reported;
+    Alcotest.(check int) "f called per attempt" 3 !attempts
+  | Error e -> Alcotest.failf "unexpected error %s" (Error.to_string e)
+
+let test_retry_never_retries_budgets () =
+  let attempts = ref 0 in
+  let blown =
+    Error.Budget_exceeded
+      { resource = Error.Comparisons; spent = 5; limit = 4 }
+  in
+  (match
+     Retry.with_retries ~policy:(fast_retry ~max_attempts:5 ()) (fun () ->
+         incr attempts;
+         raise (Budget.Exceeded blown))
+   with
+  | Ok _ -> Alcotest.fail "expected the budget error"
+  | Error e ->
+    Alcotest.(check bool) "carried error returned" true (Error.same_kind e blown));
+  Alcotest.(check int) "no retry on blown budget" 1 !attempts;
+  (* Anything else is a programming error and must propagate. *)
+  Alcotest.check_raises "other exceptions propagate" (Failure "boom")
+    (fun () -> ignore (Retry.with_retries (fun () -> failwith "boom")))
+
+(* --- Query-level fixtures --------------------------------------------------- *)
+
+let pools =
+  [ (1, Pool.sequential); (2, Pool.create ~domains:2); (4, Pool.create ~domains:4) ]
+
+let dataset_of ~seed ~count ~n =
+  Dataset.of_series ~pool:Pool.sequential ~name:"fault"
+    (Generator.random_walks ~seed ~count ~n)
+
+(* Shared datasets: the properties below draw from this pool instead of
+   rebuilding (and re-transforming) series per case. Checked paths must
+   leave no injector or budget installed behind, which the properties
+   verify implicitly by reusing the datasets hundreds of times. *)
+let datasets = Array.init 4 (fun i -> dataset_of ~seed:(100 + i) ~count:36 ~n:32)
+
+let spec_of_index i =
+  match i mod 5 with
+  | 0 -> Spec.Identity
+  | 1 -> Spec.Moving_average 3
+  | 2 -> Spec.Moving_average 8
+  | 3 -> Spec.Reverse
+  | _ -> Spec.Warp 2
+
+(* Complex stretches are only safe in S_pol (Theorem 3). *)
+let safe_spec representation spec =
+  match (representation, spec) with
+  | Simq_geometry.Coords.Rectangular, (Spec.Moving_average _ | Spec.Warp _) ->
+    Spec.Reverse
+  | _ -> spec
+
+let query_for dataset spec seed =
+  let entries = Dataset.entries dataset in
+  let base = entries.(seed mod Array.length entries) in
+  let state = Random.State.make [| seed |] in
+  let perturbed =
+    Array.map (fun v -> v +. Random.State.float state 2. -. 1.) base.Dataset.series
+  in
+  match spec with
+  | Spec.Warp m -> Simq_series.Warp.expand m perturbed
+  | _ -> perturbed
+
+let sorted_ids answers =
+  List.sort compare
+    (List.map (fun ((e : Dataset.entry), _) -> e.Dataset.id) answers)
+
+let reference_ids dataset spec query epsilon =
+  sorted_ids (Seqscan.reference ~spec dataset ~query ~epsilon)
+
+(* --- Safety property -------------------------------------------------------- *)
+
+(* One randomized resilient-execution scenario: a seeded injector on
+   both fault sites, an optional resource budget, and a planner query.
+   The safety invariant allows exactly two outcomes. *)
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (dseed, qseed, eps, node_p, page_p, sched, fseed, bkind) ->
+      Printf.sprintf
+        "dseed=%d qseed=%d eps=%g node_p=%g page_p=%g sched=[%s] fseed=%d \
+         bkind=%d"
+        dseed qseed eps node_p page_p
+        (String.concat ";" (List.map string_of_int sched))
+        fseed bkind)
+    QCheck.Gen.(
+      let* dseed = int_range 0 3 in
+      let* qseed = int_range 0 1000 in
+      let* eps = float_range 0.1 12. in
+      let* node_p = float_range 0. 0.15 in
+      let* page_p = float_range 0. 0.05 in
+      let* sched = list_size (int_range 0 3) (int_range 1 40) in
+      let* fseed = int_range 0 10_000 in
+      let* bkind = int_range 0 3 in
+      return (dseed, qseed, eps, node_p, page_p, sched, fseed, bkind))
+
+let budget_of_scenario bkind qseed =
+  match bkind with
+  | 0 -> Budget.unlimited
+  | 1 -> Budget.create ~max_node_accesses:(qseed mod 3) ()
+  | 2 -> Budget.create ~max_comparisons:(qseed mod 25) ()
+  | _ -> Budget.create ~max_page_reads:(qseed mod 4) ()
+
+let prop_safety =
+  QCheck.Test.make
+    ~name:
+      "resilient query under faults+budget: exact reference answer or typed \
+       error, reproducible per seed"
+    ~count:250 arb_scenario
+    (fun (dseed, qseed, eps, node_p, page_p, sched, fseed, bkind) ->
+      let dataset = datasets.(dseed) in
+      let representation =
+        if qseed mod 2 = 0 then Simq_geometry.Coords.Polar
+        else Simq_geometry.Coords.Rectangular
+      in
+      let spec = safe_spec representation (spec_of_index qseed) in
+      let query = query_for dataset spec qseed in
+      let budget = budget_of_scenario bkind qseed in
+      let run () =
+        let injector =
+          Injector.create
+            ~page_reads:(Injector.transient ~probability:page_p ())
+            ~node_accesses:
+              (Injector.transient ~probability:node_p ~schedule:sched ())
+            ~seed:fseed ()
+        in
+        let index =
+          Kindex.build
+            ~config:{ Feature.k = 2; representation }
+            ~max_fill:8 dataset
+        in
+        Rstar.set_injector (Kindex.tree index) (Some injector);
+        Relation.set_injector (Dataset.relation dataset) (Some injector);
+        let counters = Planner.create_counters () in
+        let outcome =
+          Fun.protect
+            ~finally:(fun () ->
+              Relation.set_injector (Dataset.relation dataset) None)
+            (fun () ->
+              Planner.range_resilient ~pool:Pool.sequential ~spec ~budget
+                ~retry:(fast_retry ()) ~counters index ~query ~epsilon:eps)
+        in
+        (outcome, counters)
+      in
+      let outcome, counters = run () in
+      let expected = reference_ids dataset spec query eps in
+      (match outcome with
+      | Ok r ->
+        (* Degraded or not: the answer set must be the Lemma 1 answer. *)
+        Alcotest.(check (list int)) "answers = sequential reference" expected
+          (sorted_ids r.Planner.answers);
+        if r.Planner.degraded then begin
+          Alcotest.(check bool) "degradation carries the index error" true
+            (r.Planner.index_error <> None);
+          Alcotest.(check int) "degradation counted" 1
+            counters.Planner.degraded
+        end
+      | Error e ->
+        Alcotest.(check bool) "typed error has a kind" true
+          (String.length (Error.kind e) > 0);
+        Alcotest.(check int) "failure counted" 1 counters.Planner.failures);
+      Alcotest.(check int) "query counted" 1 counters.Planner.queries;
+      (* Reproducibility: a fresh injector with the same seed gives the
+         same outcome — same answers, or an error of the same kind. *)
+      let outcome', _ = run () in
+      (match (outcome, outcome') with
+      | Ok a, Ok b ->
+        Alcotest.(check (list int)) "same seed, same answers"
+          (sorted_ids a.Planner.answers) (sorted_ids b.Planner.answers);
+        Alcotest.(check bool) "same seed, same path" a.Planner.degraded
+          b.Planner.degraded
+      | Error a, Error b ->
+        Alcotest.(check string) "same seed, same error kind" (Error.kind a)
+          (Error.kind b)
+      | Ok _, Error e | Error e, Ok _ ->
+        Alcotest.failf "same seed diverged (error %s)" (Error.to_string e));
+      true)
+
+(* --- Degradation property --------------------------------------------------- *)
+
+let prop_degradation =
+  QCheck.Test.make
+    ~name:
+      "index failure degrades to the scan: exact answers, visible counters"
+    ~count:150 arb_scenario
+    (fun (dseed, qseed, eps, _, _, _, _, use_validate) ->
+      let dataset = datasets.(dseed) in
+      let spec = safe_spec Simq_geometry.Coords.Polar (spec_of_index qseed) in
+      let query = query_for dataset spec qseed in
+      let index = Kindex.build ~max_fill:8 dataset in
+      let counters = Planner.create_counters () in
+      let validate = use_validate mod 2 = 0 in
+      let budget, expected_kind =
+        if validate then begin
+          (* Corrupt the recorded size: Check must reject the tree and
+             the planner must not even attempt the traversal. *)
+          let tree = Kindex.tree index in
+          Rstar.set_root tree (Rstar.root tree) ~size:(Rstar.size tree + 1);
+          Alcotest.(check bool) "corruption detected" false
+            (Check.is_valid tree);
+          (Budget.unlimited, "index_unusable")
+        end
+        else
+          (* A zero node budget fails the traversal on its first node;
+             the fallback scan restarts the budget and must finish. *)
+          (Budget.create ~max_node_accesses:0 (), "budget_exceeded:node_accesses")
+      in
+      (match
+         Planner.range_resilient ~pool:Pool.sequential ~spec ~budget
+           ~retry:(fast_retry ()) ~counters ~validate index ~query
+           ~epsilon:eps
+       with
+      | Error e -> Alcotest.failf "fallback failed: %s" (Error.to_string e)
+      | Ok r ->
+        Alcotest.(check bool) "degraded" true r.Planner.degraded;
+        Alcotest.(check bool) "scan answered" true
+          (r.Planner.executed = Planner.Use_scan);
+        (match r.Planner.index_error with
+        | None -> Alcotest.fail "missing index error"
+        | Some e ->
+          Alcotest.(check string) "index error kind" expected_kind
+            (Error.kind e));
+        Alcotest.(check (list int)) "degraded answers = reference"
+          (reference_ids dataset spec query eps)
+          (sorted_ids r.Planner.answers));
+      Alcotest.(check int) "degradation counted" 1 counters.Planner.degraded;
+      Alcotest.(check int) "no failure" 0 counters.Planner.failures;
+      Alcotest.(check bool) "rate visible" true
+        (Planner.degradation_rate counters = 1.);
+      true)
+
+(* --- Parallel equivalence under faults and budgets --------------------------- *)
+
+let check_result_equal msg (expected : Seqscan.result) (actual : Seqscan.result)
+    =
+  Alcotest.(check (list (pair int (float 0.))))
+    (msg ^ ": answers")
+    (List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) expected.Seqscan.answers)
+    (List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) actual.Seqscan.answers);
+  Alcotest.(check int) (msg ^ ": full computations")
+    expected.Seqscan.full_computations actual.Seqscan.full_computations;
+  Alcotest.(check int) (msg ^ ": coefficients touched")
+    expected.Seqscan.coefficients_touched actual.Seqscan.coefficients_touched
+
+let prop_parallel_checked =
+  QCheck.Test.make
+    ~name:
+      "checked scan across 1/2/4 domains: same outcome kind, bit-identical \
+       answers"
+    ~count:100 arb_scenario
+    (fun (dseed, qseed, eps, _, page_p, sched, fseed, bkind) ->
+      let dataset = datasets.(dseed) in
+      let spec = safe_spec Simq_geometry.Coords.Polar (spec_of_index qseed) in
+      let query = query_for dataset spec qseed in
+      let budget =
+        match bkind with
+        | 0 | 1 -> Budget.unlimited
+        | 2 -> Budget.create ~max_comparisons:(qseed mod 50) ()
+        | _ -> Budget.create ~max_page_reads:(qseed mod 6) ()
+      in
+      let outcomes =
+        List.map
+          (fun (domains, pool) ->
+            (* A fresh injector per run, same seed: the page-fault
+               stream is identical whatever the domain count, because
+               page accounting runs on the submitting domain only. *)
+            let injector =
+              Injector.create
+                ~page_reads:
+                  (Injector.transient ~probability:page_p ~schedule:sched ())
+                ~seed:fseed ()
+            in
+            Relation.set_injector (Dataset.relation dataset) (Some injector);
+            let outcome =
+              Fun.protect
+                ~finally:(fun () ->
+                  Relation.set_injector (Dataset.relation dataset) None)
+                (fun () ->
+                  Seqscan.range_checked ~pool ~spec ~budget
+                    ~retry:(fast_retry ()) dataset ~query ~epsilon:eps)
+            in
+            (domains, outcome))
+          pools
+      in
+      (match outcomes with
+      | (_, baseline) :: rest ->
+        List.iter
+          (fun (domains, outcome) ->
+            match (baseline, outcome) with
+            | Ok expected, Ok actual ->
+              check_result_equal
+                (Printf.sprintf "domains=%d vs sequential" domains)
+                expected actual
+            | Error a, Error b ->
+              Alcotest.(check string)
+                (Printf.sprintf "error kind, domains=%d" domains)
+                (Error.kind a) (Error.kind b)
+            | Ok _, Error e | Error e, Ok _ ->
+              Alcotest.failf "domains=%d diverged from sequential (error %s)"
+                domains (Error.to_string e))
+          rest
+      | [] -> assert false);
+      (* An Ok outcome must also be the Lemma 1 answer. *)
+      (match outcomes with
+      | (_, Ok r) :: _ ->
+        Alcotest.(check (list int)) "checked Ok = reference"
+          (reference_ids dataset spec query eps)
+          (sorted_ids r.Seqscan.answers)
+      | _ -> ());
+      true)
+
+let prop_join_checked =
+  QCheck.Test.make
+    ~name:"checked join: unlimited ≡ unchecked, blown budget is typed"
+    ~count:30 arb_scenario
+    (fun (dseed, qseed, eps, _, _, _, _, _) ->
+      let dataset = datasets.(dseed) in
+      let spec = safe_spec Simq_geometry.Coords.Polar (spec_of_index qseed) in
+      let index = Kindex.build ~max_fill:8 dataset in
+      let epsilon = Float.min eps 4. in
+      let unchecked = Join.scan_early_abandon ~pool:Pool.sequential ~spec index ~epsilon in
+      List.iter
+        (fun (domains, pool) ->
+          (match Join.scan_checked ~pool ~spec index ~epsilon with
+          | Error e ->
+            Alcotest.failf "unlimited budget failed: %s" (Error.to_string e)
+          | Ok (r : Join.result) ->
+            Alcotest.(check (list (pair int int)))
+              (Printf.sprintf "pairs, domains=%d" domains)
+              unchecked.Join.pairs r.Join.pairs;
+            Alcotest.(check int)
+              (Printf.sprintf "computations, domains=%d" domains)
+              unchecked.Join.distance_computations r.Join.distance_computations);
+          match
+            Join.scan_checked ~pool ~spec
+              ~budget:(Budget.create ~max_comparisons:0 ())
+              index ~epsilon
+          with
+          | Ok _ -> Alcotest.fail "zero comparison budget cannot succeed"
+          | Error e ->
+            Alcotest.(check string)
+              (Printf.sprintf "blown join budget, domains=%d" domains)
+              "budget_exceeded:comparisons" (Error.kind e))
+        pools;
+      true)
+
+(* --- Checked ≡ unchecked, and end-to-end retry ------------------------------- *)
+
+let test_unlimited_checked_is_unchecked () =
+  let dataset = datasets.(0) in
+  let spec = Spec.Moving_average 3 in
+  let query = query_for dataset spec 17 in
+  let epsilon = 5. in
+  let plain =
+    Seqscan.range_early_abandon ~pool:Pool.sequential ~spec dataset ~query
+      ~epsilon
+  in
+  (match
+     Seqscan.range_checked ~pool:Pool.sequential ~spec dataset ~query ~epsilon
+   with
+  | Error e -> Alcotest.failf "scan failed: %s" (Error.to_string e)
+  | Ok checked -> check_result_equal "scan" plain checked);
+  let index = Kindex.build ~max_fill:8 dataset in
+  let plain = Kindex.range ~spec index ~query ~epsilon in
+  match Kindex.range_checked ~spec index ~query ~epsilon with
+  | Error e -> Alcotest.failf "index failed: %s" (Error.to_string e)
+  | Ok (checked : Kindex.range_result) ->
+    Alcotest.(check (list (pair int (float 0.))))
+      "index answers"
+      (List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) plain.Kindex.answers)
+      (List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) checked.Kindex.answers);
+    Alcotest.(check int) "candidates" plain.Kindex.candidates
+      checked.Kindex.candidates;
+    Alcotest.(check int) "node accesses" plain.Kindex.node_accesses
+      checked.Kindex.node_accesses
+
+let test_scan_retry_end_to_end () =
+  let dataset = datasets.(1) in
+  let query = query_for dataset Spec.Identity 3 in
+  let with_schedule schedule retry =
+    let injector =
+      Injector.create ~page_reads:(Injector.transient ~schedule ()) ~seed:2 ()
+    in
+    Relation.set_injector (Dataset.relation dataset) (Some injector);
+    Fun.protect
+      ~finally:(fun () -> Relation.set_injector (Dataset.relation dataset) None)
+      (fun () ->
+        Seqscan.range_checked ~pool:Pool.sequential ~retry dataset ~query
+          ~epsilon:3.)
+  in
+  (* One scheduled fault on the first page: a single retry absorbs it. *)
+  (match with_schedule [ 1 ] (fast_retry ()) with
+  | Ok r ->
+    let plain =
+      Seqscan.range_early_abandon ~pool:Pool.sequential dataset ~query
+        ~epsilon:3.
+    in
+    check_result_equal "retried scan" plain r
+  | Error e -> Alcotest.failf "retry should absorb it: %s" (Error.to_string e));
+  (* The same fault without retries surfaces as a typed I/O failure. *)
+  match with_schedule [ 1 ] Retry.none with
+  | Ok _ -> Alcotest.fail "expected Io_failed"
+  | Error (Error.Io_failed { site; attempts }) ->
+    Alcotest.(check string) "site" "page_read" site;
+    Alcotest.(check int) "single attempt" 1 attempts
+  | Error e -> Alcotest.failf "unexpected error %s" (Error.to_string e)
+
+let () =
+  Alcotest.run "simq_fault"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "scheduled ordinals" `Quick test_injector_schedule;
+          Alcotest.test_case "seed reproducibility" `Quick
+            test_injector_seed_reproducible;
+          Alcotest.test_case "validation" `Quick test_injector_validation;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+          Alcotest.test_case "limit latches" `Quick test_budget_limit_latches;
+          Alcotest.test_case "accounting" `Quick test_budget_accounting;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "error kinds" `Quick test_error_kinds;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "recovers" `Quick test_retry_recovers;
+          Alcotest.test_case "exhausts" `Quick test_retry_exhausts;
+          Alcotest.test_case "budgets not retried" `Quick
+            test_retry_never_retries_budgets;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "unlimited checked = unchecked" `Quick
+            test_unlimited_checked_is_unchecked;
+          Alcotest.test_case "scan retry end to end" `Quick
+            test_scan_retry_end_to_end;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_safety;
+            prop_degradation;
+            prop_parallel_checked;
+            prop_join_checked;
+          ] );
+    ]

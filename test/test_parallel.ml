@@ -153,6 +153,24 @@ let test_create_validation () =
   Alcotest.check_raises "chunk=0" (Invalid_argument "Pool: chunk must be >= 1")
     (fun () -> ignore (Pool.map_array ~pool:Pool.sequential ~chunk:0 Fun.id [| 1 |]))
 
+(* Must run before the override test: [set_default_domains] permanently
+   shadows the environment, so this is the only window where
+   [SIMQ_DOMAINS] is consulted. *)
+let test_env_domains_garbage_falls_back () =
+  let fallback = max 1 (Domain.recommended_domain_count ()) in
+  List.iter
+    (fun garbage ->
+      Unix.putenv "SIMQ_DOMAINS" garbage;
+      (* Never raises: garbage warns on stderr and falls back. *)
+      Alcotest.(check int)
+        (Printf.sprintf "%S falls back" garbage)
+        fallback (Pool.default_domains ()))
+    [ "bogus"; "0"; "-3"; "2.5"; "" ];
+  Unix.putenv "SIMQ_DOMAINS" " 2 ";
+  Alcotest.(check int) "valid value honoured, whitespace trimmed" 2
+    (Pool.default_domains ());
+  Unix.putenv "SIMQ_DOMAINS" "1"
+
 let test_default_domains_override () =
   let before = Pool.default_domains () in
   Pool.set_default_domains 3;
@@ -420,6 +438,8 @@ let () =
           Alcotest.test_case "shutdown degrades" `Quick
             test_shutdown_degrades_to_sequential;
           Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "garbage SIMQ_DOMAINS falls back" `Quick
+            test_env_domains_garbage_falls_back;
           Alcotest.test_case "default pool override" `Quick
             test_default_domains_override;
         ] );

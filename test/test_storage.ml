@@ -47,6 +47,54 @@ let test_pool_flush () =
   Alcotest.(check int) "empty" 0 (Buffer_pool.resident pool);
   Alcotest.(check bool) "re-read is miss" true (Buffer_pool.touch pool 7 = `Miss)
 
+let test_pool_flush_keeps_counters () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~capacity:3 ~stats in
+  ignore (Buffer_pool.touch pool 1);
+  ignore (Buffer_pool.touch pool 1);
+  ignore (Buffer_pool.touch pool 2);
+  Buffer_pool.flush pool;
+  Alcotest.(check int) "reads survive flush" 2 (Io_stats.page_reads stats);
+  Alcotest.(check int) "hits survive flush" 1 (Io_stats.cache_hits stats);
+  (* A second flush of an already-empty pool is a no-op. *)
+  Buffer_pool.flush pool;
+  Alcotest.(check int) "still empty" 0 (Buffer_pool.resident pool);
+  ignore (Buffer_pool.touch pool 2);
+  Alcotest.(check int) "post-flush miss accumulates" 3
+    (Io_stats.page_reads stats)
+
+let test_pool_capacity_one () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~capacity:1 ~stats in
+  Alcotest.(check bool) "first miss" true (Buffer_pool.touch pool 1 = `Miss);
+  Alcotest.(check bool) "re-touch hits" true (Buffer_pool.touch pool 1 = `Hit);
+  (* Every new page evicts the only resident one. *)
+  Alcotest.(check bool) "2 misses" true (Buffer_pool.touch pool 2 = `Miss);
+  Alcotest.(check int) "never more than one resident" 1
+    (Buffer_pool.resident pool);
+  Alcotest.(check bool) "1 was evicted" true (Buffer_pool.touch pool 1 = `Miss);
+  Alcotest.(check bool) "2 was evicted in turn" true
+    (Buffer_pool.touch pool 2 = `Miss);
+  Alcotest.(check int) "resident stays 1" 1 (Buffer_pool.resident pool);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Buffer_pool.create: capacity") (fun () ->
+      ignore (Buffer_pool.create ~capacity:0 ~stats))
+
+let test_pool_retouch_eviction_victim () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~capacity:2 ~stats in
+  ignore (Buffer_pool.touch pool 1);
+  ignore (Buffer_pool.touch pool 2);
+  (* 3 evicts the LRU page 1; re-touching the victim must reload it (a
+     miss) and evict 2, the new LRU — not resurrect stale residency. *)
+  ignore (Buffer_pool.touch pool 3);
+  Alcotest.(check bool) "victim reloads as miss" true
+    (Buffer_pool.touch pool 1 = `Miss);
+  Alcotest.(check bool) "3 survived" true (Buffer_pool.touch pool 3 = `Hit);
+  Alcotest.(check bool) "2 was the next victim" true
+    (Buffer_pool.touch pool 2 = `Miss);
+  Alcotest.(check int) "capacity respected" 2 (Buffer_pool.resident pool)
+
 (* --- Relation -------------------------------------------------------------- *)
 
 let sample_batch n length =
@@ -182,6 +230,43 @@ let test_csv_blank_lines_skipped () =
       let r = Csv.import ~name:"ok" path in
       Alcotest.(check int) "two series" 2 (Relation.cardinality r))
 
+let test_csv_crlf () =
+  let path = Filename.temp_file "simq" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* A Windows-written file: CRLF terminators, including a blank
+         CRLF line and a final line without a terminator. *)
+      write_file path "a,1,2\r\n\r\nb,3,4\r\nc,5,6";
+      let r = Csv.import ~name:"crlf" path in
+      Alcotest.(check int) "three series" 3 (Relation.cardinality r);
+      let t = Relation.get r 1 in
+      Alcotest.(check string) "name unpolluted" "b" t.Relation.name;
+      Alcotest.(check bool) "values parse past the CR" true
+        (Simq_series.Series.equal ~eps:0. t.Relation.data [| 3.; 4. |]))
+
+let test_csv_rejects_non_finite () =
+  let path = Filename.temp_file "simq" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* nan/inf parse as floats but poison every distance downstream;
+         import must refuse them with the offending line number. *)
+      write_file path "a,1,2\nb,nan,4\n";
+      (try
+         ignore (Csv.import ~name:"bad" path);
+         Alcotest.fail "expected nan rejection"
+       with Failure msg ->
+         Alcotest.(check string) "nan message"
+           "Csv.import: line 2: non-finite value \"nan\"" msg);
+      write_file path "a,1,inf\n";
+      try
+        ignore (Csv.import ~name:"bad" path);
+        Alcotest.fail "expected inf rejection"
+      with Failure msg ->
+        Alcotest.(check string) "inf message"
+          "Csv.import: line 1: non-finite value \"inf\"" msg)
+
 let () =
   Alcotest.run "simq_storage"
     [
@@ -191,6 +276,11 @@ let () =
           Alcotest.test_case "hit/miss" `Quick test_pool_hit_miss;
           Alcotest.test_case "lru order" `Quick test_pool_lru_order;
           Alcotest.test_case "flush" `Quick test_pool_flush;
+          Alcotest.test_case "flush keeps counters" `Quick
+            test_pool_flush_keeps_counters;
+          Alcotest.test_case "capacity one" `Quick test_pool_capacity_one;
+          Alcotest.test_case "re-touch eviction victim" `Quick
+            test_pool_retouch_eviction_victim;
         ] );
       ( "csv",
         [
@@ -198,6 +288,9 @@ let () =
           Alcotest.test_case "import errors" `Quick test_csv_import_errors;
           Alcotest.test_case "blank lines skipped" `Quick
             test_csv_blank_lines_skipped;
+          Alcotest.test_case "crlf terminators" `Quick test_csv_crlf;
+          Alcotest.test_case "rejects non-finite values" `Quick
+            test_csv_rejects_non_finite;
         ] );
       ( "relation",
         [
