@@ -115,8 +115,47 @@ let rec strip_jobs = function
     exit 2
   | arg :: rest -> arg :: strip_jobs rest
 
+(* [--metrics[=FILE]] and [--trace FILE] enable the observability
+   subsystem for the whole run; the exposition / Chrome trace is
+   written once all experiments finish. "-" means stdout. *)
+let metrics_dest = ref None
+let trace_dest = ref None
+
+let rec strip_obs = function
+  | [] -> []
+  | "--metrics" :: rest ->
+    metrics_dest := Some "-";
+    strip_obs rest
+  | "--trace" :: file :: rest ->
+    trace_dest := Some file;
+    strip_obs rest
+  | "--trace" :: [] ->
+    prerr_endline "--trace expects a file name";
+    exit 2
+  | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
+    metrics_dest := Some (String.sub arg 10 (String.length arg - 10));
+    strip_obs rest
+  | arg :: rest -> arg :: strip_obs rest
+
+let dump_obs () =
+  let module Metrics = Simq_obs.Metrics in
+  let module Trace = Simq_obs.Trace in
+  (match !metrics_dest with
+  | None -> ()
+  | Some "-" -> print_string (Metrics.exposition ())
+  | Some file ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Metrics.exposition ())));
+  match !trace_dest with
+  | None -> ()
+  | Some file -> Trace.export_file file
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl |> strip_jobs in
+  let args = Array.to_list Sys.argv |> List.tl |> strip_jobs |> strip_obs in
+  if !metrics_dest <> None then Simq_obs.Metrics.set_enabled true;
+  if !trace_dest <> None then Simq_obs.Trace.set_enabled true;
   let fast = List.mem "--fast" args in
   let names = List.filter (fun a -> a <> "--fast") args in
   let names = if names = [] then [ "all"; "micro" ] else names in
@@ -129,4 +168,5 @@ let () =
         | Error msg ->
           prerr_endline msg;
           exit 1)
-    names
+    names;
+  dump_obs ()

@@ -12,6 +12,8 @@
 open Cmdliner
 module Relation = Simq_storage.Relation
 module Budget = Simq_fault.Budget
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
 open Simq_tsindex
 
 let ( let* ) r f = Result.bind r f
@@ -59,6 +61,63 @@ let apply_jobs = function
     Simq_parallel.Pool.set_default_domains domains;
     Ok ()
   | Some _ -> usage "--jobs expects an integer >= 1"
+
+(* --- observability -------------------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect runtime metrics and dump a Prometheus-style text \
+           exposition when the command finishes — to stdout, or to $(docv) \
+           when one is given. The $(b,SIMQ_METRICS) environment variable \
+           also enables collection (without the dump).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record execution spans and write them as Chrome trace-event JSON \
+           to $(docv) when the command finishes (inspect with any trace \
+           viewer: chrome://tracing, Perfetto, ...).")
+
+let dump_observability ~metrics ~trace =
+  let* () =
+    match metrics with
+    | None -> Ok ()
+    | Some "-" ->
+      print_string (Metrics.exposition ());
+      Ok ()
+    | Some file -> (
+      match
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Metrics.exposition ()))
+      with
+      | () -> Ok ()
+      | exception Sys_error msg -> Error (File msg))
+  in
+  match trace with
+  | None -> Ok ()
+  | Some file -> (
+    match Otrace.export_file file with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error (File msg))
+
+(* Enable the requested subsystems, run the command, and dump on the
+   way out — even when the command itself failed, the collected
+   metrics/trace describe the failing run and are still written. *)
+let with_obs ~metrics ~trace f =
+  if Option.is_some metrics then Metrics.set_enabled true;
+  if Option.is_some trace then Otrace.set_enabled true;
+  let result = f () in
+  let dumped = dump_observability ~metrics ~trace in
+  match result with Error _ -> result | Ok () -> dumped
 
 (* --- generate ------------------------------------------------------------ *)
 
@@ -238,17 +297,22 @@ let budget_of ~deadline ~max_page_reads ~max_comparisons ~max_node_accesses =
     | budget -> Ok (Some budget)
     | exception Invalid_argument msg -> usage msg)
 
-let query_impl file text noise jobs deadline max_page_reads max_comparisons
-    max_node_accesses =
+let query_impl file text noise jobs metrics trace deadline max_page_reads
+    max_comparisons max_node_accesses =
   let* () = apply_jobs jobs in
   let* budget =
     budget_of ~deadline ~max_page_reads ~max_comparisons ~max_node_accesses
   in
-  let* relation = load_relation file in
-  let dataset = Dataset.of_relation relation in
-  let index = Kindex.build dataset in
-  let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
-  run_parsed_query index dataset noise ~budget q
+  with_obs ~metrics ~trace (fun () ->
+      let* relation = load_relation file in
+      Otrace.with_span "query" @@ fun () ->
+      let dataset =
+        Otrace.with_span "prepare" (fun () -> Dataset.of_relation relation)
+      in
+      let index = Otrace.with_span "build" (fun () -> Kindex.build dataset) in
+      let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
+      Otrace.with_span "execute" (fun () ->
+          run_parsed_query index dataset noise ~budget q))
 
 let ql_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
@@ -313,14 +377,15 @@ let export_impl file out =
 
 (* --- experiments -------------------------------------------------------------- *)
 
-let experiments_impl name fast jobs =
+let experiments_impl name fast jobs metrics trace =
   let* () = apply_jobs jobs in
-  Result.map_error (fun msg -> Usage msg)
-    (Simq_experiments.Experiments.run ~fast name)
+  with_obs ~metrics ~trace (fun () ->
+      Result.map_error (fun msg -> Usage msg)
+        (Simq_experiments.Experiments.run ~fast name))
 
 let experiment_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
-         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree, ablation_*, par or all.")
+         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree, ablation_*, planner, par or all.")
 
 let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc:"Smaller data sizes (seconds instead of minutes).")
@@ -358,10 +423,14 @@ let query_cmd =
   let doc = "run a similarity query against a stored relation" in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const (fun file text noise jobs deadline pages comparisons nodes ->
-          handle (query_impl file text noise jobs deadline pages comparisons nodes))
-      $ file_arg $ ql_arg $ noise_arg $ jobs_arg $ deadline_arg
-      $ max_page_reads_arg $ max_comparisons_arg $ max_node_accesses_arg)
+      const (fun file text noise jobs metrics trace deadline pages comparisons
+                 nodes ->
+          handle
+            (query_impl file text noise jobs metrics trace deadline pages
+               comparisons nodes))
+      $ file_arg $ ql_arg $ noise_arg $ jobs_arg $ metrics_arg $ trace_arg
+      $ deadline_arg $ max_page_reads_arg $ max_comparisons_arg
+      $ max_node_accesses_arg)
 
 let import_cmd =
   let doc = "import a CSV file (one series per row: name,v1,v2,...)" in
@@ -386,8 +455,9 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const (fun name fast jobs -> handle (experiments_impl name fast jobs))
-      $ experiment_arg $ fast_arg $ jobs_arg)
+      const (fun name fast jobs metrics trace ->
+          handle (experiments_impl name fast jobs metrics trace))
+      $ experiment_arg $ fast_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 let () =
   let doc = "similarity-based queries on time-series data" in

@@ -1247,6 +1247,314 @@ let ablation_fault ~fast =
       (all_exact && rate_at 0. = 0. && rate_at 0.3 > 0.);
   ]
 
+(* --- planner instrumentation ------------------------------------------------------ *)
+
+(* The cost-based planner, observed end to end: sweep epsilon across the
+   selectivity range of one workload, record for each query the chosen
+   access path and the estimated vs actual answer count, and cross-check
+   the registry's planner counter family against the per-run tally. The
+   sweep (plans, estimates, actuals, counters) is written to
+   BENCH_planner.json in the working directory, like BENCH_par.json. *)
+let planner ~fast =
+  let module Pool = Simq_parallel.Pool in
+  let module Metrics = Simq_obs.Metrics in
+  let count = if fast then 200 else 600 in
+  let n = if fast then 64 else 128 in
+  let batch = Stocklike.batch ~seed:(Bench_util.derived_seed 51) ~count ~n in
+  let dataset = Dataset.of_series ~pool:Pool.sequential ~name:"stocks" batch in
+  let index = Kindex.build dataset in
+  let stats = Planner.collect ~seed:(Bench_util.derived_seed 52) dataset in
+  let query =
+    Queries.perturb
+      (Random.State.make [| Bench_util.derived_seed 53 |])
+      batch.(0) ~amount:0.5
+  in
+  let targets =
+    List.sort_uniq compare
+      (if fast then [ 1; 5; 20; count / 2; count ]
+       else [ 1; 5; 20; 60; count / 3; 2 * count / 3; count ])
+  in
+  let m_path_index = Metrics.counter "simq_planner_path_index_total" in
+  let m_path_scan = Metrics.counter "simq_planner_path_scan_total" in
+  let rows =
+    Metrics.with_enabled true (fun () ->
+        Metrics.reset ();
+        List.map
+          (fun target ->
+            let epsilon = calibrated_epsilon dataset query ~target in
+            let r = Planner.range index stats ~query ~epsilon in
+            (target, epsilon, r.Planner.plan, r.Planner.estimated_answers,
+             List.length r.Planner.answers))
+          targets)
+  in
+  let plan_name = function
+    | Planner.Use_index -> "index"
+    | Planner.Use_scan -> "scan"
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Planner: estimated vs actual answers across the selectivity \
+            range (%d stock-like series, n=%d)"
+           count n)
+      ~columns:[ "target"; "epsilon"; "plan"; "estimated"; "actual" ]
+  in
+  List.iter
+    (fun (target, epsilon, plan, estimated, actual) ->
+      Table.add_row table
+        [
+          string_of_int target; Printf.sprintf "%.3f" epsilon; plan_name plan;
+          Printf.sprintf "%.1f" estimated; string_of_int actual;
+        ])
+    rows;
+  Table.print table;
+  let n_index =
+    List.length (List.filter (fun (_, _, p, _, _) -> p = Planner.Use_index) rows)
+  in
+  let n_scan = List.length rows - n_index in
+  let c_index = Metrics.counter_total m_path_index in
+  let c_scan = Metrics.counter_total m_path_scan in
+  (* BENCH_planner.json: the sweep and the registry counters, for
+     tracking across runs. *)
+  let oc = open_out "BENCH_planner.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"planner\",\n  \"fast\": %b,\n  \"seed\": %d,\n\
+    \  \"series\": { \"count\": %d, \"n\": %d },\n  \"sweep\": [\n"
+    fast Bench_util.bench_seed count n;
+  List.iteri
+    (fun i (target, epsilon, plan, estimated, actual) ->
+      Printf.fprintf oc
+        "    { \"target\": %d, \"epsilon\": %.6f, \"plan\": %S, \
+         \"estimated_answers\": %.3f, \"actual_answers\": %d }%s\n"
+        target epsilon (plan_name plan) estimated actual
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"counters\": { \"path_index\": %d, \"path_scan\": %d }\n}\n" c_index
+    c_scan;
+  close_out oc;
+  print_endline "wrote BENCH_planner.json";
+  let first_plan = match rows with (_, _, p, _, _) :: _ -> p | [] -> Planner.Use_scan in
+  let last_plan =
+    match List.rev rows with (_, _, p, _, _) :: _ -> p | [] -> Planner.Use_index
+  in
+  let estimates_monotone =
+    let rec check = function
+      | (_, _, _, a, _) :: ((_, _, _, b, _) :: _ as rest) ->
+        a <= b && check rest
+      | _ -> true
+    in
+    check rows
+  in
+  let mean_rel_error =
+    Bench_util.mean
+      (List.map
+         (fun (_, _, _, estimated, actual) ->
+           Float.abs (estimated -. float_of_int actual)
+           /. Float.max 1. (float_of_int actual))
+         rows)
+  in
+  [
+    Expectation.check ~experiment:"Planner"
+      ~expectation:
+        "the planner picks the index at the selective end of the sweep and \
+         the scan once the answer set covers the relation (the Figure 12 \
+         crossover)"
+      ~measured:
+        (Printf.sprintf "plan %s at target 1, %s at target %d"
+           (plan_name first_plan) (plan_name last_plan) count)
+      (first_plan = Planner.Use_index && last_plan = Planner.Use_scan);
+    Expectation.check ~experiment:"Planner"
+      ~expectation:
+        "the registry's planner counters agree with the per-run tally of \
+         chosen paths"
+      ~measured:
+        (Printf.sprintf "registry index/scan = %d/%d, tally = %d/%d" c_index
+           c_scan n_index n_scan)
+      (c_index = n_index && c_scan = n_scan);
+    Expectation.check ~experiment:"Planner"
+      ~expectation:
+        "estimated answer counts are monotone in epsilon (the selectivity \
+         histogram is cumulative)"
+      ~measured:
+        (Printf.sprintf "monotone: %b, mean relative error %.2f"
+           estimates_monotone mean_rel_error)
+      estimates_monotone;
+  ]
+
+(* --- observability overhead and determinism --------------------------------------- *)
+
+(* The observability layer's two promises, measured with the same
+   methodology as [ablation_fault]: (1) instrumentation is invisible —
+   answers are bit-identical with metrics on and off, and the enabled
+   cost stays within a modest constant of the disabled cost (the
+   disabled cost itself is one atomic load and branch per site, which no
+   timer resolves); and (2) the merged integer counter totals of the
+   query-level families are identical at every domain count — the
+   instrumentation inherits the Lemma 1 determinism of the paths it
+   observes. *)
+let ablation_obs ~fast =
+  let module Pool = Simq_parallel.Pool in
+  let module Metrics = Simq_obs.Metrics in
+  let count = if fast then 200 else 600 in
+  let n = if fast then 64 else 128 in
+  let repeats = if fast then 3 else 10 in
+  let batch = Stocklike.batch ~seed:(Bench_util.derived_seed 61) ~count ~n in
+  let dataset = Dataset.of_series ~pool:Pool.sequential ~name:"stocks" batch in
+  let index = Kindex.build dataset in
+  let queries =
+    with_selective_epsilons dataset
+      (Bench_util.queries_for ~seed:(Bench_util.derived_seed 62) ~count:12
+         batch)
+  in
+  (* Part 1: cost and answers, metrics off vs on. *)
+  let time f =
+    Bench_util.time_per_query ~repeats (fun () -> List.iter f queries)
+    /. float_of_int (List.length queries)
+  in
+  let run_index (q, eps) = ignore (Kindex.range index ~query:q ~epsilon:eps) in
+  let run_scan (q, eps) =
+    ignore
+      (Seqscan.range_early_abandon ~pool:Pool.sequential dataset ~query:q
+         ~epsilon:eps)
+  in
+  let t_index_off = Metrics.with_enabled false (fun () -> time run_index) in
+  let t_index_on = Metrics.with_enabled true (fun () -> time run_index) in
+  let t_scan_off = Metrics.with_enabled false (fun () -> time run_scan) in
+  let t_scan_on = Metrics.with_enabled true (fun () -> time run_scan) in
+  let answers_equal =
+    List.for_all
+      (fun (q, eps) ->
+        let off =
+          Metrics.with_enabled false (fun () ->
+              Kindex.range index ~query:q ~epsilon:eps)
+        in
+        let on =
+          Metrics.with_enabled true (fun () ->
+              Kindex.range index ~query:q ~epsilon:eps)
+        in
+        off.Kindex.answers = on.Kindex.answers
+        && off.Kindex.candidates = on.Kindex.candidates
+        && off.Kindex.node_accesses = on.Kindex.node_accesses)
+      queries
+  in
+  let overhead on off = if off > 0. then on /. off else 1. in
+  let oh_index = overhead t_index_on t_index_off in
+  let oh_scan = overhead t_scan_on t_scan_off in
+  let overhead_table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Observability: metrics off vs on (%d series, n=%d)" count n)
+      ~columns:[ "path"; "off"; "on"; "ratio" ]
+  in
+  Table.add_row overhead_table
+    [ "k-index range"; fmt t_index_off; fmt t_index_on;
+      Printf.sprintf "%.3f" oh_index ];
+  Table.add_row overhead_table
+    [ "seq scan"; fmt t_scan_off; fmt t_scan_on;
+      Printf.sprintf "%.3f" oh_scan ];
+  Table.print overhead_table;
+  (* Part 2: merged counter totals across domain counts. The families
+     checked are the query-level ones whose per-chunk adds cover the
+     whole input exactly once (see the determinism note in
+     Simq_obs.Metrics); pool self-metrics are excluded by design. *)
+  let families =
+    [
+      "simq_scan_candidates_total"; "simq_scan_survivors_total";
+      "simq_scan_early_abandon_total"; "simq_kindex_candidates_total";
+      "simq_kindex_survivors_total";
+    ]
+  in
+  let totals_at domains =
+    let pool = Pool.create ~domains in
+    let answers =
+      Metrics.with_enabled true (fun () ->
+          Metrics.reset ();
+          List.map
+            (fun (q, eps) ->
+              let scan =
+                Seqscan.range_early_abandon ~pool dataset ~query:q ~epsilon:eps
+              in
+              let idx = Kindex.range index ~query:q ~epsilon:eps in
+              ( List.map
+                  (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d))
+                  scan.Seqscan.answers,
+                List.map
+                  (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d))
+                  idx.Kindex.answers ))
+            queries)
+    in
+    let totals =
+      List.map (fun name -> Metrics.counter_total (Metrics.counter name))
+        families
+    in
+    Pool.shutdown pool;
+    (answers, totals)
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  let runs = List.map (fun d -> (d, totals_at d)) domain_counts in
+  let determinism_table =
+    Table.create
+      ~title:"Observability: merged counter totals vs domain count"
+      ~columns:
+        ("domains"
+        :: List.map
+             (fun name ->
+               (* strip the simq_ prefix and _total suffix for width *)
+               String.sub name 5 (String.length name - 11))
+             families)
+  in
+  List.iter
+    (fun (d, (_, totals)) ->
+      Table.add_row determinism_table
+        (string_of_int d :: List.map string_of_int totals))
+    runs;
+  Table.print determinism_table;
+  let reference = match runs with (_, r) :: _ -> r | [] -> ([], []) in
+  let deterministic =
+    List.for_all (fun (_, (answers, totals)) ->
+        answers = fst reference && totals = snd reference)
+      runs
+  in
+  let overhead_measured =
+    Printf.sprintf "on/off ratio: %.3f (index), %.3f (scan)" oh_index oh_scan
+  in
+  let overhead_claim =
+    if fast then
+      Expectation.partial ~experiment:"Observability"
+        ~expectation:"enabling metrics costs only a modest constant"
+        ~measured:(overhead_measured ^ " (fast mode — timing not asserted)")
+    else
+      Expectation.check ~experiment:"Observability"
+        ~expectation:
+          "enabling metrics costs only a modest constant (on/off < 1.5; \
+           disabled cost is one branch per site)"
+        ~measured:overhead_measured
+        (oh_index < 1.5 && oh_scan < 1.5)
+  in
+  [
+    Expectation.check ~experiment:"Observability"
+      ~expectation:
+        "instrumentation is invisible in the answers: results and query \
+         counters are bit-identical with metrics on and off"
+      ~measured:(if answers_equal then "identical" else "MISMATCH")
+      answers_equal;
+    overhead_claim;
+    Expectation.check ~experiment:"Observability"
+      ~expectation:
+        "merged integer counter totals of the query-level families are \
+         identical at every domain count, and so are the answers"
+      ~measured:
+        (if deterministic then
+           Printf.sprintf "identical totals and answers at %s domains"
+             (String.concat "/" (List.map string_of_int domain_counts))
+         else "MISMATCH against the single-domain reference")
+      deterministic;
+  ]
+
 (* --- dispatcher ------------------------------------------------------------------ *)
 
 let suite =
@@ -1265,6 +1573,8 @@ let suite =
     ("ablation_rtree", ablation_rtree);
     ("ablation_trails", ablation_trails);
     ("ablation_fault", ablation_fault);
+    ("ablation_obs", ablation_obs);
+    ("planner", planner);
     ("par", par);
   ]
 

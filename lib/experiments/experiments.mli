@@ -53,6 +53,22 @@ val ablation_rtree : fast:bool -> claim list
     trails. *)
 val ablation_trails : fast:bool -> claim list
 
+(** Ablation: the fault layer — guard-hook overhead with nothing
+    installed, and exactness plus degradation rates under injected
+    transient node faults. *)
+val ablation_fault : fast:bool -> claim list
+
+(** Ablation: the observability layer — answers bit-identical with
+    metrics on and off, the on/off cost ratio, and cross-domain
+    determinism of merged counter totals at 1/2/4 domains. *)
+val ablation_obs : fast:bool -> claim list
+
+(** Planner instrumentation: estimated vs actual answer counts across a
+    selectivity sweep, the chosen access path per query, and the
+    registry's planner counter family cross-checked against the per-run
+    tally; writes [BENCH_planner.json] in the working directory. *)
+val planner : fast:bool -> claim list
+
 (** Scaling: the multicore execution layer at 1/2/4/N domains — dataset
     build, sequential scan, scan self-join and the batched query path —
     asserting bit-identical answers at every domain count and writing
@@ -67,6 +83,7 @@ val all : fast:bool -> unit
 (** [run ~fast name] runs one experiment by name
     ("fig8" … "table1", "edit_dp", "eq10", "vptree",
     "ablation_k", "ablation_repr", "ablation_rtree",
-    "ablation_trails", "all").
+    "ablation_trails", "ablation_fault", "ablation_obs",
+    "planner", "par", "all").
     Unknown names return [Error] with the available names. *)
 val run : fast:bool -> string -> (unit, string) result

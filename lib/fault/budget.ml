@@ -1,3 +1,8 @@
+let m_exhausted =
+  Simq_obs.Metrics.counter
+    ~help:"Budget limit crossings latched (one per failed attempt)"
+    "simq_fault_budget_exhausted_total"
+
 type t = {
   deadline_s : float;
   max_page_reads : int;
@@ -54,7 +59,8 @@ let state_opt limits = if is_unlimited limits then None else Some (start limits)
 (* The first crossing wins the CAS; later chargers (other domains) raise
    that same error, so one query reports one cause. *)
 let fail s err =
-  ignore (Atomic.compare_and_set s.cancelled None (Some err));
+  if Atomic.compare_and_set s.cancelled None (Some err) then
+    Simq_obs.Metrics.incr m_exhausted;
   let e = match Atomic.get s.cancelled with Some e -> e | None -> err in
   raise (Exceeded e)
 

@@ -1,3 +1,8 @@
+let m_injected =
+  Simq_obs.Metrics.counter
+    ~help:"Transient faults raised by installed injectors"
+    "simq_fault_injected_total"
+
 type site = Page_read | Node_access
 
 let site_name = function Page_read -> "page_read" | Node_access -> "node_access"
@@ -58,7 +63,10 @@ let check t site =
   in
   if fault then p.faults <- p.faults + 1;
   Mutex.unlock t.lock;
-  if fault then raise (Transient_fault { site; ordinal })
+  if fault then begin
+    Simq_obs.Metrics.incr m_injected;
+    raise (Transient_fault { site; ordinal })
+  end
 
 let accesses t site = (point t site).ordinal
 let faults t site = (point t site).faults

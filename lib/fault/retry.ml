@@ -1,5 +1,10 @@
 type policy = { max_attempts : int; base_delay_s : float; backoff : float }
 
+let m_retries =
+  Simq_obs.Metrics.counter
+    ~help:"Retries of transient faults by checked entry points"
+    "simq_fault_retries_total"
+
 let policy ?(max_attempts = 3) ?(base_delay_s = 1e-3) ?(backoff = 2.) () =
   if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts must be >= 1";
   if not (base_delay_s >= 0.) then
@@ -20,6 +25,7 @@ let with_retries ?(policy = default) ?on_retry f =
         Error
           (Error.Io_failed { site = Injector.site_name site; attempts = attempt })
       else begin
+        Simq_obs.Metrics.incr m_retries;
         (match on_retry with Some g -> g ~attempt | None -> ());
         let delay =
           policy.base_delay_s *. (policy.backoff ** float_of_int (attempt - 1))

@@ -1,0 +1,2 @@
+let now_ns () = Monotonic_clock.now ()
+let elapsed_s t0 = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9

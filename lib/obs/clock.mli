@@ -1,0 +1,15 @@
+(** The single monotonic time source of the observability layer.
+
+    [Simq_parallel.Pool] busy-time accounting, {!Trace} spans and
+    [Simq_report.Timer] all read this clock, so every timing the
+    system emits — [SIMQ_CSV_DIR] tables, [--metrics] histograms,
+    [--trace] timelines — comes from one source and cannot
+    disagree. *)
+
+(** [now_ns ()] is the current [CLOCK_MONOTONIC] reading in
+    nanoseconds (arbitrary epoch). *)
+val now_ns : unit -> int64
+
+(** [elapsed_s t0] is the seconds elapsed since the earlier reading
+    [t0]. *)
+val elapsed_s : int64 -> float

@@ -1,0 +1,265 @@
+let shards = 64 (* power of two; indexed by domain id *)
+let buckets = 64
+
+let shard_index () = (Domain.self () :> int) land (shards - 1)
+
+let env_enabled () =
+  match Sys.getenv_opt "SIMQ_METRICS" with
+  | None | Some ("" | "0" | "false" | "off") -> false
+  | Some _ -> true
+
+let enabled = Atomic.make (env_enabled ())
+let on () = Atomic.get enabled
+let set_enabled b = Atomic.set enabled b
+
+let with_enabled b f =
+  let prev = Atomic.get enabled in
+  Atomic.set enabled b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled prev) f
+
+type counter = {
+  c_name : string;
+  c_help : string;
+  cells : int Atomic.t array; (* one per shard *)
+}
+
+type gauge = { g_name : string; g_help : string; cell : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  counts : int Atomic.t array array; (* shards x buckets *)
+  sums : float Atomic.t array; (* one per shard, CAS-updated *)
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registry = {
+  mutex : Mutex.t;
+  mutable metrics : metric list; (* registration order *)
+  by_name : (string, metric) Hashtbl.t;
+}
+
+let create_registry () =
+  { mutex = Mutex.create (); metrics = []; by_name = Hashtbl.create 32 }
+
+let default = create_registry ()
+
+let metric_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let register registry name make expect =
+  Mutex.lock registry.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.mutex)
+    (fun () ->
+      match Hashtbl.find_opt registry.by_name name with
+      | Some existing -> (
+          match expect existing with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Simq_obs.Metrics: %S already registered as a different \
+                    metric kind"
+                   name))
+      | None ->
+          let m, v = make () in
+          Hashtbl.add registry.by_name name m;
+          registry.metrics <- m :: registry.metrics;
+          v)
+
+let counter ?(registry = default) ?(help = "") name =
+  register registry name
+    (fun () ->
+      let c =
+        {
+          c_name = name;
+          c_help = help;
+          cells = Array.init shards (fun _ -> Atomic.make 0);
+        }
+      in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge ?(registry = default) ?(help = "") name =
+  register registry name
+    (fun () ->
+      let g = { g_name = name; g_help = help; cell = Atomic.make 0. } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram ?(registry = default) ?(help = "") name =
+  register registry name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          h_help = help;
+          counts =
+            Array.init shards (fun _ ->
+                Array.init buckets (fun _ -> Atomic.make 0));
+          sums = Array.init shards (fun _ -> Atomic.make 0.);
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+(* Bucket [i] holds values with upper bound [2 ^ (i - 30)]: bucket 0
+   is everything <= ~1e-9 (and all v <= 0), bucket 63 everything that
+   frexp maps past 2^33, i.e. the range covers nanosecond timings up
+   to count-scale observations in the billions. *)
+let bucket_upper i = Float.ldexp 1.0 (i - 30)
+
+let bucket_of v =
+  if v <= 0. || Float.is_nan v then 0
+  else
+    let _, e = Float.frexp v in
+    (* v in (2^(e-1), 2^e]; frexp gives v = m * 2^e with m in [0.5,1) *)
+    let i = e + 30 in
+    if i < 0 then 0 else if i >= buckets then buckets - 1 else i
+
+let incr c =
+  if on () then ignore (Atomic.fetch_and_add c.cells.(shard_index ()) 1)
+
+let add c n =
+  if on () && n <> 0 then
+    ignore (Atomic.fetch_and_add c.cells.(shard_index ()) n)
+
+let set_gauge g v = if on () then Atomic.set g.cell v
+
+let atomic_float_add cell v =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. v)) then go ()
+  in
+  go ()
+
+let observe h v =
+  if on () then begin
+    let s = shard_index () in
+    ignore (Atomic.fetch_and_add h.counts.(s).(bucket_of v) 1);
+    atomic_float_add h.sums.(s) v
+  end
+
+let counter_total c =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+
+let gauge_value g = Atomic.get g.cell
+
+let histogram_buckets h =
+  let merged = Array.make buckets 0 in
+  Array.iter
+    (fun shard ->
+      Array.iteri (fun i cell -> merged.(i) <- merged.(i) + Atomic.get cell) shard)
+    h.counts;
+  merged
+
+let histogram_count h =
+  Array.fold_left ( + ) 0 (histogram_buckets h)
+
+let histogram_sum h =
+  Array.fold_left (fun acc cell -> acc +. Atomic.get cell) 0. h.sums
+
+type sample =
+  | Counter_sample of { name : string; help : string; total : int }
+  | Gauge_sample of { name : string; help : string; value : float }
+  | Histogram_sample of {
+      name : string;
+      help : string;
+      buckets : int array;
+      sum : float;
+      count : int;
+    }
+
+let sample_name = function
+  | Counter_sample { name; _ }
+  | Gauge_sample { name; _ }
+  | Histogram_sample { name; _ } ->
+      name
+
+let sample_of_metric = function
+  | Counter c ->
+      Counter_sample
+        { name = c.c_name; help = c.c_help; total = counter_total c }
+  | Gauge g ->
+      Gauge_sample { name = g.g_name; help = g.g_help; value = gauge_value g }
+  | Histogram h ->
+      let buckets = histogram_buckets h in
+      Histogram_sample
+        {
+          name = h.h_name;
+          help = h.h_help;
+          buckets;
+          sum = histogram_sum h;
+          count = Array.fold_left ( + ) 0 buckets;
+        }
+
+let metrics_sorted registry =
+  Mutex.lock registry.mutex;
+  let ms = registry.metrics in
+  Mutex.unlock registry.mutex;
+  List.sort (fun a b -> String.compare (metric_name a) (metric_name b)) ms
+
+let snapshot ?(registry = default) () =
+  List.map sample_of_metric (metrics_sorted registry)
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let exposition ?(registry = default) () =
+  let buf = Buffer.create 4096 in
+  let header name help kind =
+    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun sample ->
+      match sample with
+      | Counter_sample { name; help; total } ->
+          header name help "counter";
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name total)
+      | Gauge_sample { name; help; value } ->
+          header name help "gauge";
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (float_repr value))
+      | Histogram_sample { name; help; buckets; sum; count } ->
+          header name help "histogram";
+          let first_nonempty =
+            let rec go i =
+              if i >= Array.length buckets then Array.length buckets
+              else if buckets.(i) > 0 then i
+              else go (i + 1)
+            in
+            go 0
+          in
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i n ->
+              cumulative := !cumulative + n;
+              if i >= first_nonempty then
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+                     (float_repr (bucket_upper i))
+                     !cumulative))
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" name (float_repr sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count))
+    (snapshot ~registry ());
+  Buffer.contents buf
+
+let reset ?(registry = default) () =
+  List.iter
+    (function
+      | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells
+      | Gauge g -> Atomic.set g.cell 0.
+      | Histogram h ->
+          Array.iter (Array.iter (fun cell -> Atomic.set cell 0)) h.counts;
+          Array.iter (fun cell -> Atomic.set cell 0.) h.sums)
+    (metrics_sorted registry)

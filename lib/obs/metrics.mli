@@ -1,0 +1,136 @@
+(** Sharded metrics registry: counters, gauges, log-scale histograms.
+
+    Hot-path updates go to a per-domain shard selected from
+    [Domain.self ()], so concurrent domains never contend on a lock;
+    readers merge the shards on demand ({!snapshot}, {!exposition}).
+    Every update is guarded by one branch on a global flag — with
+    metrics disabled ({!on} [= false]) the cost of an instrumented
+    call site is a single atomic load and conditional jump, mirroring
+    the [Simq_fault] guard design.
+
+    Determinism: counter totals and histogram bucket counts are sums
+    of non-negative integer increments, so merged totals are identical
+    across any [SIMQ_DOMAINS]/[--jobs] setting as long as the
+    instrumented work itself is deterministic (which the Lemma 1
+    parallel tests enforce). Histogram [sum]s are floating-point and
+    merge in shard order, and gauges are last-write-wins, so neither
+    is bit-deterministic under parallel execution; pool self-metrics
+    (task counts, busy time) inherently depend on the chunking and are
+    excluded from the cross-domain determinism guarantee.
+
+    Metric names follow Prometheus conventions
+    ([simq_<family>_<what>_total] for counters); registration is
+    idempotent by name, so a library module can register its metrics
+    at initialisation time and every family appears in the exposition
+    even when zero. *)
+
+(** {1 Global enable flag} *)
+
+(** [on ()] is the current state of the global metrics flag. It
+    starts enabled iff the [SIMQ_METRICS] environment variable is set
+    to anything other than ["", "0", "false", "off"]. *)
+val on : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** [with_enabled b f] runs [f ()] with the flag forced to [b],
+    restoring the previous state afterwards (even on exceptions). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a
+
+(** {1 Registries} *)
+
+type registry
+
+(** The registry used when [?registry] is omitted; all of simq's
+    built-in instrumentation lives here. *)
+val default : registry
+
+(** [create_registry ()] is a fresh empty registry (used in tests). *)
+val create_registry : unit -> registry
+
+(** {1 Metric kinds} *)
+
+type counter
+type gauge
+type histogram
+
+(** [counter name] registers (or retrieves, if [name] is already
+    registered) a monotonically increasing counter. Raises
+    [Invalid_argument] if [name] is registered as a different kind. *)
+val counter : ?registry:registry -> ?help:string -> string -> counter
+
+(** [gauge name] registers a last-write-wins floating-point gauge
+    (a single atomic cell, not sharded). *)
+val gauge : ?registry:registry -> ?help:string -> string -> gauge
+
+(** [histogram name] registers a log-scale histogram: 64 buckets with
+    upper bounds [2 ^ (i - 30)], covering roughly [1e-9 .. 8e9] —
+    wide enough for seconds-scale timings and count-scale
+    observations alike. Observations [<= 0] land in the first
+    bucket. *)
+val histogram : ?registry:registry -> ?help:string -> string -> histogram
+
+(** {1 Hot-path updates}
+
+    All of these are no-ops (one branch) when [on () = false]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set_gauge : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reading}
+
+    Readers merge all shards; they are safe to call concurrently with
+    updates (values are atomic loads, so a snapshot taken mid-query
+    is a consistent-enough monotonic view, exact once quiescent). *)
+
+(** [counter_total c] is the merged total over all shards. *)
+val counter_total : counter -> int
+
+val gauge_value : gauge -> float
+
+(** [histogram_count h] is the merged number of observations. *)
+val histogram_count : histogram -> int
+
+(** [histogram_sum h] is the merged sum of observed values. *)
+val histogram_sum : histogram -> float
+
+(** [histogram_buckets h] is the merged per-bucket (non-cumulative)
+    counts, length 64. *)
+val histogram_buckets : histogram -> int array
+
+(** One merged metric value, for programmatic consumption. *)
+type sample =
+  | Counter_sample of { name : string; help : string; total : int }
+  | Gauge_sample of { name : string; help : string; value : float }
+  | Histogram_sample of {
+      name : string;
+      help : string;
+      buckets : int array;  (** non-cumulative, length 64 *)
+      sum : float;
+      count : int;
+    }
+
+val sample_name : sample -> string
+
+(** [snapshot ()] merges every metric of the registry, sorted by
+    name. The shape is stable: the same registrations yield the same
+    list of names in the same order. *)
+val snapshot : ?registry:registry -> unit -> sample list
+
+(** [bucket_upper i] is the upper bound of histogram bucket [i],
+    i.e. [2. ** float (i - 30)]. *)
+val bucket_upper : int -> float
+
+(** [exposition ()] renders the registry in Prometheus text format:
+    [# HELP]/[# TYPE] headers, counters as [name total], histograms
+    as cumulative [name_bucket{le="..."}] lines (empty leading
+    buckets elided) plus [_sum]/[_count]. Metrics are sorted by name,
+    so the output is stable for a given registry state. *)
+val exposition : ?registry:registry -> unit -> string
+
+(** [reset ()] zeroes every shard of every metric in the registry
+    (registrations survive). Used by tests and by the experiment
+    harness between runs. *)
+val reset : ?registry:registry -> unit -> unit

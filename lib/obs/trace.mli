@@ -1,0 +1,62 @@
+(** Span tracing with per-domain buffers and Chrome trace-event export.
+
+    A span is a named begin/end interval on the monotonic clock
+    (via [bechamel.monotonic_clock], [CLOCK_MONOTONIC] under the
+    hood). Spans opened while another span of the same domain is
+    still open nest under it; each domain records into its own
+    buffer, so tracing never takes a lock on the hot path. The whole
+    subsystem is guarded by a global flag ({!on}) — disabled, a span
+    site costs one atomic load and branch and allocates nothing.
+
+    {!export} merges every domain's buffer into Chrome trace-event
+    JSON (the [chrome://tracing] / Perfetto format): one ["ph":"X"]
+    complete event per finished span, with the domain id as [tid] and
+    span/parent ids in [args], so a query's
+    plan → index descent → postfilter → merge timeline is inspectable
+    in any trace viewer. *)
+
+(** [on ()] is the current state of the tracing flag (default
+    off; the [--trace FILE] CLI flag turns it on). *)
+val on : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** An open span. [Disabled] (when tracing is off) makes
+    {!finish} a no-op. *)
+type span
+
+(** [start ?cat name] opens a span on the calling domain, nested
+    under the domain's innermost open span. [cat] is the Chrome
+    trace category (default ["simq"]). *)
+val start : ?cat:string -> string -> span
+
+(** [finish s] closes the span and records one trace event into the
+    calling domain's buffer. Spans must be finished on the domain
+    that started them and in LIFO order (which [with_span]
+    guarantees). *)
+val finish : span -> unit
+
+(** [with_span name f] runs [f ()] inside a span, finishing it even
+    if [f] raises. *)
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** [open_spans ()] is the number of started-but-unfinished spans
+    across all domains; [0] once every [with_span] has unwound (the
+    "no dangling spans" test). *)
+val open_spans : unit -> int
+
+(** [event_count ()] is the number of finished spans recorded so
+    far. *)
+val event_count : unit -> int
+
+(** [export oc] writes the merged buffers as a Chrome trace-event
+    JSON object ([{"traceEvents": [...]}]) to [oc]. Events are
+    sorted by start time. *)
+val export : out_channel -> unit
+
+(** [export_file path] is {!export} to a fresh file at [path]. *)
+val export_file : string -> unit
+
+(** [reset ()] drops all recorded events and open-span bookkeeping
+    (used by tests). *)
+val reset : unit -> unit

@@ -1,3 +1,20 @@
+let m_tasks =
+  Simq_obs.Metrics.counter ~help:"Chunks executed by the domain pool"
+    "simq_pool_tasks_total"
+
+let m_busy =
+  Simq_obs.Metrics.histogram ~help:"Per-chunk busy time in seconds"
+    "simq_pool_busy_seconds"
+
+let m_imbalance =
+  Simq_obs.Metrics.gauge
+    ~help:"Last job's max/mean per-domain busy time (1 = perfectly balanced)"
+    "simq_pool_imbalance_ratio"
+
+(* Per-domain busy-time slots for one job, indexed like the metrics
+   shards; each participating domain only writes its own slot. *)
+let busy_slots = 64
+
 (* A job is one parallel operation: [total] chunks, claimed one at a
    time through the atomic [next] counter by every domain working on it
    (the submitter always participates, workers join when idle). [run]
@@ -89,15 +106,52 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
+(* Wrap a chunk body with task/busy-time accounting; [busy] is the
+   per-domain slot array of one job (absent on the inline path). *)
+let instrument_run run busy i =
+  let t0 = Simq_obs.Clock.now_ns () in
+  run i;
+  let dt = Simq_obs.Clock.elapsed_s t0 in
+  Simq_obs.Metrics.incr m_tasks;
+  Simq_obs.Metrics.observe m_busy dt;
+  match busy with
+  | None -> ()
+  | Some slots ->
+    let s = (Domain.self () :> int) land (busy_slots - 1) in
+    slots.(s) <- slots.(s) +. dt
+
+(* Publish max/mean per-domain busy time for the job just finished. *)
+let publish_imbalance slots =
+  let active = List.filter (fun v -> v > 0.) (Array.to_list slots) in
+  match active with
+  | [] -> ()
+  | _ ->
+    let mx = List.fold_left Float.max 0. active in
+    let mean =
+      List.fold_left ( +. ) 0. active /. float_of_int (List.length active)
+    in
+    if mean > 0. then Simq_obs.Metrics.set_gauge m_imbalance (mx /. mean)
+
 (* Run [total] chunks, caller participating; returns when every chunk
    has completed. [run] must not raise. *)
 let run_chunks t ~total run =
   if total > 0 then
-    if t.size <= 1 || t.stopped || total = 1 then
+    if t.size <= 1 || t.stopped || total = 1 then begin
+      let run =
+        if Simq_obs.Metrics.on () then instrument_run run None else run
+      in
       for i = 0 to total - 1 do
         run i
       done
+    end
     else begin
+      let busy =
+        if Simq_obs.Metrics.on () then Some (Array.make busy_slots 0.)
+        else None
+      in
+      let run =
+        match busy with None -> run | Some _ -> instrument_run run busy
+      in
       let job =
         {
           next = Atomic.make 0;
@@ -120,7 +174,8 @@ let run_chunks t ~total run =
       Mutex.unlock job.fin_mutex;
       Mutex.lock t.lock;
       t.jobs <- List.filter (fun j -> j != job) t.jobs;
-      Mutex.unlock t.lock
+      Mutex.unlock t.lock;
+      match busy with Some slots -> publish_imbalance slots | None -> ()
     end
 
 (* --- the default pool ---------------------------------------------------- *)

@@ -1,7 +1,19 @@
+module Clock = Simq_obs.Clock
+module Metrics = Simq_obs.Metrics
+
+(* Every elapsed interval the harness measures is also observed into
+   this histogram, so the [--metrics] exposition and the printed/CSV
+   tables are two views of the same clock readings. *)
+let m_seconds =
+  Metrics.histogram ~help:"Every interval measured by Report.Timer, in seconds"
+    "simq_timer_seconds"
+
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = Clock.now_ns () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  let elapsed = Clock.elapsed_s start in
+  Metrics.observe m_seconds elapsed;
+  (result, elapsed)
 
 let time_median ~runs f =
   if runs <= 0 then invalid_arg "Timer.time_median: runs must be positive";

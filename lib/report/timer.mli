@@ -1,4 +1,8 @@
-(** Wall-clock timing for the experiment harness. *)
+(** Timing for the experiment harness, on the observability layer's
+    monotonic clock ({!Simq_obs.Clock}). Every measured interval is
+    also observed into the [simq_timer_seconds] histogram of
+    {!Simq_obs.Metrics}, so tables, CSV side channels and the
+    [--metrics] exposition all report the same readings. *)
 
 (** [time f] runs [f ()] once, returning its result and elapsed
     seconds. *)

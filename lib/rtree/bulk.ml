@@ -55,6 +55,12 @@ let load_entries ?(max_fill = 32) ?min_fill ~dims keyed =
       |> List.map (fun group ->
              Node.make ~level:0 (Array.to_list (Array.map snd group)))
     in
+    if Simq_obs.Metrics.on () then
+      List.iter
+        (fun leaf ->
+          Simq_obs.Metrics.observe Rstar.m_leaf_fanout
+            (float_of_int (List.length leaf.Node.entries)))
+        leaves;
     let rec build level nodes =
       match nodes with
       | [ only ] -> only

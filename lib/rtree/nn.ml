@@ -4,7 +4,7 @@ type 'a item =
   | Node_item of 'a Node.node
   | Data_item of Rect.t * 'a
 
-let nearest_custom t ~rect_bound ~point_dist ~k =
+let nearest_custom ?visit t ~rect_bound ~point_dist ~k =
   if k <= 0 then invalid_arg "Nn.nearest_custom: k must be positive";
   if Rstar.size t = 0 then []
   else begin
@@ -22,6 +22,7 @@ let nearest_custom t ~rect_bound ~point_dist ~k =
           incr found;
           drain ()
         | Some (_, Node_item node) ->
+          (match visit with None -> () | Some f -> f ());
           Rstar.count_access t;
           List.iter
             (fun entry ->

@@ -22,8 +22,13 @@ val nearest :
     [point_dist] receives each data entry's rectangle (degenerate for
     point data) and [rect_bound] must lower-bound it over all entries in
     the rectangle. Used by the polar k-index, where the effective
-    distance is computed on decoded complex features. *)
+    distance is computed on decoded complex features.
+
+    [visit] is called once per internal/leaf node expansion, before the
+    node's entries are pushed — the hook the budgeted entry points use
+    to charge node accesses (it may raise to abort the traversal). *)
 val nearest_custom :
+  ?visit:(unit -> unit) ->
   'a Rstar.t ->
   rect_bound:(Simq_geometry.Rect.t -> float) ->
   point_dist:(Simq_geometry.Rect.t -> 'a -> float) ->

@@ -1,5 +1,20 @@
 open Simq_geometry
 
+let m_node_visits =
+  Simq_obs.Metrics.counter ~help:"R*-tree nodes visited (queries and updates)"
+    "simq_rtree_node_visits_total"
+
+let m_splits =
+  Simq_obs.Metrics.counter ~help:"Node splits" "simq_rtree_splits_total"
+
+let m_reinserts =
+  Simq_obs.Metrics.counter ~help:"Entries force-reinserted by OverflowTreatment"
+    "simq_rtree_reinserts_total"
+
+let m_leaf_fanout =
+  Simq_obs.Metrics.histogram ~help:"Leaf entry counts after splits and bulk loads"
+    "simq_rtree_leaf_fanout"
+
 type variant = Rstar_variant | Guttman_variant
 
 type 'a t = {
@@ -49,7 +64,9 @@ let set_root t node ~size =
 
 let min_fill t = t.min_fill
 let max_fill t = t.max_fill
-let count_access t = t.node_accesses <- t.node_accesses + 1
+let count_access t =
+  t.node_accesses <- t.node_accesses + 1;
+  Simq_obs.Metrics.incr m_node_visits
 let set_injector t injector = t.injector <- injector
 
 (* --- insertion --------------------------------------------------------- *)
@@ -255,9 +272,19 @@ let rstar_split t node =
     Node.make ~level:node.Node.level !group2
 
 let split t node =
-  match t.variant with
-  | Rstar_variant -> rstar_split t node
-  | Guttman_variant -> quadratic_split t node
+  let sibling =
+    match t.variant with
+    | Rstar_variant -> rstar_split t node
+    | Guttman_variant -> quadratic_split t node
+  in
+  Simq_obs.Metrics.incr m_splits;
+  if Simq_obs.Metrics.on () && node.Node.level = 0 then begin
+    Simq_obs.Metrics.observe m_leaf_fanout
+      (float_of_int (List.length node.Node.entries));
+    Simq_obs.Metrics.observe m_leaf_fanout
+      (float_of_int (List.length sibling.Node.entries))
+  end;
+  sibling
 
 (* OverflowTreatment: forced reinsertion of the entries farthest from the
    node centre — once per level per top-level insertion — else split.
@@ -289,6 +316,7 @@ let overflow t node ~reinserted ~pending ~is_root =
       | x :: rest -> take_drop (n - 1) (x :: acc) rest
     in
     let far, keep = take_drop p [] sorted in
+    Simq_obs.Metrics.add m_reinserts (List.length far);
     node.Node.entries <- List.map snd keep;
     Node.recompute_mbr node;
     List.iter (fun (_, e) -> Queue.add (e, node.Node.level) pending) far;
@@ -477,7 +505,9 @@ let fold_region_counted ?budget t ~overlaps ~matches ~init ~f =
     (acc, !accesses)
   end
 
-let add_accesses t n = t.node_accesses <- t.node_accesses + n
+let add_accesses t n =
+  t.node_accesses <- t.node_accesses + n;
+  Simq_obs.Metrics.add m_node_visits n
 
 let fold_region t ~overlaps ~matches ~init ~f =
   let acc, accesses = fold_region_counted t ~overlaps ~matches ~init ~f in

@@ -136,3 +136,7 @@ val set_root : 'a t -> 'a Node.node -> size:int -> unit
 val min_fill : 'a t -> int
 val max_fill : 'a t -> int
 val count_access : 'a t -> unit
+
+(** The shared leaf-fanout histogram ([simq_rtree_leaf_fanout]);
+    {!Bulk} observes its leaves into it at load time. *)
+val m_leaf_fanout : Simq_obs.Metrics.histogram

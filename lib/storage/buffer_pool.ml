@@ -2,6 +2,21 @@
    stamp, eviction removes the minimum. Pool capacities in the
    experiments are small, so the linear eviction scan is irrelevant. *)
 
+let m_hits =
+  Simq_obs.Metrics.counter ~help:"Buffer-pool touches served from residence"
+    "simq_buffer_pool_hits_total"
+
+let m_misses =
+  Simq_obs.Metrics.counter ~help:"Buffer-pool touches that read the page"
+    "simq_buffer_pool_misses_total"
+
+let m_evictions =
+  Simq_obs.Metrics.counter ~help:"LRU evictions" "simq_buffer_pool_evictions_total"
+
+let m_faults =
+  Simq_obs.Metrics.counter ~help:"Injected faults surfaced at page touches"
+    "simq_buffer_pool_faults_total"
+
 type t = {
   capacity : int;
   stats : Io_stats.t;
@@ -35,13 +50,19 @@ let evict_lru t =
       t.resident None
   in
   match victim with
-  | Some (page, _) -> Hashtbl.remove t.resident page
+  | Some (page, _) ->
+    Hashtbl.remove t.resident page;
+    Simq_obs.Metrics.incr m_evictions
   | None -> ()
 
 let touch t page =
   (match t.injector with
   | None -> ()
-  | Some injector -> Simq_fault.Injector.check injector Page_read);
+  | Some injector -> (
+      try Simq_fault.Injector.check injector Page_read
+      with Simq_fault.Injector.Transient_fault _ as e ->
+        Simq_obs.Metrics.incr m_faults;
+        raise e));
   (match t.budget with
   | None -> ()
   | Some budget ->
@@ -51,10 +72,12 @@ let touch t page =
   if Hashtbl.mem t.resident page then begin
     Hashtbl.replace t.resident page t.clock;
     Io_stats.record_cache_hit t.stats;
+    Simq_obs.Metrics.incr m_hits;
     `Hit
   end
   else begin
     Io_stats.record_page_read t.stats;
+    Simq_obs.Metrics.incr m_misses;
     if Hashtbl.length t.resident >= t.capacity then evict_lru t;
     Hashtbl.replace t.resident page t.clock;
     `Miss

@@ -3,6 +3,15 @@ module Distance = Simq_series.Distance
 module Pool = Simq_parallel.Pool
 module Budget = Simq_fault.Budget
 module Retry = Simq_fault.Retry
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
+
+let m_comparisons =
+  Metrics.counter ~help:"Pairwise distance comparisons by join scans"
+    "simq_join_comparisons_total"
+
+let m_pairs =
+  Metrics.counter ~help:"Joined pairs within epsilon" "simq_join_pairs_total"
 
 type result = {
   pairs : (int * int) list;
@@ -78,6 +87,7 @@ let scan ?pool ?bstate ~abandon kindex spec epsilon =
         !pairs
   in
   let chunk = max 1 (count / (16 * Pool.domains pool)) in
+  Otrace.with_span "join.scan" @@ fun () ->
   let partials =
     Pool.map_chunks ~pool ~chunk ~n:count (fun ~lo ~hi ->
         let pairs = ref [] in
@@ -94,8 +104,12 @@ let scan ?pool ?bstate ~abandon kindex spec epsilon =
           | Some b -> Budget.charge_comparisons b c);
           comparisons := !comparisons + c
         done;
-        (List.rev !pairs, !comparisons))
+        let pairs = List.rev !pairs in
+        Metrics.add m_comparisons !comparisons;
+        Metrics.add m_pairs (List.length pairs);
+        (pairs, !comparisons))
   in
+  Otrace.with_span "join.merge" @@ fun () ->
   {
     pairs = List.concat_map fst partials;
     distance_computations = List.fold_left (fun acc (_, c) -> acc + c) 0 partials;
@@ -135,6 +149,7 @@ let index_join kindex spec epsilon =
     | _ -> transformed_spectra kindex spec
   in
   let prepared = Kindex.prepare kindex spec in
+  Otrace.with_span "join.index" @@ fun () ->
   let pairs = ref [] in
   let computations = ref 0 in
   let node_accesses = ref 0 in
@@ -154,6 +169,8 @@ let index_join kindex spec epsilon =
             pairs := (i, candidate.Dataset.id) :: !pairs)
         r.Kindex.answers)
     (Dataset.entries dataset);
+  Metrics.add m_comparisons !computations;
+  Metrics.add m_pairs (List.length !pairs);
   { pairs = List.rev !pairs; distance_computations = !computations;
     node_accesses = !node_accesses }
 

@@ -11,6 +11,16 @@ module Rstar = Simq_rtree.Rstar
 module Nn = Simq_rtree.Nn
 module Budget = Simq_fault.Budget
 module Retry = Simq_fault.Retry
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
+
+let m_candidates =
+  Metrics.counter ~help:"Index candidates returned by k-index traversals"
+    "simq_kindex_candidates_total"
+
+let m_survivors =
+  Metrics.counter ~help:"Index candidates that survived the postfilter"
+    "simq_kindex_survivors_total"
 
 type t = {
   dataset : Dataset.t;
@@ -152,11 +162,16 @@ let range_prepared_counted ?mean_range ?std_range ?bstate t prepared
       in
       (overlaps, matches)
   in
+  Otrace.with_span "kindex.range" @@ fun () ->
   let candidate_ids, node_accesses =
-    Rstar.fold_region_counted ?budget:bstate t.tree ~overlaps ~matches
-      ~init:[] ~f:(fun acc _ id -> id :: acc)
+    Otrace.with_span "kindex.descent" (fun () ->
+        Rstar.fold_region_counted ?budget:bstate t.tree ~overlaps ~matches
+          ~init:[] ~f:(fun acc _ id -> id :: acc))
   in
+  let candidates = List.length candidate_ids in
+  Metrics.add m_candidates candidates;
   let answers =
+    Otrace.with_span "kindex.postfilter" @@ fun () ->
     List.filter_map
       (fun id ->
         (* Each exact-distance evaluation of a candidate is one
@@ -172,7 +187,8 @@ let range_prepared_counted ?mean_range ?std_range ?bstate t prepared
       candidate_ids
     |> List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
   in
-  { answers; candidates = List.length candidate_ids; node_accesses }
+  Metrics.add m_survivors (List.length answers);
+  { answers; candidates; node_accesses }
 
 let range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
     ~distance =
@@ -390,8 +406,49 @@ let nearest ?(spec = Spec.Identity) ?(normalise_query = true) t ~query ~k =
     | Some tr -> Linear_transform.apply_rect tr r
   in
   let dist = prepared_distance t prepared q in
+  Otrace.with_span "kindex.nearest" @@ fun () ->
   Nn.nearest_custom t.tree
     ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
     ~point_dist:(fun _ id -> dist (Dataset.get t.dataset id))
     ~k
   |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d))
+
+let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
+    ?(budget = Budget.unlimited) ?retry ?on_retry t ~query ~k =
+  check_query_length t spec query;
+  if k <= 0 then invalid_arg "Kindex.nearest_checked: k must be positive";
+  let q = Dataset.prepare_query ~normalise:normalise_query query in
+  let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
+  let prepared = prepare t spec in
+  let map_rect r =
+    match prepared.ptransform with
+    | None -> r
+    | Some tr -> Linear_transform.apply_rect tr r
+  in
+  let dist = prepared_distance t prepared q in
+  Retry.with_retries ?policy:retry ?on_retry (fun () ->
+      (* Fresh budget state per attempt, like {!range_checked}. Node
+         accesses are charged at every node expansion of the best-first
+         traversal, exact distances as comparisons — the same accounting
+         the range path uses. *)
+      let bstate = Budget.state_opt budget in
+      let visit =
+        Option.map
+          (fun b () ->
+            Budget.check b;
+            Budget.charge_node_access b)
+          bstate
+      in
+      let point_dist _ id =
+        (match bstate with
+        | None -> ()
+        | Some b ->
+          Budget.check b;
+          Budget.charge_comparisons b 1);
+        dist (Dataset.get t.dataset id)
+      in
+      Otrace.with_span "kindex.nearest" @@ fun () ->
+      Nn.nearest_custom ?visit t.tree
+        ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
+        ~point_dist ~k
+      |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d)))

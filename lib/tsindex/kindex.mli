@@ -120,6 +120,24 @@ val nearest :
   ?spec:Spec.t -> ?normalise_query:bool -> t ->
   query:Simq_series.Series.t -> k:int -> (Dataset.entry * float) list
 
+(** [nearest_checked t ?spec ?budget ?retry ~query ~k] is {!nearest}
+    under a {!Simq_fault.Budget} and bounded {!Simq_fault.Retry}: every
+    node expansion of the best-first traversal is checked and charged
+    as a node access, every exact-distance evaluation as one
+    comparison. Returns the exact {!nearest} result or a typed error;
+    each attempt gets a fresh budget state. Argument validation still
+    raises [Invalid_argument]. *)
+val nearest_checked :
+  ?spec:Spec.t ->
+  ?normalise_query:bool ->
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?on_retry:(attempt:int -> unit) ->
+  t ->
+  query:Simq_series.Series.t ->
+  k:int ->
+  ((Dataset.entry * float) list, Simq_fault.Error.t) Result.t
+
 (** [range_generic t ?spec ~query_coeffs ~epsilon ~distance] is the
     engine behind {!range} and the join methods: [query_coeffs] are the
     [k] complex features of the (already transformed) query side,

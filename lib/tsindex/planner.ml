@@ -1,4 +1,30 @@
 module Distance = Simq_series.Distance
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
+
+let m_path_index =
+  Metrics.counter ~help:"Queries planned onto the k-index"
+    "simq_planner_path_index_total"
+
+let m_path_scan =
+  Metrics.counter ~help:"Queries planned onto the sequential scan"
+    "simq_planner_path_scan_total"
+
+let m_degraded =
+  Metrics.counter ~help:"Index attempts degraded to the sequential scan"
+    "simq_planner_degraded_total"
+
+let m_failures =
+  Metrics.counter ~help:"Planned queries that returned a typed error"
+    "simq_planner_failures_total"
+
+let m_estimated_selectivity =
+  Metrics.gauge ~help:"Histogram-estimated selectivity of the last planned query"
+    "simq_planner_estimated_selectivity"
+
+let m_actual_selectivity =
+  Metrics.gauge ~help:"Actual selectivity of the last planned query"
+    "simq_planner_actual_selectivity"
 
 type stats = {
   bucket_width : float;
@@ -66,17 +92,34 @@ type result = {
   estimated_answers : float;
 }
 
+(* Publish one planned query's decision and its estimate-vs-actual
+   selectivity (gauges: the last query wins, counters accumulate). *)
+let record_plan plan = Metrics.incr (match plan with
+  | Use_index -> m_path_index
+  | Use_scan -> m_path_scan)
+
+let record_selectivity ~cardinality ~estimated ~actual =
+  if Metrics.on () && cardinality > 0 then begin
+    let card = float_of_int cardinality in
+    Metrics.set_gauge m_estimated_selectivity (estimated /. card);
+    Metrics.set_gauge m_actual_selectivity (float_of_int actual /. card)
+  end
+
 let range ?(spec = Spec.Identity) kindex stats ~query ~epsilon =
   let dataset = Kindex.dataset kindex in
+  let cardinality = Dataset.cardinality dataset in
   let plan, estimated_answers =
-    choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon
+    Otrace.with_span "plan" (fun () -> choose stats ~cardinality ~epsilon)
   in
+  record_plan plan;
   let answers =
     match plan with
     | Use_index -> (Kindex.range ~spec kindex ~query ~epsilon).Kindex.answers
     | Use_scan ->
       (Seqscan.range_early_abandon ~spec dataset ~query ~epsilon).Seqscan.answers
   in
+  record_selectivity ~cardinality ~estimated:estimated_answers
+    ~actual:(List.length answers);
   { answers; plan; estimated_answers }
 
 let pp_plan ppf = function
@@ -127,6 +170,7 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
   in
   let failed e =
     bump (fun c -> c.failures <- c.failures + 1);
+    Metrics.incr m_failures;
     Error e
   in
   (* The fallback restarts the budget (range_checked derives a fresh
@@ -134,6 +178,7 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
      degraded query must be allowed to finish its scan. *)
   let fallback index_error =
     bump (fun c -> c.degraded <- c.degraded + 1);
+    Metrics.incr m_degraded;
     match scan () with
     | Ok (r : Seqscan.result) ->
       Ok
@@ -148,9 +193,11 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
   let plan =
     match stats with
     | Some stats ->
-      fst (choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon)
+      Otrace.with_span "plan" (fun () ->
+          fst (choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon))
     | None -> Use_index
   in
+  record_plan plan;
   match plan with
   | Use_scan -> (
     match scan () with

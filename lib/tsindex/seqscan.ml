@@ -5,6 +5,20 @@ module Relation = Simq_storage.Relation
 module Pool = Simq_parallel.Pool
 module Budget = Simq_fault.Budget
 module Retry = Simq_fault.Retry
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
+
+let m_candidates =
+  Metrics.counter ~help:"Entries compared by sequential scans"
+    "simq_scan_candidates_total"
+
+let m_survivors =
+  Metrics.counter ~help:"Scan comparisons that produced an answer"
+    "simq_scan_survivors_total"
+
+let m_abandoned =
+  Metrics.counter ~help:"Scan comparisons cut short by early abandoning"
+    "simq_scan_early_abandon_total"
 
 type result = {
   answers : (Dataset.entry * float) list;
@@ -102,6 +116,7 @@ let scan_compute ~pool ~abandon ~normalise_query ?bstate dataset spec query
   in
   let chunk = max 1 (count / (8 * Pool.domains pool)) in
   let partials =
+    Otrace.with_span "seqscan.compute" @@ fun () ->
     Pool.map_chunks ~pool ~chunk ~n:count (fun ~lo ~hi ->
         let answers = ref [] in
         let full = ref 0 in
@@ -122,20 +137,28 @@ let scan_compute ~pool ~abandon ~normalise_query ?bstate dataset spec query
           full := !full + completed;
           touched := !touched + examined
         done;
-        (List.rev !answers, !full, !touched))
+        let answers = List.rev !answers in
+        (* Per-chunk metric adds: totals over all chunks cover the whole
+           entry array exactly once, so merged counters are identical at
+           every domain count. *)
+        Metrics.add m_candidates (hi - lo);
+        Metrics.add m_survivors (List.length answers);
+        Metrics.add m_abandoned (hi - lo - !full);
+        (answers, !full, !touched))
   in
-  let full, touched =
-    List.fold_left
-      (fun (full, touched) (_, f, t) -> (full + f, touched + t))
-      (0, 0) partials
-  in
-  {
-    answers =
-      List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
-        (List.concat_map (fun (a, _, _) -> a) partials);
-    full_computations = full;
-    coefficients_touched = touched;
-  }
+  Otrace.with_span "seqscan.merge" (fun () ->
+      let full, touched =
+        List.fold_left
+          (fun (full, touched) (_, f, t) -> (full + f, touched + t))
+          (0, 0) partials
+      in
+      {
+        answers =
+          List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
+            (List.concat_map (fun (a, _, _) -> a) partials);
+        full_computations = full;
+        coefficients_touched = touched;
+      })
 
 let resolve_pool = function Some pool -> pool | None -> Pool.default ()
 
@@ -143,8 +166,9 @@ let scan ?pool ~abandon ~normalise_query dataset spec query epsilon =
   check_query_length dataset spec query;
   if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
   let pool = resolve_pool pool in
-  account_io dataset;
-  scan_compute ~pool ~abandon ~normalise_query dataset spec query epsilon
+  Otrace.with_span "seqscan.range" (fun () ->
+      Otrace.with_span "seqscan.io" (fun () -> account_io dataset);
+      scan_compute ~pool ~abandon ~normalise_query dataset spec query epsilon)
 
 let range_full ?pool ?(spec = Spec.Identity) ?(normalise_query = true) dataset
     ~query ~epsilon =
@@ -172,9 +196,10 @@ let range_checked ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
         ~finally:(fun () ->
           if Option.is_some bstate then Relation.set_budget relation None)
         (fun () ->
-          account_io dataset;
-          scan_compute ~pool ~abandon ~normalise_query ?bstate dataset spec
-            query epsilon))
+          Otrace.with_span "seqscan.range" (fun () ->
+              Otrace.with_span "seqscan.io" (fun () -> account_io dataset);
+              scan_compute ~pool ~abandon ~normalise_query ?bstate dataset
+                spec query epsilon)))
 
 let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
     ?(abandon = true) dataset ~queries =

@@ -4,6 +4,18 @@ module Coords = Simq_geometry.Coords
 module Region = Simq_geometry.Region
 module Rect = Simq_geometry.Rect
 module Rstar = Simq_rtree.Rstar
+module Budget = Simq_fault.Budget
+module Retry = Simq_fault.Retry
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
+
+let m_candidates =
+  Metrics.counter ~help:"Window positions postprocessed by subsequence queries"
+    "simq_subseq_candidates_total"
+
+let m_survivors =
+  Metrics.counter ~help:"Subsequence windows within epsilon"
+    "simq_subseq_survivors_total"
 
 (* A data entry covers [run] consecutive window positions of one series,
    starting at [first]; its rectangle is the MBR of their feature
@@ -97,37 +109,79 @@ let expand_candidate t query ~epsilon payload acc =
   done;
   !result
 
-let range t ~query ~epsilon =
-  check_query t query;
-  if epsilon < 0. then invalid_arg "Subseq.range: negative epsilon";
+(* The engine behind {!range} and {!range_checked}: accesses counted
+   locally and credited afterwards, each candidate window charged as one
+   comparison against an optional budget state. *)
+let range_compute ?bstate t ~query ~epsilon =
+  Otrace.with_span "subseq.range" @@ fun () ->
   let query_features = features ~k:t.k query in
   let region =
     Coords.search_region Coords.Rectangular ~query:query_features ~epsilon
   in
   let candidates = ref 0 in
-  let hits =
-    Rstar.fold_region t.tree
-      ~overlaps:(fun r -> Region.intersects_rect region r)
-      ~matches:(fun r _ -> Region.intersects_rect region r)
-      ~init:[]
-      ~f:(fun acc _ payload ->
-        candidates := !candidates + payload.run;
-        expand_candidate t query ~epsilon payload acc)
-    |> List.sort (fun a b ->
-           compare (a.series_id, a.offset) (b.series_id, b.offset))
+  let hits, accesses =
+    Otrace.with_span "subseq.descent" (fun () ->
+        Rstar.fold_region_counted ?budget:bstate t.tree
+          ~overlaps:(fun r -> Region.intersects_rect region r)
+          ~matches:(fun r _ -> Region.intersects_rect region r)
+          ~init:[]
+          ~f:(fun acc _ payload ->
+            (match bstate with
+            | None -> ()
+            | Some b ->
+              Budget.check b;
+              Budget.charge_comparisons b payload.run);
+            candidates := !candidates + payload.run;
+            expand_candidate t query ~epsilon payload acc))
   in
+  Rstar.add_accesses t.tree accesses;
+  let hits =
+    Otrace.with_span "subseq.postfilter" (fun () ->
+        List.sort
+          (fun a b -> compare (a.series_id, a.offset) (b.series_id, b.offset))
+          hits)
+  in
+  Metrics.add m_candidates !candidates;
+  Metrics.add m_survivors (List.length hits);
   (hits, !candidates)
 
-let nearest t ~query ~k =
+let range t ~query ~epsilon =
   check_query t query;
+  if epsilon < 0. then invalid_arg "Subseq.range: negative epsilon";
+  range_compute t ~query ~epsilon
+
+let range_checked ?(budget = Budget.unlimited) ?retry ?on_retry t ~query
+    ~epsilon =
+  check_query t query;
+  if epsilon < 0. then invalid_arg "Subseq.range_checked: negative epsilon";
+  Retry.with_retries ?policy:retry ?on_retry (fun () ->
+      (* Fresh budget state per attempt, matching the other checked
+         entry points. *)
+      let bstate = Budget.state_opt budget in
+      range_compute ?bstate t ~query ~epsilon)
+
+let nearest_compute ?bstate t ~query ~k =
+  Otrace.with_span "subseq.nearest" @@ fun () ->
   let query_point = encode ~k:t.k query in
+  let visit =
+    Option.map
+      (fun b () ->
+        Budget.check b;
+        Budget.charge_node_access b)
+      bstate
+  in
   (* With trails an entry stands for [run] windows; best-first over
      entries keyed by the minimum distance of their windows, expanded as
      they surface, stays exact because the feature-space MINDIST
      lower-bounds every window the rectangle covers. *)
-  Simq_rtree.Nn.nearest_custom t.tree
+  Simq_rtree.Nn.nearest_custom ?visit t.tree
     ~rect_bound:(fun r -> Rect.mindist query_point r)
     ~point_dist:(fun _ payload ->
+      (match bstate with
+      | None -> ()
+      | Some b ->
+        Budget.check b;
+        Budget.charge_comparisons b payload.run);
       let best = ref Float.infinity in
       for offset = payload.first to payload.first + payload.run - 1 do
         best :=
@@ -153,3 +207,14 @@ let nearest t ~query ~k =
          !all)
   |> List.sort (fun a b -> Float.compare a.distance b.distance)
   |> List.filteri (fun i _ -> i < k)
+
+let nearest t ~query ~k =
+  check_query t query;
+  nearest_compute t ~query ~k
+
+let nearest_checked ?(budget = Budget.unlimited) ?retry ?on_retry t ~query ~k =
+  check_query t query;
+  if k <= 0 then invalid_arg "Subseq.nearest_checked: k must be positive";
+  Retry.with_retries ?policy:retry ?on_retry (fun () ->
+      let bstate = Budget.state_opt budget in
+      nearest_compute ?bstate t ~query ~k)

@@ -56,8 +56,36 @@ val index_entries : t -> int
 val range :
   t -> query:Simq_series.Series.t -> epsilon:float -> hit list * int
 
+(** [range_checked t ?budget ?retry ~query ~epsilon] is {!range} under
+    a {!Simq_fault.Budget} and bounded {!Simq_fault.Retry}: node visits
+    are charged inside the traversal, every candidate window position
+    as one comparison. Returns the exact {!range} result or a typed
+    error; each attempt gets a fresh budget state. Argument validation
+    still raises [Invalid_argument]. *)
+val range_checked :
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?on_retry:(attempt:int -> unit) ->
+  t ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  (hit list * int, Simq_fault.Error.t) Result.t
+
 (** [nearest t ~query ~k] is the [k] closest windows, closest first
     (ties broken arbitrarily). Exact in both layouts: every popped
     trail contributes at least its best window, so the globally
     re-sorted expansion contains a valid k-NN set. *)
 val nearest : t -> query:Simq_series.Series.t -> k:int -> hit list
+
+(** [nearest_checked t ?budget ?retry ~query ~k] is {!nearest} under a
+    budget: node expansions charge node accesses, each candidate
+    entry's window evaluations charge comparisons. Returns the exact
+    {!nearest} result or a typed error. *)
+val nearest_checked :
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?on_retry:(attempt:int -> unit) ->
+  t ->
+  query:Simq_series.Series.t ->
+  k:int ->
+  (hit list, Simq_fault.Error.t) Result.t

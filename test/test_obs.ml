@@ -1,0 +1,363 @@
+(* The observability layer (lib/obs): the sharded metrics registry and
+   the span tracer. The load-bearing promises: merged counter totals
+   are identical at every domain count for deterministic work, spans
+   nest and never dangle, and the Prometheus exposition is stable and
+   parseable. *)
+
+module Metrics = Simq_obs.Metrics
+module Trace = Simq_obs.Trace
+module Pool = Simq_parallel.Pool
+open Simq_tsindex
+module Generator = Simq_series.Generator
+
+(* --- registry unit tests ---------------------------------------------------- *)
+
+let test_counter_basics () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r "test_counter_total" in
+  Metrics.with_enabled false (fun () ->
+      Metrics.incr c;
+      Metrics.add c 7);
+  Alcotest.(check int) "disabled updates are no-ops" 0 (Metrics.counter_total c);
+  Metrics.with_enabled true (fun () ->
+      Metrics.incr c;
+      Metrics.add c 7;
+      Metrics.add c 0);
+  Alcotest.(check int) "incr + add merge" 8 (Metrics.counter_total c);
+  Metrics.reset ~registry:r ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_total c)
+
+let test_registration_idempotent_and_kind_checked () =
+  let r = Metrics.create_registry () in
+  let a = Metrics.counter ~registry:r "test_shared_total" in
+  let b = Metrics.counter ~registry:r "test_shared_total" in
+  Metrics.with_enabled true (fun () ->
+      Metrics.incr a;
+      Metrics.incr b);
+  Alcotest.(check int)
+    "both handles hit the same cells" 2 (Metrics.counter_total a);
+  Alcotest.(check int)
+    "one metric in the snapshot" 1
+    (List.length (Metrics.snapshot ~registry:r ()));
+  (match Metrics.gauge ~registry:r "test_shared_total" with
+  | _ -> Alcotest.fail "kind mismatch must raise"
+  | exception Invalid_argument _ -> ())
+
+let test_gauge_last_write_wins () =
+  let r = Metrics.create_registry () in
+  let g = Metrics.gauge ~registry:r "test_gauge" in
+  Metrics.with_enabled false (fun () -> Metrics.set_gauge g 9.);
+  Alcotest.(check (float 0.)) "disabled set is a no-op" 0. (Metrics.gauge_value g);
+  Metrics.with_enabled true (fun () ->
+      Metrics.set_gauge g 1.5;
+      Metrics.set_gauge g 2.5);
+  Alcotest.(check (float 0.)) "last write wins" 2.5 (Metrics.gauge_value g)
+
+let test_with_enabled_restores () =
+  Metrics.set_enabled false;
+  Metrics.with_enabled true (fun () ->
+      Alcotest.(check bool) "forced on" true (Metrics.on ()));
+  Alcotest.(check bool) "restored off" false (Metrics.on ());
+  (try Metrics.with_enabled true (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check bool) "restored after exception" false (Metrics.on ())
+
+(* Every positive observation lands in a bucket whose upper bound
+   dominates it; non-positive and NaN observations land in bucket 0. *)
+let test_histogram_bucketing () =
+  for i = 1 to 63 do
+    Alcotest.(check bool)
+      (Printf.sprintf "bucket_upper monotone at %d" i)
+      true
+      (Metrics.bucket_upper i > Metrics.bucket_upper (i - 1))
+  done;
+  let bucket_of v =
+    let r = Metrics.create_registry () in
+    let h = Metrics.histogram ~registry:r "test_bucket" in
+    Metrics.with_enabled true (fun () -> Metrics.observe h v);
+    let buckets = Metrics.histogram_buckets h in
+    let index = ref (-1) in
+    Array.iteri (fun i n -> if n = 1 then index := i) buckets;
+    Alcotest.(check int) "exactly one observation" 1
+      (Array.fold_left ( + ) 0 buckets);
+    !index
+  in
+  List.iter
+    (fun v ->
+      let i = bucket_of v in
+      Alcotest.(check bool)
+        (Printf.sprintf "upper bound dominates %g (bucket %d)" v i)
+        true
+        (Metrics.bucket_upper i >= v))
+    [ 1e-12; 0.3; 0.5; 1.0; 2.0; 3.7; 1e6 ];
+  (* the last bucket is a catch-all: values past its bound clamp into
+     it rather than vanish *)
+  Alcotest.(check int) "overflow clamps to the last bucket" 63 (bucket_of 1e12);
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "%g lands in bucket 0" v)
+        0 (bucket_of v))
+    [ 0.; -5.; Float.nan ]
+
+let test_histogram_sum_and_count () =
+  let r = Metrics.create_registry () in
+  let h = Metrics.histogram ~registry:r "test_sum" in
+  Metrics.with_enabled true (fun () ->
+      List.iter (Metrics.observe h) [ 1.0; 0.5; 2.0 ]);
+  Alcotest.(check int) "count" 3 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 3.5 (Metrics.histogram_sum h)
+
+(* --- exposition ------------------------------------------------------------- *)
+
+(* A minimal Prometheus text-format check: every non-comment line is
+   [name value] or [name_bucket{le="..."} value] with a parseable
+   value; cumulative histogram buckets never decrease and the +Inf
+   bucket equals [_count]. *)
+let check_exposition_parseable text =
+  let lines =
+    List.filter (fun l -> l <> "" && l.[0] <> '#')
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "has sample lines" true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "unparseable line: %s" line
+      | Some i -> (
+          let value = String.sub line (i + 1) (String.length line - i - 1) in
+          match float_of_string_opt value with
+          | Some _ -> ()
+          | None -> Alcotest.failf "unparseable value in: %s" line))
+    lines
+
+let test_exposition_stable_and_parseable () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r ~help:"a counter" "test_expo_total" in
+  let g = Metrics.gauge ~registry:r "test_expo_gauge" in
+  let h = Metrics.histogram ~registry:r ~help:"a histogram" "test_expo_hist" in
+  Metrics.with_enabled true (fun () ->
+      Metrics.add c 5;
+      Metrics.set_gauge g 0.25;
+      List.iter (Metrics.observe h) [ 0.001; 0.5; 4.0; 4.0 ]);
+  let text = Metrics.exposition ~registry:r () in
+  check_exposition_parseable text;
+  Alcotest.(check string)
+    "exposition is stable for a fixed registry state" text
+    (Metrics.exposition ~registry:r ());
+  let names = List.map Metrics.sample_name (Metrics.snapshot ~registry:r ()) in
+  Alcotest.(check (list string))
+    "snapshot sorted by name"
+    [ "test_expo_gauge"; "test_expo_hist"; "test_expo_total" ]
+    names;
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter sample" true (contains "test_expo_total 5");
+  Alcotest.(check bool) "gauge sample" true (contains "test_expo_gauge 0.25");
+  Alcotest.(check bool)
+    "+Inf bucket equals count" true
+    (contains "test_expo_hist_bucket{le=\"+Inf\"} 4"
+    && contains "test_expo_hist_count 4");
+  (* cumulative buckets never decrease *)
+  let last = ref 0 in
+  List.iter
+    (fun line ->
+      if String.length line > 22 && String.sub line 0 22 = "test_expo_hist_bucket{"
+      then begin
+        let i = String.rindex line ' ' in
+        let v = int_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+        Alcotest.(check bool) "cumulative non-decreasing" true (v >= !last);
+        last := v
+      end)
+    (String.split_on_char '\n' text)
+
+(* --- cross-domain determinism ------------------------------------------------ *)
+
+(* Per-item observations and per-chunk adds cover the input exactly
+   once whatever the chunking, so merged integer totals must not
+   depend on the domain count. *)
+let test_merge_deterministic_across_domains () =
+  let c = Metrics.counter "test_obs_items_total" in
+  let h = Metrics.histogram "test_obs_values" in
+  let n = 1000 in
+  let values =
+    Array.init n (fun i -> float_of_int ((i * 37 mod 97) + 1) /. 8.)
+  in
+  let totals_at domains =
+    let pool = Pool.create ~domains in
+    Metrics.with_enabled true (fun () ->
+        Metrics.reset ();
+        Pool.chunked_iter ~pool ~chunk:64 ~n (fun ~lo ~hi ->
+            Metrics.add c (hi - lo);
+            for i = lo to hi - 1 do
+              Metrics.observe h values.(i)
+            done));
+    Pool.shutdown pool;
+    (Metrics.counter_total c, Metrics.histogram_count h,
+     Array.to_list (Metrics.histogram_buckets h))
+  in
+  let reference = totals_at 1 in
+  let total, count, _ = reference in
+  Alcotest.(check int) "counter covers every item" n total;
+  Alcotest.(check int) "histogram covers every item" n count;
+  List.iter
+    (fun domains ->
+      let total', count', buckets' = totals_at domains in
+      let _, _, buckets = reference in
+      Alcotest.(check int)
+        (Printf.sprintf "counter total, domains=%d" domains)
+        total total';
+      Alcotest.(check int)
+        (Printf.sprintf "histogram count, domains=%d" domains)
+        count count';
+      Alcotest.(check (list int))
+        (Printf.sprintf "bucket counts, domains=%d" domains)
+        buckets buckets')
+    [ 2; 4 ]
+
+(* The same promise through the real instrumentation: the scan
+   families' totals after a fixed workload are identical at 1/2/4
+   domains, and the answers stay bit-identical to the metrics-off
+   run. *)
+let test_instrumented_scan_totals_deterministic () =
+  let batch = Generator.random_walks ~seed:1995 ~count:80 ~n:48 in
+  let dataset = Dataset.of_series ~pool:Pool.sequential ~name:"obs" batch in
+  let query = batch.(0) in
+  let epsilon = 2.0 in
+  let reference =
+    Metrics.with_enabled false (fun () ->
+        Seqscan.range_early_abandon ~pool:Pool.sequential dataset ~query
+          ~epsilon)
+  in
+  let families =
+    [ "simq_scan_candidates_total"; "simq_scan_survivors_total";
+      "simq_scan_early_abandon_total" ]
+  in
+  let run domains =
+    let pool = Pool.create ~domains in
+    let result =
+      Metrics.with_enabled true (fun () ->
+          Metrics.reset ();
+          Seqscan.range_early_abandon ~pool dataset ~query ~epsilon)
+    in
+    let totals =
+      List.map (fun f -> Metrics.counter_total (Metrics.counter f)) families
+    in
+    Pool.shutdown pool;
+    (result, totals)
+  in
+  let _, ref_totals = run 1 in
+  Alcotest.(check int)
+    "candidates cover the relation" (Array.length (Dataset.entries dataset))
+    (List.hd ref_totals);
+  List.iter
+    (fun domains ->
+      let result, totals = run domains in
+      Alcotest.(check (list int))
+        (Printf.sprintf "family totals, domains=%d" domains)
+        ref_totals totals;
+      Alcotest.(check (list (pair int (float 0.))))
+        (Printf.sprintf "answers unchanged, domains=%d" domains)
+        (List.map
+           (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d))
+           reference.Seqscan.answers)
+        (List.map
+           (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d))
+           result.Seqscan.answers))
+    [ 1; 2; 4 ]
+
+(* --- span tracing ------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_spans_nest_and_never_dangle () =
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_enabled false)
+    (fun () ->
+      Trace.reset ();
+      Trace.with_span "outer" (fun () ->
+          Alcotest.(check int) "one open span" 1 (Trace.open_spans ());
+          Trace.with_span "inner" (fun () ->
+              Alcotest.(check int) "two open spans" 2 (Trace.open_spans ())));
+      Alcotest.(check int) "no dangling spans" 0 (Trace.open_spans ());
+      Alcotest.(check int) "two finished events" 2 (Trace.event_count ());
+      let path = Filename.temp_file "simq_obs" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Trace.export_file path;
+          let text = read_file path in
+          Alcotest.(check bool)
+            "outer is a root span" true
+            (contains text "\"name\":\"outer\""
+            && contains text "\"args\":{\"id\":1,\"parent\":0}");
+          Alcotest.(check bool)
+            "inner nests under outer" true
+            (contains text "\"name\":\"inner\""
+            && contains text "\"args\":{\"id\":2,\"parent\":1}")))
+
+let test_span_closed_on_exception () =
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_enabled false)
+    (fun () ->
+      Trace.reset ();
+      (try Trace.with_span "raises" (fun () -> raise Exit) with Exit -> ());
+      Alcotest.(check int) "no dangling span after raise" 0 (Trace.open_spans ());
+      Alcotest.(check int) "the span still recorded" 1 (Trace.event_count ()))
+
+let test_trace_disabled_is_free () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  Trace.with_span "ignored" (fun () -> ());
+  Alcotest.(check int) "nothing recorded while off" 0 (Trace.event_count ());
+  Alcotest.(check int) "nothing open while off" 0 (Trace.open_spans ())
+
+let () =
+  Alcotest.run "simq_obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "idempotent registration, kind checked" `Quick
+            test_registration_idempotent_and_kind_checked;
+          Alcotest.test_case "gauge last write wins" `Quick
+            test_gauge_last_write_wins;
+          Alcotest.test_case "with_enabled restores" `Quick
+            test_with_enabled_restores;
+          Alcotest.test_case "histogram bucketing" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "histogram sum and count" `Quick
+            test_histogram_sum_and_count;
+          Alcotest.test_case "exposition stable and parseable" `Quick
+            test_exposition_stable_and_parseable;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "merged totals vs domain count" `Quick
+            test_merge_deterministic_across_domains;
+          Alcotest.test_case "instrumented scan totals vs domain count" `Quick
+            test_instrumented_scan_totals_deterministic;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "spans nest and never dangle" `Quick
+            test_spans_nest_and_never_dangle;
+          Alcotest.test_case "span closed on exception" `Quick
+            test_span_closed_on_exception;
+          Alcotest.test_case "disabled tracing is free" `Quick
+            test_trace_disabled_is_free;
+        ] );
+    ]

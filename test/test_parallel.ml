@@ -418,6 +418,47 @@ let test_scan_io_accounting_matches () =
         expected (reads, hits))
     pools
 
+(* Lemma 1 with the observability layer switched on: instrumentation
+   must not perturb the answers or the query counters at any domain
+   count, and the merged metric totals of the scan family must
+   themselves be invariant in the domain count. *)
+let test_scan_with_metrics_enabled () =
+  let module Metrics = Simq_obs.Metrics in
+  let d = dataset_of ~seed:17 ~count:80 ~n:32 in
+  let spec = Spec.Moving_average 5 in
+  let query = query_for d spec 17 in
+  let epsilon = 1.5 in
+  let reference =
+    Metrics.with_enabled false (fun () ->
+        Seqscan.range_early_abandon ~pool:Pool.sequential ~spec d ~query
+          ~epsilon)
+  in
+  let families =
+    [ "simq_scan_candidates_total"; "simq_scan_survivors_total";
+      "simq_scan_early_abandon_total" ]
+  in
+  let ref_totals = ref None in
+  List.iter
+    (fun (domains, pool) ->
+      let result =
+        Metrics.with_enabled true (fun () ->
+            Metrics.reset ();
+            Seqscan.range_early_abandon ~pool ~spec d ~query ~epsilon)
+      in
+      check_result_equal
+        (Printf.sprintf "metrics on, domains=%d" domains)
+        reference result;
+      let totals =
+        List.map (fun f -> Metrics.counter_total (Metrics.counter f)) families
+      in
+      match !ref_totals with
+      | None -> ref_totals := Some totals
+      | Some expected ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "merged totals, domains=%d" domains)
+          expected totals)
+    pools
+
 let () =
   Alcotest.run "simq_parallel"
     [
@@ -455,5 +496,7 @@ let () =
               test_parallel_build_eq_sequential;
             Alcotest.test_case "scan I/O accounting" `Quick
               test_scan_io_accounting_matches;
+            Alcotest.test_case "Lemma 1 with metrics enabled" `Quick
+              test_scan_with_metrics_enabled;
           ] );
     ]

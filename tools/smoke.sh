@@ -1,0 +1,39 @@
+#!/bin/sh
+# Smoke test: build everything, run the full test suite, and drive the
+# fast benchmark sweep with the observability subsystem switched on.
+# Any nonzero exit fails the script immediately.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== bench --fast with metrics and tracing on"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+(
+  cd "$workdir"
+  dune exec --root "$OLDPWD" "$OLDPWD/bench/main.exe" -- --fast \
+    --metrics="$workdir/metrics.prom" --trace "$workdir/trace.json"
+)
+
+# The exposition must contain every instrumented family; the trace must
+# be non-empty valid JSON (well-formedness is checked structurally by
+# the test suite, so a cheap shape check suffices here).
+for family in simq_buffer_pool simq_rtree simq_planner simq_pool \
+  simq_fault simq_scan simq_kindex simq_join simq_timer; do
+  grep -q "^# TYPE $family" "$workdir/metrics.prom" || {
+    echo "smoke: family $family missing from the exposition" >&2
+    exit 1
+  }
+done
+grep -q '"traceEvents"' "$workdir/trace.json" || {
+  echo "smoke: trace.json has no traceEvents" >&2
+  exit 1
+}
+
+echo "smoke: OK"
