@@ -99,27 +99,32 @@ let run_micro () =
   print_newline ()
 
 (* [--jobs N] caps the default pool (overrides SIMQ_DOMAINS); returns
-   the remaining arguments. *)
+   the remaining arguments. Validation matches bin/simq's cmdliner
+   converter: anything but an integer >= 1 is a usage error before any
+   pool is created. *)
+let jobs_usage () =
+  prerr_endline "option '--jobs': expected an integer >= 1";
+  exit 2
+
 let rec strip_jobs = function
   | [] -> []
   | "--jobs" :: value :: rest -> (
-    match int_of_string_opt value with
+    match int_of_string_opt (String.trim value) with
     | Some domains when domains >= 1 ->
       Simq_parallel.Pool.set_default_domains domains;
       strip_jobs rest
-    | _ ->
-      prerr_endline "--jobs expects an integer >= 1";
-      exit 2)
-  | "--jobs" :: [] ->
-    prerr_endline "--jobs expects an integer >= 1";
-    exit 2
+    | _ -> jobs_usage ())
+  | "--jobs" :: [] -> jobs_usage ()
   | arg :: rest -> arg :: strip_jobs rest
 
-(* [--metrics[=FILE]] and [--trace FILE] enable the observability
-   subsystem for the whole run; the exposition / Chrome trace is
-   written once all experiments finish. "-" means stdout. *)
+(* [--metrics[=FILE]], [--trace FILE] and [--metrics-port PORT] enable
+   the observability subsystem for the whole run; the exposition /
+   Chrome trace is written once all experiments finish ("-" means
+   stdout), and the port (or SIMQ_METRICS_PORT) serves the live
+   exposition while the run is in flight. *)
 let metrics_dest = ref None
 let trace_dest = ref None
+let metrics_port = ref None
 
 let rec strip_obs = function
   | [] -> []
@@ -131,6 +136,17 @@ let rec strip_obs = function
     strip_obs rest
   | "--trace" :: [] ->
     prerr_endline "--trace expects a file name";
+    exit 2
+  | "--metrics-port" :: value :: rest -> (
+    match int_of_string_opt (String.trim value) with
+    | Some port when port >= 0 && port <= 65535 ->
+      metrics_port := Some port;
+      strip_obs rest
+    | _ ->
+      prerr_endline "option '--metrics-port': expected a port number";
+      exit 2)
+  | "--metrics-port" :: [] ->
+    prerr_endline "option '--metrics-port': expected a port number";
     exit 2
   | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
     metrics_dest := Some (String.sub arg 10 (String.length arg - 10));
@@ -156,17 +172,30 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl |> strip_jobs |> strip_obs in
   if !metrics_dest <> None then Simq_obs.Metrics.set_enabled true;
   if !trace_dest <> None then Simq_obs.Trace.set_enabled true;
-  let fast = List.mem "--fast" args in
-  let names = List.filter (fun a -> a <> "--fast") args in
-  let names = if names = [] then [ "all"; "micro" ] else names in
-  List.iter
-    (fun name ->
-      if String.equal name "micro" then run_micro ()
-      else
-        match Simq_experiments.Experiments.run ~fast name with
-        | Ok () -> ()
-        | Error msg ->
-          prerr_endline msg;
-          exit 1)
-    names;
-  dump_obs ()
+  let server =
+    match Simq_cli.resolve_metrics_port !metrics_port with
+    | None -> None
+    | Some port ->
+      Simq_obs.Metrics.set_enabled true;
+      let server = Simq_obs.Serve.start ~port () in
+      Printf.eprintf "bench: serving metrics on http://127.0.0.1:%d/metrics\n%!"
+        (Simq_obs.Serve.port server);
+      Some server
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Simq_obs.Serve.stop server)
+    (fun () ->
+      let fast = List.mem "--fast" args in
+      let names = List.filter (fun a -> a <> "--fast") args in
+      let names = if names = [] then [ "all"; "micro" ] else names in
+      List.iter
+        (fun name ->
+          if String.equal name "micro" then run_micro ()
+          else
+            match Simq_experiments.Experiments.run ~fast name with
+            | Ok () -> ()
+            | Error msg ->
+              prerr_endline msg;
+              exit 1)
+        names;
+      dump_obs ())

@@ -12,25 +12,18 @@
 open Cmdliner
 module Relation = Simq_storage.Relation
 module Budget = Simq_fault.Budget
-module Metrics = Simq_obs.Metrics
 module Otrace = Simq_obs.Trace
 open Simq_tsindex
 
+(* User-facing failures (Simq_cli.error): one line on stderr, a
+   distinct exit code — 1 usage / bad arguments, 2 unreadable or
+   corrupt files, 3 malformed CSV, 4 budget or fault errors from a
+   checked query, 5 refused by admission control. Never a backtrace.
+   The mapping and the obs-dump-on-every-exit guarantee live in
+   Simq_cli so they are unit testable. *)
+open Simq_cli
+
 let ( let* ) r f = Result.bind r f
-
-(* --- user-facing failures -------------------------------------------------
-
-   Every failure reaches the user as one line on stderr and a distinct
-   exit code (documented in the man page): 1 usage / bad arguments,
-   2 unreadable or corrupt files, 3 malformed CSV, 4 budget or fault
-   errors from a checked query. Never a backtrace. *)
-
-type cli_error =
-  | Usage of string
-  | File of string
-  | Csv_error of string
-  | Fault of Simq_fault.Error.t
-
 let usage msg = Error (Usage msg)
 
 let load_relation file =
@@ -48,19 +41,17 @@ let load_relation file =
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some Simq_cli.positive_int) None
     & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:
            "Number of domains for parallel execution (overrides the \
             $(b,SIMQ_DOMAINS) environment variable; $(b,1) runs fully \
-            sequentially).")
+            sequentially). Must be an integer >= 1; anything else is a \
+            usage error.")
 
 let apply_jobs = function
-  | None -> Ok ()
-  | Some domains when domains >= 1 ->
-    Simq_parallel.Pool.set_default_domains domains;
-    Ok ()
-  | Some _ -> usage "--jobs expects an integer >= 1"
+  | None -> ()
+  | Some domains -> Simq_parallel.Pool.set_default_domains domains
 
 (* --- observability -------------------------------------------------------- *)
 
@@ -85,44 +76,23 @@ let trace_arg =
            to $(docv) when the command finishes (inspect with any trace \
            viewer: chrome://tracing, Perfetto, ...).")
 
-let dump_observability ~metrics ~trace =
-  let* () =
-    match metrics with
-    | None -> Ok ()
-    | Some "-" ->
-      print_string (Metrics.exposition ());
-      Ok ()
-    | Some file -> (
-      match
-        let oc = open_out file in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc (Metrics.exposition ()))
-      with
-      | () -> Ok ()
-      | exception Sys_error msg -> Error (File msg))
-  in
-  match trace with
-  | None -> Ok ()
-  | Some file -> (
-    match Otrace.export_file file with
-    | () -> Ok ()
-    | exception Sys_error msg -> Error (File msg))
-
-(* Enable the requested subsystems, run the command, and dump on the
-   way out — even when the command itself failed, the collected
-   metrics/trace describe the failing run and are still written. *)
-let with_obs ~metrics ~trace f =
-  if Option.is_some metrics then Metrics.set_enabled true;
-  if Option.is_some trace then Otrace.set_enabled true;
-  let result = f () in
-  let dumped = dump_observability ~metrics ~trace in
-  match result with Error _ -> result | Ok () -> dumped
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve the live Prometheus exposition over HTTP on \
+           127.0.0.1:$(docv) for the duration of the command ($(b,0) picks \
+           an ephemeral port, printed on stderr); scrape it with \
+           $(b,simq scrape) or any Prometheus client. Implies metric \
+           collection. The $(b,SIMQ_METRICS_PORT) environment variable \
+           sets a default.")
 
 (* --- generate ------------------------------------------------------------ *)
 
 let generate kind count length seed out jobs =
-  let* () = apply_jobs jobs in
+  apply_jobs jobs;
   let batch =
     match kind with
     | `Walk -> Simq_series.Generator.random_walks ~seed ~count ~n:length
@@ -194,19 +164,25 @@ let resolve_query_series dataset spec ~name ~noise =
     assert (Spec.output_length spec ~n = n);
     Ok series
 
-let run_parsed_query index dataset noise ~budget q =
+let run_parsed_query index dataset noise ~budget ~admission q =
   match q with
   | Ql.Range { spec; query; epsilon; mean_window = _; std_band = _; _ }
-    when Option.is_some budget ->
-    (* Budgeted ranges go through the resilient planner: the index path
-       runs under the budget and degrades to the scan when it fails. *)
-    let budget = Option.get budget in
+    when Option.is_some budget || admission ->
+    (* Budgeted ranges go through the resilient planner: admission
+       control (when enabled) vets the query before execution, then the
+       index path runs under the budget and degrades to the scan when
+       it fails. *)
+    let budget = Option.value budget ~default:Budget.unlimited in
     let* series = resolve_query_series dataset spec ~name:query ~noise in
     let counters = Planner.create_counters () in
+    (* Admission needs the selectivity histogram; collect is sampled
+       from a fixed seed, so the estimate is deterministic. *)
+    let stats = if admission then Some (Planner.collect dataset) else None in
+    let policy = if admission then Some Simq_admission.default else None in
     let outcome, elapsed =
       Simq_report.Timer.time (fun () ->
-          Planner.range_resilient ~spec ~budget ~counters index ~query:series
-            ~epsilon)
+          Planner.range_resilient ~spec ~budget ~counters ?stats
+            ?admission:policy index ~query:series ~epsilon)
     in
     let* (result : Planner.resilient_result) =
       Result.map_error (fun e -> Fault e) outcome
@@ -214,10 +190,10 @@ let run_parsed_query index dataset noise ~budget q =
     Printf.printf "%d answers (path %s%s, %s)\n"
       (List.length result.Planner.answers)
       (Format.asprintf "%a" Planner.pp_plan result.Planner.executed)
-      (if result.Planner.degraded then
-         Format.asprintf ", degraded: %a" Simq_fault.Error.pp
-           (Option.get result.Planner.index_error)
-       else "")
+      (match (result.Planner.degraded, result.Planner.index_error) with
+      | false, _ -> ""
+      | true, Some e -> Format.asprintf ", degraded: %a" Simq_fault.Error.pp e
+      | true, None -> ", degraded before execution: admission control")
       (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
     List.iter
       (fun ((e : Dataset.entry), d) ->
@@ -297,13 +273,19 @@ let budget_of ~deadline ~max_page_reads ~max_comparisons ~max_node_accesses =
     | budget -> Ok (Some budget)
     | exception Invalid_argument msg -> usage msg)
 
-let query_impl file text noise jobs metrics trace deadline max_page_reads
-    max_comparisons max_node_accesses =
-  let* () = apply_jobs jobs in
-  let* budget =
-    budget_of ~deadline ~max_page_reads ~max_comparisons ~max_node_accesses
-  in
-  with_obs ~metrics ~trace (fun () ->
+let query_impl file text noise jobs metrics trace metrics_port admission
+    deadline max_page_reads max_comparisons max_node_accesses =
+  apply_jobs jobs;
+  (* Every failure below this point — usage errors, bad budgets,
+     budget exhaustion, admission rejections — still dumps the
+     requested metrics/trace files on the way out. *)
+  Simq_cli.with_obs
+    ?metrics_port:(Simq_cli.resolve_metrics_port metrics_port)
+    ~metrics ~trace (fun () ->
+      let* budget =
+        budget_of ~deadline ~max_page_reads ~max_comparisons
+          ~max_node_accesses
+      in
       let* relation = load_relation file in
       Otrace.with_span "query" @@ fun () ->
       let dataset =
@@ -312,7 +294,7 @@ let query_impl file text noise jobs metrics trace deadline max_page_reads
       let index = Otrace.with_span "build" (fun () -> Kindex.build dataset) in
       let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
       Otrace.with_span "execute" (fun () ->
-          run_parsed_query index dataset noise ~budget q))
+          run_parsed_query index dataset noise ~budget ~admission q))
 
 let ql_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
@@ -343,6 +325,15 @@ let max_node_accesses_arg =
        & info [ "max-node-accesses" ] ~docv:"N"
            ~doc:"Per-query budget of R-tree node accesses; a RANGE query \
                  that exhausts it degrades to a sequential scan.")
+
+let admission_arg =
+  Arg.(value & flag
+       & info [ "admission" ]
+           ~doc:"Vet budgeted RANGE queries with cost-based admission \
+                 control before execution: collect planner statistics, \
+                 predict each path's cost from them and the live metrics \
+                 registry, and degrade or reject (exit code 5) queries \
+                 predicted to exceed the budget — before any page is read.")
 
 (* --- import / export ------------------------------------------------------------ *)
 
@@ -377,11 +368,33 @@ let export_impl file out =
 
 (* --- experiments -------------------------------------------------------------- *)
 
-let experiments_impl name fast jobs metrics trace =
-  let* () = apply_jobs jobs in
-  with_obs ~metrics ~trace (fun () ->
+let experiments_impl name fast jobs metrics trace metrics_port =
+  apply_jobs jobs;
+  Simq_cli.with_obs
+    ?metrics_port:(Simq_cli.resolve_metrics_port metrics_port)
+    ~metrics ~trace (fun () ->
       Result.map_error (fun msg -> Usage msg)
         (Simq_experiments.Experiments.run ~fast name))
+
+(* --- scrape ---------------------------------------------------------------- *)
+
+let scrape_impl host port =
+  match Simq_cli.resolve_metrics_port port with
+  | None ->
+    usage "scrape: no port given (use --port or set SIMQ_METRICS_PORT)"
+  | Some port -> (
+    match Simq_obs.Serve.scrape ~host ~port () with
+    | body ->
+      print_string body;
+      Ok ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (File
+           (Printf.sprintf "scrape http://%s:%d/metrics: %s" host port
+              (Unix.error_message err)))
+    | exception Failure msg ->
+      Error
+        (File (Printf.sprintf "scrape http://%s:%d/metrics: %s" host port msg)))
 
 let experiment_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
@@ -392,18 +405,7 @@ let fast_arg =
 
 (* --- command wiring ------------------------------------------------------------- *)
 
-let handle = function
-  | Ok () -> 0
-  | Error err ->
-    let code, msg =
-      match err with
-      | Usage msg -> (1, msg)
-      | File msg -> (2, msg)
-      | Csv_error msg -> (3, msg)
-      | Fault e -> (4, Simq_fault.Error.to_string e)
-    in
-    Printf.eprintf "simq: error: %s\n%!" msg;
-    code
+let handle = Simq_cli.handle
 
 let generate_cmd =
   let doc = "generate a relation of synthetic series" in
@@ -423,14 +425,14 @@ let query_cmd =
   let doc = "run a similarity query against a stored relation" in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const (fun file text noise jobs metrics trace deadline pages comparisons
-                 nodes ->
+      const (fun file text noise jobs metrics trace metrics_port admission
+                 deadline pages comparisons nodes ->
           handle
-            (query_impl file text noise jobs metrics trace deadline pages
-               comparisons nodes))
+            (query_impl file text noise jobs metrics trace metrics_port
+               admission deadline pages comparisons nodes))
       $ file_arg $ ql_arg $ noise_arg $ jobs_arg $ metrics_arg $ trace_arg
-      $ deadline_arg $ max_page_reads_arg $ max_comparisons_arg
-      $ max_node_accesses_arg)
+      $ metrics_port_arg $ admission_arg $ deadline_arg $ max_page_reads_arg
+      $ max_comparisons_arg $ max_node_accesses_arg)
 
 let import_cmd =
   let doc = "import a CSV file (one series per row: name,v1,v2,...)" in
@@ -455,9 +457,22 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const (fun name fast jobs metrics trace ->
-          handle (experiments_impl name fast jobs metrics trace))
-      $ experiment_arg $ fast_arg $ jobs_arg $ metrics_arg $ trace_arg)
+      const (fun name fast jobs metrics trace metrics_port ->
+          handle (experiments_impl name fast jobs metrics trace metrics_port))
+      $ experiment_arg $ fast_arg $ jobs_arg $ metrics_arg $ trace_arg
+      $ metrics_port_arg)
+
+let scrape_cmd =
+  let doc = "fetch the exposition from a running --metrics-port server" in
+  Cmd.v (Cmd.info "scrape" ~doc)
+    Term.(
+      const (fun host port -> handle (scrape_impl host port))
+      $ Arg.(value & opt string "127.0.0.1"
+             & info [ "host" ] ~docv:"HOST" ~doc:"Host to scrape.")
+      $ Arg.(value & opt (some int) None
+             & info [ "port" ] ~docv:"PORT"
+                 ~doc:"Port of the running $(b,--metrics-port) server; \
+                       defaults to $(b,SIMQ_METRICS_PORT)."))
 
 let () =
   let doc = "similarity-based queries on time-series data" in
@@ -466,7 +481,7 @@ let () =
       (Cmd.info "simq" ~doc ~version:"1.0.0")
       [
         generate_cmd; info_cmd; query_cmd; import_cmd; export_cmd;
-        experiments_cmd;
+        experiments_cmd; scrape_cmd;
       ]
   in
   exit (Cmd.eval' cmd)

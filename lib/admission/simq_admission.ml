@@ -1,0 +1,217 @@
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
+module Budget = Simq_fault.Budget
+module Error = Simq_fault.Error
+
+type workload = {
+  cardinality : int;
+  pages : int;
+  tree_size : int;
+  tree_height : int;
+  selectivity : float;
+}
+
+type path = Index_path | Scan_path
+
+type estimate = {
+  scan_page_reads : int;
+  scan_comparisons : int;
+  index_node_accesses : int;
+  index_comparisons : int;
+  est_query_seconds : float option;
+}
+
+type reject = {
+  resource : Error.resource;
+  estimated : int;
+  limit : int;
+}
+
+type decision = Admit | Degrade_to_scan | Reject of reject
+
+type t = {
+  headroom : float;
+  calibrate : bool;
+  g_estimated : Metrics.gauge;
+  g_actual : Metrics.gauge;
+  h_timer : Metrics.histogram;
+  m_admit : Metrics.counter;
+  m_degrade : Metrics.counter;
+  m_reject : Metrics.counter;
+}
+
+let create ?registry ?(headroom = 1.) ?(calibrate = true) () =
+  if not (headroom > 0.) then
+    invalid_arg "Simq_admission.create: headroom must be > 0";
+  let decision d =
+    Metrics.counter ?registry
+      ~help:"Admission decisions, by outcome"
+      ~labels:[ ("decision", d) ]
+      "simq_admission_decisions_total"
+  in
+  {
+    headroom;
+    calibrate;
+    (* Retrieve-or-register: the planner and timer own these when they
+       are linked in; an isolated registry simply reads zeroes. *)
+    g_estimated = Metrics.gauge ?registry "simq_planner_estimated_selectivity";
+    g_actual = Metrics.gauge ?registry "simq_planner_actual_selectivity";
+    h_timer = Metrics.histogram ?registry "simq_timer_seconds";
+    m_admit = decision "admit";
+    m_degrade = decision "degrade_to_scan";
+    m_reject = decision "reject";
+  }
+
+let default = create ()
+
+(* The planner's bias observed so far: actual / estimated selectivity
+   of the last planned query, clamped to [1/4, 4] so one outlier does
+   not swing every later decision. 1 when either gauge is unset. *)
+let calibration t =
+  if not t.calibrate then 1.
+  else begin
+    let est = Metrics.gauge_value t.g_estimated in
+    let act = Metrics.gauge_value t.g_actual in
+    if est > 0. && act > 0. then Float.min 4. (Float.max 0.25 (act /. est))
+    else 1.
+  end
+
+(* A conservative per-query wall-clock prediction: the p95 bucket
+   upper bound of [simq_timer_seconds], once at least 8 timed queries
+   have been observed. Integer bucket counts and fixed bucket bounds,
+   so the prediction is deterministic for a given registry snapshot. *)
+let predicted_seconds t =
+  let buckets = Metrics.histogram_buckets t.h_timer in
+  let count = Array.fold_left ( + ) 0 buckets in
+  if count < 8 then None
+  else begin
+    let target = count - (count / 20) in
+    let rec go i cumulative =
+      if i >= Array.length buckets then
+        Metrics.bucket_upper (Array.length buckets - 1)
+      else begin
+        let cumulative = cumulative + buckets.(i) in
+        if cumulative >= target then Metrics.bucket_upper i
+        else go (i + 1) cumulative
+      end
+    in
+    Some (go 0 0)
+  end
+
+let ceil_pos v = if v <= 0. then 0 else int_of_float (Float.ceil v)
+
+let estimate t w =
+  let sel =
+    Float.min 1. (Float.max 0. w.selectivity *. calibration t)
+  in
+  {
+    (* The scan compares every series exactly once, and the budget
+       counts page reads as logical buffer-pool touches (hits and
+       misses alike, one per entry) — so both scan costs equal the
+       cardinality: catalogue facts, not estimates. *)
+    scan_page_reads = w.cardinality;
+    scan_comparisons = w.cardinality;
+    (* Index heuristics: a root-to-leaf descent plus a visited-node
+       share and a candidate set proportional to the calibrated
+       selectivity (feature-space candidates exceed true answers, hence
+       the factor 2 margin). *)
+    index_node_accesses =
+      w.tree_height + ceil_pos (sel *. float_of_int w.tree_size /. 4.);
+    index_comparisons = ceil_pos (2. *. sel *. float_of_int w.cardinality);
+    est_query_seconds = predicted_seconds t;
+  }
+
+let ms_of_seconds s = ceil_pos (s *. 1000.)
+
+(* The first budget limit a path's estimate crosses, in a fixed
+   resource order, so the rejection reason is deterministic. *)
+let violation t estimated limit_opt resource =
+  match limit_opt with
+  | Some limit when float_of_int estimated > t.headroom *. float_of_int limit
+    ->
+    Some { resource; estimated; limit }
+  | _ -> None
+
+let first_violation candidates =
+  List.fold_left
+    (fun acc c -> match acc with Some _ -> acc | None -> c)
+    None candidates
+
+let decide_pure t w ~prefer ~budget =
+  if Budget.is_unlimited budget then Admit
+  else begin
+    let e = estimate t w in
+    let deadline_reject =
+      match (Budget.deadline budget, e.est_query_seconds) with
+      | Some deadline, Some predicted
+        when predicted > t.headroom *. deadline ->
+        Some
+          {
+            resource = Error.Wall_clock;
+            estimated = ms_of_seconds predicted;
+            limit = ms_of_seconds deadline;
+          }
+      | _ -> None
+    in
+    let scan_reject =
+      first_violation
+        [
+          violation t e.scan_page_reads
+            (Budget.limit budget Error.Page_reads)
+            Error.Page_reads;
+          violation t e.scan_comparisons
+            (Budget.limit budget Error.Comparisons)
+            Error.Comparisons;
+        ]
+    in
+    let index_reject =
+      first_violation
+        [
+          violation t e.index_node_accesses
+            (Budget.limit budget Error.Node_accesses)
+            Error.Node_accesses;
+          violation t e.index_comparisons
+            (Budget.limit budget Error.Comparisons)
+            Error.Comparisons;
+        ]
+    in
+    match deadline_reject with
+    | Some r -> Reject r
+    | None -> (
+      match prefer with
+      | Scan_path -> (
+        match scan_reject with None -> Admit | Some r -> Reject r)
+      | Index_path -> (
+        match index_reject with
+        | None -> Admit
+        | Some _ -> (
+          match scan_reject with
+          | None -> Degrade_to_scan
+          | Some r -> Reject r)))
+  end
+
+let decide t w ~prefer ~budget =
+  Otrace.with_span "admit" @@ fun () ->
+  let decision = decide_pure t w ~prefer ~budget in
+  Metrics.incr
+    (match decision with
+    | Admit -> t.m_admit
+    | Degrade_to_scan -> t.m_degrade
+    | Reject _ -> t.m_reject);
+  decision
+
+let error_of_reject { resource; estimated; limit } =
+  Error.Rejected { resource; estimated; limit }
+
+let decision_name = function
+  | Admit -> "admit"
+  | Degrade_to_scan -> "degrade_to_scan"
+  | Reject _ -> "reject"
+
+let pp_decision ppf = function
+  | Admit -> Format.pp_print_string ppf "admit"
+  | Degrade_to_scan -> Format.pp_print_string ppf "degrade_to_scan"
+  | Reject { resource; estimated; limit } ->
+    Format.fprintf ppf "reject (estimated %d %s > limit %d)" estimated
+      (Error.resource_name resource)
+      limit

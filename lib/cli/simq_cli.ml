@@ -1,0 +1,120 @@
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
+module Serve = Simq_obs.Serve
+module Error = Simq_fault.Error
+
+type error =
+  | Usage of string
+  | File of string
+  | Csv_error of string
+  | Fault of Error.t
+
+let exit_code = function
+  | Usage _ -> 1
+  | File _ -> 2
+  | Csv_error _ -> 3
+  | Fault (Error.Rejected _) -> 5
+  | Fault _ -> 4
+
+let message = function
+  | Usage msg | File msg | Csv_error msg -> msg
+  | Fault e -> Error.to_string e
+
+let handle = function
+  | Ok () -> 0
+  | Error err ->
+    Printf.eprintf "simq: error: %s\n%!" (message err);
+    exit_code err
+
+let positive_int =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg "expected an integer >= 1")
+  in
+  Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+(* Mirrors Pool.env_domains: a garbage value warns once and falls back
+   to the feature being off, rather than failing the command. *)
+let env_port_warned = ref None
+
+let resolve_metrics_port explicit =
+  match explicit with
+  | Some _ -> explicit
+  | None -> (
+    match Sys.getenv_opt "SIMQ_METRICS_PORT" with
+    | None -> None
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some port when port >= 0 && port <= 65535 -> Some port
+      | _ ->
+        if !env_port_warned <> Some s then begin
+          env_port_warned := Some s;
+          Printf.eprintf
+            "simq: warning: ignoring invalid SIMQ_METRICS_PORT=%S (expected \
+             a port number); not serving metrics\n\
+             %!"
+            s
+        end;
+        None))
+
+let ( let* ) = Result.bind
+
+let dump_observability ~metrics ~trace =
+  let* () =
+    match metrics with
+    | None -> Ok ()
+    | Some "-" ->
+      print_string (Metrics.exposition ());
+      Ok ()
+    | Some file -> (
+      match
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Metrics.exposition ()))
+      with
+      | () -> Ok ()
+      | exception Sys_error msg -> Error (File msg))
+  in
+  match trace with
+  | None -> Ok ()
+  | Some file -> (
+    match Otrace.export_file file with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error (File msg))
+
+let with_obs ?metrics_port ~metrics ~trace f =
+  if Option.is_some metrics then Metrics.set_enabled true;
+  if Option.is_some trace then Otrace.set_enabled true;
+  let server =
+    match metrics_port with
+    | None -> Ok None
+    | Some port -> (
+      (* A live scrape endpoint is only useful if metrics record. *)
+      Metrics.set_enabled true;
+      match Serve.start ~port () with
+      | server ->
+        Printf.eprintf "simq: serving metrics on http://127.0.0.1:%d/metrics\n%!"
+          (Serve.port server);
+        Ok (Some server)
+      | exception Unix.Unix_error (err, _, _) ->
+        Error
+          (Usage
+             (Printf.sprintf "cannot serve metrics on port %d: %s" port
+                (Unix.error_message err))))
+  in
+  let* server = server in
+  Fun.protect ~finally:(fun () -> Option.iter Serve.stop server) @@ fun () ->
+  let result =
+    match f () with
+    | result -> result
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      (* The run blew up; the collected metrics/trace describe the
+         failing run and must still be written before re-raising. *)
+      ignore (dump_observability ~metrics ~trace : (unit, error) result);
+      Printexc.raise_with_backtrace exn bt
+  in
+  let dumped = dump_observability ~metrics ~trace in
+  match result with Error _ -> result | Ok () -> dumped

@@ -1,0 +1,58 @@
+(** The command-line harness shared by [bin/simq]: error-to-exit-code
+    mapping, exception-safe observability dumps, and the live metrics
+    endpoint lifecycle. Kept in a library so the failure paths are unit
+    testable — every non-zero exit of the binary must still write the
+    requested [--metrics]/[--trace] files, and that guarantee lives
+    here. *)
+
+(** User-facing failures: one line on stderr, a distinct exit code,
+    never a backtrace. *)
+type error =
+  | Usage of string  (** bad arguments or malformed query text *)
+  | File of string  (** unreadable, corrupt or unwritable files *)
+  | Csv_error of string  (** malformed CSV on import/export *)
+  | Fault of Simq_fault.Error.t
+      (** typed budget/fault errors from a checked query *)
+
+(** [1] usage, [2] file, [3] CSV, [4] budget or fault, [5] refused by
+    admission control ([Simq_fault.Error.Rejected]). *)
+val exit_code : error -> int
+
+val message : error -> string
+
+(** [handle r] is [0] for [Ok ()]; otherwise prints
+    [simq: error: <message>] to stderr and returns {!exit_code}. *)
+val handle : (unit, error) result -> int
+
+(** A [Cmdliner] converter for strictly positive integers: [--jobs 0]
+    or a negative count is a parse-time usage error, before any code
+    (in particular [Simq_parallel.Pool.create]) runs. *)
+val positive_int : int Cmdliner.Arg.conv
+
+(** [resolve_metrics_port explicit] is [explicit] when given, otherwise
+    the [SIMQ_METRICS_PORT] environment variable. An unparsable
+    environment value warns once on stderr and counts as unset,
+    mirroring the [SIMQ_DOMAINS] handling in [Simq_parallel.Pool]. *)
+val resolve_metrics_port : int option -> int option
+
+(** [dump_observability ~metrics ~trace] writes the metric exposition
+    ([Some file], with ["-"] meaning stdout) and the Chrome trace JSON.
+    Unwritable destinations are reported as [File] errors. *)
+val dump_observability :
+  metrics:string option -> trace:string option -> (unit, error) result
+
+(** [with_obs ?metrics_port ~metrics ~trace f] enables the requested
+    observability subsystems, runs [f], and dumps on the way out —
+    {e on every path}: after [Ok], after [Error] (the dump describes
+    the failing run), and before re-raising when [f] raises. When
+    [metrics_port] is given, metric collection is forced on and the
+    exposition is served on [127.0.0.1:port] ({!Simq_obs.Serve}) for
+    the duration of [f]; port [0] picks an ephemeral port, printed on
+    stderr. A port that cannot be bound is a [Usage] error and [f] is
+    not run. *)
+val with_obs :
+  ?metrics_port:int ->
+  metrics:string option ->
+  trace:string option ->
+  (unit -> (unit, error) result) ->
+  (unit, error) result

@@ -1555,6 +1555,256 @@ let ablation_obs ~fast =
       deterministic;
   ]
 
+(* --- admission control ------------------------------------------------------------ *)
+
+(* The admission layer end to end: sweep queries across the selectivity
+   range under over- and under-provisioned budgets, compare every
+   admission decision against the ground truth of an admission-off run
+   of the same (query, budget), and check the three promises the design
+   makes — rejection precision on truly over-budget runs, identical
+   decisions at every domain count, and not a single page touch, node
+   access or comparison on a rejected query. The per-case log and the
+   precision/recall summary are written to BENCH_admission.json. *)
+let ablation_admission ~fast =
+  let module Pool = Simq_parallel.Pool in
+  let module Metrics = Simq_obs.Metrics in
+  let module Budget = Simq_fault.Budget in
+  let count = if fast then 200 else 600 in
+  let n = if fast then 64 else 128 in
+  let batch = Stocklike.batch ~seed:(Bench_util.derived_seed 71) ~count ~n in
+  let dataset = Dataset.of_series ~pool:Pool.sequential ~name:"stocks" batch in
+  let index = Kindex.build dataset in
+  let stats = Planner.collect ~seed:(Bench_util.derived_seed 72) dataset in
+  let pages = Simq_storage.Relation.pages (Dataset.relation dataset) in
+  let query =
+    Queries.perturb
+      (Random.State.make [| Bench_util.derived_seed 73 |])
+      batch.(0) ~amount:0.5
+  in
+  let targets = [ 1; 5; count / 2; count ] in
+  (* Budgets with wide margins on both sides of the true cost: the
+     roomy ones cover several times the catalogue cost of either path,
+     the starved ones a fraction of it — the regime where a cost-based
+     admission decision can be held to a precision target. *)
+  let budgets =
+    [
+      ( "roomy",
+        Budget.create ~max_page_reads:(4 * count) ~max_comparisons:(4 * count)
+          ~max_node_accesses:(8 * count) () );
+      ( "comparison-starved",
+        Budget.create ~max_comparisons:(max 1 (count / 8)) () );
+      ( "io-starved",
+        Budget.create ~max_page_reads:(max 1 (pages / 8))
+          ~max_node_accesses:0 () );
+      ("deadline-roomy", Budget.create ~deadline_s:60. ());
+    ]
+  in
+  let cases =
+    List.concat_map
+      (fun target ->
+        let epsilon = calibrated_epsilon dataset query ~target in
+        List.map
+          (fun (bname, budget) -> (target, epsilon, bname, budget))
+          budgets)
+      targets
+  in
+  let ids answers =
+    List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) answers
+  in
+  (* Ground truth: the same (query, budget) without admission control.
+     An [Error] outcome means no access path fits the budget even with
+     degradation — exactly the runs a perfect admission layer rejects. *)
+  let ground_truth =
+    List.map
+      (fun (_, epsilon, _, budget) ->
+        match
+          Planner.range_resilient ~pool:Pool.sequential ~stats ~budget index
+            ~query ~epsilon
+        with
+        | Ok r -> `Fits (ids r.Planner.answers)
+        | Error _ -> `Over_budget)
+      cases
+  in
+  (* Admission-on runs at 1, 2 and 4 domains, each with a fresh policy
+     against an isolated registry: the calibration gauges and the timer
+     histogram read as unset, so every domain count decides from the
+     same registry snapshot. *)
+  let outcomes_at domains =
+    let pool = Pool.create ~domains in
+    let policy =
+      Simq_admission.create ~registry:(Metrics.create_registry ()) ()
+    in
+    let outcomes =
+      List.map
+        (fun (_, epsilon, _, budget) ->
+          match
+            Planner.range_resilient ~pool ~stats ~budget ~admission:policy
+              index ~query ~epsilon
+          with
+          | Ok r ->
+            ( (match r.Planner.admission with
+              | Some d -> Simq_admission.decision_name d
+              | None -> "none"),
+              `Fits (ids r.Planner.answers) )
+          | Error (Simq_fault.Error.Rejected _) -> ("reject", `Over_budget)
+          | Error _ -> ("admit", `Over_budget))
+        cases
+    in
+    Pool.shutdown pool;
+    outcomes
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  let runs = List.map (fun d -> (d, outcomes_at d)) domain_counts in
+  let reference = List.assoc 1 runs in
+  let decisions_deterministic =
+    List.for_all (fun (_, outcomes) -> outcomes = reference) runs
+  in
+  (* Rejection precision/recall against the ground truth. *)
+  let paired = List.combine (List.combine cases ground_truth) reference in
+  let count_where p = List.length (List.filter p paired) in
+  let tp =
+    count_where (fun ((_, gt), (dec, _)) -> dec = "reject" && gt = `Over_budget)
+  in
+  let fp =
+    count_where (fun ((_, gt), (dec, _)) -> dec = "reject" && gt <> `Over_budget)
+  in
+  let fn =
+    count_where (fun ((_, gt), (dec, _)) -> dec <> "reject" && gt = `Over_budget)
+  in
+  let ratio num denom =
+    if denom = 0 then 1. else float_of_int num /. float_of_int denom
+  in
+  let precision = ratio tp (tp + fp) in
+  let recall = ratio tp (tp + fn) in
+  (* Runs that completed on both sides must agree bit for bit: an
+     admission layer may refuse work but never change an answer. *)
+  let answers_match =
+    List.for_all
+      (fun ((_, gt), (_, outcome)) ->
+        match (gt, outcome) with
+        | `Fits a, `Fits b -> a = b
+        | `Over_budget, _ | _, `Over_budget -> true)
+      paired
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Admission: decision vs ground truth (%d stock-like series, \
+            n=%d, %d pages)"
+           count n pages)
+      ~columns:[ "target"; "budget"; "ground truth"; "decision"; "agrees" ]
+  in
+  List.iter
+    (fun (((target, _, bname, _), gt), (dec, _)) ->
+      let gt_name =
+        match gt with `Fits _ -> "fits" | `Over_budget -> "over budget"
+      in
+      let agrees = (dec = "reject") = (gt = `Over_budget) in
+      Table.add_row table
+        [
+          string_of_int target; bname; gt_name; dec;
+          (if agrees then "yes" else "NO");
+        ])
+    paired;
+  Table.print table;
+  (* A rejected query must leave every execution-side counter family at
+     zero: the decision ran before any page was touched. *)
+  let exec_families =
+    [
+      "simq_buffer_pool_hits_total"; "simq_buffer_pool_misses_total";
+      "simq_scan_candidates_total"; "simq_kindex_candidates_total";
+      "simq_rtree_node_accesses_total";
+    ]
+  in
+  let rejection_untouched, rejection_totals =
+    match
+      List.find_opt (fun ((_, _), (dec, _)) -> dec = "reject") paired
+    with
+    | None -> (false, [])
+    | Some (((_, epsilon, _, budget), _), _) ->
+      Metrics.with_enabled true (fun () ->
+          Metrics.reset ();
+          let policy =
+            Simq_admission.create ~registry:(Metrics.create_registry ()) ()
+          in
+          let result =
+            Planner.range_resilient ~pool:Pool.sequential ~stats ~budget
+              ~admission:policy index ~query ~epsilon
+          in
+          let rejected =
+            match result with
+            | Error (Simq_fault.Error.Rejected _) -> true
+            | _ -> false
+          in
+          let totals =
+            List.map
+              (fun f -> Metrics.counter_total (Metrics.counter f))
+              exec_families
+          in
+          (rejected && List.for_all (fun t -> t = 0) totals, totals))
+  in
+  (* BENCH_admission.json: the per-case log and the summary numbers. *)
+  let oc = open_out "BENCH_admission.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"admission\",\n  \"fast\": %b,\n  \"seed\": %d,\n\
+    \  \"series\": { \"count\": %d, \"n\": %d },\n  \"pages\": %d,\n\
+    \  \"cases\": [\n"
+    fast Bench_util.bench_seed count n pages;
+  List.iteri
+    (fun i (((target, epsilon, bname, _), gt), (dec, _)) ->
+      Printf.fprintf oc
+        "    { \"target\": %d, \"epsilon\": %.6f, \"budget\": %S, \
+         \"ground_truth\": %S, \"decision\": %S }%s\n"
+        target epsilon bname
+        (match gt with `Fits _ -> "fits" | `Over_budget -> "over_budget")
+        dec
+        (if i = List.length paired - 1 then "" else ","))
+    paired;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"rejections\": { \"true_positive\": %d, \"false_positive\": %d, \
+     \"false_negative\": %d },\n\
+    \  \"precision\": %.3f,\n  \"recall\": %.3f,\n\
+    \  \"decisions_identical_at_domains\": %b,\n\
+    \  \"rejection_reads_nothing\": %b\n}\n"
+    tp fp fn precision recall decisions_deterministic rejection_untouched;
+  close_out oc;
+  print_endline "wrote BENCH_admission.json";
+  [
+    Expectation.check ~experiment:"Admission"
+      ~expectation:
+        "rejections are precise: at least 9 of 10 rejected queries are \
+         genuinely over budget (admission-off runs of the same query and \
+         budget fail)"
+      ~measured:
+        (Printf.sprintf "precision %.2f, recall %.2f (tp=%d fp=%d fn=%d)"
+           precision recall tp fp fn)
+      (precision >= 0.9 && tp > 0);
+    Expectation.check ~experiment:"Admission"
+      ~expectation:
+        "decisions are a pure function of the workload, budget and \
+         registry snapshot: identical at 1/2/4 domains"
+      ~measured:
+        (if decisions_deterministic then "identical at every domain count"
+         else "MISMATCH against the single-domain run")
+      decisions_deterministic;
+    Expectation.check ~experiment:"Admission"
+      ~expectation:
+        "a rejected query executes nothing: page-touch, scan, k-index and \
+         R-tree counter families all stay at zero"
+      ~measured:
+        (Printf.sprintf "execution-family totals on a rejected run: [%s]"
+           (String.concat "; " (List.map string_of_int rejection_totals)))
+      rejection_untouched;
+    Expectation.check ~experiment:"Admission"
+      ~expectation:
+        "admission control never changes an answer: runs completing on \
+         both sides return bit-identical answer sets"
+      ~measured:(if answers_match then "identical" else "MISMATCH")
+      answers_match;
+  ]
+
 (* --- dispatcher ------------------------------------------------------------------ *)
 
 let suite =
@@ -1574,6 +1824,7 @@ let suite =
     ("ablation_trails", ablation_trails);
     ("ablation_fault", ablation_fault);
     ("ablation_obs", ablation_obs);
+    ("ablation_admission", ablation_admission);
     ("planner", planner);
     ("par", par);
   ]

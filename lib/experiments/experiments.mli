@@ -63,6 +63,13 @@ val ablation_fault : fast:bool -> claim list
     determinism of merged counter totals at 1/2/4 domains. *)
 val ablation_obs : fast:bool -> claim list
 
+(** Ablation: the admission layer — rejection precision and recall
+    against ground-truth over-budget runs, identical decisions at
+    1/2/4 domains, zero execution-side counter movement on a rejected
+    query, and answer sets bit-identical to admission-off runs;
+    writes [BENCH_admission.json] in the working directory. *)
+val ablation_admission : fast:bool -> claim list
+
 (** Planner instrumentation: estimated vs actual answer counts across a
     selectivity sweep, the chosen access path per query, and the
     registry's planner counter family cross-checked against the per-run
@@ -84,6 +91,6 @@ val all : fast:bool -> unit
     ("fig8" … "table1", "edit_dp", "eq10", "vptree",
     "ablation_k", "ablation_repr", "ablation_rtree",
     "ablation_trails", "ablation_fault", "ablation_obs",
-    "planner", "par", "all").
+    "ablation_admission", "planner", "par", "all").
     Unknown names return [Error] with the available names. *)
 val run : fast:bool -> string -> (unit, string) result

@@ -26,6 +26,16 @@ let create ?(deadline_s = infinity) ?(max_page_reads = max_int)
     invalid_arg "Budget.create: limits must be >= 0";
   { deadline_s; max_page_reads; max_comparisons; max_node_accesses }
 
+let limit b resource =
+  let cap n = if n = max_int then None else Some n in
+  match (resource : Error.resource) with
+  | Error.Wall_clock -> None
+  | Error.Page_reads -> cap b.max_page_reads
+  | Error.Comparisons -> cap b.max_comparisons
+  | Error.Node_accesses -> cap b.max_node_accesses
+
+let deadline b = if b.deadline_s = infinity then None else Some b.deadline_s
+
 let is_unlimited b =
   b.deadline_s = infinity
   && b.max_page_reads = max_int

@@ -39,6 +39,15 @@ val unlimited : t
 
 val is_unlimited : t -> bool
 
+(** [limit t r] is the count limit for resource [r], [None] when [r]
+    is uncapped (and always for [Wall_clock] — see {!deadline}). Used
+    by admission control to compare estimated costs against the
+    budget before execution. *)
+val limit : t -> Error.resource -> int option
+
+(** [deadline t] is the wall-clock deadline in seconds, if any. *)
+val deadline : t -> float option
+
 (** Mutable accounting for one query attempt. Retried attempts each
     get a fresh state, so limits are per-attempt. *)
 type state

@@ -5,6 +5,7 @@ type t =
   | Io_failed of { site : string; attempts : int }
   | Budget_exceeded of { resource : resource; spent : int; limit : int }
   | Index_unusable of { reason : string }
+  | Rejected of { resource : resource; estimated : int; limit : int }
 
 let resource_name = function
   | Wall_clock -> "wall_clock"
@@ -17,6 +18,7 @@ let kind = function
   | Io_failed _ -> "io_failed"
   | Budget_exceeded { resource; _ } -> "budget_exceeded:" ^ resource_name resource
   | Index_unusable _ -> "index_unusable"
+  | Rejected { resource; _ } -> "rejected:" ^ resource_name resource
 
 let same_kind a b = String.equal (kind a) (kind b)
 
@@ -31,5 +33,9 @@ let pp ppf = function
     Format.fprintf ppf "budget exceeded: %s spent %d, limit %d"
       (resource_name resource) spent limit
   | Index_unusable { reason } -> Format.fprintf ppf "index unusable: %s" reason
+  | Rejected { resource; estimated; limit } ->
+    Format.fprintf ppf
+      "rejected by admission control: estimated %d %s exceeds the budget's %d"
+      estimated (resource_name resource) limit
 
 let to_string e = Format.asprintf "%a" pp e

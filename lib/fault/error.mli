@@ -21,6 +21,11 @@ type t =
   | Index_unusable of { reason : string }
       (** the k-index failed structural validation
           ({!Simq_rtree.Check}) and was not queried *)
+  | Rejected of { resource : resource; estimated : int; limit : int }
+      (** admission control predicted the query cannot finish within
+          its budget and refused it {e before} execution — no page was
+          read and no comparison ran; [estimated] is the cost model's
+          prediction for [resource] (milliseconds for [Wall_clock]) *)
 
 val resource_name : resource -> string
 

@@ -17,16 +17,117 @@ let with_enabled b f =
   Atomic.set enabled b;
   Fun.protect ~finally:(fun () -> Atomic.set enabled prev) f
 
+(* --- name and label validation --------------------------------------------
+
+   The Prometheus text format only admits metric names matching
+   [a-zA-Z_:][a-zA-Z0-9_:]* and label names matching
+   [a-zA-Z_][a-zA-Z0-9_]*; anything else would render an exposition no
+   scraper can parse, so registration rejects it outright. Label
+   values may hold any byte — they are escaped at exposition time. *)
+
+let name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let valid_metric_name s =
+  s <> ""
+  && (name_start s.[0] || s.[0] = ':')
+  && String.for_all
+       (fun c -> name_start c || c = ':' || (c >= '0' && c <= '9'))
+       s
+
+let valid_label_name s =
+  s <> ""
+  && name_start s.[0]
+  && String.for_all (fun c -> name_start c || (c >= '0' && c <= '9')) s
+
+let check_name name =
+  if not (valid_metric_name name) then
+    invalid_arg
+      (Printf.sprintf
+         "Simq_obs.Metrics: invalid metric name %S (expected \
+          [a-zA-Z_:][a-zA-Z0-9_:]*)"
+         name)
+
+(* Canonicalise a label set: sorted by label name, names validated,
+   duplicates and the reserved histogram label [le] rejected. *)
+let check_labels labels =
+  let labels =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  in
+  let rec check = function
+    | [] -> ()
+    | (k, _) :: rest ->
+      if not (valid_label_name k) then
+        invalid_arg
+          (Printf.sprintf
+             "Simq_obs.Metrics: invalid label name %S (expected \
+              [a-zA-Z_][a-zA-Z0-9_]*)"
+             k);
+      if String.equal k "le" then
+        invalid_arg "Simq_obs.Metrics: label name \"le\" is reserved";
+      (match rest with
+      | (k', _) :: _ when String.equal k k' ->
+        invalid_arg
+          (Printf.sprintf "Simq_obs.Metrics: duplicate label name %S" k)
+      | _ -> ());
+      check rest
+  in
+  check labels;
+  labels
+
+(* Backslash, double quote and newline escaped as in the Prometheus
+   text format. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* HELP text escaping: only backslash and line feed. *)
+let escape_help v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* The rendered {k="v",...} suffix (empty for no labels); doubles as
+   the registration identity of a child within its family. *)
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    Printf.sprintf "{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+            labels))
+
 type counter = {
   c_name : string;
+  c_labels : (string * string) list;
   c_help : string;
   cells : int Atomic.t array; (* one per shard *)
 }
 
-type gauge = { g_name : string; g_help : string; cell : float Atomic.t }
+type gauge = {
+  g_name : string;
+  g_labels : (string * string) list;
+  g_help : string;
+  cell : float Atomic.t;
+}
 
 type histogram = {
   h_name : string;
+  h_labels : (string * string) list;
   h_help : string;
   counts : int Atomic.t array array; (* shards x buckets *)
   sums : float Atomic.t array; (* one per shard, CAS-updated *)
@@ -37,11 +138,17 @@ type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 type registry = {
   mutex : Mutex.t;
   mutable metrics : metric list; (* registration order *)
-  by_name : (string, metric) Hashtbl.t;
+  by_key : (string, metric) Hashtbl.t; (* name + rendered labels *)
+  kind_by_name : (string, string) Hashtbl.t; (* family name -> kind tag *)
 }
 
 let create_registry () =
-  { mutex = Mutex.create (); metrics = []; by_name = Hashtbl.create 32 }
+  {
+    mutex = Mutex.create ();
+    metrics = [];
+    by_key = Hashtbl.create 32;
+    kind_by_name = Hashtbl.create 32;
+  }
 
 let default = create_registry ()
 
@@ -50,33 +157,48 @@ let metric_name = function
   | Gauge g -> g.g_name
   | Histogram h -> h.h_name
 
-let register registry name make expect =
+let metric_labels = function
+  | Counter c -> c.c_labels
+  | Gauge g -> g.g_labels
+  | Histogram h -> h.h_labels
+
+let register registry name labels kind make expect =
+  check_name name;
+  let labels = check_labels labels in
+  let key = name ^ render_labels labels in
   Mutex.lock registry.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock registry.mutex)
     (fun () ->
-      match Hashtbl.find_opt registry.by_name name with
+      (* Every child of a family must share the family's kind, whether
+         or not it shares the exact label set. *)
+      (match Hashtbl.find_opt registry.kind_by_name name with
+      | Some k when not (String.equal k kind) ->
+        invalid_arg
+          (Printf.sprintf
+             "Simq_obs.Metrics: %S already registered as a different metric \
+              kind"
+             name)
+      | _ -> ());
+      match Hashtbl.find_opt registry.by_key key with
       | Some existing -> (
           match expect existing with
           | Some v -> v
-          | None ->
-              invalid_arg
-                (Printf.sprintf
-                   "Simq_obs.Metrics: %S already registered as a different \
-                    metric kind"
-                   name))
+          | None -> assert false (* kind_by_name check above rules this out *))
       | None ->
-          let m, v = make () in
-          Hashtbl.add registry.by_name name m;
+          let m, v = make labels in
+          Hashtbl.add registry.by_key key m;
+          Hashtbl.replace registry.kind_by_name name kind;
           registry.metrics <- m :: registry.metrics;
           v)
 
-let counter ?(registry = default) ?(help = "") name =
-  register registry name
-    (fun () ->
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  register registry name labels "counter"
+    (fun labels ->
       let c =
         {
           c_name = name;
+          c_labels = labels;
           c_help = help;
           cells = Array.init shards (fun _ -> Atomic.make 0);
         }
@@ -84,19 +206,22 @@ let counter ?(registry = default) ?(help = "") name =
       (Counter c, c))
     (function Counter c -> Some c | _ -> None)
 
-let gauge ?(registry = default) ?(help = "") name =
-  register registry name
-    (fun () ->
-      let g = { g_name = name; g_help = help; cell = Atomic.make 0. } in
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  register registry name labels "gauge"
+    (fun labels ->
+      let g =
+        { g_name = name; g_labels = labels; g_help = help; cell = Atomic.make 0. }
+      in
       (Gauge g, g))
     (function Gauge g -> Some g | _ -> None)
 
-let histogram ?(registry = default) ?(help = "") name =
-  register registry name
-    (fun () ->
+let histogram ?(registry = default) ?(help = "") ?(labels = []) name =
+  register registry name labels "histogram"
+    (fun labels ->
       let h =
         {
           h_name = name;
+          h_labels = labels;
           h_help = help;
           counts =
             Array.init shards (fun _ ->
@@ -164,10 +289,21 @@ let histogram_sum h =
   Array.fold_left (fun acc cell -> acc +. Atomic.get cell) 0. h.sums
 
 type sample =
-  | Counter_sample of { name : string; help : string; total : int }
-  | Gauge_sample of { name : string; help : string; value : float }
+  | Counter_sample of {
+      name : string;
+      labels : (string * string) list;
+      help : string;
+      total : int;
+    }
+  | Gauge_sample of {
+      name : string;
+      labels : (string * string) list;
+      help : string;
+      value : float;
+    }
   | Histogram_sample of {
       name : string;
+      labels : (string * string) list;
       help : string;
       buckets : int array;
       sum : float;
@@ -180,28 +316,57 @@ let sample_name = function
   | Histogram_sample { name; _ } ->
       name
 
+let sample_labels = function
+  | Counter_sample { labels; _ }
+  | Gauge_sample { labels; _ }
+  | Histogram_sample { labels; _ } ->
+      labels
+
 let sample_of_metric = function
   | Counter c ->
       Counter_sample
-        { name = c.c_name; help = c.c_help; total = counter_total c }
+        {
+          name = c.c_name;
+          labels = c.c_labels;
+          help = c.c_help;
+          total = counter_total c;
+        }
   | Gauge g ->
-      Gauge_sample { name = g.g_name; help = g.g_help; value = gauge_value g }
+      Gauge_sample
+        {
+          name = g.g_name;
+          labels = g.g_labels;
+          help = g.g_help;
+          value = gauge_value g;
+        }
   | Histogram h ->
       let buckets = histogram_buckets h in
       Histogram_sample
         {
           name = h.h_name;
+          labels = h.h_labels;
           help = h.h_help;
           buckets;
           sum = histogram_sum h;
           count = Array.fold_left ( + ) 0 buckets;
         }
 
+(* Sort by family name, then rendered label set, so children of one
+   family are adjacent (HELP/TYPE emitted once per family) and the
+   exposition is stable. *)
 let metrics_sorted registry =
   Mutex.lock registry.mutex;
   let ms = registry.metrics in
   Mutex.unlock registry.mutex;
-  List.sort (fun a b -> String.compare (metric_name a) (metric_name b)) ms
+  List.sort
+    (fun a b ->
+      match String.compare (metric_name a) (metric_name b) with
+      | 0 ->
+        String.compare
+          (render_labels (metric_labels a))
+          (render_labels (metric_labels b))
+      | c -> c)
+    ms
 
 let snapshot ?(registry = default) () =
   List.map sample_of_metric (metrics_sorted registry)
@@ -213,20 +378,41 @@ let float_repr v =
 
 let exposition ?(registry = default) () =
   let buf = Buffer.create 4096 in
+  (* HELP/TYPE once per family; children (distinct label sets) follow
+     their family's first sample in sorted order. *)
+  let last_family = ref "" in
   let header name help kind =
-    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
-    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    if name <> !last_family then begin
+      last_family := name;
+      if help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  (* A histogram bucket line carries the child's labels plus [le]. *)
+  let with_le labels le =
+    render_labels labels
+    |> fun rendered ->
+    if rendered = "" then Printf.sprintf "{le=\"%s\"}" le
+    else
+      Printf.sprintf "%s,le=\"%s\"}"
+        (String.sub rendered 0 (String.length rendered - 1))
+        le
   in
   List.iter
     (fun sample ->
       match sample with
-      | Counter_sample { name; help; total } ->
+      | Counter_sample { name; labels; help; total } ->
           header name help "counter";
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" name total)
-      | Gauge_sample { name; help; value } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" name (render_labels labels) total)
+      | Gauge_sample { name; labels; help; value } ->
           header name help "gauge";
-          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (float_repr value))
-      | Histogram_sample { name; help; buckets; sum; count } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name (render_labels labels)
+               (float_repr value))
+      | Histogram_sample { name; labels; help; buckets; sum; count } ->
           header name help "histogram";
           let first_nonempty =
             let rec go i =
@@ -242,15 +428,19 @@ let exposition ?(registry = default) () =
               cumulative := !cumulative + n;
               if i >= first_nonempty then
                 Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
-                     (float_repr (bucket_upper i))
+                  (Printf.sprintf "%s_bucket%s %d\n" name
+                     (with_le labels (float_repr (bucket_upper i)))
                      !cumulative))
             buckets;
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name count);
+            (Printf.sprintf "%s_bucket%s %d\n" name (with_le labels "+Inf")
+               count);
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum %s\n" name (float_repr sum));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count))
+            (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels)
+               (float_repr sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name (render_labels labels)
+               count))
     (snapshot ~registry ());
   Buffer.contents buf
 

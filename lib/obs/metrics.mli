@@ -20,9 +20,16 @@
 
     Metric names follow Prometheus conventions
     ([simq_<family>_<what>_total] for counters); registration is
-    idempotent by name, so a library module can register its metrics
-    at initialisation time and every family appears in the exposition
-    even when zero. *)
+    idempotent by name and label set, so a library module can register
+    its metrics at initialisation time and every family appears in the
+    exposition even when zero.
+
+    Validity: metric names must match [[a-zA-Z_:][a-zA-Z0-9_:]*] and
+    label names [[a-zA-Z_][a-zA-Z0-9_]*] — registration raises
+    [Invalid_argument] otherwise, so an unscrapeable exposition can
+    never be produced. Label {e values} may hold any bytes; backslash,
+    double quote and newline are escaped in the exposition (and in
+    [# HELP] text) per the text-format grammar. *)
 
 (** {1 Global enable flag} *)
 
@@ -54,21 +61,41 @@ type counter
 type gauge
 type histogram
 
-(** [counter name] registers (or retrieves, if [name] is already
-    registered) a monotonically increasing counter. Raises
-    [Invalid_argument] if [name] is registered as a different kind. *)
-val counter : ?registry:registry -> ?help:string -> string -> counter
+(** [counter name] registers (or retrieves, if [name] with the same
+    [labels] is already registered) a monotonically increasing
+    counter. [labels] (default none) distinguishes children of one
+    family — e.g. [~labels:["decision", "reject"]] — and is
+    canonicalised by label name. Raises [Invalid_argument] if [name]
+    is registered as a different kind, if [name] or a label name is
+    not a valid Prometheus identifier, on duplicate label names, or
+    on the reserved label name ["le"]. *)
+val counter :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  counter
 
 (** [gauge name] registers a last-write-wins floating-point gauge
-    (a single atomic cell, not sharded). *)
-val gauge : ?registry:registry -> ?help:string -> string -> gauge
+    (a single atomic cell, not sharded). Validation as {!counter}. *)
+val gauge :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  gauge
 
 (** [histogram name] registers a log-scale histogram: 64 buckets with
     upper bounds [2 ^ (i - 30)], covering roughly [1e-9 .. 8e9] —
     wide enough for seconds-scale timings and count-scale
     observations alike. Observations [<= 0] land in the first
-    bucket. *)
-val histogram : ?registry:registry -> ?help:string -> string -> histogram
+    bucket. Validation as {!counter}. *)
+val histogram :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  histogram
 
 (** {1 Hot-path updates}
 
@@ -100,12 +127,24 @@ val histogram_sum : histogram -> float
     counts, length 64. *)
 val histogram_buckets : histogram -> int array
 
-(** One merged metric value, for programmatic consumption. *)
+(** One merged metric value, for programmatic consumption. [labels]
+    is the child's canonical (name-sorted) label set. *)
 type sample =
-  | Counter_sample of { name : string; help : string; total : int }
-  | Gauge_sample of { name : string; help : string; value : float }
+  | Counter_sample of {
+      name : string;
+      labels : (string * string) list;
+      help : string;
+      total : int;
+    }
+  | Gauge_sample of {
+      name : string;
+      labels : (string * string) list;
+      help : string;
+      value : float;
+    }
   | Histogram_sample of {
       name : string;
+      labels : (string * string) list;
       help : string;
       buckets : int array;  (** non-cumulative, length 64 *)
       sum : float;
@@ -113,10 +152,11 @@ type sample =
     }
 
 val sample_name : sample -> string
+val sample_labels : sample -> (string * string) list
 
 (** [snapshot ()] merges every metric of the registry, sorted by
-    name. The shape is stable: the same registrations yield the same
-    list of names in the same order. *)
+    family name then label set. The shape is stable: the same
+    registrations yield the same list of names in the same order. *)
 val snapshot : ?registry:registry -> unit -> sample list
 
 (** [bucket_upper i] is the upper bound of histogram bucket [i],
@@ -124,9 +164,11 @@ val snapshot : ?registry:registry -> unit -> sample list
 val bucket_upper : int -> float
 
 (** [exposition ()] renders the registry in Prometheus text format:
-    [# HELP]/[# TYPE] headers, counters as [name total], histograms
-    as cumulative [name_bucket{le="..."}] lines (empty leading
-    buckets elided) plus [_sum]/[_count]. Metrics are sorted by name,
+    [# HELP]/[# TYPE] headers once per family, counters as
+    [name{labels} total], histograms as cumulative
+    [name_bucket{labels,le=...}] lines (empty leading buckets
+    elided) plus [_sum]/[_count]. Label values are escaped per the
+    format grammar. Metrics are sorted by family name then label set,
     so the output is stable for a given registry state. *)
 val exposition : ?registry:registry -> unit -> string
 

@@ -1,0 +1,147 @@
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  thread : Thread.t;
+  stopped : bool Atomic.t;
+}
+
+(* One request: drain the client's header block (best effort — a
+   scraper that writes nothing still gets an answer), then write the
+   whole response. The body is rendered per request so every scrape
+   sees the current merged totals. *)
+let answer registry client =
+  (try
+     let buf = Bytes.create 1024 in
+     (* Read until the blank line ending the request head, a closed
+        peer, or a full buffer — whichever comes first. *)
+     let rec drain seen =
+       if seen < Bytes.length buf then begin
+         let n = Unix.read client buf seen (Bytes.length buf - seen) in
+         if n > 0 then begin
+           let seen = seen + n in
+           let head = Bytes.sub_string buf 0 seen in
+           let has_blank_line =
+             let rec go i =
+               i + 3 < String.length head
+               && (String.sub head i 4 = "\r\n\r\n"
+                  || String.sub head i 2 = "\n\n"
+                  || go (i + 1))
+             in
+             go 0
+           in
+           if not has_blank_line then drain seen
+         end
+       end
+     in
+     drain 0
+   with Unix.Unix_error _ -> ());
+  let body = Metrics.exposition ~registry () in
+  let response =
+    Printf.sprintf
+      "HTTP/1.1 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      (String.length body) body
+  in
+  let n = String.length response in
+  let rec write_all off =
+    if off < n then
+      let written =
+        Unix.write_substring client response off (n - off)
+      in
+      if written > 0 then write_all (off + written)
+  in
+  try write_all 0 with Unix.Unix_error _ -> ()
+
+let serve_loop sock stopped registry =
+  let rec loop () =
+    match Unix.accept sock with
+    | client, _ ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+        (fun () -> answer registry client);
+      if not (Atomic.get stopped) then loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if not (Atomic.get stopped) then loop ()
+    | exception Unix.Unix_error _ ->
+      (* The listener was closed (by [stop]) or is unusable: exit. *)
+      ()
+  in
+  loop ()
+
+let start ?(registry = Metrics.default) ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock 16
+   with
+  | () -> ()
+  | exception e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let stopped = Atomic.make false in
+  let thread = Thread.create (fun () -> serve_loop sock stopped registry) () in
+  { sock; port; thread; stopped }
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    (* Closing the listener fails the blocking [accept] in the serving
+       thread, which then observes [stopped] and exits. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    Thread.join t.thread
+  end
+
+let with_server ?registry ~port f =
+  let t = start ?registry ~port () in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)
+
+let scrape ?(host = "127.0.0.1") ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let request =
+        Printf.sprintf "GET /metrics HTTP/1.1\r\nHost: %s\r\n\r\n" host
+      in
+      let n = String.length request in
+      let rec write_all off =
+        if off < n then
+          write_all (off + Unix.write_substring sock request off (n - off))
+      in
+      write_all 0;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec read_all () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          read_all ()
+        end
+      in
+      read_all ();
+      let response = Buffer.contents buf in
+      (* Split the head from the body at the first blank line. *)
+      let rec find_body i =
+        if i + 3 < String.length response then
+          if String.sub response i 4 = "\r\n\r\n" then Some (i + 4)
+          else if String.sub response i 2 = "\n\n" then Some (i + 2)
+          else find_body (i + 1)
+        else None
+      in
+      match find_body 0 with
+      | Some body_start ->
+        String.sub response body_start (String.length response - body_start)
+      | None -> failwith "Simq_obs.Serve.scrape: malformed HTTP response")

@@ -1,0 +1,45 @@
+(** Live Prometheus exposition over a plain TCP socket.
+
+    A running server ({!t}) owns one listening socket on the loopback
+    interface and one background thread that answers each connection
+    with the current {!Metrics.exposition} of its registry, wrapped in
+    a minimal HTTP/1.1 response ([Content-Type:
+    text/plain; version=0.0.4]) so any scraper — Prometheus, [curl],
+    or {!val:scrape} — can read it. Connections are served one at a
+    time; the exposition is rendered per request, so a scrape mid-run
+    sees the live merged totals (monotone snapshots of the counters,
+    exact once the instrumented work is quiescent).
+
+    The server never mutates the registry: scraping cannot change an
+    answer, and the end-of-run file dump still reflects every update.
+
+    The [--metrics-port] flag (or the [SIMQ_METRICS_PORT] environment
+    variable) of [bin/simq] and [bench/main.exe] starts one of these
+    for the duration of the command. *)
+
+type t
+
+(** [start ~port ()] binds [127.0.0.1:port] (with [SO_REUSEADDR]) and
+    begins serving [registry] (default {!Metrics.default}) on a
+    background thread. [port = 0] picks an ephemeral port — read it
+    back with {!port}. Raises [Unix.Unix_error] when the address is
+    unavailable. *)
+val start : ?registry:Metrics.registry -> port:int -> unit -> t
+
+(** [port t] is the bound TCP port (useful with [~port:0]). *)
+val port : t -> int
+
+(** [stop t] closes the listening socket and joins the serving
+    thread. Idempotent. *)
+val stop : t -> unit
+
+(** [with_server ?registry ~port f] runs [f server] and always stops
+    the server afterwards, even on exceptions. *)
+val with_server : ?registry:Metrics.registry -> port:int -> (t -> 'a) -> 'a
+
+(** [scrape ?host ~port ()] connects to a running exposition server,
+    issues one HTTP GET and returns the response body (the
+    exposition text). A self-contained scraper for scripts and tests
+    on hosts without [curl]. Raises [Unix.Unix_error] on connection
+    failure and [Failure] on a malformed response. *)
+val scrape : ?host:string -> port:int -> unit -> string

@@ -137,29 +137,53 @@ type counters = {
   mutable degraded : int;
   mutable retries : int;
   mutable failures : int;
+  mutable rejected : int;
 }
 
 let create_counters () =
-  { queries = 0; index_attempts = 0; degraded = 0; retries = 0; failures = 0 }
+  {
+    queries = 0;
+    index_attempts = 0;
+    degraded = 0;
+    retries = 0;
+    failures = 0;
+    rejected = 0;
+  }
 
 let degradation_rate c =
   if c.queries = 0 then 0. else float_of_int c.degraded /. float_of_int c.queries
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "queries=%d index_attempts=%d degraded=%d retries=%d failures=%d"
-    c.queries c.index_attempts c.degraded c.retries c.failures
+    "queries=%d index_attempts=%d degraded=%d retries=%d failures=%d \
+     rejected=%d"
+    c.queries c.index_attempts c.degraded c.retries c.failures c.rejected
 
 type resilient_result = {
   answers : (Dataset.entry * float) list;
   executed : plan;
   degraded : bool;
   index_error : Error.t option;
+  admission : Simq_admission.decision option;
 }
 
+(* Everything admission control needs is catalogue metadata plus one
+   histogram lookup: producing it reads no page and visits no node. *)
+let admission_workload ?stats kindex ~epsilon =
+  let dataset = Kindex.dataset kindex in
+  let tree = Kindex.tree kindex in
+  {
+    Simq_admission.cardinality = Dataset.cardinality dataset;
+    pages = Simq_storage.Relation.pages (Dataset.relation dataset);
+    tree_size = Simq_rtree.Rstar.size tree;
+    tree_height = Simq_rtree.Rstar.height tree;
+    selectivity =
+      (match stats with Some stats -> selectivity stats ~epsilon | None -> 1.);
+  }
+
 let range_resilient ?pool ?(spec = Spec.Identity) ?stats
-    ?(budget = Budget.unlimited) ?retry ?counters ?(validate = false) kindex
-    ~query ~epsilon =
+    ?(budget = Budget.unlimited) ?retry ?counters ?(validate = false)
+    ?admission kindex ~query ~epsilon =
   let bump f = match counters with Some c -> f c | None -> () in
   bump (fun c -> c.queries <- c.queries + 1);
   let on_retry ~attempt:_ = bump (fun c -> c.retries <- c.retries + 1) in
@@ -172,6 +196,29 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
     bump (fun c -> c.failures <- c.failures + 1);
     Metrics.incr m_failures;
     Error e
+  in
+  let plan =
+    match stats with
+    | Some stats ->
+      Otrace.with_span "plan" (fun () ->
+          fst (choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon))
+    | None -> Use_index
+  in
+  record_plan plan;
+  (* Admission control runs between planning and execution: the
+     decision is made from catalogue metadata, the planner's histogram
+     and the live registry — before any page is touched. *)
+  let decision =
+    match admission with
+    | None -> None
+    | Some policy ->
+      let workload = admission_workload ?stats kindex ~epsilon in
+      let prefer =
+        match plan with
+        | Use_index -> Simq_admission.Index_path
+        | Use_scan -> Simq_admission.Scan_path
+      in
+      Some (Simq_admission.decide policy workload ~prefer ~budget)
   in
   (* The fallback restarts the budget (range_checked derives a fresh
      state per attempt): limits bound each execution attempt, and a
@@ -187,30 +234,24 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
           executed = Use_scan;
           degraded = true;
           index_error = Some index_error;
+          admission = decision;
         }
     | Error e -> failed e
   in
-  let plan =
-    match stats with
-    | Some stats ->
-      Otrace.with_span "plan" (fun () ->
-          fst (choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon))
-    | None -> Use_index
-  in
-  record_plan plan;
-  match plan with
-  | Use_scan -> (
+  let run_scan ~degraded =
     match scan () with
     | Ok (r : Seqscan.result) ->
       Ok
         {
           answers = r.Seqscan.answers;
           executed = Use_scan;
-          degraded = false;
+          degraded;
           index_error = None;
+          admission = decision;
         }
-    | Error e -> failed e)
-  | Use_index ->
+    | Error e -> failed e
+  in
+  let run_index () =
     if validate && not (Simq_rtree.Check.is_valid (Kindex.tree kindex)) then
       fallback (Error.Index_unusable { reason = "R-tree invariant check failed" })
     else begin
@@ -223,6 +264,20 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
             executed = Use_index;
             degraded = false;
             index_error = None;
+            admission = decision;
           }
       | Error e -> fallback e
     end
+  in
+  match decision with
+  | Some (Simq_admission.Reject reject) ->
+    (* Refused before execution: not an execution failure, so only the
+       rejection counter moves, and no page was read. *)
+    bump (fun c -> c.rejected <- c.rejected + 1);
+    Error (Simq_admission.error_of_reject reject)
+  | Some Simq_admission.Degrade_to_scan ->
+    bump (fun c -> c.degraded <- c.degraded + 1);
+    Metrics.incr m_degraded;
+    run_scan ~degraded:true
+  | None | Some Simq_admission.Admit -> (
+    match plan with Use_scan -> run_scan ~degraded:false | Use_index -> run_index ())

@@ -67,7 +67,10 @@ type counters = {
   mutable index_attempts : int;  (** queries that tried the index path *)
   mutable degraded : int;  (** queries that fell back to the scan *)
   mutable retries : int;  (** transient-fault attempts abandoned *)
-  mutable failures : int;  (** queries that returned [Error] *)
+  mutable failures : int;  (** executed queries that returned [Error] *)
+  mutable rejected : int;
+      (** queries refused by admission control before execution (not
+          counted in [failures]: nothing ran) *)
 }
 
 val create_counters : unit -> counters
@@ -80,21 +83,35 @@ val pp_counters : Format.formatter -> counters -> unit
 type resilient_result = {
   answers : (Dataset.entry * float) list;
   executed : plan;  (** the path that produced the answers *)
-  degraded : bool;  (** the index path failed and the scan answered *)
+  degraded : bool;
+      (** the scan answered in place of the planned index path — either
+          the index path failed mid-flight, or admission control
+          predicted it would and redirected before execution *)
   index_error : Simq_fault.Error.t option;
-      (** why the index path was abandoned, when [degraded] *)
+      (** why the index path was abandoned mid-flight, when [degraded];
+          [None] for an admission-time [Degrade_to_scan] (nothing ran) *)
+  admission : Simq_admission.decision option;
+      (** the admission decision, when an [admission] policy was given *)
 }
 
 (** [range_resilient kindex ?stats ?budget ?retry ?counters ?validate
-    ~query ~epsilon] plans ([Use_index] when [stats] is omitted),
-    executes under [budget] (default unlimited) with [retry] (default
-    {!Simq_fault.Retry.default}), and degrades index failures to the
-    scan. Each execution attempt gets a fresh budget state — in
+    ?admission ~query ~epsilon] plans ([Use_index] when [stats] is
+    omitted), executes under [budget] (default unlimited) with [retry]
+    (default {!Simq_fault.Retry.default}), and degrades index failures
+    to the scan. Each execution attempt gets a fresh budget state — in
     particular the fallback scan restarts the budget, so a degraded
     query can still complete. [validate:true] (default false) checks
     the R*-tree invariants first and treats a violation as an index
     failure ([Index_unusable]). [Error] is returned only when the
-    fallback itself fails. [pool] feeds the scan path's domain pool. *)
+    fallback itself fails. [pool] feeds the scan path's domain pool.
+
+    When [admission] is given, {!Simq_admission.decide} runs between
+    planning and execution, on catalogue metadata and the planner
+    histogram only — before any page is read. [Admit] leaves the run
+    unchanged (bit-identical answers to the same call without
+    [admission]); [Degrade_to_scan] runs the scan directly; [Reject]
+    returns [Error (Simq_fault.Error.Rejected _)] without executing
+    anything, bumping [counters.rejected] only. *)
 val range_resilient :
   ?pool:Simq_parallel.Pool.t ->
   ?spec:Spec.t ->
@@ -103,6 +120,7 @@ val range_resilient :
   ?retry:Simq_fault.Retry.policy ->
   ?counters:counters ->
   ?validate:bool ->
+  ?admission:Simq_admission.t ->
   Kindex.t ->
   query:Simq_series.Series.t ->
   epsilon:float ->

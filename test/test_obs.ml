@@ -325,6 +325,377 @@ let test_trace_disabled_is_free () =
   Alcotest.(check int) "nothing recorded while off" 0 (Trace.event_count ());
   Alcotest.(check int) "nothing open while off" 0 (Trace.open_spans ())
 
+(* --- labels, escaping, validation -------------------------------------------- *)
+
+let count_occurrences haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i acc =
+    if i + n > m then acc
+    else if String.sub haystack i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_labeled_children () =
+  let r = Metrics.create_registry () in
+  let child op =
+    Metrics.counter ~registry:r ~help:"per-op totals"
+      ~labels:[ ("op", op) ]
+      "test_family_total"
+  in
+  let a = child "alpha" and b = child "beta" in
+  Metrics.with_enabled true (fun () ->
+      Metrics.add a 3;
+      Metrics.incr b);
+  Alcotest.(check int) "child totals separate" 3 (Metrics.counter_total a);
+  Alcotest.(check int) "child totals separate (b)" 1 (Metrics.counter_total b);
+  Alcotest.(check int)
+    "same labels retrieve the same cells" 4
+    (Metrics.with_enabled true (fun () -> Metrics.incr (child "alpha"));
+     Metrics.counter_total a);
+  (* canonicalisation: label order does not create a new child *)
+  let x =
+    Metrics.counter ~registry:r
+      ~labels:[ ("a", "1"); ("b", "2") ]
+      "test_canon_total"
+  in
+  let y =
+    Metrics.counter ~registry:r
+      ~labels:[ ("b", "2"); ("a", "1") ]
+      "test_canon_total"
+  in
+  Metrics.with_enabled true (fun () ->
+      Metrics.incr x;
+      Metrics.incr y);
+  Alcotest.(check int) "label order is canonicalised" 2
+    (Metrics.counter_total x);
+  let text = Metrics.exposition ~registry:r () in
+  Alcotest.(check int)
+    "HELP once per family" 1
+    (count_occurrences text "# HELP test_family_total per-op totals\n");
+  Alcotest.(check int)
+    "TYPE once per family" 1
+    (count_occurrences text "# TYPE test_family_total counter\n");
+  Alcotest.(check int)
+    "one sample per child" 1
+    (count_occurrences text "test_family_total{op=\"alpha\"} 4\n");
+  Alcotest.(check int)
+    "one sample per child (beta)" 1
+    (count_occurrences text "test_family_total{op=\"beta\"} 1\n");
+  let labels =
+    List.map Metrics.sample_labels
+      (List.filter
+         (fun s -> Metrics.sample_name s = "test_family_total")
+         (Metrics.snapshot ~registry:r ()))
+  in
+  Alcotest.(check int) "two children in the snapshot" 2 (List.length labels)
+
+let test_label_value_escaping () =
+  let r = Metrics.create_registry () in
+  let c =
+    Metrics.counter ~registry:r
+      ~labels:[ ("q", "a\\b\"c\nd") ]
+      "test_escape_total"
+  in
+  Metrics.with_enabled true (fun () -> Metrics.incr c);
+  let text = Metrics.exposition ~registry:r () in
+  Alcotest.(check bool)
+    "backslash, quote and newline are escaped" true
+    (contains text "test_escape_total{q=\"a\\\\b\\\"c\\nd\"} 1");
+  Alcotest.(check bool)
+    "no raw newline leaks into the sample line" true
+    (List.exists
+       (fun line -> contains line "test_escape_total{")
+       (String.split_on_char '\n' text));
+  check_exposition_parseable text
+
+let test_help_escaping () =
+  let r = Metrics.create_registry () in
+  ignore
+    (Metrics.counter ~registry:r ~help:"line one\nline two \\ done"
+       "test_help_total");
+  let text = Metrics.exposition ~registry:r () in
+  Alcotest.(check bool)
+    "newline and backslash escaped in HELP" true
+    (contains text "# HELP test_help_total line one\\nline two \\\\ done\n")
+
+let test_invalid_names_rejected () =
+  let r = Metrics.create_registry () in
+  let rejects f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "metric name %S rejected" name)
+        true
+        (rejects (fun () -> Metrics.counter ~registry:r name)))
+    [ ""; "9starts_with_digit"; "has-dash"; "has space"; "caf\xc3\xa9" ];
+  List.iter
+    (fun labels ->
+      Alcotest.(check bool)
+        (Printf.sprintf "label set [%s] rejected"
+           (String.concat ";" (List.map fst labels)))
+        true
+        (rejects (fun () ->
+             Metrics.counter ~registry:r ~labels "test_valid_total")))
+    [
+      [ ("", "v") ];
+      [ ("0x", "v") ];
+      [ ("has-dash", "v") ];
+      [ ("with:colon", "v") ];
+      [ ("le", "0.5") ];
+      [ ("dup", "a"); ("dup", "b") ];
+    ];
+  (* colons are legal in metric names (recording-rule style), and any
+     byte is legal in a label value *)
+  Alcotest.(check bool)
+    "colon metric name accepted" false
+    (rejects (fun () -> Metrics.counter ~registry:r "ns:test_total"));
+  Alcotest.(check bool)
+    "arbitrary label value accepted" false
+    (rejects (fun () ->
+         Metrics.counter ~registry:r
+           ~labels:[ ("v", "\x00\xff{}\"\\\n") ]
+           "test_any_value_total"))
+
+(* --- exposition grammar property ---------------------------------------------- *)
+
+(* A strict line-by-line parser for the Prometheus text format — the
+   oracle for the QCheck property below. Accepts exactly:
+     # HELP <metric-name> <escaped-text>
+     # TYPE <metric-name> counter|gauge|histogram
+     <metric-name>[{<label>="<escaped-value>",...}] <float>
+   with metric names [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+   [a-zA-Z_][a-zA-Z0-9_]*, and only the backslash, quote and newline
+   escapes inside quoted values (backslash and newline in HELP text). *)
+let strict_line_ok line =
+  let n = String.length line in
+  let name_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let name_char c = name_start c || c = ':' || (c >= '0' && c <= '9') in
+  let label_char c = name_start c || (c >= '0' && c <= '9') in
+  let metric_name_ok s =
+    s <> ""
+    && (name_start s.[0] || s.[0] = ':')
+    && String.for_all name_char s
+  in
+  let escaped_text_ok s =
+    let m = String.length s in
+    let rec go i =
+      if i >= m then true
+      else
+        match s.[i] with
+        | '\\' -> i + 1 < m && (s.[i + 1] = '\\' || s.[i + 1] = 'n') && go (i + 2)
+        | '\n' -> false
+        | _ -> go (i + 1)
+    in
+    go 0
+  in
+  if n = 0 then true
+  else if line.[0] = '#' then begin
+    let with_prefix p k =
+      let lp = String.length p in
+      n >= lp && String.sub line 0 lp = p && k (String.sub line lp (n - lp))
+    in
+    with_prefix "# HELP " (fun rest ->
+        match String.index_opt rest ' ' with
+        | None -> metric_name_ok rest
+        | Some i ->
+          metric_name_ok (String.sub rest 0 i)
+          && escaped_text_ok
+               (String.sub rest (i + 1) (String.length rest - i - 1)))
+    || with_prefix "# TYPE " (fun rest ->
+           match String.split_on_char ' ' rest with
+           | [ name; kind ] ->
+             metric_name_ok name
+             && List.mem kind [ "counter"; "gauge"; "histogram" ]
+           | _ -> false)
+  end
+  else begin
+    let rec scan_while pred i =
+      if i < n && pred line.[i] then scan_while pred (i + 1) else i
+    in
+    (* quoted label value: consume past the closing quote *)
+    let rec value i =
+      if i >= n then None
+      else
+        match line.[i] with
+        | '\\' ->
+          if
+            i + 1 < n
+            && (line.[i + 1] = '\\' || line.[i + 1] = '"' || line.[i + 1] = 'n')
+          then value (i + 2)
+          else None
+        | '"' -> Some (i + 1)
+        | _ -> value (i + 1)
+    in
+    let rec labels i =
+      (* at the start of a label name *)
+      if i >= n || not (name_start line.[i]) then None
+      else begin
+        let j = scan_while label_char i in
+        if j + 1 >= n || line.[j] <> '=' || line.[j + 1] <> '"' then None
+        else
+          match value (j + 2) with
+          | None -> None
+          | Some k ->
+            if k < n && line.[k] = ',' then labels (k + 1)
+            else if k < n && line.[k] = '}' then Some (k + 1)
+            else None
+      end
+    in
+    (name_start line.[0] || line.[0] = ':')
+    &&
+    let i = scan_while name_char 1 in
+    let after_labels =
+      if i < n && line.[i] = '{' then labels (i + 1) else Some i
+    in
+    match after_labels with
+    | None -> false
+    | Some i ->
+      i < n
+      && line.[i] = ' '
+      && Option.is_some
+           (float_of_string_opt (String.sub line (i + 1) (n - i - 1)))
+  end
+
+let strict_exposition_ok text =
+  List.for_all strict_line_ok (String.split_on_char '\n' text)
+
+let test_strict_checker_sanity () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("accepts: " ^ String.escaped line) true
+        (strict_line_ok line))
+    [
+      "# HELP simq_x_total help with spaces \\n and \\\\";
+      "# TYPE simq_x_total counter";
+      "simq_x_total 5";
+      "ns:rule:total 1.5";
+      "simq_x_total{op=\"a\"} 5";
+      "simq_x_total{op=\"a\\\"b\\\\c\\nd\",q=\"z\"} 5";
+      "simq_hist_bucket{le=\"+Inf\"} 4";
+      "simq_hist_bucket{le=\"9.765625e-10\"} 0";
+      "simq_gauge nan";
+    ];
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("rejects: " ^ String.escaped line) false
+        (strict_line_ok line))
+    [
+      "# TYPE simq_x_total summary";
+      "# TYPE 9bad counter";
+      "9bad 5";
+      "simq_x_total";
+      "simq_x_total five";
+      "simq_x_total{op=a} 5";
+      "simq_x_total{op=\"raw\"quote\"} 5";
+      "simq_x_total{op=\"bad\\escape\"} 5";
+      "simq_x_total{0op=\"a\"} 5";
+      "simq_x_total{op=\"unterminated} 5";
+    ]
+
+let test_exposition_conforms_to_strict_grammar () =
+  (* the default registry, warmed by the instrumented-scan test above,
+     plus a registry exercising every metric kind with labels *)
+  Alcotest.(check bool)
+    "default registry conforms" true
+    (strict_exposition_ok (Metrics.exposition ()));
+  let r = Metrics.create_registry () in
+  let c =
+    Metrics.counter ~registry:r ~help:"nasty \\ help\nwith newline"
+      ~labels:[ ("v", "a\"b\\c\nd") ]
+      "test_strict_total"
+  in
+  let h =
+    Metrics.histogram ~registry:r ~labels:[ ("side", "left") ]
+      "test_strict_seconds"
+  in
+  Metrics.with_enabled true (fun () ->
+      Metrics.incr c;
+      Metrics.observe h 0.25;
+      Metrics.set_gauge (Metrics.gauge ~registry:r "test_strict_gauge") 1e-9);
+  Alcotest.(check bool)
+    "kinds + labels + escapes conform" true
+    (strict_exposition_ok (Metrics.exposition ~registry:r ()))
+
+let arb_nasty_string =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(
+      string_size ~gen:
+        (oneof
+           [
+             char;
+             oneofl [ '"'; '\\'; '\n'; '{'; '}'; '='; ','; ' '; '\x00' ];
+           ])
+        (int_range 0 24))
+
+let prop_exposition_grammar =
+  QCheck.Test.make
+    ~name:"exposition conforms to the text-format grammar for any label \
+           value and help text"
+    ~count:200
+    QCheck.(triple arb_nasty_string arb_nasty_string arb_nasty_string)
+    (fun (help, v1, v2) ->
+      let r = Metrics.create_registry () in
+      let child v = Metrics.counter ~registry:r ~help ~labels:[ ("q", v) ] "test_prop_total" in
+      let a = child v1 and b = child v2 in
+      let g = Metrics.gauge ~registry:r ~help ~labels:[ ("q", v1) ] "test_prop_gauge" in
+      let h = Metrics.histogram ~registry:r ~labels:[ ("q", v2) ] "test_prop_seconds" in
+      Metrics.with_enabled true (fun () ->
+          Metrics.incr a;
+          Metrics.add b 2;
+          Metrics.set_gauge g 0.5;
+          Metrics.observe h 1.0);
+      strict_exposition_ok (Metrics.exposition ~registry:r ()))
+
+(* --- the exposition endpoint --------------------------------------------------- *)
+
+module Serve = Simq_obs.Serve
+
+let test_scrape_equals_dump () =
+  let r = Metrics.create_registry () in
+  let c =
+    Metrics.counter ~registry:r ~help:"served"
+      ~labels:[ ("decision", "reject") ]
+      "test_serve_total"
+  in
+  Metrics.with_enabled true (fun () -> Metrics.add c 3);
+  Serve.with_server ~registry:r ~port:0 (fun server ->
+      let port = Serve.port server in
+      Alcotest.(check bool) "ephemeral port assigned" true (port > 0);
+      let body = Serve.scrape ~port () in
+      Alcotest.(check string)
+        "scrape equals the dump" (Metrics.exposition ~registry:r ())
+        body;
+      Alcotest.(check bool)
+        "scrape conforms to the strict grammar" true
+        (strict_exposition_ok body);
+      Metrics.with_enabled true (fun () -> Metrics.add c 2);
+      let body' = Serve.scrape ~port () in
+      Alcotest.(check string)
+        "a second scrape sees the update" (Metrics.exposition ~registry:r ())
+        body';
+      Alcotest.(check bool)
+        "the totals advanced between scrapes" true
+        (contains body "test_serve_total{decision=\"reject\"} 3"
+        && contains body' "test_serve_total{decision=\"reject\"} 5"))
+
+let test_server_stops () =
+  let r = Metrics.create_registry () in
+  ignore (Metrics.counter ~registry:r "test_stop_total");
+  let port =
+    Serve.with_server ~registry:r ~port:0 (fun server -> Serve.port server)
+  in
+  match Serve.scrape ~port () with
+  | _ -> Alcotest.fail "a stopped server must refuse connections"
+  | exception _ -> ()
+
 let () =
   Alcotest.run "simq_obs"
     [
@@ -343,6 +714,27 @@ let () =
             test_histogram_sum_and_count;
           Alcotest.test_case "exposition stable and parseable" `Quick
             test_exposition_stable_and_parseable;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "labeled children" `Quick test_labeled_children;
+          Alcotest.test_case "label value escaping" `Quick
+            test_label_value_escaping;
+          Alcotest.test_case "help escaping" `Quick test_help_escaping;
+          Alcotest.test_case "invalid names rejected" `Quick
+            test_invalid_names_rejected;
+        ] );
+      ( "grammar",
+        Alcotest.test_case "strict checker sanity" `Quick
+          test_strict_checker_sanity
+        :: Alcotest.test_case "exposition conforms" `Quick
+             test_exposition_conforms_to_strict_grammar
+        :: List.map QCheck_alcotest.to_alcotest [ prop_exposition_grammar ] );
+      ( "serve",
+        [
+          Alcotest.test_case "scrape equals dump" `Quick
+            test_scrape_equals_dump;
+          Alcotest.test_case "server stops" `Quick test_server_stops;
         ] );
       ( "determinism",
         [

@@ -1,38 +1,108 @@
 #!/bin/sh
-# Smoke test: build everything, run the full test suite, and drive the
-# fast benchmark sweep with the observability subsystem switched on.
+# Smoke test: drive the built binaries end to end — the fast benchmark
+# sweep with observability on, an admission-control rejection (exit 5)
+# that still dumps its metrics and trace, and a live scrape of the TCP
+# exposition endpoint while a bench run is serving it.
+#
+# Two modes:
+#   tools/smoke.sh                full standalone run: dune build @all,
+#                                 dune runtest, then the drive below
+#   tools/smoke.sh SIMQ BENCH     driven (what `dune build @smoke` runs):
+#                                 binaries are supplied, build and test
+#                                 are dune dependencies already
+#
 # Any nonzero exit fails the script immediately.
 set -eu
 
-cd "$(dirname "$0")/.."
+if [ $# -eq 0 ]; then
+  cd "$(dirname "$0")/.."
+  echo "== dune build @all"
+  dune build @all
+  echo "== dune runtest"
+  dune runtest
+  simq=$PWD/_build/default/bin/simq.exe
+  bench=$PWD/_build/default/bench/main.exe
+else
+  case $1 in /*) simq=$1 ;; *) simq=$PWD/$1 ;; esac
+  case $2 in /*) bench=$2 ;; *) bench=$PWD/$2 ;; esac
+fi
 
-echo "== dune build @all"
-dune build @all
-
-echo "== dune runtest"
-dune runtest
-
-echo "== bench --fast with metrics and tracing on"
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
-(
-  cd "$workdir"
-  dune exec --root "$OLDPWD" "$OLDPWD/bench/main.exe" -- --fast \
-    --metrics="$workdir/metrics.prom" --trace "$workdir/trace.json"
-)
+cd "$workdir"
+
+echo "== bench --fast with metrics and tracing on"
+"$bench" --fast --metrics=metrics.prom --trace trace.json
 
 # The exposition must contain every instrumented family; the trace must
 # be non-empty valid JSON (well-formedness is checked structurally by
 # the test suite, so a cheap shape check suffices here).
 for family in simq_buffer_pool simq_rtree simq_planner simq_pool \
-  simq_fault simq_scan simq_kindex simq_join simq_timer; do
-  grep -q "^# TYPE $family" "$workdir/metrics.prom" || {
+  simq_fault simq_scan simq_kindex simq_join simq_timer simq_admission; do
+  grep -q "^# TYPE $family" metrics.prom || {
     echo "smoke: family $family missing from the exposition" >&2
     exit 1
   }
 done
-grep -q '"traceEvents"' "$workdir/trace.json" || {
+grep -q '"traceEvents"' trace.json || {
   echo "smoke: trace.json has no traceEvents" >&2
+  exit 1
+}
+
+echo "== admission rejection exits 5 and still dumps observability"
+"$simq" generate --count 200 --length 64 -o smoke.rel
+status=0
+"$simq" query smoke.rel "RANGE FROM r QUERY s0 EPS 2.5" \
+  --admission --max-page-reads 2 --max-comparisons 2 --max-node-accesses 0 \
+  --metrics reject.prom --trace reject.json 2>reject.err || status=$?
+[ "$status" -eq 5 ] || {
+  echo "smoke: expected admission rejection to exit 5, got $status" >&2
+  cat reject.err >&2
+  exit 1
+}
+grep -q "rejected by admission control" reject.err || {
+  echo "smoke: rejection did not print the one-line reason" >&2
+  exit 1
+}
+grep -q '^simq_admission_decisions_total{decision="reject"} 1' reject.prom || {
+  echo "smoke: rejection not counted in the dumped exposition" >&2
+  exit 1
+}
+grep -q '"traceEvents"' reject.json || {
+  echo "smoke: rejected run left no trace dump" >&2
+  exit 1
+}
+
+echo "== live scrape of a serving bench run"
+"$bench" --fast --metrics-port 0 2>serve.err &
+bench_pid=$!
+port=
+scraped=0
+i=0
+while [ "$i" -lt 400 ]; do
+  if [ -z "$port" ]; then
+    port=$(sed -n 's!.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*!\1!p' serve.err | head -n 1)
+  fi
+  if [ -n "$port" ] && "$simq" scrape --port "$port" >scrape.prom 2>/dev/null; then
+    scraped=1
+    break
+  fi
+  kill -0 "$bench_pid" 2>/dev/null || break
+  sleep 0.02
+  i=$((i + 1))
+done
+wait "$bench_pid" || {
+  echo "smoke: background bench run failed" >&2
+  cat serve.err >&2
+  exit 1
+}
+[ "$scraped" -eq 1 ] || {
+  echo "smoke: never reached the live metrics endpoint" >&2
+  cat serve.err >&2
+  exit 1
+}
+grep -q '^# TYPE simq_' scrape.prom || {
+  echo "smoke: live scrape returned no simq metric families" >&2
   exit 1
 }
 
