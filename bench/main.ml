@@ -121,10 +121,24 @@ let rec strip_jobs = function
    the observability subsystem for the whole run; the exposition /
    Chrome trace is written once all experiments finish ("-" means
    stdout), and the port (or SIMQ_METRICS_PORT) serves the live
-   exposition while the run is in flight. *)
+   exposition while the run is in flight.
+
+   [--qlog FILE] (with [--qlog-sample N] and [--qlog-slow-ms T])
+   installs the ambient query log, so every query the experiments route
+   through Planner.range_resilient appends a line. [--metrics-state
+   FILE] loads the saved registry state before the run and rewrites it
+   afterwards, persisting planner calibration across processes. *)
 let metrics_dest = ref None
 let trace_dest = ref None
 let metrics_port = ref None
+let qlog_dest = ref None
+let qlog_sample = ref 1
+let qlog_slow_ms = ref None
+let metrics_state = ref None
+
+let obs_usage opt expected =
+  Printf.eprintf "option '%s': expected %s\n" opt expected;
+  exit 2
 
 let rec strip_obs = function
   | [] -> []
@@ -148,6 +162,28 @@ let rec strip_obs = function
   | "--metrics-port" :: [] ->
     prerr_endline "option '--metrics-port': expected a port number";
     exit 2
+  | "--qlog" :: file :: rest ->
+    qlog_dest := Some file;
+    strip_obs rest
+  | "--qlog" :: [] -> obs_usage "--qlog" "a file name"
+  | "--qlog-sample" :: value :: rest -> (
+    match int_of_string_opt (String.trim value) with
+    | Some n when n >= 1 ->
+      qlog_sample := n;
+      strip_obs rest
+    | _ -> obs_usage "--qlog-sample" "an integer >= 1")
+  | "--qlog-sample" :: [] -> obs_usage "--qlog-sample" "an integer >= 1"
+  | "--qlog-slow-ms" :: value :: rest -> (
+    match float_of_string_opt (String.trim value) with
+    | Some t when t >= 0. ->
+      qlog_slow_ms := Some t;
+      strip_obs rest
+    | _ -> obs_usage "--qlog-slow-ms" "a duration in milliseconds")
+  | "--qlog-slow-ms" :: [] -> obs_usage "--qlog-slow-ms" "a duration in milliseconds"
+  | "--metrics-state" :: file :: rest ->
+    metrics_state := Some file;
+    strip_obs rest
+  | "--metrics-state" :: [] -> obs_usage "--metrics-state" "a file name"
   | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
     metrics_dest := Some (String.sub arg 10 (String.length arg - 10));
     strip_obs rest
@@ -164,14 +200,41 @@ let dump_obs () =
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (Metrics.exposition ())));
-  match !trace_dest with
+  (match !trace_dest with
   | None -> ()
-  | Some file -> Trace.export_file file
+  | Some file -> Trace.export_file file);
+  match !metrics_state with
+  | None -> ()
+  | Some file -> Metrics.save_state file
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> strip_jobs |> strip_obs in
   if !metrics_dest <> None then Simq_obs.Metrics.set_enabled true;
   if !trace_dest <> None then Simq_obs.Trace.set_enabled true;
+  (* Like the CLI: persisted state and qlog deltas need live counters. *)
+  if !metrics_state <> None || !qlog_dest <> None then
+    Simq_obs.Metrics.set_enabled true;
+  (match !metrics_state with
+  | Some file when Sys.file_exists file -> (
+    match Simq_obs.Metrics.load_state file with
+    | () -> ()
+    | exception (Failure msg | Sys_error msg) ->
+      prerr_endline ("bench: " ^ msg);
+      exit 2)
+  | _ -> ());
+  let qlog =
+    match !qlog_dest with
+    | None -> None
+    | Some file -> (
+      match
+        Simq_obs.Qlog.create ~sample:!qlog_sample ?slow_ms:!qlog_slow_ms file
+      with
+      | t -> Some t
+      | exception Sys_error msg ->
+        prerr_endline ("bench: " ^ msg);
+        exit 2)
+  in
+  Simq_obs.Qlog.install qlog;
   let server =
     match Simq_cli.resolve_metrics_port !metrics_port with
     | None -> None
@@ -183,7 +246,10 @@ let () =
       Some server
   in
   Fun.protect
-    ~finally:(fun () -> Option.iter Simq_obs.Serve.stop server)
+    ~finally:(fun () ->
+      Option.iter Simq_obs.Serve.stop server;
+      Simq_obs.Qlog.install None;
+      Option.iter Simq_obs.Qlog.close qlog)
     (fun () ->
       let fast = List.mem "--fast" args in
       let names = List.filter (fun a -> a <> "--fast") args in

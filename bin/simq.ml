@@ -13,6 +13,10 @@ open Cmdliner
 module Relation = Simq_storage.Relation
 module Budget = Simq_fault.Budget
 module Otrace = Simq_obs.Trace
+module Profile = Simq_obs.Profile
+module Qlog = Simq_obs.Qlog
+module Clock = Simq_obs.Clock
+module Metrics = Simq_obs.Metrics
 open Simq_tsindex
 
 (* User-facing failures (Simq_cli.error): one line on stderr, a
@@ -89,6 +93,69 @@ let metrics_port_arg =
            collection. The $(b,SIMQ_METRICS_PORT) environment variable \
            sets a default.")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Record a per-query EXPLAIN ANALYZE operator tree — wall time, \
+           rows, pages, candidates and survivors, early-abandon hits, \
+           retry and degradation events per operator — and dump it when \
+           the command finishes: to stdout, or to $(docv) when one is \
+           given (a $(b,.json) suffix selects the JSON export over the \
+           indented text tree).")
+
+let qlog_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "qlog" ] ~docv:"FILE"
+        ~doc:
+          "Append one self-describing JSON line per executed query to \
+           $(docv): spec and digest, admission decision, access path, \
+           per-family counter deltas, duration, outcome with its exit \
+           code, and domain count. Aggregate offline with \
+           $(b,simq qlog-top).")
+
+let qlog_sample_arg =
+  Arg.(
+    value
+    & opt Simq_cli.positive_int 1
+    & info [ "qlog-sample" ] ~docv:"N"
+        ~doc:
+          "Keep 1 in $(docv) query-log lines, keyed off the query \
+           sequence number so reruns of a fixed workload log the same \
+           queries. Default: keep everything.")
+
+let qlog_slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "qlog-slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Always log queries that take at least $(docv) milliseconds, \
+           regardless of $(b,--qlog-sample).")
+
+let metrics_state_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-state" ] ~docv:"FILE"
+        ~doc:
+          "Persist the metrics registry across processes: load $(docv) \
+           when it exists before the command runs and rewrite it \
+           afterwards, so planner calibration gauges survive restarts. \
+           Implies metric collection.")
+
+let make_qlog ~sample ~slow_ms = function
+  | None -> Ok None
+  | Some path -> (
+    match Qlog.create ~sample ?slow_ms path with
+    | t -> Ok (Some t)
+    | exception Sys_error msg -> Error (File msg)
+    | exception Invalid_argument msg -> Error (Usage msg))
+
 (* --- generate ------------------------------------------------------------ *)
 
 let generate kind count length seed out jobs =
@@ -164,7 +231,14 @@ let resolve_query_series dataset spec ~name ~noise =
     assert (Spec.output_length spec ~n = n);
     Ok series
 
-let run_parsed_query index dataset noise ~budget ~admission q =
+(* What the query log needs to know about the executed query, filled in
+   as the plan unfolds. *)
+type query_note = {
+  mutable note_path : string option;
+  mutable note_decision : string option;
+}
+
+let run_parsed_query ?profile ~note index dataset noise ~budget ~admission q =
   match q with
   | Ql.Range { spec; query; epsilon; mean_window = _; std_band = _; _ }
     when Option.is_some budget || admission ->
@@ -182,8 +256,17 @@ let run_parsed_query index dataset noise ~budget ~admission q =
     let outcome, elapsed =
       Simq_report.Timer.time (fun () ->
           Planner.range_resilient ~spec ~budget ~counters ?stats
-            ?admission:policy index ~query:series ~epsilon)
+            ?admission:policy ?profile index ~query:series ~epsilon)
     in
+    (match outcome with
+    | Ok (r : Planner.resilient_result) ->
+      note.note_path <-
+        Some (Format.asprintf "%a" Planner.pp_plan r.Planner.executed);
+      note.note_decision <-
+        Option.map Simq_admission.decision_name r.Planner.admission
+    | Error e ->
+      if Simq_fault.Error.kind e = "rejected" then
+        note.note_decision <- Some "reject");
     let* (result : Planner.resilient_result) =
       Result.map_error (fun e -> Fault e) outcome
     in
@@ -202,10 +285,11 @@ let run_parsed_query index dataset noise ~budget ~admission q =
     Ok ()
   | Ql.Range { spec; query; epsilon; mean_window; std_band; _ } ->
     let* series = resolve_query_series dataset spec ~name:query ~noise in
+    note.note_path <- Some "index";
     let (result : Kindex.range_result), elapsed =
       Simq_report.Timer.time (fun () ->
-          Kindex.range ~spec ?mean_window ?std_band index ~query:series
-            ~epsilon)
+          Kindex.range ~spec ?mean_window ?std_band ?profile index
+            ~query:series ~epsilon)
     in
     Printf.printf "%d answers (%d candidates, %d node accesses, %s)\n"
       (List.length result.Kindex.answers)
@@ -220,9 +304,10 @@ let run_parsed_query index dataset noise ~budget ~admission q =
     usage "budgets (--deadline/--max-*) apply to RANGE and PAIRS scan queries"
   | Ql.Nearest { k; spec; query; _ } ->
     let* series = resolve_query_series dataset spec ~name:query ~noise in
+    note.note_path <- Some "index";
     let results, elapsed =
       Simq_report.Timer.time (fun () ->
-          Kindex.nearest ~spec index ~query:series ~k)
+          Kindex.nearest ~spec ?profile index ~query:series ~k)
     in
     Printf.printf "%d nearest (%s)\n" (List.length results)
       (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
@@ -234,16 +319,19 @@ let run_parsed_query index dataset noise ~budget ~admission q =
   | Ql.Pairs { method_ = Ql.Index; _ } when Option.is_some budget ->
     usage "budgets (--deadline/--max-*) apply to RANGE and PAIRS scan queries"
   | Ql.Pairs { spec; epsilon; method_; _ } ->
+    note.note_path <-
+      Some (match method_ with Ql.Index -> "index" | _ -> "scan");
     let join index ~epsilon =
       match (budget, method_) with
       | Some budget, (Ql.Scan_full | Ql.Scan_early) ->
         Result.map_error
           (fun e -> Fault e)
           (Join.scan_checked ~spec ~abandon:(method_ = Ql.Scan_early) ~budget
-             index ~epsilon)
-      | None, Ql.Scan_full -> Ok (Join.scan_full ~spec index ~epsilon)
-      | None, Ql.Scan_early -> Ok (Join.scan_early_abandon ~spec index ~epsilon)
-      | _, Ql.Index -> Ok (Join.index_transformed ~spec index ~epsilon)
+             ?profile index ~epsilon)
+      | None, Ql.Scan_full -> Ok (Join.scan_full ~spec ?profile index ~epsilon)
+      | None, Ql.Scan_early ->
+        Ok (Join.scan_early_abandon ~spec ?profile index ~epsilon)
+      | _, Ql.Index -> Ok (Join.index_transformed ~spec ?profile index ~epsilon)
     in
     let outcome, elapsed =
       Simq_report.Timer.time (fun () -> join index ~epsilon)
@@ -273,15 +361,33 @@ let budget_of ~deadline ~max_page_reads ~max_comparisons ~max_node_accesses =
     | budget -> Ok (Some budget)
     | exception Invalid_argument msg -> usage msg)
 
-let query_impl file text noise jobs metrics trace metrics_port admission
-    deadline max_page_reads max_comparisons max_node_accesses =
+(* The qlog outcome strings mirror the exit-code mapping: "ok"/0, the
+   typed fault kind (4 or 5 for a rejection), and the flat usage /
+   file / csv buckets. *)
+let outcome_of_result = function
+  | Ok () -> ("ok", 0)
+  | Error e ->
+    let kind =
+      match e with
+      | Fault f -> Simq_fault.Error.kind f
+      | Usage _ -> "usage"
+      | File _ -> "file"
+      | Csv_error _ -> "csv"
+    in
+    (kind, Simq_cli.exit_code e)
+
+let query_impl file text noise jobs metrics trace metrics_port metrics_state
+    profile qlog qlog_sample qlog_slow_ms admission deadline max_page_reads
+    max_comparisons max_node_accesses =
   apply_jobs jobs;
+  let profile = Option.map (fun dest -> (Profile.create (), dest)) profile in
+  let* qlog = make_qlog ~sample:qlog_sample ~slow_ms:qlog_slow_ms qlog in
   (* Every failure below this point — usage errors, bad budgets,
      budget exhaustion, admission rejections — still dumps the
-     requested metrics/trace files on the way out. *)
+     requested metrics/trace/profile/state files on the way out. *)
   Simq_cli.with_obs
     ?metrics_port:(Simq_cli.resolve_metrics_port metrics_port)
-    ~metrics ~trace (fun () ->
+    ?metrics_state ?profile ?qlog ~metrics ~trace (fun () ->
       let* budget =
         budget_of ~deadline ~max_page_reads ~max_comparisons
           ~max_node_accesses
@@ -293,8 +399,33 @@ let query_impl file text noise jobs metrics trace metrics_port admission
       in
       let index = Otrace.with_span "build" (fun () -> Kindex.build dataset) in
       let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
-      Otrace.with_span "execute" (fun () ->
-          run_parsed_query index dataset noise ~budget ~admission q))
+      let note = { note_path = None; note_decision = None } in
+      let run () =
+        Otrace.with_span "execute" (fun () ->
+            run_parsed_query ?profile:(Option.map fst profile) ~note index
+              dataset noise ~budget ~admission q)
+      in
+      match qlog with
+      | None -> run ()
+      | Some qlog ->
+        let before = Metrics.snapshot () in
+        let t0 = Clock.now_ns () in
+        let result = run () in
+        let duration_s = Clock.elapsed_s t0 in
+        let outcome, code = outcome_of_result result in
+        Qlog.log qlog
+          {
+            Qlog.spec = text;
+            digest = String.sub (Digest.to_hex (Digest.string text)) 0 12;
+            decision = note.note_decision;
+            path = note.note_path;
+            deltas = Qlog.counter_deltas ~before ~after:(Metrics.snapshot ());
+            duration_s;
+            outcome;
+            exit_code = code;
+            domains = Simq_parallel.Pool.domains (Simq_parallel.Pool.default ());
+          };
+        result)
 
 let ql_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
@@ -368,33 +499,69 @@ let export_impl file out =
 
 (* --- experiments -------------------------------------------------------------- *)
 
-let experiments_impl name fast jobs metrics trace metrics_port =
+let experiments_impl name fast jobs metrics trace metrics_port metrics_state =
   apply_jobs jobs;
   Simq_cli.with_obs
     ?metrics_port:(Simq_cli.resolve_metrics_port metrics_port)
-    ~metrics ~trace (fun () ->
+    ?metrics_state ~metrics ~trace (fun () ->
       Result.map_error (fun msg -> Usage msg)
         (Simq_experiments.Experiments.run ~fast name))
 
 (* --- scrape ---------------------------------------------------------------- *)
 
-let scrape_impl host port =
-  match Simq_cli.resolve_metrics_port port with
-  | None ->
-    usage "scrape: no port given (use --port or set SIMQ_METRICS_PORT)"
-  | Some port -> (
-    match Simq_obs.Serve.scrape ~host ~port () with
-    | body ->
-      print_string body;
-      Ok ()
-    | exception Unix.Unix_error (err, _, _) ->
-      Error
-        (File
-           (Printf.sprintf "scrape http://%s:%d/metrics: %s" host port
-              (Unix.error_message err)))
-    | exception Failure msg ->
-      Error
-        (File (Printf.sprintf "scrape http://%s:%d/metrics: %s" host port msg)))
+let scrape_impl host port = Simq_cli.scrape ~host ~port
+
+(* --- qlog-top --------------------------------------------------------------- *)
+
+let qlog_top_impl file top =
+  if not (Sys.file_exists file) then
+    Error (File (Printf.sprintf "no such file: %s" file))
+  else begin
+    let parsed = ref [] in
+    let malformed = ref 0 in
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match Simq_obs.Json.parse line with
+              | Ok json -> parsed := json :: !parsed
+              | Error _ -> incr malformed
+          done
+        with End_of_file -> ());
+    let agg = Qlog.aggregate ~top (List.rev !parsed) in
+    Printf.printf "%s: %d entries, total %.1f ms\n" file agg.Qlog.entries
+      (agg.Qlog.total_duration_s *. 1000.);
+    if !malformed > 0 then
+      Printf.printf "  (%d malformed lines skipped)\n" !malformed;
+    let breakdown label table =
+      if table <> [] then
+        Printf.printf "%-12s %s\n" (label ^ ":")
+          (String.concat ", "
+             (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) table))
+    in
+    breakdown "by path" agg.Qlog.by_path;
+    breakdown "by decision" agg.Qlog.by_decision;
+    breakdown "by outcome" agg.Qlog.by_outcome;
+    if agg.Qlog.top_by_duration <> [] then begin
+      Printf.printf "top by duration:\n";
+      List.iter
+        (fun (seq, spec, d) ->
+          Printf.printf "  #%-4d %-44s %10.1f ms\n" seq spec (d *. 1000.))
+        agg.Qlog.top_by_duration
+    end;
+    if agg.Qlog.top_by_pages <> [] then begin
+      Printf.printf "top by pages:\n";
+      List.iter
+        (fun (seq, spec, pages) ->
+          Printf.printf "  #%-4d %-44s %7d pages\n" seq spec pages)
+        agg.Qlog.top_by_pages
+    end;
+    Ok ()
+  end
 
 let experiment_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
@@ -425,14 +592,17 @@ let query_cmd =
   let doc = "run a similarity query against a stored relation" in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const (fun file text noise jobs metrics trace metrics_port admission
-                 deadline pages comparisons nodes ->
+      const (fun file text noise jobs metrics trace metrics_port metrics_state
+                 profile qlog qlog_sample qlog_slow_ms admission deadline pages
+                 comparisons nodes ->
           handle
             (query_impl file text noise jobs metrics trace metrics_port
-               admission deadline pages comparisons nodes))
+               metrics_state profile qlog qlog_sample qlog_slow_ms admission
+               deadline pages comparisons nodes))
       $ file_arg $ ql_arg $ noise_arg $ jobs_arg $ metrics_arg $ trace_arg
-      $ metrics_port_arg $ admission_arg $ deadline_arg $ max_page_reads_arg
-      $ max_comparisons_arg $ max_node_accesses_arg)
+      $ metrics_port_arg $ metrics_state_arg $ profile_arg $ qlog_arg
+      $ qlog_sample_arg $ qlog_slow_ms_arg $ admission_arg $ deadline_arg
+      $ max_page_reads_arg $ max_comparisons_arg $ max_node_accesses_arg)
 
 let import_cmd =
   let doc = "import a CSV file (one series per row: name,v1,v2,...)" in
@@ -457,10 +627,24 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const (fun name fast jobs metrics trace metrics_port ->
-          handle (experiments_impl name fast jobs metrics trace metrics_port))
+      const (fun name fast jobs metrics trace metrics_port metrics_state ->
+          handle
+            (experiments_impl name fast jobs metrics trace metrics_port
+               metrics_state))
       $ experiment_arg $ fast_arg $ jobs_arg $ metrics_arg $ trace_arg
-      $ metrics_port_arg)
+      $ metrics_port_arg $ metrics_state_arg)
+
+let qlog_top_cmd =
+  let doc = "aggregate a --qlog file: totals, breakdowns, top-k queries" in
+  Cmd.v (Cmd.info "qlog-top" ~doc)
+    Term.(
+      const (fun file top -> handle (qlog_top_impl file top))
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"FILE"
+                 ~doc:"Query-log file written by $(b,--qlog).")
+      $ Arg.(value & opt Simq_cli.positive_int 5
+             & info [ "top" ] ~docv:"K"
+                 ~doc:"Entries per ranking (slowest, most pages)."))
 
 let scrape_cmd =
   let doc = "fetch the exposition from a running --metrics-port server" in
@@ -481,7 +665,7 @@ let () =
       (Cmd.info "simq" ~doc ~version:"1.0.0")
       [
         generate_cmd; info_cmd; query_cmd; import_cmd; export_cmd;
-        experiments_cmd; scrape_cmd;
+        experiments_cmd; qlog_top_cmd; scrape_cmd;
       ]
   in
   exit (Cmd.eval' cmd)

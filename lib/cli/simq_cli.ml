@@ -1,6 +1,9 @@
 module Metrics = Simq_obs.Metrics
 module Otrace = Simq_obs.Trace
 module Serve = Simq_obs.Serve
+module Profile = Simq_obs.Profile
+module Qlog = Simq_obs.Qlog
+module Json = Simq_obs.Json
 module Error = Simq_fault.Error
 
 type error =
@@ -84,8 +87,47 @@ let dump_observability ~metrics ~trace =
     | () -> Ok ()
     | exception Sys_error msg -> Error (File msg))
 
-let with_obs ?metrics_port ~metrics ~trace f =
+let dump_profile = function
+  | None -> Ok ()
+  | Some (profile, dest) -> (
+    let text =
+      if dest <> "-" && Filename.check_suffix dest ".json" then
+        Json.to_string (Profile.to_json profile) ^ "\n"
+      else Profile.render profile
+    in
+    match dest with
+    | "-" ->
+      print_string text;
+      Ok ()
+    | file -> (
+      match
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc text)
+      with
+      | () -> Ok ()
+      | exception Sys_error msg -> Error (File msg)))
+
+let save_metrics_state = function
+  | None -> Ok ()
+  | Some file -> (
+    match Metrics.save_state file with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error (File msg))
+
+let close_qlog qlog =
+  match Option.iter Qlog.close qlog with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (File msg)
+
+let with_obs ?metrics_port ?metrics_state ?profile ?qlog ~metrics ~trace f =
   if Option.is_some metrics then Metrics.set_enabled true;
+  (* Persisted state is collected state: restoring or saving it without
+     collection running would round-trip zeros. Likewise the query
+     log's counter deltas are empty unless collection is on. *)
+  if Option.is_some metrics_state then Metrics.set_enabled true;
+  if Option.is_some qlog then Metrics.set_enabled true;
   if Option.is_some trace then Otrace.set_enabled true;
   let server =
     match metrics_port with
@@ -106,15 +148,57 @@ let with_obs ?metrics_port ~metrics ~trace f =
   in
   let* server = server in
   Fun.protect ~finally:(fun () -> Option.iter Serve.stop server) @@ fun () ->
-  let result =
-    match f () with
-    | result -> result
-    | exception exn ->
-      let bt = Printexc.get_raw_backtrace () in
-      (* The run blew up; the collected metrics/trace describe the
-         failing run and must still be written before re-raising. *)
-      ignore (dump_observability ~metrics ~trace : (unit, error) result);
-      Printexc.raise_with_backtrace exn bt
+  (* Every exit path runs the whole dump chain; the first failure wins
+     but each step still only depends on its own destination. *)
+  let dump_all () =
+    let* () = dump_observability ~metrics ~trace in
+    let* () = dump_profile profile in
+    let* () = save_metrics_state metrics_state in
+    close_qlog qlog
   in
-  let dumped = dump_observability ~metrics ~trace in
-  match result with Error _ -> result | Ok () -> dumped
+  let loaded =
+    match metrics_state with
+    | Some file when Sys.file_exists file -> (
+      match Metrics.load_state file with
+      | () -> Ok ()
+      | exception Failure msg -> Error (File msg)
+      | exception Sys_error msg -> Error (File msg))
+    | _ -> Ok ()
+  in
+  match loaded with
+  | Error _ as e ->
+    (* The saved state could not be restored, so [f] never ran; the log
+       still has to be released. *)
+    ignore (close_qlog qlog : (unit, error) result);
+    e
+  | Ok () ->
+    let result =
+      match f () with
+      | result -> result
+      | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        (* The run blew up; the collected metrics/trace/profile/state
+           describe the failing run and must still be written before
+           re-raising. *)
+        ignore (dump_all () : (unit, error) result);
+        Printexc.raise_with_backtrace exn bt
+    in
+    let dumped = dump_all () in
+    (match result with Error _ -> result | Ok () -> dumped)
+
+let scrape ~host ~port =
+  match resolve_metrics_port port with
+  | None ->
+    Error (Usage "scrape: no port given (use --port or set SIMQ_METRICS_PORT)")
+  | Some port -> (
+    match Serve.scrape ~host ~port () with
+    | body ->
+      print_string body;
+      Ok ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (File
+           (Printf.sprintf "scrape http://%s:%d/metrics: %s" host port
+              (Unix.error_message err)))
+    | exception Failure msg ->
+      Error (File (Printf.sprintf "scrape http://%s:%d/metrics: %s" host port msg)))

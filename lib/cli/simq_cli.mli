@@ -49,10 +49,33 @@ val dump_observability :
     exposition is served on [127.0.0.1:port] ({!Simq_obs.Serve}) for
     the duration of [f]; port [0] picks an ephemeral port, printed on
     stderr. A port that cannot be bound is a [Usage] error and [f] is
-    not run. *)
+    not run.
+
+    The same every-exit-path guarantee extends to the per-query
+    forensics: [profile] is a {!Simq_obs.Profile} plus its destination
+    (["-"] for stdout; a [.json] suffix selects the JSON export over
+    the text tree), [qlog] an open {!Simq_obs.Qlog} closed (hence
+    flushed) on the way out — forcing metric collection on, so the
+    logged counter deltas are live — and [metrics_state] a
+    {!Simq_obs.Metrics.save_state} file — loaded before [f] when it
+    exists (forcing metric collection on, like [metrics_port]) and
+    rewritten afterwards, so calibration gauges survive restarts. A
+    state file that exists but does not parse is a [File] error and
+    [f] is not run. *)
 val with_obs :
   ?metrics_port:int ->
+  ?metrics_state:string ->
+  ?profile:Simq_obs.Profile.t * string ->
+  ?qlog:Simq_obs.Qlog.t ->
   metrics:string option ->
   trace:string option ->
   (unit -> (unit, error) result) ->
   (unit, error) result
+
+(** [scrape ~host ~port] resolves the port ({!resolve_metrics_port}),
+    fetches the live exposition from a running {!Simq_obs.Serve}
+    endpoint and prints it to stdout. A missing port is a [Usage]
+    error; connection failures (dead or non-listening port, peer gone
+    mid-conversation) and malformed responses are one-line [File]
+    errors — never an uncaught [Unix_error]. *)
+val scrape : host:string -> port:int option -> (unit, error) result

@@ -63,6 +63,14 @@ val ablation_fault : fast:bool -> claim list
     determinism of merged counter totals at 1/2/4 domains. *)
 val ablation_obs : fast:bool -> claim list
 
+(** Ablation: the profiling layer — answers and query counters
+    bit-identical with a profile attached, the per-query cost of
+    recording the operator tree on both access paths (asserted < 1.5x),
+    and cross-domain determinism of the rendered tree (timings
+    stripped) at 1/2/4 domains; writes [BENCH_profile.json] in the
+    working directory. *)
+val ablation_profile : fast:bool -> claim list
+
 (** Ablation: the admission layer — rejection precision and recall
     against ground-truth over-budget runs, identical decisions at
     1/2/4 domains, zero execution-side counter movement on a rejected
@@ -91,6 +99,7 @@ val all : fast:bool -> unit
     ("fig8" … "table1", "edit_dp", "eq10", "vptree",
     "ablation_k", "ablation_repr", "ablation_rtree",
     "ablation_trails", "ablation_fault", "ablation_obs",
-    "ablation_admission", "planner", "par", "all").
+    "ablation_profile", "ablation_admission", "planner", "par",
+    "all").
     Unknown names return [Error] with the available names. *)
 val run : fast:bool -> string -> (unit, string) result

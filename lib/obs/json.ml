@@ -1,0 +1,265 @@
+(* Minimal JSON emitter/parser shared by Qlog, Profile and the
+   metrics-state snapshot. See json.mli. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to buf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" v)
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> if Float.is_finite v then number_to buf v else Buffer.add_string buf "null"
+  | Str s -> escape_to buf s
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (name, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf name;
+          Buffer.add_char buf ':';
+          emit buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: plain recursive descent over a cursor.                     *)
+
+exception Bad of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then (
+      pos := !pos + len;
+      value)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let utf8_add buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then (
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+    else if code < 0x10000 then (
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+    else (
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "truncated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char buf e;
+              loop ()
+          | 'n' ->
+              Buffer.add_char buf '\n';
+              loop ()
+          | 'r' ->
+              Buffer.add_char buf '\r';
+              loop ()
+          | 't' ->
+              Buffer.add_char buf '\t';
+              loop ()
+          | 'b' ->
+              Buffer.add_char buf '\b';
+              loop ()
+          | 'f' ->
+              Buffer.add_char buf '\012';
+              loop ()
+          | 'u' ->
+              let code = try hex4 () with _ -> fail "bad \\u escape" in
+              (* Surrogate pair: decode the low half when present. *)
+              let code =
+                if code >= 0xD800 && code <= 0xDBFF
+                   && !pos + 6 <= n
+                   && s.[!pos] = '\\'
+                   && s.[!pos + 1] = 'u'
+                then (
+                  pos := !pos + 2;
+                  let low = try hex4 () with _ -> fail "bad \\u escape" in
+                  if low >= 0xDC00 && low <= 0xDFFF then
+                    0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                  else fail "bad surrogate pair")
+                else code
+              in
+              utf8_add buf code;
+              loop ()
+          | _ -> fail "bad escape")
+      | c ->
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a value";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec fields acc =
+            skip_ws ();
+            let name = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((name, value) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((name, value) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          Arr [])
+        else
+          let rec items acc =
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (value :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (value :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (items [])
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+      Error (Printf.sprintf "json: %s at offset %d" msg at)
+
+(* ------------------------------------------------------------------ *)
+(* Projections                                                         *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let number = function Num v -> Some v | _ -> None
+let string_of = function Str s -> Some s | _ -> None
+let arr = function Arr items -> Some items | _ -> None
+let obj = function Obj fields -> Some fields | _ -> None

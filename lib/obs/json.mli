@@ -1,0 +1,45 @@
+(** A minimal JSON value type with an emitter and a parser.
+
+    The observability layer speaks JSON in several places — the query
+    log ({!Qlog}), the profile export ({!Profile.to_json}), the
+    metrics-state snapshot ({!Metrics.save_state}) and the offline
+    aggregator behind [simq qlog-top] — and the toolchain here has no
+    JSON package, so this module is the single shared implementation.
+    It covers exactly the JSON we emit: finite numbers, UTF-8 strings
+    with standard escapes, arrays and objects. It is not a streaming
+    parser and is not meant for untrusted multi-megabyte inputs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [to_string v] renders [v] on one line with no trailing newline.
+    Integral numbers print without a decimal point; non-finite numbers
+    (which valid JSON cannot carry) render as [null]. Strings escape
+    the double quote, the backslash and control characters. *)
+val to_string : t -> string
+
+(** [parse s] parses one JSON value, requiring that nothing but
+    whitespace follows it. Accepts the standard escape sequences
+    including [\uXXXX] (decoded to UTF-8). Returns [Error msg] with a
+    character offset on malformed input. *)
+val parse : string -> (t, string) result
+
+(** [member name v] is the value bound to [name] when [v] is an object
+    containing it. *)
+val member : string -> t -> t option
+
+(** Projections: [Some] payload when the value has the matching
+    constructor. [number] accepts only [Num]; [string_of] only [Str]. *)
+
+val number : t -> float option
+
+val string_of : t -> string option
+
+val arr : t -> t list option
+
+val obj : t -> (string * t) list option

@@ -453,3 +453,143 @@ let reset ?(registry = default) () =
           Array.iter (Array.iter (fun cell -> Atomic.set cell 0)) h.counts;
           Array.iter (fun cell -> Atomic.set cell 0.) h.sums)
     (metrics_sorted registry)
+
+(* --- state persistence ----------------------------------------------------
+
+   A registry snapshot as one JSON document, so calibration gauges
+   (and any other metric) can survive a process restart. Loading
+   writes cells directly — deliberately bypassing the [on ()] gate,
+   because restoring state is not an instrumented event — and lands
+   counter/histogram contents in shard 0, which the merge-on-read
+   accessors fold in like any other shard. *)
+
+let sample_json sample =
+  let labels_json labels =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+  in
+  match sample with
+  | Counter_sample { name; labels; help; total } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "counter");
+          ("name", Json.Str name);
+          ("labels", labels_json labels);
+          ("help", Json.Str help);
+          ("total", Json.Num (float_of_int total));
+        ]
+  | Gauge_sample { name; labels; help; value } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "gauge");
+          ("name", Json.Str name);
+          ("labels", labels_json labels);
+          ("help", Json.Str help);
+          ("value", Json.Num value);
+        ]
+  | Histogram_sample { name; labels; help; buckets; sum; count = _ } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "histogram");
+          ("name", Json.Str name);
+          ("labels", labels_json labels);
+          ("help", Json.Str help);
+          ( "buckets",
+            Json.Arr
+              (Array.to_list
+                 (Array.map (fun n -> Json.Num (float_of_int n)) buckets)) );
+          ("sum", Json.Num sum);
+        ]
+
+let save_state ?(registry = default) path =
+  let doc =
+    Json.Obj
+      [
+        ("event", Json.Str "simq.metrics-state");
+        ("v", Json.Num 1.);
+        ("metrics", Json.Arr (List.map sample_json (snapshot ~registry ())));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n')
+
+let load_state ?(registry = default) path =
+  let bad fmt = Printf.ksprintf (fun m -> failwith (path ^ ": " ^ m)) fmt in
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc =
+    match Json.parse text with Ok v -> v | Error msg -> bad "%s" msg
+  in
+  (match Json.member "event" doc with
+  | Some (Json.Str "simq.metrics-state") -> ()
+  | _ -> bad "not a simq.metrics-state document");
+  let entries =
+    match Json.member "metrics" doc with
+    | Some (Json.Arr l) -> l
+    | _ -> bad "missing metrics array"
+  in
+  List.iter
+    (fun m ->
+      let str field =
+        match Json.member field m with
+        | Some (Json.Str s) -> s
+        | _ -> bad "metric entry missing string field %S" field
+      in
+      let num field =
+        match Json.member field m with
+        | Some (Json.Num v) -> v
+        | _ -> bad "metric entry missing numeric field %S" field
+      in
+      let labels =
+        match Json.member "labels" m with
+        | Some (Json.Obj fields) ->
+            List.map
+              (fun (k, v) ->
+                match v with
+                | Json.Str s -> (k, s)
+                | _ -> bad "label %S is not a string" k)
+              fields
+        | _ -> []
+      in
+      let help = match Json.member "help" m with
+        | Some (Json.Str s) -> s
+        | _ -> ""
+      in
+      let name = str "name" in
+      let registered make =
+        try make () with Invalid_argument msg -> bad "%s" msg
+      in
+      match str "kind" with
+      | "counter" ->
+          let c = registered (fun () -> counter ~registry ~help ~labels name) in
+          let total = int_of_float (num "total") in
+          if total <> 0 then ignore (Atomic.fetch_and_add c.cells.(0) total)
+      | "gauge" ->
+          let g = registered (fun () -> gauge ~registry ~help ~labels name) in
+          Atomic.set g.cell (num "value")
+      | "histogram" ->
+          let h =
+            registered (fun () -> histogram ~registry ~help ~labels name)
+          in
+          (match Json.member "buckets" m with
+          | Some (Json.Arr bs) when List.length bs = buckets ->
+              List.iteri
+                (fun i b ->
+                  match b with
+                  | Json.Num v when v <> 0. ->
+                      ignore
+                        (Atomic.fetch_and_add h.counts.(0).(i)
+                           (int_of_float v))
+                  | _ -> ())
+                bs
+          | _ -> bad "histogram %S has no %d-bucket array" name buckets);
+          atomic_float_add h.sums.(0) (num "sum")
+      | kind -> bad "unknown metric kind %S" kind)
+    entries

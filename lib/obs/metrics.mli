@@ -176,3 +176,23 @@ val exposition : ?registry:registry -> unit -> string
     (registrations survive). Used by tests and by the experiment
     harness between runs. *)
 val reset : ?registry:registry -> unit -> unit
+
+(** {1 State persistence} *)
+
+(** [save_state path] writes the full merged snapshot of the registry
+    (counters, gauges, histogram buckets and sums, with labels and
+    help text) as one self-describing JSON document — the mechanism
+    behind the [--metrics-state] flag, which keeps the planner's
+    calibration gauges ([simq_planner_*]) alive across process
+    restarts so admission cost models do not start cold. *)
+val save_state : ?registry:registry -> string -> unit
+
+(** [load_state path] reads a {!save_state} document back: unseen
+    metrics are registered from their recorded kind/labels/help,
+    counter totals and histogram contents are {e added} to the
+    registry, gauges are set. Loading bypasses the {!on} gate — it
+    restores state rather than instrumenting work — and is
+    independent of the domain count. Raises [Failure] on malformed
+    content (with the path in the message) and [Sys_error] on I/O
+    errors. *)
+val load_state : ?registry:registry -> string -> unit

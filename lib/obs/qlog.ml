@@ -1,0 +1,221 @@
+(* Structured query log. See qlog.mli. *)
+
+type t = {
+  mutable oc : out_channel option;
+  sample : int;
+  slow_ms : float option;
+  mutable seen : int;
+  mutable written : int;
+  mutex : Mutex.t;
+}
+
+type entry = {
+  spec : string;
+  digest : string;
+  decision : string option;
+  path : string option;
+  deltas : (string * int) list;
+  duration_s : float;
+  outcome : string;
+  exit_code : int;
+  domains : int;
+}
+
+let create ?(sample = 1) ?slow_ms path =
+  if sample < 1 then invalid_arg "Qlog.create: sample must be >= 1";
+  (match slow_ms with
+  | Some t when t < 0. -> invalid_arg "Qlog.create: slow_ms must be >= 0"
+  | _ -> ());
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+  { oc = Some oc; sample; slow_ms; seen = 0; written = 0; mutex = Mutex.create () }
+
+let render_line ~seq entry =
+  let opt = function None -> Json.Null | Some s -> Json.Str s in
+  Json.to_string
+    (Json.Obj
+       [
+         ("event", Json.Str "simq.qlog");
+         ("v", Json.Num 1.);
+         ("seq", Json.Num (float_of_int seq));
+         ("spec", Json.Str entry.spec);
+         ("digest", Json.Str entry.digest);
+         ("decision", opt entry.decision);
+         ("path", opt entry.path);
+         ("duration_ms", Json.Num (entry.duration_s *. 1000.));
+         ("outcome", Json.Str entry.outcome);
+         ("exit", Json.Num (float_of_int entry.exit_code));
+         ("domains", Json.Num (float_of_int entry.domains));
+         ( "deltas",
+           Json.Obj
+             (List.map
+                (fun (name, d) -> (name, Json.Num (float_of_int d)))
+                entry.deltas) );
+       ])
+
+let log t entry =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          let seq = t.seen in
+          t.seen <- t.seen + 1;
+          let sampled = seq mod t.sample = 0 in
+          let slow =
+            match t.slow_ms with
+            | Some threshold -> entry.duration_s *. 1000. >= threshold
+            | None -> false
+          in
+          if sampled || slow then (
+            output_string oc (render_line ~seq entry);
+            output_char oc '\n';
+            flush oc;
+            t.written <- t.written + 1))
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          t.oc <- None;
+          close_out oc)
+
+let entries_seen t = t.seen
+let lines_written t = t.written
+
+(* ------------------------------------------------------------------ *)
+(* Ambient log                                                         *)
+
+let ambient_log : t option Atomic.t = Atomic.make None
+let install log = Atomic.set ambient_log log
+let ambient () = Atomic.get ambient_log
+
+(* ------------------------------------------------------------------ *)
+(* Building entries                                                    *)
+
+let sample_key name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      name ^ "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let counter_deltas ~before ~after =
+  let totals samples =
+    List.filter_map
+      (function
+        | Metrics.Counter_sample { name; labels; total; _ } ->
+            Some (sample_key name labels, total)
+        | _ -> None)
+      samples
+  in
+  let before = totals before in
+  List.filter_map
+    (fun (key, total) ->
+      let base = Option.value ~default:0 (List.assoc_opt key before) in
+      let delta = total - base in
+      if delta > 0 then Some (key, delta) else None)
+    (totals after)
+
+(* ------------------------------------------------------------------ *)
+(* Offline aggregation                                                 *)
+
+type aggregate = {
+  entries : int;
+  total_duration_s : float;
+  by_path : (string * int) list;
+  by_decision : (string * int) list;
+  by_outcome : (string * int) list;
+  top_by_duration : (int * string * float) list;
+  top_by_pages : (int * string * int) list;
+}
+
+let pages_of_deltas json =
+  match Json.member "deltas" json with
+  | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (key, v) ->
+          let family =
+            match String.index_opt key '{' with
+            | Some i -> String.sub key 0 i
+            | None -> key
+          in
+          if
+            family = "simq_buffer_pool_hits_total"
+            || family = "simq_buffer_pool_misses_total"
+          then acc + int_of_float (Option.value ~default:0. (Json.number v))
+          else acc)
+        0 fields
+  | _ -> 0
+
+let aggregate ?(top = 5) lines =
+  let bump key table =
+    match List.assoc_opt key !table with
+    | Some n -> table := (key, n + 1) :: List.remove_assoc key !table
+    | None -> table := (key, 1) :: !table
+  in
+  let entries = ref 0 in
+  let total = ref 0. in
+  let paths = ref [] and decisions = ref [] and outcomes = ref [] in
+  let by_duration = ref [] and by_pages = ref [] in
+  List.iter
+    (fun json ->
+      match Json.member "event" json with
+      | Some (Json.Str "simq.qlog") ->
+          incr entries;
+          let str field fallback =
+            match Json.member field json with
+            | Some (Json.Str s) -> s
+            | _ -> fallback
+          in
+          let num field =
+            match Json.member field json with
+            | Some (Json.Num v) -> v
+            | _ -> 0.
+          in
+          let seq = int_of_float (num "seq") in
+          let spec = str "spec" "?" in
+          let duration_s = num "duration_ms" /. 1000. in
+          total := !total +. duration_s;
+          bump (str "path" "-") paths;
+          bump (str "decision" "-") decisions;
+          bump (str "outcome" "?") outcomes;
+          by_duration := (seq, spec, duration_s) :: !by_duration;
+          by_pages := (seq, spec, pages_of_deltas json) :: !by_pages
+      | _ -> ())
+    lines;
+  let descending_counts table =
+    List.sort
+      (fun (ka, a) (kb, b) ->
+        match compare b a with 0 -> compare ka kb | c -> c)
+      !table
+  in
+  let take n l =
+    let rec go n = function
+      | x :: rest when n > 0 -> x :: go (n - 1) rest
+      | _ -> []
+    in
+    go n l
+  in
+  {
+    entries = !entries;
+    total_duration_s = !total;
+    by_path = descending_counts paths;
+    by_decision = descending_counts decisions;
+    by_outcome = descending_counts outcomes;
+    top_by_duration =
+      take top
+        (List.sort
+           (fun (_, _, a) (_, _, b) -> compare b a)
+           (List.rev !by_duration));
+    top_by_pages =
+      take top
+        (List.sort (fun (_, _, a) (_, _, b) -> compare b a) (List.rev !by_pages));
+  }

@@ -5,6 +5,16 @@ type t = {
   stopped : bool Atomic.t;
 }
 
+(* A peer that disappears mid-write must surface as [Unix_error
+   EPIPE] — which every write path here either swallows or lets the
+   caller map — not as SIGPIPE, whose default disposition kills the
+   whole process. Forced once, on first use of either socket path. *)
+let ignore_sigpipe =
+  lazy
+    (try
+       ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore : Sys.signal_behavior)
+     with Invalid_argument _ -> ())
+
 (* One request: drain the client's header block (best effort — a
    scraper that writes nothing still gets an answer), then write the
    whole response. The body is rendered per request so every scrape
@@ -73,6 +83,7 @@ let serve_loop sock stopped registry =
   loop ()
 
 let start ?(registry = Metrics.default) ~port () =
+  Lazy.force ignore_sigpipe;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (match
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -108,6 +119,7 @@ let with_server ?registry ~port f =
   Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)
 
 let scrape ?(host = "127.0.0.1") ~port () =
+  Lazy.force ignore_sigpipe;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())

@@ -41,5 +41,10 @@ val with_server : ?registry:Metrics.registry -> port:int -> (t -> 'a) -> 'a
     issues one HTTP GET and returns the response body (the
     exposition text). A self-contained scraper for scripts and tests
     on hosts without [curl]. Raises [Unix.Unix_error] on connection
-    failure and [Failure] on a malformed response. *)
+    failure and [Failure] on a malformed response.
+
+    Both {!start} and [scrape] ignore [SIGPIPE] process-wide on first
+    use, so a peer closing mid-conversation surfaces as
+    [Unix_error EPIPE] (caught, or mapped by the caller) instead of
+    killing the process. *)
 val scrape : ?host:string -> port:int -> unit -> string

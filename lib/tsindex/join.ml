@@ -5,6 +5,7 @@ module Budget = Simq_fault.Budget
 module Retry = Simq_fault.Retry
 module Metrics = Simq_obs.Metrics
 module Otrace = Simq_obs.Trace
+module Profile = Simq_obs.Profile
 
 let m_comparisons =
   Metrics.counter ~help:"Pairwise distance comparisons by join scans"
@@ -45,7 +46,7 @@ let transformed_spectra ?pool kindex spec =
    counter, and chunks merge in row order — the pair list and the
    counters come out exactly as the sequential double loop's. Rows
    shrink as [i] grows, so chunks are kept small to balance load. *)
-let scan ?pool ?bstate ~abandon kindex spec epsilon =
+let scan ?pool ?bstate ?profile ~abandon kindex spec epsilon =
   if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let dataset = Kindex.dataset kindex in
@@ -87,6 +88,8 @@ let scan ?pool ?bstate ~abandon kindex spec epsilon =
         !pairs
   in
   let chunk = max 1 (count / (16 * Pool.domains pool)) in
+  let pn = Profile.enter profile "join.scan" in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
   Otrace.with_span "join.scan" @@ fun () ->
   let partials =
     Pool.map_chunks ~pool ~chunk ~n:count (fun ~lo ~hi ->
@@ -110,29 +113,37 @@ let scan ?pool ?bstate ~abandon kindex spec epsilon =
         (pairs, !comparisons))
   in
   Otrace.with_span "join.merge" @@ fun () ->
-  {
-    pairs = List.concat_map fst partials;
-    distance_computations = List.fold_left (fun acc (_, c) -> acc + c) 0 partials;
-    node_accesses = 0;
-  }
+  let result =
+    {
+      pairs = List.concat_map fst partials;
+      distance_computations =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 partials;
+      node_accesses = 0;
+    }
+  in
+  Profile.add_rows_in pn count;
+  Profile.add_candidates pn result.distance_computations;
+  Profile.add_rows_out pn (List.length result.pairs);
+  Profile.add_survivors pn (List.length result.pairs);
+  result
 
-let scan_full ?pool ?(spec = Spec.Identity) kindex ~epsilon =
-  scan ?pool ~abandon:false kindex spec epsilon
+let scan_full ?pool ?(spec = Spec.Identity) ?profile kindex ~epsilon =
+  scan ?pool ?profile ~abandon:false kindex spec epsilon
 
-let scan_early_abandon ?pool ?(spec = Spec.Identity) kindex ~epsilon =
-  scan ?pool ~abandon:true kindex spec epsilon
+let scan_early_abandon ?pool ?(spec = Spec.Identity) ?profile kindex ~epsilon =
+  scan ?pool ?profile ~abandon:true kindex spec epsilon
 
 let scan_checked ?pool ?(spec = Spec.Identity) ?(abandon = true)
-    ?(budget = Budget.unlimited) ?retry ?on_retry kindex ~epsilon =
+    ?(budget = Budget.unlimited) ?retry ?on_retry ?profile kindex ~epsilon =
   if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
   Retry.with_retries ?policy:retry ?on_retry (fun () ->
       let bstate = Budget.state_opt budget in
-      scan ?pool ?bstate ~abandon kindex spec epsilon)
+      scan ?pool ?bstate ?profile ~abandon kindex spec epsilon)
 
 (* One index range query per sequence; the transformation (when present)
    applies to both the stored side (via the transformed traversal) and
    the query side (its features and the postprocessing distance). *)
-let index_join kindex spec epsilon =
+let index_join ?profile kindex spec epsilon =
   if epsilon < 0. then invalid_arg "Join.index_join: negative epsilon";
   let dataset = Kindex.dataset kindex in
   let k = (Kindex.config kindex).Feature.k in
@@ -149,6 +160,11 @@ let index_join kindex spec epsilon =
     | _ -> transformed_spectra kindex spec
   in
   let prepared = Kindex.prepare kindex spec in
+  (* One flat operator node for the whole nested-query loop: a child
+     per inner range query would drown the tree in [cardinality]
+     nodes. *)
+  let pn = Profile.enter profile "join.index" in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
   Otrace.with_span "join.index" @@ fun () ->
   let pairs = ref [] in
   let computations = ref 0 in
@@ -171,10 +187,16 @@ let index_join kindex spec epsilon =
     (Dataset.entries dataset);
   Metrics.add m_comparisons !computations;
   Metrics.add m_pairs (List.length !pairs);
+  Profile.add_rows_in pn (Dataset.cardinality dataset);
+  Profile.add_candidates pn !computations;
+  Profile.add_pages pn !node_accesses;
+  Profile.add_rows_out pn (List.length !pairs);
+  Profile.add_survivors pn (List.length !pairs);
   { pairs = List.rev !pairs; distance_computations = !computations;
     node_accesses = !node_accesses }
 
-let index_untransformed kindex ~epsilon = index_join kindex Spec.Identity epsilon
+let index_untransformed ?profile kindex ~epsilon =
+  index_join ?profile kindex Spec.Identity epsilon
 
-let index_transformed ?(spec = Spec.Identity) kindex ~epsilon =
-  index_join kindex spec epsilon
+let index_transformed ?(spec = Spec.Identity) ?profile kindex ~epsilon =
+  index_join ?profile kindex spec epsilon

@@ -18,7 +18,14 @@
     The scan methods parallelise their outer loop over a
     {!Simq_parallel.Pool} (default the global pool) with row-chunk
     results merged in row order, so the pair list and the counters are
-    bit-identical to a single-domain join. *)
+    bit-identical to a single-domain join.
+
+    Every method takes an optional [?profile] ({!Simq_obs.Profile}):
+    the scans record one flat [join.scan] operator node (rows in,
+    comparisons as candidates, pairs out), the index methods one
+    [join.index] node whose pages are the summed R-tree node accesses
+    — recorded after the merge on the coordinating domain, so the
+    recording is identical at every domain count. *)
 
 type result = {
   pairs : (int * int) list;  (** entry-id pairs; self-pairs excluded *)
@@ -30,12 +37,14 @@ type result = {
 
 (** [scan_full kindex ?pool ?spec ~epsilon] — method (a). *)
 val scan_full :
-  ?pool:Simq_parallel.Pool.t -> ?spec:Spec.t -> Kindex.t -> epsilon:float ->
+  ?pool:Simq_parallel.Pool.t -> ?spec:Spec.t -> ?profile:Simq_obs.Profile.t ->
+  Kindex.t -> epsilon:float ->
   result
 
 (** [scan_early_abandon kindex ?pool ?spec ~epsilon] — method (b). *)
 val scan_early_abandon :
-  ?pool:Simq_parallel.Pool.t -> ?spec:Spec.t -> Kindex.t -> epsilon:float ->
+  ?pool:Simq_parallel.Pool.t -> ?spec:Spec.t -> ?profile:Simq_obs.Profile.t ->
+  Kindex.t -> epsilon:float ->
   result
 
 (** [scan_checked kindex ?pool ?spec ?abandon ?budget ?retry ~epsilon]
@@ -53,14 +62,18 @@ val scan_checked :
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
   Kindex.t ->
   epsilon:float ->
   (result, Simq_fault.Error.t) Result.t
 
 (** [index_untransformed kindex ~epsilon] — method (c): no
     transformation on either side. *)
-val index_untransformed : Kindex.t -> epsilon:float -> result
+val index_untransformed :
+  ?profile:Simq_obs.Profile.t -> Kindex.t -> epsilon:float -> result
 
 (** [index_transformed kindex ?spec ~epsilon] — method (d): [spec] on
     both sides. *)
-val index_transformed : ?spec:Spec.t -> Kindex.t -> epsilon:float -> result
+val index_transformed :
+  ?spec:Spec.t -> ?profile:Simq_obs.Profile.t -> Kindex.t -> epsilon:float ->
+  result

@@ -13,6 +13,7 @@ module Budget = Simq_fault.Budget
 module Retry = Simq_fault.Retry
 module Metrics = Simq_obs.Metrics
 module Otrace = Simq_obs.Trace
+module Profile = Simq_obs.Profile
 
 let m_candidates =
   Metrics.counter ~help:"Index candidates returned by k-index traversals"
@@ -122,7 +123,7 @@ let full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () =
    locally (never written to the tree) so read-only queries can run
    concurrently from several domains; {!range_prepared} credits the
    tree's cumulative counter afterwards. *)
-let range_prepared_counted ?mean_range ?std_range ?bstate t prepared
+let range_prepared_counted ?mean_range ?std_range ?bstate ?profile t prepared
     ~query_coeffs ~epsilon ~distance =
   if epsilon < 0. then invalid_arg "Kindex.range_prepared: negative epsilon";
   if Array.length query_coeffs <> t.config.Feature.k then
@@ -163,13 +164,20 @@ let range_prepared_counted ?mean_range ?std_range ?bstate t prepared
       (overlaps, matches)
   in
   Otrace.with_span "kindex.range" @@ fun () ->
+  let pn = Profile.enter profile "kindex.range" in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
+  let pd = Profile.enter profile "kindex.descent" in
   let candidate_ids, node_accesses =
     Otrace.with_span "kindex.descent" (fun () ->
         Rstar.fold_region_counted ?budget:bstate t.tree ~overlaps ~matches
           ~init:[] ~f:(fun acc _ id -> id :: acc))
   in
   let candidates = List.length candidate_ids in
+  Profile.add_pages pd node_accesses;
+  Profile.add_rows_out pd candidates;
+  Profile.leave profile pd;
   Metrics.add m_candidates candidates;
+  let pp = Profile.enter profile "kindex.postfilter" in
   let answers =
     Otrace.with_span "kindex.postfilter" @@ fun () ->
     List.filter_map
@@ -187,14 +195,24 @@ let range_prepared_counted ?mean_range ?std_range ?bstate t prepared
       candidate_ids
     |> List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
   in
-  Metrics.add m_survivors (List.length answers);
+  let survivors = List.length answers in
+  Profile.add_rows_in pp candidates;
+  Profile.add_rows_out pp survivors;
+  Profile.add_candidates pp candidates;
+  Profile.add_survivors pp survivors;
+  Profile.leave profile pp;
+  Profile.add_rows_out pn survivors;
+  Profile.add_candidates pn candidates;
+  Profile.add_survivors pn survivors;
+  Profile.add_pages pn node_accesses;
+  Metrics.add m_survivors survivors;
   { answers; candidates; node_accesses }
 
-let range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
-    ~distance =
+let range_prepared ?mean_range ?std_range ?profile t prepared ~query_coeffs
+    ~epsilon ~distance =
   let result =
-    range_prepared_counted ?mean_range ?std_range t prepared ~query_coeffs
-      ~epsilon ~distance
+    range_prepared_counted ?mean_range ?std_range ?profile t prepared
+      ~query_coeffs ~epsilon ~distance
   in
   Rstar.add_accesses t.tree result.node_accesses;
   result
@@ -278,16 +296,16 @@ let range_request ?mean_window ?std_band ~normalise_query t spec query =
   (mean_range, std_range, q, query_coeffs, prepared)
 
 let range ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
-    ?std_band t ~query ~epsilon =
+    ?std_band ?profile t ~query ~epsilon =
   let mean_range, std_range, q, query_coeffs, prepared =
     range_request ?mean_window ?std_band ~normalise_query t spec query
   in
-  range_prepared ?mean_range ?std_range t prepared ~query_coeffs ~epsilon
-    ~distance:(prepared_distance t prepared q)
+  range_prepared ?mean_range ?std_range ?profile t prepared ~query_coeffs
+    ~epsilon ~distance:(prepared_distance t prepared q)
 
 let range_checked ?(spec = Spec.Identity) ?(normalise_query = true)
-    ?mean_window ?std_band ?(budget = Budget.unlimited) ?retry ?on_retry t
-    ~query ~epsilon =
+    ?mean_window ?std_band ?(budget = Budget.unlimited) ?retry ?on_retry
+    ?profile t ~query ~epsilon =
   if epsilon < 0. then invalid_arg "Kindex.range: negative epsilon";
   let mean_range, std_range, q, query_coeffs, prepared =
     range_request ?mean_window ?std_band ~normalise_query t spec query
@@ -298,8 +316,8 @@ let range_checked ?(spec = Spec.Identity) ?(normalise_query = true)
          the tree only for the attempt that succeeds. *)
       let bstate = Budget.state_opt budget in
       let result =
-        range_prepared_counted ?mean_range ?std_range ?bstate t prepared
-          ~query_coeffs ~epsilon ~distance
+        range_prepared_counted ?mean_range ?std_range ?bstate ?profile t
+          prepared ~query_coeffs ~epsilon ~distance
       in
       Rstar.add_accesses t.tree result.node_accesses;
       result)
@@ -395,7 +413,8 @@ let feature_lower_bound t ~query_coeffs (r : Rect.t) =
   done;
   sqrt !acc
 
-let nearest ?(spec = Spec.Identity) ?(normalise_query = true) t ~query ~k =
+let nearest ?(spec = Spec.Identity) ?(normalise_query = true) ?profile t
+    ~query ~k =
   check_query_length t spec query;
   let q = Dataset.prepare_query ~normalise:normalise_query query in
   let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
@@ -406,15 +425,30 @@ let nearest ?(spec = Spec.Identity) ?(normalise_query = true) t ~query ~k =
     | Some tr -> Linear_transform.apply_rect tr r
   in
   let dist = prepared_distance t prepared q in
-  Otrace.with_span "kindex.nearest" @@ fun () ->
-  Nn.nearest_custom t.tree
-    ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
-    ~point_dist:(fun _ id -> dist (Dataset.get t.dataset id))
-    ~k
-  |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d))
+  let pn = Profile.enter profile "kindex.nearest" in
+  Profile.set_detail pn (Printf.sprintf "k=%d" k);
+  let visits = ref 0 in
+  let visit =
+    match pn with None -> None | Some _ -> Some (fun () -> incr visits)
+  in
+  let point_dist _ id =
+    Profile.add_candidates pn 1;
+    dist (Dataset.get t.dataset id)
+  in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
+  let answers =
+    Otrace.with_span "kindex.nearest" @@ fun () ->
+    Nn.nearest_custom ?visit t.tree
+      ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
+      ~point_dist ~k
+    |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d))
+  in
+  Profile.add_pages pn !visits;
+  Profile.add_rows_out pn (List.length answers);
+  answers
 
 let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
-    ?(budget = Budget.unlimited) ?retry ?on_retry t ~query ~k =
+    ?(budget = Budget.unlimited) ?retry ?on_retry ?profile t ~query ~k =
   check_query_length t spec query;
   if k <= 0 then invalid_arg "Kindex.nearest_checked: k must be positive";
   let q = Dataset.prepare_query ~normalise:normalise_query query in
@@ -426,29 +460,50 @@ let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
     | Some tr -> Linear_transform.apply_rect tr r
   in
   let dist = prepared_distance t prepared q in
-  Retry.with_retries ?policy:retry ?on_retry (fun () ->
-      (* Fresh budget state per attempt, like {!range_checked}. Node
-         accesses are charged at every node expansion of the best-first
-         traversal, exact distances as comparisons — the same accounting
-         the range path uses. *)
-      let bstate = Budget.state_opt budget in
-      let visit =
-        Option.map
-          (fun b () ->
+  let pn = Profile.enter profile "kindex.nearest" in
+  Profile.set_detail pn (Printf.sprintf "k=%d" k);
+  let visits = ref 0 in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
+  let result =
+    Retry.with_retries ?policy:retry ?on_retry (fun () ->
+        (* Fresh budget state per attempt, like {!range_checked}. Node
+           accesses are charged at every node expansion of the best-first
+           traversal, exact distances as comparisons — the same accounting
+           the range path uses. *)
+        let bstate = Budget.state_opt budget in
+        let charge =
+          Option.map
+            (fun b () ->
+              Budget.check b;
+              Budget.charge_node_access b)
+            bstate
+        in
+        let visit =
+          match (charge, pn) with
+          | None, None -> None
+          | _ ->
+              Some
+                (fun () ->
+                  incr visits;
+                  match charge with Some f -> f () | None -> ())
+        in
+        let point_dist _ id =
+          Profile.add_candidates pn 1;
+          (match bstate with
+          | None -> ()
+          | Some b ->
             Budget.check b;
-            Budget.charge_node_access b)
-          bstate
-      in
-      let point_dist _ id =
-        (match bstate with
-        | None -> ()
-        | Some b ->
-          Budget.check b;
-          Budget.charge_comparisons b 1);
-        dist (Dataset.get t.dataset id)
-      in
-      Otrace.with_span "kindex.nearest" @@ fun () ->
-      Nn.nearest_custom ?visit t.tree
-        ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
-        ~point_dist ~k
-      |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d)))
+            Budget.charge_comparisons b 1);
+          dist (Dataset.get t.dataset id)
+        in
+        Otrace.with_span "kindex.nearest" @@ fun () ->
+        Nn.nearest_custom ?visit t.tree
+          ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
+          ~point_dist ~k
+        |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d)))
+  in
+  Profile.add_pages pn !visits;
+  (match result with
+  | Ok answers -> Profile.add_rows_out pn (List.length answers)
+  | Error e -> Profile.add_event pn ("error: " ^ Simq_fault.Error.kind e));
+  result

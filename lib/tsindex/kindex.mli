@@ -59,11 +59,19 @@ val range :
   ?normalise_query:bool ->
   ?mean_window:float ->
   ?std_band:float ->
+  ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
   epsilon:float ->
   range_result
-(** The optional GK95-style side constraints restrict answers through
+(** With [?profile] ({!Simq_obs.Profile}) the query records a
+    [kindex.range] operator node with [kindex.descent] (node accesses
+    as pages, candidates out) and [kindex.postfilter] (candidates in,
+    survivors out) children; [nearest] records a [kindex.nearest] node
+    whose pages are the node expansions of the best-first traversal.
+    Profiling never changes an answer and costs nothing when absent.
+
+    The optional GK95-style side constraints restrict answers through
     the mean/std index dimensions: [mean_window w] keeps series whose
     mean lies within [w] of the (raw) query's mean; [std_band f]
     (with [f >= 1]) keeps series whose standard deviation is within a
@@ -91,6 +99,7 @@ val range_checked :
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
   epsilon:float ->
@@ -117,7 +126,8 @@ val range_batch :
     geometric lower bounds, full distances computed on demand
     (the multi-step exact NN of [RKV95]). *)
 val nearest :
-  ?spec:Spec.t -> ?normalise_query:bool -> t ->
+  ?spec:Spec.t -> ?normalise_query:bool -> ?profile:Simq_obs.Profile.t ->
+  t ->
   query:Simq_series.Series.t -> k:int -> (Dataset.entry * float) list
 
 (** [nearest_checked t ?spec ?budget ?retry ~query ~k] is {!nearest}
@@ -133,6 +143,7 @@ val nearest_checked :
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
   k:int ->
@@ -172,6 +183,7 @@ val prepare : t -> Spec.t -> prepared
 val range_prepared :
   ?mean_range:float * float ->
   ?std_range:float * float ->
+  ?profile:Simq_obs.Profile.t ->
   t ->
   prepared ->
   query_coeffs:Simq_dsp.Cpx.t array ->

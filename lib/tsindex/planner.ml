@@ -1,6 +1,10 @@
 module Distance = Simq_series.Distance
 module Metrics = Simq_obs.Metrics
 module Otrace = Simq_obs.Trace
+module Profile = Simq_obs.Profile
+module Qlog = Simq_obs.Qlog
+module Clock = Simq_obs.Clock
+module Pool = Simq_parallel.Pool
 
 let m_path_index =
   Metrics.counter ~help:"Queries planned onto the k-index"
@@ -105,26 +109,36 @@ let record_selectivity ~cardinality ~estimated ~actual =
     Metrics.set_gauge m_actual_selectivity (float_of_int actual /. card)
   end
 
-let range ?(spec = Spec.Identity) kindex stats ~query ~epsilon =
+let plan_name = function Use_index -> "index" | Use_scan -> "scan"
+
+let range ?(spec = Spec.Identity) ?profile kindex stats ~query ~epsilon =
   let dataset = Kindex.dataset kindex in
   let cardinality = Dataset.cardinality dataset in
+  let pn = Profile.enter profile "planner" in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
+  let pplan = Profile.enter profile "plan" in
   let plan, estimated_answers =
     Otrace.with_span "plan" (fun () -> choose stats ~cardinality ~epsilon)
   in
+  Profile.set_detail pplan
+    (Printf.sprintf "%s est=%.1f" (plan_name plan) estimated_answers);
+  Profile.leave profile pplan;
+  Profile.set_detail pn (plan_name plan);
   record_plan plan;
   let answers =
     match plan with
-    | Use_index -> (Kindex.range ~spec kindex ~query ~epsilon).Kindex.answers
+    | Use_index ->
+      (Kindex.range ~spec ?profile kindex ~query ~epsilon).Kindex.answers
     | Use_scan ->
-      (Seqscan.range_early_abandon ~spec dataset ~query ~epsilon).Seqscan.answers
+      (Seqscan.range_early_abandon ~spec ?profile dataset ~query ~epsilon)
+        .Seqscan.answers
   in
   record_selectivity ~cardinality ~estimated:estimated_answers
     ~actual:(List.length answers);
+  Profile.add_rows_out pn (List.length answers);
   { answers; plan; estimated_answers }
 
-let pp_plan ppf = function
-  | Use_index -> Format.pp_print_string ppf "index"
-  | Use_scan -> Format.pp_print_string ppf "scan"
+let pp_plan ppf plan = Format.pp_print_string ppf (plan_name plan)
 
 (* --- resilient execution -------------------------------------------------- *)
 
@@ -181,29 +195,43 @@ let admission_workload ?stats kindex ~epsilon =
       (match stats with Some stats -> selectivity stats ~epsilon | None -> 1.);
   }
 
-let range_resilient ?pool ?(spec = Spec.Identity) ?stats
+let range_resilient_impl ?pool ?(spec = Spec.Identity) ?stats
     ?(budget = Budget.unlimited) ?retry ?counters ?(validate = false)
-    ?admission kindex ~query ~epsilon =
+    ?admission ?profile kindex ~query ~epsilon =
   let bump f = match counters with Some c -> f c | None -> () in
   bump (fun c -> c.queries <- c.queries + 1);
-  let on_retry ~attempt:_ = bump (fun c -> c.retries <- c.retries + 1) in
+  let pn = Profile.enter profile "planner" in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
+  let on_retry ~attempt =
+    Profile.add_event pn (Printf.sprintf "retry: attempt %d abandoned" attempt);
+    bump (fun c -> c.retries <- c.retries + 1)
+  in
   let dataset = Kindex.dataset kindex in
   let scan () =
-    Seqscan.range_checked ?pool ~spec ~budget ?retry ~on_retry dataset ~query
-      ~epsilon
+    Seqscan.range_checked ?pool ~spec ~budget ?retry ~on_retry ?profile dataset
+      ~query ~epsilon
   in
   let failed e =
     bump (fun c -> c.failures <- c.failures + 1);
     Metrics.incr m_failures;
+    Profile.add_event pn ("error: " ^ Error.kind e);
     Error e
   in
   let plan =
     match stats with
     | Some stats ->
-      Otrace.with_span "plan" (fun () ->
-          fst (choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon))
+      let pplan = Profile.enter profile "plan" in
+      let plan, estimated =
+        Otrace.with_span "plan" (fun () ->
+            choose stats ~cardinality:(Dataset.cardinality dataset) ~epsilon)
+      in
+      Profile.set_detail pplan
+        (Printf.sprintf "%s est=%.1f" (plan_name plan) estimated);
+      Profile.leave profile pplan;
+      plan
     | None -> Use_index
   in
+  Profile.set_detail pn (plan_name plan);
   record_plan plan;
   (* Admission control runs between planning and execution: the
      decision is made from catalogue metadata, the planner's histogram
@@ -212,13 +240,17 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
     match admission with
     | None -> None
     | Some policy ->
+      let padmit = Profile.enter profile "admit" in
       let workload = admission_workload ?stats kindex ~epsilon in
       let prefer =
         match plan with
         | Use_index -> Simq_admission.Index_path
         | Use_scan -> Simq_admission.Scan_path
       in
-      Some (Simq_admission.decide policy workload ~prefer ~budget)
+      let d = Simq_admission.decide policy workload ~prefer ~budget in
+      Profile.set_detail padmit (Simq_admission.decision_name d);
+      Profile.leave profile padmit;
+      Some d
   in
   (* The fallback restarts the budget (range_checked derives a fresh
      state per attempt): limits bound each execution attempt, and a
@@ -226,6 +258,7 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
   let fallback index_error =
     bump (fun c -> c.degraded <- c.degraded + 1);
     Metrics.incr m_degraded;
+    Profile.add_event pn ("degraded: " ^ Error.kind index_error);
     match scan () with
     | Ok (r : Seqscan.result) ->
       Ok
@@ -256,7 +289,10 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
       fallback (Error.Index_unusable { reason = "R-tree invariant check failed" })
     else begin
       bump (fun c -> c.index_attempts <- c.index_attempts + 1);
-      match Kindex.range_checked ~spec ~budget ?retry ~on_retry kindex ~query ~epsilon with
+      match
+        Kindex.range_checked ~spec ~budget ?retry ~on_retry ?profile kindex
+          ~query ~epsilon
+      with
       | Ok (r : Kindex.range_result) ->
         Ok
           {
@@ -274,10 +310,78 @@ let range_resilient ?pool ?(spec = Spec.Identity) ?stats
     (* Refused before execution: not an execution failure, so only the
        rejection counter moves, and no page was read. *)
     bump (fun c -> c.rejected <- c.rejected + 1);
+    Profile.add_event pn "rejected by admission control";
     Error (Simq_admission.error_of_reject reject)
   | Some Simq_admission.Degrade_to_scan ->
     bump (fun c -> c.degraded <- c.degraded + 1);
     Metrics.incr m_degraded;
+    Profile.add_event pn "degraded: admission";
     run_scan ~degraded:true
   | None | Some Simq_admission.Admit -> (
     match plan with Use_scan -> run_scan ~degraded:false | Use_index -> run_index ())
+
+(* One qlog entry per executed (or rejected) query: spec text + digest,
+   the decision and the path actually taken, the counter deltas between
+   the two registry snapshots bracketing the run, duration, outcome and
+   the Simq_cli exit-code convention (0 ok, 4 executed-and-failed,
+   5 rejected). The ambient log is the bench driver's [--qlog] hook;
+   [bin/simq] builds its entries explicitly instead. *)
+let qlog_entry ~spec ~epsilon ~query ~pool ~duration_s result =
+  let spec_text = Printf.sprintf "range %s eps=%g" (Spec.name spec) epsilon in
+  let digest =
+    String.sub
+      (Digest.to_hex
+         (Digest.string (Marshal.to_string (Spec.name spec, epsilon, query) [])))
+      0 12
+  in
+  let decision, path, outcome, exit_code =
+    match result with
+    | Ok r ->
+      ( Option.map Simq_admission.decision_name r.admission,
+        Some (plan_name r.executed),
+        "ok",
+        0 )
+    | Error e ->
+      let kind = Error.kind e in
+      ( (if kind = "rejected" then Some "reject" else None),
+        None,
+        kind,
+        if kind = "rejected" then 5 else 4 )
+  in
+  {
+    Qlog.spec = spec_text;
+    digest;
+    decision;
+    path;
+    deltas = [];
+    duration_s;
+    outcome;
+    exit_code;
+    domains =
+      Pool.domains (match pool with Some p -> p | None -> Pool.default ());
+  }
+
+let range_resilient ?pool ?spec ?stats ?budget ?retry ?counters ?validate
+    ?admission ?profile kindex ~query ~epsilon =
+  match Qlog.ambient () with
+  | None ->
+    range_resilient_impl ?pool ?spec ?stats ?budget ?retry ?counters ?validate
+      ?admission ?profile kindex ~query ~epsilon
+  | Some qlog ->
+    let before = Metrics.snapshot () in
+    let t0 = Clock.now_ns () in
+    let result =
+      range_resilient_impl ?pool ?spec ?stats ?budget ?retry ?counters
+        ?validate ?admission ?profile kindex ~query ~epsilon
+    in
+    let duration_s = Clock.elapsed_s t0 in
+    let entry =
+      qlog_entry ~spec:(Option.value spec ~default:Spec.Identity) ~epsilon
+        ~query ~pool ~duration_s result
+    in
+    Qlog.log qlog
+      {
+        entry with
+        Qlog.deltas = Qlog.counter_deltas ~before ~after:(Metrics.snapshot ());
+      };
+    result

@@ -38,9 +38,12 @@ type result = {
 }
 
 (** [range kindex stats ?spec ~query ~epsilon] plans and executes: the
-    answers are identical whichever path runs (both are exact). *)
+    answers are identical whichever path runs (both are exact).
+    [?profile] records a [planner] node (a [plan] child annotated with
+    the choice and estimate, the executed path's node below). *)
 val range :
   ?spec:Spec.t ->
+  ?profile:Simq_obs.Profile.t ->
   Kindex.t ->
   stats ->
   query:Simq_series.Series.t ->
@@ -111,7 +114,19 @@ type resilient_result = {
     unchanged (bit-identical answers to the same call without
     [admission]); [Degrade_to_scan] runs the scan directly; [Reject]
     returns [Error (Simq_fault.Error.Rejected _)] without executing
-    anything, bumping [counters.rejected] only. *)
+    anything, bumping [counters.rejected] only.
+
+    With [?profile] ({!Simq_obs.Profile}) the query records a
+    [planner] operator node — [plan] and [admit] children annotated
+    with the chosen path and the admission decision, retry and
+    degradation events, and the executed access path's own node below
+    it. When a process-wide ambient query log is installed
+    ({!Simq_obs.Qlog.install} — the bench driver's [--qlog] flag),
+    every call also appends one log entry: spec and digest, decision,
+    path, counter deltas between the bracketing registry snapshots,
+    duration, outcome with its exit-code convention (0 ok, 4 failed,
+    5 rejected) and domain count. Neither changes answers, counters or
+    decisions. *)
 val range_resilient :
   ?pool:Simq_parallel.Pool.t ->
   ?spec:Spec.t ->
@@ -121,6 +136,7 @@ val range_resilient :
   ?counters:counters ->
   ?validate:bool ->
   ?admission:Simq_admission.t ->
+  ?profile:Simq_obs.Profile.t ->
   Kindex.t ->
   query:Simq_series.Series.t ->
   epsilon:float ->

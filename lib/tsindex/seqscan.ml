@@ -7,6 +7,7 @@ module Budget = Simq_fault.Budget
 module Retry = Simq_fault.Retry
 module Metrics = Simq_obs.Metrics
 module Otrace = Simq_obs.Trace
+module Profile = Simq_obs.Profile
 
 let m_candidates =
   Metrics.counter ~help:"Entries compared by sequential scans"
@@ -162,44 +163,94 @@ let scan_compute ~pool ~abandon ~normalise_query ?bstate dataset spec query
 
 let resolve_pool = function Some pool -> pool | None -> Pool.default ()
 
-let scan ?pool ~abandon ~normalise_query dataset spec query epsilon =
+(* The common profiled body: one io child (page traffic), one compute
+   child, counters recorded on the coordinating domain only, after the
+   deterministic chunk merge — so the profile tree and its counters
+   are identical at every domain count. *)
+let profiled_scan ~pool ~abandon ~normalise_query ?bstate ?profile dataset spec
+    query epsilon =
+  Otrace.with_span "seqscan.range" (fun () ->
+      let count = Array.length (Dataset.entries dataset) in
+      let pio = Profile.enter profile "seqscan.io" in
+      Otrace.with_span "seqscan.io" (fun () -> account_io dataset);
+      Profile.add_pages pio count;
+      Profile.leave profile pio;
+      let pc = Profile.enter profile "seqscan.compute" in
+      let result =
+        scan_compute ~pool ~abandon ~normalise_query ?bstate dataset spec
+          query epsilon
+      in
+      let survivors = List.length result.answers in
+      Profile.add_rows_in pc count;
+      Profile.add_candidates pc count;
+      Profile.add_rows_out pc survivors;
+      Profile.add_survivors pc survivors;
+      Profile.add_early_abandon pc (count - result.full_computations);
+      Profile.leave profile pc;
+      result)
+
+let scan ?pool ?profile ~abandon ~normalise_query dataset spec query epsilon =
   check_query_length dataset spec query;
   if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
   let pool = resolve_pool pool in
-  Otrace.with_span "seqscan.range" (fun () ->
-      Otrace.with_span "seqscan.io" (fun () -> account_io dataset);
-      scan_compute ~pool ~abandon ~normalise_query dataset spec query epsilon)
+  let pn = Profile.enter profile "seqscan.range" in
+  Fun.protect
+    ~finally:(fun () -> Profile.leave profile pn)
+    (fun () ->
+      let result =
+        profiled_scan ~pool ~abandon ~normalise_query ?profile dataset spec
+          query epsilon
+      in
+      Profile.add_rows_in pn (Array.length (Dataset.entries dataset));
+      Profile.add_rows_out pn (List.length result.answers);
+      result)
 
-let range_full ?pool ?(spec = Spec.Identity) ?(normalise_query = true) dataset
-    ~query ~epsilon =
-  scan ?pool ~abandon:false ~normalise_query dataset spec query epsilon
+let range_full ?pool ?(spec = Spec.Identity) ?(normalise_query = true) ?profile
+    dataset ~query ~epsilon =
+  scan ?pool ?profile ~abandon:false ~normalise_query dataset spec query
+    epsilon
 
 let range_early_abandon ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
-    dataset ~query ~epsilon =
-  scan ?pool ~abandon:true ~normalise_query dataset spec query epsilon
+    ?profile dataset ~query ~epsilon =
+  scan ?pool ?profile ~abandon:true ~normalise_query dataset spec query epsilon
 
 let range_checked ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
-    ?(abandon = true) ?(budget = Budget.unlimited) ?retry ?on_retry dataset
-    ~query ~epsilon =
+    ?(abandon = true) ?(budget = Budget.unlimited) ?retry ?on_retry ?profile
+    dataset ~query ~epsilon =
   check_query_length dataset spec query;
   if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
   let pool = resolve_pool pool in
   let relation = Dataset.relation dataset in
-  Retry.with_retries ?policy:retry ?on_retry (fun () ->
-      (* A fresh budget state per attempt: limits are per-attempt, and a
-         retried scan starts its accounting from zero. *)
-      let bstate = Budget.state_opt budget in
-      (match bstate with
-      | None -> ()
-      | Some _ -> Relation.set_budget relation bstate);
-      Fun.protect
-        ~finally:(fun () ->
-          if Option.is_some bstate then Relation.set_budget relation None)
-        (fun () ->
-          Otrace.with_span "seqscan.range" (fun () ->
-              Otrace.with_span "seqscan.io" (fun () -> account_io dataset);
-              scan_compute ~pool ~abandon ~normalise_query ?bstate dataset
-                spec query epsilon)))
+  let pn = Profile.enter profile "seqscan.range" in
+  let on_retry ~attempt =
+    Profile.add_event pn (Printf.sprintf "retry: attempt %d abandoned" attempt);
+    match on_retry with Some f -> f ~attempt | None -> ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Profile.leave profile pn)
+    (fun () ->
+      let result =
+        Retry.with_retries ?policy:retry ~on_retry (fun () ->
+            (* A fresh budget state per attempt: limits are per-attempt,
+               and a retried scan starts its accounting from zero. *)
+            let bstate = Budget.state_opt budget in
+            (match bstate with
+            | None -> ()
+            | Some _ -> Relation.set_budget relation bstate);
+            Fun.protect
+              ~finally:(fun () ->
+                if Option.is_some bstate then Relation.set_budget relation None)
+              (fun () ->
+                profiled_scan ~pool ~abandon ~normalise_query ?bstate ?profile
+                  dataset spec query epsilon))
+      in
+      (match result with
+      | Ok r ->
+          Profile.add_rows_in pn (Array.length (Dataset.entries dataset));
+          Profile.add_rows_out pn (List.length r.answers)
+      | Error e ->
+          Profile.add_event pn ("error: " ^ Simq_fault.Error.kind e));
+      result)
 
 let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
     ?(abandon = true) dataset ~queries =

@@ -11,7 +11,16 @@
     sequential execution). Chunk results are merged in entry order, so
     answers, distances and the [result] counters are bit-identical to a
     single-domain scan — parallelism never changes what a query
-    returns. *)
+    returns.
+
+    Every range entry point takes an optional [?profile]
+    ({!Simq_obs.Profile}): when present, the scan records a
+    [seqscan.range] operator node (with [seqscan.io] and
+    [seqscan.compute] children carrying page traffic, candidates,
+    survivors and early-abandon tallies) on the coordinating domain,
+    after the chunk merge — so the recorded tree and counters are
+    identical at every domain count, and the disabled path costs
+    nothing. *)
 
 type result = {
   answers : (Dataset.entry * float) list;
@@ -26,7 +35,8 @@ type result = {
     against every entry with no early abandoning (method (a) style). *)
 val range_full :
   ?pool:Simq_parallel.Pool.t ->
-  ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
+  ?spec:Spec.t -> ?normalise_query:bool -> ?profile:Simq_obs.Profile.t ->
+  Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
   result
 
 (** [range_early_abandon dataset ?pool ?spec ~query ~epsilon] stops each
@@ -34,7 +44,8 @@ val range_full :
     (method (b) style). Answers are identical to {!range_full}. *)
 val range_early_abandon :
   ?pool:Simq_parallel.Pool.t ->
-  ?spec:Spec.t -> ?normalise_query:bool -> Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
+  ?spec:Spec.t -> ?normalise_query:bool -> ?profile:Simq_obs.Profile.t ->
+  Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
   result
 
 (** [range_checked dataset ?pool ?spec ?abandon ?budget ?retry ~query
@@ -59,6 +70,7 @@ val range_checked :
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
   Dataset.t -> query:Simq_series.Series.t -> epsilon:float ->
   (result, Simq_fault.Error.t) Result.t
 

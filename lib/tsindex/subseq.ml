@@ -8,6 +8,7 @@ module Budget = Simq_fault.Budget
 module Retry = Simq_fault.Retry
 module Metrics = Simq_obs.Metrics
 module Otrace = Simq_obs.Trace
+module Profile = Simq_obs.Profile
 
 let m_candidates =
   Metrics.counter ~help:"Window positions postprocessed by subsequence queries"
@@ -112,13 +113,16 @@ let expand_candidate t query ~epsilon payload acc =
 (* The engine behind {!range} and {!range_checked}: accesses counted
    locally and credited afterwards, each candidate window charged as one
    comparison against an optional budget state. *)
-let range_compute ?bstate t ~query ~epsilon =
+let range_compute ?bstate ?profile t ~query ~epsilon =
+  let pn = Profile.enter profile "subseq.range" in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
   Otrace.with_span "subseq.range" @@ fun () ->
   let query_features = features ~k:t.k query in
   let region =
     Coords.search_region Coords.Rectangular ~query:query_features ~epsilon
   in
   let candidates = ref 0 in
+  let pd = Profile.enter profile "subseq.descent" in
   let hits, accesses =
     Otrace.with_span "subseq.descent" (fun () ->
         Rstar.fold_region_counted ?budget:bstate t.tree
@@ -135,40 +139,65 @@ let range_compute ?bstate t ~query ~epsilon =
             expand_candidate t query ~epsilon payload acc))
   in
   Rstar.add_accesses t.tree accesses;
+  Profile.add_pages pd accesses;
+  Profile.add_rows_out pd !candidates;
+  Profile.leave profile pd;
+  let pp = Profile.enter profile "subseq.postfilter" in
   let hits =
     Otrace.with_span "subseq.postfilter" (fun () ->
         List.sort
           (fun a b -> compare (a.series_id, a.offset) (b.series_id, b.offset))
           hits)
   in
+  let survivors = List.length hits in
+  Profile.add_rows_in pp !candidates;
+  Profile.add_rows_out pp survivors;
+  Profile.leave profile pp;
+  Profile.add_candidates pn !candidates;
+  Profile.add_survivors pn survivors;
+  Profile.add_pages pn accesses;
+  Profile.add_rows_out pn survivors;
   Metrics.add m_candidates !candidates;
-  Metrics.add m_survivors (List.length hits);
+  Metrics.add m_survivors survivors;
   (hits, !candidates)
 
-let range t ~query ~epsilon =
+let range ?profile t ~query ~epsilon =
   check_query t query;
   if epsilon < 0. then invalid_arg "Subseq.range: negative epsilon";
-  range_compute t ~query ~epsilon
+  range_compute ?profile t ~query ~epsilon
 
-let range_checked ?(budget = Budget.unlimited) ?retry ?on_retry t ~query
-    ~epsilon =
+let range_checked ?(budget = Budget.unlimited) ?retry ?on_retry ?profile t
+    ~query ~epsilon =
   check_query t query;
   if epsilon < 0. then invalid_arg "Subseq.range_checked: negative epsilon";
   Retry.with_retries ?policy:retry ?on_retry (fun () ->
       (* Fresh budget state per attempt, matching the other checked
          entry points. *)
       let bstate = Budget.state_opt budget in
-      range_compute ?bstate t ~query ~epsilon)
+      range_compute ?bstate ?profile t ~query ~epsilon)
 
-let nearest_compute ?bstate t ~query ~k =
+let nearest_compute ?bstate ?profile t ~query ~k =
+  let pn = Profile.enter profile "subseq.nearest" in
+  Profile.set_detail pn (Printf.sprintf "k=%d" k);
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
   Otrace.with_span "subseq.nearest" @@ fun () ->
   let query_point = encode ~k:t.k query in
-  let visit =
+  let visits = ref 0 in
+  let charge =
     Option.map
       (fun b () ->
         Budget.check b;
         Budget.charge_node_access b)
       bstate
+  in
+  let visit =
+    match (charge, pn) with
+    | None, None -> None
+    | _ ->
+        Some
+          (fun () ->
+            incr visits;
+            match charge with Some f -> f () | None -> ())
   in
   (* With trails an entry stands for [run] windows; best-first over
      entries keyed by the minimum distance of their windows, expanded as
@@ -177,6 +206,7 @@ let nearest_compute ?bstate t ~query ~k =
   Simq_rtree.Nn.nearest_custom ?visit t.tree
     ~rect_bound:(fun r -> Rect.mindist query_point r)
     ~point_dist:(fun _ payload ->
+      Profile.add_candidates pn payload.run;
       (match bstate with
       | None -> ()
       | Some b ->
@@ -207,14 +237,19 @@ let nearest_compute ?bstate t ~query ~k =
          !all)
   |> List.sort (fun a b -> Float.compare a.distance b.distance)
   |> List.filteri (fun i _ -> i < k)
+  |> fun hits ->
+  Profile.add_pages pn !visits;
+  Profile.add_rows_out pn (List.length hits);
+  hits
 
-let nearest t ~query ~k =
+let nearest ?profile t ~query ~k =
   check_query t query;
-  nearest_compute t ~query ~k
+  nearest_compute ?profile t ~query ~k
 
-let nearest_checked ?(budget = Budget.unlimited) ?retry ?on_retry t ~query ~k =
+let nearest_checked ?(budget = Budget.unlimited) ?retry ?on_retry ?profile t
+    ~query ~k =
   check_query t query;
   if k <= 0 then invalid_arg "Subseq.nearest_checked: k must be positive";
   Retry.with_retries ?policy:retry ?on_retry (fun () ->
       let bstate = Budget.state_opt budget in
-      nearest_compute ?bstate t ~query ~k)
+      nearest_compute ?bstate ?profile t ~query ~k)

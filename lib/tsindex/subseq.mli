@@ -53,7 +53,15 @@ val index_entries : t -> int
 (** [range t ~query ~epsilon] is every window within [epsilon] of
     [query] (whose length must equal [window t]), sorted by series id
     then offset, plus the number of window positions postprocessed. *)
+(** All four query entry points take an optional [?profile]
+    ({!Simq_obs.Profile}): range queries record a [subseq.range]
+    operator node with [subseq.descent]/[subseq.postfilter] children,
+    nearest queries a [subseq.nearest] node whose pages are the node
+    expansions. Profiling never changes an answer and costs nothing
+    when absent. *)
+
 val range :
+  ?profile:Simq_obs.Profile.t ->
   t -> query:Simq_series.Series.t -> epsilon:float -> hit list * int
 
 (** [range_checked t ?budget ?retry ~query ~epsilon] is {!range} under
@@ -66,6 +74,7 @@ val range_checked :
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
   epsilon:float ->
@@ -75,7 +84,9 @@ val range_checked :
     (ties broken arbitrarily). Exact in both layouts: every popped
     trail contributes at least its best window, so the globally
     re-sorted expansion contains a valid k-NN set. *)
-val nearest : t -> query:Simq_series.Series.t -> k:int -> hit list
+val nearest :
+  ?profile:Simq_obs.Profile.t ->
+  t -> query:Simq_series.Series.t -> k:int -> hit list
 
 (** [nearest_checked t ?budget ?retry ~query ~k] is {!nearest} under a
     budget: node expansions charge node accesses, each candidate
@@ -85,6 +96,7 @@ val nearest_checked :
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
   k:int ->

@@ -205,6 +205,133 @@ let test_with_obs_serves_during_run () =
      in
      go 0)
 
+let test_scrape_dead_port_is_file_error () =
+  (* Bind an ephemeral port, close it, and scrape the now-dead port:
+     the connection refusal must come back as a one-line File error,
+     never as an uncaught Unix_error. *)
+  let dead_port =
+    Serve.with_server ~port:0 (fun server -> Serve.port server)
+  in
+  match Cli.scrape ~host:"127.0.0.1" ~port:(Some dead_port) with
+  | Result.Error (Cli.File msg) ->
+    Alcotest.(check bool) "message names the endpoint" true
+      (let needle = Printf.sprintf "127.0.0.1:%d" dead_port in
+       let nh = String.length msg and nn = String.length needle in
+       let rec go i =
+         if i + nn > nh then false
+         else String.sub msg i nn = needle || go (i + 1)
+       in
+       go 0)
+  | Result.Error _ -> Alcotest.fail "dead port must be a File error"
+  | Ok () -> Alcotest.fail "a dead port cannot scrape"
+
+let test_scrape_no_port_is_usage_error () =
+  Unix.putenv "SIMQ_METRICS_PORT" "";
+  match Cli.scrape ~host:"127.0.0.1" ~port:None with
+  | Result.Error (Cli.Usage _) -> ()
+  | _ -> Alcotest.fail "a missing port is a Usage error"
+
+let test_with_obs_dumps_profile_qlog_state_on_error () =
+  quiet_obs @@ fun () ->
+  let profile_file = Filename.temp_file "simq_cli" ".profile" in
+  let qlog_file = Filename.temp_file "simq_cli" ".jsonl" in
+  let state_file = Filename.temp_file "simq_cli" ".state" in
+  Sys.remove state_file;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ profile_file; qlog_file; state_file ])
+    (fun () ->
+      let profile = Simq_obs.Profile.create () in
+      let qlog = Simq_obs.Qlog.create qlog_file in
+      let result =
+        Cli.with_obs
+          ~profile:(profile, profile_file)
+          ~qlog ~metrics_state:state_file ~metrics:None ~trace:None
+          (fun () ->
+            let n = Simq_obs.Profile.enter (Some profile) "test.op" in
+            Simq_obs.Profile.add_rows_out n 3;
+            Simq_obs.Profile.leave (Some profile) n;
+            Simq_obs.Qlog.log qlog
+              {
+                Simq_obs.Qlog.spec = "test";
+                digest = "0";
+                decision = None;
+                path = None;
+                deltas = [];
+                duration_s = 0.;
+                outcome = "usage";
+                exit_code = 1;
+                domains = 1;
+              };
+            Result.Error (Cli.Usage "boom"))
+      in
+      (match result with
+      | Result.Error (Cli.Usage "boom") -> ()
+      | _ -> Alcotest.fail "the run's own error must win");
+      let read f = In_channel.with_open_text f In_channel.input_all in
+      Alcotest.(check bool) "profile dumped" true
+        (let body = read profile_file in
+         let needle = "-> test.op" in
+         let nh = String.length body and nn = String.length needle in
+         let rec go i =
+           if i + nn > nh then false
+           else String.sub body i nn = needle || go (i + 1)
+         in
+         go 0);
+      (match Simq_obs.Json.parse (String.trim (read qlog_file)) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "qlog line unparseable: %s" msg);
+      Alcotest.(check bool) "qlog closed" true
+        (Simq_obs.Qlog.lines_written qlog = 1);
+      Alcotest.(check bool) "state saved" true
+        (Sys.file_exists state_file && file_size state_file > 0))
+
+let test_with_obs_bad_state_skips_run () =
+  quiet_obs @@ fun () ->
+  let state_file = Filename.temp_file "simq_cli" ".state" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove state_file with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text state_file (fun oc ->
+          Out_channel.output_string oc "not a state file");
+      let ran = ref false in
+      match
+        Cli.with_obs ~metrics_state:state_file ~metrics:None ~trace:None
+          (fun () ->
+            ran := true;
+            Ok ())
+      with
+      | Result.Error (Cli.File _) ->
+        Alcotest.(check bool) "f never ran" false !ran
+      | _ -> Alcotest.fail "an unreadable state file is a File error")
+
+let test_with_obs_profile_json_export () =
+  quiet_obs @@ fun () ->
+  let dest = Filename.temp_file "simq_cli" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove dest with Sys_error _ -> ())
+    (fun () ->
+      let profile = Simq_obs.Profile.create () in
+      let result =
+        Cli.with_obs ~profile:(profile, dest) ~metrics:None ~trace:None
+          (fun () ->
+            Simq_obs.Profile.leave (Some profile)
+              (Simq_obs.Profile.enter (Some profile) "test.json");
+            Ok ())
+      in
+      Alcotest.(check bool) "run ok" true (result = Ok ());
+      match
+        Simq_obs.Json.parse
+          (In_channel.with_open_text dest In_channel.input_all)
+      with
+      | Ok v -> (
+        match Simq_obs.Json.member "event" v with
+        | Some (Simq_obs.Json.Str "simq.profile") -> ()
+        | _ -> Alcotest.fail "JSON export must be tagged simq.profile")
+      | Error msg -> Alcotest.failf ".json destination must emit JSON: %s" msg)
+
 let () =
   Alcotest.run "simq_cli"
     [
@@ -233,5 +360,18 @@ let () =
             test_with_obs_unbindable_port_skips_run;
           Alcotest.test_case "serves during the run" `Quick
             test_with_obs_serves_during_run;
+          Alcotest.test_case "dumps profile/qlog/state on error" `Quick
+            test_with_obs_dumps_profile_qlog_state_on_error;
+          Alcotest.test_case "bad state file skips the run" `Quick
+            test_with_obs_bad_state_skips_run;
+          Alcotest.test_case ".json profile destination" `Quick
+            test_with_obs_profile_json_export;
+        ] );
+      ( "scrape",
+        [
+          Alcotest.test_case "dead port is a one-line File error" `Quick
+            test_scrape_dead_port_is_file_error;
+          Alcotest.test_case "missing port is a Usage error" `Quick
+            test_scrape_no_port_is_usage_error;
         ] );
     ]

@@ -686,6 +686,82 @@ let test_scrape_equals_dump () =
         (contains body "test_serve_total{decision=\"reject\"} 3"
         && contains body' "test_serve_total{decision=\"reject\"} 5"))
 
+(* --- persisted registry state ---------------------------------------- *)
+
+let test_state_roundtrip () =
+  let file = Filename.temp_file "simq_state" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let src = Metrics.create_registry () in
+      let c =
+        Metrics.counter ~registry:src ~help:"h" "test_state_total"
+          ~labels:[ ("path", "index") ]
+      in
+      let g = Metrics.gauge ~registry:src "test_state_gauge" in
+      let h = Metrics.histogram ~registry:src "test_state_seconds" in
+      Metrics.with_enabled true (fun () ->
+          Metrics.add c 42;
+          Metrics.set_gauge g 1.25;
+          Metrics.observe h 0.003;
+          Metrics.observe h 7.5);
+      Metrics.save_state ~registry:src file;
+      let dst = Metrics.create_registry () in
+      Metrics.load_state ~registry:dst file;
+      Alcotest.(check string)
+        "expositions identical after round trip"
+        (Metrics.exposition ~registry:src ())
+        (Metrics.exposition ~registry:dst ());
+      (* Loading into a registry that already carries totals adds; the
+         calibration use case overwrites gauges (last write wins). *)
+      Metrics.load_state ~registry:dst file;
+      let c' =
+        Metrics.counter ~registry:dst "test_state_total"
+          ~labels:[ ("path", "index") ]
+      in
+      Alcotest.(check int) "counter totals accumulate" 84
+        (Metrics.counter_total c');
+      let g' = Metrics.gauge ~registry:dst "test_state_gauge" in
+      Alcotest.(check (float 1e-9)) "gauge last write wins" 1.25
+        (Metrics.gauge_value g'))
+
+let test_state_survives_disabled_collection () =
+  (* The load path must bypass the collection gate: a process that only
+     restores state (metrics off) still starts from the saved totals. *)
+  let file = Filename.temp_file "simq_state" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let src = Metrics.create_registry () in
+      let c = Metrics.counter ~registry:src "test_state_off_total" in
+      Metrics.with_enabled true (fun () -> Metrics.add c 9);
+      Metrics.save_state ~registry:src file;
+      let dst = Metrics.create_registry () in
+      Metrics.with_enabled false (fun () -> Metrics.load_state ~registry:dst file);
+      Alcotest.(check int) "restored with collection off" 9
+        (Metrics.counter_total
+           (Metrics.counter ~registry:dst "test_state_off_total")))
+
+let test_state_malformed_is_failure () =
+  let file = Filename.temp_file "simq_state" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc "{ not json");
+      let dst = Metrics.create_registry () in
+      match Metrics.load_state ~registry:dst file with
+      | () -> Alcotest.fail "malformed state must not load"
+      | exception Failure msg ->
+        Alcotest.(check bool) "error names the file" true
+          (let nh = String.length msg and needle = file in
+           let nn = String.length needle in
+           let rec go i =
+             if i + nn > nh then false
+             else String.sub msg i nn = needle || go (i + 1)
+           in
+           go 0))
+
 let test_server_stops () =
   let r = Metrics.create_registry () in
   ignore (Metrics.counter ~registry:r "test_stop_total");
@@ -735,6 +811,15 @@ let () =
           Alcotest.test_case "scrape equals dump" `Quick
             test_scrape_equals_dump;
           Alcotest.test_case "server stops" `Quick test_server_stops;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "save/load round trip" `Quick
+            test_state_roundtrip;
+          Alcotest.test_case "load bypasses the collection gate" `Quick
+            test_state_survives_disabled_collection;
+          Alcotest.test_case "malformed state is a Failure" `Quick
+            test_state_malformed_is_failure;
         ] );
       ( "determinism",
         [

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Smoke test: drive the built binaries end to end — the fast benchmark
 # sweep with observability on, an admission-control rejection (exit 5)
-# that still dumps its metrics and trace, and a live scrape of the TCP
-# exposition endpoint while a bench run is serving it.
+# that still dumps its metrics and trace, a profiled query with both
+# profile exports plus a sampled query log aggregated by qlog-top, and
+# a live scrape of the TCP exposition endpoint while a bench run is
+# serving it.
 #
 # Two modes:
 #   tools/smoke.sh                full standalone run: dune build @all,
@@ -70,6 +72,49 @@ grep -q '^simq_admission_decisions_total{decision="reject"} 1' reject.prom || {
 }
 grep -q '"traceEvents"' reject.json || {
   echo "smoke: rejected run left no trace dump" >&2
+  exit 1
+}
+
+echo "== profiled query: EXPLAIN ANALYZE text tree and JSON export"
+"$simq" query smoke.rel "RANGE FROM r USING mavg(7) QUERY s0 EPS 2.5" \
+  --profile >profiled.out
+grep -q -- '-> kindex.range' profiled.out || {
+  echo "smoke: --profile printed no operator tree" >&2
+  exit 1
+}
+grep -q 'pages=' profiled.out || {
+  echo "smoke: profile tree carries no page counts" >&2
+  exit 1
+}
+"$simq" query smoke.rel "RANGE FROM r QUERY s0 EPS 2.5" \
+  --admission --profile=profile.json >/dev/null
+grep -q '"event":"simq.profile"' profile.json || {
+  echo "smoke: --profile=FILE.json did not write the JSON export" >&2
+  exit 1
+}
+
+echo "== sampled query log over a bench sweep, aggregated by qlog-top"
+"$bench" --fast ablation_fault --qlog smoke.qlog --qlog-sample 3 \
+  --metrics-state smoke.state >/dev/null
+[ -s smoke.qlog ] || {
+  echo "smoke: bench --qlog wrote no lines" >&2
+  exit 1
+}
+grep -q '"event":"simq.qlog"' smoke.qlog || {
+  echo "smoke: qlog lines are not tagged simq.qlog" >&2
+  exit 1
+}
+grep -q '"event":"simq.metrics-state"' smoke.state || {
+  echo "smoke: --metrics-state wrote no registry snapshot" >&2
+  exit 1
+}
+"$simq" qlog-top smoke.qlog >qlogtop.out
+grep -q 'top by duration:' qlogtop.out || {
+  echo "smoke: qlog-top printed no duration ranking" >&2
+  exit 1
+}
+grep -q 'by path:' qlogtop.out || {
+  echo "smoke: qlog-top printed no path breakdown" >&2
   exit 1
 }
 
