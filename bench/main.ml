@@ -134,6 +134,7 @@ let metrics_port = ref None
 let qlog_dest = ref None
 let qlog_sample = ref 1
 let qlog_slow_ms = ref None
+let qlog_max_bytes = ref None
 let metrics_state = ref None
 
 let obs_usage opt expected =
@@ -180,6 +181,13 @@ let rec strip_obs = function
       strip_obs rest
     | _ -> obs_usage "--qlog-slow-ms" "a duration in milliseconds")
   | "--qlog-slow-ms" :: [] -> obs_usage "--qlog-slow-ms" "a duration in milliseconds"
+  | "--qlog-max-bytes" :: value :: rest -> (
+    match int_of_string_opt (String.trim value) with
+    | Some b when b >= 1 ->
+      qlog_max_bytes := Some b;
+      strip_obs rest
+    | _ -> obs_usage "--qlog-max-bytes" "an integer >= 1")
+  | "--qlog-max-bytes" :: [] -> obs_usage "--qlog-max-bytes" "an integer >= 1"
   | "--metrics-state" :: file :: rest ->
     metrics_state := Some file;
     strip_obs rest
@@ -227,7 +235,8 @@ let () =
     | None -> None
     | Some file -> (
       match
-        Simq_obs.Qlog.create ~sample:!qlog_sample ?slow_ms:!qlog_slow_ms file
+        Simq_obs.Qlog.create ~sample:!qlog_sample ?slow_ms:!qlog_slow_ms
+          ?max_bytes:!qlog_max_bytes file
       with
       | t -> Some t
       | exception Sys_error msg ->

@@ -137,6 +137,18 @@ let qlog_slow_ms_arg =
           "Always log queries that take at least $(docv) milliseconds, \
            regardless of $(b,--qlog-sample).")
 
+let qlog_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some Simq_cli.positive_int) None
+    & info [ "qlog-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Rotate the $(b,--qlog) file by size: after a write that takes \
+           it to $(docv) bytes or beyond it is renamed to $(i,FILE).1 \
+           (replacing any previous rotation) and a fresh file is started, \
+           so long runs cannot grow the log unboundedly. Sequence numbers \
+           keep counting across rotations.")
+
 let metrics_state_arg =
   Arg.(
     value
@@ -148,10 +160,10 @@ let metrics_state_arg =
            afterwards, so planner calibration gauges survive restarts. \
            Implies metric collection.")
 
-let make_qlog ~sample ~slow_ms = function
+let make_qlog ~sample ~slow_ms ~max_bytes = function
   | None -> Ok None
   | Some path -> (
-    match Qlog.create ~sample ?slow_ms path with
+    match Qlog.create ~sample ?slow_ms ?max_bytes path with
     | t -> Ok (Some t)
     | exception Sys_error msg -> Error (File msg)
     | exception Invalid_argument msg -> Error (Usage msg))
@@ -377,11 +389,14 @@ let outcome_of_result = function
     (kind, Simq_cli.exit_code e)
 
 let query_impl file text noise jobs metrics trace metrics_port metrics_state
-    profile qlog qlog_sample qlog_slow_ms admission deadline max_page_reads
-    max_comparisons max_node_accesses =
+    profile qlog qlog_sample qlog_slow_ms qlog_max_bytes admission deadline
+    max_page_reads max_comparisons max_node_accesses =
   apply_jobs jobs;
   let profile = Option.map (fun dest -> (Profile.create (), dest)) profile in
-  let* qlog = make_qlog ~sample:qlog_sample ~slow_ms:qlog_slow_ms qlog in
+  let* qlog =
+    make_qlog ~sample:qlog_sample ~slow_ms:qlog_slow_ms
+      ~max_bytes:qlog_max_bytes qlog
+  in
   (* Every failure below this point — usage errors, bad budgets,
      budget exhaustion, admission rejections — still dumps the
      requested metrics/trace/profile/state files on the way out. *)
@@ -465,6 +480,349 @@ let admission_arg =
                  predict each path's cost from them and the live metrics \
                  registry, and degrade or reject (exit code 5) queries \
                  predicted to exceed the budget — before any page is read.")
+
+(* --- batch ----------------------------------------------------------------- *)
+
+(* Query lines from a specs file ("-" reads stdin); blank lines and
+   #-comments are skipped. *)
+let read_spec_lines source =
+  let read_all ic =
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    List.rev !lines
+  in
+  let* raw =
+    if source = "-" then Ok (read_all stdin)
+    else if not (Sys.file_exists source) then
+      Error (File (Printf.sprintf "no such file: %s" source))
+    else begin
+      let ic = open_in source in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (read_all ic))
+    end
+  in
+  Ok
+    (List.filter_map
+       (fun line ->
+         let t = String.trim line in
+         if t = "" || t.[0] = '#' then None else Some t)
+       raw)
+
+(* The qlog-replay seam: the specs of a sampled query log become the
+   batch workload. Non-qlog JSON lines (and malformed ones) are
+   skipped, so any --qlog file replays as written. *)
+let read_qlog_specs file =
+  if not (Sys.file_exists file) then
+    Error (File (Printf.sprintf "no such file: %s" file))
+  else begin
+    let specs = ref [] in
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match Simq_obs.Json.parse line with
+              | Ok json -> (
+                match
+                  ( Simq_obs.Json.member "event" json,
+                    Simq_obs.Json.member "spec" json )
+                with
+                | Some (Simq_obs.Json.Str "simq.qlog"),
+                  Some (Simq_obs.Json.Str spec) ->
+                  specs := spec :: !specs
+                | _ -> ())
+              | Error _ -> ()
+          done
+        with End_of_file -> ());
+    Ok (List.rev !specs)
+  end
+
+let batch_answers_json answers =
+  Simq_obs.Json.Arr
+    (List.map
+       (fun ((e : Dataset.entry), d) ->
+         Simq_obs.Json.Obj
+           [
+             ("id", Simq_obs.Json.Num (float_of_int e.Dataset.id));
+             ("name", Simq_obs.Json.Str e.Dataset.name);
+             ("distance", Simq_obs.Json.Num d);
+           ])
+       answers)
+
+(* One batch query against the resident index: the executed path, the
+   answer count and the rendered answers. Join scans run on the
+   sequential pool — a batched query stays whole on its executing
+   domain instead of fanning back out. *)
+let run_batch_query ~profile index dataset noise text =
+  let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
+  match q with
+  | Ql.Range { spec; query; epsilon; mean_window; std_band; _ } ->
+    let* series = resolve_query_series dataset spec ~name:query ~noise in
+    let (result : Kindex.range_result) =
+      Kindex.range ~spec ?mean_window ?std_band ?profile index ~query:series
+        ~epsilon
+    in
+    Ok
+      ( "index",
+        List.length result.Kindex.answers,
+        batch_answers_json result.Kindex.answers )
+  | Ql.Nearest { k; spec; query; _ } ->
+    let* series = resolve_query_series dataset spec ~name:query ~noise in
+    let results = Kindex.nearest ~spec ?profile index ~query:series ~k in
+    Ok ("index", List.length results, batch_answers_json results)
+  | Ql.Pairs { spec; epsilon; method_; _ } ->
+    let seq_pool = Simq_parallel.Pool.sequential in
+    let (result : Join.result) =
+      match method_ with
+      | Ql.Scan_full -> Join.scan_full ~pool:seq_pool ~spec ?profile index ~epsilon
+      | Ql.Scan_early ->
+        Join.scan_early_abandon ~pool:seq_pool ~spec ?profile index ~epsilon
+      | Ql.Index -> Join.index_transformed ~spec ?profile index ~epsilon
+    in
+    let pairs =
+      Simq_obs.Json.Arr
+        (List.map
+           (fun (i, j) ->
+             let a = Dataset.get dataset i and b = Dataset.get dataset j in
+             Simq_obs.Json.Obj
+               [
+                 ("a", Simq_obs.Json.Str a.Dataset.name);
+                 ("b", Simq_obs.Json.Str b.Dataset.name);
+               ])
+           result.Join.pairs)
+    in
+    Ok
+      ( (match method_ with Ql.Index -> "index" | _ -> "scan"),
+        List.length result.Join.pairs,
+        pairs )
+
+let digest_of text = String.sub (Digest.to_hex (Digest.string text)) 0 12
+
+let batch_line ~seq ~spec (r : _ Simq_parallel.Batch.timed) =
+  let module J = Simq_obs.Json in
+  let head =
+    [
+      ("event", J.Str "simq.batch");
+      ("v", J.Num 1.);
+      ("seq", J.Num (float_of_int seq));
+      ("spec", J.Str spec);
+      ("digest", J.Str (digest_of spec));
+      ("duration_ms", J.Num (r.Simq_parallel.Batch.duration_s *. 1000.));
+    ]
+  in
+  let tail =
+    match r.Simq_parallel.Batch.value with
+    | Ok (path, count, answers) ->
+      [
+        ("path", J.Str path);
+        ("outcome", J.Str "ok");
+        ("exit", J.Num 0.);
+        ("answers", J.Num (float_of_int count));
+        ("results", answers);
+      ]
+    | Error e ->
+      let outcome, code = outcome_of_result (Error e) in
+      [
+        ("path", J.Null);
+        ("outcome", J.Str outcome);
+        ("exit", J.Num (float_of_int code));
+        ("error", J.Str (Simq_cli.message e));
+      ]
+  in
+  J.to_string (J.Obj (head @ tail))
+
+(* Per-query profile trees, dumped together: the text form labels each
+   tree with its sequence number and spec, the .json form wraps them in
+   one self-describing simq.batch-profile object. *)
+let dump_batch_profiles ~dest ~texts profiles =
+  let module J = Simq_obs.Json in
+  let write oc =
+    if Filename.check_suffix dest ".json" then begin
+      let queries =
+        Array.to_list
+          (Array.mapi
+             (fun i p ->
+               J.Obj
+                 [
+                   ("seq", J.Num (float_of_int i));
+                   ("spec", J.Str texts.(i));
+                   ("profile", Profile.to_json p);
+                 ])
+             profiles)
+      in
+      output_string oc
+        (J.to_string
+           (J.Obj
+              [
+                ("event", J.Str "simq.batch-profile");
+                ("v", J.Num 1.);
+                ("queries", J.Arr queries);
+              ]));
+      output_char oc '\n'
+    end
+    else
+      Array.iteri
+        (fun i p ->
+          Printf.fprintf oc "-- query #%d: %s\n%s" i texts.(i)
+            (Profile.render p))
+        profiles
+  in
+  if dest = "-" then begin
+    write stdout;
+    flush stdout;
+    Ok ()
+  end
+  else
+    match open_out dest with
+    | oc ->
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
+      Ok ()
+    | exception Sys_error msg -> Error (File msg)
+
+let batch_impl file specs from_qlog output noise jobs metrics trace
+    metrics_port metrics_state profile qlog qlog_sample qlog_slow_ms
+    qlog_max_bytes =
+  apply_jobs jobs;
+  let* texts =
+    match (specs, from_qlog) with
+    | Some _, Some _ -> usage "pass either SPECS or --from-qlog, not both"
+    | Some source, None -> read_spec_lines source
+    | None, Some log -> read_qlog_specs log
+    | None, None ->
+      usage "pass a SPECS file (\"-\" reads stdin) or --from-qlog FILE"
+  in
+  let* qlog =
+    make_qlog ~sample:qlog_sample ~slow_ms:qlog_slow_ms
+      ~max_bytes:qlog_max_bytes qlog
+  in
+  Simq_cli.with_obs
+    ?metrics_port:(Simq_cli.resolve_metrics_port metrics_port)
+    ?metrics_state ?qlog ~metrics ~trace (fun () ->
+      let* relation = load_relation file in
+      let* out =
+        match output with
+        | None -> Ok None
+        | Some path -> (
+          match open_out path with
+          | oc -> Ok (Some oc)
+          | exception Sys_error msg -> Error (File msg))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          match out with Some oc -> close_out_noerr oc | None -> flush stdout)
+        (fun () ->
+          Otrace.with_span "batch" @@ fun () ->
+          let dataset =
+            Otrace.with_span "prepare" (fun () -> Dataset.of_relation relation)
+          in
+          let index =
+            Otrace.with_span "build" (fun () -> Kindex.build dataset)
+          in
+          let texts = Array.of_list texts in
+          let n = Array.length texts in
+          let profiles =
+            Option.map
+              (fun _ -> Array.init n (fun _ -> Profile.create ()))
+              profile
+          in
+          (* A failed query becomes its own error line; the rest of the
+             batch still runs, and the command still exits 0 — this is
+             the serving path, not a transaction. *)
+          let run ~profile text =
+            match run_batch_query ~profile index dataset noise text with
+            | r -> r
+            | exception Invalid_argument msg -> Error (Usage msg)
+          in
+          let results = Simq_parallel.Batch.map_timed ?profiles run texts in
+          let oc = Option.value out ~default:stdout in
+          let ok_count = ref 0 in
+          Array.iteri
+            (fun i r ->
+              (match r.Simq_parallel.Batch.value with
+              | Ok _ -> incr ok_count
+              | Error _ -> ());
+              output_string oc (batch_line ~seq:i ~spec:texts.(i) r);
+              output_char oc '\n')
+            results;
+          flush oc;
+          (* The query log is written after the batch, in query order on
+             this domain, so qlog sampling stays a pure function of the
+             sequence number at every pool size. Per-query counter
+             deltas are not separable under parallel execution, so the
+             deltas field stays empty. *)
+          (match qlog with
+          | None -> ()
+          | Some qlog ->
+            let domains =
+              Simq_parallel.Pool.domains (Simq_parallel.Pool.default ())
+            in
+            Array.iteri
+              (fun i (r : _ Simq_parallel.Batch.timed) ->
+                let outcome, code, path =
+                  match r.Simq_parallel.Batch.value with
+                  | Ok (path, _, _) -> ("ok", 0, Some path)
+                  | Error e ->
+                    let outcome, code = outcome_of_result (Error e) in
+                    (outcome, code, None)
+                in
+                Qlog.log qlog
+                  {
+                    Qlog.spec = texts.(i);
+                    digest = digest_of texts.(i);
+                    decision = None;
+                    path;
+                    deltas = [];
+                    duration_s = r.Simq_parallel.Batch.duration_s;
+                    outcome;
+                    exit_code = code;
+                    domains;
+                  })
+              results);
+          let* () =
+            match (profile, profiles) with
+            | Some dest, Some profiles ->
+              dump_batch_profiles ~dest ~texts profiles
+            | _ -> Ok ()
+          in
+          Printf.eprintf "simq: batch: %d queries (%d ok, %d failed), %d domains\n%!"
+            n !ok_count (n - !ok_count)
+            (Simq_parallel.Pool.domains (Simq_parallel.Pool.default ()));
+          Ok ()))
+
+let specs_arg =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"SPECS"
+        ~doc:
+          "File of query specs, one query per line ($(b,-) reads stdin); \
+           blank lines and $(b,#)-comments are skipped. Exactly one of \
+           $(i,SPECS) and $(b,--from-qlog) must be given.")
+
+let from_qlog_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from-qlog" ] ~docv:"FILE"
+        ~doc:
+          "Replay the specs of a $(b,--qlog) query log as the batch \
+           workload: every $(b,simq.qlog) line's spec is re-executed, in \
+           log order. Lines of other event types are skipped.")
+
+let batch_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the JSON result lines to $(docv) instead of stdout.")
 
 (* --- import / export ------------------------------------------------------------ *)
 
@@ -593,16 +951,36 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const (fun file text noise jobs metrics trace metrics_port metrics_state
-                 profile qlog qlog_sample qlog_slow_ms admission deadline pages
-                 comparisons nodes ->
+                 profile qlog qlog_sample qlog_slow_ms qlog_max_bytes admission
+                 deadline pages comparisons nodes ->
           handle
             (query_impl file text noise jobs metrics trace metrics_port
-               metrics_state profile qlog qlog_sample qlog_slow_ms admission
-               deadline pages comparisons nodes))
+               metrics_state profile qlog qlog_sample qlog_slow_ms
+               qlog_max_bytes admission deadline pages comparisons nodes))
       $ file_arg $ ql_arg $ noise_arg $ jobs_arg $ metrics_arg $ trace_arg
       $ metrics_port_arg $ metrics_state_arg $ profile_arg $ qlog_arg
-      $ qlog_sample_arg $ qlog_slow_ms_arg $ admission_arg $ deadline_arg
-      $ max_page_reads_arg $ max_comparisons_arg $ max_node_accesses_arg)
+      $ qlog_sample_arg $ qlog_slow_ms_arg $ qlog_max_bytes_arg
+      $ admission_arg $ deadline_arg $ max_page_reads_arg
+      $ max_comparisons_arg $ max_node_accesses_arg)
+
+let batch_cmd =
+  let doc =
+    "run a whole file of similarity queries as one batch over a resident \
+     index"
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const (fun file specs from_qlog output noise jobs metrics trace
+                 metrics_port metrics_state profile qlog qlog_sample
+                 qlog_slow_ms qlog_max_bytes ->
+          handle
+            (batch_impl file specs from_qlog output noise jobs metrics trace
+               metrics_port metrics_state profile qlog qlog_sample
+               qlog_slow_ms qlog_max_bytes))
+      $ file_arg $ specs_arg $ from_qlog_arg $ batch_out_arg $ noise_arg
+      $ jobs_arg $ metrics_arg $ trace_arg $ metrics_port_arg
+      $ metrics_state_arg $ profile_arg $ qlog_arg $ qlog_sample_arg
+      $ qlog_slow_ms_arg $ qlog_max_bytes_arg)
 
 let import_cmd =
   let doc = "import a CSV file (one series per row: name,v1,v2,...)" in
@@ -664,7 +1042,7 @@ let () =
     Cmd.group
       (Cmd.info "simq" ~doc ~version:"1.0.0")
       [
-        generate_cmd; info_cmd; query_cmd; import_cmd; export_cmd;
+        generate_cmd; info_cmd; query_cmd; batch_cmd; import_cmd; export_cmd;
         experiments_cmd; qlog_top_cmd; scrape_cmd;
       ]
   in

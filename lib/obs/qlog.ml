@@ -2,8 +2,10 @@
 
 type t = {
   mutable oc : out_channel option;
+  path : string;
   sample : int;
   slow_ms : float option;
+  max_bytes : int option;
   mutable seen : int;
   mutable written : int;
   mutex : Mutex.t;
@@ -21,13 +23,28 @@ type entry = {
   domains : int;
 }
 
-let create ?(sample = 1) ?slow_ms path =
+let open_log path =
+  open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+
+let create ?(sample = 1) ?slow_ms ?max_bytes path =
   if sample < 1 then invalid_arg "Qlog.create: sample must be >= 1";
   (match slow_ms with
   | Some t when t < 0. -> invalid_arg "Qlog.create: slow_ms must be >= 0"
   | _ -> ());
-  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
-  { oc = Some oc; sample; slow_ms; seen = 0; written = 0; mutex = Mutex.create () }
+  (match max_bytes with
+  | Some b when b < 1 -> invalid_arg "Qlog.create: max_bytes must be >= 1"
+  | _ -> ());
+  let oc = open_log path in
+  {
+    oc = Some oc;
+    path;
+    sample;
+    slow_ms;
+    max_bytes;
+    seen = 0;
+    written = 0;
+    mutex = Mutex.create ();
+  }
 
 let render_line ~seq entry =
   let opt = function None -> Json.Null | Some s -> Json.Str s in
@@ -72,7 +89,18 @@ let log t entry =
             output_string oc (render_line ~seq entry);
             output_char oc '\n';
             flush oc;
-            t.written <- t.written + 1))
+            t.written <- t.written + 1;
+            (* Size rotation: once the live file reaches the limit it
+               is renamed to [path.1] (replacing any previous rotation)
+               and a fresh file opened. [seen] keeps counting, so the
+               sampling decision stays a pure function of the query
+               sequence number across rotations. *)
+            match t.max_bytes with
+            | Some limit when LargeFile.out_channel_length oc >= Int64.of_int limit ->
+                close_out oc;
+                Sys.rename t.path (t.path ^ ".1");
+                t.oc <- Some (open_log t.path)
+            | _ -> ()))
 
 let close t =
   Mutex.lock t.mutex;

@@ -38,12 +38,18 @@ type entry = {
   domains : int;  (** domain count the query ran under *)
 }
 
-val create : ?sample:int -> ?slow_ms:float -> string -> t
-(** [create ?sample ?slow_ms path] opens [path] for appending.
-    [sample] is the 1-in-N keep rate (default [1] — keep everything;
-    [Invalid_argument] if [< 1]); [slow_ms] always logs entries whose
-    duration reaches it regardless of sampling (default: off). Raises
-    [Sys_error] if the file cannot be opened. *)
+val create : ?sample:int -> ?slow_ms:float -> ?max_bytes:int -> string -> t
+(** [create ?sample ?slow_ms ?max_bytes path] opens [path] for
+    appending. [sample] is the 1-in-N keep rate (default [1] — keep
+    everything; [Invalid_argument] if [< 1]); [slow_ms] always logs
+    entries whose duration reaches it regardless of sampling (default:
+    off). [max_bytes] (default: unbounded; [Invalid_argument] if
+    [< 1]) rotates by size: after a write that takes the file to
+    [max_bytes] or beyond, it is renamed to [path.1] — replacing any
+    previous rotation, so at most two files ever exist — and a fresh
+    [path] is opened. Sequence numbers keep counting across rotations,
+    so sampling stays a pure function of the query sequence number.
+    Raises [Sys_error] if the file cannot be opened. *)
 
 val log : t -> entry -> unit
 (** Assigns the next sequence number, applies the sampling policy and

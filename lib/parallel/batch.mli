@@ -1,0 +1,51 @@
+(** The inter-query batch executor: many {e independent} queries over a
+    shared resident dataset or index, one query per {!Pool} task — the
+    TSseek-style alternative to slicing a single small query ever
+    thinner. Coarse units amortise the scheduling overhead, and because
+    the queries are independent there is no merge step at all.
+
+    {b Determinism.} Result [i] is whatever [f] returns for query [i];
+    queries never observe each other, and the result array is
+    positioned exactly as a sequential loop's, so a batch is
+    bit-identical to running its queries one by one — at every pool
+    size. Exceptions propagate like {!Pool.map_chunks}: the
+    lowest-indexed failing query's exception is re-raised after every
+    query has run.
+
+    {b Observability.} Each executed query increments
+    [simq_batch_queries_total] and observes its wall time in
+    [simq_batch_seconds] (on the executing domain — merged totals are
+    identical at every domain count). A batch runs inside a
+    [batch.run] trace span with one [batch.query] span per query.
+    [?profiles] gives every query its own {!Simq_obs.Profile} tree:
+    each profile is only ever touched by the one domain running its
+    query, so the per-query trees (timings aside) come out identical
+    at every domain count. *)
+
+(** A query result with the wall time its execution took on whichever
+    domain ran it. Durations are timing, not part of the bit-identity
+    contract. *)
+type 'a timed = { value : 'a; duration_s : float }
+
+(** [map ?pool ?profiles f queries] runs [f ~profile queries.(i)] for
+    every [i], one query per task of [pool] (default {!Pool.default}),
+    and returns the results in query order. [profile] is
+    [Some profiles.(i)] when [?profiles] is given, [None] otherwise.
+    Raises [Invalid_argument] when [profiles] is present but its length
+    differs from [queries]'s. *)
+val map :
+  ?pool:Pool.t ->
+  ?profiles:Simq_obs.Profile.t array ->
+  (profile:Simq_obs.Profile.t option -> 'a -> 'b) ->
+  'a array ->
+  'b array
+
+(** [map_timed ?pool ?profiles f queries] is {!map} with each result
+    carrying its per-query wall time — what the [simq batch] command
+    and the [par] experiment's batch column report. *)
+val map_timed :
+  ?pool:Pool.t ->
+  ?profiles:Simq_obs.Profile.t array ->
+  (profile:Simq_obs.Profile.t option -> 'a -> 'b) ->
+  'a array ->
+  'b timed array

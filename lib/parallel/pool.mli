@@ -20,7 +20,9 @@
     completion (or failure), and the exception raised by the {e
     lowest-indexed} failing chunk is re-raised in the caller — again
     matching what a sequential left-to-right run would have raised
-    first. The pool remains usable afterwards.
+    first. ({!map_array} evaluates element 0 in the caller before
+    fanning out, so an exception there propagates immediately, exactly
+    as a sequential run's would.) The pool remains usable afterwards.
 
     {b Nesting.} A task running on the pool may itself submit work to
     the same pool: the submitter drives its own sub-job to completion,
@@ -68,12 +70,47 @@ val default_domains : unit -> int
     [n < 1]. *)
 val set_default_domains : int -> unit
 
+(** {2 Adaptive chunking}
+
+    When [?chunk] is omitted, the pool picks the chunk size itself and
+    adapts it to the workload: jobs start {e coarse}
+    ({!coarse_chunks_per_domain} chunks per domain, amortising
+    scheduling overhead) and split finer — up to
+    {!max_chunks_per_domain} per domain — only when the measured
+    per-domain busy times of a finished job are imbalanced (the
+    [simq_pool_imbalance_ratio] gauge); near-perfect balance coarsens
+    them again. A chunk never holds fewer than {!min_chunk_quantum}
+    elements, so inputs smaller than the quantum collapse to a single
+    chunk and run inline in the caller. Chunk sizing only moves work
+    between domains — per-chunk answers and counters merge in chunk
+    order — so adaptation never changes an answer. *)
+
+(** Minimum elements per automatically sized chunk (the minimum-work
+    quantum below which scheduling overhead dominates). *)
+val min_chunk_quantum : int
+
+(** Chunks per domain a fresh pool starts with. *)
+val coarse_chunks_per_domain : int
+
+(** Upper bound on chunks per domain the controller will split to. *)
+val max_chunks_per_domain : int
+
+(** [adaptive_chunk pool n] is the chunk size the controller currently
+    picks for an [n]-element operation on [pool] — what every operation
+    below uses when [?chunk] is omitted. Exposed so callers that cut
+    chunks themselves (the scans) follow the same policy. *)
+val adaptive_chunk : t -> int -> int
+
+(** [chunks_per_domain pool] is the controller's current
+    chunks-per-domain target, between {!coarse_chunks_per_domain} and
+    {!max_chunks_per_domain}. *)
+val chunks_per_domain : t -> int
+
 (** {2 Parallel operations}
 
     Every operation takes [?pool] (default {!default}) and an optional
     [?chunk] — the number of consecutive elements handed to a domain at
-    a time. The default is [max 1 (n / (8 * domains))]: about eight
-    chunks per domain, so uneven per-element costs still balance. *)
+    a time. The default is {!adaptive_chunk}. *)
 
 (** [map_array ?pool ?chunk f arr] is [Array.map f arr], computed in
     parallel. Results are positioned exactly as [Array.map] would. *)

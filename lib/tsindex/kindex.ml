@@ -324,8 +324,8 @@ let range_checked ?(spec = Spec.Identity) ?(normalise_query = true)
 
 (* --- query batches -------------------------------------------------------- *)
 
-let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true) t
-    ~queries =
+let range_batch ?pool ?profiles ?(spec = Spec.Identity)
+    ?(normalise_query = true) t ~queries =
   Array.iter
     (fun (query, epsilon) ->
       check_query_length t spec query;
@@ -333,16 +333,16 @@ let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true) t
     queries;
   (* One preparation for the whole workload; the traversals are
      read-only (locally counted accesses, see
-     {!Rstar.fold_region_counted}), so one query per pool task. The
+     {!Rstar.fold_region_counted}), so one query per batch task. The
      cumulative access counter is credited afterwards, in query order,
      matching a sequential loop's total. *)
   let prepared = prepare t spec in
   let results =
-    Simq_parallel.Pool.map_array ?pool ~chunk:1
-      (fun (query, epsilon) ->
+    Simq_parallel.Batch.map ?pool ?profiles
+      (fun ~profile (query, epsilon) ->
         let q = Dataset.prepare_query ~normalise:normalise_query query in
         let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
-        range_prepared_counted t prepared ~query_coeffs ~epsilon
+        range_prepared_counted ?profile t prepared ~query_coeffs ~epsilon
           ~distance:(prepared_distance t prepared q))
       queries
   in

@@ -105,16 +105,20 @@ val range_checked :
   epsilon:float ->
   (range_result, Simq_fault.Error.t) Result.t
 
-(** [range_batch t ?pool ?spec ~queries] answers a whole workload of
-    [(query, epsilon)] pairs — the serving path for many concurrent
-    users. The transformation is prepared once, queries run one per
-    task of [pool] (default the global pool), and element [i] of the
-    result — answers, candidate count and node accesses — is
+(** [range_batch t ?pool ?profiles ?spec ~queries] answers a whole
+    workload of [(query, epsilon)] pairs — the serving path for many
+    concurrent users, run through {!Simq_parallel.Batch}. The
+    transformation is prepared once against the resident index, queries
+    run one per task of [pool] (default the global pool), and element
+    [i] of the result — answers, candidate count and node accesses — is
     bit-identical to [range t ~query ~epsilon] posed alone. All queries
     are validated before any work starts; the tree's cumulative access
-    counter advances by the same total as a sequential loop. *)
+    counter advances by the same total as a sequential loop. With
+    [?profiles] (length = [queries]'s, else [Invalid_argument]) query
+    [i] records its [kindex.range] operator tree into [profiles.(i)]. *)
 val range_batch :
   ?pool:Simq_parallel.Pool.t ->
+  ?profiles:Simq_obs.Profile.t array ->
   ?spec:Spec.t ->
   ?normalise_query:bool ->
   t ->

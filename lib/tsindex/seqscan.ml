@@ -115,7 +115,7 @@ let scan_compute ~pool ~abandon ~normalise_query ?bstate dataset spec query
       let stretch = Spec.stretch spec ~n in
       compute_freq ~abandon ~stretch ~n ~limit epsilon q
   in
-  let chunk = max 1 (count / (8 * Pool.domains pool)) in
+  let chunk = Pool.adaptive_chunk pool count in
   let partials =
     Otrace.with_span "seqscan.compute" @@ fun () ->
     Pool.map_chunks ~pool ~chunk ~n:count (fun ~lo ~hi ->
@@ -252,8 +252,8 @@ let range_checked ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
           Profile.add_event pn ("error: " ^ Simq_fault.Error.kind e));
       result)
 
-let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
-    ?(abandon = true) dataset ~queries =
+let range_batch ?pool ?profiles ?(spec = Spec.Identity)
+    ?(normalise_query = true) ?(abandon = true) dataset ~queries =
   Array.iter
     (fun (query, epsilon) ->
       check_query_length dataset spec query;
@@ -262,10 +262,34 @@ let range_batch ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
   (* Each query reads the whole relation; account the passes up front,
      in query order, exactly as running the queries one by one would. *)
   Array.iter (fun _ -> account_io dataset) queries;
-  Pool.map_array ?pool ~chunk:1
-    (fun (query, epsilon) ->
-      scan_compute ~pool:Pool.sequential ~abandon ~normalise_query dataset
-        spec query epsilon)
+  let count = Array.length (Dataset.entries dataset) in
+  Simq_parallel.Batch.map ?pool ?profiles
+    (fun ~profile (query, epsilon) ->
+      let pn = Profile.enter profile "seqscan.range" in
+      Fun.protect
+        ~finally:(fun () -> Profile.leave profile pn)
+        (fun () ->
+          (* The page traffic really happened up front (see above); the
+             profile still shows the per-query cost in its io child. *)
+          let pio = Profile.enter profile "seqscan.io" in
+          Profile.add_pages pio count;
+          Profile.add_event pio "accounted up front, in query order";
+          Profile.leave profile pio;
+          let pc = Profile.enter profile "seqscan.compute" in
+          let result =
+            scan_compute ~pool:Pool.sequential ~abandon ~normalise_query
+              dataset spec query epsilon
+          in
+          let survivors = List.length result.answers in
+          Profile.add_rows_in pc count;
+          Profile.add_candidates pc count;
+          Profile.add_rows_out pc survivors;
+          Profile.add_survivors pc survivors;
+          Profile.add_early_abandon pc (count - result.full_computations);
+          Profile.leave profile pc;
+          Profile.add_rows_in pn count;
+          Profile.add_rows_out pn survivors;
+          result))
     queries
 
 let reference ?(spec = Spec.Identity) ?(normalise_query = true) dataset ~query

@@ -1,0 +1,377 @@
+(* The inter-query batch executor (Simq_parallel.Batch) and its wiring
+   into Kindex.range_batch / Seqscan.range_batch: batch answers must be
+   bit-identical to per-query sequential runs at every pool size (under
+   Spec variation), merged metric totals must be invariant in the
+   domain count, per-query profile trees (timings stripped) must be
+   identical at every domain count, and the qlog size rotation must
+   preserve the line stream. *)
+
+module Pool = Simq_parallel.Pool
+module Batch = Simq_parallel.Batch
+module Profile = Simq_obs.Profile
+module Metrics = Simq_obs.Metrics
+module Qlog = Simq_obs.Qlog
+open Simq_tsindex
+module Generator = Simq_series.Generator
+
+let pools =
+  [ (1, Pool.sequential); (2, Pool.create ~domains:2); (4, Pool.create ~domains:4) ]
+
+let pool_of n = List.assoc n pools
+
+(* --- Batch.map unit tests --------------------------------------------------- *)
+
+let test_map_order_and_values () =
+  let queries = Array.init 23 (fun i -> i) in
+  let f ~profile:_ q = (q * q) + 1 in
+  let expected = Array.map (fun q -> (q * q) + 1) queries in
+  List.iter
+    (fun (d, pool) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" d)
+        expected
+        (Batch.map ~pool f queries))
+    pools
+
+let test_map_empty () =
+  List.iter
+    (fun (d, pool) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "empty, domains=%d" d)
+        [||]
+        (Batch.map ~pool (fun ~profile:_ q -> q) [||]))
+    pools
+
+let test_map_timed_durations () =
+  List.iter
+    (fun (d, pool) ->
+      let results =
+        Batch.map_timed ~pool
+          (fun ~profile:_ q -> q + 1)
+          (Array.init 9 (fun i -> i))
+      in
+      Array.iteri
+        (fun i (r : int Batch.timed) ->
+          Alcotest.(check int)
+            (Printf.sprintf "value %d, domains=%d" i d)
+            (i + 1) r.Batch.value;
+          Alcotest.(check bool)
+            (Printf.sprintf "duration %d >= 0, domains=%d" i d)
+            true
+            (r.Batch.duration_s >= 0.))
+        results)
+    pools
+
+let test_profiles_length_validation () =
+  Alcotest.check_raises "wrong profiles length"
+    (Invalid_argument "Batch: profiles array must match the query count")
+    (fun () ->
+      ignore
+        (Batch.map ~pool:Pool.sequential
+           ~profiles:(Array.init 2 (fun _ -> Profile.create ()))
+           (fun ~profile:_ q -> q)
+           [| 1; 2; 3 |]))
+
+let test_profiles_are_threaded () =
+  List.iter
+    (fun (d, pool) ->
+      let n = 5 in
+      let profiles = Array.init n (fun _ -> Profile.create ()) in
+      ignore
+        (Batch.map ~pool ~profiles
+           (fun ~profile q ->
+             let node = Profile.enter profile "batch.test" in
+             Profile.add_rows_out node q;
+             Profile.leave profile node;
+             q)
+           (Array.init n (fun i -> i)));
+      Array.iteri
+        (fun i p ->
+          match Profile.find p "batch.test" with
+          | None ->
+            Alcotest.failf "profile %d has no batch.test node, domains=%d" i d
+          | Some node ->
+            Alcotest.(check int)
+              (Printf.sprintf "profile %d rows_out, domains=%d" i d)
+              i (Profile.rows_out node))
+        profiles)
+    pools
+
+let test_exception_propagates_lowest_index () =
+  let queries = Array.init 20 (fun i -> i) in
+  let f ~profile:_ q = if q >= 7 then failwith (string_of_int q) else q in
+  List.iter
+    (fun (d, pool) ->
+      match Batch.map ~pool f queries with
+      | _ -> Alcotest.failf "domains=%d: expected failure" d
+      | exception Failure msg ->
+        Alcotest.(check string) (Printf.sprintf "domains=%d" d) "7" msg)
+    pools
+
+(* --- batch ≡ per-query sequential (QCheck, under Spec variation) ----------- *)
+
+let dataset_of ~seed ~count ~n =
+  Dataset.of_series ~pool:Pool.sequential ~name:"test"
+    (Generator.random_walks ~seed ~count ~n)
+
+let query_for dataset spec seed =
+  let entries = Dataset.entries dataset in
+  let base = entries.(seed mod Array.length entries) in
+  let state = Random.State.make [| seed |] in
+  let perturbed =
+    Array.map
+      (fun v -> v +. Random.State.float state 2. -. 1.)
+      base.Dataset.series
+  in
+  match spec with
+  | Spec.Warp m -> Simq_series.Warp.expand m perturbed
+  | _ -> perturbed
+
+let spec_of_index i =
+  match i mod 5 with
+  | 0 -> Spec.Identity
+  | 1 -> Spec.Moving_average 3
+  | 2 -> Spec.Moving_average 8
+  | 3 -> Spec.Reverse
+  | _ -> Spec.Warp 2
+
+let arb_setup =
+  QCheck.make
+    ~print:(fun (seed, eps, qseed) ->
+      Printf.sprintf "seed=%d eps=%g qseed=%d" seed eps qseed)
+    QCheck.Gen.(
+      let* seed = int_range 0 1000 in
+      let* eps = float_range 0.1 15. in
+      let* qseed = int_range 0 1000 in
+      return (seed, eps, qseed))
+
+(* Bit-identity of the profiled batch paths against per-query
+   sequential runs, plus domain-count invariance of the rendered
+   per-query profile trees (timings stripped). *)
+let prop_profiled_batch_eq_sequential =
+  QCheck.Test.make
+    ~name:"profiled range_batch ≡ one-by-one; trees domain-count-invariant"
+    ~count:8 arb_setup (fun (seed, epsilon, qseed) ->
+      let d = dataset_of ~seed ~count:50 ~n:32 in
+      let spec = spec_of_index qseed in
+      let queries =
+        Array.init 6 (fun i ->
+            (query_for d spec (qseed + i), epsilon +. (0.3 *. float_of_int i)))
+      in
+      let nq = Array.length queries in
+      let index = Kindex.build ~max_fill:8 d in
+      let expected_kindex =
+        Array.map
+          (fun (query, epsilon) -> Kindex.range ~spec index ~query ~epsilon)
+          queries
+      in
+      let expected_seqscan =
+        Array.map
+          (fun (query, epsilon) ->
+            Seqscan.range_early_abandon ~pool:Pool.sequential ~spec d ~query
+              ~epsilon)
+          queries
+      in
+      let kindex_trees = ref None and seqscan_trees = ref None in
+      List.iter
+        (fun domains ->
+          let pool = pool_of domains in
+          let profiles = Array.init nq (fun _ -> Profile.create ()) in
+          let batch = Kindex.range_batch ~pool ~profiles ~spec index ~queries in
+          Array.iteri
+            (fun i (expected : Kindex.range_result) ->
+              let actual = batch.(i) in
+              let project (r : Kindex.range_result) =
+                List.map
+                  (fun ((e : Dataset.entry), dist) -> (e.Dataset.id, dist))
+                  r.Kindex.answers
+              in
+              Alcotest.(check (list (pair int (float 0.))))
+                (Printf.sprintf "kindex answers q%d domains=%d" i domains)
+                (project expected) (project actual);
+              Alcotest.(check int)
+                (Printf.sprintf "kindex candidates q%d domains=%d" i domains)
+                expected.Kindex.candidates actual.Kindex.candidates;
+              Alcotest.(check int)
+                (Printf.sprintf "kindex node accesses q%d domains=%d" i domains)
+                expected.Kindex.node_accesses actual.Kindex.node_accesses)
+            expected_kindex;
+          let rendered =
+            Array.map (fun p -> Profile.render ~timings:false p) profiles
+          in
+          (match !kindex_trees with
+          | None -> kindex_trees := Some rendered
+          | Some reference ->
+            Alcotest.(check (array string))
+              (Printf.sprintf "kindex trees domains=%d" domains)
+              reference rendered);
+          let profiles = Array.init nq (fun _ -> Profile.create ()) in
+          let batch = Seqscan.range_batch ~pool ~profiles ~spec d ~queries in
+          Array.iteri
+            (fun i (expected : Seqscan.result) ->
+              let actual = batch.(i) in
+              Alcotest.(check (list (pair int (float 0.))))
+                (Printf.sprintf "scan answers q%d domains=%d" i domains)
+                (List.map
+                   (fun ((e : Dataset.entry), dist) -> (e.Dataset.id, dist))
+                   expected.Seqscan.answers)
+                (List.map
+                   (fun ((e : Dataset.entry), dist) -> (e.Dataset.id, dist))
+                   actual.Seqscan.answers);
+              Alcotest.(check int)
+                (Printf.sprintf "scan full q%d domains=%d" i domains)
+                expected.Seqscan.full_computations
+                actual.Seqscan.full_computations;
+              Alcotest.(check int)
+                (Printf.sprintf "scan touched q%d domains=%d" i domains)
+                expected.Seqscan.coefficients_touched
+                actual.Seqscan.coefficients_touched)
+            expected_seqscan;
+          let rendered =
+            Array.map (fun p -> Profile.render ~timings:false p) profiles
+          in
+          match !seqscan_trees with
+          | None -> seqscan_trees := Some rendered
+          | Some reference ->
+            Alcotest.(check (array string))
+              (Printf.sprintf "seqscan trees domains=%d" domains)
+              reference rendered)
+        [ 1; 2; 4 ];
+      true)
+
+(* --- merged metric totals are domain-count-invariant ------------------------ *)
+
+let test_batch_metric_totals_invariant () =
+  let d = dataset_of ~seed:23 ~count:70 ~n:32 in
+  let index = Kindex.build ~max_fill:8 d in
+  let spec = Spec.Moving_average 4 in
+  let queries =
+    Array.init 8 (fun i ->
+        (query_for d spec (40 + i), 1.0 +. (0.4 *. float_of_int i)))
+  in
+  let families =
+    [ "simq_batch_queries_total"; "simq_scan_candidates_total";
+      "simq_scan_survivors_total"; "simq_scan_early_abandon_total" ]
+  in
+  let ref_totals = ref None in
+  List.iter
+    (fun (domains, pool) ->
+      let totals =
+        Metrics.with_enabled true (fun () ->
+            Metrics.reset ();
+            ignore (Kindex.range_batch ~pool ~spec index ~queries);
+            ignore (Seqscan.range_batch ~pool ~spec d ~queries);
+            List.map
+              (fun f -> Metrics.counter_total (Metrics.counter f))
+              families)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "batch queries counted, domains=%d" domains)
+        (2 * Array.length queries)
+        (List.hd totals);
+      match !ref_totals with
+      | None -> ref_totals := Some totals
+      | Some expected ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "merged totals, domains=%d" domains)
+          expected totals)
+    pools
+
+(* --- qlog size rotation ------------------------------------------------------ *)
+
+let test_qlog_rotation () =
+  let dir = Filename.temp_file "simq_qlog" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "rot.qlog" in
+  let entry i =
+    {
+      Qlog.spec = Printf.sprintf "RANGE FROM r QUERY s%d EPS 2.5" i;
+      digest = "0123456789ab";
+      decision = None;
+      path = Some "index";
+      deltas = [];
+      duration_s = 0.001;
+      outcome = "ok";
+      exit_code = 0;
+      domains = 1;
+    }
+  in
+  let line_bytes = String.length (Qlog.render_line ~seq:0 (entry 0)) + 1 in
+  (* A limit of two lines: every third write rotates. *)
+  let log = Qlog.create ~max_bytes:(2 * line_bytes) path in
+  let total = 10 in
+  for i = 0 to total - 1 do
+    Qlog.log log (entry i)
+  done;
+  Qlog.close log;
+  let read_lines file =
+    if not (Sys.file_exists file) then []
+    else begin
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+    end
+  in
+  let rotated = read_lines (path ^ ".1") in
+  let live = read_lines path in
+  Alcotest.(check bool) "rotation happened" true (rotated <> []);
+  Alcotest.(check bool)
+    "live file below the limit"
+    true
+    (List.length live <= 2);
+  (* The surviving tail is contiguous: [path.1] holds the lines just
+     before the live file's, and every line is valid JSON with the
+     expected sequence numbers. *)
+  let seqs =
+    List.map
+      (fun line ->
+        match Simq_obs.Json.parse line with
+        | Ok json -> (
+          match Simq_obs.Json.member "seq" json with
+          | Some (Simq_obs.Json.Num v) -> int_of_float v
+          | _ -> Alcotest.failf "line without seq: %s" line)
+        | Error msg -> Alcotest.failf "bad JSON after rotation: %s" msg)
+      (rotated @ live)
+  in
+  let expected_start = total - List.length seqs in
+  Alcotest.(check (list int))
+    "contiguous tail of sequence numbers"
+    (List.init (List.length seqs) (fun i -> expected_start + i))
+    seqs;
+  Alcotest.(check int) "all entries seen" total (Qlog.entries_seen log);
+  Alcotest.(check int) "all lines written" total (Qlog.lines_written log);
+  List.iter (fun f -> if Sys.file_exists f then Sys.remove f) [ path; path ^ ".1" ];
+  Unix.rmdir dir
+
+let () =
+  Alcotest.run "simq_batch"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "map order and values" `Quick
+            test_map_order_and_values;
+          Alcotest.test_case "map empty" `Quick test_map_empty;
+          Alcotest.test_case "map_timed durations" `Quick
+            test_map_timed_durations;
+          Alcotest.test_case "profiles length validated" `Quick
+            test_profiles_length_validation;
+          Alcotest.test_case "profiles threaded per query" `Quick
+            test_profiles_are_threaded;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            test_exception_propagates_lowest_index;
+        ] );
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest prop_profiled_batch_eq_sequential ]
+        @ [
+            Alcotest.test_case "metric totals domain-count-invariant" `Quick
+              test_batch_metric_totals_invariant;
+          ] );
+      ("qlog", [ Alcotest.test_case "size rotation" `Quick test_qlog_rotation ]);
+    ]

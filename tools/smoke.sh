@@ -2,9 +2,11 @@
 # Smoke test: drive the built binaries end to end — the fast benchmark
 # sweep with observability on, an admission-control rejection (exit 5)
 # that still dumps its metrics and trace, a profiled query with both
-# profile exports plus a sampled query log aggregated by qlog-top, and
-# a live scrape of the TCP exposition endpoint while a bench run is
-# serving it.
+# profile exports plus a sampled query log aggregated by qlog-top, a
+# batch run (a workload file in, one JSON line per query out, with
+# metrics, a sampled query log and a --from-qlog replay), and a live
+# scrape of the TCP exposition endpoint while a bench run is serving
+# it.
 #
 # Two modes:
 #   tools/smoke.sh                full standalone run: dune build @all,
@@ -40,7 +42,8 @@ echo "== bench --fast with metrics and tracing on"
 # be non-empty valid JSON (well-formedness is checked structurally by
 # the test suite, so a cheap shape check suffices here).
 for family in simq_buffer_pool simq_rtree simq_planner simq_pool \
-  simq_fault simq_scan simq_kindex simq_join simq_timer simq_admission; do
+  simq_fault simq_scan simq_kindex simq_join simq_timer simq_admission \
+  simq_batch; do
   grep -q "^# TYPE $family" metrics.prom || {
     echo "smoke: family $family missing from the exposition" >&2
     exit 1
@@ -115,6 +118,58 @@ grep -q 'top by duration:' qlogtop.out || {
 }
 grep -q 'by path:' qlogtop.out || {
   echo "smoke: qlog-top printed no path breakdown" >&2
+  exit 1
+}
+
+echo "== batch: a workload file in, one JSON line per query out"
+cat >batch.specs <<'EOF'
+RANGE FROM r QUERY s0 EPS 2.5
+RANGE FROM r USING mavg(7) QUERY s1 EPS 2.5
+# comments and the blank line below are skipped
+
+NEAREST 3 FROM r QUERY s2
+this is not a query
+RANGE FROM r USING rev QUERY s3 EPS 1.5
+EOF
+"$simq" batch smoke.rel batch.specs --jobs 2 -o batch.jsonl \
+  --metrics batch.prom --qlog batch.qlog --qlog-sample 2 2>batch.err
+grep -q 'batch: 5 queries (4 ok, 1 failed)' batch.err || {
+  echo "smoke: batch summary line wrong or missing" >&2
+  cat batch.err >&2
+  exit 1
+}
+[ "$(grep -c '"event":"simq.batch"' batch.jsonl)" -eq 5 ] || {
+  echo "smoke: expected one simq.batch line per spec" >&2
+  exit 1
+}
+grep -q '"outcome":"usage"' batch.jsonl || {
+  echo "smoke: the malformed spec did not produce a usage error line" >&2
+  exit 1
+}
+[ "$(grep -c '"outcome":"ok"' batch.jsonl)" -eq 4 ] || {
+  echo "smoke: expected 4 ok result lines" >&2
+  exit 1
+}
+grep -q '^simq_batch_queries_total 5' batch.prom || {
+  echo "smoke: batch executor queries not counted in the exposition" >&2
+  exit 1
+}
+# --qlog-sample 2 keeps sequence numbers 0, 2 and 4 — a pure function
+# of the query sequence number, so this count is deterministic.
+[ "$(grep -c '"event":"simq.qlog"' batch.qlog)" -eq 3 ] || {
+  echo "smoke: sampled batch qlog should hold exactly 3 lines" >&2
+  exit 1
+}
+
+echo "== batch --from-qlog replays the sampled specs"
+"$simq" batch smoke.rel --from-qlog batch.qlog -o replay.jsonl 2>replay.err
+grep -q 'batch: 3 queries (3 ok, 0 failed)' replay.err || {
+  echo "smoke: qlog replay summary wrong or missing" >&2
+  cat replay.err >&2
+  exit 1
+}
+[ "$(grep -c '"event":"simq.batch"' replay.jsonl)" -eq 3 ] || {
+  echo "smoke: replay should re-execute the 3 sampled specs" >&2
   exit 1
 }
 
