@@ -220,28 +220,9 @@ let file_arg =
 
 (* --- query ------------------------------------------------------------------ *)
 
-let resolve_query_series dataset spec ~name ~noise =
-  let n = Dataset.series_length dataset in
-  let* id =
-    if String.length name >= 2 && name.[0] = 's' then
-      match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
-      | Some id when id >= 0 && id < Dataset.cardinality dataset -> Ok id
-      | Some id -> usage (Printf.sprintf "series id %d out of range" id)
-      | None -> usage (Printf.sprintf "bad query name %S (expected sN)" name)
-    else usage (Printf.sprintf "bad query name %S (expected sN)" name)
-  in
-  let base = (Dataset.get dataset id).Dataset.series in
-  let series =
-    if noise > 0. then
-      Simq_workload.Queries.perturb (Random.State.make [| 17 |]) base
-        ~amount:noise
-    else base
-  in
-  match spec with
-  | Spec.Warp m -> Ok (Simq_series.Warp.expand m series)
-  | _ ->
-    assert (Spec.output_length spec ~n = n);
-    Ok series
+(* The sN-name convention and the engine behind serve/batch live in
+   Simq_serve.Engine; the one-shot query paths below share them. *)
+let resolve_query_series = Simq_serve.Engine.resolve_query_series
 
 (* What the query log needs to know about the executed query, filled in
    as the plan unfolds. *)
@@ -312,8 +293,39 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission q =
         Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
       result.Kindex.answers;
     Ok ()
-  | Ql.Nearest _ when Option.is_some budget ->
-    usage "budgets (--deadline/--max-*) apply to RANGE and PAIRS scan queries"
+  | Ql.Nearest { k; spec; query; _ }
+    when Option.is_some budget || admission ->
+    (* Budgeted/vetted NN: the same cost model the range planner
+       consults decides before any node is visited — admit the
+       best-first traversal, degrade to an exact linear selection, or
+       reject with the typed error (exit 5). *)
+    let budget = Option.value budget ~default:Budget.unlimited in
+    let* series = resolve_query_series dataset spec ~name:query ~noise in
+    note.note_path <- Some "index";
+    let policy = if admission then Some Simq_admission.default else None in
+    let outcome, elapsed =
+      Simq_report.Timer.time (fun () ->
+          Kindex.nearest_checked ~spec ~budget ?admission:policy
+            ~on_decision:(fun d ->
+              note.note_decision <- Some (Simq_admission.decision_name d);
+              match d with
+              | Simq_admission.Degrade_to_scan ->
+                note.note_path <- Some "scan"
+              | Simq_admission.Admit | Simq_admission.Reject _ -> ())
+            ?profile index ~query:series ~k)
+    in
+    let* results = Result.map_error (fun e -> Fault e) outcome in
+    Printf.printf "%d nearest (path %s%s, %s)\n" (List.length results)
+      (Option.value note.note_path ~default:"index")
+      (match note.note_decision with
+      | Some d -> ", admission: " ^ d
+      | None -> "")
+      (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+    List.iter
+      (fun ((e : Dataset.entry), d) ->
+        Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
+      results;
+    Ok ()
   | Ql.Nearest { k; spec; query; _ } ->
     let* series = resolve_query_series dataset spec ~name:query ~noise in
     note.note_path <- Some "index";
@@ -329,7 +341,9 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission q =
       results;
     Ok ()
   | Ql.Pairs { method_ = Ql.Index; _ } when Option.is_some budget ->
-    usage "budgets (--deadline/--max-*) apply to RANGE and PAIRS scan queries"
+    usage
+      "budgets (--deadline/--max-*) apply to RANGE, NEAREST and PAIRS scan \
+       queries"
   | Ql.Pairs { spec; epsilon; method_; _ } ->
     note.note_path <-
       Some (match method_ with Ql.Index -> "index" | _ -> "scan");
@@ -475,7 +489,8 @@ let max_node_accesses_arg =
 let admission_arg =
   Arg.(value & flag
        & info [ "admission" ]
-           ~doc:"Vet budgeted RANGE queries with cost-based admission \
+           ~doc:"Vet budgeted RANGE and NEAREST queries with cost-based \
+                 admission \
                  control before execution: collect planner statistics, \
                  predict each path's cost from them and the live metrics \
                  registry, and degrade or reject (exit code 5) queries \
@@ -514,97 +529,57 @@ let read_spec_lines source =
        raw)
 
 (* The qlog-replay seam: the specs of a sampled query log become the
-   batch workload. Non-qlog JSON lines (and malformed ones) are
-   skipped, so any --qlog file replays as written. *)
+   batch workload. A size-rotated pair replays in stream order —
+   FILE.1 (the older rotation) before FILE. Non-qlog JSON lines (and
+   malformed ones) are skipped, so any --qlog file replays as
+   written. *)
 let read_qlog_specs file =
-  if not (Sys.file_exists file) then
-    Error (File (Printf.sprintf "no such file: %s" file))
-  else begin
+  match Qlog.rotated_chain file with
+  | [] -> Error (File (Printf.sprintf "no such file: %s" file))
+  | files ->
     let specs = ref [] in
-    let ic = open_in file in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            if String.trim line <> "" then
-              match Simq_obs.Json.parse line with
-              | Ok json -> (
-                match
-                  ( Simq_obs.Json.member "event" json,
-                    Simq_obs.Json.member "spec" json )
-                with
-                | Some (Simq_obs.Json.Str "simq.qlog"),
-                  Some (Simq_obs.Json.Str spec) ->
-                  specs := spec :: !specs
-                | _ -> ())
-              | Error _ -> ()
-          done
-        with End_of_file -> ());
+    List.iter
+      (fun file ->
+        let ic = open_in file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            try
+              while true do
+                let line = input_line ic in
+                if String.trim line <> "" then
+                  match Simq_obs.Json.parse line with
+                  | Ok json -> (
+                    match
+                      ( Simq_obs.Json.member "event" json,
+                        Simq_obs.Json.member "spec" json )
+                    with
+                    | Some (Simq_obs.Json.Str "simq.qlog"),
+                      Some (Simq_obs.Json.Str spec) ->
+                      specs := spec :: !specs
+                    | _ -> ())
+                  | Error _ -> ()
+              done
+            with End_of_file -> ()))
+      files;
     Ok (List.rev !specs)
-  end
 
-let batch_answers_json answers =
-  Simq_obs.Json.Arr
-    (List.map
-       (fun ((e : Dataset.entry), d) ->
-         Simq_obs.Json.Obj
-           [
-             ("id", Simq_obs.Json.Num (float_of_int e.Dataset.id));
-             ("name", Simq_obs.Json.Str e.Dataset.name);
-             ("distance", Simq_obs.Json.Num d);
-           ])
-       answers)
-
-(* One batch query against the resident index: the executed path, the
-   answer count and the rendered answers. Join scans run on the
+(* One batch query against the resident engine. Join scans run on the
    sequential pool — a batched query stays whole on its executing
    domain instead of fanning back out. *)
-let run_batch_query ~profile index dataset noise text =
-  let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
-  match q with
-  | Ql.Range { spec; query; epsilon; mean_window; std_band; _ } ->
-    let* series = resolve_query_series dataset spec ~name:query ~noise in
-    let (result : Kindex.range_result) =
-      Kindex.range ~spec ?mean_window ?std_band ?profile index ~query:series
-        ~epsilon
-    in
+let run_batch_query ~profile engine text =
+  match
+    Simq_serve.Engine.exec ?profile ~pairs_pool:Simq_parallel.Pool.sequential
+      engine text
+  with
+  | Ok (o : Simq_serve.Engine.outcome) ->
     Ok
-      ( "index",
-        List.length result.Kindex.answers,
-        batch_answers_json result.Kindex.answers )
-  | Ql.Nearest { k; spec; query; _ } ->
-    let* series = resolve_query_series dataset spec ~name:query ~noise in
-    let results = Kindex.nearest ~spec ?profile index ~query:series ~k in
-    Ok ("index", List.length results, batch_answers_json results)
-  | Ql.Pairs { spec; epsilon; method_; _ } ->
-    let seq_pool = Simq_parallel.Pool.sequential in
-    let (result : Join.result) =
-      match method_ with
-      | Ql.Scan_full -> Join.scan_full ~pool:seq_pool ~spec ?profile index ~epsilon
-      | Ql.Scan_early ->
-        Join.scan_early_abandon ~pool:seq_pool ~spec ?profile index ~epsilon
-      | Ql.Index -> Join.index_transformed ~spec ?profile index ~epsilon
-    in
-    let pairs =
-      Simq_obs.Json.Arr
-        (List.map
-           (fun (i, j) ->
-             let a = Dataset.get dataset i and b = Dataset.get dataset j in
-             Simq_obs.Json.Obj
-               [
-                 ("a", Simq_obs.Json.Str a.Dataset.name);
-                 ("b", Simq_obs.Json.Str b.Dataset.name);
-               ])
-           result.Join.pairs)
-    in
-    Ok
-      ( (match method_ with Ql.Index -> "index" | _ -> "scan"),
-        List.length result.Join.pairs,
-        pairs )
+      ( Option.value o.Simq_serve.Engine.path ~default:"index",
+        o.Simq_serve.Engine.answers,
+        o.Simq_serve.Engine.results )
+  | Error e -> Error e
 
-let digest_of text = String.sub (Digest.to_hex (Digest.string text)) 0 12
+let digest_of = Simq_serve.Engine.digest
 
 let batch_line ~seq ~spec (r : _ Simq_parallel.Batch.timed) =
   let module J = Simq_obs.Json in
@@ -726,6 +701,7 @@ let batch_impl file specs from_qlog output noise jobs metrics trace
           let index =
             Otrace.with_span "build" (fun () -> Kindex.build dataset)
           in
+          let engine = Simq_serve.Engine.create ~noise index in
           let texts = Array.of_list texts in
           let n = Array.length texts in
           let profiles =
@@ -736,11 +712,7 @@ let batch_impl file specs from_qlog output noise jobs metrics trace
           (* A failed query becomes its own error line; the rest of the
              batch still runs, and the command still exits 0 — this is
              the serving path, not a transaction. *)
-          let run ~profile text =
-            match run_batch_query ~profile index dataset noise text with
-            | r -> r
-            | exception Invalid_argument msg -> Error (Usage msg)
-          in
+          let run ~profile text = run_batch_query ~profile engine text in
           let results = Simq_parallel.Batch.map_timed ?profiles run texts in
           let oc = Option.value out ~default:stdout in
           let ok_count = ref 0 in
@@ -867,31 +839,362 @@ let experiments_impl name fast jobs metrics trace metrics_port metrics_state =
 
 (* --- scrape ---------------------------------------------------------------- *)
 
-let scrape_impl host port = Simq_cli.scrape ~host ~port
+let scrape_impl host port timeout_ms =
+  Simq_cli.scrape ?timeout_ms ~host ~port ()
+
+(* --- serve / stress --------------------------------------------------------- *)
+
+let ms_to_s ms = float_of_int ms /. 1000.
+
+(* The chaos seam: a seeded transient-fault injector installed on the
+   buffer pool and the R*-tree for the lifetime of the daemon. *)
+let make_injector ~seed ~page_prob ~node_prob =
+  if page_prob <= 0. && node_prob <= 0. then Ok None
+  else
+    let site prob =
+      if prob > 0. then
+        Some (Simq_fault.Injector.transient ~probability:prob ())
+      else None
+    in
+    match
+      Simq_fault.Injector.create ?page_reads:(site page_prob)
+        ?node_accesses:(site node_prob) ~seed ()
+    with
+    | injector -> Ok (Some injector)
+    | exception Invalid_argument msg -> usage msg
+
+let serve_impl file port max_inflight idle_timeout_ms write_timeout_ms noise
+    jobs metrics trace metrics_port metrics_state qlog qlog_sample
+    qlog_slow_ms qlog_max_bytes admission deadline max_page_reads
+    max_comparisons max_node_accesses fault_seed fault_page_prob
+    fault_node_prob =
+  apply_jobs jobs;
+  let* qlog =
+    make_qlog ~sample:qlog_sample ~slow_ms:qlog_slow_ms
+      ~max_bytes:qlog_max_bytes qlog
+  in
+  (* The drain dumps metrics/qlog/state exactly like a one-shot
+     command: with_obs closes the seams on every exit path, after the
+     last worker has finished. *)
+  Simq_cli.with_obs
+    ?metrics_port:(Simq_cli.resolve_metrics_port metrics_port)
+    ?metrics_state ?qlog ~metrics ~trace (fun () ->
+      let* budget =
+        budget_of ~deadline ~max_page_reads ~max_comparisons
+          ~max_node_accesses
+      in
+      let* relation = load_relation file in
+      Otrace.with_span "serve" @@ fun () ->
+      let dataset =
+        Otrace.with_span "prepare" (fun () -> Dataset.of_relation relation)
+      in
+      let index = Otrace.with_span "build" (fun () -> Kindex.build dataset) in
+      let* injector =
+        make_injector ~seed:fault_seed ~page_prob:fault_page_prob
+          ~node_prob:fault_node_prob
+      in
+      (match injector with
+      | Some _ ->
+        Simq_rtree.Rstar.set_injector (Kindex.tree index) injector;
+        Relation.set_injector relation injector
+      | None -> ());
+      Fun.protect
+        ~finally:(fun () ->
+          match injector with
+          | Some _ ->
+            Simq_rtree.Rstar.set_injector (Kindex.tree index) None;
+            Relation.set_injector relation None
+          | None -> ())
+        (fun () ->
+          let admission_policy =
+            if admission then Some Simq_admission.default else None
+          in
+          let engine =
+            Simq_serve.Engine.create ~noise ?budget
+              ?admission:admission_policy index
+          in
+          let* server =
+            match
+              Simq_serve.Server.start ?max_inflight
+                ?idle_timeout:(Option.map ms_to_s idle_timeout_ms)
+                ?write_timeout:(Option.map ms_to_s write_timeout_ms)
+                ?qlog ~engine ~port ()
+            with
+            | s -> Ok s
+            | exception Unix.Unix_error (e, _, _) ->
+              Error
+                (Usage
+                   (Printf.sprintf "cannot bind 127.0.0.1:%d: %s" port
+                      (Unix.error_message e)))
+            | exception Invalid_argument msg -> Error (Usage msg)
+          in
+          Printf.eprintf "simq: serving queries on 127.0.0.1:%d\n%!"
+            (Simq_serve.Server.port server);
+          (* SIGTERM/SIGINT begin the same graceful drain as the
+             in-band shutdown command. *)
+          let drain _ = Simq_serve.Server.request_drain server in
+          let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle drain) in
+          let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle drain) in
+          Fun.protect
+            ~finally:(fun () ->
+              Sys.set_signal Sys.sigterm prev_term;
+              Sys.set_signal Sys.sigint prev_int;
+              Simq_serve.Server.stop server)
+            (fun () -> Simq_serve.Server.wait server);
+          let {
+            Simq_serve.Server.served;
+            shed;
+            errors;
+            connections;
+          } =
+            Simq_serve.Server.stats server
+          in
+          Printf.eprintf
+            "simq: serve: drained — %d connections, %d queries served, %d \
+             shed, %d errors\n\
+             %!"
+            connections served shed errors;
+          Ok ()))
+
+let stress_impl file host port clients per_client seed chaos verify shutdown
+    timeout_ms noise jobs =
+  apply_jobs jobs;
+  let* port =
+    match port with
+    | Some p -> Ok p
+    | None -> usage "pass --port PORT of a running simq serve"
+  in
+  let* relation = load_relation file in
+  let cardinality = Relation.cardinality relation in
+  if cardinality = 0 then usage "relation is empty"
+  else begin
+    let* oracle =
+      if not verify then Ok None
+      else begin
+        (* The offline oracle: the same engine the daemon runs, minus
+           budget and admission — every served answer an admitted or
+           degraded query returns must be bit-identical to it. *)
+        let dataset = Dataset.of_relation relation in
+        let index = Kindex.build dataset in
+        let engine = Simq_serve.Engine.create ~noise index in
+        Ok
+          (Some
+             (fun spec ->
+               match Simq_serve.Engine.exec engine spec with
+               | Ok o -> Some o.Simq_serve.Engine.results
+               | Error _ -> None))
+      end
+    in
+    let report =
+      Simq_serve.Stress.run ~chaos
+        ?timeout:(Option.map ms_to_s timeout_ms)
+        ?oracle ~host ~port ~clients ~per_client
+        ~seed:(Simq_experiments.Bench_util.derived_seed seed)
+        ~cardinality ()
+    in
+    Printf.printf
+      "stress: %d clients x %d queries: %d sent, %d ok, %d rejected, %d \
+       failed, %d protocol errors\n"
+      clients per_client report.Simq_serve.Stress.sent
+      report.Simq_serve.Stress.ok report.Simq_serve.Stress.rejected
+      report.Simq_serve.Stress.failed
+      report.Simq_serve.Stress.protocol_errors;
+    if chaos then
+      Printf.printf "chaos: %d malformed lines, %d mid-query disconnects\n"
+        report.Simq_serve.Stress.malformed_sent
+        report.Simq_serve.Stress.disconnects;
+    let lat = report.Simq_serve.Stress.latencies_s in
+    if Array.length lat > 0 then
+      Printf.printf "latency ms: p50 %.2f  p90 %.2f  p99 %.2f\n"
+        (Simq_serve.Stress.quantile lat 0.5 *. 1000.)
+        (Simq_serve.Stress.quantile lat 0.9 *. 1000.)
+        (Simq_serve.Stress.quantile lat 0.99 *. 1000.);
+    List.iter
+      (fun (spec, detail) ->
+        Printf.printf "MISMATCH %s: %s\n" spec detail)
+      report.Simq_serve.Stress.mismatches;
+    if shutdown then
+      (match
+         Simq_serve.Stress.Client.connect
+           ?timeout:(Option.map ms_to_s timeout_ms)
+           ~host ~port ()
+       with
+      | client ->
+        Fun.protect
+          ~finally:(fun () -> Simq_serve.Stress.Client.close client)
+          (fun () ->
+            Simq_serve.Stress.Client.send_line client "shutdown";
+            ignore (Simq_serve.Stress.Client.recv_line client))
+      | exception Unix.Unix_error _ -> ());
+    if report.Simq_serve.Stress.server_gone then
+      usage "stress: the daemon died (or refused connections) mid-run"
+    else if report.Simq_serve.Stress.protocol_errors > 0 then
+      usage "stress: protocol violations observed"
+    else if report.Simq_serve.Stress.mismatches <> [] then
+      usage "stress: served answers differ from the offline oracle"
+    else Ok ()
+  end
+
+let serve_port_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:
+          "Port to serve on (127.0.0.1 only). $(b,0) — the default — \
+           picks an ephemeral port, printed on stderr.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Server-wide cap on queries executing or queued at once: a \
+           request arriving while $(docv) are in flight is refused with \
+           a typed rejection (exit-5 taxonomy, counted in the admission \
+           decision metrics) before any page is read.")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt (some Simq_cli.positive_int) None
+    & info [ "idle-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Reap connections that send nothing for $(docv) milliseconds.")
+
+let write_timeout_arg =
+  Arg.(
+    value
+    & opt (some Simq_cli.positive_int) None
+    & info [ "write-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Give up writing a response after $(docv) milliseconds — a \
+           client that stops reading loses its connection instead of \
+           wedging a worker.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int 1995
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"PRNG seed for the chaos fault injector.")
+
+let fault_page_prob_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "fault-page-prob" ] ~docv:"P"
+        ~doc:
+          "Inject a transient fault on each logical page read with \
+           probability $(docv) (chaos testing; budgeted queries retry \
+           and degrade, unbudgeted ones answer with a typed fault \
+           line).")
+
+let fault_node_prob_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "fault-node-prob" ] ~docv:"P"
+        ~doc:
+          "Inject a transient fault on each R*-tree node access with \
+           probability $(docv).")
+
+let stress_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Port of the running $(b,simq serve) daemon.")
+
+let clients_arg =
+  Arg.(
+    value
+    & opt Simq_cli.positive_int 4
+    & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+
+let per_client_arg =
+  Arg.(
+    value
+    & opt Simq_cli.positive_int 25
+    & info [ "queries" ] ~docv:"M"
+        ~doc:"Queries posed per client, drawn from the mixed workload.")
+
+let stress_seed_arg =
+  Arg.(
+    value
+    & opt int 7
+    & info [ "seed" ] ~docv:"OFFSET"
+        ~doc:
+          "Workload seed offset (derived from the documented bench \
+           seed); the same offset always poses the same queries.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Interleave protocol abuse with the workload: malformed and \
+           oversized request lines, mid-query disconnects. The daemon \
+           must survive all of it.")
+
+let stress_verify_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "verify" ]
+        ~doc:
+          "Execute every spec offline against the same relation and \
+           fail (exit 1) unless each served answer set is bit-identical.")
+
+let stress_shutdown_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "shutdown" ]
+        ~doc:
+          "After the run, send the in-band $(b,shutdown) command so the \
+           daemon drains gracefully and dumps its observability state.")
+
+let stress_timeout_arg =
+  Arg.(
+    value
+    & opt (some Simq_cli.positive_int) (Some 30000)
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:"Per-operation client timeout; a wedged daemon fails the run.")
 
 (* --- qlog-top --------------------------------------------------------------- *)
 
 let qlog_top_impl file top =
-  if not (Sys.file_exists file) then
-    Error (File (Printf.sprintf "no such file: %s" file))
-  else begin
+  (* A size-rotated log is a pair: FILE.1 holds the older lines, FILE
+     the newer — aggregate them in stream order. *)
+  match Qlog.rotated_chain file with
+  | [] -> Error (File (Printf.sprintf "no such file: %s" file))
+  | files ->
     let parsed = ref [] in
     let malformed = ref 0 in
-    let ic = open_in file in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            if String.trim line <> "" then
-              match Simq_obs.Json.parse line with
-              | Ok json -> parsed := json :: !parsed
-              | Error _ -> incr malformed
-          done
-        with End_of_file -> ());
+    List.iter
+      (fun file ->
+        let ic = open_in file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            try
+              while true do
+                let line = input_line ic in
+                if String.trim line <> "" then
+                  match Simq_obs.Json.parse line with
+                  | Ok json -> parsed := json :: !parsed
+                  | Error _ -> incr malformed
+              done
+            with End_of_file -> ()))
+      files;
     let agg = Qlog.aggregate ~top (List.rev !parsed) in
-    Printf.printf "%s: %d entries, total %.1f ms\n" file agg.Qlog.entries
+    Printf.printf "%s: %d entries%s, total %.1f ms\n" file agg.Qlog.entries
+      (match files with
+      | [ _ ] -> ""
+      | _ -> Printf.sprintf " (with rotation %s.1)" file)
       (agg.Qlog.total_duration_s *. 1000.);
     if !malformed > 0 then
       Printf.printf "  (%d malformed lines skipped)\n" !malformed;
@@ -919,11 +1222,10 @@ let qlog_top_impl file top =
         agg.Qlog.top_by_pages
     end;
     Ok ()
-  end
 
 let experiment_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
-         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree, ablation_*, planner, par or all.")
+         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree, ablation_*, planner, par, serve or all.")
 
 let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc:"Smaller data sizes (seconds instead of minutes).")
@@ -1028,13 +1330,59 @@ let scrape_cmd =
   let doc = "fetch the exposition from a running --metrics-port server" in
   Cmd.v (Cmd.info "scrape" ~doc)
     Term.(
-      const (fun host port -> handle (scrape_impl host port))
+      const (fun host port timeout_ms -> handle (scrape_impl host port timeout_ms))
       $ Arg.(value & opt string "127.0.0.1"
              & info [ "host" ] ~docv:"HOST" ~doc:"Host to scrape.")
       $ Arg.(value & opt (some int) None
              & info [ "port" ] ~docv:"PORT"
                  ~doc:"Port of the running $(b,--metrics-port) server; \
-                       defaults to $(b,SIMQ_METRICS_PORT)."))
+                       defaults to $(b,SIMQ_METRICS_PORT).")
+      $ Arg.(value & opt (some Simq_cli.positive_int) None
+             & info [ "timeout-ms" ] ~docv:"MS"
+                 ~doc:"Give up on the connect or any read after $(docv) \
+                       milliseconds: a hung peer becomes the usual \
+                       one-line exit-2 error instead of blocking \
+                       forever."))
+
+let serve_cmd =
+  let doc =
+    "serve similarity queries over a line protocol from a resident index"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun file port max_inflight idle_timeout_ms write_timeout_ms noise
+                 jobs metrics trace metrics_port metrics_state qlog
+                 qlog_sample qlog_slow_ms qlog_max_bytes admission deadline
+                 pages comparisons nodes fault_seed fault_page_prob
+                 fault_node_prob ->
+          handle
+            (serve_impl file port max_inflight idle_timeout_ms
+               write_timeout_ms noise jobs metrics trace metrics_port
+               metrics_state qlog qlog_sample qlog_slow_ms qlog_max_bytes
+               admission deadline pages comparisons nodes fault_seed
+               fault_page_prob fault_node_prob))
+      $ file_arg $ serve_port_arg $ max_inflight_arg $ idle_timeout_arg
+      $ write_timeout_arg $ noise_arg $ jobs_arg $ metrics_arg $ trace_arg
+      $ metrics_port_arg $ metrics_state_arg $ qlog_arg $ qlog_sample_arg
+      $ qlog_slow_ms_arg $ qlog_max_bytes_arg $ admission_arg $ deadline_arg
+      $ max_page_reads_arg $ max_comparisons_arg $ max_node_accesses_arg
+      $ fault_seed_arg $ fault_page_prob_arg $ fault_node_prob_arg)
+
+let stress_cmd =
+  let doc = "stress (and optionally chaos-test) a running simq serve daemon" in
+  Cmd.v (Cmd.info "stress" ~doc)
+    Term.(
+      const (fun file host port clients per_client seed chaos verify shutdown
+                 timeout_ms noise jobs ->
+          handle
+            (stress_impl file host port clients per_client seed chaos verify
+               shutdown timeout_ms noise jobs))
+      $ file_arg
+      $ Arg.(value & opt string "127.0.0.1"
+             & info [ "host" ] ~docv:"HOST" ~doc:"Host of the daemon.")
+      $ stress_port_arg $ clients_arg $ per_client_arg $ stress_seed_arg
+      $ chaos_arg $ stress_verify_arg $ stress_shutdown_arg
+      $ stress_timeout_arg $ noise_arg $ jobs_arg)
 
 let () =
   let doc = "similarity-based queries on time-series data" in
@@ -1042,8 +1390,8 @@ let () =
     Cmd.group
       (Cmd.info "simq" ~doc ~version:"1.0.0")
       [
-        generate_cmd; info_cmd; query_cmd; batch_cmd; import_cmd; export_cmd;
-        experiments_cmd; qlog_top_cmd; scrape_cmd;
+        generate_cmd; info_cmd; query_cmd; batch_cmd; serve_cmd; stress_cmd;
+        import_cmd; export_cmd; experiments_cmd; qlog_top_cmd; scrape_cmd;
       ]
   in
   exit (Cmd.eval' cmd)

@@ -200,6 +200,11 @@ let decide t w ~prefer ~budget =
     | Reject _ -> t.m_reject);
   decision
 
+let shed t ~inflight ~limit =
+  Otrace.with_span "admit" @@ fun () ->
+  Metrics.incr t.m_reject;
+  { resource = Error.In_flight; estimated = inflight; limit }
+
 let error_of_reject { resource; estimated; limit } =
   Error.Rejected { resource; estimated; limit }
 

@@ -108,6 +108,15 @@ val estimate : t -> workload -> estimate
     ["admit"]. *)
 val decide : t -> workload -> prefer:path -> budget:Simq_fault.Budget.t -> decision
 
+(** [shed t ~inflight ~limit] is the load-shedding rejection of a
+    long-running server whose in-flight request cap is full: a
+    {!reject} on the [In_flight] pseudo-resource ([inflight] requests
+    against a cap of [limit]), counted in
+    [simq_admission_decisions_total{decision="reject"}] like any other
+    refusal and spanned as ["admit"]. The caller turns it into the
+    typed error with {!error_of_reject} — before any page is read. *)
+val shed : t -> inflight:int -> limit:int -> reject
+
 (** [error_of_reject r] is the typed error a rejected query returns
     ([Simq_fault.Error.Rejected]). *)
 val error_of_reject : reject -> Simq_fault.Error.t

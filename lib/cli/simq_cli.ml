@@ -186,15 +186,24 @@ let with_obs ?metrics_port ?metrics_state ?profile ?qlog ~metrics ~trace f =
     let dumped = dump_all () in
     (match result with Error _ -> result | Ok () -> dumped)
 
-let scrape ~host ~port =
+let scrape ?timeout_ms ~host ~port () =
   match resolve_metrics_port port with
   | None ->
     Error (Usage "scrape: no port given (use --port or set SIMQ_METRICS_PORT)")
   | Some port -> (
-    match Serve.scrape ~host ~port () with
+    let timeout = Option.map (fun ms -> float_of_int ms /. 1000.) timeout_ms in
+    match Serve.scrape ~host ?timeout ~port () with
     | body ->
       print_string body;
       Ok ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* SO_RCVTIMEO/SO_SNDTIMEO expiring: a hung peer, not a dead
+         one — name the timeout rather than the raw errno. *)
+      Error
+        (File
+           (Printf.sprintf "scrape http://%s:%d/metrics: timed out after %d ms"
+              host port
+              (Option.value timeout_ms ~default:0)))
     | exception Unix.Unix_error (err, _, _) ->
       Error
         (File

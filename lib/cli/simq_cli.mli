@@ -72,10 +72,15 @@ val with_obs :
   (unit -> (unit, error) result) ->
   (unit, error) result
 
-(** [scrape ~host ~port] resolves the port ({!resolve_metrics_port}),
-    fetches the live exposition from a running {!Simq_obs.Serve}
-    endpoint and prints it to stdout. A missing port is a [Usage]
-    error; connection failures (dead or non-listening port, peer gone
-    mid-conversation) and malformed responses are one-line [File]
-    errors — never an uncaught [Unix_error]. *)
-val scrape : host:string -> port:int option -> (unit, error) result
+(** [scrape ?timeout_ms ~host ~port ()] resolves the port
+    ({!resolve_metrics_port}), fetches the live exposition from a
+    running {!Simq_obs.Serve} endpoint and prints it to stdout. A
+    missing port is a [Usage] error; connection failures (dead or
+    non-listening port, peer gone mid-conversation) and malformed
+    responses are one-line [File] errors — never an uncaught
+    [Unix_error]. With [timeout_ms] (the [--timeout-ms] flag) the
+    connect and every read give up after that long, and a hung peer
+    becomes the same one-line exit-2 [File] error, naming the
+    timeout. *)
+val scrape :
+  ?timeout_ms:int -> host:string -> port:int option -> unit -> (unit, error) result

@@ -2020,6 +2020,208 @@ let ablation_admission ~fast =
       answers_match;
   ]
 
+(* --- serve: the resident daemon under concurrent load ----------------------- *)
+
+(* An in-process [simq serve] daemon stressed by the deterministic
+   multi-client harness: a clean throughput/latency sweep at 1, 2 and
+   4 domains with offline bit-identical verification and a small
+   in-flight cap (so the shed path is exercised under real
+   contention), a full-shed phase under a zero cap, and a chaos phase
+   (protocol abuse plus seeded transient faults against a budgeted
+   engine) that the daemon must survive. Writes BENCH_serve.json. *)
+let serve ~fast =
+  let module Server = Simq_serve.Server in
+  let module Stress = Simq_serve.Stress in
+  let module Engine = Simq_serve.Engine in
+  let module Clock = Simq_obs.Clock in
+  let module Pool = Simq_parallel.Pool in
+  let count = if fast then 48 else 96 in
+  let n = 128 in
+  let _, _, index =
+    build_walks ~seed:(Bench_util.derived_seed 71) ~count ~n
+  in
+  let clients = 4 in
+  let per_client = if fast then 10 else 30 in
+  let harness_seed = Bench_util.derived_seed 72 in
+  let oracle_engine = Engine.create index in
+  let oracle spec =
+    match Engine.exec oracle_engine spec with
+    | Ok o -> Some o.Engine.results
+    | Error _ -> None
+  in
+  let stress ?chaos ?oracle server =
+    let t0 = Clock.now_ns () in
+    let report =
+      Stress.run ?chaos ?oracle ~host:"127.0.0.1" ~port:(Server.port server)
+        ~clients ~per_client ~seed:harness_seed ~cardinality:count ()
+    in
+    (report, Clock.elapsed_s t0)
+  in
+  let table =
+    Table.create ~title:"simq serve: 4 concurrent clients, cap 2"
+      ~columns:
+        [ "domains"; "sent"; "ok"; "shed"; "qps"; "p50"; "p90"; "p99" ]
+  in
+  let saved_domains = Pool.default_domains () in
+  let sweep, shed_phase, chaos_phase =
+    Fun.protect
+      ~finally:(fun () -> Pool.set_default_domains saved_domains)
+      (fun () ->
+        let sweep =
+          List.map
+            (fun domains ->
+              Pool.set_default_domains domains;
+              let engine = Engine.create index in
+              Server.with_server ~max_inflight:2 ~engine ~port:0
+                (fun server ->
+                  let report, elapsed = stress ~oracle server in
+                  let q p = Stress.quantile report.Stress.latencies_s p in
+                  let qps =
+                    if elapsed > 0. then
+                      float_of_int report.Stress.sent /. elapsed
+                    else 0.
+                  in
+                  Table.add_row table
+                    [
+                      string_of_int domains;
+                      string_of_int report.Stress.sent;
+                      string_of_int report.Stress.ok;
+                      string_of_int report.Stress.rejected;
+                      Printf.sprintf "%.0f" qps;
+                      fmt (q 0.5);
+                      fmt (q 0.9);
+                      fmt (q 0.99);
+                    ];
+                  (domains, report, qps, q 0.5, q 0.9, q 0.99)))
+            [ 1; 2; 4 ]
+        in
+        (* Full shed: a zero cap refuses every query before it reads a
+           page; the daemon stays up and every refusal is a typed
+           exit-5 response. *)
+        Pool.set_default_domains 1;
+        let shed_phase =
+          let engine = Engine.create index in
+          Server.with_server ~max_inflight:0 ~engine ~port:0 (fun server ->
+              fst (stress server))
+        in
+        (* Chaos: malformed and oversized lines, mid-query
+           disconnects, and seeded transient faults on the page and
+           node seams — against a budgeted engine, whose resilient
+           paths retry or degrade. *)
+        let chaos_phase =
+          let injector =
+            Simq_fault.Injector.create
+              ~page_reads:(Simq_fault.Injector.transient ~probability:0.05 ())
+              ~node_accesses:
+                (Simq_fault.Injector.transient ~probability:0.05 ())
+              ~seed:(Bench_util.derived_seed 73) ()
+          in
+          Simq_rtree.Rstar.set_injector (Kindex.tree index) (Some injector);
+          Fun.protect
+            ~finally:(fun () ->
+              Simq_rtree.Rstar.set_injector (Kindex.tree index) None)
+            (fun () ->
+              let budget =
+                Simq_fault.Budget.create ~max_page_reads:200_000
+                  ~max_node_accesses:200_000 ()
+              in
+              let engine = Engine.create ~budget index in
+              Server.with_server ~engine ~port:0 (fun server ->
+                  fst (stress ~chaos:true server)))
+        in
+        (sweep, shed_phase, chaos_phase))
+  in
+  Table.print table;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"serve\",\n  \"fast\": %b,\n  \"seed\": %d,\n\
+    \  \"series\": { \"count\": %d, \"n\": %d },\n\
+    \  \"clients\": %d,\n  \"queries_per_client\": %d,\n  \"runs\": [\n"
+    fast Bench_util.bench_seed count n clients per_client;
+  List.iteri
+    (fun i (domains, (r : Stress.report), qps, p50, p90, p99) ->
+      Printf.fprintf oc
+        "    { \"domains\": %d, \"sent\": %d, \"ok\": %d, \"shed\": %d, \
+         \"failed\": %d, \"qps\": %.1f, \"p50_ms\": %.3f, \"p90_ms\": \
+         %.3f, \"p99_ms\": %.3f, \"shed_rate\": %.3f }%s\n"
+        domains r.Stress.sent r.Stress.ok r.Stress.rejected r.Stress.failed
+        qps (p50 *. 1000.) (p90 *. 1000.) (p99 *. 1000.)
+        (if r.Stress.sent > 0 then
+           float_of_int r.Stress.rejected /. float_of_int r.Stress.sent
+         else 0.)
+        (if i = 2 then "" else ","))
+    sweep;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"shed\": { \"sent\": %d, \"shed\": %d, \"ok\": %d, \"shed_rate\": \
+     %.3f },\n\
+    \  \"chaos\": { \"sent\": %d, \"ok\": %d, \"malformed\": %d, \
+     \"disconnects\": %d, \"protocol_errors\": %d, \"server_gone\": %b }\n\
+     }\n"
+    shed_phase.Stress.sent shed_phase.Stress.rejected shed_phase.Stress.ok
+    (if shed_phase.Stress.sent > 0 then
+       float_of_int shed_phase.Stress.rejected
+       /. float_of_int shed_phase.Stress.sent
+     else 0.)
+    chaos_phase.Stress.sent chaos_phase.Stress.ok
+    chaos_phase.Stress.malformed_sent chaos_phase.Stress.disconnects
+    chaos_phase.Stress.protocol_errors chaos_phase.Stress.server_gone;
+  close_out oc;
+  print_endline "wrote BENCH_serve.json";
+  let healthy =
+    List.for_all
+      (fun (_, (r : Stress.report), _, _, _, _) ->
+        (not r.Stress.server_gone)
+        && r.Stress.protocol_errors = 0
+        && r.Stress.mismatches = [])
+      sweep
+  in
+  let total_ok =
+    List.fold_left (fun acc (_, r, _, _, _, _) -> acc + r.Stress.ok) 0 sweep
+  in
+  [
+    Expectation.check ~experiment:"Service"
+      ~expectation:
+        "every answer served to 4 concurrent clients at 1, 2 and 4 \
+         domains is bit-identical to the offline execution of the same \
+         spec, with zero protocol violations"
+      ~measured:
+        (Printf.sprintf "%d ok answers verified, %d shed under the cap"
+           total_ok
+           (List.fold_left
+              (fun acc (_, (r : Stress.report), _, _, _, _) ->
+                acc + r.Stress.rejected)
+              0 sweep))
+      (healthy && total_ok > 0);
+    Expectation.check ~experiment:"Service"
+      ~expectation:
+        "a zero in-flight cap sheds every request as a typed exit-5 \
+         rejection before execution; the daemon stays up"
+      ~measured:
+        (Printf.sprintf "%d sent, %d shed, %d executed"
+           shed_phase.Stress.sent shed_phase.Stress.rejected
+           shed_phase.Stress.ok)
+      ((not shed_phase.Stress.server_gone)
+      && shed_phase.Stress.sent > 0
+      && shed_phase.Stress.rejected = shed_phase.Stress.sent
+      && shed_phase.Stress.ok = 0);
+    Expectation.check ~experiment:"Service"
+      ~expectation:
+        "chaos (malformed lines, oversized lines, mid-query \
+         disconnects, seeded transient faults) never kills the daemon \
+         and never corrupts the protocol: one response per surviving \
+         request, liveness probe answered"
+      ~measured:
+        (Printf.sprintf
+           "%d queries + %d abusive lines + %d disconnects: gone=%b, \
+            protocol_errors=%d"
+           chaos_phase.Stress.sent chaos_phase.Stress.malformed_sent
+           chaos_phase.Stress.disconnects chaos_phase.Stress.server_gone
+           chaos_phase.Stress.protocol_errors)
+      ((not chaos_phase.Stress.server_gone)
+      && chaos_phase.Stress.protocol_errors = 0);
+  ]
+
 (* --- dispatcher ------------------------------------------------------------------ *)
 
 let suite =
@@ -2043,6 +2245,7 @@ let suite =
     ("ablation_admission", ablation_admission);
     ("planner", planner);
     ("par", par);
+    ("serve", serve);
   ]
 
 let all ~fast =

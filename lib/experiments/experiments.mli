@@ -92,6 +92,15 @@ val planner : fast:bool -> claim list
     with at least four cores; elsewhere it is reported as partial. *)
 val par : fast:bool -> claim list
 
+(** Service: an in-process [simq serve] daemon stressed by the
+    deterministic multi-client harness — throughput and latency
+    quantiles at 1/2/4 domains under a small in-flight cap with every
+    served answer verified bit-identical to offline execution, a
+    full-shed phase under a zero cap, and a chaos phase (protocol
+    abuse plus seeded transient faults) the daemon must survive;
+    writes [BENCH_serve.json] in the working directory. *)
+val serve : fast:bool -> claim list
+
 (** [all ~fast] runs everything in order and prints the claim summary. *)
 val all : fast:bool -> unit
 
@@ -100,6 +109,6 @@ val all : fast:bool -> unit
     "ablation_k", "ablation_repr", "ablation_rtree",
     "ablation_trails", "ablation_fault", "ablation_obs",
     "ablation_profile", "ablation_admission", "planner", "par",
-    "all").
+    "serve", "all").
     Unknown names return [Error] with the available names. *)
 val run : fast:bool -> string -> (unit, string) result

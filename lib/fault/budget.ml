@@ -29,7 +29,7 @@ let create ?(deadline_s = infinity) ?(max_page_reads = max_int)
 let limit b resource =
   let cap n = if n = max_int then None else Some n in
   match (resource : Error.resource) with
-  | Error.Wall_clock -> None
+  | Error.Wall_clock | Error.In_flight -> None
   | Error.Page_reads -> cap b.max_page_reads
   | Error.Comparisons -> cap b.max_comparisons
   | Error.Node_accesses -> cap b.max_node_accesses
@@ -103,7 +103,7 @@ let charge_node_access s =
   charge s.node_accesses s.limits.max_node_accesses Error.Node_accesses s 1
 
 let spent s = function
-  | Error.Wall_clock -> 0
+  | Error.Wall_clock | Error.In_flight -> 0
   | Error.Page_reads -> Atomic.get s.page_reads
   | Error.Comparisons -> Atomic.get s.comparisons
   | Error.Node_accesses -> Atomic.get s.node_accesses

@@ -1,4 +1,9 @@
-type resource = Wall_clock | Page_reads | Comparisons | Node_accesses
+type resource =
+  | Wall_clock
+  | Page_reads
+  | Comparisons
+  | Node_accesses
+  | In_flight
 
 type t =
   | Timeout of { elapsed_s : float; deadline_s : float }
@@ -12,6 +17,7 @@ let resource_name = function
   | Page_reads -> "page_reads"
   | Comparisons -> "comparisons"
   | Node_accesses -> "node_accesses"
+  | In_flight -> "in_flight"
 
 let kind = function
   | Timeout _ -> "timeout"

@@ -4,8 +4,16 @@
     [(value, Error.t) result]: a query either produces its exact answer
     or one of these structured errors — never a raw exception. *)
 
-(** The resources a {!Budget} can limit. *)
-type resource = Wall_clock | Page_reads | Comparisons | Node_accesses
+(** The resources a {!Budget} can limit. [In_flight] is not a budget
+    resource: it names a server-wide concurrency cap, so a load-shed
+    rejection from [simq serve] carries the same typed shape
+    ([Rejected]) as a cost-model rejection. *)
+type resource =
+  | Wall_clock
+  | Page_reads
+  | Comparisons
+  | Node_accesses
+  | In_flight
 
 type t =
   | Timeout of { elapsed_s : float; deadline_s : float }

@@ -116,6 +116,13 @@ let close t =
 let entries_seen t = t.seen
 let lines_written t = t.written
 
+(* The rotation counterpart of the reader side: [path.1] (when it
+   exists) holds the lines written immediately before those of [path],
+   so reading the pair in this order replays a contiguous tail of the
+   line stream. *)
+let rotated_chain path =
+  List.filter Sys.file_exists [ path ^ ".1"; path ]
+
 (* ------------------------------------------------------------------ *)
 (* Ambient log                                                         *)
 

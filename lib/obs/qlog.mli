@@ -65,6 +65,15 @@ val entries_seen : t -> int
 val lines_written : t -> int
 (** Lines actually written after sampling. *)
 
+val rotated_chain : string -> string list
+(** [rotated_chain path] is the existing files of the rotated pair in
+    stream order: [path ^ ".1"] (the previous rotation, when present)
+    followed by [path] (when present). Size rotation ([?max_bytes])
+    keeps exactly one prior file and renames atomically, so reading
+    the returned files in order yields a contiguous tail of the line
+    stream — the order [simq qlog-top] and [simq batch --from-qlog]
+    consume. Empty when neither file exists. *)
+
 (** {1 The ambient log} *)
 
 val install : t option -> unit

@@ -118,9 +118,30 @@ let with_server ?registry ~port f =
   let t = start ?registry ~port () in
   Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)
 
-let scrape ?(host = "127.0.0.1") ~port () =
-  Lazy.force ignore_sigpipe;
+(* A socket whose connect, reads and writes all give up after
+   [timeout] seconds (SO_RCVTIMEO/SO_SNDTIMEO; on Linux the send
+   timeout also bounds the blocking connect). A timed-out call raises
+   [Unix_error] with [EAGAIN]/[EWOULDBLOCK] or [EINPROGRESS] — the
+   same exception family as any other connection failure, so callers
+   that already map [Unix_error] to a one-line error need nothing
+   new. *)
+let timed_socket ?timeout () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match timeout with
+  | None -> ()
+  | Some t when t > 0. ->
+    (try
+       Unix.setsockopt_float sock Unix.SO_RCVTIMEO t;
+       Unix.setsockopt_float sock Unix.SO_SNDTIMEO t
+     with Unix.Unix_error _ -> ())
+  | Some t ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    invalid_arg (Printf.sprintf "Simq_obs.Serve: timeout %g must be > 0" t));
+  sock
+
+let scrape ?(host = "127.0.0.1") ?timeout ~port () =
+  Lazy.force ignore_sigpipe;
+  let sock = timed_socket ?timeout () in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->

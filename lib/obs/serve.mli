@@ -37,14 +37,20 @@ val stop : t -> unit
     the server afterwards, even on exceptions. *)
 val with_server : ?registry:Metrics.registry -> port:int -> (t -> 'a) -> 'a
 
-(** [scrape ?host ~port ()] connects to a running exposition server,
-    issues one HTTP GET and returns the response body (the
+(** [scrape ?host ?timeout ~port ()] connects to a running exposition
+    server, issues one HTTP GET and returns the response body (the
     exposition text). A self-contained scraper for scripts and tests
     on hosts without [curl]. Raises [Unix.Unix_error] on connection
     failure and [Failure] on a malformed response.
+
+    [timeout] (seconds, [> 0], else [Invalid_argument]) bounds the
+    connect and every read/write: a hung or silent peer raises
+    [Unix_error] ([EAGAIN]/[EWOULDBLOCK]) instead of blocking forever
+    — the [simq scrape --timeout-ms] flag, mapped to the usual
+    one-line exit-2 error by [Simq_cli.scrape].
 
     Both {!start} and [scrape] ignore [SIGPIPE] process-wide on first
     use, so a peer closing mid-conversation surfaces as
     [Unix_error EPIPE] (caught, or mapped by the caller) instead of
     killing the process. *)
-val scrape : ?host:string -> port:int -> unit -> string
+val scrape : ?host:string -> ?timeout:float -> port:int -> unit -> string

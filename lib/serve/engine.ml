@@ -1,0 +1,236 @@
+module Budget = Simq_fault.Budget
+module Dataset = Simq_tsindex.Dataset
+module Kindex = Simq_tsindex.Kindex
+module Planner = Simq_tsindex.Planner
+module Join = Simq_tsindex.Join
+module Ql = Simq_tsindex.Ql
+module Spec = Simq_tsindex.Spec
+module J = Simq_obs.Json
+
+let ( let* ) = Result.bind
+let usage msg = Error (Simq_cli.Usage msg)
+
+type t = {
+  index : Kindex.t;
+  dataset : Dataset.t;
+  noise : float;
+  budget : Budget.t option;
+  admission : Simq_admission.t option;
+  mutable stats : Planner.stats option;
+  counters : Planner.counters;
+}
+
+let create ?(noise = 0.) ?budget ?admission index =
+  {
+    index;
+    dataset = Kindex.dataset index;
+    noise;
+    budget;
+    admission;
+    stats = None;
+    counters = Planner.create_counters ();
+  }
+
+let index t = t.index
+let counters t = t.counters
+
+(* A budget or an admission policy routes queries through the checked
+   paths; a plain engine is the oracle the stress harness compares
+   against. *)
+let checked t = Option.is_some t.budget || Option.is_some t.admission
+
+let stats t =
+  match t.stats with
+  | Some s -> s
+  | None ->
+    let s = Planner.collect t.dataset in
+    t.stats <- Some s;
+    s
+
+let digest text = String.sub (Digest.to_hex (Digest.string text)) 0 12
+
+let resolve_query_series dataset spec ~name ~noise =
+  let n = Dataset.series_length dataset in
+  let* id =
+    if String.length name >= 2 && name.[0] = 's' then
+      match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+      | Some id when id >= 0 && id < Dataset.cardinality dataset -> Ok id
+      | Some id -> usage (Printf.sprintf "series id %d out of range" id)
+      | None -> usage (Printf.sprintf "bad query name %S (expected sN)" name)
+    else usage (Printf.sprintf "bad query name %S (expected sN)" name)
+  in
+  let base = (Dataset.get dataset id).Dataset.series in
+  let series =
+    if noise > 0. then
+      Simq_workload.Queries.perturb (Random.State.make [| 17 |]) base
+        ~amount:noise
+    else base
+  in
+  match spec with
+  | Spec.Warp m -> Ok (Simq_series.Warp.expand m series)
+  | _ ->
+    assert (Spec.output_length spec ~n = n);
+    Ok series
+
+type note = {
+  mutable note_path : string option;
+  mutable note_decision : string option;
+}
+
+let note () = { note_path = None; note_decision = None }
+
+type outcome = {
+  path : string option;
+  decision : string option;
+  answers : int;
+  results : J.t;
+}
+
+let answers_json answers =
+  J.Arr
+    (List.map
+       (fun ((e : Dataset.entry), d) ->
+         J.Obj
+           [
+             ("id", J.Num (float_of_int e.Dataset.id));
+             ("name", J.Str e.Dataset.name);
+             ("distance", J.Num d);
+           ])
+       answers)
+
+let pairs_json dataset pairs =
+  J.Arr
+    (List.map
+       (fun (i, j) ->
+         let a = Dataset.get dataset i and b = Dataset.get dataset j in
+         J.Obj [ ("a", J.Str a.Dataset.name); ("b", J.Str b.Dataset.name) ])
+       pairs)
+
+let finish note ~answers ~results =
+  Ok
+    {
+      path = note.note_path;
+      decision = note.note_decision;
+      answers;
+      results;
+    }
+
+let fault e = Error (Simq_cli.Fault e)
+
+let exec_parsed ?profile ?pairs_pool ~note t text =
+  let* q = Result.map_error (fun m -> Simq_cli.Usage m) (Ql.parse text) in
+  match q with
+  | Ql.Range { spec; query; epsilon; mean_window; std_band; _ }
+    when (not (checked t)) || Option.is_some mean_window
+         || Option.is_some std_band ->
+    (* The direct k-index path: a plain engine always, and the
+       side-constrained ranges the planner paths do not model — a
+       budget still applies through the checked traversal. *)
+    let* series =
+      resolve_query_series t.dataset spec ~name:query ~noise:t.noise
+    in
+    note.note_path <- Some "index";
+    let* (r : Kindex.range_result) =
+      match t.budget with
+      | None ->
+        Ok
+          (Kindex.range ~spec ?mean_window ?std_band ?profile t.index
+             ~query:series ~epsilon)
+      | Some budget ->
+        Result.map_error
+          (fun e -> Simq_cli.Fault e)
+          (Kindex.range_checked ~spec ?mean_window ?std_band ~budget ?profile
+             t.index ~query:series ~epsilon)
+    in
+    finish note
+      ~answers:(List.length r.Kindex.answers)
+      ~results:(answers_json r.Kindex.answers)
+  | Ql.Range { spec; query; epsilon; _ } ->
+    let budget = Option.value t.budget ~default:Budget.unlimited in
+    let* series =
+      resolve_query_series t.dataset spec ~name:query ~noise:t.noise
+    in
+    let stats = Option.map (fun _ -> stats t) t.admission in
+    let outcome =
+      Planner.range_resilient ~spec ~budget ~counters:t.counters ?stats
+        ?admission:t.admission ?profile t.index ~query:series ~epsilon
+    in
+    (match outcome with
+    | Ok (r : Planner.resilient_result) ->
+      note.note_path <-
+        Some (Format.asprintf "%a" Planner.pp_plan r.Planner.executed);
+      note.note_decision <-
+        Option.map Simq_admission.decision_name r.Planner.admission;
+      finish note
+        ~answers:(List.length r.Planner.answers)
+        ~results:(answers_json r.Planner.answers)
+    | Error e ->
+      if Simq_fault.Error.kind e = "rejected" then
+        note.note_decision <- Some "reject";
+      fault e)
+  | Ql.Nearest { k; spec; query; _ } when not (checked t) ->
+    let* series =
+      resolve_query_series t.dataset spec ~name:query ~noise:t.noise
+    in
+    note.note_path <- Some "index";
+    let results = Kindex.nearest ~spec ?profile t.index ~query:series ~k in
+    finish note ~answers:(List.length results)
+      ~results:(answers_json results)
+  | Ql.Nearest { k; spec; query; _ } ->
+    let budget = Option.value t.budget ~default:Budget.unlimited in
+    let* series =
+      resolve_query_series t.dataset spec ~name:query ~noise:t.noise
+    in
+    note.note_path <- Some "index";
+    let outcome =
+      Kindex.nearest_checked ~spec ~budget ?admission:t.admission
+        ~on_decision:(fun d ->
+          note.note_decision <- Some (Simq_admission.decision_name d);
+          match d with
+          | Simq_admission.Degrade_to_scan -> note.note_path <- Some "scan"
+          | Simq_admission.Admit | Simq_admission.Reject _ -> ())
+        ?profile t.index ~query:series ~k
+    in
+    (match outcome with
+    | Ok results ->
+      finish note ~answers:(List.length results)
+        ~results:(answers_json results)
+    | Error e -> fault e)
+  | Ql.Pairs { spec; epsilon; method_; _ } -> (
+    note.note_path <-
+      Some (match method_ with Ql.Index -> "index" | _ -> "scan");
+    match (t.budget, method_) with
+    | Some _, Ql.Index ->
+      usage
+        "budgets (--deadline/--max-*) apply to RANGE, NEAREST and PAIRS \
+         scan queries"
+    | Some budget, (Ql.Scan_full | Ql.Scan_early) -> (
+      match
+        Join.scan_checked ?pool:pairs_pool ~spec
+          ~abandon:(method_ = Ql.Scan_early) ~budget ?profile t.index
+          ~epsilon
+      with
+      | Ok (r : Join.result) ->
+        finish note
+          ~answers:(List.length r.Join.pairs)
+          ~results:(pairs_json t.dataset r.Join.pairs)
+      | Error e -> fault e)
+    | None, _ ->
+      let (r : Join.result) =
+        match method_ with
+        | Ql.Scan_full ->
+          Join.scan_full ?pool:pairs_pool ~spec ?profile t.index ~epsilon
+        | Ql.Scan_early ->
+          Join.scan_early_abandon ?pool:pairs_pool ~spec ?profile t.index
+            ~epsilon
+        | Ql.Index -> Join.index_transformed ~spec ?profile t.index ~epsilon
+      in
+      finish note
+        ~answers:(List.length r.Join.pairs)
+        ~results:(pairs_json t.dataset r.Join.pairs))
+
+let exec ?profile ?pairs_pool ?note:n t text =
+  let note = match n with Some n -> n | None -> note () in
+  match exec_parsed ?profile ?pairs_pool ~note t text with
+  | r -> r
+  | exception Invalid_argument msg -> usage msg

@@ -1,0 +1,94 @@
+(** The resident query engine behind [simq serve] and [simq batch]:
+    one loaded relation, one built k-index, one lazily collected
+    planner histogram and one admission policy, executing
+    query-language text against them over and over without paying the
+    load/build cost per query.
+
+    The execution semantics are exactly those of the one-shot
+    [simq query] paths: a plain engine (no budget, no admission)
+    answers through the k-index directly; a {e checked} engine (a
+    budget, an admission policy, or both) routes RANGE queries through
+    {!Simq_tsindex.Planner.range_resilient} (admission vetting, then
+    budgeted execution with scan degradation), NEAREST queries through
+    {!Simq_tsindex.Kindex.nearest_checked} (same vetting, exact
+    linear-selection degradation), and scan PAIRS through
+    {!Simq_tsindex.Join.scan_checked}. Both paths of every degradation
+    are exact, so for every query a checked engine {e admits or
+    degrades}, the answers are bit-identical to the plain engine's —
+    the invariant the stress harness verifies against a served
+    daemon. *)
+
+type t
+
+(** [create ?noise ?budget ?admission index] wraps a built index.
+    [noise] perturbs every resolved query series as [simq query
+    --noise] does (default [0.]); [budget] bounds each executed query;
+    [admission] vets each RANGE/NEAREST query against the cost model
+    before execution. The planner histogram backing admission is
+    collected from a fixed seed on first use, so engine decisions are
+    deterministic for a given registry state. *)
+val create :
+  ?noise:float ->
+  ?budget:Simq_fault.Budget.t ->
+  ?admission:Simq_admission.t ->
+  Simq_tsindex.Kindex.t ->
+  t
+
+val index : t -> Simq_tsindex.Kindex.t
+
+(** Shared degradation/rejection counters across every RANGE routed
+    through the resilient planner by this engine. *)
+val counters : t -> Simq_tsindex.Planner.counters
+
+(** [digest text] is the stable 12-hex-character query identity used
+    by the query log and the batch/serve response lines. *)
+val digest : string -> string
+
+(** [resolve_query_series dataset spec ~name ~noise] resolves the
+    [sN] query-name convention against the data set: entry [N]'s
+    series, perturbed by [noise] when positive (fixed PRNG seed, so
+    reruns see the same perturbation), expanded first when [spec] is
+    the time warp. Unknown or out-of-range names are [Usage]
+    errors. *)
+val resolve_query_series :
+  Simq_tsindex.Dataset.t ->
+  Simq_tsindex.Spec.t ->
+  name:string ->
+  noise:float ->
+  (Simq_series.Series.t, Simq_cli.error) result
+
+(** What the query log wants to know about an execution, filled in as
+    the plan unfolds — meaningful even when {!exec} returns an error
+    (a rejected query records its ["reject"] decision here). *)
+type note = {
+  mutable note_path : string option;  (** access path actually executed *)
+  mutable note_decision : string option;  (** admission decision *)
+}
+
+val note : unit -> note
+
+(** A successful execution: the executed path and admission decision
+    (as in the {!note}), the answer count, and the rendered answer
+    rows — [{id; name; distance}] objects for RANGE/NEAREST, [{a; b}]
+    name pairs for PAIRS — ready for a response or batch line. *)
+type outcome = {
+  path : string option;
+  decision : string option;
+  answers : int;
+  results : Simq_obs.Json.t;
+}
+
+(** [exec ?profile ?pairs_pool ?note t text] parses and executes one
+    query. [pairs_pool] feeds the PAIRS scan methods' domain pool
+    (batch passes {!Simq_parallel.Pool.sequential} so a batched query
+    stays whole on its executing domain). Parse failures and argument
+    violations are [Usage] errors; budget exhaustion, unretried faults
+    and admission rejections are typed [Fault] errors — [exec] never
+    raises on query-dependent input. *)
+val exec :
+  ?profile:Simq_obs.Profile.t ->
+  ?pairs_pool:Simq_parallel.Pool.t ->
+  ?note:note ->
+  t ->
+  string ->
+  (outcome, Simq_cli.error) result

@@ -1,0 +1,320 @@
+module J = Simq_obs.Json
+module Clock = Simq_obs.Clock
+
+module Client = struct
+  type t = {
+    fd : Unix.file_descr;
+    pending : Buffer.t;
+    chunk : Bytes.t;
+  }
+
+  let connect ?timeout ~host ~port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (match timeout with
+    | None -> ()
+    | Some s when s > 0. -> (
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+      with Unix.Unix_error _ -> ())
+    | Some s ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      invalid_arg
+        (Printf.sprintf "Simq_serve.Stress.Client: timeout %g must be > 0" s));
+    match
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    with
+    | () -> { fd; pending = Buffer.create 4096; chunk = Bytes.create 8192 }
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+  let send_line t line =
+    let line = line ^ "\n" in
+    let n = String.length line in
+    let rec go off =
+      if off < n then
+        match Unix.write_substring t.fd line off (n - off) with
+        | written -> go (off + written)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+
+  let recv_line t =
+    let take () =
+      let s = Buffer.contents t.pending in
+      match String.index_opt s '\n' with
+      | None -> None
+      | Some i ->
+        Buffer.clear t.pending;
+        Buffer.add_substring t.pending s (i + 1) (String.length s - i - 1);
+        Some (String.sub s 0 i)
+    in
+    let rec go () =
+      match take () with
+      | Some line -> Some line
+      | None -> (
+        match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+        | 0 -> None
+        | n ->
+          Buffer.add_subbytes t.pending t.chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+    in
+    go ()
+
+  let query t spec =
+    match
+      send_line t (Protocol.escape spec);
+      recv_line t
+    with
+    | None -> Error "connection closed by server"
+    | Some line -> (
+      match J.parse line with
+      | Ok json -> Ok json
+      | Error msg -> Error ("unparseable response: " ^ msg))
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("connection error: " ^ Unix.error_message e)
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end
+
+type report = {
+  sent : int;
+  ok : int;
+  rejected : int;
+  failed : int;
+  protocol_errors : int;
+  malformed_sent : int;
+  disconnects : int;
+  server_gone : bool;
+  latencies_s : float array;
+  mismatches : (string * string) list;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Int.min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+(* Per-client mutable tallies, merged after the join — each client
+   thread touches only its own record. *)
+type tally = {
+  mutable t_sent : int;
+  mutable t_ok : int;
+  mutable t_rejected : int;
+  mutable t_failed : int;
+  mutable t_protocol : int;
+  mutable t_malformed : int;
+  mutable t_disconnects : int;
+  mutable t_gone : bool;
+  mutable t_latencies : float list;
+  mutable t_answers : (string * string) list;
+      (** (spec, rendered results) of every ok response *)
+}
+
+let fresh_tally () =
+  {
+    t_sent = 0;
+    t_ok = 0;
+    t_rejected = 0;
+    t_failed = 0;
+    t_protocol = 0;
+    t_malformed = 0;
+    t_disconnects = 0;
+    t_gone = false;
+    t_latencies = [];
+    t_answers = [];
+  }
+
+(* Deterministic per-client seed split: distinct odd strides keep the
+   client streams disjoint for any harness seed. *)
+let client_seed seed i = seed + (1009 * (i + 1))
+
+let malformed_lines =
+  [|
+    "DEFINITELY NOT A QUERY";
+    "RANGE FROM r QUERY s0 EPS 1.0\\q";
+    String.make (Protocol.max_line_bytes + 64) 'x';
+  |]
+
+exception Client_gone
+
+let run_client ~chaos ~timeout ~host ~port ~seed ~cardinality ~per_client
+    tally =
+  let specs =
+    Simq_workload.Queries.spec_mix ~seed ~cardinality ~count:per_client
+  in
+  let rng = Random.State.make [| seed lxor 0x5f3759df |] in
+  let conn = ref None in
+  let connect () =
+    match Client.connect ~timeout ~host ~port () with
+    | c ->
+      conn := Some c;
+      c
+    | exception (Unix.Unix_error _ | Invalid_argument _) ->
+      tally.t_gone <- true;
+      raise Client_gone
+  in
+  let current () = match !conn with Some c -> c | None -> connect () in
+  let expect_response c =
+    (* An abusive line must produce exactly one error line and a
+       still-living connection. *)
+    match Client.recv_line c with
+    | Some _ -> ()
+    | None ->
+      tally.t_protocol <- tally.t_protocol + 1;
+      Client.close c;
+      conn := None
+    | exception Unix.Unix_error _ ->
+      tally.t_protocol <- tally.t_protocol + 1;
+      Client.close c;
+      conn := None
+  in
+  let pose spec =
+    let c = current () in
+    let t0 = Clock.now_ns () in
+    tally.t_sent <- tally.t_sent + 1;
+    match Client.query c spec with
+    | Ok json -> (
+      let elapsed = Clock.elapsed_s t0 in
+      match J.member "outcome" json with
+      | Some (J.Str "ok") ->
+        tally.t_ok <- tally.t_ok + 1;
+        tally.t_latencies <- elapsed :: tally.t_latencies;
+        let results =
+          match J.member "results" json with
+          | Some r -> J.to_string r
+          | None -> "missing"
+        in
+        tally.t_answers <- (spec, results) :: tally.t_answers
+      | Some (J.Str _) -> (
+        match J.member "exit" json with
+        | Some (J.Num code) when int_of_float code = 5 ->
+          tally.t_rejected <- tally.t_rejected + 1
+        | _ -> tally.t_failed <- tally.t_failed + 1)
+      | _ -> tally.t_protocol <- tally.t_protocol + 1)
+    | Error _ ->
+      tally.t_protocol <- tally.t_protocol + 1;
+      Client.close c;
+      conn := None;
+      ignore (connect ())
+  in
+  (try
+     List.iter
+       (fun spec ->
+         if chaos then begin
+           (* Fixed draw order keeps the stream deterministic whatever
+              the branches do. *)
+           let abuse = Random.State.int rng 8 in
+           let which = Random.State.int rng (Array.length malformed_lines) in
+           let drop = Random.State.int rng 8 in
+           if abuse < 2 then begin
+             let c = current () in
+             tally.t_malformed <- tally.t_malformed + 1;
+             (try Client.send_line c malformed_lines.(which)
+              with Unix.Unix_error _ -> ());
+             expect_response c;
+             ignore (current ())
+           end;
+           if drop = 0 then begin
+             (* Mid-query disconnect: fire the query, vanish before the
+                response. *)
+             let c = current () in
+             tally.t_disconnects <- tally.t_disconnects + 1;
+             (try Client.send_line c (Protocol.escape spec)
+              with Unix.Unix_error _ -> ());
+             Client.close c;
+             conn := None
+           end
+           else pose spec
+         end
+         else pose spec)
+       specs;
+     (* Liveness probe: the daemon must still answer after the abuse. *)
+     let c = current () in
+     Client.send_line c "ping";
+     (match Client.recv_line c with
+     | Some _ -> ()
+     | None | (exception Unix.Unix_error _) ->
+       tally.t_protocol <- tally.t_protocol + 1)
+   with
+  | Client_gone -> ()
+  | Unix.Unix_error _ -> tally.t_gone <- true);
+  match !conn with
+  | Some c ->
+    Client.close c;
+    conn := None
+  | None -> ()
+
+let run ?(chaos = false) ?(timeout = 30.) ?oracle ~host ~port ~clients
+    ~per_client ~seed ~cardinality () =
+  if clients < 1 then invalid_arg "Simq_serve.Stress.run: clients must be >= 1";
+  if per_client < 0 then
+    invalid_arg "Simq_serve.Stress.run: per_client must be >= 0";
+  let tallies = Array.init clients (fun _ -> fresh_tally ()) in
+  let threads =
+    Array.to_list
+      (Array.mapi
+         (fun i tally ->
+           Thread.create
+             (fun () ->
+               run_client ~chaos ~timeout ~host ~port
+                 ~seed:(client_seed seed i) ~cardinality ~per_client tally)
+             ())
+         tallies)
+  in
+  List.iter Thread.join threads;
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let latencies =
+    Array.of_list
+      (Array.fold_left (fun acc t -> t.t_latencies @ acc) [] tallies)
+  in
+  Array.sort Float.compare latencies;
+  let mismatches =
+    match oracle with
+    | None -> []
+    | Some oracle ->
+      let expected = Hashtbl.create 64 in
+      let expect spec =
+        match Hashtbl.find_opt expected spec with
+        | Some e -> e
+        | None ->
+          let e = Option.map J.to_string (oracle spec) in
+          Hashtbl.add expected spec e;
+          e
+      in
+      let seen = Hashtbl.create 16 in
+      Array.fold_left
+        (fun acc t ->
+          List.fold_left
+            (fun acc (spec, served) ->
+              match expect spec with
+              | Some want
+                when want <> served && not (Hashtbl.mem seen spec) ->
+                Hashtbl.add seen spec ();
+                (spec, Printf.sprintf "served %s, oracle %s" served want)
+                :: acc
+              | _ -> acc)
+            acc t.t_answers)
+        [] tallies
+  in
+  {
+    sent = sum (fun t -> t.t_sent);
+    ok = sum (fun t -> t.t_ok);
+    rejected = sum (fun t -> t.t_rejected);
+    failed = sum (fun t -> t.t_failed);
+    protocol_errors = sum (fun t -> t.t_protocol);
+    malformed_sent = sum (fun t -> t.t_malformed);
+    disconnects = sum (fun t -> t.t_disconnects);
+    server_gone = Array.exists (fun t -> t.t_gone) tallies;
+    latencies_s = latencies;
+    mismatches;
+  }

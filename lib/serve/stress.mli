@@ -1,0 +1,95 @@
+(** The deterministic multi-client stress and chaos harness behind
+    [simq stress] and the [serve] experiment.
+
+    [N] client threads each pose [M] queries from the mixed workload
+    {!Simq_workload.Queries.spec_mix} against a running daemon. The
+    spec streams are pure functions of the harness seed (derive it
+    from [Bench_util.derived_seed] so every harness stream descends
+    from the documented bench seed) — per-client seeds are split
+    deterministically from it, so the same seed always poses the same
+    queries on the same connections. Chaos mode interleaves protocol
+    abuse between queries: malformed request lines, an oversized line,
+    and mid-query disconnects, all drawn from the same seeded
+    stream.
+
+    The report asserts the robustness contract: the daemon never dies
+    ([server_gone = false]), every well-formed query gets exactly one
+    well-formed response ([protocol_errors = 0]), and — when an
+    offline [oracle] is supplied — every served answer set is
+    bit-identical to the offline execution of the same spec
+    ([mismatches = []]). Rejections (admission or load shedding,
+    exit 5) are legitimate outcomes, counted separately. *)
+
+module Client : sig
+  (** A blocking line-protocol client — the "new client path" of the
+      service; every operation honours the connect-time [timeout]. *)
+
+  type t
+
+  (** [connect ?timeout ~host ~port ()] opens a TCP connection;
+      [timeout] (seconds, must be positive) bounds the connect and
+      every subsequent read and write ([Unix_error
+      EAGAIN]/[EWOULDBLOCK] on expiry). Raises [Unix.Unix_error] on
+      connection failure. *)
+  val connect : ?timeout:float -> host:string -> port:int -> unit -> t
+
+  (** [send_line t line] writes one raw request line (the newline is
+      appended). The line travels verbatim — escape specs with
+      {!Protocol.escape}. *)
+  val send_line : t -> string -> unit
+
+  (** [recv_line t] reads one response line; [None] on a closed
+      peer. *)
+  val recv_line : t -> string option
+
+  (** [query t spec] escapes and sends [spec], then reads and parses
+      the one JSON response line. [Error] describes a protocol
+      violation (closed peer, unparseable response). *)
+  val query : t -> string -> (Simq_obs.Json.t, string) result
+
+  val close : t -> unit
+end
+
+type report = {
+  sent : int;  (** well-formed queries posed *)
+  ok : int;  (** outcome ["ok"] responses *)
+  rejected : int;  (** exit-5 responses: admission rejections and sheds *)
+  failed : int;  (** other error responses (usage, fault, …) *)
+  protocol_errors : int;
+      (** responses that were missing or unparseable — always 0
+          against a healthy daemon *)
+  malformed_sent : int;  (** chaos: abusive lines injected *)
+  disconnects : int;  (** chaos: connections dropped mid-query *)
+  server_gone : bool;
+      (** a client could not (re)connect — the daemon died *)
+  latencies_s : float array;
+      (** client-observed latency of every [ok] response, sorted
+          ascending *)
+  mismatches : (string * string) list;
+      (** [(spec, detail)] for served answers that differ from the
+          oracle's — always empty when both sides are exact *)
+}
+
+(** [quantile sorted q] interpolates the [q]-quantile ([0 <= q <= 1])
+    of a sorted latency array; [0.] when empty. *)
+val quantile : float array -> float -> float
+
+(** [run ?chaos ?timeout ?oracle ~host ~port ~clients ~per_client
+    ~seed ~cardinality ()] drives the full harness and joins every
+    client before reporting. [oracle spec] is the offline answer
+    ([None] skips verification for that spec — e.g. the offline run
+    itself failed); it is consulted after the run, once per distinct
+    spec. [timeout] (default 30 s) bounds every client operation so a
+    wedged daemon fails the harness instead of hanging it. *)
+val run :
+  ?chaos:bool ->
+  ?timeout:float ->
+  ?oracle:(string -> Simq_obs.Json.t option) ->
+  host:string ->
+  port:int ->
+  clients:int ->
+  per_client:int ->
+  seed:int ->
+  cardinality:int ->
+  unit ->
+  report

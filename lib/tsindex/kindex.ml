@@ -447,8 +447,58 @@ let nearest ?(spec = Spec.Identity) ?(normalise_query = true) ?profile t
   Profile.add_rows_out pn (List.length answers);
   answers
 
+(* The degraded NN path: an exact linear selection over the prepared
+   entries, priced as the admission cost model prices a scan — one
+   comparison and one logical page read per series. Ties at the [k]
+   boundary break on the entry id, so the selection is deterministic
+   at every domain count. *)
+let nearest_scan ?bstate ?profile t ~dist ~k =
+  let pn = Profile.enter profile "kindex.nearest-scan" in
+  Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
+  Otrace.with_span "kindex.nearest-scan" @@ fun () ->
+  let entries = Dataset.entries t.dataset in
+  let scored =
+    Array.map
+      (fun (entry : Dataset.entry) ->
+        (match bstate with
+        | None -> ()
+        | Some b ->
+          Budget.check b;
+          Budget.charge_page_read b;
+          Budget.charge_comparisons b 1);
+        (entry, dist entry))
+      entries
+  in
+  Array.sort
+    (fun ((a : Dataset.entry), da) ((b : Dataset.entry), db) ->
+      match Float.compare da db with
+      | 0 -> compare a.Dataset.id b.Dataset.id
+      | c -> c)
+    scored;
+  let n = Int.min k (Array.length scored) in
+  Profile.add_rows_in pn (Array.length scored);
+  Profile.add_candidates pn (Array.length scored);
+  Profile.add_rows_out pn n;
+  Array.to_list (Array.sub scored 0 n)
+
+(* What admission control knows about an NN query before running it:
+   catalogue metadata only, and the exact answer fraction k/N in place
+   of a histogram estimate — producing it reads no page. *)
+let nn_workload t ~k =
+  let cardinality = Dataset.cardinality t.dataset in
+  {
+    Simq_admission.cardinality;
+    pages = Simq_storage.Relation.pages (Dataset.relation t.dataset);
+    tree_size = Rstar.size t.tree;
+    tree_height = Rstar.height t.tree;
+    selectivity =
+      (if cardinality = 0 then 1.
+       else Float.min 1. (float_of_int k /. float_of_int cardinality));
+  }
+
 let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
-    ?(budget = Budget.unlimited) ?retry ?on_retry ?profile t ~query ~k =
+    ?(budget = Budget.unlimited) ?retry ?on_retry ?admission ?on_decision
+    ?profile t ~query ~k =
   check_query_length t spec query;
   if k <= 0 then invalid_arg "Kindex.nearest_checked: k must be positive";
   let q = Dataset.prepare_query ~normalise:normalise_query query in
@@ -464,46 +514,74 @@ let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
   Profile.set_detail pn (Printf.sprintf "k=%d" k);
   let visits = ref 0 in
   Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
-  let result =
-    Retry.with_retries ?policy:retry ?on_retry (fun () ->
-        (* Fresh budget state per attempt, like {!range_checked}. Node
-           accesses are charged at every node expansion of the best-first
-           traversal, exact distances as comparisons — the same accounting
-           the range path uses. *)
-        let bstate = Budget.state_opt budget in
-        let charge =
-          Option.map
-            (fun b () ->
-              Budget.check b;
-              Budget.charge_node_access b)
-            bstate
-        in
-        let visit =
-          match (charge, pn) with
-          | None, None -> None
-          | _ ->
-              Some
-                (fun () ->
-                  incr visits;
-                  match charge with Some f -> f () | None -> ())
-        in
-        let point_dist _ id =
-          Profile.add_candidates pn 1;
-          (match bstate with
-          | None -> ()
-          | Some b ->
-            Budget.check b;
-            Budget.charge_comparisons b 1);
-          dist (Dataset.get t.dataset id)
-        in
-        Otrace.with_span "kindex.nearest" @@ fun () ->
-        Nn.nearest_custom ?visit t.tree
-          ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
-          ~point_dist ~k
-        |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d)))
+  (* Admission runs once, before any attempt: the decision is a pure
+     function of catalogue metadata, the budget and a registry
+     snapshot, so it cannot flip between retries (or domain counts). *)
+  let decision =
+    match admission with
+    | None -> None
+    | Some policy ->
+      let d =
+        Simq_admission.decide policy (nn_workload t ~k)
+          ~prefer:Simq_admission.Index_path ~budget
+      in
+      Profile.add_event pn ("admission: " ^ Simq_admission.decision_name d);
+      (match on_decision with Some f -> f d | None -> ());
+      Some d
   in
-  Profile.add_pages pn !visits;
-  (match result with
-  | Ok answers -> Profile.add_rows_out pn (List.length answers)
-  | Error e -> Profile.add_event pn ("error: " ^ Simq_fault.Error.kind e));
-  result
+  let finish result =
+    Profile.add_pages pn !visits;
+    (match result with
+    | Ok answers -> Profile.add_rows_out pn (List.length answers)
+    | Error e -> Profile.add_event pn ("error: " ^ Simq_fault.Error.kind e));
+    result
+  in
+  match decision with
+  | Some (Simq_admission.Reject reject) ->
+    (* Refused before execution: no node is visited, no page read, no
+       comparison runs. *)
+    finish (Error (Simq_admission.error_of_reject reject))
+  | Some Simq_admission.Degrade_to_scan ->
+    finish
+      (Retry.with_retries ?policy:retry ?on_retry (fun () ->
+           let bstate = Budget.state_opt budget in
+           nearest_scan ?bstate ?profile t ~dist ~k))
+  | Some Simq_admission.Admit | None ->
+    finish
+      (Retry.with_retries ?policy:retry ?on_retry (fun () ->
+           (* Fresh budget state per attempt, like {!range_checked}. Node
+              accesses are charged at every node expansion of the best-first
+              traversal, exact distances as comparisons — the same accounting
+              the range path uses. *)
+           let bstate = Budget.state_opt budget in
+           let charge =
+             Option.map
+               (fun b () ->
+                 Budget.check b;
+                 Budget.charge_node_access b)
+               bstate
+           in
+           let visit =
+             match (charge, pn) with
+             | None, None -> None
+             | _ ->
+                 Some
+                   (fun () ->
+                     incr visits;
+                     match charge with Some f -> f () | None -> ())
+           in
+           let point_dist _ id =
+             Profile.add_candidates pn 1;
+             (match bstate with
+             | None -> ()
+             | Some b ->
+               Budget.check b;
+               Budget.charge_comparisons b 1);
+             dist (Dataset.get t.dataset id)
+           in
+           Otrace.with_span "kindex.nearest" @@ fun () ->
+           Nn.nearest_custom ?visit t.tree
+             ~rect_bound:(fun r ->
+               feature_lower_bound t ~query_coeffs (map_rect r))
+             ~point_dist ~k
+           |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d))))

@@ -134,19 +134,36 @@ val nearest :
   t ->
   query:Simq_series.Series.t -> k:int -> (Dataset.entry * float) list
 
-(** [nearest_checked t ?spec ?budget ?retry ~query ~k] is {!nearest}
-    under a {!Simq_fault.Budget} and bounded {!Simq_fault.Retry}: every
-    node expansion of the best-first traversal is checked and charged
-    as a node access, every exact-distance evaluation as one
-    comparison. Returns the exact {!nearest} result or a typed error;
-    each attempt gets a fresh budget state. Argument validation still
-    raises [Invalid_argument]. *)
+(** [nearest_checked t ?spec ?budget ?retry ?admission ~query ~k] is
+    {!nearest} under a {!Simq_fault.Budget} and bounded
+    {!Simq_fault.Retry}: every node expansion of the best-first
+    traversal is checked and charged as a node access, every
+    exact-distance evaluation as one comparison. Returns the exact
+    {!nearest} result or a typed error; each attempt gets a fresh
+    budget state. Argument validation still raises
+    [Invalid_argument].
+
+    With [?admission] the query is vetted by the same cost model the
+    range planner consults ({!Simq_admission.decide}), {e before} any
+    node is visited or page read. The NN workload description uses
+    the exact answer fraction [k / cardinality] as its selectivity —
+    catalogue facts only, so the decision is a pure function of the
+    budget and a registry snapshot, identical at every
+    [SIMQ_DOMAINS]/[--jobs] setting. A [Reject] returns the typed
+    [Rejected] error with nothing executed; [Degrade_to_scan] answers
+    exactly through a linear selection over the prepared entries
+    (priced like the scan path: one comparison and one logical page
+    read per series, ties at the [k] boundary broken on the entry
+    id); [Admit] runs the index traversal unchanged. [on_decision]
+    observes the decision (for query logs). *)
 val nearest_checked :
   ?spec:Spec.t ->
   ?normalise_query:bool ->
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?admission:Simq_admission.t ->
+  ?on_decision:(Simq_admission.decision -> unit) ->
   ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->

@@ -10,6 +10,56 @@ let threshold_for_count distances ~count =
   Array.sort Float.compare sorted;
   sorted.(count - 1)
 
+let spec_mix ~seed ~cardinality ~count =
+  if cardinality < 1 then
+    invalid_arg "Queries.spec_mix: cardinality must be >= 1";
+  if count < 0 then invalid_arg "Queries.spec_mix: count must be >= 0";
+  let state = Random.State.make [| seed |] in
+  (* Bind every random draw before formatting: argument evaluation
+     order must not decide the stream. *)
+  let query () = Printf.sprintf "s%d" (Random.State.int state cardinality) in
+  let using () =
+    match Random.State.int state 5 with
+    | 0 | 1 -> ""
+    | 2 -> " USING rev"
+    | 3 ->
+      let w = 2 + Random.State.int state 6 in
+      Printf.sprintf " USING mavg(%d)" w
+    | _ ->
+      let w = 2 + Random.State.int state 6 in
+      Printf.sprintf " USING wma(%d)" w
+  in
+  let epsilon () = 0.5 +. Random.State.float state 2.5 in
+  List.init count (fun _ ->
+      let roll = Random.State.int state 10 in
+      if roll < 6 then begin
+        let u = using () in
+        let q = query () in
+        let eps = epsilon () in
+        let side =
+          match Random.State.int state 4 with
+          | 0 ->
+            let w = 0.5 +. Random.State.float state 2. in
+            Printf.sprintf " MEAN %.2f" w
+          | 1 ->
+            let f = 1.5 +. Random.State.float state 2. in
+            Printf.sprintf " STD %.2f" f
+          | _ -> ""
+        in
+        Printf.sprintf "RANGE FROM r%s QUERY %s EPS %.2f%s" u q eps side
+      end
+      else if roll < 9 then begin
+        let k = 1 + Random.State.int state 8 in
+        let u = using () in
+        let q = query () in
+        Printf.sprintf "NEAREST %d FROM r%s QUERY %s" k u q
+      end
+      else begin
+        let u = using () in
+        let eps = epsilon () in
+        Printf.sprintf "PAIRS FROM r%s EPS %.2f METHOD scan-early" u eps
+      end)
+
 let epsilon_for_answer_size ~normals ~query ~target =
   let distances =
     Array.map (fun s -> Simq_series.Distance.euclidean s query) normals

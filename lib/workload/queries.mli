@@ -16,6 +16,19 @@ val perturb :
     range. *)
 val threshold_for_count : float array -> count:int -> float
 
+(** [spec_mix ~seed ~cardinality ~count] is a deterministic mixed
+    workload of [count] query-language spec strings against a relation
+    of [cardinality] series named [r] — roughly 60% RANGE (with
+    occasional MEAN/STD side constraints), 30% NEAREST and 10%
+    early-abandoning PAIRS, under a mix of [id]/[rev]/[mavg]/[wma]
+    transformations (windows up to 7, so any series length >= 16 is
+    safe). Query series are named [sN] with [N < cardinality] — the
+    [simq query]/[simq serve] convention. The same [seed] always
+    yields the same list (seed service workloads from
+    [Bench_util.derived_seed]). Raises [Invalid_argument] when
+    [cardinality < 1] or [count < 0]. *)
+val spec_mix : seed:int -> cardinality:int -> count:int -> string list
+
 (** [epsilon_for_answer_size ~normals ~query ~target] calibrates ε so a
     range query on the normal forms returns [target] answers: the
     [target]-th smallest Euclidean distance from [query] to [normals]. *)

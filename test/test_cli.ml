@@ -212,7 +212,7 @@ let test_scrape_dead_port_is_file_error () =
   let dead_port =
     Serve.with_server ~port:0 (fun server -> Serve.port server)
   in
-  match Cli.scrape ~host:"127.0.0.1" ~port:(Some dead_port) with
+  match Cli.scrape ~host:"127.0.0.1" ~port:(Some dead_port) () with
   | Result.Error (Cli.File msg) ->
     Alcotest.(check bool) "message names the endpoint" true
       (let needle = Printf.sprintf "127.0.0.1:%d" dead_port in
@@ -227,7 +227,7 @@ let test_scrape_dead_port_is_file_error () =
 
 let test_scrape_no_port_is_usage_error () =
   Unix.putenv "SIMQ_METRICS_PORT" "";
-  match Cli.scrape ~host:"127.0.0.1" ~port:None with
+  match Cli.scrape ~host:"127.0.0.1" ~port:None () with
   | Result.Error (Cli.Usage _) -> ()
   | _ -> Alcotest.fail "a missing port is a Usage error"
 

@@ -1,0 +1,498 @@
+(* The simq serve daemon (lib/serve): the request/response line
+   grammar round-trips, workers isolate every kind of abuse (malformed
+   lines, oversized lines, mid-query disconnects), a zero in-flight
+   cap sheds before any execution-side counter moves, the drain is
+   graceful, NN admission vetting is domain-count invariant, and the
+   chaos harness finds served answers bit-identical to offline
+   execution while the daemon survives. *)
+
+module Protocol = Simq_serve.Protocol
+module Engine = Simq_serve.Engine
+module Server = Simq_serve.Server
+module Stress = Simq_serve.Stress
+module Admission = Simq_admission
+module Metrics = Simq_obs.Metrics
+module Qlog = Simq_obs.Qlog
+module J = Simq_obs.Json
+module Pool = Simq_parallel.Pool
+module Budget = Simq_fault.Budget
+module Generator = Simq_series.Generator
+open Simq_tsindex
+
+let build_index ?(count = 32) ?(n = 64) () =
+  let batch = Generator.random_walks ~seed:4711 ~count ~n in
+  Kindex.build (Dataset.of_series ~name:"serve" batch)
+
+let with_daemon ?max_inflight ?max_line_bytes ?qlog ?engine f =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create (build_index ())
+  in
+  Server.with_server ?max_inflight ?max_line_bytes ?qlog ~engine ~port:0
+    (fun server -> f server (Server.port server))
+
+let connect port = Stress.Client.connect ~timeout:10. ~host:"127.0.0.1" ~port ()
+
+let member_str name json =
+  match J.member name json with Some (J.Str s) -> Some s | _ -> None
+
+let member_int name json =
+  match J.member name json with
+  | Some (J.Num x) -> Some (int_of_float x)
+  | _ -> None
+
+let query_json client spec =
+  match Stress.Client.query client spec with
+  | Ok json -> json
+  | Error msg -> Alcotest.failf "query %S: %s" spec msg
+
+let expect_outcome ~what ~outcome ~exit_code json =
+  Alcotest.(check (option string)) (what ^ ": outcome") (Some outcome)
+    (member_str "outcome" json);
+  Alcotest.(check (option int)) (what ^ ": exit") (Some exit_code)
+    (member_int "exit" json)
+
+(* --- the line grammar (QCheck round-trip) ---------------------------------- *)
+
+let arb_raw_line =
+  (* Arbitrary bytes, including newlines, NULs, backslashes and
+     non-ASCII — everything a hostile or merely unlucky client could
+     put in a spec. *)
+  QCheck.make ~print:String.escaped
+    QCheck.Gen.(
+      string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 300))
+
+let prop_escape_roundtrip =
+  QCheck.Test.make ~name:"escape/unescape round-trips any bytes" ~count:500
+    arb_raw_line (fun s ->
+      let escaped = Protocol.escape s in
+      String.for_all (fun c -> c <> '\n' && c <> '\r') escaped
+      && Protocol.unescape escaped = Ok s)
+
+let test_unescape_rejects_bad_escapes () =
+  (match Protocol.unescape "a\\qb" with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "unknown escape accepted as %S" s);
+  match Protocol.unescape "dangling\\" with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "dangling backslash accepted as %S" s
+
+let test_escape_handles_newlines () =
+  let spec = "RANGE FROM r\nQUERY s1\tEPS 2.0\r" in
+  let escaped = Protocol.escape spec in
+  Alcotest.(check bool) "single line" false (String.contains escaped '\n');
+  Alcotest.(check (result string string)) "round-trips" (Ok spec)
+    (Protocol.unescape escaped)
+
+(* --- served answers equal offline execution -------------------------------- *)
+
+let offline_results engine spec =
+  match Engine.exec engine spec with
+  | Ok o -> J.to_string o.Engine.results
+  | Error e ->
+    Alcotest.failf "offline %S failed: %s" spec (Simq_cli.message e)
+
+let test_served_equals_offline () =
+  let index = build_index () in
+  let offline = Engine.create index in
+  let engine = Engine.create index in
+  with_daemon ~engine (fun _server port ->
+      let client = connect port in
+      Fun.protect
+        ~finally:(fun () -> Stress.Client.close client)
+        (fun () ->
+          List.iter
+            (fun spec ->
+              let json = query_json client spec in
+              expect_outcome ~what:spec ~outcome:"ok" ~exit_code:0 json;
+              let served =
+                match J.member "results" json with
+                | Some r -> J.to_string r
+                | None -> Alcotest.failf "%s: no results" spec
+              in
+              Alcotest.(check string)
+                (spec ^ ": served = offline")
+                (offline_results offline spec)
+                served)
+            [
+              "RANGE FROM r QUERY s3 EPS 2.0";
+              "RANGE FROM r USING mavg(4) QUERY s1 EPS 3.0 MEAN 0.5";
+              "NEAREST 5 FROM r QUERY s2";
+              "PAIRS FROM r EPS 1.0 METHOD scan";
+            ]))
+
+(* --- worker isolation under abuse ------------------------------------------ *)
+
+let test_malformed_line_isolated () =
+  with_daemon (fun _server port ->
+      let client = connect port in
+      Fun.protect
+        ~finally:(fun () -> Stress.Client.close client)
+        (fun () ->
+          expect_outcome ~what:"garbage" ~outcome:"usage" ~exit_code:1
+            (query_json client "DEFINITELY NOT A QUERY");
+          expect_outcome ~what:"bad escape" ~outcome:"usage" ~exit_code:1
+            (query_json client "RANGE FROM r QUERY s0 EPS 1.0\\q");
+          (* The same connection still answers. *)
+          expect_outcome ~what:"after abuse" ~outcome:"ok" ~exit_code:0
+            (query_json client "NEAREST 2 FROM r QUERY s0")))
+
+let test_oversized_line_isolated () =
+  with_daemon ~max_line_bytes:256 (fun _server port ->
+      let client = connect port in
+      Fun.protect
+        ~finally:(fun () -> Stress.Client.close client)
+        (fun () ->
+          Stress.Client.send_line client (String.make 4096 'x');
+          (match Stress.Client.recv_line client with
+          | Some line -> (
+            match J.parse line with
+            | Ok json ->
+              expect_outcome ~what:"oversized" ~outcome:"usage" ~exit_code:1
+                json
+            | Error msg -> Alcotest.failf "unparseable response: %s" msg)
+          | None -> Alcotest.fail "connection dropped on oversized line");
+          expect_outcome ~what:"after oversized" ~outcome:"ok" ~exit_code:0
+            (query_json client "NEAREST 2 FROM r QUERY s0")))
+
+let test_disconnect_mid_query_isolated () =
+  with_daemon (fun _server port ->
+      (* Fire a query and vanish before the response. *)
+      let rude = connect port in
+      Stress.Client.send_line rude
+        (Protocol.escape "RANGE FROM r QUERY s1 EPS 4.0");
+      Stress.Client.close rude;
+      (* The daemon must still serve a polite client. *)
+      let polite = connect port in
+      Fun.protect
+        ~finally:(fun () -> Stress.Client.close polite)
+        (fun () ->
+          expect_outcome ~what:"after disconnect" ~outcome:"ok" ~exit_code:0
+            (query_json polite "NEAREST 3 FROM r QUERY s1")))
+
+(* --- load shedding before execution ---------------------------------------- *)
+
+let execution_families =
+  [
+    "simq_buffer_pool_hits_total"; "simq_buffer_pool_misses_total";
+    "simq_scan_candidates_total"; "simq_kindex_candidates_total";
+    "simq_rtree_node_accesses_total";
+  ]
+
+let test_shed_is_typed_and_executes_nothing () =
+  (* Build everything before resetting the registry, so the only
+     counter movement we could see is the served query's own. *)
+  let engine = Engine.create (build_index ()) in
+  Metrics.with_enabled true (fun () ->
+      Metrics.reset ();
+      with_daemon ~max_inflight:0 ~engine (fun server port ->
+          let client = connect port in
+          Fun.protect
+            ~finally:(fun () -> Stress.Client.close client)
+            (fun () ->
+              let json = query_json client "RANGE FROM r QUERY s3 EPS 2.0" in
+              expect_outcome ~what:"shed" ~outcome:"rejected:in_flight"
+                ~exit_code:5 json;
+              List.iter
+                (fun family ->
+                  Alcotest.(check int)
+                    (family ^ " untouched")
+                    0
+                    (Metrics.counter_total (Metrics.counter family)))
+                execution_families;
+              Alcotest.(check int) "shed counted as a rejection" 1
+                (Metrics.counter_total
+                   (Metrics.counter
+                      ~labels:[ ("decision", "reject") ]
+                      "simq_admission_decisions_total"));
+              let stats = Server.stats server in
+              Alcotest.(check int) "server counted the shed" 1
+                stats.Server.shed;
+              Alcotest.(check int) "nothing served" 0 stats.Server.served)))
+
+(* --- graceful drain --------------------------------------------------------- *)
+
+let test_shutdown_drains_and_answers () =
+  with_daemon (fun server port ->
+      let client = connect port in
+      expect_outcome ~what:"pre-shutdown" ~outcome:"ok" ~exit_code:0
+        (query_json client "NEAREST 2 FROM r QUERY s0");
+      Stress.Client.send_line client "shutdown";
+      (match Stress.Client.recv_line client with
+      | Some line ->
+        let json = Result.get_ok (J.parse line) in
+        Alcotest.(check (option string))
+          "shutdown acknowledged" (Some "simq.serve.shutdown")
+          (member_str "event" json)
+      | None -> Alcotest.fail "no shutdown acknowledgement");
+      Stress.Client.close client;
+      (* wait must return: the drain completes on its own. *)
+      Server.wait server;
+      Alcotest.(check bool) "draining" true (Server.draining server);
+      let stats = Server.stats server in
+      Alcotest.(check bool) "served at least the one query" true
+        (stats.Server.served >= 1))
+
+let test_qlog_records_served_queries () =
+  let path = Filename.temp_file "simq_serve" ".qlog" in
+  let qlog = Qlog.create path in
+  let engine = Engine.create (build_index ()) in
+  with_daemon ~qlog ~engine (fun _server port ->
+      let client = connect port in
+      Fun.protect
+        ~finally:(fun () -> Stress.Client.close client)
+        (fun () ->
+          ignore (query_json client "RANGE FROM r QUERY s3 EPS 2.0");
+          ignore (query_json client "NOT A QUERY")));
+  Qlog.close qlog;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Sys.remove path;
+  Alcotest.(check int) "one entry per request" 2 (List.length lines);
+  let outcomes =
+    List.map
+      (fun line -> member_str "outcome" (Result.get_ok (J.parse line)))
+      lines
+  in
+  Alcotest.(check (list (option string)))
+    "outcomes logged in order"
+    [ Some "ok"; Some "usage" ]
+    outcomes
+
+(* --- NN admission: domain-count invariance and exact degradation ----------- *)
+
+let nn_decisions index ~domains =
+  let saved = Pool.default_domains () in
+  Pool.set_default_domains domains;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_domains saved)
+    (fun () ->
+      let admission =
+        Admission.create ~registry:(Metrics.create_registry ()) ()
+      in
+      let query = (Dataset.entries (Kindex.dataset index)).(1).Dataset.series in
+      List.map
+        (fun (k, budget) ->
+          let decision = ref None in
+          let result =
+            Kindex.nearest_checked ~budget ~admission
+              ~on_decision:(fun d -> decision := Some d)
+              index ~query ~k
+          in
+          let ids =
+            match result with
+            | Ok answers ->
+              Ok
+                (List.map
+                   (fun ((e : Dataset.entry), _) -> e.Dataset.id)
+                   answers)
+            | Error e -> Error (Simq_fault.Error.kind e)
+          in
+          (Option.map Admission.decision_name !decision, ids))
+        [
+          (3, Budget.unlimited);
+          (3, Budget.create ~max_node_accesses:0 ~max_comparisons:10_000
+                ~max_page_reads:10_000 ());
+          (5, Budget.create ~max_node_accesses:0 ~max_page_reads:1 ());
+        ])
+
+let test_nn_admission_domain_invariant () =
+  let index = build_index () in
+  let reference = nn_decisions index ~domains:1 in
+  (* The three budgets exercise all three decisions. *)
+  Alcotest.(check (list (option string)))
+    "admit, degrade and reject all reached"
+    [ Some "admit"; Some "degrade_to_scan"; Some "reject" ]
+    (List.map fst reference);
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "decisions and answers at %d domains" domains)
+        true
+        (nn_decisions index ~domains = reference))
+    [ 2; 4 ]
+
+let test_nn_degrade_is_exact () =
+  let index = build_index () in
+  let admission = Admission.create ~registry:(Metrics.create_registry ()) () in
+  let query = (Dataset.entries (Kindex.dataset index)).(2).Dataset.series in
+  let k = 4 in
+  let plain =
+    List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d))
+      (Kindex.nearest index ~query ~k)
+  in
+  let degraded =
+    match
+      Kindex.nearest_checked
+        ~budget:
+          (Budget.create ~max_node_accesses:0 ~max_comparisons:10_000
+             ~max_page_reads:10_000 ())
+        ~admission index ~query ~k
+    with
+    | Ok answers ->
+      List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) answers
+    | Error e -> Alcotest.failf "degraded NN failed: %s" (Simq_fault.Error.kind e)
+  in
+  Alcotest.(check bool) "degraded NN bit-identical to the index path" true
+    (plain = degraded)
+
+(* --- the chaos harness ------------------------------------------------------ *)
+
+let chaos_report index =
+  let offline = Engine.create index in
+  let oracle spec =
+    match Engine.exec offline spec with
+    | Ok o -> Some o.Engine.results
+    | Error _ -> None
+  in
+  let engine = Engine.create index in
+  Server.with_server ~engine ~port:0 (fun server ->
+      Stress.run ~chaos:true ~timeout:30. ~oracle ~host:"127.0.0.1"
+        ~port:(Server.port server) ~clients:4 ~per_client:8 ~seed:9001
+        ~cardinality:32 ())
+
+let test_chaos_survives_and_matches () =
+  let index = build_index () in
+  let report = chaos_report index in
+  Alcotest.(check bool) "daemon alive" false report.Stress.server_gone;
+  Alcotest.(check int) "no protocol violations" 0
+    report.Stress.protocol_errors;
+  Alcotest.(check int) "no execution failures" 0 report.Stress.failed;
+  Alcotest.(check (list (pair string string)))
+    "served answers bit-identical to offline" [] report.Stress.mismatches;
+  Alcotest.(check bool) "abuse actually happened" true
+    (report.Stress.malformed_sent > 0 && report.Stress.disconnects > 0);
+  Alcotest.(check bool) "queries actually served" true (report.Stress.ok > 0)
+
+let test_chaos_with_injected_faults () =
+  (* Seeded transient faults on the page and node seams while hostile
+     clients abuse the protocol: the budgeted engine's resilient paths
+     retry or degrade, anything that still escapes becomes a typed
+     fault line — and the daemon survives all of it. *)
+  let index = build_index () in
+  let injector =
+    Simq_fault.Injector.create
+      ~page_reads:(Simq_fault.Injector.transient ~probability:0.1 ())
+      ~node_accesses:(Simq_fault.Injector.transient ~probability:0.1 ())
+      ~seed:1312 ()
+  in
+  Simq_rtree.Rstar.set_injector (Kindex.tree index) (Some injector);
+  let report =
+    Fun.protect
+      ~finally:(fun () ->
+        Simq_rtree.Rstar.set_injector (Kindex.tree index) None)
+      (fun () ->
+        let engine =
+          Engine.create
+            ~budget:
+              (Budget.create ~max_page_reads:1_000_000
+                 ~max_node_accesses:1_000_000 ())
+            index
+        in
+        Server.with_server ~engine ~port:0 (fun server ->
+            Stress.run ~chaos:true ~timeout:30. ~host:"127.0.0.1"
+              ~port:(Server.port server) ~clients:4 ~per_client:8 ~seed:1848
+              ~cardinality:32 ()))
+  in
+  Alcotest.(check bool) "daemon alive under faults" false
+    report.Stress.server_gone;
+  Alcotest.(check int) "every request answered in protocol" 0
+    report.Stress.protocol_errors;
+  Alcotest.(check bool) "queries still served" true (report.Stress.ok > 0)
+
+let test_chaos_stream_deterministic () =
+  let index = build_index () in
+  let a = chaos_report index and b = chaos_report index in
+  Alcotest.(check bool)
+    "same seed => same workload, abuse and outcomes" true
+    (a.Stress.sent = b.Stress.sent
+    && a.Stress.ok = b.Stress.ok
+    && a.Stress.malformed_sent = b.Stress.malformed_sent
+    && a.Stress.disconnects = b.Stress.disconnects)
+
+(* --- rotated qlog chains ---------------------------------------------------- *)
+
+let test_rotated_chain_order () =
+  let path = Filename.temp_file "simq_rotate" ".qlog" in
+  let rotated = path ^ ".1" in
+  let write p s =
+    let oc = open_out p in
+    output_string oc s;
+    close_out oc
+  in
+  write path "newer\n";
+  Alcotest.(check (list string)) "unrotated: just the file" [ path ]
+    (Qlog.rotated_chain path);
+  write rotated "older\n";
+  Alcotest.(check (list string)) "rotated pair in stream order"
+    [ rotated; path ]
+    (Qlog.rotated_chain path);
+  Sys.remove path;
+  Sys.remove rotated;
+  Alcotest.(check (list string)) "nothing on disk" []
+    (Qlog.rotated_chain path)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest prop_escape_roundtrip;
+          Alcotest.test_case "bad escapes rejected" `Quick
+            test_unescape_rejects_bad_escapes;
+          Alcotest.test_case "newlines escape to one line" `Quick
+            test_escape_handles_newlines;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "served = offline" `Quick
+            test_served_equals_offline;
+          Alcotest.test_case "qlog records served queries" `Quick
+            test_qlog_records_served_queries;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "malformed line" `Quick
+            test_malformed_line_isolated;
+          Alcotest.test_case "oversized line" `Quick
+            test_oversized_line_isolated;
+          Alcotest.test_case "mid-query disconnect" `Quick
+            test_disconnect_mid_query_isolated;
+        ] );
+      ( "shedding",
+        [
+          Alcotest.test_case "typed, counted, executes nothing" `Quick
+            test_shed_is_typed_and_executes_nothing;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "shutdown drains" `Quick
+            test_shutdown_drains_and_answers;
+        ] );
+      ( "nn-admission",
+        [
+          Alcotest.test_case "domain-count invariant" `Quick
+            test_nn_admission_domain_invariant;
+          Alcotest.test_case "degradation is exact" `Quick
+            test_nn_degrade_is_exact;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "survives and matches offline" `Quick
+            test_chaos_survives_and_matches;
+          Alcotest.test_case "survives injected faults" `Quick
+            test_chaos_with_injected_faults;
+          Alcotest.test_case "deterministic abuse stream" `Quick
+            test_chaos_stream_deterministic;
+        ] );
+      ( "qlog-rotation",
+        [
+          Alcotest.test_case "rotated chain order" `Quick
+            test_rotated_chain_order;
+        ] );
+    ]

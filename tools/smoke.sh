@@ -4,9 +4,11 @@
 # that still dumps its metrics and trace, a profiled query with both
 # profile exports plus a sampled query log aggregated by qlog-top, a
 # batch run (a workload file in, one JSON line per query out, with
-# metrics, a sampled query log and a --from-qlog replay), and a live
+# metrics, a sampled query log and a --from-qlog replay), a live
 # scrape of the TCP exposition endpoint while a bench run is serving
-# it.
+# it, and a simq serve daemon on an ephemeral port driven through a
+# chaotic stress session (good, malformed and disconnecting clients),
+# scraped live, shut down in-band, with the drained dumps checked.
 #
 # Two modes:
 #   tools/smoke.sh                full standalone run: dune build @all,
@@ -203,6 +205,73 @@ wait "$bench_pid" || {
 }
 grep -q '^# TYPE simq_' scrape.prom || {
   echo "smoke: live scrape returned no simq metric families" >&2
+  exit 1
+}
+
+echo "== serve: daemon + chaotic stress session, live scrape, in-band shutdown"
+"$simq" serve smoke.rel --admission --qlog daemon.qlog \
+  --metrics-state daemon.state --metrics-port 0 2>daemon.err &
+daemon_pid=$!
+serve_port=
+metrics_port=
+i=0
+while [ -z "$serve_port" ] || [ -z "$metrics_port" ]; do
+  serve_port=$(sed -n 's!.*serving queries on 127\.0\.0\.1:\([0-9]*\)$!\1!p' daemon.err | head -n 1)
+  metrics_port=$(sed -n 's!.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*!\1!p' daemon.err | head -n 1)
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  [ "$i" -lt 400 ] || break
+  sleep 0.02
+  i=$((i + 1))
+done
+[ -n "$serve_port" ] || {
+  echo "smoke: daemon never announced its port" >&2
+  cat daemon.err >&2
+  exit 1
+}
+# Scrape the daemon's live exposition while it serves.
+[ -n "$metrics_port" ] || {
+  echo "smoke: daemon never announced its metrics endpoint" >&2
+  cat daemon.err >&2
+  exit 1
+}
+"$simq" scrape --port "$metrics_port" --timeout-ms 5000 >daemon.prom
+grep -q '^# TYPE simq_' daemon.prom || {
+  echo "smoke: live daemon scrape returned no simq metric families" >&2
+  exit 1
+}
+"$simq" stress smoke.rel --port "$serve_port" --clients 4 --queries 10 \
+  --chaos --verify --shutdown >stress.out || {
+  echo "smoke: stress run against the daemon failed" >&2
+  cat stress.out >&2
+  cat daemon.err >&2
+  exit 1
+}
+grep -q '0 protocol errors' stress.out || {
+  echo "smoke: stress saw protocol errors" >&2
+  cat stress.out >&2
+  exit 1
+}
+wait "$daemon_pid" || {
+  echo "smoke: daemon did not exit cleanly after shutdown" >&2
+  cat daemon.err >&2
+  exit 1
+}
+grep -q 'simq: serve: drained' daemon.err || {
+  echo "smoke: daemon printed no drain summary" >&2
+  cat daemon.err >&2
+  exit 1
+}
+grep -q '"event":"simq.qlog"' daemon.qlog || {
+  echo "smoke: drained daemon left no query log" >&2
+  exit 1
+}
+grep -q '"event":"simq.metrics-state"' daemon.state || {
+  echo "smoke: drained daemon left no calibration state" >&2
+  exit 1
+}
+"$simq" qlog-top daemon.qlog >daemon.top
+grep -q 'top by duration:' daemon.top || {
+  echo "smoke: the daemon qlog does not aggregate" >&2
   exit 1
 }
 
