@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- fig12        -- one experiment
      dune exec bench/main.exe -- micro        -- micro-benchmarks only
      dune exec bench/main.exe -- --jobs 4 par -- scaling run, 4 domains
+     dune exec bench/main.exe -- --shards 8 shard -- one shard count
 
    All synthetic inputs derive from Bench_util.bench_seed, so two runs
    of the same binary measure identical data. *)
@@ -192,6 +193,13 @@ let rec strip_obs = function
     metrics_state := Some file;
     strip_obs rest
   | "--metrics-state" :: [] -> obs_usage "--metrics-state" "a file name"
+  | "--shards" :: value :: rest -> (
+    match int_of_string_opt (String.trim value) with
+    | Some k when k >= 1 ->
+      Bench_util.shard_override := Some k;
+      strip_obs rest
+    | _ -> obs_usage "--shards" "an integer >= 1")
+  | "--shards" :: [] -> obs_usage "--shards" "an integer >= 1"
   | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
     metrics_dest := Some (String.sub arg 10 (String.length arg - 10));
     strip_obs rest

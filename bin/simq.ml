@@ -229,9 +229,47 @@ let resolve_query_series = Simq_serve.Engine.resolve_query_series
 type query_note = {
   mutable note_path : string option;
   mutable note_decision : string option;
+  mutable note_shards : Qlog.shard_counts option;
 }
 
-let run_parsed_query ?profile ~note index dataset noise ~budget ~admission q =
+let note_shard_report note (r : Simq_shard.report) =
+  note.note_shards <-
+    Some
+      {
+        Qlog.fanout = r.Simq_shard.fanout;
+        pruned = r.Simq_shard.pruned;
+        degraded = r.Simq_shard.degraded;
+      }
+
+(* Per-shard admission decisions fold into one logged decision:
+   reject > degrade_to_scan > admit. *)
+let decision_rank = function
+  | Simq_admission.Admit -> 0
+  | Simq_admission.Degrade_to_scan -> 1
+  | Simq_admission.Reject _ -> 2
+
+let note_worst_decision note =
+  let worst = ref None in
+  fun d ->
+    match !worst with
+    | Some w when decision_rank w >= decision_rank d -> ()
+    | _ ->
+      worst := Some d;
+      note.note_decision <- Some (Simq_admission.decision_name d)
+
+let report_string (r : Simq_shard.report) =
+  Printf.sprintf "%d shards: fanout %d, pruned %d, degraded %d"
+    r.Simq_shard.shards r.Simq_shard.fanout r.Simq_shard.pruned
+    r.Simq_shard.degraded
+
+let print_answers answers =
+  List.iter
+    (fun ((e : Dataset.entry), d) ->
+      Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
+    answers
+
+let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
+    ~sharded q =
   match q with
   | Ql.Range { spec; query; epsilon; mean_window = _; std_band = _; _ }
     when Option.is_some budget || admission ->
@@ -241,6 +279,34 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission q =
        it fails. *)
     let budget = Option.value budget ~default:Budget.unlimited in
     let* series = resolve_query_series dataset spec ~name:query ~noise in
+    (match sharded with
+    | Some sh ->
+      note.note_path <- Some "shard";
+      let policy = if admission then Some Simq_admission.default else None in
+      let outcome, elapsed =
+        Simq_report.Timer.time (fun () ->
+            Simq_shard.range_checked ~spec ~budget ?admission:policy
+              ~on_decision:(note_worst_decision note) ?profile sh
+              ~query:series ~epsilon)
+      in
+      (match outcome with
+      | Error e when Simq_fault.Error.kind e = "rejected" ->
+        note.note_decision <- Some "reject"
+      | _ -> ());
+      let* (r : Simq_shard.range_result) =
+        Result.map_error (fun e -> Fault e) outcome
+      in
+      note_shard_report note r.Simq_shard.report;
+      Printf.printf "%d answers (path shard, %s%s, %s)\n"
+        (List.length r.Simq_shard.answers)
+        (report_string r.Simq_shard.report)
+        (match note.note_decision with
+        | Some d -> ", admission: " ^ d
+        | None -> "")
+        (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+      print_answers r.Simq_shard.answers;
+      Ok ()
+    | None ->
     let counters = Planner.create_counters () in
     (* Admission needs the selectivity histogram; collect is sampled
        from a fixed seed, so the estimate is deterministic. *)
@@ -271,28 +337,39 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission q =
       | true, Some e -> Format.asprintf ", degraded: %a" Simq_fault.Error.pp e
       | true, None -> ", degraded before execution: admission control")
       (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
-    List.iter
-      (fun ((e : Dataset.entry), d) ->
-        Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
-      result.Planner.answers;
-    Ok ()
-  | Ql.Range { spec; query; epsilon; mean_window; std_band; _ } ->
+    print_answers result.Planner.answers;
+    Ok ())
+  | Ql.Range { spec; query; epsilon; mean_window; std_band; _ } -> (
     let* series = resolve_query_series dataset spec ~name:query ~noise in
-    note.note_path <- Some "index";
-    let (result : Kindex.range_result), elapsed =
-      Simq_report.Timer.time (fun () ->
-          Kindex.range ~spec ?mean_window ?std_band ?profile index
-            ~query:series ~epsilon)
-    in
-    Printf.printf "%d answers (%d candidates, %d node accesses, %s)\n"
-      (List.length result.Kindex.answers)
-      result.Kindex.candidates result.Kindex.node_accesses
-      (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
-    List.iter
-      (fun ((e : Dataset.entry), d) ->
-        Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
-      result.Kindex.answers;
-    Ok ()
+    match sharded with
+    | Some sh ->
+      note.note_path <- Some "shard";
+      let (r : Simq_shard.range_result), elapsed =
+        Simq_report.Timer.time (fun () ->
+            Simq_shard.range ~spec ?mean_window ?std_band ?profile sh
+              ~query:series ~epsilon)
+      in
+      note_shard_report note r.Simq_shard.report;
+      Printf.printf "%d answers (%s, %d candidates, %d node accesses, %s)\n"
+        (List.length r.Simq_shard.answers)
+        (report_string r.Simq_shard.report)
+        r.Simq_shard.candidates r.Simq_shard.node_accesses
+        (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+      print_answers r.Simq_shard.answers;
+      Ok ()
+    | None ->
+      note.note_path <- Some "index";
+      let (result : Kindex.range_result), elapsed =
+        Simq_report.Timer.time (fun () ->
+            Kindex.range ~spec ?mean_window ?std_band ?profile index
+              ~query:series ~epsilon)
+      in
+      Printf.printf "%d answers (%d candidates, %d node accesses, %s)\n"
+        (List.length result.Kindex.answers)
+        result.Kindex.candidates result.Kindex.node_accesses
+        (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+      print_answers result.Kindex.answers;
+      Ok ())
   | Ql.Nearest { k; spec; query; _ }
     when Option.is_some budget || admission ->
     (* Budgeted/vetted NN: the same cost model the range planner
@@ -301,45 +378,81 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission q =
        reject with the typed error (exit 5). *)
     let budget = Option.value budget ~default:Budget.unlimited in
     let* series = resolve_query_series dataset spec ~name:query ~noise in
-    note.note_path <- Some "index";
     let policy = if admission then Some Simq_admission.default else None in
-    let outcome, elapsed =
-      Simq_report.Timer.time (fun () ->
-          Kindex.nearest_checked ~spec ~budget ?admission:policy
-            ~on_decision:(fun d ->
-              note.note_decision <- Some (Simq_admission.decision_name d);
-              match d with
-              | Simq_admission.Degrade_to_scan ->
-                note.note_path <- Some "scan"
-              | Simq_admission.Admit | Simq_admission.Reject _ -> ())
-            ?profile index ~query:series ~k)
-    in
-    let* results = Result.map_error (fun e -> Fault e) outcome in
-    Printf.printf "%d nearest (path %s%s, %s)\n" (List.length results)
-      (Option.value note.note_path ~default:"index")
-      (match note.note_decision with
-      | Some d -> ", admission: " ^ d
-      | None -> "")
-      (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
-    List.iter
-      (fun ((e : Dataset.entry), d) ->
-        Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
-      results;
-    Ok ()
-  | Ql.Nearest { k; spec; query; _ } ->
+    (match sharded with
+    | Some sh ->
+      note.note_path <- Some "shard";
+      let outcome, elapsed =
+        Simq_report.Timer.time (fun () ->
+            Simq_shard.nearest_checked ~spec ~budget ?admission:policy
+              ~on_decision:(note_worst_decision note) ?profile sh
+              ~query:series ~k)
+      in
+      (match outcome with
+      | Error e when Simq_fault.Error.kind e = "rejected" ->
+        note.note_decision <- Some "reject"
+      | _ -> ());
+      let* (r : Simq_shard.nearest_result) =
+        Result.map_error (fun e -> Fault e) outcome
+      in
+      note_shard_report note r.Simq_shard.nearest_report;
+      Printf.printf "%d nearest (path shard, %s%s, %s)\n"
+        (List.length r.Simq_shard.neighbours)
+        (report_string r.Simq_shard.nearest_report)
+        (match note.note_decision with
+        | Some d -> ", admission: " ^ d
+        | None -> "")
+        (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+      print_answers r.Simq_shard.neighbours;
+      Ok ()
+    | None ->
+      note.note_path <- Some "index";
+      let outcome, elapsed =
+        Simq_report.Timer.time (fun () ->
+            Kindex.nearest_checked ~spec ~budget ?admission:policy
+              ~on_decision:(fun d ->
+                note.note_decision <- Some (Simq_admission.decision_name d);
+                match d with
+                | Simq_admission.Degrade_to_scan ->
+                  note.note_path <- Some "scan"
+                | Simq_admission.Admit | Simq_admission.Reject _ -> ())
+              ?profile index ~query:series ~k)
+      in
+      let* results = Result.map_error (fun e -> Fault e) outcome in
+      Printf.printf "%d nearest (path %s%s, %s)\n" (List.length results)
+        (Option.value note.note_path ~default:"index")
+        (match note.note_decision with
+        | Some d -> ", admission: " ^ d
+        | None -> "")
+        (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+      print_answers results;
+      Ok ())
+  | Ql.Nearest { k; spec; query; _ } -> (
     let* series = resolve_query_series dataset spec ~name:query ~noise in
-    note.note_path <- Some "index";
-    let results, elapsed =
-      Simq_report.Timer.time (fun () ->
-          Kindex.nearest ~spec ?profile index ~query:series ~k)
-    in
-    Printf.printf "%d nearest (%s)\n" (List.length results)
-      (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
-    List.iter
-      (fun ((e : Dataset.entry), d) ->
-        Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
-      results;
-    Ok ()
+    match sharded with
+    | Some sh ->
+      note.note_path <- Some "shard";
+      let (r : Simq_shard.nearest_result), elapsed =
+        Simq_report.Timer.time (fun () ->
+            Simq_shard.nearest ~spec ?profile sh ~query:series ~k)
+      in
+      note_shard_report note r.Simq_shard.nearest_report;
+      Printf.printf "%d nearest (%s, %s)\n"
+        (List.length r.Simq_shard.neighbours)
+        (report_string r.Simq_shard.nearest_report)
+        (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+      print_answers r.Simq_shard.neighbours;
+      Ok ()
+    | None ->
+      note.note_path <- Some "index";
+      let results, elapsed =
+        Simq_report.Timer.time (fun () ->
+            Kindex.nearest ~spec ?profile index ~query:series ~k)
+      in
+      Printf.printf "%d nearest (%s)\n" (List.length results)
+        (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
+      print_answers results;
+      Ok ())
   | Ql.Pairs { method_ = Ql.Index; _ } when Option.is_some budget ->
     usage
       "budgets (--deadline/--max-*) apply to RANGE, NEAREST and PAIRS scan \
@@ -348,16 +461,28 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission q =
     note.note_path <-
       Some (match method_ with Ql.Index -> "index" | _ -> "scan");
     let join index ~epsilon =
-      match (budget, method_) with
-      | Some budget, (Ql.Scan_full | Ql.Scan_early) ->
+      match (budget, admission, method_) with
+      | _, _, Ql.Index ->
+        (* Index joins prune through the tree, so the n(n-1)/2 pair
+           count admission vets does not describe them. *)
+        Ok (Join.index_transformed ~spec ?profile index ~epsilon)
+      | None, false, Ql.Scan_full ->
+        Ok (Join.scan_full ~spec ?profile index ~epsilon)
+      | None, false, Ql.Scan_early ->
+        Ok (Join.scan_early_abandon ~spec ?profile index ~epsilon)
+      | _, _, ((Ql.Scan_full | Ql.Scan_early) as m) ->
+        (* Budgeted or vetted scan joins: admission (when enabled)
+           decides from the catalogue pair count before any series is
+           materialised — a rejection is the usual exit-5 error. *)
+        let budget = Option.value budget ~default:Budget.unlimited in
+        let policy = if admission then Some Simq_admission.default else None in
         Result.map_error
           (fun e -> Fault e)
-          (Join.scan_checked ~spec ~abandon:(method_ = Ql.Scan_early) ~budget
+          (Join.scan_checked ~spec ~abandon:(m = Ql.Scan_early) ~budget
+             ?admission:policy
+             ~on_decision:(fun d ->
+               note.note_decision <- Some (Simq_admission.decision_name d))
              ?profile index ~epsilon)
-      | None, Ql.Scan_full -> Ok (Join.scan_full ~spec ?profile index ~epsilon)
-      | None, Ql.Scan_early ->
-        Ok (Join.scan_early_abandon ~spec ?profile index ~epsilon)
-      | _, Ql.Index -> Ok (Join.index_transformed ~spec ?profile index ~epsilon)
     in
     let outcome, elapsed =
       Simq_report.Timer.time (fun () -> join index ~epsilon)
@@ -402,9 +527,9 @@ let outcome_of_result = function
     in
     (kind, Simq_cli.exit_code e)
 
-let query_impl file text noise jobs metrics trace metrics_port metrics_state
-    profile qlog qlog_sample qlog_slow_ms qlog_max_bytes admission deadline
-    max_page_reads max_comparisons max_node_accesses =
+let query_impl file text noise shards jobs metrics trace metrics_port
+    metrics_state profile qlog qlog_sample qlog_slow_ms qlog_max_bytes
+    admission deadline max_page_reads max_comparisons max_node_accesses =
   apply_jobs jobs;
   let profile = Option.map (fun dest -> (Profile.create (), dest)) profile in
   let* qlog =
@@ -427,12 +552,21 @@ let query_impl file text noise jobs metrics trace metrics_port metrics_state
         Otrace.with_span "prepare" (fun () -> Dataset.of_relation relation)
       in
       let index = Otrace.with_span "build" (fun () -> Kindex.build dataset) in
+      let sharded =
+        Option.map
+          (fun k ->
+            Otrace.with_span "shard" (fun () ->
+                Simq_shard.create ~shards:k dataset))
+          shards
+      in
       let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
-      let note = { note_path = None; note_decision = None } in
+      let note =
+        { note_path = None; note_decision = None; note_shards = None }
+      in
       let run () =
         Otrace.with_span "execute" (fun () ->
             run_parsed_query ?profile:(Option.map fst profile) ~note index
-              dataset noise ~budget ~admission q)
+              dataset noise ~budget ~admission ~sharded q)
       in
       match qlog with
       | None -> run ()
@@ -453,6 +587,7 @@ let query_impl file text noise jobs metrics trace metrics_port metrics_state
             outcome;
             exit_code = code;
             domains = Simq_parallel.Pool.domains (Simq_parallel.Pool.default ());
+            shards = note.note_shards;
           };
         result)
 
@@ -463,6 +598,19 @@ let ql_arg =
 let noise_arg =
   Arg.(value & opt float 0. & info [ "noise" ]
          ~doc:"Perturb the query series by this amount (uniform noise).")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some Simq_cli.positive_int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition the relation into $(docv) shards and answer RANGE \
+           and NEAREST queries by scatter-gather: per-shard catalogue \
+           boxes prune shards that cannot contribute before any of their \
+           pages is read, survivors fan out across the domain pool, and \
+           the per-shard answers merge deterministically — bit-identical \
+           to the unsharded run.")
 
 let deadline_arg =
   Arg.(value & opt (some float) None
@@ -662,7 +810,7 @@ let dump_batch_profiles ~dest ~texts profiles =
       Ok ()
     | exception Sys_error msg -> Error (File msg)
 
-let batch_impl file specs from_qlog output noise jobs metrics trace
+let batch_impl file specs from_qlog output noise shards jobs metrics trace
     metrics_port metrics_state profile qlog qlog_sample qlog_slow_ms
     qlog_max_bytes =
   apply_jobs jobs;
@@ -701,7 +849,7 @@ let batch_impl file specs from_qlog output noise jobs metrics trace
           let index =
             Otrace.with_span "build" (fun () -> Kindex.build dataset)
           in
-          let engine = Simq_serve.Engine.create ~noise index in
+          let engine = Simq_serve.Engine.create ~noise ?shards index in
           let texts = Array.of_list texts in
           let n = Array.length texts in
           let profiles =
@@ -756,6 +904,9 @@ let batch_impl file specs from_qlog output noise jobs metrics trace
                     outcome;
                     exit_code = code;
                     domains;
+                    (* Like the deltas, per-query shard counts are not
+                       separable from the batch pipeline's timed tuples. *)
+                    shards = None;
                   })
               results);
           let* () =
@@ -864,7 +1015,7 @@ let make_injector ~seed ~page_prob ~node_prob =
     | exception Invalid_argument msg -> usage msg
 
 let serve_impl file port max_inflight idle_timeout_ms write_timeout_ms noise
-    jobs metrics trace metrics_port metrics_state qlog qlog_sample
+    shards jobs metrics trace metrics_port metrics_state qlog qlog_sample
     qlog_slow_ms qlog_max_bytes admission deadline max_page_reads
     max_comparisons max_node_accesses fault_seed fault_page_prob
     fault_node_prob =
@@ -911,7 +1062,7 @@ let serve_impl file port max_inflight idle_timeout_ms write_timeout_ms noise
           in
           let engine =
             Simq_serve.Engine.create ~noise ?budget
-              ?admission:admission_policy index
+              ?admission:admission_policy ?shards index
           in
           let* server =
             match
@@ -1207,6 +1358,10 @@ let qlog_top_impl file top =
     breakdown "by path" agg.Qlog.by_path;
     breakdown "by decision" agg.Qlog.by_decision;
     breakdown "by outcome" agg.Qlog.by_outcome;
+    breakdown "by fanout"
+      (List.map
+         (fun (fanout, n) -> (Printf.sprintf "%d-shard" fanout, n))
+         agg.Qlog.by_fanout);
     if agg.Qlog.top_by_duration <> [] then begin
       Printf.printf "top by duration:\n";
       List.iter
@@ -1225,7 +1380,7 @@ let qlog_top_impl file top =
 
 let experiment_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
-         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree, ablation_*, planner, par, serve or all.")
+         ~doc:"Experiment: fig8..fig12, table1, edit_dp, eq10, vptree, ablation_*, planner, par, serve, shard or all.")
 
 let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc:"Smaller data sizes (seconds instead of minutes).")
@@ -1252,14 +1407,15 @@ let query_cmd =
   let doc = "run a similarity query against a stored relation" in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const (fun file text noise jobs metrics trace metrics_port metrics_state
-                 profile qlog qlog_sample qlog_slow_ms qlog_max_bytes admission
-                 deadline pages comparisons nodes ->
+      const (fun file text noise shards jobs metrics trace metrics_port
+                 metrics_state profile qlog qlog_sample qlog_slow_ms
+                 qlog_max_bytes admission deadline pages comparisons nodes ->
           handle
-            (query_impl file text noise jobs metrics trace metrics_port
+            (query_impl file text noise shards jobs metrics trace metrics_port
                metrics_state profile qlog qlog_sample qlog_slow_ms
                qlog_max_bytes admission deadline pages comparisons nodes))
-      $ file_arg $ ql_arg $ noise_arg $ jobs_arg $ metrics_arg $ trace_arg
+      $ file_arg $ ql_arg $ noise_arg $ shards_arg $ jobs_arg $ metrics_arg
+      $ trace_arg
       $ metrics_port_arg $ metrics_state_arg $ profile_arg $ qlog_arg
       $ qlog_sample_arg $ qlog_slow_ms_arg $ qlog_max_bytes_arg
       $ admission_arg $ deadline_arg $ max_page_reads_arg
@@ -1272,15 +1428,15 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const (fun file specs from_qlog output noise jobs metrics trace
+      const (fun file specs from_qlog output noise shards jobs metrics trace
                  metrics_port metrics_state profile qlog qlog_sample
                  qlog_slow_ms qlog_max_bytes ->
           handle
-            (batch_impl file specs from_qlog output noise jobs metrics trace
-               metrics_port metrics_state profile qlog qlog_sample
+            (batch_impl file specs from_qlog output noise shards jobs metrics
+               trace metrics_port metrics_state profile qlog qlog_sample
                qlog_slow_ms qlog_max_bytes))
       $ file_arg $ specs_arg $ from_qlog_arg $ batch_out_arg $ noise_arg
-      $ jobs_arg $ metrics_arg $ trace_arg $ metrics_port_arg
+      $ shards_arg $ jobs_arg $ metrics_arg $ trace_arg $ metrics_port_arg
       $ metrics_state_arg $ profile_arg $ qlog_arg $ qlog_sample_arg
       $ qlog_slow_ms_arg $ qlog_max_bytes_arg)
 
@@ -1351,18 +1507,19 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const (fun file port max_inflight idle_timeout_ms write_timeout_ms noise
-                 jobs metrics trace metrics_port metrics_state qlog
+                 shards jobs metrics trace metrics_port metrics_state qlog
                  qlog_sample qlog_slow_ms qlog_max_bytes admission deadline
                  pages comparisons nodes fault_seed fault_page_prob
                  fault_node_prob ->
           handle
             (serve_impl file port max_inflight idle_timeout_ms
-               write_timeout_ms noise jobs metrics trace metrics_port
+               write_timeout_ms noise shards jobs metrics trace metrics_port
                metrics_state qlog qlog_sample qlog_slow_ms qlog_max_bytes
                admission deadline pages comparisons nodes fault_seed
                fault_page_prob fault_node_prob))
       $ file_arg $ serve_port_arg $ max_inflight_arg $ idle_timeout_arg
-      $ write_timeout_arg $ noise_arg $ jobs_arg $ metrics_arg $ trace_arg
+      $ write_timeout_arg $ noise_arg $ shards_arg $ jobs_arg $ metrics_arg
+      $ trace_arg
       $ metrics_port_arg $ metrics_state_arg $ qlog_arg $ qlog_sample_arg
       $ qlog_slow_ms_arg $ qlog_max_bytes_arg $ admission_arg $ deadline_arg
       $ max_page_reads_arg $ max_comparisons_arg $ max_node_accesses_arg

@@ -200,6 +200,47 @@ let decide t w ~prefer ~budget =
     | Reject _ -> t.m_reject);
   decision
 
+(* The pairwise join costs [n (n - 1) / 2] comparisons — a catalogue
+   fact, like the scan costs — and reads no page (it runs over the
+   resident spectra), so only the comparison limit and the deadline
+   prediction can refuse it, and there is no cheaper path to degrade
+   to. *)
+let decide_pairs t ~comparisons ~budget =
+  Otrace.with_span "admit" @@ fun () ->
+  let decision =
+    if Budget.is_unlimited budget then Admit
+    else begin
+      let deadline_reject =
+        match (Budget.deadline budget, predicted_seconds t) with
+        | Some deadline, Some predicted
+          when predicted > t.headroom *. deadline ->
+          Some
+            {
+              resource = Error.Wall_clock;
+              estimated = ms_of_seconds predicted;
+              limit = ms_of_seconds deadline;
+            }
+        | _ -> None
+      in
+      match deadline_reject with
+      | Some r -> Reject r
+      | None -> (
+        match
+          violation t comparisons
+            (Budget.limit budget Error.Comparisons)
+            Error.Comparisons
+        with
+        | Some r -> Reject r
+        | None -> Admit)
+    end
+  in
+  Metrics.incr
+    (match decision with
+    | Admit -> t.m_admit
+    | Degrade_to_scan -> t.m_degrade
+    | Reject _ -> t.m_reject);
+  decision
+
 let shed t ~inflight ~limit =
   Otrace.with_span "admit" @@ fun () ->
   Metrics.incr t.m_reject;

@@ -108,6 +108,19 @@ val estimate : t -> workload -> estimate
     ["admit"]. *)
 val decide : t -> workload -> prefer:path -> budget:Simq_fault.Budget.t -> decision
 
+(** [decide_pairs t ~comparisons ~budget] vets a pairwise scan join
+    before execution. The join performs exactly [comparisons] distance
+    comparisons ([n (n - 1) / 2] for a self-join — a catalogue fact,
+    not an estimate) and reads no page through the buffer pool, so
+    only the comparison limit and the deadline prediction can refuse
+    it; the outcomes are [Admit] and [Reject] (the scan join {e is}
+    the bottom path — nothing cheaper to degrade to). An unlimited
+    budget always admits. Counted in
+    [simq_admission_decisions_total{decision="..."}] and spanned as
+    ["admit"], like every other decision. *)
+val decide_pairs :
+  t -> comparisons:int -> budget:Simq_fault.Budget.t -> decision
+
 (** [shed t ~inflight ~limit] is the load-shedding rejection of a
     long-running server whose in-flight request cap is full: a
     {!reject} on the [In_flight] pseudo-resource ([inflight] requests

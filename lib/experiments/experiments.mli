@@ -101,6 +101,17 @@ val par : fast:bool -> claim list
     writes [BENCH_serve.json] in the working directory. *)
 val serve : fast:bool -> claim list
 
+(** Sharding: the scatter-gather executor on clustered data at
+    K = 1/4/16 shards x 1/2/4 domains (the bench driver's [--shards]
+    flag narrows the K sweep) — range and NN answers asserted
+    bit-identical to the unsharded traversal everywhere with a
+    domain-invariant catalogue plan, the pruning rate on clustered
+    data and on the skewed [spec_mix] service workload, exactness
+    under a fault-tripped (scan-degraded) shard, and the pruning
+    speedup of the largest-K scatter (asserted only on full runs);
+    writes [BENCH_shard.json] in the working directory. *)
+val shard : fast:bool -> claim list
+
 (** [all ~fast] runs everything in order and prints the claim summary. *)
 val all : fast:bool -> unit
 
@@ -109,6 +120,6 @@ val all : fast:bool -> unit
     "ablation_k", "ablation_repr", "ablation_rtree",
     "ablation_trails", "ablation_fault", "ablation_obs",
     "ablation_profile", "ablation_admission", "planner", "par",
-    "serve", "all").
+    "serve", "shard", "all").
     Unknown names return [Error] with the available names. *)
 val run : fast:bool -> string -> (unit, string) result

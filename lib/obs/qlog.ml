@@ -11,6 +11,8 @@ type t = {
   mutex : Mutex.t;
 }
 
+type shard_counts = { fanout : int; pruned : int; degraded : int }
+
 type entry = {
   spec : string;
   digest : string;
@@ -21,6 +23,7 @@ type entry = {
   outcome : string;
   exit_code : int;
   domains : int;
+  shards : shard_counts option;
 }
 
 let open_log path =
@@ -62,6 +65,16 @@ let render_line ~seq entry =
          ("outcome", Json.Str entry.outcome);
          ("exit", Json.Num (float_of_int entry.exit_code));
          ("domains", Json.Num (float_of_int entry.domains));
+         ( "shards",
+           match entry.shards with
+           | None -> Json.Null
+           | Some s ->
+               Json.Obj
+                 [
+                   ("fanout", Json.Num (float_of_int s.fanout));
+                   ("pruned", Json.Num (float_of_int s.pruned));
+                   ("degraded", Json.Num (float_of_int s.degraded));
+                 ] );
          ( "deltas",
            Json.Obj
              (List.map
@@ -168,6 +181,7 @@ type aggregate = {
   by_path : (string * int) list;
   by_decision : (string * int) list;
   by_outcome : (string * int) list;
+  by_fanout : (int * int) list;
   top_by_duration : (int * string * float) list;
   top_by_pages : (int * string * int) list;
 }
@@ -199,6 +213,7 @@ let aggregate ?(top = 5) lines =
   let entries = ref 0 in
   let total = ref 0. in
   let paths = ref [] and decisions = ref [] and outcomes = ref [] in
+  let fanouts = ref [] in
   let by_duration = ref [] and by_pages = ref [] in
   List.iter
     (fun json ->
@@ -222,6 +237,14 @@ let aggregate ?(top = 5) lines =
           bump (str "path" "-") paths;
           bump (str "decision" "-") decisions;
           bump (str "outcome" "?") outcomes;
+          (* Only sharded queries carry a fanout; unsharded lines have
+             a null "shards" member and stay out of the breakdown. *)
+          (match Json.member "shards" json with
+          | Some (Json.Obj _ as s) -> (
+              match Json.member "fanout" s with
+              | Some (Json.Num f) -> bump (int_of_float f) fanouts
+              | _ -> ())
+          | _ -> ());
           by_duration := (seq, spec, duration_s) :: !by_duration;
           by_pages := (seq, spec, pages_of_deltas json) :: !by_pages
       | _ -> ())
@@ -245,6 +268,7 @@ let aggregate ?(top = 5) lines =
     by_path = descending_counts paths;
     by_decision = descending_counts decisions;
     by_outcome = descending_counts outcomes;
+    by_fanout = List.sort (fun (a, _) (b, _) -> compare a b) !fanouts;
     top_by_duration =
       take top
         (List.sort

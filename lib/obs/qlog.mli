@@ -25,6 +25,11 @@ type t
 (** An open query log: destination channel, sampling policy, sequence
     counter. Writes are serialised by an internal mutex. *)
 
+(** Scatter-gather accounting of a sharded query ([Simq_shard]): how
+    many shards executed, how many the catalogue pruned, how many
+    degraded to their per-shard scan. *)
+type shard_counts = { fanout : int; pruned : int; degraded : int }
+
 type entry = {
   spec : string;  (** human-readable query text, e.g. ["range mavg7 eps=0.4"] *)
   digest : string;  (** stable hex digest of the query identity *)
@@ -36,6 +41,9 @@ type entry = {
   outcome : string;  (** ["ok"] or the typed error kind *)
   exit_code : int;  (** the {!Simq_cli}-mapped exit code for the outcome *)
   domains : int;  (** domain count the query ran under *)
+  shards : shard_counts option;
+      (** sharded execution only; rendered as a nested ["shards"]
+          object ([null] on unsharded lines) *)
 }
 
 val create : ?sample:int -> ?slow_ms:float -> ?max_bytes:int -> string -> t
@@ -108,6 +116,9 @@ type aggregate = {
   by_path : (string * int) list;  (** path → count, descending *)
   by_decision : (string * int) list;
   by_outcome : (string * int) list;
+  by_fanout : (int * int) list;
+      (** shard fanout → count, ascending fanout; only lines with a
+          ["shards"] object participate *)
   top_by_duration : (int * string * float) list;
       (** (seq, spec, duration_s), slowest first *)
   top_by_pages : (int * string * int) list;

@@ -5,6 +5,7 @@ module Planner = Simq_tsindex.Planner
 module Join = Simq_tsindex.Join
 module Ql = Simq_tsindex.Ql
 module Spec = Simq_tsindex.Spec
+module Qlog = Simq_obs.Qlog
 module J = Simq_obs.Json
 
 let ( let* ) = Result.bind
@@ -16,22 +17,28 @@ type t = {
   noise : float;
   budget : Budget.t option;
   admission : Simq_admission.t option;
+  sharded : Simq_shard.t option;
   mutable stats : Planner.stats option;
   counters : Planner.counters;
 }
 
-let create ?(noise = 0.) ?budget ?admission index =
+let create ?(noise = 0.) ?budget ?admission ?shards index =
   {
     index;
     dataset = Kindex.dataset index;
     noise;
     budget;
     admission;
+    sharded =
+      Option.map
+        (fun k -> Simq_shard.create ~shards:k (Kindex.dataset index))
+        shards;
     stats = None;
     counters = Planner.create_counters ();
   }
 
 let index t = t.index
+let sharded t = t.sharded
 let counters t = t.counters
 
 (* A budget or an admission policy routes queries through the checked
@@ -75,9 +82,36 @@ let resolve_query_series dataset spec ~name ~noise =
 type note = {
   mutable note_path : string option;
   mutable note_decision : string option;
+  mutable note_shards : Qlog.shard_counts option;
 }
 
-let note () = { note_path = None; note_decision = None }
+let note () = { note_path = None; note_decision = None; note_shards = None }
+
+let note_report note (r : Simq_shard.report) =
+  note.note_shards <-
+    Some
+      {
+        Qlog.fanout = r.Simq_shard.fanout;
+        pruned = r.Simq_shard.pruned;
+        degraded = r.Simq_shard.degraded;
+      }
+
+(* Per-shard admission decisions fold into one logged decision:
+   reject > degrade_to_scan > admit (a query with one degraded and
+   three admitted shards logs as degraded). *)
+let decision_rank = function
+  | Simq_admission.Admit -> 0
+  | Simq_admission.Degrade_to_scan -> 1
+  | Simq_admission.Reject _ -> 2
+
+let note_shard_decision note =
+  let worst = ref None in
+  fun d ->
+    match !worst with
+    | Some w when decision_rank w >= decision_rank d -> ()
+    | _ ->
+      worst := Some d;
+      note.note_decision <- Some (Simq_admission.decision_name d)
 
 type outcome = {
   path : string option;
@@ -129,73 +163,136 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
     let* series =
       resolve_query_series t.dataset spec ~name:query ~noise:t.noise
     in
-    note.note_path <- Some "index";
-    let* (r : Kindex.range_result) =
-      match t.budget with
-      | None ->
-        Ok
-          (Kindex.range ~spec ?mean_window ?std_band ?profile t.index
-             ~query:series ~epsilon)
-      | Some budget ->
-        Result.map_error
-          (fun e -> Simq_cli.Fault e)
-          (Kindex.range_checked ~spec ?mean_window ?std_band ~budget ?profile
-             t.index ~query:series ~epsilon)
-    in
-    finish note
-      ~answers:(List.length r.Kindex.answers)
-      ~results:(answers_json r.Kindex.answers)
+    (match (t.sharded, t.budget) with
+    | Some sharded, None ->
+      (* Scatter-gather, unbudgeted: side constraints participate in
+         both the catalogue probe and the per-shard traversals. *)
+      note.note_path <- Some "shard";
+      let r =
+        Simq_shard.range ~spec ?mean_window ?std_band ?profile sharded
+          ~query:series ~epsilon
+      in
+      note_report note r.Simq_shard.report;
+      finish note
+        ~answers:(List.length r.Simq_shard.answers)
+        ~results:(answers_json r.Simq_shard.answers)
+    | _ ->
+      (* Side-constrained ranges under a budget run the monolithic
+         checked traversal even on a sharded engine: the per-shard
+         degradation scan does not model mean/std constraints. Both
+         executions are exact, so the answers are identical. *)
+      note.note_path <- Some "index";
+      let* (r : Kindex.range_result) =
+        match t.budget with
+        | None ->
+          Ok
+            (Kindex.range ~spec ?mean_window ?std_band ?profile t.index
+               ~query:series ~epsilon)
+        | Some budget ->
+          Result.map_error
+            (fun e -> Simq_cli.Fault e)
+            (Kindex.range_checked ~spec ?mean_window ?std_band ~budget
+               ?profile t.index ~query:series ~epsilon)
+      in
+      finish note
+        ~answers:(List.length r.Kindex.answers)
+        ~results:(answers_json r.Kindex.answers))
   | Ql.Range { spec; query; epsilon; _ } ->
     let budget = Option.value t.budget ~default:Budget.unlimited in
     let* series =
       resolve_query_series t.dataset spec ~name:query ~noise:t.noise
     in
-    let stats = Option.map (fun _ -> stats t) t.admission in
-    let outcome =
-      Planner.range_resilient ~spec ~budget ~counters:t.counters ?stats
-        ?admission:t.admission ?profile t.index ~query:series ~epsilon
-    in
-    (match outcome with
-    | Ok (r : Planner.resilient_result) ->
-      note.note_path <-
-        Some (Format.asprintf "%a" Planner.pp_plan r.Planner.executed);
-      note.note_decision <-
-        Option.map Simq_admission.decision_name r.Planner.admission;
-      finish note
-        ~answers:(List.length r.Planner.answers)
-        ~results:(answers_json r.Planner.answers)
-    | Error e ->
-      if Simq_fault.Error.kind e = "rejected" then
-        note.note_decision <- Some "reject";
-      fault e)
+    (match t.sharded with
+    | Some sharded ->
+      note.note_path <- Some "shard";
+      (match
+         Simq_shard.range_checked ~spec ~budget ?admission:t.admission
+           ~on_decision:(note_shard_decision note) ?profile sharded
+           ~query:series ~epsilon
+       with
+      | Ok r ->
+        note_report note r.Simq_shard.report;
+        finish note
+          ~answers:(List.length r.Simq_shard.answers)
+          ~results:(answers_json r.Simq_shard.answers)
+      | Error e ->
+        if Simq_fault.Error.kind e = "rejected" then
+          note.note_decision <- Some "reject";
+        fault e)
+    | None ->
+      let stats = Option.map (fun _ -> stats t) t.admission in
+      let outcome =
+        Planner.range_resilient ~spec ~budget ~counters:t.counters ?stats
+          ?admission:t.admission ?profile t.index ~query:series ~epsilon
+      in
+      (match outcome with
+      | Ok (r : Planner.resilient_result) ->
+        note.note_path <-
+          Some (Format.asprintf "%a" Planner.pp_plan r.Planner.executed);
+        note.note_decision <-
+          Option.map Simq_admission.decision_name r.Planner.admission;
+        finish note
+          ~answers:(List.length r.Planner.answers)
+          ~results:(answers_json r.Planner.answers)
+      | Error e ->
+        if Simq_fault.Error.kind e = "rejected" then
+          note.note_decision <- Some "reject";
+        fault e))
   | Ql.Nearest { k; spec; query; _ } when not (checked t) ->
     let* series =
       resolve_query_series t.dataset spec ~name:query ~noise:t.noise
     in
-    note.note_path <- Some "index";
-    let results = Kindex.nearest ~spec ?profile t.index ~query:series ~k in
-    finish note ~answers:(List.length results)
-      ~results:(answers_json results)
+    (match t.sharded with
+    | Some sharded ->
+      note.note_path <- Some "shard";
+      let r = Simq_shard.nearest ~spec ?profile sharded ~query:series ~k in
+      note_report note r.Simq_shard.nearest_report;
+      finish note
+        ~answers:(List.length r.Simq_shard.neighbours)
+        ~results:(answers_json r.Simq_shard.neighbours)
+    | None ->
+      note.note_path <- Some "index";
+      let results = Kindex.nearest ~spec ?profile t.index ~query:series ~k in
+      finish note ~answers:(List.length results)
+        ~results:(answers_json results))
   | Ql.Nearest { k; spec; query; _ } ->
     let budget = Option.value t.budget ~default:Budget.unlimited in
     let* series =
       resolve_query_series t.dataset spec ~name:query ~noise:t.noise
     in
-    note.note_path <- Some "index";
-    let outcome =
-      Kindex.nearest_checked ~spec ~budget ?admission:t.admission
-        ~on_decision:(fun d ->
-          note.note_decision <- Some (Simq_admission.decision_name d);
-          match d with
-          | Simq_admission.Degrade_to_scan -> note.note_path <- Some "scan"
-          | Simq_admission.Admit | Simq_admission.Reject _ -> ())
-        ?profile t.index ~query:series ~k
-    in
-    (match outcome with
-    | Ok results ->
-      finish note ~answers:(List.length results)
-        ~results:(answers_json results)
-    | Error e -> fault e)
+    (match t.sharded with
+    | Some sharded ->
+      note.note_path <- Some "shard";
+      (match
+         Simq_shard.nearest_checked ~spec ~budget ?admission:t.admission
+           ~on_decision:(note_shard_decision note) ?profile sharded
+           ~query:series ~k
+       with
+      | Ok r ->
+        note_report note r.Simq_shard.nearest_report;
+        finish note
+          ~answers:(List.length r.Simq_shard.neighbours)
+          ~results:(answers_json r.Simq_shard.neighbours)
+      | Error e ->
+        if Simq_fault.Error.kind e = "rejected" then
+          note.note_decision <- Some "reject";
+        fault e)
+    | None ->
+      note.note_path <- Some "index";
+      let outcome =
+        Kindex.nearest_checked ~spec ~budget ?admission:t.admission
+          ~on_decision:(fun d ->
+            note.note_decision <- Some (Simq_admission.decision_name d);
+            match d with
+            | Simq_admission.Degrade_to_scan -> note.note_path <- Some "scan"
+            | Simq_admission.Admit | Simq_admission.Reject _ -> ())
+          ?profile t.index ~query:series ~k
+      in
+      (match outcome with
+      | Ok results ->
+        finish note ~answers:(List.length results)
+          ~results:(answers_json results)
+      | Error e -> fault e))
   | Ql.Pairs { spec; epsilon; method_; _ } -> (
     note.note_path <-
       Some (match method_ with Ql.Index -> "index" | _ -> "scan");
@@ -204,18 +301,27 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
       usage
         "budgets (--deadline/--max-*) apply to RANGE, NEAREST and PAIRS \
          scan queries"
-    | Some budget, (Ql.Scan_full | Ql.Scan_early) -> (
+    | _, (Ql.Scan_full | Ql.Scan_early) when checked t -> (
+      (* Budgeted or vetted scan joins: admission (when the engine has
+         a policy) decides from the catalogue pair count before any
+         series is materialised. *)
+      let budget = Option.value t.budget ~default:Budget.unlimited in
       match
         Join.scan_checked ?pool:pairs_pool ~spec
-          ~abandon:(method_ = Ql.Scan_early) ~budget ?profile t.index
-          ~epsilon
+          ~abandon:(method_ = Ql.Scan_early) ~budget ?admission:t.admission
+          ~on_decision:(fun d ->
+            note.note_decision <- Some (Simq_admission.decision_name d))
+          ?profile t.index ~epsilon
       with
       | Ok (r : Join.result) ->
         finish note
           ~answers:(List.length r.Join.pairs)
           ~results:(pairs_json t.dataset r.Join.pairs)
-      | Error e -> fault e)
-    | None, _ ->
+      | Error e ->
+        if Simq_fault.Error.kind e = "rejected" then
+          note.note_decision <- Some "reject";
+        fault e)
+    | _, _ ->
       let (r : Join.result) =
         match method_ with
         | Ql.Scan_full ->

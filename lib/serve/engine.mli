@@ -16,25 +16,41 @@
     are exact, so for every query a checked engine {e admits or
     degrades}, the answers are bit-identical to the plain engine's —
     the invariant the stress harness verifies against a served
-    daemon. *)
+    daemon.
+
+    A {e sharded} engine ([?shards]) additionally partitions the
+    relation through {!Simq_shard} and routes RANGE/NEAREST through
+    the scatter-gather executor (catalogue pruning, per-shard
+    admission and degradation, deterministic merge); every sharded
+    execution is bit-identical to the corresponding unsharded one, so
+    the stress oracle needs no sharding awareness. Side-constrained
+    ranges under a budget are the one exception routed to the
+    monolithic checked traversal — the per-shard degradation scan does
+    not model mean/std constraints — and both executions are exact. *)
 
 type t
 
-(** [create ?noise ?budget ?admission index] wraps a built index.
-    [noise] perturbs every resolved query series as [simq query
+(** [create ?noise ?budget ?admission ?shards index] wraps a built
+    index. [noise] perturbs every resolved query series as [simq query
     --noise] does (default [0.]); [budget] bounds each executed query;
     [admission] vets each RANGE/NEAREST query against the cost model
-    before execution. The planner histogram backing admission is
-    collected from a fixed seed on first use, so engine decisions are
-    deterministic for a given registry state. *)
+    before execution; [shards] partitions the relation into that many
+    shards and answers RANGE/NEAREST by scatter-gather. The planner
+    histogram backing admission is collected from a fixed seed on
+    first use, so engine decisions are deterministic for a given
+    registry state. *)
 val create :
   ?noise:float ->
   ?budget:Simq_fault.Budget.t ->
   ?admission:Simq_admission.t ->
+  ?shards:int ->
   Simq_tsindex.Kindex.t ->
   t
 
 val index : t -> Simq_tsindex.Kindex.t
+
+(** The shard set behind a sharded engine ([None] on plain ones). *)
+val sharded : t -> Simq_shard.t option
 
 (** Shared degradation/rejection counters across every RANGE routed
     through the resilient planner by this engine. *)
@@ -62,7 +78,11 @@ val resolve_query_series :
     (a rejected query records its ["reject"] decision here). *)
 type note = {
   mutable note_path : string option;  (** access path actually executed *)
-  mutable note_decision : string option;  (** admission decision *)
+  mutable note_decision : string option;
+      (** admission decision; on a sharded engine the worst per-shard
+          decision (reject > degrade_to_scan > admit) *)
+  mutable note_shards : Simq_obs.Qlog.shard_counts option;
+      (** scatter-gather accounting, set on sharded executions *)
 }
 
 val note : unit -> note

@@ -100,7 +100,8 @@ let outcome_of_error (e : Simq_cli.error) =
   in
   (kind, Simq_cli.exit_code e)
 
-let log_query t ~spec ~decision ~path ~deltas ~duration_s ~outcome ~exit_code =
+let log_query t ~spec ~decision ~path ?shards ~deltas ~duration_s ~outcome
+    ~exit_code () =
   match t.qlog with
   | None -> ()
   | Some qlog ->
@@ -115,6 +116,7 @@ let log_query t ~spec ~decision ~path ~deltas ~duration_s ~outcome ~exit_code =
         outcome;
         exit_code;
         domains = Simq_parallel.Pool.domains (Simq_parallel.Pool.default ());
+        shards;
       }
 
 (* The load-shed path: refused through the admission policy before the
@@ -128,7 +130,7 @@ let shed_response t ~seq ~spec ~inflight ~limit =
   let outcome = Simq_fault.Error.kind e in
   let exit_code = Simq_cli.exit_code (Simq_cli.Fault e) in
   log_query t ~spec ~decision:(Some "reject") ~path:None ~deltas:[]
-    ~duration_s:0. ~outcome ~exit_code;
+    ~duration_s:0. ~outcome ~exit_code ();
   Protocol.error_line ~seq ~spec ~outcome ~exit_code ~message ()
 
 let run_query t ~seq ~profile ~spec =
@@ -173,8 +175,8 @@ let run_query t ~seq ~profile ~spec =
                 | `Escaped _ -> ("fault", 4)
               in
               log_query t ~spec ~decision:note.Engine.note_decision
-                ~path:note.Engine.note_path ~deltas ~duration_s ~outcome
-                ~exit_code;
+                ~path:note.Engine.note_path ?shards:note.Engine.note_shards
+                ~deltas ~duration_s ~outcome ~exit_code ();
               (result, duration_s))
         in
         Atomic.incr t.n_served;

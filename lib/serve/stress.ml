@@ -150,7 +150,7 @@ exception Client_gone
 let run_client ~chaos ~timeout ~host ~port ~seed ~cardinality ~per_client
     tally =
   let specs =
-    Simq_workload.Queries.spec_mix ~seed ~cardinality ~count:per_client
+    Simq_workload.Queries.spec_mix ~seed ~cardinality ~count:per_client ()
   in
   let rng = Random.State.make [| seed lxor 0x5f3759df |] in
   let conn = ref None in

@@ -1,0 +1,430 @@
+module Dataset = Simq_tsindex.Dataset
+module Kindex = Simq_tsindex.Kindex
+module Spec = Simq_tsindex.Spec
+module Seqscan = Simq_tsindex.Seqscan
+module Planner = Simq_tsindex.Planner
+module Feature = Simq_tsindex.Feature
+module Relation = Simq_storage.Relation
+module Rect = Simq_geometry.Rect
+module Rstar = Simq_rtree.Rstar
+module Pool = Simq_parallel.Pool
+module Budget = Simq_fault.Budget
+module Metrics = Simq_obs.Metrics
+module Otrace = Simq_obs.Trace
+module Profile = Simq_obs.Profile
+
+let m_queries =
+  Metrics.counter ~help:"Scatter-gather queries executed over sharded relations"
+    "simq_shard_queries_total"
+
+let m_fanout =
+  Metrics.counter ~help:"Shards executed by scatter-gather queries"
+    "simq_shard_fanout_total"
+
+let m_pruned =
+  Metrics.counter
+    ~help:"Shards pruned by their catalogue box before touching any page"
+    "simq_shard_pruned_total"
+
+let m_degraded =
+  Metrics.counter ~help:"Shards answered by their own per-shard scan"
+    "simq_shard_degraded_total"
+
+type shard = {
+  ordinal : int;
+  lo : int;  (* first global id owned, inclusive *)
+  hi : int;  (* past the last, exclusive *)
+  sdataset : Dataset.t;  (* own relation, hence own buffer pool *)
+  sindex : Kindex.t;  (* own R*-tree *)
+  box : Rect.t;  (* catalogue: min/max box of the shard's feature points *)
+  mutable sstats : Planner.stats option;  (* per-shard calibration, lazy *)
+  m_executed : Metrics.counter;  (* this shard's labelled metrics child *)
+}
+
+type t = { parent : Dataset.t; parts : shard array }
+
+let create ?pool ?(config = Feature.default) ?(max_fill = 32) ~shards dataset =
+  if shards < 1 then invalid_arg "Simq_shard.create: shards must be >= 1";
+  let n = Dataset.cardinality dataset in
+  let k = Int.min shards n in
+  let entries = Dataset.entries dataset in
+  let name = Relation.name (Dataset.relation dataset) in
+  let base = n / k and rem = n mod k in
+  let mk ordinal =
+    let lo = (ordinal * base) + Int.min ordinal rem in
+    let width = base + if ordinal < rem then 1 else 0 in
+    let series =
+      Array.init width (fun i -> entries.(lo + i).Dataset.series)
+    in
+    let sdataset =
+      Dataset.of_series ?pool ~name:(Printf.sprintf "%s/shard%d" name ordinal)
+        series
+    in
+    let sindex = Kindex.build ~config ~max_fill sdataset in
+    let box =
+      Rect.of_points
+        (Array.to_list
+           (Array.map (Feature.point config) (Dataset.entries sdataset)))
+    in
+    {
+      ordinal;
+      lo;
+      hi = lo + width;
+      sdataset;
+      sindex;
+      box;
+      sstats = None;
+      m_executed =
+        Metrics.counter ~help:"Queries executed against this shard"
+          ~labels:[ ("shard", string_of_int ordinal) ]
+          "simq_shard_executed_total";
+    }
+  in
+  { parent = dataset; parts = Array.init k mk }
+
+let shards t = Array.length t.parts
+let dataset t = t.parent
+let bounds t i = (t.parts.(i).lo, t.parts.(i).hi)
+let catalogue_box t i = t.parts.(i).box
+let shard_index t i = t.parts.(i).sindex
+let shard_dataset t i = t.parts.(i).sdataset
+
+type report = { shards : int; fanout : int; pruned : int; degraded : int }
+
+(* Shard ids are local (dense 0..width-1); global id = lo + local. The
+   parent entry is returned so answers are physically the entries an
+   unsharded query yields. *)
+let globalise t s answers =
+  List.map
+    (fun ((e : Dataset.entry), d) -> (Dataset.get t.parent (s.lo + e.Dataset.id), d))
+    answers
+
+let probe_of ?spec ?normalise_query ?mean_window ?std_band t ~query ~epsilon =
+  (* Any shard's index carries the config and series length shared by
+     all of them; the probe itself is tree-independent. *)
+  Kindex.range_probe ?spec ?normalise_query ?mean_window ?std_band
+    t.parts.(0).sindex ~query ~epsilon
+
+let survivors ?spec ?normalise_query ?mean_window ?std_band t ~query ~epsilon =
+  let probe =
+    probe_of ?spec ?normalise_query ?mean_window ?std_band t ~query ~epsilon
+  in
+  Array.map (fun s -> probe s.box) t.parts
+
+type range_result = {
+  answers : (Dataset.entry * float) list;
+  candidates : int;
+  node_accesses : int;
+  report : report;
+}
+
+(* What the gather learns about one shard of the scatter. *)
+type 'a run = {
+  r_payload : 'a;
+  r_rows : int;  (* per-shard answers before the merge *)
+  r_candidates : int;
+  r_nodes : int;
+  r_scan : bool;  (* answered by the shard's own scan *)
+}
+
+(* Metrics and profile for one finished scatter, on the coordinating
+   domain after the merge (deterministic at every domain count). *)
+let finish ?profile t ~op ~(runs : _ run option array) ~rows_out =
+  let k = Array.length t.parts in
+  let fanout = ref 0 and degraded = ref 0 and rows_in = ref 0 in
+  Array.iter
+    (fun r ->
+      match r with
+      | None -> ()
+      | Some r ->
+        incr fanout;
+        rows_in := !rows_in + r.r_rows;
+        if r.r_scan then incr degraded)
+    runs;
+  let report =
+    { shards = k; fanout = !fanout; pruned = k - !fanout; degraded = !degraded }
+  in
+  Metrics.incr m_queries;
+  Metrics.add m_fanout report.fanout;
+  Metrics.add m_pruned report.pruned;
+  Metrics.add m_degraded report.degraded;
+  Array.iteri
+    (fun i r -> if Option.is_some r then Metrics.incr t.parts.(i).m_executed)
+    runs;
+  (match profile with
+  | None -> ()
+  | Some _ ->
+    let ps = Profile.enter profile "shard.scatter" in
+    Profile.set_detail ps
+      (Printf.sprintf "%s shards=%d fanout=%d pruned=%d degraded=%d" op
+         report.shards report.fanout report.pruned report.degraded);
+    Array.iteri
+      (fun i r ->
+        let pc = Profile.enter profile (Printf.sprintf "shard.%d" i) in
+        (match r with
+        | None -> Profile.set_detail pc "pruned"
+        | Some r ->
+          Profile.set_detail pc (if r.r_scan then "scan" else "index");
+          Profile.add_pages pc r.r_nodes;
+          Profile.add_candidates pc r.r_candidates;
+          Profile.add_rows_out pc r.r_rows);
+        Profile.leave profile pc)
+      runs;
+    Profile.leave profile ps;
+    let pg = Profile.enter profile "shard.gather" in
+    Profile.set_detail pg op;
+    Profile.add_rows_in pg !rows_in;
+    Profile.add_rows_out pg rows_out;
+    Profile.leave profile pg);
+  report
+
+let gather_range ?profile t runs =
+  let answers =
+    (* Contiguous id blocks in shard order: concatenation is already
+       globally sorted by entry id, like the unsharded traversal. *)
+    List.concat_map
+      (function None -> [] | Some r -> r.r_payload)
+      (Array.to_list runs)
+  in
+  let candidates =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some r -> acc + r.r_candidates)
+      0 runs
+  and node_accesses =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some r -> acc + r.r_nodes)
+      0 runs
+  in
+  let report = finish ?profile t ~op:"range" ~runs ~rows_out:(List.length answers) in
+  { answers; candidates; node_accesses; report }
+
+let range ?pool ?spec ?normalise_query ?mean_window ?std_band ?profile t
+    ~query ~epsilon =
+  let probe =
+    probe_of ?spec ?normalise_query ?mean_window ?std_band t ~query ~epsilon
+  in
+  let keep = Array.map (fun s -> probe s.box) t.parts in
+  Otrace.with_span "shard.scatter" @@ fun () ->
+  let runs =
+    (* One task per surviving shard; a task touches only its own
+       shard's tree and buffer pool, so tasks share no mutable state
+       and the per-shard results are position-stable. *)
+    Pool.map_array ?pool
+      (fun s ->
+        if not keep.(s.ordinal) then None
+        else begin
+          let r =
+            Kindex.range ?spec ?normalise_query ?mean_window ?std_band
+              s.sindex ~query ~epsilon
+          in
+          Some
+            {
+              r_payload = globalise t s r.Kindex.answers;
+              r_rows = List.length r.Kindex.answers;
+              r_candidates = r.Kindex.candidates;
+              r_nodes = r.Kindex.node_accesses;
+              r_scan = false;
+            }
+        end)
+      t.parts
+  in
+  gather_range ?profile t runs
+
+(* A shard abandoned by both its index path and its fallback scan: the
+   typed error surfaces as the whole query's (deterministically — the
+   pool re-raises from the lowest chunk). *)
+exception Shard_failed of Simq_fault.Error.t
+
+(* The per-shard range calibration: the shard's own sampled histogram,
+   collected at most once (from the coordinating domain, during the
+   admission pre-flight). *)
+let shard_stats s =
+  match s.sstats with
+  | Some stats -> stats
+  | None ->
+    let stats = Planner.collect s.sdataset in
+    s.sstats <- Some stats;
+    stats
+
+let shard_workload s ~selectivity =
+  {
+    Simq_admission.cardinality = Dataset.cardinality s.sdataset;
+    pages = Relation.pages (Dataset.relation s.sdataset);
+    tree_size = Rstar.size (Kindex.tree s.sindex);
+    tree_height = Rstar.height (Kindex.tree s.sindex);
+    selectivity;
+  }
+
+(* Decide every surviving shard before any of them executes, in shard
+   order, each against its own workload description. Returns the first
+   rejection, or the per-shard decisions. *)
+let preflight ?admission ~budget ~keep ~selectivity t =
+  match admission with
+  | None -> Ok (Array.map (fun _ -> None) t.parts)
+  | Some policy ->
+    let decisions =
+      Array.map
+        (fun s ->
+          if not keep.(s.ordinal) then None
+          else
+            Some
+              (Simq_admission.decide policy
+                 (shard_workload s ~selectivity:(selectivity s))
+                 ~prefer:Simq_admission.Index_path ~budget))
+        t.parts
+    in
+    (match
+       Array.find_map
+         (function Some (Simq_admission.Reject r) -> Some r | _ -> None)
+         decisions
+     with
+    | Some r -> Error (Simq_admission.error_of_reject r)
+    | None -> Ok decisions)
+
+let notify_decisions ?on_decision decisions =
+  match on_decision with
+  | None -> ()
+  | Some f -> Array.iter (function None -> () | Some d -> f d) decisions
+
+let range_checked ?pool ?spec ?(budget = Budget.unlimited) ?retry ?admission
+    ?on_decision ?profile t ~query ~epsilon =
+  let probe = probe_of ?spec t ~query ~epsilon in
+  let keep = Array.map (fun s -> probe s.box) t.parts in
+  let selectivity s =
+    Planner.selectivity (shard_stats s) ~epsilon
+  in
+  match preflight ?admission ~budget ~keep ~selectivity t with
+  | Error e -> Error e
+  | Ok decisions ->
+    notify_decisions ?on_decision decisions;
+    let scan s =
+      (* The shard's own degradation path: exact, over the shard's
+         dataset and buffer pool, sequential within the shard (the
+         scatter already owns the pool's domains). *)
+      match
+        Seqscan.range_checked ~pool:Pool.sequential ?spec ~budget ?retry
+          s.sdataset ~query ~epsilon
+      with
+      | Ok r ->
+        {
+          r_payload = globalise t s r.Seqscan.answers;
+          r_rows = List.length r.Seqscan.answers;
+          r_candidates = Dataset.cardinality s.sdataset;
+          r_nodes = 0;
+          r_scan = true;
+        }
+      | Error e -> raise (Shard_failed e)
+    in
+    let task s =
+      if not keep.(s.ordinal) then None
+      else
+        Some
+          (match decisions.(s.ordinal) with
+          | Some Simq_admission.Degrade_to_scan -> scan s
+          | _ -> (
+            match
+              Kindex.range_checked ?spec ~budget ?retry s.sindex ~query
+                ~epsilon
+            with
+            | Ok r ->
+              {
+                r_payload = globalise t s r.Kindex.answers;
+                r_rows = List.length r.Kindex.answers;
+                r_candidates = r.Kindex.candidates;
+                r_nodes = r.Kindex.node_accesses;
+                r_scan = false;
+              }
+            | Error _ -> scan s))
+    in
+    (try
+       Otrace.with_span "shard.scatter" @@ fun () ->
+       Ok (gather_range ?profile t (Pool.map_array ?pool task t.parts))
+     with Shard_failed e -> Error e)
+
+type nearest_result = {
+  neighbours : (Dataset.entry * float) list;
+  nearest_report : report;
+}
+
+(* The canonical NN order: distance first, entry id breaking ties —
+   the order the degraded linear selection uses, deterministic at
+   every K and domain count. *)
+let by_distance ((a : Dataset.entry), da) ((b : Dataset.entry), db) =
+  match Float.compare da db with
+  | 0 -> compare a.Dataset.id b.Dataset.id
+  | c -> c
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let gather_nearest ?profile t ~k runs =
+  let neighbours =
+    (* Union of per-shard top-k contains the global top-k (each shard's
+       list is exact for its entries); the k-way merge is a sort in
+       canonical order over at most K·k pairs. *)
+    List.concat_map
+      (function None -> [] | Some r -> r.r_payload)
+      (Array.to_list runs)
+    |> List.sort by_distance |> take k
+  in
+  let report =
+    finish ?profile t ~op:(Printf.sprintf "nearest k=%d" k) ~runs
+      ~rows_out:(List.length neighbours)
+  in
+  { neighbours; nearest_report = report }
+
+let nn_run t s answers =
+  {
+    r_payload = globalise t s answers;
+    r_rows = List.length answers;
+    r_candidates = List.length answers;
+    r_nodes = 0;
+    r_scan = false;
+  }
+
+let nearest ?pool ?spec ?normalise_query ?profile t ~query ~k =
+  if k <= 0 then invalid_arg "Simq_shard.nearest: k must be positive";
+  Otrace.with_span "shard.scatter" @@ fun () ->
+  let runs =
+    Pool.map_array ?pool
+      (fun s ->
+        Some
+          (nn_run t s (Kindex.nearest ?spec ?normalise_query s.sindex ~query ~k)))
+      t.parts
+  in
+  gather_nearest ?profile t ~k runs
+
+let nearest_checked ?pool ?spec ?(budget = Budget.unlimited) ?retry ?admission
+    ?on_decision ?profile t ~query ~k =
+  if k <= 0 then invalid_arg "Simq_shard.nearest_checked: k must be positive";
+  let keep = Array.map (fun _ -> true) t.parts in
+  let selectivity s =
+    let cardinality = Dataset.cardinality s.sdataset in
+    Float.min 1. (float_of_int k /. float_of_int cardinality)
+  in
+  match preflight ?admission ~budget ~keep ~selectivity t with
+  | Error e -> Error e
+  | Ok decisions ->
+    notify_decisions ?on_decision decisions;
+    let scan s =
+      match Kindex.nearest_scan ?spec ~budget ?retry s.sindex ~query ~k with
+      | Ok answers -> { (nn_run t s answers) with r_scan = true }
+      | Error e -> raise (Shard_failed e)
+    in
+    let task s =
+      Some
+        (match decisions.(s.ordinal) with
+        | Some Simq_admission.Degrade_to_scan -> scan s
+        | _ -> (
+          match
+            Kindex.nearest_checked ?spec ~budget ?retry s.sindex ~query ~k
+          with
+          | Ok answers -> nn_run t s answers
+          | Error _ -> scan s))
+    in
+    (try
+       Otrace.with_span "shard.scatter" @@ fun () ->
+       Ok (gather_nearest ?profile t ~k (Pool.map_array ?pool task t.parts))
+     with Shard_failed e -> Error e)

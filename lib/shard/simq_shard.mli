@@ -1,0 +1,222 @@
+(** Sharded scatter-gather execution: one relation partitioned into K
+    shards, each owning its own dataset, R*-tree, buffer pool and
+    labelled metrics shard, queried through a scatter-gather executor
+    that prunes shards by catalogue bounds {e before touching any
+    page} — the way TSseek routes similarity queries to distributed
+    time-series partitions.
+
+    {b Partitioning.} The partitioner is deterministic: entry ids are
+    split into K contiguous blocks in id order (block [i] holds
+    [n / K] entries, the first [n mod K] blocks one more), so the same
+    dataset and K always produce the same shards, and the range
+    merge — per-shard answer lists concatenated in shard order — comes
+    out globally sorted by entry id, exactly as the unsharded
+    traversal returns it. [K] is clamped to the cardinality, so no
+    shard is ever empty.
+
+    {b Catalogue pruning.} Each shard records the min/max box of its
+    feature points (the 2k+2 index dimensions). A query probes every
+    box with {!Simq_tsindex.Kindex.range_probe} — the very test the
+    R-tree traversal applies to node MBRs — before anything executes.
+    Lemma 1 makes the probe conservative: a pruned shard can hold no
+    answer, so pruning never changes the result, and a pruned shard
+    executes nothing — its tree, buffer pool and per-shard counter
+    stay untouched.
+
+    {b Determinism.} Surviving shards fan out over a
+    {!Simq_parallel.Pool}, one task per shard; no two tasks share
+    mutable state (each touches only its own tree and pool). Answers,
+    per-query counters and the merged metric totals are bit-identical
+    to the unsharded run of the same query at every K and every domain
+    count: range answers by the ordered union above, NN answers by a
+    k-way merge of per-shard top-k lists in canonical
+    (distance, entry id) order. Answer entries are the {e parent}
+    dataset's — physically the entries an unsharded query returns.
+
+    {b Resilience.} The checked entry points decide admission {e per
+    shard} (each shard's own catalogue facts and calibration) before
+    any shard executes: one rejecting shard rejects the whole query
+    with nothing run. A shard that trips the fault layer mid-query
+    degrades to its own per-shard scan — degrading that shard only,
+    never failing the query; the exact answer still comes back.
+
+    Every query bumps the [simq_shard_queries_total] /
+    [simq_shard_fanout_total] / [simq_shard_pruned_total] /
+    [simq_shard_degraded_total] counters, and each executed shard its
+    [simq_shard_executed_total{shard="i"}] child — all on the
+    coordinating domain, after the gather. *)
+
+type t
+
+(** [create ~shards dataset] partitions [dataset]. Each shard gets its
+    own backing relation (hence buffer pool), prepared dataset,
+    R*-tree over [config] (default {!Simq_tsindex.Feature.default}),
+    catalogue box and labelled metrics child; the per-shard builds fan
+    out their per-entry work over [pool]. [shards] above the
+    cardinality is clamped; [shards < 1] raises [Invalid_argument]. *)
+val create :
+  ?pool:Simq_parallel.Pool.t ->
+  ?config:Simq_tsindex.Feature.config ->
+  ?max_fill:int ->
+  shards:int ->
+  Simq_tsindex.Dataset.t ->
+  t
+
+(** [shards t] is the effective shard count K. *)
+val shards : t -> int
+
+(** [dataset t] is the parent dataset the answers' entries belong to. *)
+val dataset : t -> Simq_tsindex.Dataset.t
+
+(** [bounds t i] is shard [i]'s contiguous global-id block as
+    [(lo, hi)], [lo] inclusive, [hi] exclusive. *)
+val bounds : t -> int -> int * int
+
+(** [catalogue_box t i] is the min/max box of shard [i]'s feature
+    points — what the scatter probes before touching the shard. *)
+val catalogue_box : t -> int -> Simq_geometry.Rect.t
+
+(** [shard_index t i] / [shard_dataset t i] expose shard [i]'s own
+    index and dataset for inspection and invariant checking (the
+    shard's backing relation — its buffer pool — is
+    [Dataset.relation (shard_dataset t i)]). *)
+val shard_index : t -> int -> Simq_tsindex.Kindex.t
+
+val shard_dataset : t -> int -> Simq_tsindex.Dataset.t
+
+(** What the gather reports about one scatter. *)
+type report = {
+  shards : int;  (** effective shard count K *)
+  fanout : int;  (** shards that executed *)
+  pruned : int;  (** shards refused by their catalogue box *)
+  degraded : int;  (** executed shards answered by their own scan *)
+}
+
+(** [survivors t ?spec ~query ~epsilon] is the catalogue plan of the
+    corresponding {!range}: element [i] tells whether shard [i]'s box
+    meets the search region (probing reads no page). Argument
+    validation raises [Invalid_argument] like {!range}. *)
+val survivors :
+  ?spec:Simq_tsindex.Spec.t ->
+  ?normalise_query:bool ->
+  ?mean_window:float ->
+  ?std_band:float ->
+  t ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  bool array
+
+type range_result = {
+  answers : (Simq_tsindex.Dataset.entry * float) list;
+      (** parent-dataset entries within ε, globally sorted by id —
+          bit-identical to the unsharded traversal's *)
+  candidates : int;
+      (** summed over executed shards, in shard order; a scan-degraded
+          shard contributes its cardinality *)
+  node_accesses : int;  (** summed over executed shards (0 for scans) *)
+  report : report;
+}
+
+(** [range t ?spec ~query ~epsilon] scatters the range query of
+    {!Simq_tsindex.Kindex.range} over the surviving shards and gathers
+    the ordered union. Side constraints ([mean_window]/[std_band])
+    participate in both the probe and the per-shard traversals. With
+    [?profile] the gather records a [shard.scatter] node (one
+    [shard.i] child per shard: its fate — [pruned], [index] or
+    [scan] — pages, candidates and rows) and a [shard.gather] node
+    (rows in = per-shard answers, rows out = merged answers), on the
+    coordinating domain after the merge, so the recorded structure is
+    identical at every domain count. *)
+val range :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Simq_tsindex.Spec.t ->
+  ?normalise_query:bool ->
+  ?mean_window:float ->
+  ?std_band:float ->
+  ?profile:Simq_obs.Profile.t ->
+  t ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  range_result
+
+(** [range_checked t ?budget ?retry ?admission ~query ~epsilon] is
+    {!range} under the fault layer, shard by shard.
+
+    With [?admission], every surviving shard is vetted {e before any
+    shard executes} — {!Simq_admission.decide} on the shard's own
+    catalogue facts and selectivity histogram (collected lazily, once
+    per shard), in shard order, each decision counted in the
+    [simq_admission_decisions_total] family and reported to
+    [on_decision]. Decisions are pure functions of catalogue metadata,
+    the budget and a registry snapshot — identical at every domain
+    count. One [Reject] rejects the whole query with the typed
+    [Rejected] error and {e nothing executed}: every execution-side
+    counter family stays at zero. A [Degrade_to_scan] sends that shard
+    (only) straight to its scan.
+
+    Each executing shard runs {!Simq_tsindex.Kindex.range_checked}
+    against its own tree with a fresh state of [budget] (limits are
+    per shard-attempt, like retries); a shard whose index path fails —
+    budget exhausted or transient faults outlasting [retry] — degrades
+    to its own {!Simq_tsindex.Seqscan.range_checked} over the shard
+    dataset, degrading that shard only. [Error] is returned only when
+    a shard's fallback itself fails. *)
+val range_checked :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Simq_tsindex.Spec.t ->
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?admission:Simq_admission.t ->
+  ?on_decision:(Simq_admission.decision -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
+  t ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  (range_result, Simq_fault.Error.t) Result.t
+
+type nearest_result = {
+  neighbours : (Simq_tsindex.Dataset.entry * float) list;
+      (** the k nearest parent-dataset entries in canonical
+          (distance, entry id) order *)
+  nearest_report : report;  (** NN prunes nothing: fanout = K *)
+}
+
+(** [nearest t ?spec ~query ~k] scatters
+    {!Simq_tsindex.Kindex.nearest} over every shard (an NN query has
+    no radius to prune on until answers exist, so all K execute) and
+    k-way-merges the per-shard top-k lists in (distance, entry id)
+    order — the same exact answer set as the unsharded traversal, in
+    the canonical order the degraded NN path uses. Records the same
+    [shard.scatter]/[shard.gather] profile nodes as {!range}. Raises
+    [Invalid_argument] when [k <= 0] or on a query-length mismatch. *)
+val nearest :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Simq_tsindex.Spec.t ->
+  ?normalise_query:bool ->
+  ?profile:Simq_obs.Profile.t ->
+  t ->
+  query:Simq_series.Series.t ->
+  k:int ->
+  nearest_result
+
+(** [nearest_checked t ?budget ?retry ?admission ~query ~k] is
+    {!nearest} under the fault layer, with the same per-shard
+    contract as {!range_checked}: every shard vetted before any
+    executes (the NN workload uses the shard's exact answer fraction
+    [k / cardinality] as its selectivity), one [Reject] refusing the
+    whole query with nothing run, [Degrade_to_scan] and mid-flight
+    index failures degrading that shard (only) to the exact linear
+    selection of {!Simq_tsindex.Kindex.nearest_scan}. The merge is
+    exact whichever mix of paths answered the shards. *)
+val nearest_checked :
+  ?pool:Simq_parallel.Pool.t ->
+  ?spec:Simq_tsindex.Spec.t ->
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?admission:Simq_admission.t ->
+  ?on_decision:(Simq_admission.decision -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
+  t ->
+  query:Simq_series.Series.t ->
+  k:int ->
+  (nearest_result, Simq_fault.Error.t) Result.t

@@ -134,11 +134,35 @@ let scan_early_abandon ?pool ?(spec = Spec.Identity) ?profile kindex ~epsilon =
   scan ?pool ?profile ~abandon:true kindex spec epsilon
 
 let scan_checked ?pool ?(spec = Spec.Identity) ?(abandon = true)
-    ?(budget = Budget.unlimited) ?retry ?on_retry ?profile kindex ~epsilon =
+    ?(budget = Budget.unlimited) ?retry ?on_retry ?admission ?on_decision
+    ?profile kindex ~epsilon =
   if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
-  Retry.with_retries ?policy:retry ?on_retry (fun () ->
-      let bstate = Budget.state_opt budget in
-      scan ?pool ?bstate ?profile ~abandon kindex spec epsilon)
+  (* Admission runs once, before any comparison: the join's comparison
+     count n (n - 1) / 2 is a catalogue fact, so the decision is a pure
+     function of the budget and a registry snapshot — identical at
+     every domain count. *)
+  let decision =
+    match admission with
+    | None -> None
+    | Some policy ->
+      let n = Dataset.cardinality (Kindex.dataset kindex) in
+      let d =
+        Simq_admission.decide_pairs policy
+          ~comparisons:(n * (n - 1) / 2)
+          ~budget
+      in
+      (match on_decision with Some f -> f d | None -> ());
+      Some d
+  in
+  match decision with
+  | Some (Simq_admission.Reject reject) ->
+    (* Refused before execution: no transformed normal or spectrum is
+       materialised, no comparison runs. *)
+    Error (Simq_admission.error_of_reject reject)
+  | Some Simq_admission.Admit | Some Simq_admission.Degrade_to_scan | None ->
+    Retry.with_retries ?policy:retry ?on_retry (fun () ->
+        let bstate = Budget.state_opt budget in
+        scan ?pool ?bstate ?profile ~abandon kindex spec epsilon)
 
 (* One index range query per sequence; the transformation (when present)
    applies to both the stored side (via the transformed traversal) and

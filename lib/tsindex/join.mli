@@ -54,7 +54,18 @@ val scan_early_abandon :
     so a blown comparison limit or deadline yields a typed error
     instead of an exception (with an unlimited budget the result is
     bit-identical to the unchecked scan). [retry]/[on_retry] follow
-    {!Simq_fault.Retry.with_retries}. *)
+    {!Simq_fault.Retry.with_retries}.
+
+    With [?admission] the join is vetted {e before} execution by
+    {!Simq_admission.decide_pairs}: the comparison count
+    [n (n - 1) / 2] is a catalogue fact, so the decision is a pure
+    function of the budget and a registry snapshot — identical at
+    every domain count, and counted in the
+    [simq_admission_decisions_total] family. A [Reject] returns the
+    typed [Rejected] error with nothing executed (no transformed
+    normal or spectrum materialised, no comparison run); an [Admit]
+    runs the scan unchanged, bit-identical to an admission-off call.
+    [on_decision] observes the decision (for query logs). *)
 val scan_checked :
   ?pool:Simq_parallel.Pool.t ->
   ?spec:Spec.t ->
@@ -62,6 +73,8 @@ val scan_checked :
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?admission:Simq_admission.t ->
+  ?on_decision:(Simq_admission.decision -> unit) ->
   ?profile:Simq_obs.Profile.t ->
   Kindex.t ->
   epsilon:float ->

@@ -119,6 +119,43 @@ let full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () =
   in
   Array.append feature_region [| of_range mean_range; of_range std_range |]
 
+(* Transformed overlap/membership tests, dimension by dimension with no
+   intermediate rectangles or points (the traversal's hot path). Data
+   entries of the k-index are degenerate rectangles whose [lo] corner is
+   the feature point. The overlap test is also the catalogue probe of
+   {!range_probe}: applied to any box that bounds a set of feature
+   points it is exactly the test the traversal applies to a node MBR,
+   so pruning by it is as safe as the tree's own pruning (Lemma 1). *)
+let region_tests region ptransform =
+  match ptransform with
+  | None ->
+    ( (fun r -> Region.intersects_rect region r),
+      fun (r : Rect.t) (_ : int) -> Region.contains region r.Rect.lo )
+  | Some tr ->
+    let a = tr.Linear_transform.a and b = tr.Linear_transform.b in
+    let dims = Array.length a in
+    let overlaps (r : Rect.t) =
+      let rec go i =
+        i >= dims
+        ||
+        let lo = (a.(i) *. r.Rect.lo.(i)) +. b.(i) in
+        let hi = (a.(i) *. r.Rect.hi.(i)) +. b.(i) in
+        let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+        Region.meets_interval region.(i) ~lo ~hi && go (i + 1)
+      in
+      go 0
+    in
+    let matches (r : Rect.t) (_ : int) =
+      let p = r.Rect.lo in
+      let rec go i =
+        i >= dims
+        || Region.contains_value region.(i) ((a.(i) *. p.(i)) +. b.(i))
+           && go (i + 1)
+      in
+      go 0
+    in
+    (overlaps, matches)
+
 (* The engine behind every range query, with node accesses counted
    locally (never written to the tree) so read-only queries can run
    concurrently from several domains; {!range_prepared} credits the
@@ -129,40 +166,7 @@ let range_prepared_counted ?mean_range ?std_range ?bstate ?profile t prepared
   if Array.length query_coeffs <> t.config.Feature.k then
     invalid_arg "Kindex.range_prepared: expected k query coefficients";
   let region = full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () in
-  (* Transformed overlap/membership tests, dimension by dimension with
-     no intermediate rectangles or points (the traversal's hot path). *)
-  (* Data entries of the k-index are degenerate rectangles whose [lo]
-     corner is the feature point. *)
-  let overlaps, matches =
-    match prepared.ptransform with
-    | None ->
-      ( (fun r -> Region.intersects_rect region r),
-        fun (r : Rect.t) (_ : int) -> Region.contains region r.Rect.lo )
-    | Some tr ->
-      let a = tr.Linear_transform.a and b = tr.Linear_transform.b in
-      let dims = Array.length a in
-      let overlaps (r : Rect.t) =
-        let rec go i =
-          i >= dims
-          ||
-          let lo = (a.(i) *. r.Rect.lo.(i)) +. b.(i) in
-          let hi = (a.(i) *. r.Rect.hi.(i)) +. b.(i) in
-          let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
-          Region.meets_interval region.(i) ~lo ~hi && go (i + 1)
-        in
-        go 0
-      in
-      let matches (r : Rect.t) (_ : int) =
-        let p = r.Rect.lo in
-        let rec go i =
-          i >= dims
-          || Region.contains_value region.(i) ((a.(i) *. p.(i)) +. b.(i))
-             && go (i + 1)
-        in
-        go 0
-      in
-      (overlaps, matches)
-  in
+  let overlaps, matches = region_tests region prepared.ptransform in
   Otrace.with_span "kindex.range" @@ fun () ->
   let pn = Profile.enter profile "kindex.range" in
   Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
@@ -322,6 +326,15 @@ let range_checked ?(spec = Spec.Identity) ?(normalise_query = true)
       Rstar.add_accesses t.tree result.node_accesses;
       result)
 
+let range_probe ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
+    ?std_band t ~query ~epsilon =
+  if epsilon < 0. then invalid_arg "Kindex.range_probe: negative epsilon";
+  let mean_range, std_range, _, query_coeffs, prepared =
+    range_request ?mean_window ?std_band ~normalise_query t spec query
+  in
+  let region = full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () in
+  fst (region_tests region prepared.ptransform)
+
 (* --- query batches -------------------------------------------------------- *)
 
 let range_batch ?pool ?profiles ?(spec = Spec.Identity)
@@ -452,7 +465,7 @@ let nearest ?(spec = Spec.Identity) ?(normalise_query = true) ?profile t
    comparison and one logical page read per series. Ties at the [k]
    boundary break on the entry id, so the selection is deterministic
    at every domain count. *)
-let nearest_scan ?bstate ?profile t ~dist ~k =
+let nearest_scan_counted ?bstate ?profile t ~dist ~k =
   let pn = Profile.enter profile "kindex.nearest-scan" in
   Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
   Otrace.with_span "kindex.nearest-scan" @@ fun () ->
@@ -480,6 +493,17 @@ let nearest_scan ?bstate ?profile t ~dist ~k =
   Profile.add_candidates pn (Array.length scored);
   Profile.add_rows_out pn n;
   Array.to_list (Array.sub scored 0 n)
+
+let nearest_scan ?(spec = Spec.Identity) ?(normalise_query = true)
+    ?(budget = Budget.unlimited) ?retry ?on_retry ?profile t ~query ~k =
+  check_query_length t spec query;
+  if k <= 0 then invalid_arg "Kindex.nearest_scan: k must be positive";
+  let q = Dataset.prepare_query ~normalise:normalise_query query in
+  let prepared = prepare t spec in
+  let dist = prepared_distance t prepared q in
+  Retry.with_retries ?policy:retry ?on_retry (fun () ->
+      let bstate = Budget.state_opt budget in
+      nearest_scan_counted ?bstate ?profile t ~dist ~k)
 
 (* What admission control knows about an NN query before running it:
    catalogue metadata only, and the exact answer fraction k/N in place
@@ -545,7 +569,7 @@ let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
     finish
       (Retry.with_retries ?policy:retry ?on_retry (fun () ->
            let bstate = Budget.state_opt budget in
-           nearest_scan ?bstate ?profile t ~dist ~k))
+           nearest_scan_counted ?bstate ?profile t ~dist ~k))
   | Some Simq_admission.Admit | None ->
     finish
       (Retry.with_retries ?policy:retry ?on_retry (fun () ->

@@ -105,6 +105,27 @@ val range_checked :
   epsilon:float ->
   (range_result, Simq_fault.Error.t) Result.t
 
+(** [range_probe t ?spec ~query ~epsilon] is the pruning predicate of
+    the corresponding {!range} traversal, detached from the tree: it
+    answers whether a bounding box of feature points (a node MBR, or a
+    shard's min/max catalogue box in {!module:Simq_shard}) can hold a
+    candidate — the same transformed per-dimension interval test the
+    traversal applies to every node. Lemma 1 makes it conservative: a
+    box it refuses holds no feature point matching the search region,
+    hence no candidate, hence no answer. Building and applying the
+    predicate reads no page and visits no node. Argument validation
+    (query length, negative ε, side-constraint ranges) raises
+    [Invalid_argument] like {!range}. *)
+val range_probe :
+  ?spec:Spec.t ->
+  ?normalise_query:bool ->
+  ?mean_window:float ->
+  ?std_band:float ->
+  t ->
+  query:Simq_series.Series.t ->
+  epsilon:float ->
+  (Simq_geometry.Rect.t -> bool)
+
 (** [range_batch t ?pool ?profiles ?spec ~queries] answers a whole
     workload of [(query, epsilon)] pairs — the serving path for many
     concurrent users, run through {!Simq_parallel.Batch}. The
@@ -133,6 +154,28 @@ val nearest :
   ?spec:Spec.t -> ?normalise_query:bool -> ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t -> k:int -> (Dataset.entry * float) list
+
+(** [nearest_scan t ?spec ?budget ?retry ~query ~k] answers the same
+    query as {!nearest} through an exact linear selection over the
+    prepared entries — the degraded NN path, exposed so callers (the
+    scatter-gather executor of {!module:Simq_shard}) can degrade one
+    partition without an admission verdict. Priced like the scan path:
+    one comparison and one logical page read per series against
+    [budget]; ties at the [k] boundary break on the entry id, so the
+    selection is deterministic at every domain count. Returns the
+    answers (closest first) or a typed error; each retry attempt gets a
+    fresh budget state. *)
+val nearest_scan :
+  ?spec:Spec.t ->
+  ?normalise_query:bool ->
+  ?budget:Simq_fault.Budget.t ->
+  ?retry:Simq_fault.Retry.policy ->
+  ?on_retry:(attempt:int -> unit) ->
+  ?profile:Simq_obs.Profile.t ->
+  t ->
+  query:Simq_series.Series.t ->
+  k:int ->
+  ((Dataset.entry * float) list, Simq_fault.Error.t) Result.t
 
 (** [nearest_checked t ?spec ?budget ?retry ?admission ~query ~k] is
     {!nearest} under a {!Simq_fault.Budget} and bounded

@@ -359,6 +359,10 @@ let qlog_entry ~spec ~epsilon ~query ~pool ~duration_s result =
     exit_code;
     domains =
       Pool.domains (match pool with Some p -> p | None -> Pool.default ());
+    (* The resilient planner runs one monolithic index; scatter-gather
+       queries are logged by their own callers with the gather's
+       report. *)
+    shards = None;
   }
 
 let range_resilient ?pool ?spec ?stats ?budget ?retry ?counters ?validate

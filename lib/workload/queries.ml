@@ -10,14 +10,31 @@ let threshold_for_count distances ~count =
   Array.sort Float.compare sorted;
   sorted.(count - 1)
 
-let spec_mix ~seed ~cardinality ~count =
+let spec_mix ?(skew = 0.) ~seed ~cardinality ~count () =
   if cardinality < 1 then
     invalid_arg "Queries.spec_mix: cardinality must be >= 1";
   if count < 0 then invalid_arg "Queries.spec_mix: count must be >= 0";
+  if skew < 0. || skew > 1. then
+    invalid_arg "Queries.spec_mix: skew must be in [0, 1]";
   let state = Random.State.make [| seed |] in
+  (* Skewed draws come from a side stream, so skew = 0 leaves the main
+     stream — and therefore the historical workload — byte-identical. *)
+  let skew_state = Random.State.make [| seed; 7919 |] in
+  let band = max 1 (cardinality / 8) in
   (* Bind every random draw before formatting: argument evaluation
      order must not decide the stream. *)
-  let query () = Printf.sprintf "s%d" (Random.State.int state cardinality) in
+  let query () =
+    let id = Random.State.int state cardinality in
+    let id =
+      if skew > 0. && Random.State.float skew_state 1. < skew then
+        (* A clustered key range: the query ids collapse into one
+           narrow band of the id space, the non-uniform access pattern
+           that lets contiguous-block shards prune. *)
+        Random.State.int skew_state band
+      else id
+    in
+    Printf.sprintf "s%d" id
+  in
   let using () =
     match Random.State.int state 5 with
     | 0 | 1 -> ""

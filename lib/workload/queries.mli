@@ -16,18 +16,26 @@ val perturb :
     range. *)
 val threshold_for_count : float array -> count:int -> float
 
-(** [spec_mix ~seed ~cardinality ~count] is a deterministic mixed
-    workload of [count] query-language spec strings against a relation
-    of [cardinality] series named [r] — roughly 60% RANGE (with
-    occasional MEAN/STD side constraints), 30% NEAREST and 10%
+(** [spec_mix ?skew ~seed ~cardinality ~count ()] is a deterministic
+    mixed workload of [count] query-language spec strings against a
+    relation of [cardinality] series named [r] — roughly 60% RANGE
+    (with occasional MEAN/STD side constraints), 30% NEAREST and 10%
     early-abandoning PAIRS, under a mix of [id]/[rev]/[mavg]/[wma]
     transformations (windows up to 7, so any series length >= 16 is
     safe). Query series are named [sN] with [N < cardinality] — the
-    [simq query]/[simq serve] convention. The same [seed] always
-    yields the same list (seed service workloads from
-    [Bench_util.derived_seed]). Raises [Invalid_argument] when
-    [cardinality < 1] or [count < 0]. *)
-val spec_mix : seed:int -> cardinality:int -> count:int -> string list
+    [simq query]/[simq serve] convention. [skew] (default [0.], range
+    [0, 1]) redirects that fraction of the query ids into one narrow
+    band ([cardinality/8] wide) of the id space — the clustered key
+    ranges under which sharded execution ([Simq_shard]) shows
+    catalogue pruning; the skewed draws come from a side PRNG stream,
+    so [skew = 0.] yields byte-identical workloads to earlier
+    releases. The same [seed] always yields the same list (seed
+    service workloads from [Bench_util.derived_seed]). Raises
+    [Invalid_argument] when [cardinality < 1], [count < 0] or [skew]
+    is outside [0, 1]. *)
+val spec_mix :
+  ?skew:float -> seed:int -> cardinality:int -> count:int -> unit ->
+  string list
 
 (** [epsilon_for_answer_size ~normals ~query ~target] calibrates ε so a
     range query on the normal forms returns [target] answers: the

@@ -297,6 +297,41 @@ let test_admission_decision_metric_counts () =
   Alcotest.(check int) "reject counted" 1 (total "reject");
   Alcotest.(check int) "degrade not counted" 0 (total "degrade_to_scan")
 
+(* --- join integration ------------------------------------------------------ *)
+
+(* The scan join's n (n - 1) / 2 comparison count is a catalogue fact:
+   a comparison limit below it rejects before any series is
+   materialised, a limit above it admits a run bit-identical to the
+   admission-off scan. *)
+let test_join_scan_admission () =
+  let n = Dataset.cardinality dataset in
+  let comparisons = n * (n - 1) / 2 in
+  let epsilon = 2.0 in
+  let plain = Join.scan_early_abandon ~pool:Pool.sequential index ~epsilon in
+  (match
+     Join.scan_checked ~pool:Pool.sequential
+       ~budget:(Budget.create ~max_comparisons:(comparisons - 1) ())
+       ~admission:(fresh_policy ())
+       ~on_decision:(fun d ->
+         Alcotest.(check string)
+           "decision reported" "reject" (Admission.decision_name d))
+       index ~epsilon
+   with
+  | Error (Error.Rejected _) -> ()
+  | Error e -> Alcotest.failf "expected Rejected, got %s" (Error.kind e)
+  | Ok _ -> Alcotest.fail "an over-cap join must be rejected");
+  match
+    Join.scan_checked ~pool:Pool.sequential
+      ~budget:(Budget.create ~max_comparisons:comparisons ())
+      ~admission:(fresh_policy ()) index ~epsilon
+  with
+  | Ok r ->
+    Alcotest.(check bool) "pairs bit-identical" true
+      (r.Join.pairs = plain.Join.pairs);
+    Alcotest.(check int) "distance computations"
+      plain.Join.distance_computations r.Join.distance_computations
+  | Error e -> Alcotest.failf "a fitting join must run: %s" (Error.kind e)
+
 let () =
   Alcotest.run "simq_admission"
     [
@@ -329,5 +364,7 @@ let () =
             `Quick test_decisions_identical_at_every_domain_count;
           Alcotest.test_case "decision metric counts" `Quick
             test_admission_decision_metric_counts;
+          Alcotest.test_case "join scan admission" `Quick
+            test_join_scan_admission;
         ] );
     ]

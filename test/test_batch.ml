@@ -295,6 +295,7 @@ let test_qlog_rotation () =
       outcome = "ok";
       exit_code = 0;
       domains = 1;
+      shards = None;
     }
   in
   let line_bytes = String.length (Qlog.render_line ~seq:0 (entry 0)) + 1 in

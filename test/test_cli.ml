@@ -264,6 +264,7 @@ let test_with_obs_dumps_profile_qlog_state_on_error () =
                 outcome = "usage";
                 exit_code = 1;
                 domains = 1;
+                shards = None;
               };
             Result.Error (Cli.Usage "boom"))
       in

@@ -222,7 +222,8 @@ let prop_profile_well_formed =
 
 (* --- Qlog ------------------------------------------------------------- *)
 
-let sample_entry ?(duration_s = 0.004) ?(outcome = "ok") ?(exit_code = 0) () =
+let sample_entry ?(duration_s = 0.004) ?(outcome = "ok") ?(exit_code = 0)
+    ?shards () =
   {
     Qlog.spec = "range mavg7 eps=0.4";
     digest = "0123456789ab";
@@ -233,6 +234,7 @@ let sample_entry ?(duration_s = 0.004) ?(outcome = "ok") ?(exit_code = 0) () =
     outcome;
     exit_code;
     domains = 2;
+    shards;
   }
 
 let test_qlog_line_grammar () =
@@ -275,6 +277,7 @@ let prop_qlog_lines_parse =
           outcome = "ok";
           exit_code = 0;
           domains = 4;
+          shards = None;
         }
       in
       match Json.parse (Qlog.render_line ~seq:3 entry) with
@@ -348,6 +351,9 @@ let test_qlog_aggregate () =
         outcome = (if path = "scan" then "ok" else "ok");
         exit_code = 0;
         domains = 1;
+        shards =
+          (if path = "scan" then None
+           else Some { Qlog.fanout = 2; pruned = 1; degraded = 0 });
       }
   in
   let lines =
@@ -368,6 +374,8 @@ let test_qlog_aggregate () =
   Alcotest.(check int) "entries (non-qlog skipped)" 3 agg.Qlog.entries;
   Alcotest.(check (list (pair string int)))
     "by path descending" [ ("index", 2); ("scan", 1) ] agg.Qlog.by_path;
+  Alcotest.(check (list (pair int int)))
+    "by fanout (unsharded lines stay out)" [ (2, 2) ] agg.Qlog.by_fanout;
   (match agg.Qlog.top_by_duration with
   | (1, "q1", _) :: (2, "q2", _) :: [] -> ()
   | _ -> Alcotest.fail "slowest first, top 2 kept");

@@ -1,0 +1,467 @@
+(* The sharded scatter-gather layer (Simq_shard): sharded execution is
+   invisible — range and NN answers bit-identical to the unsharded
+   traversal under every Spec, shard count and domain count, with
+   per-query counters and merged metric totals invariant in the domain
+   count; catalogue pruning never drops a qualifying shard and a pruned
+   shard executes nothing; a fault-tripped shard degrades to its own
+   scan without losing the answer; per-shard admission decides
+   identically at every domain count, one rejecting shard rejects the
+   whole query with nothing executed, and an admitted run is
+   bit-identical to an admission-off run. *)
+
+module Pool = Simq_parallel.Pool
+module Shard = Simq_shard
+module Metrics = Simq_obs.Metrics
+module Injector = Simq_fault.Injector
+module Budget = Simq_fault.Budget
+module Error = Simq_fault.Error
+module Admission = Simq_admission
+open Simq_tsindex
+module Generator = Simq_series.Generator
+
+let pools =
+  [ (1, Pool.sequential); (2, Pool.create ~domains:2); (4, Pool.create ~domains:4) ]
+
+let shard_counts = [ 1; 2; 7 ]
+
+let dataset_of ~seed ~count ~n =
+  Dataset.of_series ~pool:Pool.sequential ~name:"test"
+    (Generator.random_walks ~seed ~count ~n)
+
+let query_for dataset spec seed =
+  let entries = Dataset.entries dataset in
+  let base = entries.(seed mod Array.length entries) in
+  let state = Random.State.make [| seed |] in
+  let perturbed =
+    Array.map
+      (fun v -> v +. Random.State.float state 2. -. 1.)
+      base.Dataset.series
+  in
+  match spec with
+  | Spec.Warp m -> Simq_series.Warp.expand m perturbed
+  | _ -> perturbed
+
+let spec_of_index i =
+  match i mod 5 with
+  | 0 -> Spec.Identity
+  | 1 -> Spec.Moving_average 3
+  | 2 -> Spec.Moving_average 8
+  | 3 -> Spec.Reverse
+  | _ -> Spec.Warp 2
+
+let pairs answers =
+  List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) answers
+
+let ids answers =
+  List.map (fun ((e : Dataset.entry), _) -> e.Dataset.id) answers
+
+(* NN answers in canonical (distance, entry id) order, whatever order
+   the compared traversal returned them in. *)
+let canon answers =
+  List.sort compare
+    (List.map (fun ((e : Dataset.entry), d) -> (d, e.Dataset.id)) answers)
+
+let fresh_policy () = Admission.create ~registry:(Metrics.create_registry ()) ()
+
+(* Clustered sinusoid blocks, contiguous in id order (the partitioner's
+   layout), so per-shard catalogue boxes separate and pruning has
+   something to refuse. *)
+let clustered_batch ~seed ~count ~n ~clusters =
+  let state = Random.State.make [| seed |] in
+  Array.init count (fun i ->
+      let c = i * clusters / count in
+      let freq = float_of_int ((c mod 3) + 1) in
+      let use_cos = c / 3 mod 2 = 1 in
+      let sign = if c / 6 mod 2 = 1 then -1. else 1. in
+      Array.init n (fun t ->
+          let a = 2. *. Float.pi *. freq *. float_of_int t /. float_of_int n in
+          (sign *. 3. *. (if use_cos then cos a else sin a))
+          +. Random.State.float state 0.2 -. 0.1))
+
+let clustered_dataset ~clusters ~count ~n =
+  Dataset.of_series ~pool:Pool.sequential ~name:"clustered"
+    (clustered_batch ~seed:99 ~count ~n ~clusters)
+
+(* --- sharded ≡ unsharded (QCheck, under Spec variation) --------------------- *)
+
+let arb_setup =
+  QCheck.make
+    ~print:(fun (seed, eps, qseed) ->
+      Printf.sprintf "seed=%d eps=%g qseed=%d" seed eps qseed)
+    QCheck.Gen.(
+      let* seed = int_range 0 1000 in
+      let* eps = float_range 0.1 15. in
+      let* qseed = int_range 0 1000 in
+      return (seed, eps, qseed))
+
+let shard_metric_families =
+  [
+    "simq_shard_queries_total"; "simq_shard_fanout_total";
+    "simq_shard_pruned_total"; "simq_shard_degraded_total";
+    "simq_kindex_candidates_total"; "simq_buffer_pool_hits_total";
+    "simq_buffer_pool_misses_total";
+  ]
+
+let prop_sharded_eq_unsharded =
+  QCheck.Test.make
+    ~name:"sharded ≡ unsharded under Spec x K x domains; totals invariant"
+    ~count:6 arb_setup (fun (seed, epsilon, qseed) ->
+      let d = dataset_of ~seed ~count:60 ~n:32 in
+      let spec = spec_of_index qseed in
+      let query = query_for d spec qseed in
+      let index = Kindex.build d in
+      let expected = pairs (Kindex.range ~spec index ~query ~epsilon).Kindex.answers in
+      let expected_nn = canon (Kindex.nearest ~spec index ~query ~k:5) in
+      List.iter
+        (fun shards ->
+          let sh = Shard.create ~pool:Pool.sequential ~shards d in
+          let counters = ref None and totals = ref None in
+          List.iter
+            (fun (domains, pool) ->
+              let label fmt =
+                Printf.ksprintf
+                  (fun s -> Printf.sprintf "%s K=%d domains=%d" s shards domains)
+                  fmt
+              in
+              let r = ref None in
+              let run_totals =
+                Metrics.with_enabled true (fun () ->
+                    Metrics.reset ();
+                    r := Some (Shard.range ~pool ~spec sh ~query ~epsilon);
+                    List.map
+                      (fun f -> Metrics.counter_total (Metrics.counter f))
+                      shard_metric_families)
+              in
+              let r = Option.get !r in
+              Alcotest.(check (list (pair int (float 0.))))
+                (label "range answers") expected (pairs r.Shard.answers);
+              let c =
+                ( r.Shard.candidates, r.Shard.node_accesses,
+                  r.Shard.report.Shard.fanout, r.Shard.report.Shard.pruned )
+              in
+              (match !counters with
+              | None -> counters := Some c
+              | Some expected ->
+                Alcotest.(check (pair (pair int int) (pair int int)))
+                  (label "counters domain-invariant")
+                  ((let a, b, x, y = expected in ((a, b), (x, y))))
+                  (let a, b, x, y = c in ((a, b), (x, y))));
+              (match !totals with
+              | None -> totals := Some run_totals
+              | Some expected ->
+                Alcotest.(check (list int))
+                  (label "merged totals domain-invariant")
+                  expected run_totals);
+              let nn = Shard.nearest ~pool ~spec sh ~query ~k:5 in
+              Alcotest.(check (list (pair (float 0.) int)))
+                (label "nn answers") expected_nn (canon nn.Shard.neighbours);
+              Alcotest.(check (list (pair (float 0.) int)))
+                (label "nn canonical order")
+                (canon nn.Shard.neighbours)
+                (List.map
+                   (fun ((e : Dataset.entry), dist) -> (dist, e.Dataset.id))
+                   nn.Shard.neighbours);
+              match
+                Shard.range_checked ~pool ~spec sh ~query ~epsilon
+              with
+              | Ok rc ->
+                Alcotest.(check (list (pair int (float 0.))))
+                  (label "checked range ≡ plain") expected
+                  (pairs rc.Shard.answers)
+              | Error e ->
+                Alcotest.failf "%s: unexpected error %s"
+                  (label "checked range") (Error.kind e))
+            pools)
+        shard_counts;
+      true)
+
+(* --- catalogue pruning ------------------------------------------------------ *)
+
+(* Lemma 1 conservatism at the shard catalogue: a shard whose own
+   traversal finds answers must survive the probe. *)
+let test_pruning_never_drops_a_qualifying_shard () =
+  let clusters = 8 in
+  let d = clustered_dataset ~clusters ~count:64 ~n:32 in
+  let sh = Shard.create ~pool:Pool.sequential ~shards:clusters d in
+  let state = Random.State.make [| 7 |] in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun epsilon ->
+          for c = 0 to clusters - 1 do
+            let base = (Dataset.get d (c * 8)).Dataset.series in
+            let query =
+              let p = Simq_workload.Queries.perturb state base ~amount:0.05 in
+              match spec with
+              | Spec.Warp m -> Simq_series.Warp.expand m p
+              | _ -> p
+            in
+            let survivors = Shard.survivors ~spec sh ~query ~epsilon in
+            for i = 0 to Shard.shards sh - 1 do
+              let own =
+                Kindex.range ~spec (Shard.shard_index sh i) ~query ~epsilon
+              in
+              if own.Kindex.answers <> [] then
+                Alcotest.(check bool)
+                  (Printf.sprintf
+                     "cluster %d eps=%g shard %d holds answers, survives" c
+                     epsilon i)
+                  true survivors.(i)
+            done
+          done)
+        [ 0.5; 2.0; 8.0 ])
+    [ Spec.Identity; Spec.Moving_average 3 ]
+
+let test_pruned_shards_execute_nothing () =
+  let clusters = 8 in
+  let d = clustered_dataset ~clusters ~count:64 ~n:32 in
+  let sh = Shard.create ~pool:Pool.sequential ~shards:clusters d in
+  let query =
+    Simq_workload.Queries.perturb
+      (Random.State.make [| 8 |])
+      (Dataset.get d 0).Dataset.series ~amount:0.05
+  in
+  let epsilon = 0.5 in
+  let survivors = Shard.survivors sh ~query ~epsilon in
+  Alcotest.(check bool) "something is pruned" true
+    (Array.exists not survivors);
+  Metrics.with_enabled true (fun () ->
+      Metrics.reset ();
+      let r = Shard.range ~pool:Pool.sequential sh ~query ~epsilon in
+      Alcotest.(check int) "report counts the pruned shards"
+        (Array.length (Array.of_seq
+           (Seq.filter not (Array.to_seq survivors))))
+        r.Shard.report.Shard.pruned;
+      Array.iteri
+        (fun i alive ->
+          let executed =
+            Metrics.counter_total
+              (Metrics.counter
+                 ~labels:[ ("shard", string_of_int i) ]
+                 "simq_shard_executed_total")
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "shard %d executed counter" i)
+            (if alive then 1 else 0)
+            executed)
+        survivors)
+
+(* --- degradation ------------------------------------------------------------ *)
+
+(* An always-firing node-access injector on one shard's tree: its index
+   path cannot run, so the checked scatter answers that shard through
+   its own scan — that shard only, and the answer ids are still exact
+   (the scan's distance accumulation differs from the traversal's only
+   in the last ulp). *)
+let with_faulty_shard sh i f =
+  let tree = Kindex.tree (Shard.shard_index sh i) in
+  let injector =
+    Injector.create
+      ~node_accesses:(Injector.transient ~probability:1. ())
+      ~seed:4242 ()
+  in
+  Simq_rtree.Rstar.set_injector tree (Some injector);
+  Fun.protect ~finally:(fun () -> Simq_rtree.Rstar.set_injector tree None) f
+
+let test_degraded_shard_still_exact () =
+  let d = dataset_of ~seed:31 ~count:60 ~n:32 in
+  let index = Kindex.build d in
+  let query = query_for d Spec.Identity 31 in
+  let epsilon = 12.0 in
+  let expected = Kindex.range index ~query ~epsilon in
+  let sh = Shard.create ~pool:Pool.sequential ~shards:4 d in
+  with_faulty_shard sh 1 (fun () ->
+      List.iter
+        (fun (domains, pool) ->
+          match Shard.range_checked ~pool sh ~query ~epsilon with
+          | Ok r ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "range ids domains=%d" domains)
+              (ids expected.Kindex.answers)
+              (ids r.Shard.answers);
+            List.iter2
+              (fun (_, a) (_, b) ->
+                Alcotest.(check (float 1e-9))
+                  (Printf.sprintf "range distance domains=%d" domains)
+                  a b)
+              (pairs expected.Kindex.answers)
+              (pairs r.Shard.answers);
+            Alcotest.(check int)
+              (Printf.sprintf "one degraded shard domains=%d" domains)
+              1 r.Shard.report.Shard.degraded;
+            Alcotest.(check int)
+              (Printf.sprintf "full fanout domains=%d" domains)
+              4 r.Shard.report.Shard.fanout
+          | Error e ->
+            Alcotest.failf "domains=%d: degraded query failed: %s" domains
+              (Error.kind e))
+        pools)
+
+(* The NN traversal's degradation path is admission-driven (its
+   best-first loop charges the budget itself rather than consulting the
+   tree injector): a zero node-access budget sends every shard to the
+   exact linear selection, and the merge must still be the unsharded
+   answer. *)
+let test_degraded_shard_nearest_still_exact () =
+  let d = dataset_of ~seed:32 ~count:60 ~n:32 in
+  let index = Kindex.build d in
+  let query = query_for d Spec.Identity 32 in
+  let expected = canon (Kindex.nearest index ~query ~k:5) in
+  let sh = Shard.create ~pool:Pool.sequential ~shards:4 d in
+  List.iter
+    (fun (domains, pool) ->
+      match
+        Shard.nearest_checked ~pool
+          ~budget:(Budget.create ~max_node_accesses:0 ())
+          ~admission:(fresh_policy ()) sh ~query ~k:5
+      with
+      | Ok r ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "nn ids domains=%d" domains)
+          (List.map snd expected)
+          (List.map snd (canon r.Shard.neighbours));
+        List.iter2
+          (fun (a, _) (b, _) ->
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "nn distance domains=%d" domains)
+              a b)
+          expected
+          (canon r.Shard.neighbours);
+        Alcotest.(check int)
+          (Printf.sprintf "every shard degraded domains=%d" domains)
+          (Shard.shards sh) r.Shard.nearest_report.Shard.degraded;
+        Alcotest.(check int)
+          (Printf.sprintf "full fanout domains=%d" domains)
+          (Shard.shards sh) r.Shard.nearest_report.Shard.fanout
+      | Error e ->
+        Alcotest.failf "domains=%d: degraded NN failed: %s" domains
+          (Error.kind e))
+    pools
+
+(* --- per-shard admission ---------------------------------------------------- *)
+
+let starved_budget () = Budget.create ~max_page_reads:0 ~max_node_accesses:0 ()
+let degrade_budget () = Budget.create ~max_node_accesses:0 ()
+
+let roomy_budget () =
+  Budget.create ~max_page_reads:100_000 ~max_comparisons:100_000
+    ~max_node_accesses:100_000 ()
+
+let test_one_rejecting_shard_rejects_everything () =
+  let d = dataset_of ~seed:33 ~count:60 ~n:32 in
+  let sh = Shard.create ~pool:Pool.sequential ~shards:4 d in
+  let query = query_for d Spec.Identity 33 in
+  Metrics.with_enabled true (fun () ->
+      Metrics.reset ();
+      (match
+         Shard.range_checked ~pool:Pool.sequential
+           ~budget:(starved_budget ())
+           ~admission:(fresh_policy ()) sh ~query ~epsilon:8.0
+       with
+      | Error (Error.Rejected _) -> ()
+      | Error e -> Alcotest.failf "expected Rejected, got %s" (Error.kind e)
+      | Ok _ -> Alcotest.fail "a starved budget must be rejected");
+      List.iter
+        (fun family ->
+          Alcotest.(check int)
+            (family ^ " untouched")
+            0
+            (Metrics.counter_total (Metrics.counter family)))
+        [
+          "simq_shard_queries_total"; "simq_shard_fanout_total";
+          "simq_buffer_pool_hits_total"; "simq_buffer_pool_misses_total";
+          "simq_kindex_candidates_total"; "simq_rtree_node_accesses_total";
+        ];
+      Array.iteri
+        (fun i _ ->
+          Alcotest.(check int)
+            (Printf.sprintf "shard %d never executed" i)
+            0
+            (Metrics.counter_total
+               (Metrics.counter
+                  ~labels:[ ("shard", string_of_int i) ]
+                  "simq_shard_executed_total")))
+        (Array.make (Shard.shards sh) ()))
+
+let test_admission_decisions_identical_at_every_domain_count () =
+  let d = dataset_of ~seed:34 ~count:60 ~n:32 in
+  let sh = Shard.create ~pool:Pool.sequential ~shards:4 d in
+  let query = query_for d Spec.Identity 34 in
+  let budgets =
+    [ starved_budget (); degrade_budget (); roomy_budget () ]
+  in
+  let outcomes_at (_, pool) =
+    let policy = fresh_policy () in
+    List.concat_map
+      (fun budget ->
+        let decisions = ref [] in
+        let outcome =
+          match
+            Shard.range_checked ~pool ~budget ~admission:policy
+              ~on_decision:(fun dec ->
+                decisions := Admission.decision_name dec :: !decisions)
+              sh ~query ~epsilon:8.0
+          with
+          | Ok r -> Ok (pairs r.Shard.answers, r.Shard.report.Shard.degraded)
+          | Error e -> Result.Error (Error.kind e)
+        in
+        [ (List.rev !decisions, outcome) ])
+      budgets
+  in
+  let reference = outcomes_at (List.hd pools) in
+  List.iter
+    (fun (domains, _ as p) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "decisions and outcomes at %d domains" domains)
+        true
+        (outcomes_at p = reference))
+    (List.tl pools)
+
+let test_admitted_run_bit_identical_to_admission_off () =
+  let d = dataset_of ~seed:35 ~count:60 ~n:32 in
+  let sh = Shard.create ~pool:Pool.sequential ~shards:4 d in
+  let query = query_for d Spec.Identity 35 in
+  let plain = Shard.range ~pool:Pool.sequential sh ~query ~epsilon:8.0 in
+  match
+    Shard.range_checked ~pool:Pool.sequential ~budget:(roomy_budget ())
+      ~admission:(fresh_policy ()) sh ~query ~epsilon:8.0
+  with
+  | Ok r ->
+    Alcotest.(check (list (pair int (float 0.))))
+      "answers bit-identical" (pairs plain.Shard.answers)
+      (pairs r.Shard.answers);
+    Alcotest.(check int) "candidates" plain.Shard.candidates r.Shard.candidates;
+    Alcotest.(check int) "node accesses" plain.Shard.node_accesses
+      r.Shard.node_accesses;
+    Alcotest.(check int) "nothing degraded" 0 r.Shard.report.Shard.degraded
+  | Error e -> Alcotest.failf "roomy budget must complete: %s" (Error.kind e)
+
+let () =
+  Alcotest.run "simq_shard"
+    [
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest prop_sharded_eq_unsharded ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "never drops a qualifying shard" `Quick
+            test_pruning_never_drops_a_qualifying_shard;
+          Alcotest.test_case "pruned shards execute nothing" `Quick
+            test_pruned_shards_execute_nothing;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "degraded shard still exact (range)" `Quick
+            test_degraded_shard_still_exact;
+          Alcotest.test_case "degraded shard still exact (nearest)" `Quick
+            test_degraded_shard_nearest_still_exact;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "one rejecting shard rejects everything" `Quick
+            test_one_rejecting_shard_rejects_everything;
+          Alcotest.test_case "decisions identical at every domain count"
+            `Quick test_admission_decisions_identical_at_every_domain_count;
+          Alcotest.test_case "admitted run bit-identical to admission-off"
+            `Quick test_admitted_run_bit_identical_to_admission_off;
+        ] );
+    ]

@@ -6,9 +6,12 @@
 # batch run (a workload file in, one JSON line per query out, with
 # metrics, a sampled query log and a --from-qlog replay), a live
 # scrape of the TCP exposition endpoint while a bench run is serving
-# it, and a simq serve daemon on an ephemeral port driven through a
+# it, a simq serve daemon on an ephemeral port driven through a
 # chaotic stress session (good, malformed and disconnecting clients),
-# scraped live, shut down in-band, with the drained dumps checked.
+# scraped live, shut down in-band, with the drained dumps checked, and
+# the sharded executor: a --shards query checked bit-identical to the
+# unsharded run, a sharded batch, and a sharded daemon verified by
+# stress with its qlog aggregated by fanout.
 #
 # Two modes:
 #   tools/smoke.sh                full standalone run: dune build @all,
@@ -175,6 +178,46 @@ grep -q 'batch: 3 queries (3 ok, 0 failed)' replay.err || {
   exit 1
 }
 
+echo "== sharded query: fanout report, shard metrics, unsharded parity"
+"$simq" query smoke.rel "RANGE FROM r QUERY s0 EPS 2.5" >plain.out
+"$simq" query smoke.rel "RANGE FROM r QUERY s0 EPS 2.5" \
+  --shards 4 --metrics shard.prom >shard.out
+grep -q '(4 shards: fanout' shard.out || {
+  echo "smoke: sharded query printed no scatter-gather report" >&2
+  cat shard.out >&2
+  exit 1
+}
+[ "$(grep ' distance ' shard.out)" = "$(grep ' distance ' plain.out)" ] || {
+  echo "smoke: sharded answers differ from the unsharded run" >&2
+  diff plain.out shard.out >&2 || true
+  exit 1
+}
+grep -q '^# TYPE simq_shard' shard.prom || {
+  echo "smoke: simq_shard family missing from the sharded exposition" >&2
+  exit 1
+}
+grep -q '^simq_shard_queries_total 1' shard.prom || {
+  echo "smoke: sharded query not counted in the exposition" >&2
+  exit 1
+}
+
+echo "== sharded batch: every executed spec takes the shard path"
+"$simq" batch smoke.rel batch.specs --shards 4 --jobs 2 \
+  -o shardbatch.jsonl --metrics shardbatch.prom 2>shardbatch.err
+grep -q 'batch: 5 queries (4 ok, 1 failed)' shardbatch.err || {
+  echo "smoke: sharded batch summary line wrong or missing" >&2
+  cat shardbatch.err >&2
+  exit 1
+}
+[ "$(grep -c '"path":"shard"' shardbatch.jsonl)" -eq 4 ] || {
+  echo "smoke: expected all 4 ok lines to report the shard path" >&2
+  exit 1
+}
+grep -q '^simq_shard_queries_total 4' shardbatch.prom || {
+  echo "smoke: sharded batch queries not counted in the exposition" >&2
+  exit 1
+}
+
 echo "== live scrape of a serving bench run"
 "$bench" --fast --metrics-port 0 2>serve.err &
 bench_pid=$!
@@ -272,6 +315,54 @@ grep -q '"event":"simq.metrics-state"' daemon.state || {
 "$simq" qlog-top daemon.qlog >daemon.top
 grep -q 'top by duration:' daemon.top || {
   echo "smoke: the daemon qlog does not aggregate" >&2
+  exit 1
+}
+
+echo "== sharded serve: --shards daemon verified by stress, qlog by fanout"
+"$simq" serve smoke.rel --shards 4 --qlog sharded.qlog 2>sharded.err &
+sharded_pid=$!
+sharded_port=
+i=0
+while [ -z "$sharded_port" ]; do
+  sharded_port=$(sed -n 's!.*serving queries on 127\.0\.0\.1:\([0-9]*\)$!\1!p' sharded.err | head -n 1)
+  kill -0 "$sharded_pid" 2>/dev/null || break
+  [ "$i" -lt 400 ] || break
+  sleep 0.02
+  i=$((i + 1))
+done
+[ -n "$sharded_port" ] || {
+  echo "smoke: sharded daemon never announced its port" >&2
+  cat sharded.err >&2
+  exit 1
+}
+# --verify replays every answered query offline (unsharded) and
+# compares bit for bit — the sharded daemon must be invisible there.
+"$simq" stress smoke.rel --port "$sharded_port" --clients 4 --queries 10 \
+  --verify --shutdown >sharded-stress.out || {
+  echo "smoke: stress run against the sharded daemon failed" >&2
+  cat sharded-stress.out >&2
+  cat sharded.err >&2
+  exit 1
+}
+grep -q '0 protocol errors' sharded-stress.out || {
+  echo "smoke: sharded stress saw protocol errors" >&2
+  cat sharded-stress.out >&2
+  exit 1
+}
+wait "$sharded_pid" || {
+  echo "smoke: sharded daemon did not exit cleanly after shutdown" >&2
+  cat sharded.err >&2
+  exit 1
+}
+"$simq" qlog-top sharded.qlog >sharded.top
+grep -q 'by fanout:' sharded.top || {
+  echo "smoke: sharded daemon qlog has no fanout breakdown" >&2
+  cat sharded.top >&2
+  exit 1
+}
+grep -q '4-shard' sharded.top || {
+  echo "smoke: fanout breakdown lacks the 4-shard bucket" >&2
+  cat sharded.top >&2
   exit 1
 }
 
