@@ -131,7 +131,7 @@ let qlog_sample_arg =
 let qlog_slow_ms_arg =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some Simq_cli.finite_float) None
     & info [ "qlog-slow-ms" ] ~docv:"MS"
         ~doc:
           "Always log queries that take at least $(docv) milliseconds, \
@@ -268,8 +268,22 @@ let print_answers answers =
       Printf.printf "  %-12s distance %.4f\n" e.Dataset.name d)
     answers
 
+(* The monolithic paths' sketch funnel / NN bound builders; a sharded
+   run carries its own per-shard tables inside Simq_shard. *)
+let funnel_of sketch spec =
+  Option.map (fun sk query -> Simq_sketch.funnel sk ~spec ~query) sketch
+
+let nn_bound_of sketch spec =
+  Option.map (fun sk query -> Simq_sketch.nn_bound sk ~spec ~query) sketch
+
+let sketch_levels_of sketch spec =
+  if Option.is_some sketch then Simq_sketch.spec_levels spec else 0
+
+let partial_note p = if p then ", partial" else ""
+
 let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
-    ~sharded q =
+    ~sharded ~sketch ~approx q =
+  let anytime = Option.is_some approx in
   match q with
   | Ql.Range { spec; query; epsilon; mean_window = _; std_band = _; _ }
     when Option.is_some budget || admission ->
@@ -286,8 +300,8 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
       let outcome, elapsed =
         Simq_report.Timer.time (fun () ->
             Simq_shard.range_checked ~spec ~budget ?admission:policy
-              ~on_decision:(note_worst_decision note) ?profile sh
-              ~query:series ~epsilon)
+              ~on_decision:(note_worst_decision note) ?approx ~anytime
+              ?profile sh ~query:series ~epsilon)
       in
       (match outcome with
       | Error e when Simq_fault.Error.kind e = "rejected" ->
@@ -297,12 +311,13 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
         Result.map_error (fun e -> Fault e) outcome
       in
       note_shard_report note r.Simq_shard.report;
-      Printf.printf "%d answers (path shard, %s%s, %s)\n"
+      Printf.printf "%d answers (path shard, %s%s%s, %s)\n"
         (List.length r.Simq_shard.answers)
         (report_string r.Simq_shard.report)
         (match note.note_decision with
         | Some d -> ", admission: " ^ d
         | None -> "")
+        (partial_note r.Simq_shard.partial)
         (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
       print_answers r.Simq_shard.answers;
       Ok ()
@@ -315,7 +330,9 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
     let outcome, elapsed =
       Simq_report.Timer.time (fun () ->
           Planner.range_resilient ~spec ~budget ~counters ?stats
-            ?admission:policy ?profile index ~query:series ~epsilon)
+            ?admission:policy ?sketch:(funnel_of sketch spec)
+            ~sketch_levels:(sketch_levels_of sketch spec) ?approx ~anytime
+            ?profile index ~query:series ~epsilon)
     in
     (match outcome with
     | Ok (r : Planner.resilient_result) ->
@@ -329,13 +346,14 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
     let* (result : Planner.resilient_result) =
       Result.map_error (fun e -> Fault e) outcome
     in
-    Printf.printf "%d answers (path %s%s, %s)\n"
+    Printf.printf "%d answers (path %s%s%s, %s)\n"
       (List.length result.Planner.answers)
       (Format.asprintf "%a" Planner.pp_plan result.Planner.executed)
       (match (result.Planner.degraded, result.Planner.index_error) with
       | false, _ -> ""
       | true, Some e -> Format.asprintf ", degraded: %a" Simq_fault.Error.pp e
       | true, None -> ", degraded before execution: admission control")
+      (partial_note result.Planner.partial)
       (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
     print_answers result.Planner.answers;
     Ok ())
@@ -346,7 +364,7 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
       note.note_path <- Some "shard";
       let (r : Simq_shard.range_result), elapsed =
         Simq_report.Timer.time (fun () ->
-            Simq_shard.range ~spec ?mean_window ?std_band ?profile sh
+            Simq_shard.range ~spec ?mean_window ?std_band ?approx ?profile sh
               ~query:series ~epsilon)
       in
       note_shard_report note r.Simq_shard.report;
@@ -361,7 +379,8 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
       note.note_path <- Some "index";
       let (result : Kindex.range_result), elapsed =
         Simq_report.Timer.time (fun () ->
-            Kindex.range ~spec ?mean_window ?std_band ?profile index
+            Kindex.range ~spec ?mean_window ?std_band
+              ?sketch:(funnel_of sketch spec) ?approx ?profile index
               ~query:series ~epsilon)
       in
       Printf.printf "%d answers (%d candidates, %d node accesses, %s)\n"
@@ -410,6 +429,7 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
       let outcome, elapsed =
         Simq_report.Timer.time (fun () ->
             Kindex.nearest_checked ~spec ~budget ?admission:policy
+              ?sketch:(nn_bound_of sketch spec)
               ~on_decision:(fun d ->
                 note.note_decision <- Some (Simq_admission.decision_name d);
                 match d with
@@ -447,7 +467,8 @@ let run_parsed_query ?profile ~note index dataset noise ~budget ~admission
       note.note_path <- Some "index";
       let results, elapsed =
         Simq_report.Timer.time (fun () ->
-            Kindex.nearest ~spec ?profile index ~query:series ~k)
+            Kindex.nearest ~spec ?sketch:(nn_bound_of sketch spec) ?profile
+              index ~query:series ~k)
       in
       Printf.printf "%d nearest (%s)\n" (List.length results)
         (Format.asprintf "%a" Simq_report.Timer.pp_seconds elapsed);
@@ -527,9 +548,19 @@ let outcome_of_result = function
     in
     (kind, Simq_cli.exit_code e)
 
+(* --approx implies --sketch (the funnel is what gets relaxed); its
+   value is range-checked here so every entry point rejects the same
+   way. *)
+let sketch_config ~sketch ~approx =
+  match approx with
+  | Some a when a < 0. || a >= 1. -> usage "--approx must be in [0, 1)"
+  | Some _ -> Ok (Some Simq_sketch.default)
+  | None -> Ok (if sketch then Some Simq_sketch.default else None)
+
 let query_impl file text noise shards jobs metrics trace metrics_port
     metrics_state profile qlog qlog_sample qlog_slow_ms qlog_max_bytes
-    admission deadline max_page_reads max_comparisons max_node_accesses =
+    admission sketch approx deadline max_page_reads max_comparisons
+    max_node_accesses =
   apply_jobs jobs;
   let profile = Option.map (fun dest -> (Profile.create (), dest)) profile in
   let* qlog =
@@ -546,6 +577,7 @@ let query_impl file text noise shards jobs metrics trace metrics_port
         budget_of ~deadline ~max_page_reads ~max_comparisons
           ~max_node_accesses
       in
+      let* sketch_cfg = sketch_config ~sketch ~approx in
       let* relation = load_relation file in
       Otrace.with_span "query" @@ fun () ->
       let dataset =
@@ -556,8 +588,18 @@ let query_impl file text noise shards jobs metrics trace metrics_port
         Option.map
           (fun k ->
             Otrace.with_span "shard" (fun () ->
-                Simq_shard.create ~shards:k dataset))
+                Simq_shard.create ?sketch:sketch_cfg ~shards:k dataset))
           shards
+      in
+      (* The monolithic paths' sketch table; a sharded run sketches
+         per shard inside the executor instead. *)
+      let msketch =
+        match (sketch_cfg, sharded) with
+        | Some config, None ->
+          Some
+            (Otrace.with_span "sketch" (fun () ->
+                 Simq_sketch.create ~config dataset))
+        | _ -> None
       in
       let* q = Result.map_error (fun msg -> Usage msg) (Ql.parse text) in
       let note =
@@ -566,7 +608,8 @@ let query_impl file text noise shards jobs metrics trace metrics_port
       let run () =
         Otrace.with_span "execute" (fun () ->
             run_parsed_query ?profile:(Option.map fst profile) ~note index
-              dataset noise ~budget ~admission ~sharded q)
+              dataset noise ~budget ~admission ~sharded ~sketch:msketch
+              ~approx q)
       in
       match qlog with
       | None -> run ()
@@ -596,7 +639,7 @@ let ql_arg =
          ~doc:"Similarity query, e.g. 'RANGE FROM r USING mavg(20) QUERY s0 EPS 2.5'.")
 
 let noise_arg =
-  Arg.(value & opt float 0. & info [ "noise" ]
+  Arg.(value & opt Simq_cli.finite_float 0. & info [ "noise" ]
          ~doc:"Perturb the query series by this amount (uniform noise).")
 
 let shards_arg =
@@ -613,7 +656,7 @@ let shards_arg =
            to the unsharded run.")
 
 let deadline_arg =
-  Arg.(value & opt (some float) None
+  Arg.(value & opt (some Simq_cli.finite_float) None
        & info [ "deadline" ] ~docv:"SECONDS"
            ~doc:"Per-query wall-clock deadline; exceeding it fails the query \
                  with a timeout error (exit code 4).")
@@ -643,6 +686,29 @@ let admission_arg =
                  predict each path's cost from them and the live metrics \
                  registry, and degrade or reject (exit code 5) queries \
                  predicted to exceed the budget — before any page is read.")
+
+let sketch_arg =
+  Arg.(value & flag
+       & info [ "sketch" ]
+           ~doc:"Funnel RANGE and NEAREST candidates through the \
+                 multi-resolution sketch ladder — a coarse DFT sketch, \
+                 then (identity queries) a piecewise-constant segment \
+                 sketch — before any exact distance is computed. Every \
+                 level lower-bounds the true distance, so the answers are \
+                 bit-identical to a run without $(b,--sketch); only the \
+                 exact-comparison work drops. Implied by $(b,--approx).")
+
+let approx_arg =
+  Arg.(value & opt (some Simq_cli.finite_float) None
+       & info [ "approx" ] ~docv:"A"
+           ~doc:"Answer RANGE queries approximately: sketch levels dismiss \
+                 at the tightened cutoff (1-$(docv))·EPS, so every returned \
+                 answer is a true answer within EPS and every series within \
+                 (1-$(docv))·EPS is still guaranteed returned ($(docv) in \
+                 [0, 1); implies $(b,--sketch)). Under a budget the \
+                 verification loop turns progressive: when the budget dies \
+                 mid-verification the query returns the sound subset \
+                 verified so far (marked 'partial') instead of degrading.")
 
 (* --- batch ----------------------------------------------------------------- *)
 
@@ -810,10 +876,11 @@ let dump_batch_profiles ~dest ~texts profiles =
       Ok ()
     | exception Sys_error msg -> Error (File msg)
 
-let batch_impl file specs from_qlog output noise shards jobs metrics trace
-    metrics_port metrics_state profile qlog qlog_sample qlog_slow_ms
-    qlog_max_bytes =
+let batch_impl file specs from_qlog output noise shards sketch approx jobs
+    metrics trace metrics_port metrics_state profile qlog qlog_sample
+    qlog_slow_ms qlog_max_bytes =
   apply_jobs jobs;
+  let* sketch_cfg = sketch_config ~sketch ~approx in
   let* texts =
     match (specs, from_qlog) with
     | Some _, Some _ -> usage "pass either SPECS or --from-qlog, not both"
@@ -849,7 +916,10 @@ let batch_impl file specs from_qlog output noise shards jobs metrics trace
           let index =
             Otrace.with_span "build" (fun () -> Kindex.build dataset)
           in
-          let engine = Simq_serve.Engine.create ~noise ?shards index in
+          let engine =
+            Simq_serve.Engine.create ~noise ?shards ?sketch:sketch_cfg ?approx
+              index
+          in
           let texts = Array.of_list texts in
           let n = Array.length texts in
           let profiles =
@@ -1016,10 +1086,11 @@ let make_injector ~seed ~page_prob ~node_prob =
 
 let serve_impl file port max_inflight idle_timeout_ms write_timeout_ms noise
     shards jobs metrics trace metrics_port metrics_state qlog qlog_sample
-    qlog_slow_ms qlog_max_bytes admission deadline max_page_reads
-    max_comparisons max_node_accesses fault_seed fault_page_prob
-    fault_node_prob =
+    qlog_slow_ms qlog_max_bytes admission sketch approx deadline
+    max_page_reads max_comparisons max_node_accesses fault_seed
+    fault_page_prob fault_node_prob =
   apply_jobs jobs;
+  let* sketch_cfg = sketch_config ~sketch ~approx in
   let* qlog =
     make_qlog ~sample:qlog_sample ~slow_ms:qlog_slow_ms
       ~max_bytes:qlog_max_bytes qlog
@@ -1062,7 +1133,8 @@ let serve_impl file port max_inflight idle_timeout_ms write_timeout_ms noise
           in
           let engine =
             Simq_serve.Engine.create ~noise ?budget
-              ?admission:admission_policy ?shards index
+              ?admission:admission_policy ?shards ?sketch:sketch_cfg ?approx
+              index
           in
           let* server =
             match
@@ -1234,7 +1306,7 @@ let fault_seed_arg =
 let fault_page_prob_arg =
   Arg.(
     value
-    & opt float 0.
+    & opt Simq_cli.finite_float 0.
     & info [ "fault-page-prob" ] ~docv:"P"
         ~doc:
           "Inject a transient fault on each logical page read with \
@@ -1245,7 +1317,7 @@ let fault_page_prob_arg =
 let fault_node_prob_arg =
   Arg.(
     value
-    & opt float 0.
+    & opt Simq_cli.finite_float 0.
     & info [ "fault-node-prob" ] ~docv:"P"
         ~doc:
           "Inject a transient fault on each R*-tree node access with \
@@ -1409,17 +1481,19 @@ let query_cmd =
     Term.(
       const (fun file text noise shards jobs metrics trace metrics_port
                  metrics_state profile qlog qlog_sample qlog_slow_ms
-                 qlog_max_bytes admission deadline pages comparisons nodes ->
+                 qlog_max_bytes admission sketch approx deadline pages
+                 comparisons nodes ->
           handle
             (query_impl file text noise shards jobs metrics trace metrics_port
                metrics_state profile qlog qlog_sample qlog_slow_ms
-               qlog_max_bytes admission deadline pages comparisons nodes))
+               qlog_max_bytes admission sketch approx deadline pages
+               comparisons nodes))
       $ file_arg $ ql_arg $ noise_arg $ shards_arg $ jobs_arg $ metrics_arg
       $ trace_arg
       $ metrics_port_arg $ metrics_state_arg $ profile_arg $ qlog_arg
       $ qlog_sample_arg $ qlog_slow_ms_arg $ qlog_max_bytes_arg
-      $ admission_arg $ deadline_arg $ max_page_reads_arg
-      $ max_comparisons_arg $ max_node_accesses_arg)
+      $ admission_arg $ sketch_arg $ approx_arg $ deadline_arg
+      $ max_page_reads_arg $ max_comparisons_arg $ max_node_accesses_arg)
 
 let batch_cmd =
   let doc =
@@ -1428,15 +1502,16 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const (fun file specs from_qlog output noise shards jobs metrics trace
-                 metrics_port metrics_state profile qlog qlog_sample
-                 qlog_slow_ms qlog_max_bytes ->
+      const (fun file specs from_qlog output noise shards sketch approx jobs
+                 metrics trace metrics_port metrics_state profile qlog
+                 qlog_sample qlog_slow_ms qlog_max_bytes ->
           handle
-            (batch_impl file specs from_qlog output noise shards jobs metrics
-               trace metrics_port metrics_state profile qlog qlog_sample
-               qlog_slow_ms qlog_max_bytes))
+            (batch_impl file specs from_qlog output noise shards sketch approx
+               jobs metrics trace metrics_port metrics_state profile qlog
+               qlog_sample qlog_slow_ms qlog_max_bytes))
       $ file_arg $ specs_arg $ from_qlog_arg $ batch_out_arg $ noise_arg
-      $ shards_arg $ jobs_arg $ metrics_arg $ trace_arg $ metrics_port_arg
+      $ shards_arg $ sketch_arg $ approx_arg $ jobs_arg $ metrics_arg
+      $ trace_arg $ metrics_port_arg
       $ metrics_state_arg $ profile_arg $ qlog_arg $ qlog_sample_arg
       $ qlog_slow_ms_arg $ qlog_max_bytes_arg)
 
@@ -1508,20 +1583,21 @@ let serve_cmd =
     Term.(
       const (fun file port max_inflight idle_timeout_ms write_timeout_ms noise
                  shards jobs metrics trace metrics_port metrics_state qlog
-                 qlog_sample qlog_slow_ms qlog_max_bytes admission deadline
-                 pages comparisons nodes fault_seed fault_page_prob
-                 fault_node_prob ->
+                 qlog_sample qlog_slow_ms qlog_max_bytes admission sketch
+                 approx deadline pages comparisons nodes fault_seed
+                 fault_page_prob fault_node_prob ->
           handle
             (serve_impl file port max_inflight idle_timeout_ms
                write_timeout_ms noise shards jobs metrics trace metrics_port
                metrics_state qlog qlog_sample qlog_slow_ms qlog_max_bytes
-               admission deadline pages comparisons nodes fault_seed
-               fault_page_prob fault_node_prob))
+               admission sketch approx deadline pages comparisons nodes
+               fault_seed fault_page_prob fault_node_prob))
       $ file_arg $ serve_port_arg $ max_inflight_arg $ idle_timeout_arg
       $ write_timeout_arg $ noise_arg $ shards_arg $ jobs_arg $ metrics_arg
       $ trace_arg
       $ metrics_port_arg $ metrics_state_arg $ qlog_arg $ qlog_sample_arg
-      $ qlog_slow_ms_arg $ qlog_max_bytes_arg $ admission_arg $ deadline_arg
+      $ qlog_slow_ms_arg $ qlog_max_bytes_arg $ admission_arg $ sketch_arg
+      $ approx_arg $ deadline_arg
       $ max_page_reads_arg $ max_comparisons_arg $ max_node_accesses_arg
       $ fault_seed_arg $ fault_page_prob_arg $ fault_node_prob_arg)
 

@@ -9,6 +9,7 @@ type workload = {
   tree_size : int;
   tree_height : int;
   selectivity : float;
+  sketch_levels : int;
 }
 
 type path = Index_path | Scan_path
@@ -117,7 +118,14 @@ let estimate t w =
        the factor 2 margin). *)
     index_node_accesses =
       w.tree_height + ceil_pos (sel *. float_of_int w.tree_size /. 4.);
-    index_comparisons = ceil_pos (2. *. sel *. float_of_int w.cardinality);
+    (* Each sketch-funnel level is modelled as halving the candidates
+       that reach the exact postfilter: bound evaluations read no page
+       and are not charged as comparisons, so the funnel only lowers
+       the comparison estimate (capped at four levels so a bogus count
+       cannot zero it out). *)
+    index_comparisons =
+      (let discount = 1 lsl Int.min 4 (Int.max 0 w.sketch_levels) in
+       ceil_pos (2. *. sel *. float_of_int w.cardinality /. float_of_int discount));
     est_query_seconds = predicted_seconds t;
   }
 

@@ -47,6 +47,13 @@ type workload = {
       (** the planner histogram's estimated answer fraction in [0, 1]
           ([Planner.selectivity]); use [1.] when no statistics are
           available — the scan-path costs do not depend on it *)
+  sketch_levels : int;
+      (** sketch-funnel levels ([Simq_sketch]) the index path will run
+          in front of its exact postfilter; [0] when no funnel is
+          installed. Each level is modelled as halving the candidates
+          that survive to the exact comparisons (capped at four
+          levels), so a funnel lowers only [index_comparisons] — bound
+          evaluations read no page and are never charged. *)
 }
 
 (** The access path the planner intends to run. *)

@@ -37,6 +37,19 @@ let positive_int =
   in
   Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
+(* [float_of_string_opt] accepts "nan" and "inf" (and overflowing
+   literals round to infinity): every float the CLI feeds a distance or
+   a deadline must be finite, or downstream comparisons silently turn
+   false. *)
+let finite_float =
+  let parse s =
+    match float_of_string_opt (String.trim s) with
+    | Some f when Float.is_finite f -> Ok f
+    | Some _ -> Error (`Msg "expected a finite number")
+    | None -> Error (`Msg "expected a number")
+  in
+  Cmdliner.Arg.conv ~docv:"X" (parse, Format.pp_print_float)
+
 (* Mirrors Pool.env_domains: a garbage value warns once and falls back
    to the feature being off, rather than failing the command. *)
 let env_port_warned = ref None

@@ -29,6 +29,12 @@ val handle : (unit, error) result -> int
     (in particular [Simq_parallel.Pool.create]) runs. *)
 val positive_int : int Cmdliner.Arg.conv
 
+(** A [Cmdliner] converter for finite floats: ["nan"], ["inf"] and
+    overflowing literals are parse-time usage errors, so no non-finite
+    value can reach a distance or deadline comparison through the
+    CLI. *)
+val finite_float : float Cmdliner.Arg.conv
+
 (** [resolve_metrics_port explicit] is [explicit] when given, otherwise
     the [SIMQ_METRICS_PORT] environment variable. An unparsable
     environment value warns once on stderr and counts as unset,

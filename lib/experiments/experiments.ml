@@ -2547,6 +2547,294 @@ let shard ~fast =
     speedup_claim;
   ]
 
+(* --- ablation: multi-resolution sketch funnel ------------------------------ *)
+
+(* The sketch funnel in front of the k-index, on four claims: (1) exact
+   mode is invisible — sketched answers bit-identical to unsketched
+   under every sketchable spec, unsharded and sharded, at 1, 2 and 4
+   domains; (2) the funnel filters — each level of the ladder dismisses
+   a measurable share of the candidates before any exact distance
+   runs; (3) approximate mode keeps its epsilon-guarantee — every
+   returned answer is a true answer within epsilon (superset-free) and
+   every series within (1-a)·epsilon is still returned; (4) anytime
+   mode under a dying budget returns a sound subset marked partial.
+   The raw ladder rows save to BENCH_sketch.json. *)
+let ablation_sketch ~fast =
+  let module Pool = Simq_parallel.Pool in
+  let module Shard = Simq_shard in
+  let module Sketch = Simq_sketch in
+  let module Budget = Simq_fault.Budget in
+  let count = if fast then 240 else 2048 in
+  let n = if fast then 64 else 128 in
+  let repeats = if fast then 2 else 3 in
+  let batch = Stocklike.batch ~seed:(Bench_util.derived_seed 91) ~count ~n in
+  let dataset =
+    Dataset.of_series ~pool:Pool.sequential ~name:"stocks" batch
+  in
+  let index = Kindex.build dataset in
+  let sketch = Sketch.create dataset in
+  let state = Random.State.make [| Bench_util.derived_seed 92 |] in
+  let queries =
+    List.init 12 (fun i ->
+        Queries.perturb state batch.(i * 17 mod count) ~amount:0.25)
+  in
+  let queries = with_selective_epsilons dataset queries in
+  let nqueries = List.length queries in
+  let pairs answers =
+    List.map (fun ((e : Dataset.entry), d) -> (e.Dataset.id, d)) answers
+  in
+  let canon answers =
+    List.sort compare
+      (List.map (fun ((e : Dataset.entry), d) -> (d, e.Dataset.id)) answers)
+  in
+  let specs =
+    [
+      ("identity", Spec.Identity);
+      ("mavg(8)", Spec.Moving_average 8);
+      ("rev", Spec.Reverse);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: sketch funnel (%d stock-like series n=%d, %d range \
+            queries per spec)"
+           count n nqueries)
+      ~columns:
+        [
+          "spec"; "candidates"; "after coarse"; "after segment"; "plain";
+          "sketched";
+        ]
+  in
+  let all_exact = ref true in
+  let rows =
+    List.map
+      (fun (label, spec) ->
+        let reference =
+          List.map
+            (fun (q, eps) ->
+              pairs (Kindex.range ~spec index ~query:q ~epsilon:eps).Kindex.answers)
+            queries
+        in
+        (* One counted pass tallies the ladder; the timed passes use the
+           plain funnel so repeats do not inflate the tally. *)
+        let candidates = ref 0 in
+        let filtered = [| 0; 0 |] in
+        let counted q =
+          Option.map
+            (fun (pf : Kindex.prefilter) ->
+              {
+                pf with
+                Kindex.on_filtered =
+                  (fun level dismissed ->
+                    filtered.(level) <- filtered.(level) + dismissed;
+                    pf.Kindex.on_filtered level dismissed);
+              })
+            (Sketch.funnel sketch ~spec ~query:q)
+        in
+        let funnel q = Sketch.funnel sketch ~spec ~query:q in
+        let sketched =
+          List.map
+            (fun (q, eps) ->
+              let r =
+                Kindex.range ~spec ~sketch:counted index ~query:q ~epsilon:eps
+              in
+              candidates := !candidates + r.Kindex.candidates;
+              pairs r.Kindex.answers)
+            queries
+        in
+        if sketched <> reference then all_exact := false;
+        let plain_time =
+          Bench_util.time_per_query ~repeats (fun () ->
+              List.iter
+                (fun (q, eps) ->
+                  ignore (Kindex.range ~spec index ~query:q ~epsilon:eps))
+                queries)
+          /. float_of_int nqueries
+        in
+        let sketched_time =
+          Bench_util.time_per_query ~repeats (fun () ->
+              List.iter
+                (fun (q, eps) ->
+                  ignore
+                    (Kindex.range ~spec ~sketch:funnel index ~query:q
+                       ~epsilon:eps))
+                queries)
+          /. float_of_int nqueries
+        in
+        let after_coarse = !candidates - filtered.(0) in
+        let after_segment = after_coarse - filtered.(1) in
+        Table.add_row table
+          [
+            label; string_of_int !candidates; string_of_int after_coarse;
+            string_of_int after_segment; fmt plain_time; fmt sketched_time;
+          ];
+        (label, !candidates, after_coarse, after_segment, plain_time,
+         sketched_time))
+      specs
+  in
+  Table.print table;
+  (* NN parity: the deferred-refinement bound reorders work, never
+     answers. *)
+  let nn_reference =
+    List.map (fun (q, _) -> canon (Kindex.nearest index ~query:q ~k:5)) queries
+  in
+  let nn_sketched =
+    List.map
+      (fun (q, _) ->
+        canon
+          (Kindex.nearest
+             ~sketch:(fun q -> Sketch.nn_bound sketch ~spec:Spec.Identity ~query:q)
+             index ~query:q ~k:5))
+      queries
+  in
+  if nn_sketched <> nn_reference then all_exact := false;
+  (* Sharded parity: a sketched 4-shard executor at 1, 2 and 4 domains
+     against the unsharded unsketched reference. *)
+  let identity_reference =
+    List.map
+      (fun (q, eps) ->
+        pairs (Kindex.range index ~query:q ~epsilon:eps).Kindex.answers)
+      queries
+  in
+  let sh =
+    Shard.create ~pool:Pool.sequential ~sketch:Sketch.default ~shards:4
+      dataset
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  let shard_exact = ref true in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains in
+      List.iter2
+        (fun (q, eps) expected ->
+          let r = Shard.range ~pool sh ~query:q ~epsilon:eps in
+          if pairs r.Shard.answers <> expected then shard_exact := false)
+        queries identity_reference;
+      List.iter2
+        (fun (q, _) expected ->
+          let r = Shard.nearest ~pool sh ~query:q ~k:5 in
+          if canon r.Shard.neighbours <> expected then shard_exact := false)
+        queries nn_reference;
+      Pool.shutdown pool)
+    domain_counts;
+  (* Approximate mode: superset-free (every answer true), inner-ball
+     complete (everything within (1-a)·epsilon kept), recall measured
+     against the exact answer set. *)
+  let a = 0.25 in
+  let funnel q = Sketch.funnel sketch ~spec:Spec.Identity ~query:q in
+  let superset_free = ref true and inner_complete = ref true in
+  let kept = ref 0 and exact_total = ref 0 in
+  List.iter2
+    (fun (q, eps) exact ->
+      let approx =
+        pairs
+          (Kindex.range ~sketch:funnel ~approx:a index ~query:q ~epsilon:eps)
+            .Kindex.answers
+      in
+      List.iter
+        (fun pair -> if not (List.mem pair exact) then superset_free := false)
+        approx;
+      List.iter
+        (fun ((_, d) as pair) ->
+          if d <= (1. -. a) *. eps && not (List.mem pair approx) then
+            inner_complete := false)
+        exact;
+      kept := !kept + List.length approx;
+      exact_total := !exact_total + List.length exact)
+    queries identity_reference;
+  let recall =
+    if !exact_total = 0 then 1.
+    else float_of_int !kept /. float_of_int !exact_total
+  in
+  (* Anytime mode: a one-comparison budget dies inside verification;
+     the partial answer must still be a sound subset. *)
+  let any_partial = ref false and partial_sound = ref true in
+  List.iter2
+    (fun (q, eps) exact ->
+      let budget = Budget.create ~max_comparisons:1 () in
+      match
+        Kindex.range_checked ~budget ~sketch:funnel ~approx:a ~anytime:true
+          index ~query:q ~epsilon:eps
+      with
+      | Ok r ->
+        if r.Kindex.partial then any_partial := true;
+        List.iter
+          (fun pair ->
+            if not (List.mem pair exact) then partial_sound := false)
+          (pairs r.Kindex.answers)
+      | Error _ -> partial_sound := false)
+    queries identity_reference;
+  (* BENCH_sketch.json: the raw ladder, for tracking across runs. *)
+  let oc = open_out "BENCH_sketch.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"ablation_sketch\",\n  \"fast\": %b,\n\
+    \  \"seed\": %d,\n\
+    \  \"series\": { \"count\": %d, \"n\": %d, \"queries\": %d },\n\
+    \  \"config\": { \"coarse\": %d, \"segments\": %d },\n  \"ladder\": [\n"
+    fast Bench_util.bench_seed count n nqueries Sketch.default.Sketch.coarse
+    Sketch.default.Sketch.segments;
+  List.iteri
+    (fun i (label, candidates, after_coarse, after_segment, plain_time,
+            sketched_time) ->
+      Printf.fprintf oc
+        "    { \"spec\": \"%s\", \"candidates\": %d, \"after_coarse\": %d, \
+         \"after_segment\": %d, \"plain_s\": %.6f, \"sketched_s\": %.6f }%s\n"
+        label candidates after_coarse after_segment plain_time sketched_time
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"exact_parity\": %b,\n  \"shard_parity\": %b,\n\
+    \  \"approx\": { \"a\": %.2f, \"recall\": %.4f, \"superset_free\": %b, \
+     \"inner_complete\": %b },\n  \"anytime_partial\": %b\n}\n"
+    !all_exact !shard_exact a recall !superset_free !inner_complete
+    !any_partial;
+  close_out oc;
+  print_endline "wrote BENCH_sketch.json";
+  let _, candidates0, _, after_segment0, _, _ = List.hd rows in
+  [
+    Expectation.check ~experiment:"Ablation sketch"
+      ~expectation:
+        "exact mode is invisible: sketched range and NN answers are \
+         bit-identical to the unsketched traversal under every sketchable \
+         spec (Lemma 1 per level)"
+      ~measured:
+        (Printf.sprintf "%d specs x %d queries, NN k=5: parity %b"
+           (List.length specs) nqueries !all_exact)
+      !all_exact;
+    Expectation.check ~experiment:"Ablation sketch"
+      ~expectation:
+        "a sketched 4-shard executor answers bit-identically to the \
+         unsharded run at 1, 2 and 4 domains"
+      ~measured:(Printf.sprintf "3 domain counts: parity %b" !shard_exact)
+      !shard_exact;
+    Expectation.check ~experiment:"Ablation sketch"
+      ~expectation:
+        "the funnel dismisses candidates before any exact distance runs"
+      ~measured:
+        (Printf.sprintf "identity: %d candidates -> %d funnel survivors"
+           candidates0 after_segment0)
+      (after_segment0 < candidates0);
+    Expectation.check ~experiment:"Ablation sketch"
+      ~expectation:
+        "approximate mode keeps the epsilon-guarantee: superset-free, \
+         inner-ball complete, recall >= 1 - a"
+      ~measured:
+        (Printf.sprintf
+           "a=%.2f: recall %.3f, superset_free %b, inner_complete %b" a
+           recall !superset_free !inner_complete)
+      (!superset_free && !inner_complete && recall >= 1. -. a);
+    Expectation.check ~experiment:"Ablation sketch"
+      ~expectation:
+        "anytime mode returns a sound subset when the budget dies inside \
+         verification, marked partial"
+      ~measured:
+        (Printf.sprintf "max_comparisons=1: partial seen %b, sound %b"
+           !any_partial !partial_sound)
+      (!any_partial && !partial_sound);
+  ]
+
 (* --- dispatcher ------------------------------------------------------------------ *)
 
 let suite =
@@ -2568,6 +2856,7 @@ let suite =
     ("ablation_obs", ablation_obs);
     ("ablation_profile", ablation_profile);
     ("ablation_admission", ablation_admission);
+    ("ablation_sketch", ablation_sketch);
     ("planner", planner);
     ("par", par);
     ("serve", serve);

@@ -2,6 +2,11 @@
 
 type t = {
   mutable oc : out_channel option;
+  (* [oc = None] with [closed = false] means a rotation just renamed
+     the live file away: the replacement is opened lazily by the next
+     written line, so a log whose last line triggered rotation leaves
+     only [path.1] on disk. *)
+  mutable closed : bool;
   path : string;
   sample : int;
   slow_ms : float option;
@@ -40,6 +45,7 @@ let create ?(sample = 1) ?slow_ms ?max_bytes path =
   let oc = open_log path in
   {
     oc = Some oc;
+    closed = false;
     path;
     sample;
     slow_ms;
@@ -87,39 +93,50 @@ let log t entry =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
-      match t.oc with
-      | None -> ()
-      | Some oc ->
-          let seq = t.seen in
-          t.seen <- t.seen + 1;
-          let sampled = seq mod t.sample = 0 in
-          let slow =
-            match t.slow_ms with
-            | Some threshold -> entry.duration_s *. 1000. >= threshold
-            | None -> false
+      if not t.closed then begin
+        let seq = t.seen in
+        t.seen <- t.seen + 1;
+        let sampled = seq mod t.sample = 0 in
+        let slow =
+          match t.slow_ms with
+          | Some threshold -> entry.duration_s *. 1000. >= threshold
+          | None -> false
+        in
+        if sampled || slow then (
+          let oc =
+            match t.oc with
+            | Some oc -> oc
+            | None ->
+                let oc = open_log t.path in
+                t.oc <- Some oc;
+                oc
           in
-          if sampled || slow then (
-            output_string oc (render_line ~seq entry);
-            output_char oc '\n';
-            flush oc;
-            t.written <- t.written + 1;
-            (* Size rotation: once the live file reaches the limit it
-               is renamed to [path.1] (replacing any previous rotation)
-               and a fresh file opened. [seen] keeps counting, so the
-               sampling decision stays a pure function of the query
-               sequence number across rotations. *)
-            match t.max_bytes with
-            | Some limit when LargeFile.out_channel_length oc >= Int64.of_int limit ->
-                close_out oc;
-                Sys.rename t.path (t.path ^ ".1");
-                t.oc <- Some (open_log t.path)
-            | _ -> ()))
+          output_string oc (render_line ~seq entry);
+          output_char oc '\n';
+          flush oc;
+          t.written <- t.written + 1;
+          (* Size rotation: once the live file reaches the limit it is
+             renamed to [path.1] (replacing any previous rotation).
+             The fresh file is opened lazily by the next written line —
+             a rotation on the final pre-drain line leaves only
+             [path.1], a state {!rotated_chain} must accept. [seen]
+             keeps counting, so the sampling decision stays a pure
+             function of the query sequence number across rotations. *)
+          match t.max_bytes with
+          | Some limit
+            when LargeFile.out_channel_length oc >= Int64.of_int limit ->
+              close_out oc;
+              Sys.rename t.path (t.path ^ ".1");
+              t.oc <- None
+          | _ -> ())
+      end)
 
 let close t =
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
+      t.closed <- true;
       match t.oc with
       | None -> ()
       | Some oc ->
@@ -132,9 +149,17 @@ let lines_written t = t.written
 (* The rotation counterpart of the reader side: [path.1] (when it
    exists) holds the lines written immediately before those of [path],
    so reading the pair in this order replays a contiguous tail of the
-   line stream. *)
+   line stream. Every pair state is legal — in particular a rotation
+   that fired on the final pre-drain line leaves [path.1] with no live
+   [path] at all (the replacement file is only created by the next
+   written line). *)
 let rotated_chain path =
-  List.filter Sys.file_exists [ path ^ ".1"; path ]
+  let prev = path ^ ".1" in
+  match (Sys.file_exists prev, Sys.file_exists path) with
+  | true, true -> [ prev; path ]
+  | true, false -> [ prev ]
+  | false, true -> [ path ]
+  | false, false -> []
 
 (* ------------------------------------------------------------------ *)
 (* Ambient log                                                         *)

@@ -54,10 +54,12 @@ val create : ?sample:int -> ?slow_ms:float -> ?max_bytes:int -> string -> t
     off). [max_bytes] (default: unbounded; [Invalid_argument] if
     [< 1]) rotates by size: after a write that takes the file to
     [max_bytes] or beyond, it is renamed to [path.1] — replacing any
-    previous rotation, so at most two files ever exist — and a fresh
-    [path] is opened. Sequence numbers keep counting across rotations,
-    so sampling stays a pure function of the query sequence number.
-    Raises [Sys_error] if the file cannot be opened. *)
+    previous rotation, so at most two files ever exist. The fresh
+    [path] is opened lazily by the next written line, so a log whose
+    final line triggered rotation leaves only [path.1] behind (a state
+    {!rotated_chain} accepts). Sequence numbers keep counting across
+    rotations, so sampling stays a pure function of the query sequence
+    number. Raises [Sys_error] if the file cannot be opened. *)
 
 val log : t -> entry -> unit
 (** Assigns the next sequence number, applies the sampling policy and
@@ -80,7 +82,9 @@ val rotated_chain : string -> string list
     keeps exactly one prior file and renames atomically, so reading
     the returned files in order yields a contiguous tail of the line
     stream — the order [simq qlog-top] and [simq batch --from-qlog]
-    consume. Empty when neither file exists. *)
+    consume. Every pair state is handled: both files, only [path],
+    only [path.1] (rotation fired on the final line and nothing was
+    written after it), or neither — the result is then empty. *)
 
 (** {1 The ambient log} *)
 

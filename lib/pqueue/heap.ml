@@ -1,10 +1,18 @@
 type 'a t = {
   mutable keys : float array;
+  mutable ties : int array;
   mutable values : 'a option array;
   mutable count : int;
 }
 
-let create () = { keys = Array.make 16 0.; values = Array.make 16 None; count = 0 }
+let create () =
+  {
+    keys = Array.make 16 0.;
+    ties = Array.make 16 0;
+    values = Array.make 16 None;
+    count = 0;
+  }
+
 let is_empty h = h.count = 0
 let size h = h.count
 
@@ -12,10 +20,13 @@ let grow h =
   let capacity = Array.length h.keys in
   if h.count = capacity then begin
     let keys = Array.make (capacity * 2) 0. in
+    let ties = Array.make (capacity * 2) 0 in
     let values = Array.make (capacity * 2) None in
     Array.blit h.keys 0 keys 0 capacity;
+    Array.blit h.ties 0 ties 0 capacity;
     Array.blit h.values 0 values 0 capacity;
     h.keys <- keys;
+    h.ties <- ties;
     h.values <- values
   end
 
@@ -23,20 +34,33 @@ let swap h a b =
   let k = h.keys.(a) in
   h.keys.(a) <- h.keys.(b);
   h.keys.(b) <- k;
+  let t = h.ties.(a) in
+  h.ties.(a) <- h.ties.(b);
+  h.ties.(b) <- t;
   let v = h.values.(a) in
   h.values.(a) <- h.values.(b);
   h.values.(b) <- v
 
-let push h key value =
+(* Entries order by (key, tie) lexicographically, so equal-key entries
+   pop in a caller-chosen deterministic order instead of heap-internal
+   insertion order. *)
+let less h a b =
+  h.keys.(a) < h.keys.(b)
+  || (h.keys.(a) = h.keys.(b) && h.ties.(a) < h.ties.(b))
+
+let push_tie h key tie value =
   grow h;
   h.keys.(h.count) <- key;
+  h.ties.(h.count) <- tie;
   h.values.(h.count) <- Some value;
   h.count <- h.count + 1;
   let idx = ref (h.count - 1) in
-  while !idx > 0 && h.keys.((!idx - 1) / 2) > h.keys.(!idx) do
+  while !idx > 0 && less h !idx ((!idx - 1) / 2) do
     swap h !idx ((!idx - 1) / 2);
     idx := (!idx - 1) / 2
   done
+
+let push h key value = push_tie h key 0 value
 
 let pop_min h =
   if h.count = 0 then None
@@ -49,6 +73,7 @@ let pop_min h =
     in
     h.count <- h.count - 1;
     h.keys.(0) <- h.keys.(h.count);
+    h.ties.(0) <- h.ties.(h.count);
     h.values.(0) <- h.values.(h.count);
     h.values.(h.count) <- None;
     let idx = ref 0 in
@@ -56,8 +81,8 @@ let pop_min h =
     while !continue do
       let l = (2 * !idx) + 1 and r = (2 * !idx) + 2 in
       let smallest = ref !idx in
-      if l < h.count && h.keys.(l) < h.keys.(!smallest) then smallest := l;
-      if r < h.count && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if l < h.count && less h l !smallest then smallest := l;
+      if r < h.count && less h r !smallest then smallest := r;
       if !smallest = !idx then continue := false
       else begin
         swap h !idx !smallest;

@@ -1,5 +1,8 @@
 (** A minimal binary min-heap keyed by floats, used by the best-first
-    nearest-neighbour search. *)
+    nearest-neighbour search. Entries carry an optional integer
+    tie-break rank: ordering is lexicographic on [(key, tie)], so
+    equal-key entries pop in a caller-chosen deterministic order
+    instead of heap-internal insertion order. *)
 
 type 'a t
 
@@ -7,10 +10,15 @@ val create : unit -> 'a t
 val is_empty : 'a t -> bool
 val size : 'a t -> int
 
-(** [push h key v] inserts [v] with priority [key]. *)
+(** [push h key v] inserts [v] with priority [key] and tie rank [0]. *)
 val push : 'a t -> float -> 'a -> unit
 
-(** [pop_min h] removes and returns the entry with the smallest key. *)
+(** [push_tie h key tie v] inserts [v] with priority [(key, tie)]:
+    among equal keys, the smallest [tie] pops first. *)
+val push_tie : 'a t -> float -> int -> 'a -> unit
+
+(** [pop_min h] removes and returns the entry with the smallest
+    [(key, tie)]. *)
 val pop_min : 'a t -> (float * 'a) option
 
 (** [peek_min_key h] is the smallest key without removing it. *)

@@ -3,13 +3,24 @@ open Simq_geometry
 type 'a item =
   | Node_item of 'a Node.node
   | Data_item of Rect.t * 'a
+  | Coarse_item of Rect.t * 'a
 
-let nearest_custom ?visit t ~rect_bound ~point_dist ~k =
+(* Equal-key heap order: nodes first (so every tied candidate is
+   discovered before any tied data entry is emitted), then data entries
+   by their caller-supplied rank — making the k-th-boundary tie set
+   canonical instead of heap-insertion-order dependent. *)
+let node_tie = min_int
+
+let nearest_custom ?visit ?data_rank ?point_bound t ~rect_bound ~point_dist ~k
+    =
   if k <= 0 then invalid_arg "Nn.nearest_custom: k must be positive";
   if Rstar.size t = 0 then []
   else begin
     let heap = Simq_pqueue.Heap.create () in
-    Simq_pqueue.Heap.push heap (rect_bound (Rstar.root t).Node.mbr)
+    let rank = match data_rank with None -> fun _ -> 0 | Some f -> f in
+    Simq_pqueue.Heap.push_tie heap
+      (rect_bound (Rstar.root t).Node.mbr)
+      node_tie
       (Node_item (Rstar.root t));
     let results = ref [] in
     let found = ref 0 in
@@ -21,16 +32,34 @@ let nearest_custom ?visit t ~rect_bound ~point_dist ~k =
           results := (r.Rect.lo, v, d) :: !results;
           incr found;
           drain ()
+        | Some (_, Coarse_item (r, v)) ->
+          (* Deferred refinement (the multi-step pattern): a data entry
+             queued under its cheap lower bound gets its exact distance
+             only when it surfaces, then re-queues. Since the bound
+             never overestimates, everything still pending lies at
+             least as far, so emitted entries are exact. *)
+          Simq_pqueue.Heap.push_tie heap (point_dist r v) (rank v)
+            (Data_item (r, v));
+          drain ()
         | Some (_, Node_item node) ->
           (match visit with None -> () | Some f -> f ());
           Rstar.count_access t;
           List.iter
             (fun entry ->
               match entry with
-              | Node.Child c -> Simq_pqueue.Heap.push heap (rect_bound c.Node.mbr) (Node_item c)
-              | Node.Data { rect; value } ->
-                Simq_pqueue.Heap.push heap (point_dist rect value)
-                  (Data_item (rect, value)))
+              | Node.Child c ->
+                Simq_pqueue.Heap.push_tie heap (rect_bound c.Node.mbr)
+                  node_tie (Node_item c)
+              | Node.Data { rect; value } -> (
+                match point_bound with
+                | None ->
+                  Simq_pqueue.Heap.push_tie heap (point_dist rect value)
+                    (rank value)
+                    (Data_item (rect, value))
+                | Some bound ->
+                  Simq_pqueue.Heap.push_tie heap (bound rect value)
+                    (rank value)
+                    (Coarse_item (rect, value))))
             node.Node.entries;
           drain ()
     in

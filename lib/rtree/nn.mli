@@ -26,9 +26,26 @@ val nearest :
 
     [visit] is called once per internal/leaf node expansion, before the
     node's entries are pushed — the hook the budgeted entry points use
-    to charge node accesses (it may raise to abort the traversal). *)
+    to charge node accesses (it may raise to abort the traversal).
+
+    [data_rank] breaks distance ties among data entries
+    deterministically: among equal distances, entries pop (and are
+    emitted) in increasing rank, and equal-key internal nodes are
+    always expanded before any tied data entry is emitted — so the
+    tie set at the k-th boundary is canonical (smallest ranks win)
+    rather than heap-insertion-order dependent. Without it, tied
+    entries keep the historical arbitrary order.
+
+    [point_bound], when given, must lower-bound [point_dist] on every
+    data entry. Entries are then queued under the cheap bound and
+    refined to their exact distance only when they surface (the
+    multi-step filter-and-refine pattern), which skips [point_dist]
+    entirely for entries that never make the top [k]. Results are
+    identical to the unbounded traversal. *)
 val nearest_custom :
   ?visit:(unit -> unit) ->
+  ?data_rank:('a -> int) ->
+  ?point_bound:(Simq_geometry.Rect.t -> 'a -> float) ->
   'a Rstar.t ->
   rect_bound:(Simq_geometry.Rect.t -> float) ->
   point_dist:(Simq_geometry.Rect.t -> 'a -> float) ->

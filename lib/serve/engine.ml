@@ -18,11 +18,18 @@ type t = {
   budget : Budget.t option;
   admission : Simq_admission.t option;
   sharded : Simq_shard.t option;
+  sketch : Simq_sketch.t option;  (* the monolithic paths' sketch table *)
+  approx : float option;
+  anytime : bool;
   mutable stats : Planner.stats option;
   counters : Planner.counters;
 }
 
-let create ?(noise = 0.) ?budget ?admission ?shards index =
+let create ?(noise = 0.) ?budget ?admission ?shards ?sketch ?approx index =
+  (match approx with
+  | Some a when (not (Float.is_finite a)) || a < 0. || a >= 1. ->
+    invalid_arg "Engine.create: approx must be in [0, 1)"
+  | _ -> ());
   {
     index;
     dataset = Kindex.dataset index;
@@ -31,8 +38,17 @@ let create ?(noise = 0.) ?budget ?admission ?shards index =
     admission;
     sharded =
       Option.map
-        (fun k -> Simq_shard.create ~shards:k (Kindex.dataset index))
+        (fun k -> Simq_shard.create ?sketch ~shards:k (Kindex.dataset index))
         shards;
+    sketch =
+      Option.map
+        (fun config -> Simq_sketch.create ~config (Kindex.dataset index))
+        sketch;
+    approx;
+    (* Approximate mode is progressive: a budgeted engine returns the
+       sound subset it verified when the budget dies mid-verification
+       instead of degrading to the scan. *)
+    anytime = Option.is_some approx;
     stats = None;
     counters = Planner.create_counters ();
   }
@@ -45,6 +61,17 @@ let counters t = t.counters
    paths; a plain engine is the oracle the stress harness compares
    against. *)
 let checked t = Option.is_some t.budget || Option.is_some t.admission
+
+(* The monolithic paths' funnel and NN-bound builders; sharded
+   executions carry their own per-shard tables inside {!Simq_shard}. *)
+let funnel t spec =
+  Option.map (fun sk query -> Simq_sketch.funnel sk ~spec ~query) t.sketch
+
+let nn_bound t spec =
+  Option.map (fun sk query -> Simq_sketch.nn_bound sk ~spec ~query) t.sketch
+
+let sketch_levels t spec =
+  if Option.is_some t.sketch then Simq_sketch.spec_levels spec else 0
 
 let stats t =
   match t.stats with
@@ -169,8 +196,8 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
          both the catalogue probe and the per-shard traversals. *)
       note.note_path <- Some "shard";
       let r =
-        Simq_shard.range ~spec ?mean_window ?std_band ?profile sharded
-          ~query:series ~epsilon
+        Simq_shard.range ~spec ?mean_window ?std_band ?approx:t.approx
+          ?profile sharded ~query:series ~epsilon
       in
       note_report note r.Simq_shard.report;
       finish note
@@ -186,12 +213,14 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
         match t.budget with
         | None ->
           Ok
-            (Kindex.range ~spec ?mean_window ?std_band ?profile t.index
+            (Kindex.range ~spec ?mean_window ?std_band
+               ?sketch:(funnel t spec) ?approx:t.approx ?profile t.index
                ~query:series ~epsilon)
         | Some budget ->
           Result.map_error
             (fun e -> Simq_cli.Fault e)
             (Kindex.range_checked ~spec ?mean_window ?std_band ~budget
+               ?sketch:(funnel t spec) ?approx:t.approx ~anytime:t.anytime
                ?profile t.index ~query:series ~epsilon)
       in
       finish note
@@ -207,8 +236,8 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
       note.note_path <- Some "shard";
       (match
          Simq_shard.range_checked ~spec ~budget ?admission:t.admission
-           ~on_decision:(note_shard_decision note) ?profile sharded
-           ~query:series ~epsilon
+           ~on_decision:(note_shard_decision note) ?approx:t.approx
+           ~anytime:t.anytime ?profile sharded ~query:series ~epsilon
        with
       | Ok r ->
         note_report note r.Simq_shard.report;
@@ -223,7 +252,9 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
       let stats = Option.map (fun _ -> stats t) t.admission in
       let outcome =
         Planner.range_resilient ~spec ~budget ~counters:t.counters ?stats
-          ?admission:t.admission ?profile t.index ~query:series ~epsilon
+          ?admission:t.admission ?sketch:(funnel t spec)
+          ~sketch_levels:(sketch_levels t spec) ?approx:t.approx
+          ~anytime:t.anytime ?profile t.index ~query:series ~epsilon
       in
       (match outcome with
       | Ok (r : Planner.resilient_result) ->
@@ -252,7 +283,10 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
         ~results:(answers_json r.Simq_shard.neighbours)
     | None ->
       note.note_path <- Some "index";
-      let results = Kindex.nearest ~spec ?profile t.index ~query:series ~k in
+      let results =
+        Kindex.nearest ~spec ?sketch:(nn_bound t spec) ?profile t.index
+          ~query:series ~k
+      in
       finish note ~answers:(List.length results)
         ~results:(answers_json results))
   | Ql.Nearest { k; spec; query; _ } ->
@@ -281,6 +315,7 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
       note.note_path <- Some "index";
       let outcome =
         Kindex.nearest_checked ~spec ~budget ?admission:t.admission
+          ?sketch:(nn_bound t spec)
           ~on_decision:(fun d ->
             note.note_decision <- Some (Simq_admission.decision_name d);
             match d with

@@ -38,12 +38,24 @@ type t
     shards and answers RANGE/NEAREST by scatter-gather. The planner
     histogram backing admission is collected from a fixed seed on
     first use, so engine decisions are deterministic for a given
-    registry state. *)
+    registry state.
+
+    [?sketch] builds a {!Simq_sketch} table (per shard on a sharded
+    engine) and threads the funnel into every RANGE/NEAREST execution;
+    without [?approx] the answers stay bit-identical to an unsketched
+    engine's. [?approx a] (finite, [0 <= a < 1], else
+    [Invalid_argument] here) makes RANGE queries approximate —
+    sketch-dismissal at the [(1 - a) epsilon] cutoff, only true
+    answers returned — and progressive: a budgeted engine whose budget
+    dies inside exact verification returns the sound subset it
+    verified instead of degrading to the scan. *)
 val create :
   ?noise:float ->
   ?budget:Simq_fault.Budget.t ->
   ?admission:Simq_admission.t ->
   ?shards:int ->
+  ?sketch:Simq_sketch.config ->
+  ?approx:float ->
   Simq_tsindex.Kindex.t ->
   t
 

@@ -37,13 +37,15 @@ type shard = {
   sdataset : Dataset.t;  (* own relation, hence own buffer pool *)
   sindex : Kindex.t;  (* own R*-tree *)
   box : Rect.t;  (* catalogue: min/max box of the shard's feature points *)
+  ssketch : Simq_sketch.t option;  (* own sketch table, over local ids *)
   mutable sstats : Planner.stats option;  (* per-shard calibration, lazy *)
   m_executed : Metrics.counter;  (* this shard's labelled metrics child *)
 }
 
 type t = { parent : Dataset.t; parts : shard array }
 
-let create ?pool ?(config = Feature.default) ?(max_fill = 32) ~shards dataset =
+let create ?pool ?(config = Feature.default) ?(max_fill = 32) ?sketch ~shards
+    dataset =
   if shards < 1 then invalid_arg "Simq_shard.create: shards must be >= 1";
   let n = Dataset.cardinality dataset in
   let k = Int.min shards n in
@@ -73,6 +75,8 @@ let create ?pool ?(config = Feature.default) ?(max_fill = 32) ~shards dataset =
       sdataset;
       sindex;
       box;
+      ssketch =
+        Option.map (fun config -> Simq_sketch.create ~config sdataset) sketch;
       sstats = None;
       m_executed =
         Metrics.counter ~help:"Queries executed against this shard"
@@ -115,6 +119,7 @@ type range_result = {
   answers : (Dataset.entry * float) list;
   candidates : int;
   node_accesses : int;
+  partial : bool;
   report : report;
 }
 
@@ -125,7 +130,23 @@ type 'a run = {
   r_candidates : int;
   r_nodes : int;
   r_scan : bool;  (* answered by the shard's own scan *)
+  r_partial : bool;  (* this shard's anytime verification was cut short *)
 }
+
+(* The per-shard sketch funnel and NN bound builders: the shard's own
+   sketch table over its own (local-id) dataset, or nothing when the
+   executor was built without sketches. *)
+let sketch_spec spec = Option.value spec ~default:Spec.Identity
+
+let shard_funnel ?spec s =
+  Option.map
+    (fun sk query -> Simq_sketch.funnel sk ~spec:(sketch_spec spec) ~query)
+    s.ssketch
+
+let shard_nn_bound ?spec s =
+  Option.map
+    (fun sk query -> Simq_sketch.nn_bound sk ~spec:(sketch_spec spec) ~query)
+    s.ssketch
 
 (* Metrics and profile for one finished scatter, on the coordinating
    domain after the merge (deterministic at every domain count). *)
@@ -195,11 +216,14 @@ let gather_range ?profile t runs =
       (fun acc -> function None -> acc | Some r -> acc + r.r_nodes)
       0 runs
   in
+  let partial =
+    Array.exists (function None -> false | Some r -> r.r_partial) runs
+  in
   let report = finish ?profile t ~op:"range" ~runs ~rows_out:(List.length answers) in
-  { answers; candidates; node_accesses; report }
+  { answers; candidates; node_accesses; partial; report }
 
-let range ?pool ?spec ?normalise_query ?mean_window ?std_band ?profile t
-    ~query ~epsilon =
+let range ?pool ?spec ?normalise_query ?mean_window ?std_band ?approx ?profile
+    t ~query ~epsilon =
   let probe =
     probe_of ?spec ?normalise_query ?mean_window ?std_band t ~query ~epsilon
   in
@@ -215,7 +239,7 @@ let range ?pool ?spec ?normalise_query ?mean_window ?std_band ?profile t
         else begin
           let r =
             Kindex.range ?spec ?normalise_query ?mean_window ?std_band
-              s.sindex ~query ~epsilon
+              ?sketch:(shard_funnel ?spec s) ?approx s.sindex ~query ~epsilon
           in
           Some
             {
@@ -224,6 +248,7 @@ let range ?pool ?spec ?normalise_query ?mean_window ?std_band ?profile t
               r_candidates = r.Kindex.candidates;
               r_nodes = r.Kindex.node_accesses;
               r_scan = false;
+              r_partial = r.Kindex.partial;
             }
         end)
       t.parts
@@ -246,19 +271,20 @@ let shard_stats s =
     s.sstats <- Some stats;
     stats
 
-let shard_workload s ~selectivity =
+let shard_workload s ~selectivity ~sketch_levels =
   {
     Simq_admission.cardinality = Dataset.cardinality s.sdataset;
     pages = Relation.pages (Dataset.relation s.sdataset);
     tree_size = Rstar.size (Kindex.tree s.sindex);
     tree_height = Rstar.height (Kindex.tree s.sindex);
     selectivity;
+    sketch_levels;
   }
 
 (* Decide every surviving shard before any of them executes, in shard
    order, each against its own workload description. Returns the first
    rejection, or the per-shard decisions. *)
-let preflight ?admission ~budget ~keep ~selectivity t =
+let preflight ?admission ~budget ~keep ~selectivity ~sketch_levels t =
   match admission with
   | None -> Ok (Array.map (fun _ -> None) t.parts)
   | Some policy ->
@@ -269,7 +295,8 @@ let preflight ?admission ~budget ~keep ~selectivity t =
           else
             Some
               (Simq_admission.decide policy
-                 (shard_workload s ~selectivity:(selectivity s))
+                 (shard_workload s ~selectivity:(selectivity s)
+                    ~sketch_levels:(sketch_levels s))
                  ~prefer:Simq_admission.Index_path ~budget))
         t.parts
     in
@@ -287,13 +314,17 @@ let notify_decisions ?on_decision decisions =
   | Some f -> Array.iter (function None -> () | Some d -> f d) decisions
 
 let range_checked ?pool ?spec ?(budget = Budget.unlimited) ?retry ?admission
-    ?on_decision ?profile t ~query ~epsilon =
+    ?on_decision ?approx ?anytime ?profile t ~query ~epsilon =
   let probe = probe_of ?spec t ~query ~epsilon in
   let keep = Array.map (fun s -> probe s.box) t.parts in
   let selectivity s =
     Planner.selectivity (shard_stats s) ~epsilon
   in
-  match preflight ?admission ~budget ~keep ~selectivity t with
+  let sketch_levels s =
+    if Option.is_some s.ssketch then Simq_sketch.spec_levels (sketch_spec spec)
+    else 0
+  in
+  match preflight ?admission ~budget ~keep ~selectivity ~sketch_levels t with
   | Error e -> Error e
   | Ok decisions ->
     notify_decisions ?on_decision decisions;
@@ -312,6 +343,7 @@ let range_checked ?pool ?spec ?(budget = Budget.unlimited) ?retry ?admission
           r_candidates = Dataset.cardinality s.sdataset;
           r_nodes = 0;
           r_scan = true;
+          r_partial = false;
         }
       | Error e -> raise (Shard_failed e)
     in
@@ -323,8 +355,9 @@ let range_checked ?pool ?spec ?(budget = Budget.unlimited) ?retry ?admission
           | Some Simq_admission.Degrade_to_scan -> scan s
           | _ -> (
             match
-              Kindex.range_checked ?spec ~budget ?retry s.sindex ~query
-                ~epsilon
+              Kindex.range_checked ?spec ~budget ?retry
+                ?sketch:(shard_funnel ?spec s) ?approx ?anytime s.sindex
+                ~query ~epsilon
             with
             | Ok r ->
               {
@@ -333,6 +366,7 @@ let range_checked ?pool ?spec ?(budget = Budget.unlimited) ?retry ?admission
                 r_candidates = r.Kindex.candidates;
                 r_nodes = r.Kindex.node_accesses;
                 r_scan = false;
+                r_partial = r.Kindex.partial;
               }
             | Error _ -> scan s))
     in
@@ -382,6 +416,7 @@ let nn_run t s answers =
     r_candidates = List.length answers;
     r_nodes = 0;
     r_scan = false;
+    r_partial = false;
   }
 
 let nearest ?pool ?spec ?normalise_query ?profile t ~query ~k =
@@ -391,7 +426,9 @@ let nearest ?pool ?spec ?normalise_query ?profile t ~query ~k =
     Pool.map_array ?pool
       (fun s ->
         Some
-          (nn_run t s (Kindex.nearest ?spec ?normalise_query s.sindex ~query ~k)))
+          (nn_run t s
+             (Kindex.nearest ?spec ?normalise_query
+                ?sketch:(shard_nn_bound ?spec s) s.sindex ~query ~k)))
       t.parts
   in
   gather_nearest ?profile t ~k runs
@@ -404,7 +441,11 @@ let nearest_checked ?pool ?spec ?(budget = Budget.unlimited) ?retry ?admission
     let cardinality = Dataset.cardinality s.sdataset in
     Float.min 1. (float_of_int k /. float_of_int cardinality)
   in
-  match preflight ?admission ~budget ~keep ~selectivity t with
+  (* The NN funnel reorders refinement, it dismisses nothing, so the
+     admission cost model sees no sketch discount — decisions are
+     identical with and without sketches. *)
+  let sketch_levels _ = 0 in
+  match preflight ?admission ~budget ~keep ~selectivity ~sketch_levels t with
   | Error e -> Error e
   | Ok decisions ->
     notify_decisions ?on_decision decisions;
@@ -419,7 +460,8 @@ let nearest_checked ?pool ?spec ?(budget = Budget.unlimited) ?retry ?admission
         | Some Simq_admission.Degrade_to_scan -> scan s
         | _ -> (
           match
-            Kindex.nearest_checked ?spec ~budget ?retry s.sindex ~query ~k
+            Kindex.nearest_checked ?spec ~budget ?retry
+              ?sketch:(shard_nn_bound ?spec s) s.sindex ~query ~k
           with
           | Ok answers -> nn_run t s answers
           | Error _ -> scan s))

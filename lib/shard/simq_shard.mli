@@ -53,11 +53,18 @@ type t
     R*-tree over [config] (default {!Simq_tsindex.Feature.default}),
     catalogue box and labelled metrics child; the per-shard builds fan
     out their per-entry work over [pool]. [shards] above the
-    cardinality is clamped; [shards < 1] raises [Invalid_argument]. *)
+    cardinality is clamped; [shards < 1] raises [Invalid_argument].
+
+    With [?sketch] every shard additionally builds its own
+    {!Simq_sketch} table over its local dataset, and the range/NN
+    entry points below thread the shard's funnel into the per-shard
+    traversals — exact-mode answers stay bit-identical (Lemma 1 holds
+    per shard), only the count of exact distance evaluations drops. *)
 val create :
   ?pool:Simq_parallel.Pool.t ->
   ?config:Simq_tsindex.Feature.config ->
   ?max_fill:int ->
+  ?sketch:Simq_sketch.config ->
   shards:int ->
   Simq_tsindex.Dataset.t ->
   t
@@ -114,6 +121,10 @@ type range_result = {
       (** summed over executed shards, in shard order; a scan-degraded
           shard contributes its cardinality *)
   node_accesses : int;  (** summed over executed shards (0 for scans) *)
+  partial : bool;
+      (** some shard's anytime verification ([?anytime]) was cut short
+          by its budget: the merged answers are a sound subset. Always
+          [false] without [?anytime], and for scan-degraded shards *)
   report : report;
 }
 
@@ -126,13 +137,21 @@ type range_result = {
     [scan] — pages, candidates and rows) and a [shard.gather] node
     (rows in = per-shard answers, rows out = merged answers), on the
     coordinating domain after the merge, so the recorded structure is
-    identical at every domain count. *)
+    identical at every domain count.
+
+    When the executor carries sketches ([create ?sketch]) each shard
+    funnels its candidates through its own sketch levels first;
+    [?approx a] relaxes every shard's funnel to the [(1 - a) epsilon]
+    cutoff (validated as in {!Simq_tsindex.Kindex.range}), keeping
+    every answer within [(1 - a) epsilon] and returning only true
+    answers. *)
 val range :
   ?pool:Simq_parallel.Pool.t ->
   ?spec:Simq_tsindex.Spec.t ->
   ?normalise_query:bool ->
   ?mean_window:float ->
   ?std_band:float ->
+  ?approx:float ->
   ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
@@ -160,7 +179,15 @@ val range :
     budget exhausted or transient faults outlasting [retry] — degrades
     to its own {!Simq_tsindex.Seqscan.range_checked} over the shard
     dataset, degrading that shard only. [Error] is returned only when
-    a shard's fallback itself fails. *)
+    a shard's fallback itself fails.
+
+    Sketched executors funnel per shard as in {!range}; each shard's
+    funnel levels feed that shard's admission workload
+    ([sketch_levels]), so the cost model sees the comparisons the
+    funnel saves. [?anytime] lets a shard whose budget dies inside
+    exact verification return its sound subset (marked in [partial])
+    instead of degrading to the scan; descent exhaustion still
+    degrades as before. *)
 val range_checked :
   ?pool:Simq_parallel.Pool.t ->
   ?spec:Simq_tsindex.Spec.t ->
@@ -168,6 +195,8 @@ val range_checked :
   ?retry:Simq_fault.Retry.policy ->
   ?admission:Simq_admission.t ->
   ?on_decision:(Simq_admission.decision -> unit) ->
+  ?approx:float ->
+  ?anytime:bool ->
   ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
@@ -187,8 +216,11 @@ type nearest_result = {
     k-way-merges the per-shard top-k lists in (distance, entry id)
     order — the same exact answer set as the unsharded traversal, in
     the canonical order the degraded NN path uses. Records the same
-    [shard.scatter]/[shard.gather] profile nodes as {!range}. Raises
-    [Invalid_argument] when [k <= 0] or on a query-length mismatch. *)
+    [shard.scatter]/[shard.gather] profile nodes as {!range}. A
+    sketched executor passes each shard's {!Simq_sketch.nn_bound} to
+    the per-shard traversal — deferred refinement, answers unchanged.
+    Raises [Invalid_argument] when [k <= 0] or on a query-length
+    mismatch. *)
 val nearest :
   ?pool:Simq_parallel.Pool.t ->
   ?spec:Simq_tsindex.Spec.t ->
@@ -207,7 +239,10 @@ val nearest :
     whole query with nothing run, [Degrade_to_scan] and mid-flight
     index failures degrading that shard (only) to the exact linear
     selection of {!Simq_tsindex.Kindex.nearest_scan}. The merge is
-    exact whichever mix of paths answered the shards. *)
+    exact whichever mix of paths answered the shards. The NN funnel
+    of a sketched executor dismisses nothing, so the per-shard
+    admission workloads carry no sketch discount — decisions are
+    identical with and without sketches. *)
 val nearest_checked :
   ?pool:Simq_parallel.Pool.t ->
   ?spec:Simq_tsindex.Spec.t ->

@@ -1,0 +1,181 @@
+module Cpx = Simq_dsp.Cpx
+module Dataset = Simq_tsindex.Dataset
+module Spec = Simq_tsindex.Spec
+module Kindex = Simq_tsindex.Kindex
+module Metrics = Simq_obs.Metrics
+
+let m_filtered_coarse =
+  Metrics.counter ~help:"Candidates dismissed by the sketch funnel, by level"
+    ~labels:[ ("level", "coarse") ]
+    "simq_sketch_filtered_total"
+
+let m_filtered_segment =
+  Metrics.counter ~help:"Candidates dismissed by the sketch funnel, by level"
+    ~labels:[ ("level", "segment") ]
+    "simq_sketch_filtered_total"
+
+type config = { coarse : int; segments : int }
+
+let default = { coarse = 2; segments = 8 }
+
+type t = {
+  dataset : Dataset.t;
+  config : config;
+  (* Segment means of the normal forms present at build time, indexed
+     by entry id. Entries inserted later fall off the end and are
+     sketched on the fly — no mutation, so concurrent traversals never
+     race on the table. *)
+  segmeans : float array array;
+}
+
+(* Both-ends coarse frequency set: {1..c} and their conjugate mirrors
+   {n-c..n-1}, deduplicated and clamped inside [1, n-1] (coefficient 0
+   of a normal form is always 0 on both sides). For real series the
+   mirror of f carries the conjugate coefficient, so taking both
+   halves doubles the captured energy without reading more of the
+   record. *)
+let coarse_freqs ~n ~coarse =
+  let mem f l = List.exists (Int.equal f) l in
+  let add acc f = if f >= 1 && f <= n - 1 && not (mem f acc) then f :: acc else acc in
+  let acc = ref [] in
+  for f = 1 to coarse do
+    acc := add !acc f;
+    acc := add !acc (n - f)
+  done;
+  Array.of_list (List.sort compare !acc)
+
+(* Segment lengths of an n-point series cut into [segments] pieces:
+   the first [n mod s] segments carry one extra point. Query and data
+   sides must agree on the cut, so it is a pure function of (n, s). *)
+let seg_lengths ~n ~segments =
+  let s = Int.min segments n in
+  let base = n / s and rem = n mod s in
+  Array.init s (fun j -> base + if j < rem then 1 else 0)
+
+let seg_means ~lengths series =
+  let means = Array.make (Array.length lengths) 0. in
+  let pos = ref 0 in
+  Array.iteri
+    (fun j len ->
+      let acc = ref 0. in
+      for i = !pos to !pos + len - 1 do
+        acc := !acc +. series.(i)
+      done;
+      pos := !pos + len;
+      means.(j) <- !acc /. float_of_int len)
+    lengths;
+  means
+
+let create ?(config = default) dataset =
+  if config.coarse < 1 then
+    invalid_arg "Simq_sketch.create: coarse must be >= 1";
+  if config.segments < 1 then
+    invalid_arg "Simq_sketch.create: segments must be >= 1";
+  let n = Dataset.series_length dataset in
+  let lengths = seg_lengths ~n ~segments:config.segments in
+  let segmeans =
+    Array.map
+      (fun (entry : Dataset.entry) -> seg_means ~lengths entry.Dataset.normal)
+      (Dataset.entries dataset)
+  in
+  { dataset; config; segmeans }
+
+let config t = t.config
+
+(* Every bound is scaled by this slack so a last-ulp rounding
+   difference between a partial sum and the exact distance (computed
+   in a different order, or in the time domain via Parseval) can never
+   push a bound above the true distance — a false dismissal would
+   break the exact-mode parity of Lemma 1. *)
+let slack = 1. -. 1e-9
+
+let sq_norm z =
+  let re = Cpx.re z and im = Cpx.im z in
+  (re *. re) +. (im *. im)
+
+(* Partial frequency-domain distance over the coarse set: for every
+   length-preserving transformation the exact postfilter distance is
+   sqrt (sum over all f of |s_f X_f - Q_f|^2) (by Parseval for the
+   identity), and any subset of the non-negative terms lower-bounds
+   it. *)
+let coarse_bound ~freqs ~stretch ~(q : Dataset.entry) (entry : Dataset.entry) =
+  let acc = ref 0. in
+  Array.iter
+    (fun f ->
+      let x = entry.Dataset.spectrum.(f) in
+      let x = match stretch with None -> x | Some s -> Cpx.mul s.(f) x in
+      acc := !acc +. sq_norm (Cpx.sub x q.Dataset.spectrum.(f)))
+    freqs;
+  sqrt !acc *. slack
+
+let entry_segmeans t ~lengths (entry : Dataset.entry) =
+  if entry.Dataset.id < Array.length t.segmeans then
+    t.segmeans.(entry.Dataset.id)
+  else seg_means ~lengths entry.Dataset.normal
+
+(* Piecewise-constant lower bound (identity only): by Cauchy-Schwarz,
+   the squared distance inside segment j is at least
+   L_j (mean_x(j) - mean_q(j))^2, so the weighted mean differences
+   lower-bound the full euclidean distance on the normal forms. *)
+let segment_bound t ~lengths ~qmeans (entry : Dataset.entry) =
+  let means = entry_segmeans t ~lengths entry in
+  let acc = ref 0. in
+  Array.iteri
+    (fun j len ->
+      let d = means.(j) -. qmeans.(j) in
+      acc := !acc +. (float_of_int len *. d *. d))
+    lengths;
+  sqrt !acc *. slack
+
+let spec_levels = function
+  | Spec.Warp _ -> 0
+  | Spec.Identity -> 2
+  | Spec.Reverse | Spec.Moving_average _ | Spec.Weighted_ma _ -> 1
+
+let on_filtered levels level n =
+  match levels.(level) with
+  | "coarse" -> Metrics.add m_filtered_coarse n
+  | _ -> Metrics.add m_filtered_segment n
+
+(* The per-level bounds for one prepared query, or None when the
+   transformation supports no sketch (the warp changes the length, so
+   neither the spectra nor the segment cuts align). *)
+let level_bounds t ~spec ~(query : Dataset.entry) =
+  let n = Dataset.series_length t.dataset in
+  match spec with
+  | Spec.Warp _ -> None
+  | Spec.Identity ->
+    let freqs = coarse_freqs ~n ~coarse:t.config.coarse in
+    let lengths = seg_lengths ~n ~segments:t.config.segments in
+    let qmeans = seg_means ~lengths query.Dataset.normal in
+    Some
+      [|
+        ("coarse", coarse_bound ~freqs ~stretch:None ~q:query);
+        ("segment", segment_bound t ~lengths ~qmeans);
+      |]
+  | _ ->
+    let freqs = coarse_freqs ~n ~coarse:t.config.coarse in
+    let stretch = Spec.stretch spec ~n in
+    Some [| ("coarse", coarse_bound ~freqs ~stretch:(Some stretch) ~q:query) |]
+
+let funnel t ~spec ~query =
+  match level_bounds t ~spec ~query with
+  | None -> None
+  | Some bounds ->
+    let levels = Array.map fst bounds in
+    Some
+      {
+        Kindex.levels;
+        bound = (fun level entry -> (snd bounds.(level)) entry);
+        on_filtered = on_filtered levels;
+      }
+
+let nn_bound t ~spec ~query =
+  match level_bounds t ~spec ~query with
+  | None -> None
+  | Some bounds ->
+    Some
+      (fun entry ->
+        Array.fold_left
+          (fun acc (_, bound) -> Float.max acc (bound entry))
+          0. bounds)

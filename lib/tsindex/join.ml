@@ -47,7 +47,8 @@ let transformed_spectra ?pool kindex spec =
    counters come out exactly as the sequential double loop's. Rows
    shrink as [i] grows, so chunks are kept small to balance load. *)
 let scan ?pool ?bstate ?profile ~abandon kindex spec epsilon =
-  if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
+  if not (Float.is_finite epsilon) || epsilon < 0. then
+    invalid_arg "Join.scan: epsilon must be finite and >= 0";
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let dataset = Kindex.dataset kindex in
   let count = Dataset.cardinality dataset in
@@ -136,7 +137,8 @@ let scan_early_abandon ?pool ?(spec = Spec.Identity) ?profile kindex ~epsilon =
 let scan_checked ?pool ?(spec = Spec.Identity) ?(abandon = true)
     ?(budget = Budget.unlimited) ?retry ?on_retry ?admission ?on_decision
     ?profile kindex ~epsilon =
-  if epsilon < 0. then invalid_arg "Join.scan: negative epsilon";
+  if not (Float.is_finite epsilon) || epsilon < 0. then
+    invalid_arg "Join.scan: epsilon must be finite and >= 0";
   (* Admission runs once, before any comparison: the join's comparison
      count n (n - 1) / 2 is a catalogue fact, so the decision is a pure
      function of the budget and a registry snapshot — identical at
@@ -168,7 +170,8 @@ let scan_checked ?pool ?(spec = Spec.Identity) ?(abandon = true)
    applies to both the stored side (via the transformed traversal) and
    the query side (its features and the postprocessing distance). *)
 let index_join ?profile kindex spec epsilon =
-  if epsilon < 0. then invalid_arg "Join.index_join: negative epsilon";
+  if not (Float.is_finite epsilon) || epsilon < 0. then
+    invalid_arg "Join.index_join: epsilon must be finite and >= 0";
   let dataset = Kindex.dataset kindex in
   let k = (Kindex.config kindex).Feature.k in
   let normals = transformed_normals kindex spec in

@@ -65,6 +65,19 @@ type range_result = {
   answers : (Dataset.entry * float) list;
   candidates : int;
   node_accesses : int;
+  partial : bool;
+}
+
+(* A multi-resolution sketch funnel ([Simq_sketch] builds one per
+   query): each level maps an entry to a proved lower bound on the
+   true distance, coarse levels first. The postfilter dismisses a
+   candidate as soon as one level's bound clears the cutoff — Lemma 1
+   applied one resolution at a time — so only the survivors of the
+   finest level pay the exact distance. *)
+type prefilter = {
+  levels : string array;
+  bound : int -> Dataset.entry -> float;
+  on_filtered : int -> int -> unit;
 }
 
 (* [lowered] on the leading feature dimensions, identity on the
@@ -160,9 +173,14 @@ let region_tests region ptransform =
    locally (never written to the tree) so read-only queries can run
    concurrently from several domains; {!range_prepared} credits the
    tree's cumulative counter afterwards. *)
-let range_prepared_counted ?mean_range ?std_range ?bstate ?profile t prepared
-    ~query_coeffs ~epsilon ~distance =
-  if epsilon < 0. then invalid_arg "Kindex.range_prepared: negative epsilon";
+let range_prepared_counted ?mean_range ?std_range ?bstate ?prefilter ?approx
+    ?(anytime = false) ?profile t prepared ~query_coeffs ~epsilon ~distance =
+  if not (Float.is_finite epsilon) || epsilon < 0. then
+    invalid_arg "Kindex.range_prepared: epsilon must be finite and >= 0";
+  (match approx with
+  | Some a when not (Float.is_finite a) || a < 0. || a >= 1. ->
+    invalid_arg "Kindex.range_prepared: approx must be in [0, 1)"
+  | _ -> ());
   if Array.length query_coeffs <> t.config.Feature.k then
     invalid_arg "Kindex.range_prepared: expected k query coefficients";
   let region = full_region t ?mean_range ?std_range ~query_coeffs ~epsilon () in
@@ -181,42 +199,85 @@ let range_prepared_counted ?mean_range ?std_range ?bstate ?profile t prepared
   Profile.add_rows_out pd candidates;
   Profile.leave profile pd;
   Metrics.add m_candidates candidates;
+  (* The sketch funnel: every level filters the whole surviving set
+     before the next (finer) level runs, so the profile reads as a
+     ladder of [sketch.<level>] stages between descent and the exact
+     postfilter. In exact mode the cutoff is epsilon itself and Lemma 1
+     keeps the answer identical; in approximate mode the cutoff
+     tightens to [(1 - a) * epsilon] — dismissals may then lose answers
+     whose distance lies in the slack band, never admit a wrong one.
+     Bound evaluations read no page and charge nothing against the
+     budget: they price strictly below one comparison. *)
+  let survivor_ids =
+    match prefilter with
+    | None -> candidate_ids
+    | Some pf ->
+      let cutoff =
+        match approx with None -> epsilon | Some a -> (1. -. a) *. epsilon
+      in
+      let ids = ref candidate_ids in
+      Array.iteri
+        (fun level name ->
+          let pl = Profile.enter profile ("sketch." ^ name) in
+          let before = List.length !ids in
+          ids :=
+            List.filter
+              (fun id -> pf.bound level (Dataset.get t.dataset id) <= cutoff)
+              !ids;
+          let after = List.length !ids in
+          Profile.add_rows_in pl before;
+          Profile.add_rows_out pl after;
+          pf.on_filtered level (before - after);
+          Profile.leave profile pl)
+        pf.levels;
+      !ids
+  in
   let pp = Profile.enter profile "kindex.postfilter" in
+  let partial = ref false in
   let answers =
     Otrace.with_span "kindex.postfilter" @@ fun () ->
-    List.filter_map
-      (fun id ->
-        (* Each exact-distance evaluation of a candidate is one
-           comparison against the budget, like a scan entry. *)
-        (match bstate with
-        | None -> ()
-        | Some b ->
-          Budget.check b;
-          Budget.charge_comparisons b 1);
-        let entry = Dataset.get t.dataset id in
-        let d = distance entry in
-        if d <= epsilon then Some (entry, d) else None)
-      candidate_ids
-    |> List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id)
+    let kept = ref [] in
+    (try
+       List.iter
+         (fun id ->
+           (* Each exact-distance evaluation of a candidate is one
+              comparison against the budget, like a scan entry. *)
+           (match bstate with
+           | None -> ()
+           | Some b ->
+             Budget.check b;
+             Budget.charge_comparisons b 1);
+           let entry = Dataset.get t.dataset id in
+           let d = distance entry in
+           if d <= epsilon then kept := (entry, d) :: !kept)
+         survivor_ids
+     with Budget.Exceeded _ when anytime ->
+       (* Anytime mode: the budget died inside the verification loop.
+          Every answer already collected paid its exact distance, so
+          the result is a sound subset — return it marked partial
+          instead of failing the whole query. *)
+       partial := true);
+    List.sort (fun (a, _) (b, _) -> compare a.Dataset.id b.Dataset.id) !kept
   in
   let survivors = List.length answers in
-  Profile.add_rows_in pp candidates;
+  Profile.add_rows_in pp (List.length survivor_ids);
   Profile.add_rows_out pp survivors;
   Profile.add_candidates pp candidates;
   Profile.add_survivors pp survivors;
+  (if !partial then Profile.add_event pp "anytime: budget exhausted, partial");
   Profile.leave profile pp;
   Profile.add_rows_out pn survivors;
   Profile.add_candidates pn candidates;
   Profile.add_survivors pn survivors;
   Profile.add_pages pn node_accesses;
   Metrics.add m_survivors survivors;
-  { answers; candidates; node_accesses }
+  { answers; candidates; node_accesses; partial = !partial }
 
-let range_prepared ?mean_range ?std_range ?profile t prepared ~query_coeffs
-    ~epsilon ~distance =
+let range_prepared ?mean_range ?std_range ?prefilter ?approx ?anytime ?profile
+    t prepared ~query_coeffs ~epsilon ~distance =
   let result =
-    range_prepared_counted ?mean_range ?std_range ?profile t prepared
-      ~query_coeffs ~epsilon ~distance
+    range_prepared_counted ?mean_range ?std_range ?prefilter ?approx ?anytime
+      ?profile t prepared ~query_coeffs ~epsilon ~distance
   in
   Rstar.add_accesses t.tree result.node_accesses;
   result
@@ -299,36 +360,48 @@ let range_request ?mean_window ?std_band ~normalise_query t spec query =
   let prepared = prepare t spec in
   (mean_range, std_range, q, query_coeffs, prepared)
 
+(* The sketch argument of the public entry points is a builder
+   ([Simq_sketch.funnel] partially applied): the prepared query entry
+   only exists inside the call, so the funnel is built here, once per
+   query. *)
+let build_funnel sketch q =
+  match sketch with None -> None | Some f -> (f q : prefilter option)
+
 let range ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
-    ?std_band ?profile t ~query ~epsilon =
+    ?std_band ?sketch ?approx ?anytime ?profile t ~query ~epsilon =
   let mean_range, std_range, q, query_coeffs, prepared =
     range_request ?mean_window ?std_band ~normalise_query t spec query
   in
-  range_prepared ?mean_range ?std_range ?profile t prepared ~query_coeffs
-    ~epsilon ~distance:(prepared_distance t prepared q)
+  range_prepared ?mean_range ?std_range
+    ?prefilter:(build_funnel sketch q)
+    ?approx ?anytime ?profile t prepared ~query_coeffs ~epsilon
+    ~distance:(prepared_distance t prepared q)
 
 let range_checked ?(spec = Spec.Identity) ?(normalise_query = true)
     ?mean_window ?std_band ?(budget = Budget.unlimited) ?retry ?on_retry
-    ?profile t ~query ~epsilon =
-  if epsilon < 0. then invalid_arg "Kindex.range: negative epsilon";
+    ?sketch ?approx ?anytime ?profile t ~query ~epsilon =
+  if not (Float.is_finite epsilon) || epsilon < 0. then
+    invalid_arg "Kindex.range: epsilon must be finite and >= 0";
   let mean_range, std_range, q, query_coeffs, prepared =
     range_request ?mean_window ?std_band ~normalise_query t spec query
   in
+  let prefilter = build_funnel sketch q in
   let distance = prepared_distance t prepared q in
   Retry.with_retries ?policy:retry ?on_retry (fun () ->
       (* Fresh budget state per attempt; node accesses are credited to
          the tree only for the attempt that succeeds. *)
       let bstate = Budget.state_opt budget in
       let result =
-        range_prepared_counted ?mean_range ?std_range ?bstate ?profile t
-          prepared ~query_coeffs ~epsilon ~distance
+        range_prepared_counted ?mean_range ?std_range ?bstate ?prefilter
+          ?approx ?anytime ?profile t prepared ~query_coeffs ~epsilon ~distance
       in
       Rstar.add_accesses t.tree result.node_accesses;
       result)
 
 let range_probe ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
     ?std_band t ~query ~epsilon =
-  if epsilon < 0. then invalid_arg "Kindex.range_probe: negative epsilon";
+  if not (Float.is_finite epsilon) || epsilon < 0. then
+    invalid_arg "Kindex.range_probe: epsilon must be finite and >= 0";
   let mean_range, std_range, _, query_coeffs, prepared =
     range_request ?mean_window ?std_band ~normalise_query t spec query
   in
@@ -338,11 +411,12 @@ let range_probe ?(spec = Spec.Identity) ?(normalise_query = true) ?mean_window
 (* --- query batches -------------------------------------------------------- *)
 
 let range_batch ?pool ?profiles ?(spec = Spec.Identity)
-    ?(normalise_query = true) t ~queries =
+    ?(normalise_query = true) ?sketch ?approx ?anytime t ~queries =
   Array.iter
     (fun (query, epsilon) ->
       check_query_length t spec query;
-      if epsilon < 0. then invalid_arg "Kindex.range_batch: negative epsilon")
+      if not (Float.is_finite epsilon) || epsilon < 0. then
+        invalid_arg "Kindex.range_batch: epsilon must be finite and >= 0")
     queries;
   (* One preparation for the whole workload; the traversals are
      read-only (locally counted accesses, see
@@ -355,7 +429,8 @@ let range_batch ?pool ?profiles ?(spec = Spec.Identity)
       (fun ~profile (query, epsilon) ->
         let q = Dataset.prepare_query ~normalise:normalise_query query in
         let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
-        range_prepared_counted ?profile t prepared ~query_coeffs ~epsilon
+        range_prepared_counted ?prefilter:(build_funnel sketch q) ?approx
+          ?anytime ?profile t prepared ~query_coeffs ~epsilon
           ~distance:(prepared_distance t prepared q))
       queries
   in
@@ -426,8 +501,28 @@ let feature_lower_bound t ~query_coeffs (r : Rect.t) =
   done;
   sqrt !acc
 
-let nearest ?(spec = Spec.Identity) ?(normalise_query = true) ?profile t
-    ~query ~k =
+(* The NN sketch argument is also a builder: applied to the prepared
+   query it yields a per-entry lower bound (the max over the funnel's
+   levels). [Nn.nearest_custom ?point_bound] queues data entries under
+   that bound and refines to the exact distance only on pop, so
+   entries never reaching the top of the heap never pay the exact
+   comparison — the emitted answers stay exact (the multi-step
+   refinement of [RKV95], one more resolution down). *)
+let nn_point_bound t sketch q =
+  match sketch with
+  | None -> None
+  | Some f ->
+    Option.map
+      (fun bound (_ : Rect.t) id -> bound (Dataset.get t.dataset id))
+      (f q : (Dataset.entry -> float) option)
+
+let nn_detail ~k point_bound =
+  match point_bound with
+  | None -> Printf.sprintf "k=%d" k
+  | Some _ -> Printf.sprintf "k=%d sketch" k
+
+let nearest ?(spec = Spec.Identity) ?(normalise_query = true) ?sketch ?profile
+    t ~query ~k =
   check_query_length t spec query;
   let q = Dataset.prepare_query ~normalise:normalise_query query in
   let query_coeffs = Array.sub q.Dataset.spectrum 1 t.config.Feature.k in
@@ -438,8 +533,9 @@ let nearest ?(spec = Spec.Identity) ?(normalise_query = true) ?profile t
     | Some tr -> Linear_transform.apply_rect tr r
   in
   let dist = prepared_distance t prepared q in
+  let point_bound = nn_point_bound t sketch q in
   let pn = Profile.enter profile "kindex.nearest" in
-  Profile.set_detail pn (Printf.sprintf "k=%d" k);
+  Profile.set_detail pn (nn_detail ~k point_bound);
   let visits = ref 0 in
   let visit =
     match pn with None -> None | Some _ -> Some (fun () -> incr visits)
@@ -451,7 +547,7 @@ let nearest ?(spec = Spec.Identity) ?(normalise_query = true) ?profile t
   Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
   let answers =
     Otrace.with_span "kindex.nearest" @@ fun () ->
-    Nn.nearest_custom ?visit t.tree
+    Nn.nearest_custom ?visit ?point_bound ~data_rank:Fun.id t.tree
       ~rect_bound:(fun r -> feature_lower_bound t ~query_coeffs (map_rect r))
       ~point_dist ~k
     |> List.map (fun (_, id, d) -> (Dataset.get t.dataset id, d))
@@ -518,11 +614,15 @@ let nn_workload t ~k =
     selectivity =
       (if cardinality = 0 then 1.
        else Float.min 1. (float_of_int k /. float_of_int cardinality));
+    (* The NN funnel reorders refinement, it does not dismiss: the
+       comparison estimate keeps its funnel-free form so NN admission
+       decides identically with and without a sketch. *)
+    sketch_levels = 0;
   }
 
 let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
     ?(budget = Budget.unlimited) ?retry ?on_retry ?admission ?on_decision
-    ?profile t ~query ~k =
+    ?sketch ?profile t ~query ~k =
   check_query_length t spec query;
   if k <= 0 then invalid_arg "Kindex.nearest_checked: k must be positive";
   let q = Dataset.prepare_query ~normalise:normalise_query query in
@@ -534,8 +634,9 @@ let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
     | Some tr -> Linear_transform.apply_rect tr r
   in
   let dist = prepared_distance t prepared q in
+  let point_bound = nn_point_bound t sketch q in
   let pn = Profile.enter profile "kindex.nearest" in
-  Profile.set_detail pn (Printf.sprintf "k=%d" k);
+  Profile.set_detail pn (nn_detail ~k point_bound);
   let visits = ref 0 in
   Fun.protect ~finally:(fun () -> Profile.leave profile pn) @@ fun () ->
   (* Admission runs once, before any attempt: the decision is a pure
@@ -604,7 +705,7 @@ let nearest_checked ?(spec = Spec.Identity) ?(normalise_query = true)
              dist (Dataset.get t.dataset id)
            in
            Otrace.with_span "kindex.nearest" @@ fun () ->
-           Nn.nearest_custom ?visit t.tree
+           Nn.nearest_custom ?visit ?point_bound ~data_rank:Fun.id t.tree
              ~rect_bound:(fun r ->
                feature_lower_bound t ~query_coeffs (map_rect r))
              ~point_dist ~k

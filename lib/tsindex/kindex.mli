@@ -45,6 +45,31 @@ type range_result = {
           that distance *)
   candidates : int;  (** leaf hits before postprocessing (>= answers) *)
   node_accesses : int;  (** R-tree nodes visited by this query *)
+  partial : bool;
+      (** [true] only in anytime mode ([?anytime]) when the budget
+          died inside exact verification: the answers returned are a
+          sound subset of the exact answer (each one paid its exact
+          distance), and the tail was never verified. Always [false]
+          otherwise. *)
+}
+
+(** A multi-resolution sketch funnel, run between the index descent
+    and the exact postfilter: level [l] (coarse first; [levels.(l)]
+    names it, e.g. ["coarse"], ["segment"]) maps an entry to
+    [bound l entry], a proved lower bound on the true (transformed)
+    distance. A candidate is dismissed as soon as one level's bound
+    exceeds the cutoff (ε in exact mode — Lemma 1 applied one
+    resolution at a time, so the answer is unchanged; [(1 - a)·ε]
+    with [?approx a]). [on_filtered l n] observes the [n] candidates
+    level [l] dismissed (the [simq_sketch_filtered_total{level}]
+    counters). Bound evaluations read no page and are never charged
+    against the budget. {!Simq_sketch} builds funnels whose bounds
+    are proved; any caller-supplied bound must lower-bound the exact
+    postfilter distance or exact mode loses answers. *)
+type prefilter = {
+  levels : string array;
+  bound : int -> Dataset.entry -> float;
+  on_filtered : int -> int -> unit;
 }
 
 (** [range t ?spec ~query ~epsilon] finds every series [x] of the data
@@ -59,6 +84,9 @@ val range :
   ?normalise_query:bool ->
   ?mean_window:float ->
   ?std_band:float ->
+  ?sketch:(Dataset.entry -> prefilter option) ->
+  ?approx:float ->
+  ?anytime:bool ->
   ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
@@ -66,10 +94,28 @@ val range :
   range_result
 (** With [?profile] ({!Simq_obs.Profile}) the query records a
     [kindex.range] operator node with [kindex.descent] (node accesses
-    as pages, candidates out) and [kindex.postfilter] (candidates in,
-    survivors out) children; [nearest] records a [kindex.nearest] node
-    whose pages are the node expansions of the best-first traversal.
-    Profiling never changes an answer and costs nothing when absent.
+    as pages, candidates out), one [sketch.<level>] node per funnel
+    level (rows in/out — the filter ladder), and [kindex.postfilter]
+    (survivors in, answers out) children; [nearest] records a
+    [kindex.nearest] node whose pages are the node expansions of the
+    best-first traversal. Profiling never changes an answer and costs
+    nothing when absent.
+
+    [?sketch] is a funnel {e builder} ({!Simq_sketch.funnel} partially
+    applied): called once on the prepared query entry, its result (a
+    {!prefilter}) filters candidates between descent and the exact
+    postfilter. With no [?approx] the answer is bit-identical to the
+    funnel-free run (every level lower-bounds the exact distance —
+    Lemma 1). [?approx a] (finite, [0 <= a < 1]) tightens the funnel
+    cutoff to [(1 - a)·ε]: every returned answer is still a true
+    answer, but answers whose distance lies in [((1 - a)·ε, ε]] may be
+    dismissed at sketch resolution — the ε-guaranteed approximate
+    mode. [Invalid_argument] when [a] is outside [[0, 1)].
+    [?anytime] (checked paths; default false) turns budget exhaustion
+    {e inside exact verification} into a partial result
+    ([partial = true]) instead of a typed error — exhaustion during
+    the descent still fails the query, because no sound subset exists
+    yet.
 
     The optional GK95-style side constraints restrict answers through
     the mean/std index dimensions: [mean_window w] keeps series whose
@@ -99,6 +145,9 @@ val range_checked :
   ?budget:Simq_fault.Budget.t ->
   ?retry:Simq_fault.Retry.policy ->
   ?on_retry:(attempt:int -> unit) ->
+  ?sketch:(Dataset.entry -> prefilter option) ->
+  ?approx:float ->
+  ?anytime:bool ->
   ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
@@ -142,6 +191,9 @@ val range_batch :
   ?profiles:Simq_obs.Profile.t array ->
   ?spec:Spec.t ->
   ?normalise_query:bool ->
+  ?sketch:(Dataset.entry -> prefilter option) ->
+  ?approx:float ->
+  ?anytime:bool ->
   t ->
   queries:(Simq_series.Series.t * float) array ->
   range_result array
@@ -149,9 +201,20 @@ val range_batch :
 (** [nearest t ?spec ~query ~k] is the [k] entries minimising the same
     distance, closest first — best-first search with per-feature
     geometric lower bounds, full distances computed on demand
-    (the multi-step exact NN of [RKV95]). *)
+    (the multi-step exact NN of [RKV95]).
+
+    [?sketch] is an NN bound builder ({!Simq_sketch.nn_bound}
+    partially applied): called once on the prepared query entry, it
+    yields a per-entry lower bound (the max over the funnel's levels)
+    under which data entries are queued and refined to their exact
+    distance only when they reach the top of the heap — one more
+    refinement step, so entries the sketch keeps away from the top
+    never pay an exact comparison. The emitted answers are exact and
+    bit-identical to the sketch-free run at every domain count. *)
 val nearest :
-  ?spec:Spec.t -> ?normalise_query:bool -> ?profile:Simq_obs.Profile.t ->
+  ?spec:Spec.t -> ?normalise_query:bool ->
+  ?sketch:(Dataset.entry -> (Dataset.entry -> float) option) ->
+  ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t -> k:int -> (Dataset.entry * float) list
 
@@ -207,6 +270,7 @@ val nearest_checked :
   ?on_retry:(attempt:int -> unit) ->
   ?admission:Simq_admission.t ->
   ?on_decision:(Simq_admission.decision -> unit) ->
+  ?sketch:(Dataset.entry -> (Dataset.entry -> float) option) ->
   ?profile:Simq_obs.Profile.t ->
   t ->
   query:Simq_series.Series.t ->
@@ -243,10 +307,16 @@ type prepared
 val prepare : t -> Spec.t -> prepared
 
 (** [range_prepared t prepared ~query_coeffs ~epsilon ~distance] is
-    {!range_generic} with the preparation factored out. *)
+    {!range_generic} with the preparation factored out. [?prefilter]
+    is an already-built funnel (the prepared-query entry is the
+    caller's here), run under the same exact/approx/anytime contract
+    as {!range}'s [?sketch]. *)
 val range_prepared :
   ?mean_range:float * float ->
   ?std_range:float * float ->
+  ?prefilter:prefilter ->
+  ?approx:float ->
+  ?anytime:bool ->
   ?profile:Simq_obs.Profile.t ->
   t ->
   prepared ->

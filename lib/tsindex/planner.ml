@@ -177,13 +177,14 @@ type resilient_result = {
   answers : (Dataset.entry * float) list;
   executed : plan;
   degraded : bool;
+  partial : bool;
   index_error : Error.t option;
   admission : Simq_admission.decision option;
 }
 
 (* Everything admission control needs is catalogue metadata plus one
    histogram lookup: producing it reads no page and visits no node. *)
-let admission_workload ?stats kindex ~epsilon =
+let admission_workload ?stats ?(sketch_levels = 0) kindex ~epsilon =
   let dataset = Kindex.dataset kindex in
   let tree = Kindex.tree kindex in
   {
@@ -193,11 +194,13 @@ let admission_workload ?stats kindex ~epsilon =
     tree_height = Simq_rtree.Rstar.height tree;
     selectivity =
       (match stats with Some stats -> selectivity stats ~epsilon | None -> 1.);
+    sketch_levels;
   }
 
 let range_resilient_impl ?pool ?(spec = Spec.Identity) ?stats
     ?(budget = Budget.unlimited) ?retry ?counters ?(validate = false)
-    ?admission ?profile kindex ~query ~epsilon =
+    ?admission ?sketch ?(sketch_levels = 0) ?approx ?anytime ?profile kindex
+    ~query ~epsilon =
   let bump f = match counters with Some c -> f c | None -> () in
   bump (fun c -> c.queries <- c.queries + 1);
   let pn = Profile.enter profile "planner" in
@@ -241,7 +244,7 @@ let range_resilient_impl ?pool ?(spec = Spec.Identity) ?stats
     | None -> None
     | Some policy ->
       let padmit = Profile.enter profile "admit" in
-      let workload = admission_workload ?stats kindex ~epsilon in
+      let workload = admission_workload ?stats ~sketch_levels kindex ~epsilon in
       let prefer =
         match plan with
         | Use_index -> Simq_admission.Index_path
@@ -266,6 +269,7 @@ let range_resilient_impl ?pool ?(spec = Spec.Identity) ?stats
           answers = r.Seqscan.answers;
           executed = Use_scan;
           degraded = true;
+          partial = false;
           index_error = Some index_error;
           admission = decision;
         }
@@ -279,6 +283,7 @@ let range_resilient_impl ?pool ?(spec = Spec.Identity) ?stats
           answers = r.Seqscan.answers;
           executed = Use_scan;
           degraded;
+          partial = false;
           index_error = None;
           admission = decision;
         }
@@ -290,8 +295,8 @@ let range_resilient_impl ?pool ?(spec = Spec.Identity) ?stats
     else begin
       bump (fun c -> c.index_attempts <- c.index_attempts + 1);
       match
-        Kindex.range_checked ~spec ~budget ?retry ~on_retry ?profile kindex
-          ~query ~epsilon
+        Kindex.range_checked ~spec ~budget ?retry ~on_retry ?sketch ?approx
+          ?anytime ?profile kindex ~query ~epsilon
       with
       | Ok (r : Kindex.range_result) ->
         Ok
@@ -299,6 +304,7 @@ let range_resilient_impl ?pool ?(spec = Spec.Identity) ?stats
             answers = r.Kindex.answers;
             executed = Use_index;
             degraded = false;
+            partial = r.Kindex.partial;
             index_error = None;
             admission = decision;
           }
@@ -366,17 +372,20 @@ let qlog_entry ~spec ~epsilon ~query ~pool ~duration_s result =
   }
 
 let range_resilient ?pool ?spec ?stats ?budget ?retry ?counters ?validate
-    ?admission ?profile kindex ~query ~epsilon =
+    ?admission ?sketch ?sketch_levels ?approx ?anytime ?profile kindex ~query
+    ~epsilon =
   match Qlog.ambient () with
   | None ->
     range_resilient_impl ?pool ?spec ?stats ?budget ?retry ?counters ?validate
-      ?admission ?profile kindex ~query ~epsilon
+      ?admission ?sketch ?sketch_levels ?approx ?anytime ?profile kindex
+      ~query ~epsilon
   | Some qlog ->
     let before = Metrics.snapshot () in
     let t0 = Clock.now_ns () in
     let result =
       range_resilient_impl ?pool ?spec ?stats ?budget ?retry ?counters
-        ?validate ?admission ?profile kindex ~query ~epsilon
+        ?validate ?admission ?sketch ?sketch_levels ?approx ?anytime ?profile
+        kindex ~query ~epsilon
     in
     let duration_s = Clock.elapsed_s t0 in
     let entry =

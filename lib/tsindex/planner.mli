@@ -90,6 +90,11 @@ type resilient_result = {
       (** the scan answered in place of the planned index path — either
           the index path failed mid-flight, or admission control
           predicted it would and redirected before execution *)
+  partial : bool;
+      (** the index path ran in anytime mode ([?anytime]) and its
+          budget died inside exact verification: the answers are a
+          sound subset (see {!Kindex.range_result}). Always [false] on
+          the scan path *)
   index_error : Simq_fault.Error.t option;
       (** why the index path was abandoned mid-flight, when [degraded];
           [None] for an admission-time [Degrade_to_scan] (nothing ran) *)
@@ -126,7 +131,16 @@ type resilient_result = {
     path, counter deltas between the bracketing registry snapshots,
     duration, outcome with its exit-code convention (0 ok, 4 failed,
     5 rejected) and domain count. Neither changes answers, counters or
-    decisions. *)
+    decisions.
+
+    [?sketch]/[?approx]/[?anytime] thread the {!Kindex} sketch funnel
+    into the index path only — the fallback scan is always exact and
+    full, so a degraded query keeps the Lemma 1 answer even in
+    approximate mode (a superset of the approximate answers, every one
+    true). [?sketch_levels] feeds the funnel's level count into the
+    admission workload so the cost model discounts the exact
+    comparisons the funnel saves; it defaults to [0] and never changes
+    what an executed path returns. *)
 val range_resilient :
   ?pool:Simq_parallel.Pool.t ->
   ?spec:Spec.t ->
@@ -136,6 +150,10 @@ val range_resilient :
   ?counters:counters ->
   ?validate:bool ->
   ?admission:Simq_admission.t ->
+  ?sketch:(Dataset.entry -> Kindex.prefilter option) ->
+  ?sketch_levels:int ->
+  ?approx:float ->
+  ?anytime:bool ->
   ?profile:Simq_obs.Profile.t ->
   Kindex.t ->
   query:Simq_series.Series.t ->

@@ -63,7 +63,12 @@ let tokenize text =
       let lexeme = String.sub text start (!pos - start) in
       if String.contains lexeme '.' then
         match float_of_string_opt lexeme with
-        | Some f -> tokens := Number f :: !tokens
+        (* Overflowing literals round to infinity: a non-finite epsilon
+           would silently make every lower-bound comparison false, so
+           the grammar owns only finite numbers. ("nan"/"inf" words lex
+           as identifiers and are rejected by the parser.) *)
+        | Some f when Float.is_finite f -> tokens := Number f :: !tokens
+        | Some _ -> fail "non-finite number %S" lexeme
         | None -> fail "bad number %S" lexeme
       else begin
         match int_of_string_opt lexeme with

@@ -191,7 +191,8 @@ let profiled_scan ~pool ~abandon ~normalise_query ?bstate ?profile dataset spec
 
 let scan ?pool ?profile ~abandon ~normalise_query dataset spec query epsilon =
   check_query_length dataset spec query;
-  if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
+  if not (Float.is_finite epsilon) || epsilon < 0. then
+    invalid_arg "Seqscan: epsilon must be finite and >= 0";
   let pool = resolve_pool pool in
   let pn = Profile.enter profile "seqscan.range" in
   Fun.protect
@@ -218,7 +219,8 @@ let range_checked ?pool ?(spec = Spec.Identity) ?(normalise_query = true)
     ?(abandon = true) ?(budget = Budget.unlimited) ?retry ?on_retry ?profile
     dataset ~query ~epsilon =
   check_query_length dataset spec query;
-  if epsilon < 0. then invalid_arg "Seqscan: negative epsilon";
+  if not (Float.is_finite epsilon) || epsilon < 0. then
+    invalid_arg "Seqscan: epsilon must be finite and >= 0";
   let pool = resolve_pool pool in
   let relation = Dataset.relation dataset in
   let pn = Profile.enter profile "seqscan.range" in
@@ -257,7 +259,8 @@ let range_batch ?pool ?profiles ?(spec = Spec.Identity)
   Array.iter
     (fun (query, epsilon) ->
       check_query_length dataset spec query;
-      if epsilon < 0. then invalid_arg "Seqscan.range_batch: negative epsilon")
+      if not (Float.is_finite epsilon) || epsilon < 0. then
+        invalid_arg "Seqscan.range_batch: epsilon must be finite and >= 0")
     queries;
   (* Each query reads the whole relation; account the passes up front,
      in query order, exactly as running the queries one by one would. *)

@@ -25,9 +25,10 @@ let contains haystack needle =
   go 0
 
 let workload ?(cardinality = 100) ?(pages = 13) ?(tree_size = 100)
-    ?(tree_height = 2) ?(selectivity = 0.1) () =
+    ?(tree_height = 2) ?(selectivity = 0.1) ?(sketch_levels = 0) () =
   {
     Admission.cardinality; pages; tree_size; tree_height; selectivity;
+    sketch_levels;
   }
 
 (* --- decision unit tests --------------------------------------------------- *)

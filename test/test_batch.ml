@@ -279,25 +279,50 @@ let test_batch_metric_totals_invariant () =
 
 (* --- qlog size rotation ------------------------------------------------------ *)
 
-let test_qlog_rotation () =
+let with_qlog_dir f =
   let dir = Filename.temp_file "simq_qlog" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
   let path = Filename.concat dir "rot.qlog" in
-  let entry i =
-    {
-      Qlog.spec = Printf.sprintf "RANGE FROM r QUERY s%d EPS 2.5" i;
-      digest = "0123456789ab";
-      decision = None;
-      path = Some "index";
-      deltas = [];
-      duration_s = 0.001;
-      outcome = "ok";
-      exit_code = 0;
-      domains = 1;
-      shards = None;
-    }
-  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ path; path ^ ".1" ];
+      Unix.rmdir dir)
+    (fun () -> f path)
+
+let qlog_entry i =
+  {
+    Qlog.spec = Printf.sprintf "RANGE FROM r QUERY s%d EPS 2.5" i;
+    digest = "0123456789ab";
+    decision = None;
+    path = Some "index";
+    deltas = [];
+    duration_s = 0.001;
+    outcome = "ok";
+    exit_code = 0;
+    domains = 1;
+    shards = None;
+  }
+
+let read_lines file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !lines
+  end
+
+let test_qlog_rotation () =
+  with_qlog_dir @@ fun path ->
+  let entry = qlog_entry in
   let line_bytes = String.length (Qlog.render_line ~seq:0 (entry 0)) + 1 in
   (* A limit of two lines: every third write rotates. *)
   let log = Qlog.create ~max_bytes:(2 * line_bytes) path in
@@ -306,20 +331,6 @@ let test_qlog_rotation () =
     Qlog.log log (entry i)
   done;
   Qlog.close log;
-  let read_lines file =
-    if not (Sys.file_exists file) then []
-    else begin
-      let ic = open_in file in
-      let lines = ref [] in
-      (try
-         while true do
-           lines := input_line ic :: !lines
-         done
-       with End_of_file -> ());
-      close_in ic;
-      List.rev !lines
-    end
-  in
   let rotated = read_lines (path ^ ".1") in
   let live = read_lines path in
   Alcotest.(check bool) "rotation happened" true (rotated <> []);
@@ -347,9 +358,41 @@ let test_qlog_rotation () =
     (List.init (List.length seqs) (fun i -> expected_start + i))
     seqs;
   Alcotest.(check int) "all entries seen" total (Qlog.entries_seen log);
-  Alcotest.(check int) "all lines written" total (Qlog.lines_written log);
-  List.iter (fun f -> if Sys.file_exists f then Sys.remove f) [ path; path ^ ".1" ];
-  Unix.rmdir dir
+  Alcotest.(check int) "all lines written" total (Qlog.lines_written log)
+
+(* Regression: rotation firing on the final pre-drain line leaves only
+   [FILE.1] on disk (the replacement file is created lazily by the
+   next write, and there is none). [rotated_chain] must return the
+   lone rotation so qlog-top / batch --from-qlog still read a
+   contiguous tail. *)
+let test_qlog_rotation_on_final_line () =
+  with_qlog_dir @@ fun path ->
+  (* Every written line reaches the one-byte limit, so every write
+     rotates — including the last one before close. *)
+  let log = Qlog.create ~max_bytes:1 path in
+  for i = 0 to 2 do
+    Qlog.log log (qlog_entry i)
+  done;
+  Qlog.close log;
+  Alcotest.(check bool)
+    "the live file is absent after a final-line rotation" false
+    (Sys.file_exists path);
+  Alcotest.(check (list string))
+    "rotated_chain returns the lone rotation"
+    [ path ^ ".1" ]
+    (Qlog.rotated_chain path);
+  let seqs =
+    List.map
+      (fun line ->
+        match Simq_obs.Json.parse line with
+        | Ok json -> (
+          match Simq_obs.Json.member "seq" json with
+          | Some (Simq_obs.Json.Num v) -> int_of_float v
+          | _ -> Alcotest.failf "line without seq: %s" line)
+        | Error msg -> Alcotest.failf "bad JSON after rotation: %s" msg)
+      (List.concat_map read_lines (Qlog.rotated_chain path))
+  in
+  Alcotest.(check (list int)) "the chain holds the final line" [ 2 ] seqs
 
 let () =
   Alcotest.run "simq_batch"
@@ -374,5 +417,10 @@ let () =
             Alcotest.test_case "metric totals domain-count-invariant" `Quick
               test_batch_metric_totals_invariant;
           ] );
-      ("qlog", [ Alcotest.test_case "size rotation" `Quick test_qlog_rotation ]);
+      ( "qlog",
+        [
+          Alcotest.test_case "size rotation" `Quick test_qlog_rotation;
+          Alcotest.test_case "rotation on the final line" `Quick
+            test_qlog_rotation_on_final_line;
+        ] );
     ]

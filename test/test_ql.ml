@@ -87,6 +87,28 @@ let test_parse_errors () =
   check_error "RANGE FROM r USING mavg 20 QUERY q EPS 1" "expected '('";
   check_error "RANGE FROM r QUERY q EPS abc" "expected epsilon value"
 
+(* Non-finite numbers must die in the grammar: a NaN or infinite
+   epsilon would silently make every lower-bound comparison false.
+   The words "nan"/"inf" lex as identifiers (rejected where a number
+   is expected); the sneaky route is a digit literal that overflows
+   [float_of_string] to infinity. *)
+let test_parse_rejects_non_finite () =
+  let check_error text needle =
+    let msg = parse_err text in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S error mentions %S (got %S)" text needle msg)
+      true
+      (contains ~needle msg)
+  in
+  let overflow = "1" ^ String.make 400 '0' ^ ".0" in
+  check_error ("RANGE FROM r QUERY q EPS " ^ overflow) "non-finite number";
+  check_error ("RANGE FROM r QUERY q EPS 1 MEAN " ^ overflow)
+    "non-finite number";
+  check_error ("PAIRS FROM r EPS " ^ overflow) "non-finite number";
+  check_error "RANGE FROM r QUERY q EPS nan" "expected epsilon value";
+  check_error "RANGE FROM r QUERY q EPS inf" "expected epsilon value";
+  check_error "RANGE FROM r QUERY q EPS -1.5" "expected epsilon value"
+
 let test_pp_roundtrip () =
   List.iter
     (fun text ->
@@ -102,6 +124,68 @@ let test_pp_roundtrip () =
       "PAIRS FROM r USING rev EPS 1.25 METHOD scan";
     ]
 
+(* The grammar property: every printable query round-trips through the
+   parser, and the printed form is a fixed point — [pp] after a parse
+   of [pp] output reproduces the string exactly. *)
+let arb_query =
+  let open QCheck.Gen in
+  let name = oneofl [ "r"; "stocks"; "rel0" ] in
+  let qname = oneofl [ "q"; "ibm"; "s42" ] in
+  let spec =
+    oneof
+      [
+        return Spec.Identity;
+        return Spec.Reverse;
+        map (fun m -> Spec.Moving_average m) (int_range 2 9);
+        map
+          (fun w -> Spec.Weighted_ma (Simq_dsp.Window.ascending w))
+          (int_range 2 9);
+        map (fun m -> Spec.Warp m) (int_range 1 4);
+      ]
+  in
+  (* Finite positive values whose %g rendering stays inside the
+     grammar's digits-and-dot lexicon (no exponent, no sign). *)
+  let pos = map (fun i -> float_of_int i /. 8.) (int_range 1 800) in
+  let gen =
+    oneof
+      [
+        ( let* source = name in
+          let* spec = spec in
+          let* query = qname in
+          let* epsilon = pos in
+          let* mean_window = opt pos in
+          let* std_band = opt (map (fun f -> 1. +. f) pos) in
+          return
+            (Ql.Range { source; spec; query; epsilon; mean_window; std_band })
+        );
+        ( let* k = int_range 1 20 in
+          let* source = name in
+          let* spec = spec in
+          let* query = qname in
+          return (Ql.Nearest { k; source; spec; query }) );
+        ( let* source = name in
+          let* spec = spec in
+          let* epsilon = pos in
+          let* method_ = oneofl [ Ql.Scan_full; Ql.Scan_early; Ql.Index ] in
+          return (Ql.Pairs { source; spec; epsilon; method_ }) );
+      ]
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Ql.pp) gen
+
+let prop_pp_parse_roundtrip =
+  QCheck.Test.make ~name:"pp output reparses to the same query" ~count:200
+    arb_query (fun q ->
+      let printed = Format.asprintf "%a" Ql.pp q in
+      match Ql.parse printed with
+      | Error msg ->
+        QCheck.Test.fail_reportf "pp output %S does not parse: %s" printed msg
+      | Ok q' ->
+        let reprinted = Format.asprintf "%a" Ql.pp q' in
+        if String.equal printed reprinted then true
+        else
+          QCheck.Test.fail_reportf "not a fixed point: %S reparsed as %S"
+            printed reprinted)
+
 let () =
   Alcotest.run "simq_ql"
     [
@@ -116,6 +200,9 @@ let () =
           Alcotest.test_case "pairs" `Quick test_parse_pairs;
           Alcotest.test_case "case insensitive" `Quick test_parse_case_insensitive;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "non-finite numbers rejected" `Quick
+            test_parse_rejects_non_finite;
           Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip;
+          QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip;
         ] );
     ]

@@ -338,6 +338,69 @@ let test_degraded_shard_nearest_still_exact () =
           (Error.kind e))
     pools
 
+(* --- NN gather ties --------------------------------------------------------- *)
+
+(* Exact distance collisions at the k boundary, across shard
+   boundaries: three bit-identical series land in different shards, so
+   the 2-NN answer must pick the same two of them everywhere. The
+   best-first traversal (heap tie order), the sharded canonical
+   (distance, id) gather and the degraded linear selection all have to
+   agree on the smallest tied ids. *)
+let test_nn_gather_ties_canonical () =
+  let n = 16 in
+  let base = Array.init n (fun t -> 3. *. sin (float_of_int t /. 2.)) in
+  let filler i =
+    Array.init n (fun t ->
+        cos (float_of_int (t * (i + 2)) /. 3.) +. (2. *. float_of_int i) +. 8.)
+  in
+  let series =
+    Array.init 8 (fun i ->
+        match i with 1 | 5 | 6 -> Array.copy base | _ -> filler i)
+  in
+  let d = Dataset.of_series ~pool:Pool.sequential ~name:"ties" series in
+  let index = Kindex.build d in
+  let query =
+    Array.mapi
+      (fun t v -> v +. if t mod 2 = 0 then 0.01 else -0.01)
+      base
+  in
+  let k = 2 in
+  let scan =
+    match Kindex.nearest_scan index ~query ~k with
+    | Ok answers -> answers
+    | Error e -> Alcotest.failf "nearest_scan failed: %s" (Error.kind e)
+  in
+  Alcotest.(check (list int))
+    "scan breaks the tie on the smallest ids" [ 1; 5 ] (ids scan);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "tree traversal agrees with the scan tie set" (canon scan)
+    (canon (Kindex.nearest index ~query ~k));
+  List.iter
+    (fun shards ->
+      let sh = Shard.create ~pool:Pool.sequential ~shards d in
+      List.iter
+        (fun (domains, pool) ->
+          let label s = Printf.sprintf "%s K=%d domains=%d" s shards domains in
+          let nn = Shard.nearest ~pool sh ~query ~k in
+          Alcotest.(check (list (pair (float 0.) int)))
+            (label "sharded gather agrees on the tie set")
+            (canon scan) (canon nn.Shard.neighbours);
+          match
+            Shard.nearest_checked ~pool
+              ~budget:(Budget.create ~max_node_accesses:0 ())
+              ~admission:(fresh_policy ()) sh ~query ~k
+          with
+          | Ok r ->
+            Alcotest.(check (list int))
+              (label "degraded scan fallback agrees on the tied ids")
+              (ids scan)
+              (List.map snd (canon r.Shard.neighbours))
+          | Error e ->
+            Alcotest.failf "%s: degraded NN failed: %s"
+              (label "degraded") (Error.kind e))
+        pools)
+    [ 2; 4 ]
+
 (* --- per-shard admission ---------------------------------------------------- *)
 
 let starved_budget () = Budget.create ~max_page_reads:0 ~max_node_accesses:0 ()
@@ -454,6 +517,8 @@ let () =
             test_degraded_shard_still_exact;
           Alcotest.test_case "degraded shard still exact (nearest)" `Quick
             test_degraded_shard_nearest_still_exact;
+          Alcotest.test_case "nn gather ties are canonical" `Quick
+            test_nn_gather_ties_canonical;
         ] );
       ( "admission",
         [

@@ -11,7 +11,12 @@
 # scraped live, shut down in-band, with the drained dumps checked, and
 # the sharded executor: a --shards query checked bit-identical to the
 # unsharded run, a sharded batch, and a sharded daemon verified by
-# stress with its qlog aggregated by fanout.
+# stress with its qlog aggregated by fanout, and the sketch funnel: a
+# --sketch query (plain and sharded) checked bit-identical to the
+# unsketched run with its filter counters exposed, an --approx query
+# checked superset-free against the exact answers with the sketch
+# ladder visible in its profile tree, and an out-of-range --approx
+# rejected as a usage error.
 #
 # Two modes:
 #   tools/smoke.sh                full standalone run: dune build @all,
@@ -215,6 +220,53 @@ grep -q 'batch: 5 queries (4 ok, 1 failed)' shardbatch.err || {
 }
 grep -q '^simq_shard_queries_total 4' shardbatch.prom || {
   echo "smoke: sharded batch queries not counted in the exposition" >&2
+  exit 1
+}
+
+echo "== sketch funnel: exact parity, approx guarantee, profile ladder"
+"$simq" query smoke.rel "RANGE FROM r QUERY s0 EPS 2.5" --sketch \
+  --metrics sketch.prom >sketch.out
+[ "$(grep ' distance ' sketch.out)" = "$(grep ' distance ' plain.out)" ] || {
+  echo "smoke: sketched answers differ from the unsketched run" >&2
+  diff plain.out sketch.out >&2 || true
+  exit 1
+}
+grep -q '^# TYPE simq_sketch_filtered_total' sketch.prom || {
+  echo "smoke: sketch filter family missing from the exposition" >&2
+  exit 1
+}
+"$simq" query smoke.rel "RANGE FROM r QUERY s0 EPS 2.5" \
+  --sketch --shards 4 >sketchshard.out
+[ "$(grep ' distance ' sketchshard.out)" = "$(grep ' distance ' plain.out)" ] || {
+  echo "smoke: sketched sharded answers differ from the unsketched run" >&2
+  diff plain.out sketchshard.out >&2 || true
+  exit 1
+}
+"$simq" query smoke.rel "RANGE FROM r QUERY s0 EPS 2.5" \
+  --approx 0.4 --profile >approx.out
+grep -q 'sketch.coarse' approx.out || {
+  echo "smoke: approx profile tree shows no sketch ladder" >&2
+  cat approx.out >&2
+  exit 1
+}
+# Every approximate answer must be a true answer (superset-free).
+grep ' distance ' approx.out >approx.lines || true
+while IFS= read -r line; do
+  grep -qF -- "$line" plain.out || {
+    echo "smoke: approx returned a non-answer: $line" >&2
+    exit 1
+  }
+done <approx.lines
+status=0
+"$simq" query smoke.rel "RANGE FROM r QUERY s0 EPS 2.5" \
+  --approx 1.5 2>approx.err || status=$?
+[ "$status" -ne 0 ] || {
+  echo "smoke: out-of-range --approx was accepted" >&2
+  exit 1
+}
+grep -q -- '--approx must be in \[0, 1)' approx.err || {
+  echo "smoke: out-of-range --approx printed no usage message" >&2
+  cat approx.err >&2
   exit 1
 }
 
