@@ -562,7 +562,11 @@ let query_impl file text noise shards jobs metrics trace metrics_port
     admission sketch approx deadline max_page_reads max_comparisons
     max_node_accesses =
   apply_jobs jobs;
+  (* One CLI invocation is one request: the id correlates the profile
+     root, the qlog line and every trace span of this query. *)
+  let request = Otrace.new_request_id () in
   let profile = Option.map (fun dest -> (Profile.create (), dest)) profile in
+  Option.iter (fun (p, _) -> Profile.set_trace p request) profile;
   let* qlog =
     make_qlog ~sample:qlog_sample ~slow_ms:qlog_slow_ms
       ~max_bytes:qlog_max_bytes qlog
@@ -573,6 +577,7 @@ let query_impl file text noise shards jobs metrics trace metrics_port
   Simq_cli.with_obs
     ?metrics_port:(Simq_cli.resolve_metrics_port metrics_port)
     ?metrics_state ?profile ?qlog ~metrics ~trace (fun () ->
+      Otrace.with_request request @@ fun () ->
       let* budget =
         budget_of ~deadline ~max_page_reads ~max_comparisons
           ~max_node_accesses
@@ -631,6 +636,7 @@ let query_impl file text noise shards jobs metrics trace metrics_port
             exit_code = code;
             domains = Simq_parallel.Pool.domains (Simq_parallel.Pool.default ());
             shards = note.note_shards;
+            trace_id = Some request;
           };
         result)
 
@@ -922,6 +928,13 @@ let batch_impl file specs from_qlog output noise shards sketch approx jobs
           in
           let texts = Array.of_list texts in
           let n = Array.length texts in
+          (* Request ids are pre-allocated in sequence order on this
+             domain, so qlog trace ids are a pure function of the
+             batch — identical at every pool size. Each task binds its
+             id domain-locally ([~global:false]): a batch query runs
+             wholly on one pool domain, and concurrent tasks must not
+             overwrite each other's ambient id. *)
+          let requests = Array.init n (fun _ -> Otrace.new_request_id ()) in
           let profiles =
             Option.map
               (fun _ -> Array.init n (fun _ -> Profile.create ()))
@@ -930,8 +943,14 @@ let batch_impl file specs from_qlog output noise shards sketch approx jobs
           (* A failed query becomes its own error line; the rest of the
              batch still runs, and the command still exits 0 — this is
              the serving path, not a transaction. *)
-          let run ~profile text = run_batch_query ~profile engine text in
-          let results = Simq_parallel.Batch.map_timed ?profiles run texts in
+          let run ~profile (i, text) =
+            Otrace.with_request ~global:false requests.(i) (fun () ->
+                run_batch_query ~profile engine text)
+          in
+          let results =
+            Simq_parallel.Batch.map_timed ?profiles run
+              (Array.mapi (fun i text -> (i, text)) texts)
+          in
           let oc = Option.value out ~default:stdout in
           let ok_count = ref 0 in
           Array.iteri
@@ -977,6 +996,7 @@ let batch_impl file specs from_qlog output noise shards sketch approx jobs
                     (* Like the deltas, per-query shard counts are not
                        separable from the batch pipeline's timed tuples. *)
                     shards = None;
+                    trace_id = Some requests.(i);
                   })
               results);
           let* () =
@@ -1084,8 +1104,8 @@ let make_injector ~seed ~page_prob ~node_prob =
     | injector -> Ok (Some injector)
     | exception Invalid_argument msg -> usage msg
 
-let serve_impl file port max_inflight idle_timeout_ms write_timeout_ms noise
-    shards jobs metrics trace metrics_port metrics_state qlog qlog_sample
+let serve_impl file port max_inflight slow_k idle_timeout_ms write_timeout_ms
+    noise shards jobs metrics trace metrics_port metrics_state qlog qlog_sample
     qlog_slow_ms qlog_max_bytes admission sketch approx deadline
     max_page_reads max_comparisons max_node_accesses fault_seed
     fault_page_prob fault_node_prob =
@@ -1138,7 +1158,7 @@ let serve_impl file port max_inflight idle_timeout_ms write_timeout_ms noise
           in
           let* server =
             match
-              Simq_serve.Server.start ?max_inflight
+              Simq_serve.Server.start ?max_inflight ?slow_k
                 ?idle_timeout:(Option.map ms_to_s idle_timeout_ms)
                 ?write_timeout:(Option.map ms_to_s write_timeout_ms)
                 ?qlog ~engine ~port ()
@@ -1179,8 +1199,8 @@ let serve_impl file port max_inflight idle_timeout_ms write_timeout_ms noise
             connections served shed errors;
           Ok ()))
 
-let stress_impl file host port clients per_client seed chaos verify shutdown
-    timeout_ms noise jobs =
+let stress_impl file host port clients per_client seed chaos verify slow
+    shutdown timeout_ms noise jobs =
   apply_jobs jobs;
   let* port =
     match port with
@@ -1236,6 +1256,27 @@ let stress_impl file host port clients per_client seed chaos verify shutdown
       (fun (spec, detail) ->
         Printf.printf "MISMATCH %s: %s\n" spec detail)
       report.Simq_serve.Stress.mismatches;
+    let* () =
+      if not slow then Ok ()
+      else
+        match
+          Simq_serve.Stress.Client.connect
+            ?timeout:(Option.map ms_to_s timeout_ms)
+            ~host ~port ()
+        with
+        | client ->
+          Fun.protect
+            ~finally:(fun () -> Simq_serve.Stress.Client.close client)
+            (fun () ->
+              Simq_serve.Stress.Client.send_line client "slow";
+              match Simq_serve.Stress.Client.recv_line client with
+              | Some line ->
+                print_endline line;
+                Ok ()
+              | None -> usage "stress: no response to the slow command")
+        | exception Unix.Unix_error _ ->
+          usage "stress: could not connect for the slow command"
+    in
     if shutdown then
       (match
          Simq_serve.Stress.Client.connect
@@ -1258,6 +1299,111 @@ let stress_impl file host port clients per_client seed chaos verify shutdown
     else Ok ()
   end
 
+(* --- top -------------------------------------------------------------------- *)
+
+(* One formatted refresh of the windowed-rate view. The document is
+   what [GET /history] answered; malformed JSON is a File error (the
+   peer is not a simq history endpoint), absent fields render as 0 so
+   an older daemon still produces a readable frame. *)
+let render_history body =
+  let module J = Simq_obs.Json in
+  match J.parse body with
+  | Error msg ->
+    Error (File (Printf.sprintf "top: malformed history document: %s" msg))
+  | Ok json ->
+    let num name v =
+      Option.value (Option.bind (J.member name v) J.number) ~default:0.
+    in
+    let samples = num "samples" json in
+    (match J.member "window" json with
+    | None | Some J.Null ->
+      Printf.printf
+        "history: %.0f sample(s) — window needs two; try again in one \
+         interval\n\
+         %!"
+        samples;
+      Ok ()
+    | Some w ->
+      let obj name =
+        Option.value (J.member name w) ~default:(J.Obj [])
+      in
+      let shard = obj "shard" in
+      let sketch = obj "sketch" in
+      let latency = obj "latency" in
+      Printf.printf
+        "qps %8.1f   shed %5.1f%%   (%.0f queries, %.0f shed in %.2f s; \
+         %.0f samples)\n"
+        (num "qps" w)
+        (num "shed_rate" w *. 100.)
+        (num "queries" w) (num "shed" w) (num "dt_s" w) samples;
+      Printf.printf "latency ms: p50 %.2f  p99 %.2f  (%.0f observations)\n"
+        (num "p50_ms" latency) (num "p99_ms" latency) (num "count" latency);
+      Printf.printf "shards: %.0f executed, %.0f pruned (prune rate %.1f%%)\n"
+        (num "fanout" shard) (num "pruned" shard)
+        (num "prune_rate" shard *. 100.);
+      let filtered =
+        match J.member "filtered" sketch with
+        | Some (J.Obj kvs) ->
+          String.concat ""
+            (List.map
+               (fun (level, v) ->
+                 Printf.sprintf "%s %.0f, " level
+                   (Option.value (J.number v) ~default:0.))
+               kvs)
+        | _ -> ""
+      in
+      Printf.printf "sketch: %sfilter rate %.1f%%\n" filtered
+        (num "filter_rate" sketch *. 100.);
+      Printf.printf "pool imbalance %.2f\n%!" (num "pool_imbalance" w);
+      Ok ())
+
+let top_impl host port once interval_ms iterations timeout_ms =
+  match Simq_cli.resolve_metrics_port port with
+  | None ->
+    usage "top: no port given (use --port or set SIMQ_METRICS_PORT)"
+  | Some port ->
+    let fetch () =
+      match
+        Simq_obs.Serve.scrape ~host
+          ?timeout:(Option.map ms_to_s timeout_ms)
+          ~path:"/history" ~port ()
+      with
+      | body -> Ok body
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error
+          (File
+             (Printf.sprintf "top http://%s:%d/history: timed out after %d ms"
+                host port
+                (Option.value timeout_ms ~default:0)))
+      | exception Unix.Unix_error (err, _, _) ->
+        Error
+          (File
+             (Printf.sprintf "top http://%s:%d/history: %s" host port
+                (Unix.error_message err)))
+      | exception Failure msg ->
+        Error
+          (File (Printf.sprintf "top http://%s:%d/history: %s" host port msg))
+    in
+    if once then
+      let* body = fetch () in
+      (* The raw JSON document, one line, machine-readable — the body
+         already carries its newline. *)
+      print_string body;
+      Ok ()
+    else begin
+      let rec loop i =
+        let* body = fetch () in
+        let* () = render_history body in
+        if i + 1 >= iterations then Ok ()
+        else begin
+          print_newline ();
+          Unix.sleepf (ms_to_s interval_ms);
+          loop (i + 1)
+        end
+      in
+      loop 0
+    end
+
 let serve_port_arg =
   Arg.(
     value
@@ -1277,6 +1423,16 @@ let max_inflight_arg =
            request arriving while $(docv) are in flight is refused with \
            a typed rejection (exit-5 taxonomy, counted in the admission \
            decision metrics) before any page is read.")
+
+let slow_k_arg =
+  Arg.(
+    value
+    & opt (some Simq_cli.positive_int) None
+    & info [ "slow-k" ] ~docv:"K"
+        ~doc:
+          "Keep the $(docv) slowest queries (spec, trace id, rendered \
+           operator tree) in a bounded in-memory exemplar store, served \
+           by the in-band $(b,slow) protocol command.")
 
 let idle_timeout_arg =
   Arg.(
@@ -1371,6 +1527,16 @@ let stress_verify_arg =
           "Execute every spec offline against the same relation and \
            fail (exit 1) unless each served answer set is bit-identical.")
 
+let stress_slow_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "slow" ]
+        ~doc:
+          "After the run, send the in-band $(b,slow) command and print \
+           the daemon's worst-query document (requires $(b,--slow-k) on \
+           the server).")
+
 let stress_shutdown_arg =
   Arg.(
     value
@@ -1389,7 +1555,7 @@ let stress_timeout_arg =
 
 (* --- qlog-top --------------------------------------------------------------- *)
 
-let qlog_top_impl file top =
+let qlog_top_impl file top by_trace =
   (* A size-rotated log is a pair: FILE.1 holds the older lines, FILE
      the newer — aggregate them in stream order. *)
   match Qlog.rotated_chain file with
@@ -1434,11 +1600,19 @@ let qlog_top_impl file top =
       (List.map
          (fun (fanout, n) -> (Printf.sprintf "%d-shard" fanout, n))
          agg.Qlog.by_fanout);
+    if by_trace && agg.Qlog.by_trace <> [] then begin
+      Printf.printf "by trace:\n";
+      List.iter
+        (fun (trace, d) ->
+          Printf.printf "  trace %-8d %10.1f ms\n" trace (d *. 1000.))
+        agg.Qlog.by_trace
+    end;
     if agg.Qlog.top_by_duration <> [] then begin
       Printf.printf "top by duration:\n";
       List.iter
-        (fun (seq, spec, d) ->
-          Printf.printf "  #%-4d %-44s %10.1f ms\n" seq spec (d *. 1000.))
+        (fun (seq, spec, d, trace) ->
+          Printf.printf "  #%-4d %-38s trace %-8d %10.1f ms\n" seq spec trace
+            (d *. 1000.))
         agg.Qlog.top_by_duration
     end;
     if agg.Qlog.top_by_pages <> [] then begin
@@ -1549,13 +1723,19 @@ let qlog_top_cmd =
   let doc = "aggregate a --qlog file: totals, breakdowns, top-k queries" in
   Cmd.v (Cmd.info "qlog-top" ~doc)
     Term.(
-      const (fun file top -> handle (qlog_top_impl file top))
+      const (fun file top by_trace -> handle (qlog_top_impl file top by_trace))
       $ Arg.(required & pos 0 (some string) None
              & info [] ~docv:"FILE"
                  ~doc:"Query-log file written by $(b,--qlog).")
       $ Arg.(value & opt Simq_cli.positive_int 5
              & info [ "top" ] ~docv:"K"
-                 ~doc:"Entries per ranking (slowest, most pages)."))
+                 ~doc:"Entries per ranking (slowest, most pages).")
+      $ Arg.(value & flag
+             & info [ "by-trace" ]
+                 ~doc:"Also break the log down by request trace id \
+                       (summed duration, heaviest first); lines \
+                       predating the $(b,trace_id) field are left \
+                       out."))
 
 let scrape_cmd =
   let doc = "fetch the exposition from a running --metrics-port server" in
@@ -1575,24 +1755,52 @@ let scrape_cmd =
                        one-line exit-2 error instead of blocking \
                        forever."))
 
+let top_cmd =
+  let doc = "watch the windowed rates of a running --metrics-port daemon" in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const (fun host port once interval_ms iterations timeout_ms ->
+          handle (top_impl host port once interval_ms iterations timeout_ms))
+      $ Arg.(value & opt string "127.0.0.1"
+             & info [ "host" ] ~docv:"HOST" ~doc:"Host to poll.")
+      $ Arg.(value & opt (some int) None
+             & info [ "port" ] ~docv:"PORT"
+                 ~doc:"Port of the running $(b,--metrics-port) server; \
+                       defaults to $(b,SIMQ_METRICS_PORT).")
+      $ Arg.(value & flag
+             & info [ "once" ]
+                 ~doc:"Print one raw $(b,/history) JSON document and \
+                       exit — the machine-readable mode.")
+      $ Arg.(value & opt Simq_cli.positive_int 1000
+             & info [ "interval-ms" ] ~docv:"MS"
+                 ~doc:"Delay between refreshes in text mode.")
+      $ Arg.(value & opt Simq_cli.positive_int 10
+             & info [ "iterations" ] ~docv:"N"
+                 ~doc:"Refreshes before exiting in text mode.")
+      $ Arg.(value & opt (some Simq_cli.positive_int) (Some 5000)
+             & info [ "timeout-ms" ] ~docv:"MS"
+                 ~doc:"Per-poll connect/read timeout; a hung peer is \
+                       the usual one-line exit-2 error."))
+
 let serve_cmd =
   let doc =
     "serve similarity queries over a line protocol from a resident index"
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const (fun file port max_inflight idle_timeout_ms write_timeout_ms noise
-                 shards jobs metrics trace metrics_port metrics_state qlog
-                 qlog_sample qlog_slow_ms qlog_max_bytes admission sketch
-                 approx deadline pages comparisons nodes fault_seed
-                 fault_page_prob fault_node_prob ->
+      const (fun file port max_inflight slow_k idle_timeout_ms
+                 write_timeout_ms noise shards jobs metrics trace metrics_port
+                 metrics_state qlog qlog_sample qlog_slow_ms qlog_max_bytes
+                 admission sketch approx deadline pages comparisons nodes
+                 fault_seed fault_page_prob fault_node_prob ->
           handle
-            (serve_impl file port max_inflight idle_timeout_ms
+            (serve_impl file port max_inflight slow_k idle_timeout_ms
                write_timeout_ms noise shards jobs metrics trace metrics_port
                metrics_state qlog qlog_sample qlog_slow_ms qlog_max_bytes
                admission sketch approx deadline pages comparisons nodes
                fault_seed fault_page_prob fault_node_prob))
-      $ file_arg $ serve_port_arg $ max_inflight_arg $ idle_timeout_arg
+      $ file_arg $ serve_port_arg $ max_inflight_arg $ slow_k_arg
+      $ idle_timeout_arg
       $ write_timeout_arg $ noise_arg $ shards_arg $ jobs_arg $ metrics_arg
       $ trace_arg
       $ metrics_port_arg $ metrics_state_arg $ qlog_arg $ qlog_sample_arg
@@ -1605,16 +1813,16 @@ let stress_cmd =
   let doc = "stress (and optionally chaos-test) a running simq serve daemon" in
   Cmd.v (Cmd.info "stress" ~doc)
     Term.(
-      const (fun file host port clients per_client seed chaos verify shutdown
-                 timeout_ms noise jobs ->
+      const (fun file host port clients per_client seed chaos verify slow
+                 shutdown timeout_ms noise jobs ->
           handle
             (stress_impl file host port clients per_client seed chaos verify
-               shutdown timeout_ms noise jobs))
+               slow shutdown timeout_ms noise jobs))
       $ file_arg
       $ Arg.(value & opt string "127.0.0.1"
              & info [ "host" ] ~docv:"HOST" ~doc:"Host of the daemon.")
       $ stress_port_arg $ clients_arg $ per_client_arg $ stress_seed_arg
-      $ chaos_arg $ stress_verify_arg $ stress_shutdown_arg
+      $ chaos_arg $ stress_verify_arg $ stress_slow_arg $ stress_shutdown_arg
       $ stress_timeout_arg $ noise_arg $ jobs_arg)
 
 let () =
@@ -1625,6 +1833,7 @@ let () =
       [
         generate_cmd; info_cmd; query_cmd; batch_cmd; serve_cmd; stress_cmd;
         import_cmd; export_cmd; experiments_cmd; qlog_top_cmd; scrape_cmd;
+        top_cmd;
       ]
   in
   exit (Cmd.eval' cmd)

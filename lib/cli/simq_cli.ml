@@ -1,6 +1,7 @@
 module Metrics = Simq_obs.Metrics
 module Otrace = Simq_obs.Trace
 module Serve = Simq_obs.Serve
+module History = Simq_obs.History
 module Profile = Simq_obs.Profile
 module Qlog = Simq_obs.Qlog
 module Json = Simq_obs.Json
@@ -134,7 +135,8 @@ let close_qlog qlog =
   | () -> Ok ()
   | exception Sys_error msg -> Error (File msg)
 
-let with_obs ?metrics_port ?metrics_state ?profile ?qlog ~metrics ~trace f =
+let with_obs ?metrics_port ?history_interval_s ?metrics_state ?profile ?qlog
+    ~metrics ~trace f =
   if Option.is_some metrics then Metrics.set_enabled true;
   (* Persisted state is collected state: restoring or saving it without
      collection running would round-trip zeros. Likewise the query
@@ -146,21 +148,36 @@ let with_obs ?metrics_port ?metrics_state ?profile ?qlog ~metrics ~trace f =
     match metrics_port with
     | None -> Ok None
     | Some port -> (
-      (* A live scrape endpoint is only useful if metrics record. *)
+      (* A live scrape endpoint is only useful if metrics record. The
+         history sampler rides along: it only snapshots the registry
+         (merge-on-read), so its presence leaves every merged total
+         unchanged. *)
       Metrics.set_enabled true;
-      match Serve.start ~port () with
+      let history = History.create ?interval_s:history_interval_s () in
+      History.start history;
+      match
+        Serve.start ~history:(fun () -> History.document history) ~port ()
+      with
       | server ->
         Printf.eprintf "simq: serving metrics on http://127.0.0.1:%d/metrics\n%!"
           (Serve.port server);
-        Ok (Some server)
+        Ok (Some (server, history))
       | exception Unix.Unix_error (err, _, _) ->
+        History.stop history;
         Error
           (Usage
              (Printf.sprintf "cannot serve metrics on port %d: %s" port
                 (Unix.error_message err))))
   in
   let* server = server in
-  Fun.protect ~finally:(fun () -> Option.iter Serve.stop server) @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun (server, history) ->
+          History.stop history;
+          Serve.stop server)
+        server)
+  @@ fun () ->
   (* Every exit path runs the whole dump chain; the first failure wins
      but each step still only depends on its own destination. *)
   let dump_all () =

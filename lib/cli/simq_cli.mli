@@ -55,7 +55,11 @@ val dump_observability :
     exposition is served on [127.0.0.1:port] ({!Simq_obs.Serve}) for
     the duration of [f]; port [0] picks an ephemeral port, printed on
     stderr. A port that cannot be bound is a [Usage] error and [f] is
-    not run.
+    not run. The endpoint also answers [GET /history] with the
+    windowed-rate document of a {!Simq_obs.History} sampler running
+    for the duration of [f] ([history_interval_s] overrides its
+    period, default 1 s) — the sampler only snapshots the registry,
+    so merged totals are unchanged by its presence.
 
     The same every-exit-path guarantee extends to the per-query
     forensics: [profile] is a {!Simq_obs.Profile} plus its destination
@@ -70,6 +74,7 @@ val dump_observability :
     [f] is not run. *)
 val with_obs :
   ?metrics_port:int ->
+  ?history_interval_s:float ->
   ?metrics_state:string ->
   ?profile:Simq_obs.Profile.t * string ->
   ?qlog:Simq_obs.Qlog.t ->

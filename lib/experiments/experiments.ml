@@ -1559,6 +1559,103 @@ let ablation_obs ~fast =
         answers = fst reference && totals = snd reference)
       runs
   in
+  (* Part 3: request-id threading. Allocating and publishing a request
+     id per query is one atomic increment and two ref writes — the
+     on/off ratio on the index path must stay within the same modest
+     constant as metric collection itself. *)
+  let module Otrace = Simq_obs.Trace in
+  let run_index_traced (q, eps) =
+    Otrace.with_request
+      (Otrace.new_request_id ())
+      (fun () -> ignore (Kindex.range index ~query:q ~epsilon:eps))
+  in
+  (* A fresh adjacent baseline: the two arms must share allocator and
+     cache state, or the ratio measures the experiment's history
+     instead of the id threading. *)
+  let t_ids_off = Metrics.with_enabled false (fun () -> time run_index) in
+  let t_ids_on = Metrics.with_enabled false (fun () -> time run_index_traced) in
+  let oh_ids = overhead t_ids_on t_ids_off in
+  let ids_table =
+    Table.create
+      ~title:"Observability: request-id threading off vs on (k-index range)"
+      ~columns:[ "mode"; "per query"; "ratio" ]
+  in
+  Table.add_row ids_table [ "plain"; fmt t_ids_off; "1.000" ];
+  Table.add_row ids_table
+    [ "with request ids"; fmt t_ids_on; Printf.sprintf "%.3f" oh_ids ];
+  Table.print ids_table;
+  (* Part 4: the same workload with a live history sampler — the
+     sampler only snapshots the registry (merge-on-read), so every
+     merged total must equal the sampler-free run at every domain
+     count. *)
+  let module History = Simq_obs.History in
+  let totals_with_sampler domains =
+    let pool = Pool.create ~domains in
+    let history = History.create ~capacity:16 ~interval_s:0.01 () in
+    History.start history;
+    let totals =
+      Metrics.with_enabled true (fun () ->
+          Metrics.reset ();
+          List.iter
+            (fun (q, eps) ->
+              ignore
+                (Seqscan.range_early_abandon ~pool dataset ~query:q
+                   ~epsilon:eps);
+              ignore (Kindex.range index ~query:q ~epsilon:eps))
+            queries;
+          List.map
+            (fun name -> Metrics.counter_total (Metrics.counter name))
+            families)
+    in
+    History.stop history;
+    Pool.shutdown pool;
+    (totals, History.length history)
+  in
+  let sampler_runs =
+    List.map (fun d -> (d, totals_with_sampler d)) domain_counts
+  in
+  let sampler_table =
+    Table.create
+      ~title:"Observability: merged totals with a live history sampler"
+      ~columns:
+        ("domains" :: "samples"
+        :: List.map
+             (fun name -> String.sub name 5 (String.length name - 11))
+             families)
+  in
+  List.iter
+    (fun (d, (totals, samples)) ->
+      Table.add_row sampler_table
+        (string_of_int d :: string_of_int samples
+        :: List.map string_of_int totals))
+    sampler_runs;
+  Table.print sampler_table;
+  let sampler_invariant =
+    List.for_all
+      (fun (_, (totals, _)) -> totals = snd reference)
+      sampler_runs
+  in
+  (* BENCH_obs.json: the overhead ratios and the sampler sweep, for
+     tracking across runs. *)
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"obs\",\n  \"fast\": %b,\n  \"seed\": %d,\n\
+    \  \"series\": { \"count\": %d, \"n\": %d },\n\
+    \  \"overhead\": { \"index\": %.6f, \"scan\": %.6f, \"request_ids\": \
+     %.6f },\n\
+    \  \"sampler_sweep\": [\n"
+    fast Bench_util.bench_seed count n oh_index oh_scan oh_ids;
+  List.iteri
+    (fun i (d, (totals, samples)) ->
+      Printf.fprintf oc
+        "    { \"domains\": %d, \"samples\": %d, \"totals\": [%s] }%s\n" d
+        samples
+        (String.concat ", " (List.map string_of_int totals))
+        (if i = List.length sampler_runs - 1 then "" else ","))
+    sampler_runs;
+  Printf.fprintf oc "  ],\n  \"sampler_invariant\": %b\n}\n" sampler_invariant;
+  close_out oc;
+  print_endline "wrote BENCH_obs.json";
   let overhead_measured =
     Printf.sprintf "on/off ratio: %.3f (index), %.3f (scan)" oh_index oh_scan
   in
@@ -1575,6 +1672,19 @@ let ablation_obs ~fast =
         ~measured:overhead_measured
         (oh_index < 1.5 && oh_scan < 1.5)
   in
+  let ids_measured = Printf.sprintf "on/off ratio: %.3f (index)" oh_ids in
+  let ids_claim =
+    if fast then
+      Expectation.partial ~experiment:"Observability"
+        ~expectation:"request-id threading costs only a modest constant"
+        ~measured:(ids_measured ^ " (fast mode — timing not asserted)")
+    else
+      Expectation.check ~experiment:"Observability"
+        ~expectation:
+          "request-id threading costs only a modest constant (on/off < \
+           1.5; one atomic increment and two ref writes per query)"
+        ~measured:ids_measured (oh_ids < 1.5)
+  in
   [
     Expectation.check ~experiment:"Observability"
       ~expectation:
@@ -1583,6 +1693,7 @@ let ablation_obs ~fast =
       ~measured:(if answers_equal then "identical" else "MISMATCH")
       answers_equal;
     overhead_claim;
+    ids_claim;
     Expectation.check ~experiment:"Observability"
       ~expectation:
         "merged integer counter totals of the query-level families are \
@@ -1593,6 +1704,17 @@ let ablation_obs ~fast =
              (String.concat "/" (List.map string_of_int domain_counts))
          else "MISMATCH against the single-domain reference")
       deterministic;
+    Expectation.check ~experiment:"Observability"
+      ~expectation:
+        "a live history sampler only snapshots the registry: every merged \
+         counter total equals the sampler-free run at every domain count"
+      ~measured:
+        (if sampler_invariant then
+           Printf.sprintf "identical totals at %s domains with the sampler \
+                           running"
+             (String.concat "/" (List.map string_of_int domain_counts))
+         else "MISMATCH against the sampler-free reference")
+      sampler_invariant;
   ]
 
 (* --- per-query profiling ----------------------------------------------------------- *)

@@ -19,9 +19,12 @@ type node = {
 type t = {
   mutable roots_rev : node list;
   mutable stack : node list; (* innermost first *)
+  mutable trace_id : int; (* 0 = unstamped *)
 }
 
-let create () = { roots_rev = []; stack = [] }
+let create () = { roots_rev = []; stack = []; trace_id = 0 }
+let set_trace t id = t.trace_id <- id
+let trace_id t = t.trace_id
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
@@ -237,8 +240,10 @@ let to_json ?(timings = true) t =
     Json.Obj (("op", Json.Str node.node_name) :: fields)
   in
   Json.Obj
-    [
-      ("event", Json.Str "simq.profile");
-      ("v", Json.Num 1.);
-      ("roots", Json.Arr (List.map node_json (roots t)));
-    ]
+    (("event", Json.Str "simq.profile")
+     :: ("v", Json.Num 1.)
+     ::
+     (if t.trace_id <> 0 then
+        [ ("trace_id", Json.Num (float_of_int t.trace_id)) ]
+      else [])
+    @ [ ("roots", Json.Arr (List.map node_json (roots t))) ])

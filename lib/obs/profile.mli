@@ -31,7 +31,15 @@ type node
 (** One operator node. *)
 
 val create : unit -> t
-(** A fresh, empty profile. *)
+(** A fresh, empty profile (unstamped: {!trace_id} is [0]). *)
+
+val set_trace : t -> int -> unit
+(** Stamps the request id of the query this profile belongs to (see
+    {!Trace.new_request_id}). Stamped centrally by the serve engine;
+    [0] means unstamped. *)
+
+val trace_id : t -> int
+(** The stamped request id, [0] when none. *)
 
 (** {1 Recording} *)
 
@@ -119,4 +127,7 @@ val render : ?timings:bool -> t -> string
 val to_json : ?timings:bool -> t -> Json.t
 (** The same tree as a self-describing JSON object
     ([{"event":"simq.profile","v":1,"roots":[…]}]); zero-valued
-    counters are omitted from each node. *)
+    counters are omitted from each node. When the profile carries a
+    request id (see {!set_trace}) the root object gains a
+    ["trace_id"] member — the correlation key shared with the query's
+    qlog line and Chrome trace spans. *)

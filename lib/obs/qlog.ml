@@ -29,6 +29,7 @@ type entry = {
   exit_code : int;
   domains : int;
   shards : shard_counts option;
+  trace_id : int option;
 }
 
 let open_log path =
@@ -65,6 +66,10 @@ let render_line ~seq entry =
          ("seq", Json.Num (float_of_int seq));
          ("spec", Json.Str entry.spec);
          ("digest", Json.Str entry.digest);
+         ( "trace_id",
+           match entry.trace_id with
+           | None -> Json.Null
+           | Some id -> Json.Num (float_of_int id) );
          ("decision", opt entry.decision);
          ("path", opt entry.path);
          ("duration_ms", Json.Num (entry.duration_s *. 1000.));
@@ -207,7 +212,8 @@ type aggregate = {
   by_decision : (string * int) list;
   by_outcome : (string * int) list;
   by_fanout : (int * int) list;
-  top_by_duration : (int * string * float) list;
+  by_trace : (int * float) list;
+  top_by_duration : (int * string * float * int) list;
   top_by_pages : (int * string * int) list;
 }
 
@@ -239,6 +245,7 @@ let aggregate ?(top = 5) lines =
   let total = ref 0. in
   let paths = ref [] and decisions = ref [] and outcomes = ref [] in
   let fanouts = ref [] in
+  let traces = ref [] in
   let by_duration = ref [] and by_pages = ref [] in
   List.iter
     (fun json ->
@@ -270,7 +277,21 @@ let aggregate ?(top = 5) lines =
               | Some (Json.Num f) -> bump (int_of_float f) fanouts
               | _ -> ())
           | _ -> ());
-          by_duration := (seq, spec, duration_s) :: !by_duration;
+          (* Lines predating the trace_id field (or with it null) stay
+             out of the per-trace breakdown; their trace prints as 0
+             in the duration table. *)
+          let trace =
+            match Json.member "trace_id" json with
+            | Some (Json.Num id) -> int_of_float id
+            | _ -> 0
+          in
+          if trace <> 0 then (
+            let prior =
+              Option.value ~default:0. (List.assoc_opt trace !traces)
+            in
+            traces :=
+              (trace, prior +. duration_s) :: List.remove_assoc trace !traces);
+          by_duration := (seq, spec, duration_s, trace) :: !by_duration;
           by_pages := (seq, spec, pages_of_deltas json) :: !by_pages
       | _ -> ())
     lines;
@@ -294,10 +315,16 @@ let aggregate ?(top = 5) lines =
     by_decision = descending_counts decisions;
     by_outcome = descending_counts outcomes;
     by_fanout = List.sort (fun (a, _) (b, _) -> compare a b) !fanouts;
+    by_trace =
+      take top
+        (List.sort
+           (fun (ta, a) (tb, b) ->
+             match compare b a with 0 -> compare ta tb | c -> c)
+           !traces);
     top_by_duration =
       take top
         (List.sort
-           (fun (_, _, a) (_, _, b) -> compare b a)
+           (fun (_, _, a, _) (_, _, b, _) -> compare b a)
            (List.rev !by_duration));
     top_by_pages =
       take top

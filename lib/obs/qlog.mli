@@ -44,6 +44,11 @@ type entry = {
   shards : shard_counts option;
       (** sharded execution only; rendered as a nested ["shards"]
           object ([null] on unsharded lines) *)
+  trace_id : int option;
+      (** the request id correlating this line with the query's
+          profile root and Chrome trace spans (see
+          {!Trace.new_request_id}); rendered as ["trace_id"] ([null]
+          when none) *)
 }
 
 val create : ?sample:int -> ?slow_ms:float -> ?max_bytes:int -> string -> t
@@ -123,8 +128,13 @@ type aggregate = {
   by_fanout : (int * int) list;
       (** shard fanout → count, ascending fanout; only lines with a
           ["shards"] object participate *)
-  top_by_duration : (int * string * float) list;
-      (** (seq, spec, duration_s), slowest first *)
+  by_trace : (int * float) list;
+      (** trace id → summed duration, heaviest first (ties by
+          ascending id), [top]-limited; only lines carrying a
+          non-null ["trace_id"] participate *)
+  top_by_duration : (int * string * float * int) list;
+      (** (seq, spec, duration_s, trace_id), slowest first; trace is
+          [0] for lines without the field *)
   top_by_pages : (int * string * int) list;
       (** (seq, spec, pages), most pages first; pages are the summed
           buffer-pool hit+miss deltas of the line *)

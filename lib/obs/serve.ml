@@ -15,46 +15,78 @@ let ignore_sigpipe =
        ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore : Sys.signal_behavior)
      with Invalid_argument _ -> ())
 
-(* One request: drain the client's header block (best effort — a
-   scraper that writes nothing still gets an answer), then write the
-   whole response. The body is rendered per request so every scrape
-   sees the current merged totals. *)
-let answer registry client =
-  (try
-     let buf = Bytes.create 1024 in
-     (* Read until the blank line ending the request head, a closed
-        peer, or a full buffer — whichever comes first. *)
-     let rec drain seen =
-       if seen < Bytes.length buf then begin
-         let n = Unix.read client buf seen (Bytes.length buf - seen) in
-         if n > 0 then begin
-           let seen = seen + n in
-           let head = Bytes.sub_string buf 0 seen in
-           let has_blank_line =
-             let rec go i =
-               i + 3 < String.length head
-               && (String.sub head i 4 = "\r\n\r\n"
-                  || String.sub head i 2 = "\n\n"
-                  || go (i + 1))
-             in
-             go 0
-           in
-           if not has_blank_line then drain seen
-         end
-       end
-     in
-     drain 0
-   with Unix.Unix_error _ -> ());
-  let body = Metrics.exposition ~registry () in
+(* The request path from the head's request line ([GET <path>
+   HTTP/1.1]); ["/metrics"] when the head is empty or unparseable, so
+   a scraper that writes nothing still gets the exposition. *)
+let request_path head =
+  let line =
+    match String.index_opt head '\n' with
+    | Some i -> String.sub head 0 i
+    | None -> head
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | _ :: path :: _ when String.length path > 0 && path.[0] = '/' -> path
+  | _ -> "/metrics"
+
+(* One request: read the client's header block (best effort — a
+   scraper that writes nothing still gets an answer), dispatch on the
+   request path, then write the whole response. Bodies are rendered
+   per request so every scrape sees the current merged totals. *)
+let answer registry history client =
+  let head =
+    try
+      let buf = Bytes.create 1024 in
+      (* Read until the blank line ending the request head, a closed
+         peer, or a full buffer — whichever comes first. *)
+      let rec drain seen =
+        if seen >= Bytes.length buf then seen
+        else begin
+          let n = Unix.read client buf seen (Bytes.length buf - seen) in
+          if n <= 0 then seen
+          else begin
+            let seen = seen + n in
+            let head = Bytes.sub_string buf 0 seen in
+            let has_blank_line =
+              let rec go i =
+                i + 3 < String.length head
+                && (String.sub head i 4 = "\r\n\r\n"
+                   || String.sub head i 2 = "\n\n"
+                   || go (i + 1))
+              in
+              go 0
+            in
+            if has_blank_line then seen else drain seen
+          end
+        end
+      in
+      let seen = drain 0 in
+      Bytes.sub_string buf 0 seen
+    with Unix.Unix_error _ -> ""
+  in
+  let status, content_type, body =
+    match request_path head with
+    | "/history" -> (
+        match history with
+        | Some document ->
+            ("200 OK", "application/json; charset=utf-8", document () ^ "\n")
+        | None ->
+            ( "404 Not Found",
+              "text/plain; charset=utf-8",
+              "no history on this endpoint\n" ))
+    | _ ->
+        ( "200 OK",
+          "text/plain; version=0.0.4; charset=utf-8",
+          Metrics.exposition ~registry () )
+  in
   let response =
     Printf.sprintf
-      "HTTP/1.1 200 OK\r\n\
-       Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+      "HTTP/1.1 %s\r\n\
+       Content-Type: %s\r\n\
        Content-Length: %d\r\n\
        Connection: close\r\n\
        \r\n\
        %s"
-      (String.length body) body
+      status content_type (String.length body) body
   in
   let n = String.length response in
   let rec write_all off =
@@ -66,13 +98,22 @@ let answer registry client =
   in
   try write_all 0 with Unix.Unix_error _ -> ()
 
-let serve_loop sock stopped registry =
+(* Each connection gets its own answering thread, so a slow (or
+   silent) scraper never blocks a concurrent one — two overlapping
+   scrapes each get a complete response. *)
+let serve_loop sock stopped registry history =
   let rec loop () =
     match Unix.accept sock with
     | client, _ ->
-      Fun.protect
-        ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
-        (fun () -> answer registry client);
+      ignore
+        (Thread.create
+           (fun () ->
+             Fun.protect
+               ~finally:(fun () ->
+                 try Unix.close client with Unix.Unix_error _ -> ())
+               (fun () -> answer registry history client))
+           ()
+          : Thread.t);
       if not (Atomic.get stopped) then loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
       if not (Atomic.get stopped) then loop ()
@@ -82,7 +123,7 @@ let serve_loop sock stopped registry =
   in
   loop ()
 
-let start ?(registry = Metrics.default) ~port () =
+let start ?(registry = Metrics.default) ?history ~port () =
   Lazy.force ignore_sigpipe;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (match
@@ -100,7 +141,9 @@ let start ?(registry = Metrics.default) ~port () =
     | Unix.ADDR_UNIX _ -> assert false
   in
   let stopped = Atomic.make false in
-  let thread = Thread.create (fun () -> serve_loop sock stopped registry) () in
+  let thread =
+    Thread.create (fun () -> serve_loop sock stopped registry history) ()
+  in
   { sock; port; thread; stopped }
 
 let port t = t.port
@@ -114,8 +157,8 @@ let stop t =
     Thread.join t.thread
   end
 
-let with_server ?registry ~port f =
-  let t = start ?registry ~port () in
+let with_server ?registry ?history ~port f =
+  let t = start ?registry ?history ~port () in
   Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)
 
 (* A socket whose connect, reads and writes all give up after
@@ -139,7 +182,7 @@ let timed_socket ?timeout () =
     invalid_arg (Printf.sprintf "Simq_obs.Serve: timeout %g must be > 0" t));
   sock
 
-let scrape ?(host = "127.0.0.1") ?timeout ~port () =
+let scrape ?(host = "127.0.0.1") ?timeout ?(path = "/metrics") ~port () =
   Lazy.force ignore_sigpipe;
   let sock = timed_socket ?timeout () in
   Fun.protect
@@ -147,7 +190,7 @@ let scrape ?(host = "127.0.0.1") ?timeout ~port () =
     (fun () ->
       Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
       let request =
-        Printf.sprintf "GET /metrics HTTP/1.1\r\nHost: %s\r\n\r\n" host
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\n\r\n" path host
       in
       let n = String.length request in
       let rec write_all off =

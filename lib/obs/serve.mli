@@ -1,12 +1,16 @@
-(** Live Prometheus exposition over a plain TCP socket.
+(** Live telemetry exposition over a plain TCP socket.
 
     A running server ({!t}) owns one listening socket on the loopback
-    interface and one background thread that answers each connection
-    with the current {!Metrics.exposition} of its registry, wrapped in
-    a minimal HTTP/1.1 response ([Content-Type:
+    interface; an accept thread hands each connection to its own
+    answering thread, so two overlapping scrapes each get a complete
+    well-formed response. The request line's path selects the
+    document: [/metrics] (or anything unrecognised, including an
+    empty request) answers the current {!Metrics.exposition} of the
+    registry, wrapped in a minimal HTTP/1.1 response ([Content-Type:
     text/plain; version=0.0.4]) so any scraper — Prometheus, [curl],
-    or {!val:scrape} — can read it. Connections are served one at a
-    time; the exposition is rendered per request, so a scrape mid-run
+    or {!val:scrape} — can read it; [/history] answers the [?history]
+    provider's document as [application/json] (404 when no provider
+    was given). Bodies are rendered per request, so a scrape mid-run
     sees the live merged totals (monotone snapshots of the counters,
     exact once the instrumented work is quiescent).
 
@@ -21,10 +25,17 @@ type t
 
 (** [start ~port ()] binds [127.0.0.1:port] (with [SO_REUSEADDR]) and
     begins serving [registry] (default {!Metrics.default}) on a
-    background thread. [port = 0] picks an ephemeral port — read it
-    back with {!port}. Raises [Unix.Unix_error] when the address is
-    unavailable. *)
-val start : ?registry:Metrics.registry -> port:int -> unit -> t
+    background thread. [history] (default: none — [/history] answers
+    404) produces the [GET /history] response body per request —
+    typically {!History.document} of a running sampler. [port = 0]
+    picks an ephemeral port — read it back with {!port}. Raises
+    [Unix.Unix_error] when the address is unavailable. *)
+val start :
+  ?registry:Metrics.registry ->
+  ?history:(unit -> string) ->
+  port:int ->
+  unit ->
+  t
 
 (** [port t] is the bound TCP port (useful with [~port:0]). *)
 val port : t -> int
@@ -33,15 +44,21 @@ val port : t -> int
     thread. Idempotent. *)
 val stop : t -> unit
 
-(** [with_server ?registry ~port f] runs [f server] and always stops
-    the server afterwards, even on exceptions. *)
-val with_server : ?registry:Metrics.registry -> port:int -> (t -> 'a) -> 'a
+(** [with_server ?registry ?history ~port f] runs [f server] and
+    always stops the server afterwards, even on exceptions. *)
+val with_server :
+  ?registry:Metrics.registry ->
+  ?history:(unit -> string) ->
+  port:int ->
+  (t -> 'a) ->
+  'a
 
-(** [scrape ?host ?timeout ~port ()] connects to a running exposition
-    server, issues one HTTP GET and returns the response body (the
-    exposition text). A self-contained scraper for scripts and tests
-    on hosts without [curl]. Raises [Unix.Unix_error] on connection
-    failure and [Failure] on a malformed response.
+(** [scrape ?host ?timeout ?path ~port ()] connects to a running
+    exposition server, issues one HTTP GET for [path] (default
+    ["/metrics"]; ["/history"] selects the history document) and
+    returns the response body. A self-contained scraper for scripts
+    and tests on hosts without [curl]. Raises [Unix.Unix_error] on
+    connection failure and [Failure] on a malformed response.
 
     [timeout] (seconds, [> 0], else [Invalid_argument]) bounds the
     connect and every read/write: a hung or silent peer raises
@@ -53,4 +70,5 @@ val with_server : ?registry:Metrics.registry -> port:int -> (t -> 'a) -> 'a
     use, so a peer closing mid-conversation surfaces as
     [Unix_error EPIPE] (caught, or mapped by the caller) instead of
     killing the process. *)
-val scrape : ?host:string -> ?timeout:float -> port:int -> unit -> string
+val scrape :
+  ?host:string -> ?timeout:float -> ?path:string -> port:int -> unit -> string

@@ -1,0 +1,67 @@
+(* Bounded worst-K slow-query exemplar store. See slow.mli. *)
+
+type entry = {
+  seq : int;
+  trace_id : int;
+  digest : string;
+  spec : string;
+  duration_s : float;
+  profile : string;
+}
+
+type t = {
+  k : int;
+  mutex : Mutex.t;
+  mutable entries : entry list; (* sorted: duration desc, then seq asc *)
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Slow.create: k must be >= 1";
+  { k; mutex = Mutex.create (); entries = [] }
+
+let k t = t.k
+
+let order a b =
+  match compare b.duration_s a.duration_s with
+  | 0 -> compare a.seq b.seq
+  | c -> c
+
+let take n l =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n l
+
+let observe t entry =
+  Mutex.lock t.mutex;
+  t.entries <- take t.k (List.sort order (entry :: t.entries));
+  Mutex.unlock t.mutex
+
+let entries t =
+  Mutex.lock t.mutex;
+  let es = t.entries in
+  Mutex.unlock t.mutex;
+  es
+
+let entry_json e =
+  Json.Obj
+    [
+      ("seq", Json.Num (float_of_int e.seq));
+      ( "trace_id",
+        if e.trace_id = 0 then Json.Null
+        else Json.Num (float_of_int e.trace_id) );
+      ("digest", Json.Str e.digest);
+      ("spec", Json.Str e.spec);
+      ("duration_ms", Json.Num (e.duration_s *. 1000.));
+      ("profile", Json.Str e.profile);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("event", Json.Str "simq.slow");
+      ("v", Json.Num 1.);
+      ("k", Json.Num (float_of_int t.k));
+      ("entries", Json.Arr (List.map entry_json (entries t)));
+    ]

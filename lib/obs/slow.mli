@@ -1,0 +1,40 @@
+(** Bounded in-memory slow-query exemplar store: the worst [K]
+    queries by duration, each carrying enough context to chase one
+    slow query without grepping a qlog — its sequence number, request
+    id, spec and digest, duration, and rendered profile tree.
+
+    The order is deterministic: duration descending, ties broken by
+    ascending sequence number, and exactly the worst [K] are kept —
+    an [observe] that does not displace an entry changes nothing. The
+    store is an opt-in ([simq serve --slow-k]); a daemon without one
+    pays nothing. Thread-safe. *)
+
+type t
+
+(** One exemplar. [trace_id] is [0] when the query ran outside a
+    request scope; [profile] is the rendered operator tree
+    ({!Profile.render}), empty when profiling was unavailable. *)
+type entry = {
+  seq : int;
+  trace_id : int;
+  digest : string;
+  spec : string;
+  duration_s : float;
+  profile : string;
+}
+
+val create : k:int -> t
+(** A store keeping the worst [k] ([Invalid_argument] if [< 1]). *)
+
+val k : t -> int
+
+val observe : t -> entry -> unit
+(** Offers one finished query; kept only while among the worst [k]. *)
+
+val entries : t -> entry list
+(** Current exemplars, worst first. *)
+
+val to_json : t -> Json.t
+(** The self-describing document served for the [slow] protocol
+    command:
+    [{"event":"simq.slow","v":1,"k":…,"entries":[…]}]. *)

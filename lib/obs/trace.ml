@@ -2,6 +2,37 @@ let enabled = Atomic.make false
 let on () = Atomic.get enabled
 let set_enabled b = Atomic.set enabled b
 
+(* --- request-scoped correlation ------------------------------------------
+
+   Request ids are allocated unconditionally (one atomic increment per
+   query) so qlog/profile correlation works even when span tracing is
+   off. The ambient id lives in two places: a per-domain DLS cell for
+   the domain that owns the request, and an optional process-global
+   cell for the serialized-execution case (the serve daemon's engine
+   mutex, the CLI's single query) where pool worker domains fanning
+   out on behalf of the request must see it too. *)
+
+let next_request = Atomic.make 1
+let new_request_id () = Atomic.fetch_and_add next_request 1
+let global_request = Atomic.make 0
+let request_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let current_request () =
+  let local = Domain.DLS.get request_key in
+  if !local <> 0 then !local else Atomic.get global_request
+
+let with_request ?(global = true) id f =
+  let local = Domain.DLS.get request_key in
+  let saved_local = !local in
+  let saved_global = if global then Atomic.get global_request else 0 in
+  local := id;
+  if global then Atomic.set global_request id;
+  Fun.protect
+    ~finally:(fun () ->
+      local := saved_local;
+      if global then Atomic.set global_request saved_global)
+    f
+
 (* Base timestamp so exported [ts] values start near zero. *)
 let epoch_ns = Monotonic_clock.now ()
 
@@ -13,6 +44,7 @@ type event = {
   ev_tid : int;
   ev_id : int;
   ev_parent : int; (* 0 = root *)
+  ev_trace : int; (* 0 = no ambient request *)
 }
 
 type buffer = {
@@ -43,6 +75,7 @@ type span =
       name : string;
       cat : string;
       start_ns : int64;
+      trace : int;
       buf : buffer;
     }
 
@@ -53,12 +86,21 @@ let start ?(cat = "simq") name =
     let id = Atomic.fetch_and_add next_id 1 in
     let parent = match buf.open_stack with [] -> 0 | p :: _ -> p in
     buf.open_stack <- id :: buf.open_stack;
-    Active { id; parent; name; cat; start_ns = Monotonic_clock.now (); buf }
+    Active
+      {
+        id;
+        parent;
+        name;
+        cat;
+        start_ns = Monotonic_clock.now ();
+        trace = current_request ();
+        buf;
+      }
   end
 
 let finish = function
   | Disabled -> ()
-  | Active { id; parent; name; cat; start_ns; buf } ->
+  | Active { id; parent; name; cat; start_ns; trace; buf } ->
       let now = Monotonic_clock.now () in
       (* Pop this span (tolerate out-of-order finishes by filtering). *)
       (buf.open_stack <-
@@ -74,6 +116,7 @@ let finish = function
           ev_tid = buf.tid;
           ev_id = id;
           ev_parent = parent;
+          ev_trace = trace;
         }
         :: buf.events
 
@@ -92,6 +135,10 @@ let open_spans () =
 
 let event_count () =
   List.fold_left (fun acc b -> acc + List.length b.events) 0 (all_buffers ())
+
+let event_traces () =
+  List.concat_map (fun b -> List.map (fun e -> e.ev_trace) b.events)
+    (all_buffers ())
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -121,9 +168,9 @@ let export oc =
       if i > 0 then output_string oc ",";
       Printf.fprintf oc
         "\n\
-         {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"id\":%d,\"parent\":%d}}"
+         {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"id\":%d,\"parent\":%d,\"trace\":%d}}"
         (json_escape e.ev_name) (json_escape e.ev_cat) (us_of_ns e.ev_ts_ns)
-        (us_of_ns e.ev_dur_ns) e.ev_tid e.ev_id e.ev_parent)
+        (us_of_ns e.ev_dur_ns) e.ev_tid e.ev_id e.ev_parent e.ev_trace)
     events;
   output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"
 

@@ -21,6 +21,34 @@ val on : unit -> bool
 
 val set_enabled : bool -> unit
 
+(** {1 Request-scoped correlation}
+
+    A request id correlates every telemetry record of one query —
+    trace spans ([args.trace] in the Chrome export), the profile tree
+    root and the qlog line — across domains and shards, even with
+    concurrent connections. Ids are allocated unconditionally (one
+    atomic increment), independent of the span-tracing flag. *)
+
+(** [new_request_id ()] allocates the next process-unique request id
+    (ids start at 1; [0] always means "no request"). *)
+val new_request_id : unit -> int
+
+(** [current_request ()] is the ambient request id seen by the
+    calling domain: its own domain-local binding when one is set, the
+    process-global binding otherwise, [0] when neither is. *)
+val current_request : unit -> int
+
+(** [with_request ?global id f] runs [f ()] with [id] as the ambient
+    request id, restoring the previous bindings even if [f] raises.
+    With [global] (the default) the id is also published
+    process-wide, so pool worker domains fanning out on behalf of the
+    request observe it — correct whenever request execution is
+    serialized (the serve daemon's engine mutex, a CLI query).
+    [~global:false] binds only the calling domain — the inter-query
+    batch executor's per-task binding, where concurrent tasks each
+    own one domain. *)
+val with_request : ?global:bool -> int -> (unit -> 'a) -> 'a
+
 (** An open span. [Disabled] (when tracing is off) makes
     {!finish} a no-op. *)
 type span
@@ -48,6 +76,11 @@ val open_spans : unit -> int
 (** [event_count ()] is the number of finished spans recorded so
     far. *)
 val event_count : unit -> int
+
+(** [event_traces ()] is the request id stamped on each finished
+    span, in buffer order ([0] for spans recorded outside any
+    request) — the correlation hook for tests. *)
+val event_traces : unit -> int list
 
 (** [export oc] writes the merged buffers as a Chrome trace-event
     JSON object ([{"traceEvents": [...]}]) to [oc]. Events are

@@ -372,6 +372,12 @@ let exec_parsed ?profile ?pairs_pool ~note t text =
 
 let exec ?profile ?pairs_pool ?note:n t text =
   let note = match n with Some n -> n | None -> note () in
+  (* The one central stamping point: a profile built inside a request
+     scope carries the request id on its JSON root, correlating it
+     with the query's qlog line and trace spans. *)
+  (match (profile, Simq_obs.Trace.current_request ()) with
+  | Some p, id when id <> 0 -> Simq_obs.Profile.set_trace p id
+  | _ -> ());
   match exec_parsed ?profile ?pairs_pool ~note t text with
   | r -> r
   | exception Invalid_argument msg -> usage msg

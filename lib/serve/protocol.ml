@@ -37,6 +37,7 @@ let unescape s =
 type request =
   | Ping
   | Shutdown
+  | Slow
   | Query of {
       profile : bool;
       spec : string;
@@ -47,6 +48,7 @@ let profile_prefix = "profile "
 let parse_request line =
   if line = "ping" then Ok Ping
   else if line = "shutdown" then Ok Shutdown
+  else if line = "slow" then Ok Slow
   else begin
     let profile, payload =
       let p = String.length profile_prefix in
@@ -99,6 +101,9 @@ let error_line ~seq ?spec ~outcome ~exit_code ~message () =
          ]))
 
 let pong_line ~seq = J.to_string (J.Obj (head ~event:"simq.serve.pong" ~seq))
+
+let slow_line ~seq slow =
+  J.to_string (J.Obj (head ~event:"simq.serve.slow" ~seq @ [ ("slow", slow) ]))
 
 let shutdown_line ~seq =
   J.to_string (J.Obj (head ~event:"simq.serve.shutdown" ~seq))

@@ -35,6 +35,10 @@ type request =
   | Shutdown
       (** ask the server to drain: stop accepting, finish in-flight
           queries, dump observability state *)
+  | Slow
+      (** [slow]: fetch the daemon's slow-query exemplar store
+          ({!Simq_obs.Slow}) — a usage error when the daemon runs
+          without one *)
   | Query of {
       profile : bool;
           (** [profile <spec>]: attach the per-query operator tree
@@ -84,6 +88,11 @@ val error_line :
 
 (** [pong_line ~seq] answers {!Ping} (["event":"simq.serve.pong"]). *)
 val pong_line : seq:int -> string
+
+(** [slow_line ~seq store] answers {!Slow}
+    (["event":"simq.serve.slow"]) with the rendered exemplar store
+    ({!Simq_obs.Slow.to_json}) under the ["slow"] member. *)
+val slow_line : seq:int -> Simq_obs.Json.t -> string
 
 (** [shutdown_line ~seq] acknowledges {!Shutdown}
     (["event":"simq.serve.shutdown"]) before the connection closes. *)

@@ -1,6 +1,20 @@
 module Metrics = Simq_obs.Metrics
 module Qlog = Simq_obs.Qlog
 module Profile = Simq_obs.Profile
+module Trace = Simq_obs.Trace
+module Slow = Simq_obs.Slow
+
+(* Serve-side traffic counters: one increment per protocol query on
+   the worker thread, so the merged totals are trivially
+   domain-invariant. They feed the history window's qps and shed
+   rate. *)
+let m_queries =
+  Metrics.counter ~help:"Queries executed by the serve daemon (any outcome)"
+    "simq_serve_queries_total"
+
+let m_shed =
+  Metrics.counter ~help:"Queries shed by the serve daemon's in-flight cap"
+    "simq_serve_shed_total"
 
 (* A client that disappears mid-response must surface as EPIPE on the
    write, not as a process-killing SIGPIPE. *)
@@ -16,6 +30,7 @@ type t = {
   engine : Engine.t;
   policy : Simq_admission.t;
   qlog : Qlog.t option;
+  slow : Slow.t option;
   max_inflight : int option;
   max_line_bytes : int;
   stopping : bool Atomic.t;
@@ -100,8 +115,8 @@ let outcome_of_error (e : Simq_cli.error) =
   in
   (kind, Simq_cli.exit_code e)
 
-let log_query t ~spec ~decision ~path ?shards ~deltas ~duration_s ~outcome
-    ~exit_code () =
+let log_query t ~spec ~trace ~decision ~path ?shards ~deltas ~duration_s
+    ~outcome ~exit_code () =
   match t.qlog with
   | None -> ()
   | Some qlog ->
@@ -117,75 +132,110 @@ let log_query t ~spec ~decision ~path ?shards ~deltas ~duration_s ~outcome
         exit_code;
         domains = Simq_parallel.Pool.domains (Simq_parallel.Pool.default ());
         shards;
+        trace_id = Some trace;
       }
 
 (* The load-shed path: refused through the admission policy before the
    engine mutex is even contended — no page read, no execution-side
    counter moves. *)
-let shed_response t ~seq ~spec ~inflight ~limit =
+let shed_response t ~seq ~trace ~spec ~inflight ~limit =
   Atomic.incr t.n_shed;
+  Metrics.incr m_shed;
   let reject = Simq_admission.shed t.policy ~inflight ~limit in
   let e = Simq_admission.error_of_reject reject in
   let message = Format.asprintf "%a" Simq_fault.Error.pp e in
   let outcome = Simq_fault.Error.kind e in
   let exit_code = Simq_cli.exit_code (Simq_cli.Fault e) in
-  log_query t ~spec ~decision:(Some "reject") ~path:None ~deltas:[]
+  log_query t ~spec ~trace ~decision:(Some "reject") ~path:None ~deltas:[]
     ~duration_s:0. ~outcome ~exit_code ();
   Protocol.error_line ~seq ~spec ~outcome ~exit_code ~message ()
 
 let run_query t ~seq ~profile ~spec =
+  (* One request id per protocol query line — the correlation key of
+     its qlog line, profile root and trace spans; allocated before the
+     shed check so even a shed line is attributable. *)
+  let trace = Trace.new_request_id () in
   let cur = Atomic.fetch_and_add t.inflight 1 in
   let sheds =
     match t.max_inflight with Some m -> cur >= m | None -> false
   in
   if sheds then begin
     Atomic.decr t.inflight;
-    shed_response t ~seq ~spec ~inflight:(cur + 1)
+    shed_response t ~seq ~trace ~spec ~inflight:(cur + 1)
       ~limit:(Option.get t.max_inflight)
   end
   else
     Fun.protect
       ~finally:(fun () -> Atomic.decr t.inflight)
       (fun () ->
-        let prof = if profile then Some (Profile.create ()) else None in
+        (* The slow store needs a rendered tree for every query, so it
+           forces a profile; the response only carries one when the
+           client asked. *)
+        let prof =
+          if profile || t.slow <> None then Some (Profile.create ()) else None
+        in
         let note = Engine.note () in
         let result, duration_s =
           Mutex.protect t.engine_mutex (fun () ->
-              let before =
-                match t.qlog with
-                | Some _ -> Some (Metrics.snapshot ())
-                | None -> None
-              in
-              let result, duration_s =
-                Simq_report.Timer.time (fun () ->
-                    match Engine.exec ?profile:prof ~note t.engine spec with
-                    | r -> `Result r
-                    | exception e -> `Escaped e)
-              in
-              let deltas =
-                match before with
-                | Some before ->
-                  Qlog.counter_deltas ~before ~after:(Metrics.snapshot ())
-                | None -> []
-              in
-              let outcome, exit_code =
-                match result with
-                | `Result (Ok _) -> ("ok", 0)
-                | `Result (Error e) -> outcome_of_error e
-                | `Escaped _ -> ("fault", 4)
-              in
-              log_query t ~spec ~decision:note.Engine.note_decision
-                ~path:note.Engine.note_path ?shards:note.Engine.note_shards
-                ~deltas ~duration_s ~outcome ~exit_code ();
-              (result, duration_s))
+              (* Engine execution is serialized under the mutex, so
+                 publishing the request id process-wide is race-free
+                 and pool worker domains fanning out for this query
+                 observe it. *)
+              Trace.with_request trace (fun () ->
+                  let before =
+                    match t.qlog with
+                    | Some _ -> Some (Metrics.snapshot ())
+                    | None -> None
+                  in
+                  let result, duration_s =
+                    Simq_report.Timer.time (fun () ->
+                        match Engine.exec ?profile:prof ~note t.engine spec with
+                        | r -> `Result r
+                        | exception e -> `Escaped e)
+                  in
+                  let deltas =
+                    match before with
+                    | Some before ->
+                      Qlog.counter_deltas ~before ~after:(Metrics.snapshot ())
+                    | None -> []
+                  in
+                  (* After the delta bracket, so qlog deltas keep
+                     showing only execution-side families (and a
+                     rejected query's stay empty). *)
+                  Metrics.incr m_queries;
+                  let outcome, exit_code =
+                    match result with
+                    | `Result (Ok _) -> ("ok", 0)
+                    | `Result (Error e) -> outcome_of_error e
+                    | `Escaped _ -> ("fault", 4)
+                  in
+                  log_query t ~spec ~trace ~decision:note.Engine.note_decision
+                    ~path:note.Engine.note_path ?shards:note.Engine.note_shards
+                    ~deltas ~duration_s ~outcome ~exit_code ();
+                  (result, duration_s)))
         in
         Atomic.incr t.n_served;
+        (match t.slow with
+        | Some store ->
+          Slow.observe store
+            {
+              Slow.seq;
+              trace_id = trace;
+              digest = Engine.digest spec;
+              spec;
+              duration_s;
+              profile =
+                (match prof with Some p -> Profile.render p | None -> "");
+            }
+        | None -> ());
         match result with
         | `Result (Ok (o : Engine.outcome)) ->
           Protocol.ok_line ~seq ~spec ~path:o.Engine.path
             ~decision:o.Engine.decision ~answers:o.Engine.answers
             ~results:o.Engine.results ~duration_s
-            ?profile:(Option.map Profile.to_json prof) ()
+            ?profile:
+              (if profile then Option.map Profile.to_json prof else None)
+            ()
         | `Result (Error e) ->
           Atomic.incr t.n_errors;
           let outcome, exit_code = outcome_of_error e in
@@ -213,6 +263,15 @@ let handle_line t fd ~next_seq line =
         (Protocol.error_line ~seq ~outcome:"usage" ~exit_code:1
            ~message:("bad request line: " ^ msg) ())
     | Ok Protocol.Ping -> write_line fd (Protocol.pong_line ~seq)
+    | Ok Protocol.Slow -> (
+      match t.slow with
+      | Some store -> write_line fd (Protocol.slow_line ~seq (Slow.to_json store))
+      | None ->
+        Atomic.incr t.n_errors;
+        write_line fd
+          (Protocol.error_line ~seq ~outcome:"usage" ~exit_code:1
+             ~message:"no slow-query store on this daemon (start with --slow-k)"
+             ()))
     | Ok Protocol.Shutdown ->
       write_line fd (Protocol.shutdown_line ~seq);
       request_drain t;
@@ -329,12 +388,19 @@ let accept_loop t ~idle_timeout ~write_timeout =
 
 let start ?max_inflight ?(max_line_bytes = Protocol.max_line_bytes)
     ?idle_timeout ?write_timeout ?(policy = Simq_admission.default) ?qlog
-    ~engine ~port () =
+    ?slow_k ~engine ~port () =
   Lazy.force ignore_sigpipe;
   (match max_inflight with
   | Some m when m < 0 ->
     invalid_arg "Simq_serve.Server: max_inflight must be >= 0"
   | _ -> ());
+  let slow =
+    match slow_k with
+    | None -> None
+    | Some k ->
+      if k < 1 then invalid_arg "Simq_serve.Server: slow_k must be >= 1";
+      Some (Slow.create ~k)
+  in
   if max_line_bytes < 1 then
     invalid_arg "Simq_serve.Server: max_line_bytes must be positive";
   List.iter
@@ -366,6 +432,7 @@ let start ?max_inflight ?(max_line_bytes = Protocol.max_line_bytes)
       engine;
       policy;
       qlog;
+      slow;
       max_inflight;
       max_line_bytes;
       stopping = Atomic.make false;
@@ -398,9 +465,9 @@ let stop t =
   try Unix.close t.listener with Unix.Unix_error _ -> ()
 
 let with_server ?max_inflight ?max_line_bytes ?idle_timeout ?write_timeout
-    ?policy ?qlog ~engine ~port f =
+    ?policy ?qlog ?slow_k ~engine ~port f =
   let t =
     start ?max_inflight ?max_line_bytes ?idle_timeout ?write_timeout ?policy
-      ?qlog ~engine ~port ()
+      ?qlog ?slow_k ~engine ~port ()
   in
   Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

@@ -31,7 +31,15 @@
     query and the query-log entry stream is well-formed; the executed
     query is timed through {!Simq_report.Timer}, feeding the
     [simq_timer_seconds] histogram the admission policy calibrates
-    against. *)
+    against.
+
+    Every query line is issued a request id
+    ({!Simq_obs.Trace.new_request_id}) published for the duration of
+    its serialized execution, so the query's qlog line ([trace_id]),
+    profile root and every trace span it emits — across pool domains
+    and shards — carry the same id even with concurrent connections.
+    The daemon also counts traffic ([simq_serve_queries_total],
+    [simq_serve_shed_total]) for the {!Simq_obs.History} window. *)
 
 type t
 
@@ -43,8 +51,13 @@ type t
     [simq query --qlog] writes them. [max_line_bytes] defaults to
     {!Protocol.max_line_bytes}; timeouts are in seconds and must be
     positive when given ([Invalid_argument] otherwise, as is
-    [max_inflight < 0]). Raises [Unix.Unix_error] when the port cannot
-    be bound. *)
+    [max_inflight < 0]). [slow_k] (default: none; [Invalid_argument]
+    if [< 1]) keeps a worst-[k] slow-query exemplar store
+    ({!Simq_obs.Slow}) fed by every executed query — each query is
+    then profiled internally for its rendered tree, though the
+    response only carries a profile when the client asked — and
+    served by the [slow] protocol command. Raises [Unix.Unix_error]
+    when the port cannot be bound. *)
 val start :
   ?max_inflight:int ->
   ?max_line_bytes:int ->
@@ -52,6 +65,7 @@ val start :
   ?write_timeout:float ->
   ?policy:Simq_admission.t ->
   ?qlog:Simq_obs.Qlog.t ->
+  ?slow_k:int ->
   engine:Engine.t ->
   port:int ->
   unit ->
@@ -96,6 +110,7 @@ val with_server :
   ?write_timeout:float ->
   ?policy:Simq_admission.t ->
   ?qlog:Simq_obs.Qlog.t ->
+  ?slow_k:int ->
   engine:Engine.t ->
   port:int ->
   (t -> 'a) ->

@@ -369,6 +369,8 @@ let qlog_entry ~spec ~epsilon ~query ~pool ~duration_s result =
        queries are logged by their own callers with the gather's
        report. *)
     shards = None;
+    trace_id =
+      (match Otrace.current_request () with 0 -> None | id -> Some id);
   }
 
 let range_resilient ?pool ?spec ?stats ?budget ?retry ?counters ?validate

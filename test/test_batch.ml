@@ -304,6 +304,7 @@ let qlog_entry i =
     exit_code = 0;
     domains = 1;
     shards = None;
+    trace_id = None;
   }
 
 let read_lines file =

@@ -265,6 +265,7 @@ let test_with_obs_dumps_profile_qlog_state_on_error () =
                 exit_code = 1;
                 domains = 1;
                 shards = None;
+                trace_id = None;
               };
             Result.Error (Cli.Usage "boom"))
       in

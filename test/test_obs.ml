@@ -302,11 +302,11 @@ let test_spans_nest_and_never_dangle () =
           Alcotest.(check bool)
             "outer is a root span" true
             (contains text "\"name\":\"outer\""
-            && contains text "\"args\":{\"id\":1,\"parent\":0}");
+            && contains text "\"args\":{\"id\":1,\"parent\":0,\"trace\":0}");
           Alcotest.(check bool)
             "inner nests under outer" true
             (contains text "\"name\":\"inner\""
-            && contains text "\"args\":{\"id\":2,\"parent\":1}")))
+            && contains text "\"args\":{\"id\":2,\"parent\":1,\"trace\":0}")))
 
 let test_span_closed_on_exception () =
   Trace.set_enabled true;
@@ -772,6 +772,244 @@ let test_server_stops () =
   | _ -> Alcotest.fail "a stopped server must refuse connections"
   | exception _ -> ()
 
+(* --- request-scoped correlation ---------------------------------------------- *)
+
+module Json = Simq_obs.Json
+
+let test_request_ids_unique_and_scoped () =
+  let a = Trace.new_request_id () in
+  let b = Trace.new_request_id () in
+  Alcotest.(check bool) "ids strictly increase" true (0 < a && a < b);
+  Alcotest.(check int) "no ambient id outside a scope" 0
+    (Trace.current_request ());
+  Alcotest.(check int) "domain-local binding shadows the global" b
+    (Trace.with_request a (fun () ->
+         Trace.with_request ~global:false b (fun () ->
+             Trace.current_request ())));
+  Alcotest.(check int) "global binding visible" a
+    (Trace.with_request a (fun () -> Trace.current_request ()));
+  Alcotest.(check int) "bindings restored" 0 (Trace.current_request ());
+  (try Trace.with_request a (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check int) "restored after a raise" 0 (Trace.current_request ())
+
+(* Every span a request emits — including those recorded by pool
+   worker domains fanning out on its behalf — carries the request's
+   id, whatever the domain count. *)
+let test_span_trace_stamped_across_domains () =
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_enabled false)
+    (fun () ->
+      List.iter
+        (fun domains ->
+          Trace.reset ();
+          let pool = Pool.create ~domains in
+          let id = Trace.new_request_id () in
+          Trace.with_request id (fun () ->
+              Trace.with_span "request" (fun () ->
+                  Pool.chunked_iter ~pool ~chunk:8 ~n:64 (fun ~lo:_ ~hi:_ ->
+                      Trace.with_span "chunk" (fun () -> ()))));
+          Pool.shutdown pool;
+          let traces = Trace.event_traces () in
+          Alcotest.(check bool)
+            (Printf.sprintf "every span stamped, domains=%d" domains)
+            true
+            (traces <> [] && List.for_all (fun t -> t = id) traces))
+        [ 1; 2; 4 ])
+
+let prop_request_ids_unique =
+  QCheck2.Test.make ~count:100
+    ~name:"request ids are unique and nested scopes restore"
+    QCheck2.Gen.(int_range 1 16)
+    (fun n ->
+      let ids = List.init n (fun _ -> Trace.new_request_id ()) in
+      let distinct = List.length (List.sort_uniq compare ids) = n in
+      let scoped =
+        List.for_all
+          (fun id -> Trace.with_request id Trace.current_request = id)
+          ids
+      in
+      distinct && scoped && Trace.current_request () = 0)
+
+(* --- slow-query exemplar store ------------------------------------------------ *)
+
+module Slow = Simq_obs.Slow
+
+let slow_entry ?(trace_id = 0) ?(profile = "") seq duration_s =
+  {
+    Slow.seq;
+    trace_id;
+    digest = "0123456789ab";
+    spec = Printf.sprintf "q%d" seq;
+    duration_s;
+    profile;
+  }
+
+let test_slow_store_worst_k () =
+  (match Slow.create ~k:0 with
+  | _ -> Alcotest.fail "k = 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  let s = Slow.create ~k:3 in
+  List.iter (Slow.observe s)
+    [
+      slow_entry 0 0.010; slow_entry 1 0.005; slow_entry 2 0.030;
+      slow_entry 3 0.010; slow_entry 4 0.001;
+    ];
+  let seqs () = List.map (fun e -> e.Slow.seq) (Slow.entries s) in
+  Alcotest.(check (list int))
+    "worst three, duration desc, ties by ascending seq" [ 2; 0; 3 ]
+    (seqs ());
+  Slow.observe s (slow_entry 9 0.0001);
+  Alcotest.(check (list int)) "a non-displacing observe changes nothing"
+    [ 2; 0; 3 ] (seqs ());
+  match Json.parse (Json.to_string (Slow.to_json s)) with
+  | Error msg -> Alcotest.failf "slow document: %s" msg
+  | Ok v ->
+    Alcotest.(check (option string)) "self-describing" (Some "simq.slow")
+      (Option.bind (Json.member "event" v) Json.string_of);
+    Alcotest.(check (option (float 1e-9))) "k" (Some 3.)
+      (Option.bind (Json.member "k" v) Json.number)
+
+let prop_slow_store_worst_k =
+  QCheck2.Test.make ~count:300
+    ~name:"slow store keeps exactly worst-K in deterministic order"
+    QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 0 30) (int_range 0 5)))
+    (fun (k, durations) ->
+      let s = Slow.create ~k in
+      List.iteri
+        (fun i d -> Slow.observe s (slow_entry i (float_of_int d /. 1000.)))
+        durations;
+      let expected =
+        List.mapi (fun i d -> (i, float_of_int d /. 1000.)) durations
+        |> List.sort (fun (sa, da) (sb, db) ->
+               match compare db da with 0 -> compare sa sb | c -> c)
+        |> List.filteri (fun i _ -> i < k)
+      in
+      List.map (fun e -> (e.Slow.seq, e.Slow.duration_s)) (Slow.entries s)
+      = expected)
+
+(* --- telemetry history -------------------------------------------------------- *)
+
+module History = Simq_obs.History
+
+let test_history_window_rates () =
+  let r = Metrics.create_registry () in
+  let q = Metrics.counter ~registry:r "simq_serve_queries_total" in
+  let shed = Metrics.counter ~registry:r "simq_serve_shed_total" in
+  let timer = Metrics.histogram ~registry:r "simq_timer_seconds" in
+  let h = History.create ~registry:r ~capacity:4 ~interval_s:60. () in
+  Alcotest.(check int) "empty at creation" 0 (History.length h);
+  Metrics.with_enabled true (fun () ->
+      History.sample h;
+      Metrics.add q 8;
+      Metrics.add shed 2;
+      Metrics.observe timer 0.004;
+      Metrics.observe timer 0.032;
+      History.sample h);
+  match History.window h with
+  | None -> Alcotest.fail "two samples must open a window"
+  | Some w ->
+    Alcotest.(check int) "queries delta" 8 w.History.queries;
+    Alcotest.(check int) "shed delta" 2 w.History.shed;
+    Alcotest.(check (float 1e-9)) "shed rate" 0.2 w.History.shed_rate;
+    Alcotest.(check bool) "qps non-negative" true (w.History.qps >= 0.);
+    Alcotest.(check int) "latency observations" 2 w.History.latency_count;
+    Alcotest.(check bool) "p50 bounds the fast observation" true
+      (w.History.p50_s >= 0.004);
+    Alcotest.(check bool) "p99 bounds the slow observation" true
+      (w.History.p99_s >= 0.032);
+    Alcotest.(check bool) "quantiles ordered" true
+      (w.History.p99_s >= w.History.p50_s)
+
+let test_history_reset_clamps_and_capacity () =
+  let r = Metrics.create_registry () in
+  let q = Metrics.counter ~registry:r "simq_serve_queries_total" in
+  let h = History.create ~registry:r ~capacity:2 ~interval_s:60. () in
+  Metrics.with_enabled true (fun () ->
+      Metrics.add q 100;
+      History.sample h;
+      Metrics.reset ~registry:r ();
+      History.sample h);
+  (match History.window h with
+  | None -> Alcotest.fail "window expected"
+  | Some w ->
+    Alcotest.(check int) "a reset clamps to zero, never negative" 0
+      w.History.queries;
+    Alcotest.(check (float 0.)) "no rate from a reset" 0. w.History.qps);
+  for _ = 1 to 5 do
+    History.sample h
+  done;
+  Alcotest.(check int) "the ring stays bounded" 2 (History.length h)
+
+(* The sampler only snapshots (merge-on-read): totals after identical
+   work are identical at every domain count, sampler running or not. *)
+let test_history_sampler_keeps_totals () =
+  let c = Metrics.counter "test_history_inv_total" in
+  let totals_at domains =
+    let pool = Pool.create ~domains in
+    let h = History.create ~capacity:8 ~interval_s:0.01 () in
+    History.start h;
+    Metrics.with_enabled true (fun () ->
+        Metrics.reset ();
+        Pool.chunked_iter ~pool ~chunk:16 ~n:512 (fun ~lo ~hi ->
+            Metrics.add c (hi - lo)));
+    History.stop h;
+    Pool.shutdown pool;
+    Alcotest.(check bool) "the sampler sampled" true (History.length h >= 1);
+    Metrics.counter_total c
+  in
+  List.iter
+    (fun domains ->
+      Alcotest.(check int)
+        (Printf.sprintf "totals with a live sampler, domains=%d" domains)
+        512 (totals_at domains))
+    [ 1; 2; 4 ]
+
+(* The concurrent-scrape regression: a connected-but-silent peer must
+   not block other scrapes (each connection gets its own thread), and
+   /metrics and /history answer complete documents while it hangs. *)
+let test_concurrent_scrapes_with_silent_peer () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r "test_concurrent_total" in
+  Metrics.with_enabled true (fun () -> Metrics.add c 4);
+  let h = History.create ~registry:r ~capacity:4 ~interval_s:60. () in
+  History.sample h;
+  Serve.with_server ~registry:r
+    ~history:(fun () -> History.document h)
+    ~port:0
+    (fun server ->
+      let port = Serve.port server in
+      let silent = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close silent with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect silent
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let metrics_body = Serve.scrape ~timeout:5. ~port () in
+          let history_body =
+            Serve.scrape ~timeout:5. ~path:"/history" ~port ()
+          in
+          Alcotest.(check bool) "metrics scrape complete" true
+            (contains metrics_body "test_concurrent_total 4");
+          match Json.parse history_body with
+          | Error msg -> Alcotest.failf "history body: %s" msg
+          | Ok v ->
+            Alcotest.(check (option string)) "history document served"
+              (Some "simq.history")
+              (Option.bind (Json.member "event" v) Json.string_of);
+            Alcotest.(check bool) "document samples on demand" true
+              (match Option.bind (Json.member "samples" v) Json.number with
+              | Some n -> n >= 2.
+              | None -> false)))
+
+let test_history_endpoint_404_without_provider () =
+  let r = Metrics.create_registry () in
+  Serve.with_server ~registry:r ~port:0 (fun server ->
+      let body = Serve.scrape ~path:"/history" ~port:(Serve.port server) () in
+      Alcotest.(check string) "a providerless endpoint answers 404"
+        "no history on this endpoint\n" body)
+
 let () =
   Alcotest.run "simq_obs"
     [
@@ -836,5 +1074,28 @@ let () =
             test_span_closed_on_exception;
           Alcotest.test_case "disabled tracing is free" `Quick
             test_trace_disabled_is_free;
+        ] );
+      ( "request-ids",
+        Alcotest.test_case "unique and scoped" `Quick
+          test_request_ids_unique_and_scoped
+        :: Alcotest.test_case "spans stamped across domains" `Quick
+             test_span_trace_stamped_across_domains
+        :: List.map QCheck_alcotest.to_alcotest [ prop_request_ids_unique ] );
+      ( "slow-store",
+        Alcotest.test_case "worst-k, deterministic ties" `Quick
+          test_slow_store_worst_k
+        :: List.map QCheck_alcotest.to_alcotest [ prop_slow_store_worst_k ] );
+      ( "history",
+        [
+          Alcotest.test_case "window rates and quantiles" `Quick
+            test_history_window_rates;
+          Alcotest.test_case "reset clamps, ring bounded" `Quick
+            test_history_reset_clamps_and_capacity;
+          Alcotest.test_case "sampler leaves totals unchanged" `Quick
+            test_history_sampler_keeps_totals;
+          Alcotest.test_case "concurrent scrapes with a silent peer" `Quick
+            test_concurrent_scrapes_with_silent_peer;
+          Alcotest.test_case "/history is 404 without a provider" `Quick
+            test_history_endpoint_404_without_provider;
         ] );
     ]

@@ -235,6 +235,7 @@ let sample_entry ?(duration_s = 0.004) ?(outcome = "ok") ?(exit_code = 0)
     exit_code;
     domains = 2;
     shards;
+    trace_id = Some 42;
   }
 
 let test_qlog_line_grammar () =
@@ -252,6 +253,8 @@ let test_qlog_line_grammar () =
     Alcotest.(check (option (float 1e-9))) "seq" (Some 7.) (num "seq");
     Alcotest.(check (option (float 1e-9))) "duration" (Some 4.)
       (num "duration_ms");
+    Alcotest.(check (option (float 1e-9))) "trace_id" (Some 42.)
+      (num "trace_id");
     (match Json.member "deltas" v with
     | Some (Json.Obj [ ("simq_kindex_candidates_total", Json.Num 12.) ]) -> ()
     | _ -> Alcotest.fail "deltas object expected")
@@ -278,6 +281,7 @@ let prop_qlog_lines_parse =
           exit_code = 0;
           domains = 4;
           shards = None;
+          trace_id = None;
         }
       in
       match Json.parse (Qlog.render_line ~seq:3 entry) with
@@ -354,6 +358,9 @@ let test_qlog_aggregate () =
         shards =
           (if path = "scan" then None
            else Some { Qlog.fanout = 2; pruned = 1; degraded = 0 });
+        (* Line 0 predates the field: it must stay out of by_trace but
+           rank with trace 0 in the duration table. *)
+        trace_id = (if seq = 0 then None else Some (100 + seq));
       }
   in
   let lines =
@@ -377,8 +384,11 @@ let test_qlog_aggregate () =
   Alcotest.(check (list (pair int int)))
     "by fanout (unsharded lines stay out)" [ (2, 2) ] agg.Qlog.by_fanout;
   (match agg.Qlog.top_by_duration with
-  | (1, "q1", _) :: (2, "q2", _) :: [] -> ()
-  | _ -> Alcotest.fail "slowest first, top 2 kept");
+  | (1, "q1", _, 101) :: (2, "q2", _, 102) :: [] -> ()
+  | _ -> Alcotest.fail "slowest first, top 2 kept, trace ids carried");
+  Alcotest.(check (list int))
+    "by trace: heaviest first, traceless lines out" [ 101; 102 ]
+    (List.map fst agg.Qlog.by_trace);
   match agg.Qlog.top_by_pages with
   | (1, "q1", 200) :: (2, "q2", 30) :: [] -> ()
   | _ -> Alcotest.fail "pages ranked from buffer-pool deltas"

@@ -23,12 +23,12 @@ let build_index ?(count = 32) ?(n = 64) () =
   let batch = Generator.random_walks ~seed:4711 ~count ~n in
   Kindex.build (Dataset.of_series ~name:"serve" batch)
 
-let with_daemon ?max_inflight ?max_line_bytes ?qlog ?engine f =
+let with_daemon ?max_inflight ?max_line_bytes ?qlog ?slow_k ?engine f =
   let engine =
     match engine with Some e -> e | None -> Engine.create (build_index ())
   in
-  Server.with_server ?max_inflight ?max_line_bytes ?qlog ~engine ~port:0
-    (fun server -> f server (Server.port server))
+  Server.with_server ?max_inflight ?max_line_bytes ?qlog ?slow_k ~engine
+    ~port:0 (fun server -> f server (Server.port server))
 
 let connect port = Stress.Client.connect ~timeout:10. ~host:"127.0.0.1" ~port ()
 
@@ -415,6 +415,154 @@ let test_chaos_stream_deterministic () =
     && a.Stress.malformed_sent = b.Stress.malformed_sent
     && a.Stress.disconnects = b.Stress.disconnects)
 
+(* --- request-scoped correlation end to end ---------------------------------- *)
+
+module Trace = Simq_obs.Trace
+
+(* One served query under 4 domains and a 4-shard engine: its qlog
+   line, its JSON profile root and every span it emitted carry the
+   same request id — and the answer is bit-identical to the
+   tracing-off offline run. *)
+let test_trace_correlation_end_to_end () =
+  let saved = Pool.default_domains () in
+  Pool.set_default_domains 4;
+  let path = Filename.temp_file "simq_serve_trace" ".qlog" in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_default_domains saved;
+      Trace.set_enabled false;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let spec = "RANGE FROM r QUERY s3 EPS 2.0" in
+      let index = build_index () in
+      let reference = offline_results (Engine.create ~shards:4 index) spec in
+      Trace.set_enabled true;
+      Trace.reset ();
+      let qlog = Qlog.create path in
+      let engine = Engine.create ~shards:4 index in
+      let served =
+        with_daemon ~qlog ~engine (fun _server port ->
+            let client = connect port in
+            Fun.protect
+              ~finally:(fun () -> Stress.Client.close client)
+              (fun () ->
+                Stress.Client.send_line client
+                  ("profile " ^ Protocol.escape spec);
+                match Stress.Client.recv_line client with
+                | Some line -> Result.get_ok (J.parse line)
+                | None -> Alcotest.fail "no response"))
+      in
+      Qlog.close qlog;
+      Trace.set_enabled false;
+      expect_outcome ~what:"traced query" ~outcome:"ok" ~exit_code:0 served;
+      Alcotest.(check string) "answers unchanged by tracing" reference
+        (match J.member "results" served with
+        | Some r -> J.to_string r
+        | None -> Alcotest.fail "no results in the response");
+      let profile_trace =
+        match J.member "profile" served with
+        | Some p -> (
+          match J.member "trace_id" p with
+          | Some (J.Num id) -> int_of_float id
+          | _ -> Alcotest.fail "profile root carries no trace_id")
+        | None -> Alcotest.fail "no profile in the response"
+      in
+      Alcotest.(check bool) "a real request id" true (profile_trace > 0);
+      let qlog_trace =
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        match !lines with
+        | [ line ] -> (
+          match J.member "trace_id" (Result.get_ok (J.parse line)) with
+          | Some (J.Num id) -> int_of_float id
+          | _ -> Alcotest.fail "qlog line carries no trace_id")
+        | ls -> Alcotest.failf "expected one qlog line, got %d" (List.length ls)
+      in
+      Alcotest.(check int) "qlog line = profile root" profile_trace qlog_trace;
+      let request_spans =
+        List.filter (fun t -> t <> 0) (Trace.event_traces ())
+      in
+      Alcotest.(check bool) "the request recorded spans" true
+        (request_spans <> []);
+      List.iter
+        (fun t ->
+          Alcotest.(check int) "every span carries the request id"
+            profile_trace t)
+        request_spans)
+
+(* --- the slow-query exemplar store over the wire ---------------------------- *)
+
+let test_slow_command_round_trip () =
+  let engine = Engine.create (build_index ()) in
+  with_daemon ~slow_k:2 ~engine (fun _server port ->
+      let client = connect port in
+      Fun.protect
+        ~finally:(fun () -> Stress.Client.close client)
+        (fun () ->
+          List.iter
+            (fun spec ->
+              expect_outcome ~what:spec ~outcome:"ok" ~exit_code:0
+                (query_json client spec))
+            [
+              "RANGE FROM r QUERY s3 EPS 2.0";
+              "NEAREST 5 FROM r QUERY s2";
+              "PAIRS FROM r EPS 1.0 METHOD scan";
+            ];
+          Stress.Client.send_line client "slow";
+          match Stress.Client.recv_line client with
+          | None -> Alcotest.fail "no slow response"
+          | Some line ->
+            let json = Result.get_ok (J.parse line) in
+            Alcotest.(check (option string)) "event" (Some "simq.serve.slow")
+              (member_str "event" json);
+            let slow =
+              match J.member "slow" json with
+              | Some s -> s
+              | None -> Alcotest.fail "no slow member"
+            in
+            Alcotest.(check (option int)) "k echoed" (Some 2)
+              (member_int "k" slow);
+            let entries =
+              match J.member "entries" slow with
+              | Some (J.Arr l) -> l
+              | _ -> Alcotest.fail "no entries array"
+            in
+            Alcotest.(check int) "exactly worst-k kept" 2
+              (List.length entries);
+            List.iter
+              (fun e ->
+                Alcotest.(check bool) "entry carries a request id" true
+                  (match J.member "trace_id" e with
+                  | Some (J.Num t) -> t > 0.
+                  | _ -> false);
+                Alcotest.(check bool) "entry carries a rendered tree" true
+                  (match member_str "profile" e with
+                  | Some p -> String.length p > 0
+                  | None -> false))
+              entries))
+
+let test_slow_without_store_is_usage () =
+  with_daemon (fun _server port ->
+      let client = connect port in
+      Fun.protect
+        ~finally:(fun () -> Stress.Client.close client)
+        (fun () ->
+          Stress.Client.send_line client "slow";
+          (match Stress.Client.recv_line client with
+          | None -> Alcotest.fail "connection dropped on slow"
+          | Some line ->
+            expect_outcome ~what:"slow without a store" ~outcome:"usage"
+              ~exit_code:1
+              (Result.get_ok (J.parse line)));
+          (* The connection survives the refused command. *)
+          expect_outcome ~what:"after slow" ~outcome:"ok" ~exit_code:0
+            (query_json client "NEAREST 2 FROM r QUERY s0")))
+
 (* --- rotated qlog chains ---------------------------------------------------- *)
 
 let test_rotated_chain_order () =
@@ -489,6 +637,18 @@ let () =
             test_chaos_with_injected_faults;
           Alcotest.test_case "deterministic abuse stream" `Quick
             test_chaos_stream_deterministic;
+        ] );
+      ( "correlation",
+        [
+          Alcotest.test_case "one id across qlog, profile and spans" `Quick
+            test_trace_correlation_end_to_end;
+        ] );
+      ( "slow-store",
+        [
+          Alcotest.test_case "slow command round-trips" `Quick
+            test_slow_command_round_trip;
+          Alcotest.test_case "usage error without a store" `Quick
+            test_slow_without_store_is_usage;
         ] );
       ( "qlog-rotation",
         [

@@ -8,7 +8,11 @@
 # scrape of the TCP exposition endpoint while a bench run is serving
 # it, a simq serve daemon on an ephemeral port driven through a
 # chaotic stress session (good, malformed and disconnecting clients),
-# scraped live, shut down in-band, with the drained dumps checked, and
+# scraped live, its windowed telemetry polled by simq top (the raw
+# /history document once, then the rendered view, both checked for
+# non-negative rates), its worst-query store fetched over the in-band
+# slow command, shut down in-band, with the drained dumps checked and
+# the daemon qlog broken down by trace id, and
 # the sharded executor: a --shards query checked bit-identical to the
 # unsharded run, a sharded batch, and a sharded daemon verified by
 # stress with its qlog aggregated by fanout, and the sketch funnel: a
@@ -304,7 +308,7 @@ grep -q '^# TYPE simq_' scrape.prom || {
 }
 
 echo "== serve: daemon + chaotic stress session, live scrape, in-band shutdown"
-"$simq" serve smoke.rel --admission --qlog daemon.qlog \
+"$simq" serve smoke.rel --admission --slow-k 3 --qlog daemon.qlog \
   --metrics-state daemon.state --metrics-port 0 2>daemon.err &
 daemon_pid=$!
 serve_port=
@@ -335,7 +339,7 @@ grep -q '^# TYPE simq_' daemon.prom || {
   exit 1
 }
 "$simq" stress smoke.rel --port "$serve_port" --clients 4 --queries 10 \
-  --chaos --verify --shutdown >stress.out || {
+  --chaos --verify --slow >stress.out || {
   echo "smoke: stress run against the daemon failed" >&2
   cat stress.out >&2
   cat daemon.err >&2
@@ -344,6 +348,46 @@ grep -q '^# TYPE simq_' daemon.prom || {
 grep -q '0 protocol errors' stress.out || {
   echo "smoke: stress saw protocol errors" >&2
   cat stress.out >&2
+  exit 1
+}
+# The in-band slow command: the daemon keeps its --slow-k worst
+# queries and answers with one typed document.
+grep -q '"event":"simq.serve.slow"' stress.out || {
+  echo "smoke: the slow command returned no worst-query document" >&2
+  cat stress.out >&2
+  exit 1
+}
+# Poll the windowed telemetry while the daemon still serves: the raw
+# /history document once, then the rendered view (which parses it).
+"$simq" top --once --port "$metrics_port" --timeout-ms 5000 >top.json
+grep -q '"event":"simq.history"' top.json || {
+  echo "smoke: simq top --once returned no history document" >&2
+  cat top.json >&2
+  exit 1
+}
+if grep -Eq '"(qps|shed_rate|prune_rate|filter_rate)":-' top.json; then
+  echo "smoke: the history window reported a negative rate" >&2
+  cat top.json >&2
+  exit 1
+fi
+"$simq" top --port "$metrics_port" --iterations 2 --interval-ms 50 \
+  --timeout-ms 5000 >top.txt
+grep -q 'qps' top.txt || {
+  echo "smoke: simq top rendered no windowed rates" >&2
+  cat top.txt >&2
+  exit 1
+}
+if grep -Eq 'qps +-' top.txt; then
+  echo "smoke: simq top rendered a negative query rate" >&2
+  cat top.txt >&2
+  exit 1
+fi
+# A final minimal session drains the daemon in-band.
+"$simq" stress smoke.rel --port "$serve_port" --clients 1 --queries 1 \
+  --shutdown >>stress.out || {
+  echo "smoke: in-band shutdown session failed" >&2
+  cat stress.out >&2
+  cat daemon.err >&2
   exit 1
 }
 wait "$daemon_pid" || {
@@ -364,9 +408,14 @@ grep -q '"event":"simq.metrics-state"' daemon.state || {
   echo "smoke: drained daemon left no calibration state" >&2
   exit 1
 }
-"$simq" qlog-top daemon.qlog >daemon.top
+"$simq" qlog-top daemon.qlog --by-trace >daemon.top
 grep -q 'top by duration:' daemon.top || {
   echo "smoke: the daemon qlog does not aggregate" >&2
+  exit 1
+}
+grep -q 'by trace:' daemon.top || {
+  echo "smoke: the daemon qlog has no per-trace breakdown" >&2
+  cat daemon.top >&2
   exit 1
 }
 
